@@ -1,0 +1,80 @@
+//! Criterion benches for the full distributed engine (E9/E10 companions):
+//! end-to-end simulation cost vs site count and vs heartbeat rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decs_chronos::{Granularity, Nanos};
+use decs_distrib::{Engine, EngineConfig};
+use decs_simnet::ScenarioBuilder;
+use decs_snoop::{Context, EventExpr as E};
+use decs_workloads::{ArrivalModel, WorkloadSpec};
+
+fn run_engine(sites: u32, heartbeat_ms: u64, trace: &[decs_workloads::Injection]) -> usize {
+    let scenario = ScenarioBuilder::new(sites, 2024)
+        .max_offset_ns(1_000_000)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .build()
+        .unwrap();
+    let mut engine = Engine::new(
+        &scenario,
+        EngineConfig {
+            heartbeat_interval: Nanos::from_millis(heartbeat_ms),
+            ..EngineConfig::default()
+        },
+        &["A", "B"],
+        &[(
+            "X",
+            E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        )],
+    )
+    .unwrap();
+    let names = ["A", "B"];
+    for inj in trace {
+        engine
+            .inject(inj.at, inj.site, names[inj.event], inj.values.clone())
+            .unwrap();
+    }
+    engine.run_for(Nanos::from_secs(2)).len()
+}
+
+fn workload(sites: u32) -> Vec<decs_workloads::Injection> {
+    WorkloadSpec {
+        sites,
+        duration: Nanos::from_millis(500),
+        arrivals: ArrivalModel::Poisson {
+            mean_ns: 2_000_000 * u64::from(sites),
+        },
+        event_types: 2,
+        seed: 5,
+    }
+    .generate()
+}
+
+fn bench_sites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_vs_sites");
+    g.sample_size(10);
+    for sites in [2u32, 4, 8] {
+        let trace = workload(sites);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(sites), &trace, |b, trace| {
+            b.iter(|| black_box(run_engine(sites, 20, trace)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_heartbeat(c: &mut Criterion) {
+    let trace = workload(4);
+    let mut g = c.benchmark_group("engine_vs_heartbeat");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for hb in [5u64, 20, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(hb), &hb, |b, &hb| {
+            b.iter(|| black_box(run_engine(4, hb, &trace)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sites, bench_heartbeat);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion benches for operator detection throughput (E8): every Snoop
+//! operator × parameter context, centralized time domain, plus the
+//! centralized-vs-distributed feed cost on identical single-site traces.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decs_core::{cts, CompositeTimestamp};
+use decs_snoop::{CentralTime, Context, Detector, EventExpr as E};
+
+const TRACE_LEN: u64 = 512;
+
+fn operator_exprs() -> Vec<(&'static str, E)> {
+    vec![
+        ("and", E::and(E::prim("A"), E::prim("B"))),
+        ("or", E::or(E::prim("A"), E::prim("B"))),
+        ("seq", E::seq(E::prim("A"), E::prim("B"))),
+        (
+            "not",
+            E::not(E::prim("C"), E::prim("A"), E::prim("B")),
+        ),
+        (
+            "aperiodic",
+            E::aperiodic(E::prim("A"), E::prim("C"), E::prim("B")),
+        ),
+        (
+            "aperiodic_star",
+            E::aperiodic_star(E::prim("A"), E::prim("C"), E::prim("B")),
+        ),
+        (
+            "any2of3",
+            E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")]),
+        ),
+    ]
+}
+
+/// Round-robin A, C, B trace — exercises initiator/mid/terminator paths.
+fn trace() -> Vec<(&'static str, u64)> {
+    (0..TRACE_LEN)
+        .map(|i| {
+            let name = match i % 3 {
+                0 => "A",
+                1 => "C",
+                _ => "B",
+            };
+            (name, i + 1)
+        })
+        .collect()
+}
+
+fn bench_operators_centralized(c: &mut Criterion) {
+    let tr = trace();
+    let mut g = c.benchmark_group("central_ops");
+    g.throughput(Throughput::Elements(TRACE_LEN));
+    for (name, expr) in operator_exprs() {
+        // Chronicle keeps buffers bounded, so the bench measures steady
+        // state rather than unbounded buffer growth.
+        g.bench_with_input(BenchmarkId::new(name, "chronicle"), &expr, |b, expr| {
+            b.iter(|| {
+                let mut d: Detector<CentralTime> = Detector::new();
+                for n in ["A", "B", "C"] {
+                    d.register(n).unwrap();
+                }
+                d.define("X", expr, Context::Chronicle).unwrap();
+                let mut count = 0usize;
+                for &(n, t) in &tr {
+                    count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_contexts(c: &mut Criterion) {
+    let tr = trace();
+    let expr = E::seq(E::prim("A"), E::prim("B"));
+    let mut g = c.benchmark_group("seq_by_context");
+    g.throughput(Throughput::Elements(TRACE_LEN));
+    for ctx in Context::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(ctx), &ctx, |b, &ctx| {
+            b.iter(|| {
+                let mut d: Detector<CentralTime> = Detector::new();
+                for n in ["A", "B", "C"] {
+                    d.register(n).unwrap();
+                }
+                d.define("X", &expr, ctx).unwrap();
+                let mut count = 0usize;
+                for &(n, t) in &tr {
+                    count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_central_vs_distributed_feed(c: &mut Criterion) {
+    let tr = trace();
+    let expr = E::seq(E::prim("A"), E::prim("B"));
+    let mut g = c.benchmark_group("time_domain_cost");
+    g.throughput(Throughput::Elements(TRACE_LEN));
+    g.bench_function("central_ticks", |b| {
+        b.iter(|| {
+            let mut d: Detector<CentralTime> = Detector::new();
+            for n in ["A", "B", "C"] {
+                d.register(n).unwrap();
+            }
+            d.define("X", &expr, Context::Chronicle).unwrap();
+            let mut count = 0usize;
+            for &(n, t) in &tr {
+                count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+            }
+            black_box(count)
+        })
+    });
+    g.bench_function("composite_singletons", |b| {
+        b.iter(|| {
+            let mut d: Detector<CompositeTimestamp> = Detector::new();
+            for n in ["A", "B", "C"] {
+                d.register(n).unwrap();
+            }
+            d.define("X", &expr, Context::Chronicle).unwrap();
+            let mut count = 0usize;
+            for &(n, t) in &tr {
+                let ts = cts(&[(1, t / 10, t)]);
+                count += d.feed_named(n, ts, vec![]).unwrap().detected.len();
+            }
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_operators_centralized,
+    bench_contexts,
+    bench_central_vs_distributed_feed
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the formal core: primitive relations, composite
+//! ordering vs set width, `max(ST)`, and the `Max`/join operators
+//! (supports E10's cost-vs-width series).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use decs_bench::{concurrent_composite, random_composite, random_primitive};
+use decs_core::{max_op, max_set};
+use decs_simnet::SplitMix64;
+
+fn bench_primitive_relations(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let pairs: Vec<_> = (0..1024)
+        .map(|_| {
+            (
+                random_primitive(&mut rng, 6, 500),
+                random_primitive(&mut rng, 6, 500),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("primitive");
+    g.bench_function("relation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &pairs[i & 1023];
+            i += 1;
+            black_box(x.relation(y))
+        })
+    });
+    g.bench_function("weak_leq", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &pairs[i & 1023];
+            i += 1;
+            black_box(x.weak_leq(y))
+        })
+    });
+    g.finish();
+}
+
+fn bench_composite_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composite_relation_vs_width");
+    for width in [1usize, 2, 4, 8, 16] {
+        let a = concurrent_composite(1, 100, width);
+        let b = concurrent_composite(100, 101, width);
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |bch, _| {
+            bch.iter(|| black_box(a.relation(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_op_vs_width");
+    for width in [1usize, 2, 4, 8, 16] {
+        let a = concurrent_composite(1, 100, width);
+        let b = concurrent_composite(100, 100, width);
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |bch, _| {
+            bch.iter(|| black_box(max_op(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_set(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(2);
+    let mut g = c.benchmark_group("max_set");
+    for n in [4usize, 16, 64] {
+        let st: Vec<_> = (0..n).map(|_| random_primitive(&mut rng, 6, 500)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &st, |bch, st| {
+            bch.iter(|| black_box(max_set(st)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    c.bench_function("composite_from_primitives_w4", |b| {
+        b.iter(|| black_box(random_composite(&mut rng, 6, 500, 4)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_primitive_relations,
+    bench_composite_ordering,
+    bench_max_op,
+    bench_max_set,
+    bench_construction
+);
+criterion_main!(benches);

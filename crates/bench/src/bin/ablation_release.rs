@@ -1,0 +1,123 @@
+//! E11 (ablation) — what the watermark stability rule buys.
+//!
+//! DESIGN.md calls out the release policy as the engine's key design
+//! choice. This ablation runs the *same* workload through the engine under
+//! the `Stable` policy (watermark-gated, canonical order) and the
+//! `Immediate` policy (feed on arrival), across a sweep of link jitter
+//! settings, and measures:
+//!
+//! * detection-set divergence between network conditions (Stable must be
+//!   0 by construction; Immediate drifts with timing);
+//! * detections lost/ghosted by arrival-order processing relative to the
+//!   stable reference;
+//! * the latency advantage Immediate buys — the price/benefit trade.
+//!
+//! Run: `cargo run -p decs-bench --release --bin ablation_release`
+
+use decs_bench::print_table;
+use decs_chronos::{Granularity, Nanos};
+use decs_distrib::{Engine, EngineConfig, ReleasePolicy};
+use decs_simnet::{LinkConfig, ScenarioBuilder};
+use decs_snoop::{Context, EventExpr as E};
+use decs_workloads::{ArrivalModel, WorkloadSpec};
+
+fn detections(
+    policy: ReleasePolicy,
+    link: LinkConfig,
+    trace: &[decs_workloads::Injection],
+) -> (Vec<(String, String)>, f64) {
+    let scenario = ScenarioBuilder::new(4, 404)
+        .max_offset_ns(1_000_000)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .build()
+        .unwrap();
+    let mut e = Engine::new(
+        &scenario,
+        EngineConfig {
+            release_policy: policy,
+            ..EngineConfig::default()
+        },
+        &["A", "B"],
+        &[(
+            "X",
+            E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        )],
+    )
+    .unwrap();
+    for s in 0..4 {
+        e.set_link(s, link);
+    }
+    let names = ["A", "B"];
+    for inj in trace {
+        e.inject(inj.at, inj.site, names[inj.event], inj.values.clone())
+            .unwrap();
+    }
+    let det = e.run_for(Nanos::from_secs(8));
+    let lat = e.metrics().mean_stability_latency_ns() as f64 / 1e6;
+    (
+        det.into_iter()
+            .map(|d| (d.name, d.occ.time.to_string()))
+            .collect(),
+        lat,
+    )
+}
+
+fn main() {
+    println!("E11 — ablation: watermark stability vs immediate release\n");
+    let trace = WorkloadSpec {
+        sites: 4,
+        duration: Nanos::from_secs(3),
+        arrivals: ArrivalModel::Poisson { mean_ns: 60_000_000 },
+        event_types: 2,
+        seed: 17,
+    }
+    .generate();
+    println!("workload: {} events over 3 s on 4 sites (g_g = 100 ms)\n", trace.len());
+
+    let links = [
+        ("calm (0.1ms ±0)", LinkConfig { base_latency_ns: 100_000, jitter_ns: 0, fifo: true }),
+        ("LAN (0.5ms ±0.2)", LinkConfig::lan()),
+        ("WAN (40ms ±10)", LinkConfig::wan()),
+        ("hostile (50ms ±49)", LinkConfig { base_latency_ns: 50_000_000, jitter_ns: 49_000_000, fifo: false }),
+    ];
+
+    // Reference: stable policy under the calm network.
+    let (reference, _) = detections(ReleasePolicy::Stable, links[0].1, &trace);
+
+    let mut rows = Vec::new();
+    for (label, link) in links {
+        let (stable, stable_lat) = detections(ReleasePolicy::Stable, link, &trace);
+        let (immediate, _) = detections(ReleasePolicy::Immediate, link, &trace);
+        let stable_div = if stable == reference { "0" } else { "≠" };
+        let missing = reference.iter().filter(|d| !immediate.contains(d)).count();
+        let ghosts = immediate.iter().filter(|d| !reference.contains(d)).count();
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", stable.len()),
+            stable_div.to_string(),
+            format!("{:.1}", stable_lat),
+            format!("{}", immediate.len()),
+            format!("{missing}"),
+            format!("{ghosts}"),
+        ]);
+    }
+    print_table(
+        &[
+            "network",
+            "stable det",
+            "stable divergence",
+            "stable lat(ms)",
+            "immediate det",
+            "missing",
+            "ghosts",
+        ],
+        &[20, 11, 18, 15, 14, 8, 7],
+        &rows,
+    );
+    println!("\nreading: 'missing' = reference detections the immediate policy loses");
+    println!("(terminator processed before its initiator arrived); 'ghosts' =");
+    println!("pairings that differ from the canonical ones. The stable policy is");
+    println!("identical across all four networks — that invariance is what the");
+    println!("watermark machinery buys, at the cost of its latency column.");
+}

@@ -1,0 +1,83 @@
+//! E12 (reference artifact) — the operator × parameter-context detection
+//! matrix, printed from live detectors.
+//!
+//! One canonical trace per operator; each cell is the number of
+//! detections under that context. The same numbers are pinned by
+//! `crates/snoop/tests/operator_matrix.rs`; this binary regenerates the
+//! table for documentation.
+//!
+//! Run: `cargo run -p decs-bench --bin context_matrix`
+
+use decs_bench::print_table;
+use decs_snoop::{CentralDetector, Context, EventExpr as E};
+
+type Case = (&'static str, E, &'static [(&'static str, u64)]);
+
+fn run(expr: &E, ctx: Context, trace: &[(&str, u64)]) -> usize {
+    let mut d = CentralDetector::new();
+    for n in ["A", "B", "C"] {
+        d.register(n).unwrap();
+    }
+    d.define("X", expr, ctx).unwrap();
+    let mut count = 0;
+    for &(n, t) in trace {
+        count += d.feed_bare(n, t).unwrap().len();
+    }
+    // Drain any outstanding timers within a bounded horizon.
+    count += d.advance_to(10_000).unwrap().len();
+    count
+}
+
+fn main() {
+    println!("E12 — operator × context detection counts\n");
+
+    const AABB: &[(&str, u64)] = &[("A", 1), ("A", 2), ("B", 3), ("B", 4)];
+    const WINDOW: &[(&str, u64)] = &[("A", 1), ("C", 2), ("C", 3), ("B", 5)];
+    const ANYT: &[(&str, u64)] = &[("A", 1), ("B", 2), ("C", 3)];
+
+    let cases: Vec<Case> = vec![
+        ("A ∧ B on AABB", E::and(E::prim("A"), E::prim("B")), AABB),
+        ("A ∨ B on AABB", E::or(E::prim("A"), E::prim("B")), AABB),
+        ("A ; B on AABB", E::seq(E::prim("A"), E::prim("B")), AABB),
+        (
+            "¬(C)[A,B] on ACCB",
+            E::not(E::prim("C"), E::prim("A"), E::prim("B")),
+            WINDOW,
+        ),
+        (
+            "A(A,C,B) on ACCB",
+            E::aperiodic(E::prim("A"), E::prim("C"), E::prim("B")),
+            WINDOW,
+        ),
+        (
+            "A*(A,C,B) on ACCB",
+            E::aperiodic_star(E::prim("A"), E::prim("C"), E::prim("B")),
+            WINDOW,
+        ),
+        (
+            "ANY(2;A,B,C) on ABC",
+            E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")]),
+            ANYT,
+        ),
+        ("A + 10 on AABB", E::plus(E::prim("A"), 10), AABB),
+        (
+            "P(A,[7],B) on A..B",
+            E::periodic(E::prim("A"), 7, E::prim("B")),
+            &[("A", 10), ("B", 41)],
+        ),
+    ];
+
+    let header = ["operator / trace", "unrestr", "recent", "chron", "contin", "cumul"];
+    let widths = [22, 8, 7, 6, 7, 6];
+    let mut rows = Vec::new();
+    for (label, expr, trace) in &cases {
+        let mut cells = vec![(*label).to_string()];
+        for ctx in Context::ALL {
+            cells.push(run(expr, ctx, trace).to_string());
+        }
+        rows.push(cells);
+    }
+    print_table(&header, &widths, &rows);
+    println!("\ntraces: AABB = A@1 A@2 B@3 B@4; ACCB = A@1 C@2 C@3 B@5; ABC = A@1 B@2 C@3.");
+    println!("These cells are pinned by crates/snoop/tests/operator_matrix.rs.");
+}

@@ -1,0 +1,56 @@
+//! E3 — Section 5.1's restrictiveness examples, evaluated under every
+//! candidate ordering.
+//!
+//! Run: `cargo run -p decs-bench --bin ex_orderings`
+
+use decs_bench::print_table;
+use decs_core::alt::Candidate;
+use decs_core::{pts, RawTimestampSet};
+
+fn raw(t: &[(u32, u64, u64)]) -> RawTimestampSet {
+    RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)))
+}
+
+fn main() {
+    println!("E3 / Section 5.1 — candidate orderings on the paper's examples\n");
+
+    let cases: Vec<(&str, RawTimestampSet, RawTimestampSet)> = vec![
+        (
+            "ex.1: {(s1,8,80),(s2,7,70)} vs {(s3,9,90)}",
+            raw(&[(1, 8, 80), (2, 7, 70)]),
+            raw(&[(3, 9, 90)]),
+        ),
+        (
+            "ex.2: {(s1,8,80),(s2,7,70)} vs {(s1,8,81),(s2,7,71)}",
+            raw(&[(1, 8, 80), (2, 7, 70)]),
+            raw(&[(1, 8, 81), (2, 7, 71)]),
+        ),
+        (
+            "∀∀ case: {(s1,1,10),(s2,1,11)} vs {(s3,5,50),(s4,6,60)}",
+            raw(&[(1, 1, 10), (2, 1, 11)]),
+            raw(&[(3, 5, 50), (4, 6, 60)]),
+        ),
+    ];
+
+    let header: Vec<&str> = std::iter::once("pair")
+        .chain(Candidate::ALL.iter().map(|c| c.name()))
+        .collect();
+    let widths = vec![55, 14, 14, 14, 14, 14, 16];
+    let mut rows = Vec::new();
+    for (label, a, b) in &cases {
+        let mut cells = vec![(*label).to_string()];
+        for cand in Candidate::ALL {
+            cells.push(if cand.eval(a, b) { "yes" } else { "no" }.to_string());
+        }
+        rows.push(cells);
+    }
+    print_table(&header, &widths, &rows);
+
+    println!("\nPaper's claims, checked:");
+    println!("  ex.1 satisfies <_p but not <_p2 (∀∀)  — too restricted");
+    println!("  ex.2 satisfies <_p but not <_p3 (min) — too restricted");
+    assert!(Candidate::ForallExistsBack.eval(&cases[0].1, &cases[0].2));
+    assert!(!Candidate::ForallForall.eval(&cases[0].1, &cases[0].2));
+    assert!(Candidate::ForallExistsBack.eval(&cases[1].1, &cases[1].2));
+    assert!(!Candidate::MinAnchored.eval(&cases[1].1, &cases[1].2));
+}

@@ -1,0 +1,78 @@
+//! E2 — Figure 2: the region grid around a composite timestamp.
+//!
+//! Regenerates the paper's 2-D picture for
+//! `T(e) = {(Site3, 8, 81), (Site6, 7, 72)}`: the four lines at global
+//! ticks 5, 7, 8, 9 and the classification of probes across the grid
+//! (sites on the Y axis, global time on the X axis), rendered in ASCII.
+//!
+//! Run: `cargo run -p decs-bench --bin fig2_regions`
+
+use decs_core::{classify_region, cts, Region, RegionMap};
+
+fn glyph(r: Region) -> char {
+    match r {
+        Region::Before => '<',
+        Region::WeakBefore => 'w',
+        Region::Concurrent => '~',
+        Region::WeakAfter => 'W',
+        Region::After => '>',
+        Region::Crossing => 'x',
+    }
+}
+
+fn main() {
+    let reference = cts(&[(3, 8, 81), (6, 7, 72)]);
+    let map = RegionMap::new(reference.clone());
+    println!("E2 / Figure 2 — regions around T(e) = {reference}\n");
+    println!(
+        "Line1 = {:?}  Line2 = {}  Line3 = {}  Line4 = {}",
+        map.line1, map.line2, map.line3, map.line4
+    );
+    println!("  T(e1) <  T(e)  ⇔  at/before Line1");
+    println!("  T(e1) ~  T(e)  ⇔  between Line2 and Line3");
+    println!("  T(e)  <  T(e1) ⇔  at/after Line4");
+    println!("  T(e1) ⪯̃ T(e)  ⇔  at/before Line3");
+    println!("  T(e)  ⪯̃ T(e1) ⇔  at/after Line2\n");
+
+    // The grid: probe singletons at each (site, global) cell.
+    println!("        global →  0  1  2  3  4  5  6  7  8  9 10 11 12");
+    for site in 1..=8u32 {
+        let mut line = format!("  site {site}        ");
+        for g in 0..=12u64 {
+            let probe = cts(&[(site, g, g * 10 + 5)]);
+            let r = classify_region(&reference, &probe);
+            line.push_str(&format!(" {} ", glyph(r)));
+        }
+        let marker = match site {
+            3 => "   ← member (s3, 8, 81)",
+            6 => "   ← member (s6, 7, 72)",
+            _ => "",
+        };
+        println!("{line}{marker}");
+    }
+    println!("\n  legend: '<' before   'w' weak-before-only   '~' concurrent");
+    println!("          '>' after    'W' weak-after-only    'x' crossing\n");
+
+    // Cross-check: the line-based classifier agrees with the exact one on
+    // fresh sites.
+    let mut disagreements = 0;
+    for g in 0..=12u64 {
+        let probe = cts(&[(9, g, g * 10)]);
+        if map.classify_global(g) != classify_region(&reference, &probe) {
+            disagreements += 1;
+        }
+    }
+    println!("line-classifier vs exact relations on fresh sites: {disagreements} disagreements");
+    assert_eq!(disagreements, 0);
+
+    // The weak band (between Line1 and Line2) is where Theorem 5.3's
+    // converse fails — show the witness.
+    let witness = cts(&[(9, 6, 60)]);
+    println!(
+        "\nweak-band witness {witness}: ⪯̃ T(e) = {}, < T(e) = {}, ~ T(e) = {}",
+        witness.weak_leq(&reference),
+        witness.happens_before(&reference),
+        witness.concurrent(&reference),
+    );
+    println!("  → ⪯̃ holds without < or ~ (see DESIGN.md, Theorem 5.3 finding).");
+}

@@ -1,0 +1,192 @@
+//! Gregorian calendar support.
+//!
+//! Definition 4.3 of the paper expresses global time "according to the
+//! standard (Gregorian) calendar with respect to some time zone (e.g. UTC)".
+//! This module converts reference nanoseconds (since the Unix epoch,
+//! 1970-01-01T00:00:00Z) to and from broken-down UTC civil time, using the
+//! days-from-civil / civil-from-days algorithms (Howard Hinnant), which are
+//! exact over the full `u64` nanosecond range we use.
+
+use crate::tick::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A broken-down UTC date and time (no leap seconds, proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilTime {
+    /// Year (e.g. 1999).
+    pub year: i64,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+    /// Second, 0–59.
+    pub second: u8,
+    /// Nanoseconds within the second, 0–999,999,999.
+    pub nanos: u32,
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+pub fn days_from_civil(year: i64, month: u8, day: u8) -> i64 {
+    debug_assert!((1..=12).contains(&month));
+    debug_assert!((1..=31).contains(&day));
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((month + 9) % 12); // March=0 … February=11
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (proleptic Gregorian).
+pub fn civil_from_days(z: i64) -> (i64, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let month = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+    (if month <= 2 { y + 1 } else { y }, month, day)
+}
+
+impl CivilTime {
+    /// Break reference nanoseconds since the Unix epoch into civil UTC time.
+    pub fn from_nanos(t: Nanos) -> CivilTime {
+        let total_secs = (t.get() / 1_000_000_000) as i64;
+        let nanos = (t.get() % 1_000_000_000) as u32;
+        let days = total_secs.div_euclid(86_400);
+        let secs_of_day = total_secs.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        CivilTime {
+            year,
+            month,
+            day,
+            hour: (secs_of_day / 3600) as u8,
+            minute: (secs_of_day % 3600 / 60) as u8,
+            second: (secs_of_day % 60) as u8,
+            nanos,
+        }
+    }
+
+    /// Reference nanoseconds since the Unix epoch for this civil time.
+    /// Returns `None` for pre-epoch times (the model starts at the epoch).
+    pub fn to_nanos(&self) -> Option<Nanos> {
+        let days = days_from_civil(self.year, self.month, self.day);
+        let secs = days
+            .checked_mul(86_400)?
+            .checked_add(i64::from(self.hour) * 3600)?
+            .checked_add(i64::from(self.minute) * 60)?
+            .checked_add(i64::from(self.second))?;
+        if secs < 0 {
+            return None;
+        }
+        let n = (secs as u64).checked_mul(1_000_000_000)?;
+        n.checked_add(u64::from(self.nanos)).map(Nanos)
+    }
+}
+
+impl fmt::Display for CivilTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}.{:09}Z",
+            self.year, self.month, self.day, self.hour, self.minute, self.second, self.nanos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let c = CivilTime::from_nanos(Nanos::ZERO);
+        assert_eq!((c.year, c.month, c.day), (1970, 1, 1));
+        assert_eq!((c.hour, c.minute, c.second, c.nanos), (0, 0, 0, 0));
+        assert_eq!(c.to_string(), "1970-01-01T00:00:00.000000000Z");
+    }
+
+    #[test]
+    fn known_date_icde_1999() {
+        // 1999-03-23 00:00:00 UTC == 922147200 seconds since epoch.
+        let c = CivilTime {
+            year: 1999,
+            month: 3,
+            day: 23,
+            hour: 0,
+            minute: 0,
+            second: 0,
+            nanos: 0,
+        };
+        assert_eq!(c.to_nanos().unwrap(), Nanos::from_secs(922_147_200));
+        let back = CivilTime::from_nanos(Nanos::from_secs(922_147_200));
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000 is a leap year (divisible by 400); 1900 is not.
+        assert_eq!(
+            days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 28),
+            2
+        );
+        assert_eq!(
+            days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28),
+            1
+        );
+        assert_eq!(
+            days_from_civil(2024, 3, 1) - days_from_civil(2024, 2, 28),
+            2
+        );
+    }
+
+    #[test]
+    fn round_trip_many_days() {
+        for z in (-200_000..200_000).step_by(373) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "day {z} ({y}-{m}-{d})");
+            assert!((1..=12).contains(&m));
+            assert!((1..=31).contains(&d));
+        }
+    }
+
+    #[test]
+    fn round_trip_nanos() {
+        for secs in [0u64, 1, 59, 86_399, 86_400, 1_234_567_890] {
+            for ns in [0u64, 1, 999_999_999] {
+                let t = Nanos(secs * 1_000_000_000 + ns);
+                let c = CivilTime::from_nanos(t);
+                assert_eq!(c.to_nanos().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_epoch_to_nanos_is_none() {
+        let c = CivilTime {
+            year: 1969,
+            month: 12,
+            day: 31,
+            hour: 23,
+            minute: 59,
+            second: 59,
+            nanos: 0,
+        };
+        assert!(c.to_nanos().is_none());
+    }
+
+    #[test]
+    fn display_is_rfc3339_like() {
+        let c = CivilTime::from_nanos(Nanos::from_secs(922_147_200) + 500);
+        assert_eq!(c.to_string(), "1999-03-23T00:00:00.000000500Z");
+    }
+}

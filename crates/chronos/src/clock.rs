@@ -1,0 +1,222 @@
+//! Reference and local physical clocks.
+//!
+//! The model of Section 4.1: there is a unique reference clock `z` in
+//! perfect agreement with the standard of time, and each site owns one local
+//! physical clock that runs at its own (slightly wrong) rate and offset.
+//! Both clocks are *pure functions of true time* — the caller supplies the
+//! reference instant ([`Nanos`]) and gets the clock's reading back. This is
+//! what makes simulations and property tests deterministic.
+
+use crate::error::{ChronosError, Result};
+use crate::gran::Granularity;
+use crate::tick::{LocalTicks, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// The unique reference clock `z` with granularity `g_z`.
+///
+/// It reads true time exactly, only quantized to its granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReferenceClock {
+    granularity: Granularity,
+}
+
+impl ReferenceClock {
+    /// Create a reference clock with the given granularity `g_z`.
+    pub fn new(granularity: Granularity) -> Self {
+        ReferenceClock { granularity }
+    }
+
+    /// The reference granularity `g_z`.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Reading (in reference ticks) at true time `t`.
+    pub fn read(&self, t: Nanos) -> u64 {
+        self.granularity.ticks_in(t)
+    }
+}
+
+/// One site's local physical clock.
+///
+/// The local clock's *indication* at true time `t` is
+///
+/// ```text
+/// local_ns(t) = t + t * drift_ppb / 1e9 + offset_ns
+/// ```
+///
+/// truncated to the clock's granularity to yield [`LocalTicks`]. A positive
+/// `drift_ppb` means the clock runs fast; `offset_ns` is the phase error at
+/// the reference epoch. Synchronization (see [`crate::sync`]) adjusts
+/// `offset_ns` over time so that the ensemble precision `Π` stays bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalClock {
+    granularity: Granularity,
+    /// Rate error in parts per billion (positive = fast).
+    drift_ppb: i64,
+    /// Phase error in nanoseconds at the reference epoch.
+    offset_ns: i64,
+}
+
+impl LocalClock {
+    /// A perfect clock of the given granularity (zero drift and offset).
+    pub fn perfect(granularity: Granularity) -> Self {
+        LocalClock {
+            granularity,
+            drift_ppb: 0,
+            offset_ns: 0,
+        }
+    }
+
+    /// A clock with the given granularity, rate error, and phase error.
+    pub fn with_error(granularity: Granularity, drift_ppb: i64, offset_ns: i64) -> Self {
+        LocalClock {
+            granularity,
+            drift_ppb,
+            offset_ns,
+        }
+    }
+
+    /// Local granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Rate error in parts per billion.
+    pub fn drift_ppb(&self) -> i64 {
+        self.drift_ppb
+    }
+
+    /// Current phase error in nanoseconds at the reference epoch.
+    pub fn offset_ns(&self) -> i64 {
+        self.offset_ns
+    }
+
+    /// The clock's nanosecond indication at true time `t`
+    /// (before quantization to ticks). Negative indications are pre-epoch.
+    pub fn indication_ns(&self, t: Nanos) -> i128 {
+        let t = t.get() as i128;
+        t + t * self.drift_ppb as i128 / 1_000_000_000 + self.offset_ns as i128
+    }
+
+    /// Read the local clock at true time `t`, in local ticks.
+    ///
+    /// Errors with [`ChronosError::BeforeEpoch`] if the indication is
+    /// negative (the clock has not started yet at this true time).
+    pub fn read(&self, t: Nanos) -> Result<LocalTicks> {
+        let ind = self.indication_ns(t);
+        if ind < 0 {
+            return Err(ChronosError::BeforeEpoch);
+        }
+        let ind = u64::try_from(ind).map_err(|_| ChronosError::Overflow)?;
+        Ok(LocalTicks(self.granularity.ticks_in(Nanos(ind))))
+    }
+
+    /// Deviation of the clock's indication from true time, in nanoseconds,
+    /// at true time `t` (as observed by the reference clock).
+    pub fn deviation_ns(&self, t: Nanos) -> i128 {
+        self.indication_ns(t) - t.get() as i128
+    }
+
+    /// Apply a phase correction of `delta_ns` (positive moves the clock
+    /// forward). Used by the synchronization algorithm.
+    pub fn correct(&mut self, delta_ns: i64) {
+        self.offset_ns = self.offset_ns.saturating_add(delta_ns);
+    }
+
+    /// Resynchronize at true time `t`: reset the accumulated error so that
+    /// the indication at `t` equals true time plus `residual_ns`. Models a
+    /// synchronization round that cannot do better than the residual.
+    pub fn resync_at(&mut self, t: Nanos, residual_ns: i64) {
+        let dev = self.deviation_ns(t);
+        let dev = i64::try_from(dev).unwrap_or(i64::MAX);
+        self.correct(residual_ns.saturating_sub(dev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g100() -> Granularity {
+        Granularity::per_second(100).unwrap() // 1/100 s, the paper's local g
+    }
+
+    #[test]
+    fn reference_clock_quantizes() {
+        let z = ReferenceClock::new(Granularity::per_second(1000).unwrap());
+        assert_eq!(z.read(Nanos::from_millis(1)), 1);
+        assert_eq!(z.read(Nanos::from_millis(1) - 1), 0);
+        assert_eq!(z.read(Nanos::from_secs(1)), 1000);
+    }
+
+    #[test]
+    fn perfect_clock_tracks_true_time() {
+        let c = LocalClock::perfect(g100());
+        assert_eq!(c.read(Nanos::from_secs(1)).unwrap(), LocalTicks(100));
+        assert_eq!(c.deviation_ns(Nanos::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn fast_clock_gains() {
+        // +1000 ppb = +1 µs per second.
+        let c = LocalClock::with_error(g100(), 1000, 0);
+        assert_eq!(c.deviation_ns(Nanos::from_secs(1)), 1_000);
+        assert_eq!(c.deviation_ns(Nanos::from_secs(1000)), 1_000_000);
+    }
+
+    #[test]
+    fn slow_clock_loses() {
+        let c = LocalClock::with_error(g100(), -500, 0);
+        assert_eq!(c.deviation_ns(Nanos::from_secs(2)), -1_000);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        // 25 ms ahead: at t = 0 the indication is 25 ms = 2.5 ticks -> 2.
+        let c = LocalClock::with_error(g100(), 0, 25_000_000);
+        assert_eq!(c.read(Nanos::ZERO).unwrap(), LocalTicks(2));
+    }
+
+    #[test]
+    fn negative_indication_is_before_epoch() {
+        let c = LocalClock::with_error(g100(), 0, -1_000_000);
+        assert_eq!(c.read(Nanos::ZERO).unwrap_err(), ChronosError::BeforeEpoch);
+        assert!(c.read(Nanos::from_millis(2)).is_ok());
+    }
+
+    #[test]
+    fn correct_moves_offset() {
+        let mut c = LocalClock::with_error(g100(), 0, 10);
+        c.correct(-4);
+        assert_eq!(c.offset_ns(), 6);
+    }
+
+    #[test]
+    fn resync_zeroes_deviation() {
+        let mut c = LocalClock::with_error(g100(), 2_000, 5_000_000);
+        let t = Nanos::from_secs(100);
+        assert_ne!(c.deviation_ns(t), 0);
+        c.resync_at(t, 0);
+        assert_eq!(c.deviation_ns(t), 0);
+        // Drift keeps accumulating after the resync point.
+        assert_eq!(c.deviation_ns(Nanos::from_secs(101)), 2_000);
+    }
+
+    #[test]
+    fn resync_with_residual() {
+        let mut c = LocalClock::with_error(g100(), 0, 7_777);
+        let t = Nanos::from_secs(1);
+        c.resync_at(t, 42);
+        assert_eq!(c.deviation_ns(t), 42);
+    }
+
+    #[test]
+    fn paper_example_reading() {
+        // The worked example's readings are around 91548276 local ticks of a
+        // 1/100 s clock, i.e. ~915,482.76 s of clock time.
+        let c = LocalClock::perfect(g100());
+        let t = Nanos(915_482_765_000_000); // 915482.765 s
+        assert_eq!(c.read(t).unwrap(), LocalTicks(91_548_276));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the time substrate.
+
+use std::fmt;
+
+/// Errors produced by clock and global-time-base construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChronosError {
+    /// A granularity of zero nanoseconds per tick was requested.
+    ZeroGranularity,
+    /// The chosen global granularity does not dominate the ensemble
+    /// precision: the paper requires `g_g > Π` so that two simultaneous
+    /// events receive global time stamps at most one global tick apart.
+    GranularityNotAbovePrecision {
+        /// Nanoseconds per global tick that was requested.
+        gg_nanos: u64,
+        /// Ensemble precision in nanoseconds.
+        precision_nanos: u64,
+    },
+    /// The global granularity must be a multiple of (or at least no finer
+    /// than) the local clock granularity it truncates.
+    GlobalFinerThanLocal {
+        /// Nanoseconds per global tick.
+        gg_nanos: u64,
+        /// Nanoseconds per local tick.
+        local_nanos: u64,
+    },
+    /// A clock was asked for a reading before its epoch.
+    BeforeEpoch,
+    /// Arithmetic overflow while converting between time units.
+    Overflow,
+}
+
+impl fmt::Display for ChronosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChronosError::ZeroGranularity => {
+                write!(f, "granularity must be at least one nanosecond per tick")
+            }
+            ChronosError::GranularityNotAbovePrecision {
+                gg_nanos,
+                precision_nanos,
+            } => write!(
+                f,
+                "global granularity ({gg_nanos} ns) must strictly exceed the \
+                 clock-ensemble precision Π ({precision_nanos} ns)"
+            ),
+            ChronosError::GlobalFinerThanLocal {
+                gg_nanos,
+                local_nanos,
+            } => write!(
+                f,
+                "global granularity ({gg_nanos} ns) must not be finer than the \
+                 local clock granularity ({local_nanos} ns)"
+            ),
+            ChronosError::BeforeEpoch => write!(f, "reading requested before the clock epoch"),
+            ChronosError::Overflow => write!(f, "time-unit conversion overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for ChronosError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ChronosError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChronosError::GranularityNotAbovePrecision {
+            gg_nanos: 10,
+            precision_nanos: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10 ns"));
+        assert!(s.contains("20 ns"));
+        assert!(s.contains('Π'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ChronosError::ZeroGranularity, ChronosError::ZeroGranularity);
+        assert_ne!(ChronosError::ZeroGranularity, ChronosError::Overflow);
+    }
+}

@@ -1,0 +1,217 @@
+//! The approximated global time base (Definition 4.3).
+//!
+//! Given a global granularity `g_g > Π`, the **global time** of a local
+//! clock tick is the local reading expressed on the calendar time line and
+//! truncated to `g_g`:
+//!
+//! ```text
+//! g_k(l_k) = TRUNC_gg( clock_k(l_k) )
+//! ```
+//!
+//! The paper allows `TRUNC` to be floor, ceiling, or round "as long as it is
+//! consistent throughout the system", and fixes integer division (floor) as
+//! its default; so do we.
+
+use crate::error::{ChronosError, Result};
+use crate::gran::Granularity;
+use crate::sync::Precision;
+use crate::tick::{GlobalTicks, LocalTicks, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// The truncation function used to coarsen local readings to global ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TruncMode {
+    /// Integer division (the paper's default).
+    #[default]
+    Floor,
+    /// Round to nearest global tick, half away from zero.
+    Round,
+    /// Round up to the next global tick.
+    Ceil,
+}
+
+impl TruncMode {
+    /// Apply the truncation: `value / unit` under this mode.
+    pub fn apply(self, value: u64, unit: u64) -> u64 {
+        debug_assert!(unit > 0);
+        match self {
+            TruncMode::Floor => value / unit,
+            TruncMode::Round => (value + unit / 2) / unit,
+            TruncMode::Ceil => value.div_ceil(unit),
+        }
+    }
+}
+
+/// A system-wide global time base: the chosen global granularity `g_g`, the
+/// truncation mode, and the precision `Π` it must dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalTimeBase {
+    gg: Granularity,
+    trunc: TruncMode,
+    precision: Precision,
+}
+
+impl GlobalTimeBase {
+    /// Create a global time base, checking the paper's `g_g > Π` condition.
+    pub fn new(gg: Granularity, trunc: TruncMode, precision: Precision) -> Result<Self> {
+        if gg.nanos_per_tick() <= precision.nanos() {
+            return Err(ChronosError::GranularityNotAbovePrecision {
+                gg_nanos: gg.nanos_per_tick(),
+                precision_nanos: precision.nanos(),
+            });
+        }
+        Ok(GlobalTimeBase {
+            gg,
+            trunc,
+            precision,
+        })
+    }
+
+    /// Create with the paper's minimal choice `g_g = Π + ε` (ε = 1 ns),
+    /// floor truncation.
+    pub fn minimal_for(precision: Precision) -> Result<Self> {
+        let gg = Granularity::from_nanos(precision.nanos() + 1)?;
+        GlobalTimeBase::new(gg, TruncMode::Floor, precision)
+    }
+
+    /// The global granularity `g_g`.
+    pub fn gg(&self) -> Granularity {
+        self.gg
+    }
+
+    /// The truncation mode.
+    pub fn trunc(&self) -> TruncMode {
+        self.trunc
+    }
+
+    /// The precision `Π` this base was validated against.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Global time of a local reading `l` of a clock with local granularity
+    /// `g_local`: the local reading is first expressed in nanoseconds on the
+    /// calendar line, then truncated to `g_g`.
+    ///
+    /// Fails if `g_g` is finer than the local granularity (the paper selects
+    /// a *subset* of local microticks, so `g_g` must be at least as coarse).
+    pub fn global_of_local(&self, l: LocalTicks, g_local: Granularity) -> Result<GlobalTicks> {
+        if g_local.is_coarser_than(self.gg) {
+            return Err(ChronosError::GlobalFinerThanLocal {
+                gg_nanos: self.gg.nanos_per_tick(),
+                local_nanos: g_local.nanos_per_tick(),
+            });
+        }
+        let ns = g_local
+            .duration_of(l.get())
+            .ok_or(ChronosError::Overflow)?;
+        Ok(GlobalTicks(
+            self.trunc.apply(ns.get(), self.gg.nanos_per_tick()),
+        ))
+    }
+
+    /// Global time of a true-time instant (for reference-side reasoning and
+    /// for temporal events scheduled on the calendar line).
+    pub fn global_of_nanos(&self, t: Nanos) -> GlobalTicks {
+        GlobalTicks(self.trunc.apply(t.get(), self.gg.nanos_per_tick()))
+    }
+
+    /// The true-time span covered by one global tick.
+    pub fn tick_span(&self) -> Nanos {
+        Nanos(self.gg.nanos_per_tick())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GlobalTimeBase {
+        // Paper example: g_g = 1/10 s, Π < 1/10 s.
+        GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(99_999_999),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gg_must_exceed_precision() {
+        let err = GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(100_000_000),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ChronosError::GranularityNotAbovePrecision { .. }
+        ));
+    }
+
+    #[test]
+    fn minimal_base_is_pi_plus_epsilon() {
+        let b = GlobalTimeBase::minimal_for(Precision::from_nanos(1000)).unwrap();
+        assert_eq!(b.gg().nanos_per_tick(), 1001);
+    }
+
+    #[test]
+    fn paper_example_truncation() {
+        // Local reading 91548276 ticks of a 1/100 s clock must become global
+        // tick 9154827 at g_g = 1/10 s (ratio 10, integer division).
+        let b = base();
+        let g_local = Granularity::per_second(100).unwrap();
+        assert_eq!(
+            b.global_of_local(LocalTicks(91_548_276), g_local).unwrap(),
+            GlobalTicks(9_154_827)
+        );
+        assert_eq!(
+            b.global_of_local(LocalTicks(91_548_288), g_local).unwrap(),
+            GlobalTicks(9_154_828)
+        );
+    }
+
+    #[test]
+    fn trunc_modes_differ() {
+        assert_eq!(TruncMode::Floor.apply(95, 10), 9);
+        assert_eq!(TruncMode::Round.apply(95, 10), 10);
+        assert_eq!(TruncMode::Round.apply(94, 10), 9);
+        assert_eq!(TruncMode::Ceil.apply(91, 10), 10);
+        assert_eq!(TruncMode::Ceil.apply(90, 10), 9);
+    }
+
+    #[test]
+    fn local_coarser_than_global_rejected() {
+        let b = base();
+        let coarse = Granularity::per_second(1).unwrap(); // 1 s ticks > 0.1 s
+        assert!(matches!(
+            b.global_of_local(LocalTicks(5), coarse).unwrap_err(),
+            ChronosError::GlobalFinerThanLocal { .. }
+        ));
+    }
+
+    #[test]
+    fn global_of_nanos_truncates_true_time() {
+        let b = base();
+        assert_eq!(b.global_of_nanos(Nanos::from_millis(950)), GlobalTicks(9));
+        assert_eq!(b.global_of_nanos(Nanos::from_millis(1000)), GlobalTicks(10));
+        assert_eq!(b.tick_span(), Nanos::from_millis(100));
+    }
+
+    #[test]
+    fn simultaneous_events_within_one_tick() {
+        // The defining property of g_g > Π: two local readings of the same
+        // true instant on clocks disagreeing by at most Π receive global
+        // ticks at most 1 apart.
+        let b = base();
+        let g_local = Granularity::per_second(1000).unwrap();
+        // True instant maps to local readings that straddle a tick boundary
+        // by less than Π.
+        let fast = LocalTicks(10_000); // 10.000 s
+        let slow = LocalTicks(9_999); // 9.999 s (within Π = 0.1 s)
+        let gf = b.global_of_local(fast, g_local).unwrap();
+        let gs = b.global_of_local(slow, g_local).unwrap();
+        assert!(gf.abs_diff(gs) <= 1);
+    }
+}

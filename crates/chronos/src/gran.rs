@@ -1,0 +1,174 @@
+//! Clock granularities.
+//!
+//! A granularity is the duration of one tick of a clock, here stored as a
+//! whole number of nanoseconds per tick. The paper's running example uses
+//! local clocks with `g = 1/100 s`, a reference clock with `g_z = 1/1000 s`
+//! and a global granularity `g_g = 1/10 s`; all of these are exact in
+//! nanoseconds.
+
+use crate::error::{ChronosError, Result};
+use crate::tick::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Duration of one clock tick, in nanoseconds per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Granularity {
+    nanos_per_tick: u64,
+}
+
+impl Granularity {
+    /// One tick per nanosecond — the finest representable granularity.
+    pub const NANO: Granularity = Granularity { nanos_per_tick: 1 };
+
+    /// Construct from nanoseconds per tick. Fails on zero.
+    pub fn from_nanos(nanos_per_tick: u64) -> Result<Self> {
+        if nanos_per_tick == 0 {
+            return Err(ChronosError::ZeroGranularity);
+        }
+        Ok(Granularity { nanos_per_tick })
+    }
+
+    /// Construct a granularity of `1/denominator` seconds per tick, e.g.
+    /// `per_second(100)` is the paper's `1/100 s` local clock granularity.
+    pub fn per_second(ticks_per_second: u64) -> Result<Self> {
+        if ticks_per_second == 0 || ticks_per_second > 1_000_000_000 {
+            return Err(ChronosError::ZeroGranularity);
+        }
+        Ok(Granularity {
+            nanos_per_tick: 1_000_000_000 / ticks_per_second,
+        })
+    }
+
+    /// Construct from whole milliseconds per tick.
+    pub fn from_millis(ms_per_tick: u64) -> Result<Self> {
+        ms_per_tick
+            .checked_mul(1_000_000)
+            .ok_or(ChronosError::Overflow)
+            .and_then(Self::from_nanos)
+    }
+
+    /// Nanoseconds per tick.
+    #[inline]
+    pub const fn nanos_per_tick(self) -> u64 {
+        self.nanos_per_tick
+    }
+
+    /// Number of whole ticks of this granularity contained in `d`.
+    /// This is the `TRUNC`-as-integer-division of the paper.
+    #[inline]
+    pub fn ticks_in(self, d: Nanos) -> u64 {
+        d.get() / self.nanos_per_tick
+    }
+
+    /// The duration of `ticks` whole ticks.
+    #[inline]
+    pub fn duration_of(self, ticks: u64) -> Option<Nanos> {
+        ticks.checked_mul(self.nanos_per_tick).map(Nanos)
+    }
+
+    /// Whether this granularity is strictly coarser (longer ticks) than
+    /// `other`.
+    #[inline]
+    pub fn is_coarser_than(self, other: Granularity) -> bool {
+        self.nanos_per_tick > other.nanos_per_tick
+    }
+
+    /// Ratio of this granularity to a finer one, when it divides evenly.
+    ///
+    /// Used when re-truncating local ticks of granularity `fine` into global
+    /// ticks of this granularity: the paper's example has
+    /// `g_g / g_local = (1/10 s)/(1/100 s) = 10`.
+    pub fn ratio_to(self, fine: Granularity) -> Option<u64> {
+        if self.nanos_per_tick.is_multiple_of(fine.nanos_per_tick) {
+            Some(self.nanos_per_tick / fine.nanos_per_tick)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.nanos_per_tick;
+        if n.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s/tick", n / 1_000_000_000)
+        } else if 1_000_000_000 % n == 0 {
+            write!(f, "1/{}s/tick", 1_000_000_000 / n)
+        } else {
+            write!(f, "{n}ns/tick")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_matches_paper_example() {
+        // local g = 1/100 s, reference g_z = 1/1000 s, global g_g = 1/10 s.
+        let g_local = Granularity::per_second(100).unwrap();
+        let g_z = Granularity::per_second(1000).unwrap();
+        let g_g = Granularity::per_second(10).unwrap();
+        assert_eq!(g_local.nanos_per_tick(), 10_000_000);
+        assert_eq!(g_z.nanos_per_tick(), 1_000_000);
+        assert_eq!(g_g.nanos_per_tick(), 100_000_000);
+        assert!(g_g.is_coarser_than(g_local));
+        assert!(g_local.is_coarser_than(g_z));
+        assert_eq!(g_g.ratio_to(g_local), Some(10));
+    }
+
+    #[test]
+    fn zero_granularity_rejected() {
+        assert_eq!(
+            Granularity::from_nanos(0).unwrap_err(),
+            ChronosError::ZeroGranularity
+        );
+        assert_eq!(
+            Granularity::per_second(0).unwrap_err(),
+            ChronosError::ZeroGranularity
+        );
+    }
+
+    #[test]
+    fn sub_nanosecond_rate_rejected() {
+        assert!(Granularity::per_second(2_000_000_000).is_err());
+    }
+
+    #[test]
+    fn ticks_in_truncates() {
+        let g = Granularity::from_millis(100).unwrap(); // 0.1 s per tick
+        assert_eq!(g.ticks_in(Nanos::from_millis(950)), 9);
+        assert_eq!(g.ticks_in(Nanos::from_millis(999)), 9);
+        assert_eq!(g.ticks_in(Nanos::from_millis(1000)), 10);
+        assert_eq!(g.ticks_in(Nanos::ZERO), 0);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let g = Granularity::from_nanos(7).unwrap();
+        assert_eq!(g.duration_of(3), Some(Nanos(21)));
+        assert_eq!(g.ticks_in(Nanos(21)), 3);
+        assert_eq!(g.ticks_in(Nanos(20)), 2);
+        assert!(g.duration_of(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn ratio_requires_divisibility() {
+        let g10 = Granularity::from_nanos(10).unwrap();
+        let g3 = Granularity::from_nanos(3).unwrap();
+        assert_eq!(g10.ratio_to(g3), None);
+        assert_eq!(g10.ratio_to(Granularity::from_nanos(5).unwrap()), Some(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Granularity::per_second(10).unwrap().to_string(), "1/10s/tick");
+        assert_eq!(
+            Granularity::from_nanos(2_000_000_000).unwrap().to_string(),
+            "2s/tick"
+        );
+        assert_eq!(Granularity::from_nanos(7).unwrap().to_string(), "7ns/tick");
+    }
+}

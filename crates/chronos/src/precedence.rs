@@ -1,0 +1,177 @@
+//! The `2g_g`-restricted temporal order (Definitions 4.4 and 4.5).
+//!
+//! With local clocks synchronized within `Π < g_g`, two event occurrences
+//! can be ordered across sites only when their global ticks are more than
+//! one apart; same-site occurrences are ordered exactly by their local
+//! ticks. Formally, for occurrences `e1`, `e2`:
+//!
+//! * same site and `l(e1) < l(e2)`  ⟹  `e1 →₂gg e2`;
+//! * distinct sites and `g(e1) < g(e2) − 1·g_g`  ⟹  `e1 →₂gg e2`;
+//! * `e1 ∥₂gg e2` iff neither precedes the other.
+//!
+//! `→₂gg` is irreflexive and transitive — a strict partial order — while
+//! `∥₂gg` is *not* transitive, so it is not an equivalence relation. Both
+//! facts are exercised by the property tests in `decs-core`.
+
+use crate::tick::{GlobalTicks, LocalTicks};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a site (node) in the distributed system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Raw numeric id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+/// The raw (site, global, local) parts of an occurrence, before they are
+/// packaged into a `decs-core` primitive timestamp. Exposed here so that the
+/// ordering itself lives with the time substrate it is defined by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StampParts {
+    /// Site of occurrence.
+    pub site: SiteId,
+    /// Global tick (local reading truncated to `g_g`).
+    pub global: GlobalTicks,
+    /// Local tick of the site clock.
+    pub local: LocalTicks,
+}
+
+impl StampParts {
+    /// Convenience constructor.
+    pub const fn new(site: SiteId, global: GlobalTicks, local: LocalTicks) -> Self {
+        StampParts {
+            site,
+            global,
+            local,
+        }
+    }
+}
+
+/// Definition 4.4: does `a` precede `b` in the `2g_g`-restricted order?
+///
+/// Same-site occurrences compare by local ticks; cross-site occurrences
+/// require `a.global < b.global − 1` (strictly more than one global tick
+/// apart).
+#[inline]
+pub fn precedes_2gg(a: &StampParts, b: &StampParts) -> bool {
+    if a.site == b.site {
+        a.local < b.local
+    } else {
+        // `g(a) < g(b) − 1g_g` with unsigned arithmetic: require
+        // b.global ≥ 2 to avoid underflow, i.e. a.global + 1 < b.global.
+        a.global.get() + 1 < b.global.get()
+    }
+}
+
+/// Definition 4.5: `2g_g`-restricted concurrency — neither occurrence
+/// precedes the other.
+#[inline]
+pub fn concurrent_2gg(a: &StampParts, b: &StampParts) -> bool {
+    !precedes_2gg(a, b) && !precedes_2gg(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(site: u32, global: u64, local: u64) -> StampParts {
+        StampParts::new(SiteId(site), GlobalTicks(global), LocalTicks(local))
+    }
+
+    #[test]
+    fn same_site_orders_by_local_ticks() {
+        assert!(precedes_2gg(&st(1, 5, 50), &st(1, 5, 51)));
+        assert!(!precedes_2gg(&st(1, 5, 51), &st(1, 5, 50)));
+        assert!(!precedes_2gg(&st(1, 5, 50), &st(1, 5, 50)));
+    }
+
+    #[test]
+    fn same_site_ignores_global_component() {
+        // Local ticks decide even if globals are equal or reversed
+        // (Proposition 4.1 guarantees they cannot truly be reversed, but the
+        // relation itself only consults local ticks).
+        assert!(precedes_2gg(&st(2, 7, 70), &st(2, 7, 75)));
+    }
+
+    #[test]
+    fn cross_site_needs_more_than_one_tick_gap() {
+        // gap 0 and 1: concurrent. gap 2: ordered.
+        assert!(!precedes_2gg(&st(1, 8, 80), &st(2, 8, 80)));
+        assert!(!precedes_2gg(&st(1, 8, 80), &st(2, 9, 90)));
+        assert!(precedes_2gg(&st(1, 8, 80), &st(2, 10, 100)));
+    }
+
+    #[test]
+    fn cross_site_no_underflow_at_small_globals() {
+        assert!(!precedes_2gg(&st(1, 0, 0), &st(2, 0, 5)));
+        assert!(!precedes_2gg(&st(1, 0, 0), &st(2, 1, 5)));
+        assert!(precedes_2gg(&st(1, 0, 0), &st(2, 2, 5)));
+    }
+
+    #[test]
+    fn irreflexive() {
+        let a = st(3, 4, 44);
+        assert!(!precedes_2gg(&a, &a));
+    }
+
+    #[test]
+    fn transitive_spot_checks() {
+        // cross-site chain.
+        let a = st(1, 1, 10);
+        let b = st(2, 4, 40);
+        let c = st(3, 7, 70);
+        assert!(precedes_2gg(&a, &b));
+        assert!(precedes_2gg(&b, &c));
+        assert!(precedes_2gg(&a, &c));
+        // mixed same/cross-site chain.
+        let d = st(1, 1, 11);
+        assert!(precedes_2gg(&a, &d)); // same site
+        assert!(precedes_2gg(&d, &b)); // cross site
+        assert!(precedes_2gg(&a, &b));
+    }
+
+    #[test]
+    fn concurrency_is_symmetric_but_not_transitive() {
+        // globals 1, 2, 3: (1,2) and (2,3) concurrent, (1,3) ordered —
+        // the counterexample the paper cites in Proposition 4.2(6).
+        let a = st(1, 1, 10);
+        let b = st(2, 2, 20);
+        let c = st(3, 3, 30);
+        assert!(concurrent_2gg(&a, &b));
+        assert!(concurrent_2gg(&b, &a));
+        assert!(concurrent_2gg(&b, &c));
+        assert!(!concurrent_2gg(&a, &c));
+    }
+
+    #[test]
+    fn same_site_equal_locals_are_concurrent_simultaneous() {
+        let a = st(4, 9, 99);
+        let b = st(4, 9, 99);
+        assert!(concurrent_2gg(&a, &b));
+    }
+
+    #[test]
+    fn site_id_display() {
+        assert_eq!(SiteId(6).to_string(), "s6");
+        assert_eq!(SiteId::from(3u32).get(), 3);
+    }
+}

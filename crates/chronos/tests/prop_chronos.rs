@@ -1,0 +1,109 @@
+//! Property tests for the time substrate: truncation laws, calendar
+//! round-trips, clock monotonicity, and the precision bound.
+
+use decs_chronos::calendar::{civil_from_days, days_from_civil, CivilTime};
+use decs_chronos::{
+    ClockEnsemble, GlobalTimeBase, Granularity, LocalClock, Nanos, Precision, TruncMode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn trunc_floor_is_division(v in 0u64..1_000_000, unit in 1u64..10_000) {
+        prop_assert_eq!(TruncMode::Floor.apply(v, unit), v / unit);
+        // All modes agree on exact multiples.
+        let exact = (v / unit) * unit;
+        prop_assert_eq!(TruncMode::Round.apply(exact, unit), exact / unit);
+        prop_assert_eq!(TruncMode::Ceil.apply(exact, unit), exact / unit);
+    }
+
+    #[test]
+    fn trunc_modes_are_ordered(v in 0u64..1_000_000, unit in 1u64..10_000) {
+        let f = TruncMode::Floor.apply(v, unit);
+        let r = TruncMode::Round.apply(v, unit);
+        let c = TruncMode::Ceil.apply(v, unit);
+        prop_assert!(f <= r && r <= c);
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn granularity_ticks_round_trip(ticks in 0u64..1_000_000, npt in 1u64..100_000) {
+        let g = Granularity::from_nanos(npt).unwrap();
+        let d = g.duration_of(ticks).unwrap();
+        prop_assert_eq!(g.ticks_in(d), ticks);
+        // One nanosecond less than a full tick truncates down.
+        if ticks > 0 && npt > 1 {
+            prop_assert_eq!(g.ticks_in(Nanos(d.get() - 1)), ticks - 1);
+        }
+    }
+
+    #[test]
+    fn civil_round_trip(days in -1_000_000i64..1_000_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    #[test]
+    fn civil_time_nanos_round_trip(secs in 0u64..10_000_000_000, ns in 0u32..1_000_000_000) {
+        let t = Nanos(secs * 1_000_000_000 + u64::from(ns));
+        let c = CivilTime::from_nanos(t);
+        prop_assert_eq!(c.to_nanos().unwrap(), t);
+    }
+
+    #[test]
+    fn local_clock_reading_is_monotonic(
+        drift in -100_000i64..100_000,
+        offset in -1_000_000i64..1_000_000,
+        t1 in 0u64..1_000_000_000_000,
+        dt in 0u64..1_000_000_000,
+    ) {
+        let c = LocalClock::with_error(Granularity::per_second(100).unwrap(), drift, offset);
+        let a = c.read(Nanos(t1));
+        let b = c.read(Nanos(t1 + dt));
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!(a <= b, "clock ran backwards: {a:?} then {b:?}");
+        }
+    }
+
+    #[test]
+    fn global_of_local_monotone(l1 in 0u64..10_000_000, dl in 0u64..1_000_000) {
+        let base = GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(1_000_000),
+        )
+        .unwrap();
+        let g_local = Granularity::per_second(100).unwrap();
+        let a = base.global_of_local(l1.into(), g_local).unwrap();
+        let b = base.global_of_local((l1 + dl).into(), g_local).unwrap();
+        prop_assert!(a <= b);
+        // Proposition 4.1(2): equal locals ⇒ equal globals (trivially) and
+        // the global never exceeds local/ratio.
+        prop_assert_eq!(a.get(), l1 / 10);
+    }
+
+    #[test]
+    fn measured_precision_within_analytic_bound_after_sync(
+        d1 in -20_000i64..20_000,
+        d2 in -20_000i64..20_000,
+        step_ms in 1u64..500,
+    ) {
+        let g = Granularity::per_second(100).unwrap();
+        let clocks = vec![
+            LocalClock::with_error(g, d1, 0),
+            LocalClock::with_error(g, d2, 0),
+        ];
+        let mut e = ClockEnsemble::new(clocks, 1_000, Nanos::from_secs(1));
+        let bound = e.precision_bound().nanos();
+        for k in 1..50u64 {
+            let now = Nanos::from_millis(k * step_ms);
+            e.advance_to(now);
+            let p = e.measured_precision(&[now]);
+            prop_assert!(p.nanos() <= bound, "{} > {bound} at step {k}", p.nanos());
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Distributed composite timestamps (Definitions 5.1/5.2, Theorem 5.1).
+//!
+//! In a centralized system the timestamp of a composite event is the single
+//! *latest* occurrence time of its constituents (`t_occ`). Under the
+//! `2g_g`-partial order "latest" is no longer unique: several constituent
+//! timestamps can each fail to be dominated. Definition 5.1 therefore takes
+//! the **set of maximal timestamps**:
+//!
+//! ```text
+//! max(ST) = { t ∈ ST : ∀t1 ∈ ST, ¬(t < t1) }
+//! ```
+//!
+//! (The paper's scan prints the condition as `t < t1`; the negated form is
+//! the intended one — it is the only reading under which Theorem 5.1 and all
+//! of the paper's examples hold.)
+//!
+//! Theorem 5.1: all members of `max(ST)` are pairwise *concurrent*. A
+//! [`CompositeTimestamp`] enforces this by construction — any input set is
+//! normalized through [`max_set`] — so the "latest" and "concurrency"
+//! properties the paper stresses are carried by the type itself.
+//!
+//! [`RawTimestampSet`] is the *unnormalized* counterpart used to model the
+//! timestamp sets of Schwiderski's dissertation [10], which does not enforce
+//! maximality; the Section 5.1 counterexample experiments need it.
+
+use crate::error::{CoreError, Result};
+use crate::primitive::PrimitiveTimestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Definition 5.1: the set of maximal timestamps of `ST` — members not
+/// happening-before any other member. Duplicates are removed; the result is
+/// in canonical (container) order.
+pub fn max_set(st: &[PrimitiveTimestamp]) -> Vec<PrimitiveTimestamp> {
+    let mut out: Vec<PrimitiveTimestamp> = st
+        .iter()
+        .filter(|t| !st.iter().any(|t1| t.happens_before(t1)))
+        .copied()
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A distributed composite event timestamp: a non-empty set of pairwise
+/// concurrent, maximal primitive timestamps (Definition 5.2).
+///
+/// Members are stored sorted in the canonical container order (site, then
+/// global, then local), so equal timestamp sets compare equal with `==`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompositeTimestamp {
+    members: Vec<PrimitiveTimestamp>,
+}
+
+impl CompositeTimestamp {
+    /// A composite timestamp with a single member — the form every
+    /// primitive event's timestamp takes when it enters the composite world.
+    pub fn singleton(t: PrimitiveTimestamp) -> Self {
+        CompositeTimestamp { members: vec![t] }
+    }
+
+    /// Build from constituent primitive timestamps, normalizing through
+    /// `max(ST)`. Errors if the input is empty (Definition 5.2 requires at
+    /// least one constituent; an empty set would even break irreflexivity of
+    /// the composite ordering).
+    pub fn try_from_primitives<I>(iter: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = PrimitiveTimestamp>,
+    {
+        let st: Vec<PrimitiveTimestamp> = iter.into_iter().collect();
+        if st.is_empty() {
+            return Err(CoreError::EmptyTimestamp);
+        }
+        let members = max_set(&st);
+        debug_assert!(!members.is_empty());
+        Ok(CompositeTimestamp { members })
+    }
+
+    /// Build from constituent primitive timestamps, normalizing through
+    /// `max(ST)`.
+    ///
+    /// # Panics
+    /// Panics if the iterator is empty; use [`Self::try_from_primitives`]
+    /// for fallible construction.
+    pub fn from_primitives<I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = PrimitiveTimestamp>,
+    {
+        Self::try_from_primitives(iter).expect("composite timestamp needs at least one member")
+    }
+
+    /// The members, sorted in canonical order.
+    pub fn members(&self) -> &[PrimitiveTimestamp] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Composite timestamps are never empty, but the idiomatic pair of
+    /// `len` is provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over members.
+    pub fn iter(&self) -> impl Iterator<Item = &PrimitiveTimestamp> {
+        self.members.iter()
+    }
+
+    /// Whether `t` is one of the members.
+    pub fn contains(&self, t: &PrimitiveTimestamp) -> bool {
+        self.members.binary_search(t).is_ok()
+    }
+
+    /// Theorem 5.1 / Definition 5.2 invariant check: all members pairwise
+    /// concurrent and none dominated. Always true for values built through
+    /// the public constructors; exposed for property tests and debugging.
+    pub fn invariant_holds(&self) -> bool {
+        !self.members.is_empty()
+            && self
+                .members
+                .iter()
+                .enumerate()
+                .all(|(i, a)| self.members[i + 1..].iter().all(|b| a.concurrent(b)))
+    }
+
+    /// The largest global tick among members — an upper anchor used by
+    /// watermark logic and the Figure 2 lines.
+    pub fn max_global(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|t| t.global().get())
+            .max()
+            .expect("non-empty")
+    }
+
+    /// The smallest global tick among members.
+    pub fn min_global(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|t| t.global().get())
+            .min()
+            .expect("non-empty")
+    }
+
+    /// Consume into the member vector.
+    pub fn into_members(self) -> Vec<PrimitiveTimestamp> {
+        self.members
+    }
+}
+
+impl From<PrimitiveTimestamp> for CompositeTimestamp {
+    fn from(t: PrimitiveTimestamp) -> Self {
+        CompositeTimestamp::singleton(t)
+    }
+}
+
+impl fmt::Display for CompositeTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, t) in self.members.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// An *unnormalized* set of primitive timestamps — the shape of composite
+/// timestamps in Schwiderski's dissertation [10], which does not enforce the
+/// maximality/concurrency invariant. Used by [`crate::alt`] to reproduce the
+/// paper's Section 5.1 comparison and counterexamples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RawTimestampSet {
+    members: Vec<PrimitiveTimestamp>,
+}
+
+impl RawTimestampSet {
+    /// Build from members verbatim (sorted + deduped for canonical equality,
+    /// but *not* filtered to maximal elements).
+    pub fn new<I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = PrimitiveTimestamp>,
+    {
+        let mut members: Vec<PrimitiveTimestamp> = iter.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        RawTimestampSet { members }
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[PrimitiveTimestamp] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Normalize into a paper-conformant composite timestamp.
+    pub fn normalize(&self) -> Result<CompositeTimestamp> {
+        CompositeTimestamp::try_from_primitives(self.members.iter().copied())
+    }
+
+    /// Whether this set already satisfies the Definition 5.2 invariant.
+    pub fn is_normalized(&self) -> bool {
+        !self.members.is_empty() && max_set(&self.members) == self.members
+    }
+}
+
+impl From<CompositeTimestamp> for RawTimestampSet {
+    fn from(c: CompositeTimestamp) -> Self {
+        RawTimestampSet {
+            members: c.into_members(),
+        }
+    }
+}
+
+impl fmt::Display for RawTimestampSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, t) in self.members.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cts, pts};
+
+    #[test]
+    fn max_set_keeps_only_undominated() {
+        // (s1,8,80) dominates (s1,7,70) (same site) and (s2,2,20)
+        // (cross-site gap > 1), but is concurrent with (s2,7,72).
+        let st = vec![pts(1, 8, 80), pts(1, 7, 70), pts(2, 2, 20), pts(2, 7, 72)];
+        let m = max_set(&st);
+        assert_eq!(m, vec![pts(1, 8, 80), pts(2, 7, 72)]);
+    }
+
+    #[test]
+    fn max_set_of_totally_concurrent_set_is_identity() {
+        let st = vec![pts(1, 8, 80), pts(2, 8, 81), pts(3, 9, 90)];
+        assert_eq!(max_set(&st).len(), 3);
+    }
+
+    #[test]
+    fn max_set_dedups() {
+        let st = vec![pts(1, 8, 80), pts(1, 8, 80)];
+        assert_eq!(max_set(&st), vec![pts(1, 8, 80)]);
+    }
+
+    #[test]
+    fn theorem_5_1_members_pairwise_concurrent() {
+        let c = cts(&[
+            (1, 8, 80),
+            (1, 7, 70),
+            (2, 2, 20),
+            (2, 7, 72),
+            (3, 8, 85),
+            (3, 1, 10),
+        ]);
+        assert!(c.invariant_holds());
+        for a in c.iter() {
+            for b in c.iter() {
+                assert!(a.concurrent(b), "{a} !~ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(
+            CompositeTimestamp::try_from_primitives(std::iter::empty()).unwrap_err(),
+            CoreError::EmptyTimestamp
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn from_primitives_panics_on_empty() {
+        let _ = CompositeTimestamp::from_primitives(std::iter::empty());
+    }
+
+    #[test]
+    fn singleton_and_from_impl() {
+        let t = pts(4, 9, 99);
+        let c: CompositeTimestamp = t.into();
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&t));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn canonical_equality_ignores_input_order() {
+        let a = cts(&[(1, 8, 80), (2, 7, 72)]);
+        let b = cts(&[(2, 7, 72), (1, 8, 80)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_anchors() {
+        let c = cts(&[(3, 8, 81), (6, 7, 72)]);
+        assert_eq!(c.max_global(), 8);
+        assert_eq!(c.min_global(), 7);
+    }
+
+    #[test]
+    fn display_matches_paper_set_syntax() {
+        let c = cts(&[(3, 8, 81), (6, 7, 72)]);
+        assert_eq!(c.to_string(), "{(s3, 8, 81), (s6, 7, 72)}");
+    }
+
+    #[test]
+    fn raw_set_preserves_dominated_members() {
+        // The Section 5.1 counterexample set from [10]: not normalized.
+        let raw = RawTimestampSet::new(vec![pts(1, 8, 80), pts(2, 2, 80)]);
+        assert_eq!(raw.len(), 2);
+        assert!(!raw.is_normalized());
+        let normalized = raw.normalize().unwrap();
+        assert_eq!(normalized.members(), &[pts(1, 8, 80)]);
+    }
+
+    #[test]
+    fn raw_set_roundtrip_from_composite() {
+        let c = cts(&[(1, 8, 80), (2, 7, 72)]);
+        let raw: RawTimestampSet = c.clone().into();
+        assert!(raw.is_normalized());
+        assert_eq!(raw.normalize().unwrap(), c);
+    }
+
+    #[test]
+    fn max_set_with_chain_keeps_top() {
+        // s1 chain 1 -> 5 -> 9 locally: only the top survives.
+        let st = vec![pts(1, 1, 10), pts(1, 5, 50), pts(1, 9, 90)];
+        assert_eq!(max_set(&st), vec![pts(1, 9, 90)]);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let c = cts(&[(1, 8, 80), (2, 7, 72), (1, 2, 20)]);
+        let again = CompositeTimestamp::from_primitives(c.iter().copied());
+        assert_eq!(c, again);
+    }
+}

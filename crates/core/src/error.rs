@@ -1,0 +1,53 @@
+//! Error type for the formal-semantics core.
+
+use std::fmt;
+
+/// Errors produced by timestamp construction and comparison utilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A composite timestamp must contain at least one primitive timestamp.
+    EmptyTimestamp,
+    /// An interval endpoint pair did not satisfy the required relation
+    /// (`<` for open intervals, `⪯` for closed intervals).
+    InvalidInterval {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A `Max`/join operation was asked to combine timestamps from
+    /// incompatible universes (reserved for future cross-system bridging).
+    IncompatibleUniverse,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTimestamp => {
+                write!(f, "a composite timestamp must contain at least one primitive timestamp")
+            }
+            CoreError::InvalidInterval { reason } => {
+                write!(f, "invalid interval endpoints: {reason}")
+            }
+            CoreError::IncompatibleUniverse => {
+                write!(f, "timestamps come from incompatible universes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::EmptyTimestamp.to_string().contains("at least one"));
+        assert!(CoreError::InvalidInterval { reason: "a !< b" }
+            .to_string()
+            .contains("a !< b"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Open and closed intervals of timestamps (Definitions 4.9/4.10 for
+//! primitive timestamps, 5.5/5.6 for composite timestamps; Figure 1).
+//!
+//! * An **open interval** `(T(e1), T(e2))` requires `T(e1) < T(e2)` and
+//!   contains every `T(e)` with `T(e1) < T(e) < T(e2)`. For cross-site
+//!   primitive endpoints a non-empty open interval forces
+//!   `T(e1).global < T(e2).global − 3·g_g` — interval membership strips a
+//!   `1·g_g` guard band off each end (Figure 1's "open" picture).
+//! * A **closed interval** `[T(e1), T(e2)]` requires `T(e1) ⪯ T(e2)` and
+//!   contains every `T(e)` with `T(e1) ⪯ T(e) ⪯ T(e2)`. For cross-site
+//!   endpoints this *widens* the global span by `1·g_g` on each end.
+//!
+//! The same generic machinery serves both levels because membership is
+//! defined purely through the level's `<` / `⪯` relations; we expose typed
+//! wrappers to keep endpoint validation honest.
+
+use crate::composite::CompositeTimestamp;
+use crate::error::{CoreError, Result};
+use crate::primitive::PrimitiveTimestamp;
+use serde::{Deserialize, Serialize};
+
+/// The two relations interval semantics is built from, abstracted over the
+/// primitive and composite levels.
+pub trait Temporal {
+    /// The level's strict happen-before (`<` resp. `<_p`).
+    fn before(&self, other: &Self) -> bool;
+    /// The level's weakened less-than-or-equal (`⪯` resp. `⪯̃`).
+    fn wleq(&self, other: &Self) -> bool;
+}
+
+impl Temporal for PrimitiveTimestamp {
+    fn before(&self, other: &Self) -> bool {
+        self.happens_before(other)
+    }
+    fn wleq(&self, other: &Self) -> bool {
+        self.weak_leq(other)
+    }
+}
+
+impl Temporal for CompositeTimestamp {
+    fn before(&self, other: &Self) -> bool {
+        self.happens_before(other)
+    }
+    fn wleq(&self, other: &Self) -> bool {
+        self.weak_leq(other)
+    }
+}
+
+/// An open interval of primitive or composite timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenInterval<T> {
+    lo: T,
+    hi: T,
+}
+
+/// A closed interval of primitive or composite timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosedInterval<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Temporal> OpenInterval<T> {
+    /// Create `(lo, hi)`; Definitions 4.9/5.5 require `lo < hi`.
+    pub fn new(lo: T, hi: T) -> Result<Self> {
+        if !lo.before(&hi) {
+            return Err(CoreError::InvalidInterval {
+                reason: "open interval requires lo < hi",
+            });
+        }
+        Ok(OpenInterval { lo, hi })
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> &T {
+        &self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> &T {
+        &self.hi
+    }
+
+    /// Membership: `lo < t < hi`.
+    pub fn contains(&self, t: &T) -> bool {
+        self.lo.before(t) && t.before(&self.hi)
+    }
+}
+
+impl<T: Temporal> ClosedInterval<T> {
+    /// Create `[lo, hi]`; Definitions 4.10/5.6 require `lo ⪯ hi`.
+    pub fn new(lo: T, hi: T) -> Result<Self> {
+        if !lo.wleq(&hi) {
+            return Err(CoreError::InvalidInterval {
+                reason: "closed interval requires lo ⪯ hi",
+            });
+        }
+        Ok(ClosedInterval { lo, hi })
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> &T {
+        &self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> &T {
+        &self.hi
+    }
+
+    /// Membership: `lo ⪯ t ⪯ hi`.
+    pub fn contains(&self, t: &T) -> bool {
+        self.lo.wleq(t) && t.wleq(&self.hi)
+    }
+}
+
+impl OpenInterval<PrimitiveTimestamp> {
+    /// The paper's non-emptiness bound for cross-site endpoints: an open
+    /// interval can contain a cross-site timestamp only if
+    /// `lo.global < hi.global − 3·g_g`. (Same-site endpoints admit members
+    /// strictly between their local ticks regardless.)
+    pub fn cross_site_possibly_nonempty(&self) -> bool {
+        self.lo.global().get() + 3 < self.hi.global().get()
+    }
+
+    /// The inclusive range of *global ticks* from which a cross-site member
+    /// may come: `[lo.global + 2, hi.global − 2]` (Figure 1). Returns `None`
+    /// when that range is empty.
+    pub fn cross_site_global_range(&self) -> Option<(u64, u64)> {
+        let lo = self.lo.global().get().checked_add(2)?;
+        let hi = self.hi.global().get().checked_sub(2)?;
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+impl ClosedInterval<PrimitiveTimestamp> {
+    /// The inclusive range of *global ticks* from which a cross-site member
+    /// may come: `[lo.global − 1, hi.global + 1]` (Figure 1's closed
+    /// picture — the interval widens by one tick at each end).
+    pub fn cross_site_global_range(&self) -> (u64, u64) {
+        (
+            self.lo.global().get().saturating_sub(1),
+            self.hi.global().get().saturating_add(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cts, pts};
+
+    #[test]
+    fn open_interval_requires_lt() {
+        assert!(OpenInterval::new(pts(1, 1, 10), pts(1, 1, 20)).is_ok());
+        assert!(OpenInterval::new(pts(1, 1, 20), pts(1, 1, 10)).is_err());
+        // Cross-site concurrent endpoints are not `<`.
+        assert!(OpenInterval::new(pts(1, 8, 80), pts(2, 9, 90)).is_err());
+    }
+
+    #[test]
+    fn closed_interval_requires_weak_leq() {
+        // Concurrent endpoints are fine for a closed interval.
+        assert!(ClosedInterval::new(pts(1, 8, 80), pts(2, 9, 90)).is_ok());
+        assert!(ClosedInterval::new(pts(1, 8, 80), pts(2, 7, 70)).is_ok());
+        // But a strictly later lo is not ⪯ hi.
+        assert!(ClosedInterval::new(pts(1, 9, 90), pts(2, 2, 20)).is_err());
+    }
+
+    #[test]
+    fn same_site_open_membership() {
+        let iv = OpenInterval::new(pts(1, 1, 10), pts(1, 1, 14)).unwrap();
+        assert!(iv.contains(&pts(1, 1, 12)));
+        assert!(!iv.contains(&pts(1, 1, 10)));
+        assert!(!iv.contains(&pts(1, 1, 14)));
+        assert!(!iv.contains(&pts(1, 1, 9)));
+    }
+
+    #[test]
+    fn cross_site_open_membership_needs_guard_bands() {
+        // lo.global = 2, hi.global = 8: member must have global in [4, 6].
+        let iv = OpenInterval::new(pts(1, 2, 20), pts(2, 8, 80)).unwrap();
+        assert!(iv.cross_site_possibly_nonempty());
+        assert_eq!(iv.cross_site_global_range(), Some((4, 6)));
+        assert!(iv.contains(&pts(3, 5, 50)));
+        assert!(iv.contains(&pts(3, 4, 40)));
+        assert!(iv.contains(&pts(3, 6, 60)));
+        assert!(!iv.contains(&pts(3, 3, 30))); // within 1g_g of lo
+        assert!(!iv.contains(&pts(3, 7, 70))); // within 1g_g of hi
+    }
+
+    #[test]
+    fn cross_site_open_nonemptiness_bound() {
+        // The paper: non-empty needs lo.global < hi.global − 3g_g.
+        let tight = OpenInterval::new(pts(1, 2, 20), pts(2, 5, 50)).unwrap();
+        assert!(!tight.cross_site_possibly_nonempty());
+        assert_eq!(tight.cross_site_global_range(), None);
+        let ok = OpenInterval::new(pts(1, 2, 20), pts(2, 6, 60)).unwrap();
+        assert!(ok.cross_site_possibly_nonempty());
+        assert_eq!(ok.cross_site_global_range(), Some((4, 4)));
+    }
+
+    #[test]
+    fn closed_interval_widens_by_one_tick() {
+        let iv = ClosedInterval::new(pts(1, 5, 50), pts(2, 6, 60)).unwrap();
+        assert_eq!(iv.cross_site_global_range(), (4, 7));
+        // A timestamp one tick *before* lo is still ⪯-inside.
+        assert!(iv.contains(&pts(3, 4, 40)));
+        assert!(iv.contains(&pts(3, 7, 70)));
+        assert!(!iv.contains(&pts(3, 3, 30)));
+        assert!(!iv.contains(&pts(3, 8, 80)));
+    }
+
+    #[test]
+    fn closed_interval_with_equal_endpoints() {
+        let t = pts(1, 5, 50);
+        let iv = ClosedInterval::new(t, t).unwrap();
+        assert!(iv.contains(&t));
+        assert!(iv.contains(&pts(2, 5, 55))); // concurrent with both ends
+        assert!(!iv.contains(&pts(1, 5, 51))); // same-site later: not ⪯ hi
+    }
+
+    #[test]
+    fn composite_open_interval() {
+        let lo = cts(&[(1, 1, 10), (2, 2, 20)]);
+        let hi = cts(&[(1, 9, 90), (2, 9, 95)]);
+        let iv = OpenInterval::new(lo, hi).unwrap();
+        assert!(iv.contains(&cts(&[(1, 5, 50)])));
+        assert!(iv.contains(&cts(&[(1, 5, 50), (2, 5, 55)])));
+        assert!(!iv.contains(&cts(&[(3, 9, 99)]))); // concurrent with hi
+    }
+
+    #[test]
+    fn composite_open_interval_same_site_edge() {
+        // Revisit the previous case precisely: {(s1,2,25)} IS inside because
+        // both endpoint comparisons resolve same-site.
+        let lo = cts(&[(1, 1, 10), (2, 2, 20)]);
+        let hi = cts(&[(1, 9, 90), (2, 9, 95)]);
+        let iv = OpenInterval::new(lo, hi).unwrap();
+        // (s1,2,25): lo <_p it? members of {it}: (s1,2,25) needs a
+        // predecessor in lo: (s1,1,10) same-site ✓. it <_p hi? (s1,9,90)
+        // has predecessor (s1,2,25) ✓, but (s2,9,95) needs one too:
+        // (s1,2,25) < (s2,9,95) cross-site 2+1<9 ✓. So inside.
+        assert!(iv.contains(&cts(&[(1, 2, 25)])));
+        // A cross-site singleton near lo is not inside.
+        assert!(!iv.contains(&cts(&[(3, 2, 25)])));
+    }
+
+    #[test]
+    fn composite_closed_interval() {
+        let lo = cts(&[(1, 5, 50)]);
+        let hi = cts(&[(2, 6, 60)]);
+        let iv = ClosedInterval::new(lo, hi).unwrap();
+        assert!(iv.contains(&cts(&[(3, 5, 55)])));
+        assert!(iv.contains(&cts(&[(3, 6, 65)])));
+        assert!(!iv.contains(&cts(&[(3, 9, 99)])));
+    }
+
+    #[test]
+    fn endpoints_accessible() {
+        let iv = OpenInterval::new(pts(1, 1, 10), pts(1, 1, 20)).unwrap();
+        assert_eq!(*iv.lo(), pts(1, 1, 10));
+        assert_eq!(*iv.hi(), pts(1, 1, 20));
+        let civ = ClosedInterval::new(pts(1, 1, 10), pts(1, 1, 20)).unwrap();
+        assert_eq!(*civ.lo(), pts(1, 1, 10));
+        assert_eq!(*civ.hi(), pts(1, 1, 20));
+    }
+}

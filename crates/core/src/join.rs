@@ -1,0 +1,227 @@
+//! Joining procedures and the `Max` operator (Definitions 5.7–5.9,
+//! Theorem 5.4).
+//!
+//! When a composite event node fires, the timestamps of its constituents
+//! must be combined into the timestamp it propagates upward. In the
+//! centralized semantics this is `t_occ = max(t1, t2)`; in the distributed
+//! semantics it is the **`Max` operator**. The paper gives two
+//! characterizations:
+//!
+//! * **Definition 5.9** (case analysis):
+//!   ```text
+//!   Max(T1, T2) = T1        if T2 < T1
+//!               = T2        if T1 < T2
+//!               = T1 ⊎ T2   if concurrent or incomparable
+//!   ```
+//!   where `⊎` is plain union for concurrent sets (Definition 5.7) and
+//!   "keep the mutually-undominated members" for incomparable sets
+//!   (Definition 5.8).
+//! * **Theorem 5.4** (soundness): `Max(T1, T2) = max(T1 ∪ T2)` — the
+//!   maximal set of the combined constituents.
+//!
+//! **Reproduction finding.** These two characterizations *disagree* on the
+//! ordered branches. Example: `T2 = {(s1,8,85),(s2,8,87)} <_p
+//! T1 = {(s1,9,90)}` (the single member of `T1` has the same-site
+//! predecessor `(s1,8,85)`), yet `(s2,8,87)` is concurrent with `(s1,9,90)`
+//! and therefore belongs to `max(T1 ∪ T2)`; Definition 5.9 would discard
+//! it. We take the theorem as normative — [`max_op`] always computes
+//! `max(T1 ∪ T2)`, making Theorem 5.4 true by construction, keeping the
+//! composite-timestamp invariant, and making the operator associative and
+//! commutative (which timestamp propagation through an event graph needs).
+//! The literal case analysis is kept as [`max_op_def59`] so the divergence
+//! can be measured (see the `ordering_validity` experiment).
+
+use crate::composite::{max_set, CompositeTimestamp};
+use crate::relation::CompositeRelation;
+
+/// Definition 5.7: joining of **concurrent** timestamps — the duplicate-free
+/// union of the member sets.
+///
+/// Requires `t1 ~ t2`; when the precondition holds the union is already
+/// pairwise concurrent, so the result satisfies the composite-timestamp
+/// invariant. Verified by `debug_assert` and the property suite.
+pub fn join_concurrent(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> CompositeTimestamp {
+    debug_assert!(t1.concurrent(t2), "join_concurrent requires t1 ~ t2");
+    let out = CompositeTimestamp::from_primitives(t1.iter().copied().chain(t2.iter().copied()));
+    debug_assert!(out.invariant_holds());
+    out
+}
+
+/// Definition 5.8: joining of **incomparable** timestamps — keep from each
+/// side exactly the members not dominated by any member of the other side:
+///
+/// ```text
+/// { t ∈ T1 : ¬∃t' ∈ T2, t < t' } ∪ { t ∈ T2 : ¬∃t' ∈ T1, t < t' }
+/// ```
+///
+/// (The paper's scan drops the negations; without them the definition would
+/// *keep only* dominated members and violate Theorem 5.4, so the negated
+/// reading is the intended one.)
+pub fn join_incomparable(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> CompositeTimestamp {
+    let keep1 = t1
+        .iter()
+        .filter(|t| !t2.iter().any(|t_other| t.happens_before(t_other)))
+        .copied();
+    let keep2 = t2
+        .iter()
+        .filter(|t| !t1.iter().any(|t_other| t.happens_before(t_other)))
+        .copied();
+    let out = CompositeTimestamp::from_primitives(keep1.chain(keep2));
+    debug_assert!(out.invariant_holds());
+    out
+}
+
+/// The `Max` operator, in the normative (Theorem 5.4) form:
+/// `Max(T1, T2) = max(T1 ∪ T2)`.
+///
+/// Members of either input dominated by any member of the other are
+/// dropped; the rest are united. This coincides with Definition 5.9 on the
+/// concurrent and incomparable branches, and differs from its ordered
+/// branches only in *keeping* undominated members the case analysis would
+/// discard (see the module docs).
+pub fn max_op(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> CompositeTimestamp {
+    let combined: Vec<_> = t1.iter().copied().chain(t2.iter().copied()).collect();
+    let out = CompositeTimestamp::from_primitives(max_set(&combined));
+    debug_assert!(out.invariant_holds());
+    out
+}
+
+/// The `Max` operator as the *literal* Definition 5.9 case analysis.
+/// Kept for fidelity experiments; production code should use [`max_op`].
+pub fn max_op_def59(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> CompositeTimestamp {
+    match t1.relation(t2) {
+        CompositeRelation::After => t1.clone(),
+        CompositeRelation::Before => t2.clone(),
+        CompositeRelation::Concurrent => join_concurrent(t1, t2),
+        CompositeRelation::Incomparable => join_incomparable(t1, t2),
+    }
+}
+
+/// Theorem 5.4 as an executable predicate against [`max_op`]:
+/// `Max(T1, T2) = max(T1 ∪ T2)`. True by construction for `max_op`; applied
+/// to [`max_op_def59`] by the experiments to expose the divergence.
+pub fn theorem_5_4_holds(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    let combined: Vec<_> = t1.iter().copied().chain(t2.iter().copied()).collect();
+    let expected = max_set(&combined);
+    max_op(t1, t2).members() == expected.as_slice()
+}
+
+/// Does the literal Definition 5.9 agree with Theorem 5.4 on this pair?
+pub fn def59_agrees(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    max_op_def59(t1, t2) == max_op(t1, t2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cts;
+
+    #[test]
+    fn max_picks_later_when_strictly_dominating() {
+        let early = cts(&[(1, 1, 10), (2, 2, 20)]);
+        let late = cts(&[(1, 8, 80), (2, 9, 90)]);
+        assert_eq!(max_op(&early, &late), late);
+        assert_eq!(max_op(&late, &early), late);
+        assert!(def59_agrees(&early, &late));
+    }
+
+    #[test]
+    fn max_unions_when_concurrent() {
+        let t1 = cts(&[(1, 8, 80)]);
+        let t2 = cts(&[(2, 8, 82), (3, 9, 91)]);
+        assert!(t1.concurrent(&t2));
+        let m = max_op(&t1, &t2);
+        assert_eq!(m, cts(&[(1, 8, 80), (2, 8, 82), (3, 9, 91)]));
+        assert!(def59_agrees(&t1, &t2));
+    }
+
+    #[test]
+    fn join_concurrent_dedups() {
+        let t1 = cts(&[(1, 8, 80), (2, 8, 82)]);
+        let t2 = cts(&[(2, 8, 82), (3, 9, 91)]);
+        let m = join_concurrent(&t1, &t2);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn max_drops_dominated_when_incomparable() {
+        // t1 = {(s1,9,90),(s2,1,15)}... note normalization: (s2,1,15) is
+        // dominated by (s1,9,90)? cross-site 1+1 < 9 → yes, so build sets
+        // whose members are genuinely concurrent.
+        let t1 = cts(&[(1, 9, 90), (2, 8, 85)]);
+        let t2 = cts(&[(1, 8, 82), (2, 9, 95)]);
+        assert!(t1.incomparable(&t2)); // same-site pairs ordered both ways
+        let m = max_op(&t1, &t2);
+        assert_eq!(m, cts(&[(1, 9, 90), (2, 9, 95)]));
+        assert!(def59_agrees(&t1, &t2));
+    }
+
+    #[test]
+    fn incomparable_join_keeps_concurrent_members_of_both() {
+        let t1 = cts(&[(1, 9, 90), (3, 9, 93)]);
+        let t2 = cts(&[(1, 9, 91), (4, 8, 85)]);
+        assert!(t1.incomparable(&t2)); // (s1,90) < (s1,91), others concurrent
+        let m = max_op(&t1, &t2);
+        assert_eq!(m, cts(&[(1, 9, 91), (3, 9, 93), (4, 8, 85)]));
+        assert_eq!(join_incomparable(&t1, &t2), m);
+    }
+
+    #[test]
+    fn def59_diverges_on_ordered_branch_with_undominated_member() {
+        // The reproduction finding from the module docs: T2 <_p T1 but T2
+        // still contains a member concurrent with everything in T1.
+        let t2 = cts(&[(1, 8, 85), (2, 8, 87)]);
+        let t1 = cts(&[(1, 9, 90)]);
+        assert!(t2.happens_before(&t1));
+        let literal = max_op_def59(&t2, &t1);
+        let normative = max_op(&t2, &t1);
+        assert_eq!(literal, t1); // Definition 5.9 discards (s2,8,87)
+        assert_eq!(normative, cts(&[(1, 9, 90), (2, 8, 87)]));
+        assert!(!def59_agrees(&t2, &t1));
+        // The normative result still satisfies Theorem 5.4; the literal
+        // one does not.
+        assert!(theorem_5_4_holds(&t2, &t1));
+    }
+
+    #[test]
+    fn theorem_5_4_spot_checks() {
+        let cases = [
+            (cts(&[(1, 1, 10)]), cts(&[(1, 8, 80)])),
+            (cts(&[(1, 8, 80)]), cts(&[(2, 8, 82), (3, 9, 91)])),
+            (cts(&[(1, 9, 90), (2, 8, 85)]), cts(&[(1, 8, 82), (2, 9, 95)])),
+            (cts(&[(1, 9, 90), (3, 9, 93)]), cts(&[(1, 9, 91), (4, 8, 85)])),
+            (cts(&[(5, 4, 44)]), cts(&[(5, 4, 44)])),
+            (cts(&[(1, 8, 85), (2, 8, 87)]), cts(&[(1, 9, 90)])),
+        ];
+        for (a, b) in &cases {
+            assert!(theorem_5_4_holds(a, b), "Theorem 5.4 fails for {a}, {b}");
+            assert!(theorem_5_4_holds(b, a), "Theorem 5.4 fails for {b}, {a}");
+        }
+    }
+
+    #[test]
+    fn max_is_commutative_and_idempotent() {
+        let t1 = cts(&[(1, 9, 90), (2, 8, 85)]);
+        let t2 = cts(&[(1, 8, 82), (2, 9, 95)]);
+        assert_eq!(max_op(&t1, &t2), max_op(&t2, &t1));
+        assert_eq!(max_op(&t1, &t1), t1);
+    }
+
+    #[test]
+    fn max_is_associative() {
+        let a = cts(&[(1, 9, 90)]);
+        let b = cts(&[(2, 8, 85)]);
+        let c = cts(&[(3, 9, 93), (4, 8, 81)]);
+        let left = max_op(&max_op(&a, &b), &c);
+        let right = max_op(&a, &max_op(&b, &c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn result_always_satisfies_invariant() {
+        let t1 = cts(&[(1, 9, 90), (2, 8, 85)]);
+        let t2 = cts(&[(1, 8, 82), (2, 9, 95)]);
+        assert!(max_op(&t1, &t2).invariant_holds());
+        assert!(max_op_def59(&t1, &t2).invariant_holds());
+    }
+}

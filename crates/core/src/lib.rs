@@ -1,0 +1,63 @@
+//! # decs-core — formal semantics of distributed composite event timestamps
+//!
+//! This crate is the primary contribution of
+//! *Yang & Chakravarthy, "Formal Semantics of Composite Events for
+//! Distributed Environments", ICDE 1999*, implemented as a library:
+//!
+//! * **Primitive timestamps** `(site, global, local)` with the relations
+//!   `<` (happen-before), `=` (simultaneous), `~` (concurrent) and
+//!   `⪯` (weakened-less-than-or-equal) of Definitions 4.6–4.8
+//!   ([`primitive`]).
+//! * **Open and closed intervals** on timestamps (Definitions 4.9/4.10 and
+//!   5.5/5.6, Figure 1) ([`interval`]).
+//! * **Distributed composite timestamps**: the set of *maximal* primitive
+//!   timestamps of the constituents, `max(ST)` (Definitions 5.1/5.2,
+//!   Theorem 5.1) ([`composite`]).
+//! * The **least restricted strict partial order** `<_p` on composite
+//!   timestamps, together with `~`, `⪯̃` and incomparability
+//!   (Definition 5.3, Theorems 5.2/5.3) ([`ordering`]), plus every
+//!   *alternative* candidate ordering analyzed (and rejected) by the paper
+//!   ([`alt`]).
+//! * The **join procedures and the `Max` operator** for propagating
+//!   timestamps through the event graph (Definitions 5.7–5.9, Theorem 5.4)
+//!   ([`join`]).
+//! * The **Figure 2 region classification** of the plane of composite
+//!   timestamps ([`region`]).
+//! * Executable statements of every proposition and theorem so the proofs
+//!   can be checked by property testing ([`properties`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alt;
+pub mod composite;
+pub mod error;
+pub mod interval;
+pub mod join;
+pub mod ordering;
+pub mod primitive;
+pub mod properties;
+pub mod region;
+pub mod relation;
+
+pub use composite::{max_set, CompositeTimestamp, RawTimestampSet};
+pub use decs_chronos::{GlobalTicks, LocalTicks, SiteId};
+pub use error::{CoreError, Result};
+pub use interval::{ClosedInterval, OpenInterval};
+pub use join::{join_concurrent, join_incomparable, max_op};
+pub use ordering::composite_relation;
+pub use primitive::PrimitiveTimestamp;
+pub use region::{classify_region, Region, RegionMap};
+pub use relation::{CompositeRelation, PrimitiveRelation};
+
+/// Shorthand constructor for a primitive timestamp, used pervasively in
+/// tests, examples and benches: `pts(site, global, local)`.
+pub fn pts(site: u32, global: u64, local: u64) -> PrimitiveTimestamp {
+    PrimitiveTimestamp::new(SiteId(site), GlobalTicks(global), LocalTicks(local))
+}
+
+/// Shorthand constructor for a composite timestamp from raw triples; the
+/// constructor normalizes through `max(ST)`.
+pub fn cts(triples: &[(u32, u64, u64)]) -> CompositeTimestamp {
+    CompositeTimestamp::from_primitives(triples.iter().map(|&(s, g, l)| pts(s, g, l)))
+}

@@ -1,0 +1,201 @@
+//! The temporal relationship on composite timestamps (Definition 5.3,
+//! Theorems 5.2/5.3).
+//!
+//! Section 5.1 derives the ordering from three requirements: (1) witnesses —
+//! `T(e1) <_p T(e2)` must imply some member pair is `<`-related; (2) it must
+//! be a *strict partial order* (irreflexive + transitive); (3) it must be
+//! **least restricted** — no valid ordering strictly contains it. The
+//! quantifier analysis shows the pure-existential candidate `∃∃` fails
+//! transitivity, and that exactly two dual least-restricted orders remain:
+//!
+//! ```text
+//! T(e1) <_p T(e2)  ⇔  ∀t2 ∈ T(e2) ∃t1 ∈ T(e1): t1 < t2
+//! T(e1) <_g T(e2)  ⇔  ∀t1 ∈ T(e1) ∃t2 ∈ T(e2): t1 < t2
+//! ```
+//!
+//! The paper (and this crate) adopts `<_p`: *every member of the later
+//! timestamp is preceded by some member of the earlier one*. The dual `<_g`
+//! and the rejected candidates live in [`crate::alt`].
+//!
+//! On top of `<_p` the paper defines:
+//! * concurrency `~` — *all* member pairs concurrent;
+//! * `⪯̃` (weaker-less-than-or-equal) — all member pairs `⪯`, which by
+//!   Theorem 5.3 is equivalent to `~ ∨ <_p`;
+//! * incomparability — none of the above.
+
+use crate::composite::CompositeTimestamp;
+use crate::relation::CompositeRelation;
+
+impl CompositeTimestamp {
+    /// Definition 5.3(2): happen-before `<_p` —
+    /// `∀t2 ∈ other ∃t1 ∈ self: t1 < t2`.
+    pub fn happens_before(&self, other: &Self) -> bool {
+        other
+            .iter()
+            .all(|t2| self.iter().any(|t1| t1.happens_before(t2)))
+    }
+
+    /// Definition 5.3(1): concurrency `~` — every member pair concurrent.
+    pub fn concurrent(&self, other: &Self) -> bool {
+        self.iter()
+            .all(|t1| other.iter().all(|t2| t1.concurrent(t2)))
+    }
+
+    /// Definition 5.4: `⪯̃` — every member pair satisfies the primitive `⪯`.
+    ///
+    /// Theorem 5.3 proves this equivalent to `self ~ other ∨ self <_p other`
+    /// (checked by the property suite).
+    pub fn weak_leq(&self, other: &Self) -> bool {
+        self.iter().all(|t1| other.iter().all(|t2| t1.weak_leq(t2)))
+    }
+
+    /// Definition 5.3(3): incomparable — neither `<_p` in either direction
+    /// nor `~`.
+    pub fn incomparable(&self, other: &Self) -> bool {
+        !self.happens_before(other) && !other.happens_before(self) && !self.concurrent(other)
+    }
+
+    /// Classify the pair into the exhaustive [`CompositeRelation`].
+    ///
+    /// `Before`/`After` are checked first: for composite timestamps the
+    /// `<_p` and `~` cases are mutually exclusive (a `<`-related member pair
+    /// cannot be concurrent), so the order of checks does not change the
+    /// result; it only fixes the tie-break for the impossible overlap.
+    pub fn relation(&self, other: &Self) -> CompositeRelation {
+        if self.happens_before(other) {
+            CompositeRelation::Before
+        } else if other.happens_before(self) {
+            CompositeRelation::After
+        } else if self.concurrent(other) {
+            CompositeRelation::Concurrent
+        } else {
+            CompositeRelation::Incomparable
+        }
+    }
+}
+
+/// Free-function form of [`CompositeTimestamp::relation`], convenient for
+/// mapping over pair collections.
+pub fn composite_relation(a: &CompositeTimestamp, b: &CompositeTimestamp) -> CompositeRelation {
+    a.relation(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cts;
+
+    #[test]
+    fn paper_example_lt_p_but_not_lt_p2() {
+        // Section 5.1 example 1: T(e1) = {(s1,8,80),(s2,7,70)},
+        // T(e2) = {(s3,9,90)} satisfies <_p (9 has predecessor 7: 7 < 9-1)
+        // even though not all pairs are < (8 vs 9 is concurrent).
+        let t1 = cts(&[(1, 8, 80), (2, 7, 70)]);
+        let t2 = cts(&[(3, 9, 90)]);
+        assert!(t1.happens_before(&t2));
+        assert_eq!(t1.relation(&t2), CompositeRelation::Before);
+        assert_eq!(t2.relation(&t1), CompositeRelation::After);
+    }
+
+    #[test]
+    fn paper_example_same_sites_lt_p() {
+        // Section 5.1 example 2: T(e1) = {(s1,8,80),(s2,7,70)} <_p
+        // T(e2) = {(s1,8,81),(s2,7,71)} because each member of T(e2) has a
+        // same-site predecessor.
+        let t1 = cts(&[(1, 8, 80), (2, 7, 70)]);
+        let t2 = cts(&[(1, 8, 81), (2, 7, 71)]);
+        assert!(t1.happens_before(&t2));
+        assert!(!t2.happens_before(&t1));
+    }
+
+    #[test]
+    fn concurrency_needs_all_pairs() {
+        let t1 = cts(&[(1, 8, 80)]);
+        let t2 = cts(&[(2, 8, 82), (3, 9, 91)]);
+        assert!(t1.concurrent(&t2));
+        let t3 = cts(&[(2, 8, 82), (3, 10, 100)]);
+        assert!(!t1.concurrent(&t3)); // 8 vs 10 is ordered
+    }
+
+    #[test]
+    fn irreflexivity() {
+        let t = cts(&[(1, 8, 80), (2, 7, 70)]);
+        assert!(!t.happens_before(&t));
+        assert_eq!(t.relation(&t), CompositeRelation::Concurrent);
+    }
+
+    #[test]
+    fn transitivity_spot_check() {
+        let a = cts(&[(1, 1, 10), (2, 2, 20)]);
+        let b = cts(&[(1, 4, 40), (3, 4, 45)]);
+        let c = cts(&[(2, 7, 70)]);
+        assert!(a.happens_before(&b));
+        assert!(b.happens_before(&c));
+        assert!(a.happens_before(&c));
+    }
+
+    #[test]
+    fn incomparable_example() {
+        // t1 = {(s1,9,90),(s2,8,85)}, t2 = {(s1,8,82),(s2,9,95)}:
+        // crossing timestamps — same-site pairs are ordered in opposite
+        // directions, so neither `<_p` nor `~` holds.
+        let t1 = cts(&[(1, 9, 90), (2, 8, 85)]);
+        let t2 = cts(&[(1, 8, 82), (2, 9, 95)]);
+        assert!(t1.incomparable(&t2));
+        assert_eq!(t1.relation(&t2), CompositeRelation::Incomparable);
+        assert_eq!(t2.relation(&t1), CompositeRelation::Incomparable);
+    }
+
+    #[test]
+    fn weak_leq_equivalence_theorem_5_3_spots() {
+        let samples = [
+            cts(&[(1, 8, 80), (2, 7, 70)]),
+            cts(&[(1, 8, 81), (2, 7, 71)]),
+            cts(&[(3, 9, 90)]),
+            cts(&[(1, 1, 10), (2, 9, 90)]),
+            cts(&[(2, 8, 85)]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let lhs = a.weak_leq(b);
+                let rhs = a.concurrent(b) || a.happens_before(b);
+                assert_eq!(lhs, rhs, "Theorem 5.3 fails for {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn relation_flip_symmetry() {
+        let samples = [
+            cts(&[(1, 8, 80), (2, 7, 70)]),
+            cts(&[(3, 9, 90)]),
+            cts(&[(1, 9, 95), (2, 1, 15)]),
+            cts(&[(1, 1, 10), (2, 9, 90)]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.relation(b).flip(), b.relation(a));
+            }
+        }
+    }
+
+    #[test]
+    fn worked_example_from_section_5() {
+        // Clocks k=1, l=2, m=3; the five composite timestamps of the worked
+        // example at the end of Section 5.1.
+        let e1 = cts(&[(1, 9_154_827, 91_548_276), (3, 9_154_827, 91_548_277)]);
+        let e2 = cts(&[(2, 9_154_827, 91_548_276), (1, 9_154_827, 91_548_277)]);
+        let e3 = cts(&[(3, 9_154_827, 91_548_276), (2, 9_154_827, 91_548_277)]);
+        let e4 = cts(&[(1, 9_154_828, 91_548_288), (2, 9_154_827, 91_548_277)]);
+        let e5 = cts(&[(1, 9_154_829, 91_548_289), (2, 9_154_828, 91_548_287)]);
+        // e1, e2, e3 are pairwise *incomparable*: their globals all fall in
+        // the same window, but each pair shares a site whose local ticks are
+        // ordered, so they are neither concurrent nor `<_p`-related.
+        assert!(e1.incomparable(&e2));
+        assert!(e2.incomparable(&e3));
+        assert!(e1.incomparable(&e3));
+        // T(e4) ~ T(e3) and T(e3) < T(e5), as the paper states.
+        assert!(e4.concurrent(&e3));
+        assert!(e3.happens_before(&e5));
+    }
+}

@@ -1,0 +1,216 @@
+//! Primitive timestamps and their temporal relations (Section 4.2).
+//!
+//! A *global primitive event* `e` carries the triple
+//! `T(e) = (site, global, local)` (Definition 4.6). Definition 4.7 gives the
+//! relations on such triples, on the basis of the `2g_g`-precedence model:
+//!
+//! 1. **Happen-before** `T(e1) < T(e2)` iff
+//!    *(same site and `local1 < local2`)* or
+//!    *(different sites and `global1 < global2 − 1·g_g`)*.
+//!    (The paper's first disjunct prints `site₁ ≠ site₂` due to a typo; the
+//!    same-site reading is forced by Definition 4.4, which Definition 4.7
+//!    explicitly derives from.)
+//! 2. **Simultaneous** `T(e1) = T(e2)` iff same site and same local tick.
+//! 3. **Concurrent** `T(e1) ~ T(e2)` iff neither happens before the other.
+//!
+//! Definition 4.8 adds the weakened order `⪯`: `T(e1) ⪯ T(e2)` iff
+//! `T(e1) < T(e2)` or `T(e1) ~ T(e2)`. `⪯` is deliberately *not* transitive
+//! (because `~` is not); the paper chooses it so that *any* two primitive
+//! timestamps are comparable by `⪯` in at least one direction
+//! (Proposition 4.2(4)).
+
+use crate::relation::PrimitiveRelation;
+use decs_chronos::{concurrent_2gg, precedes_2gg, GlobalTicks, LocalTicks, SiteId, StampParts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The timestamp of a global primitive event: `(site, global, local)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrimitiveTimestamp {
+    parts: StampParts,
+}
+
+// NOTE: the derived `PartialOrd`/`Ord` is a *lexicographic container order*
+// used only for canonical storage inside composite timestamps and maps. The
+// *temporal* order is `happens_before`/`relation` below. Keeping them
+// separate is essential: the temporal order is partial, a container order
+// must be total.
+
+impl PrimitiveTimestamp {
+    /// Construct from the three components.
+    pub const fn new(site: SiteId, global: GlobalTicks, local: LocalTicks) -> Self {
+        PrimitiveTimestamp {
+            parts: StampParts::new(site, global, local),
+        }
+    }
+
+    /// The site of occurrence (`T(e).site`).
+    pub const fn site(&self) -> SiteId {
+        self.parts.site
+    }
+
+    /// The global tick (`T(e).global`).
+    pub const fn global(&self) -> GlobalTicks {
+        self.parts.global
+    }
+
+    /// The local tick (`T(e).local`).
+    pub const fn local(&self) -> LocalTicks {
+        self.parts.local
+    }
+
+    /// The raw parts (for interop with the time substrate).
+    pub const fn parts(&self) -> &StampParts {
+        &self.parts
+    }
+
+    /// Definition 4.7(1): happen-before `<`.
+    #[inline]
+    pub fn happens_before(&self, other: &Self) -> bool {
+        precedes_2gg(&self.parts, &other.parts)
+    }
+
+    /// Definition 4.7(2): simultaneity `=` — same site, same local tick.
+    #[inline]
+    pub fn simultaneous(&self, other: &Self) -> bool {
+        self.parts.site == other.parts.site && self.parts.local == other.parts.local
+    }
+
+    /// Definition 4.7(3): concurrency `~` — neither happens before the
+    /// other. Simultaneity is the same-site special case.
+    #[inline]
+    pub fn concurrent(&self, other: &Self) -> bool {
+        concurrent_2gg(&self.parts, &other.parts)
+    }
+
+    /// Definition 4.8: the weakened less-than-or-equal `⪯`:
+    /// `self < other` or `self ~ other`.
+    #[inline]
+    pub fn weak_leq(&self, other: &Self) -> bool {
+        self.happens_before(other) || self.concurrent(other)
+    }
+
+    /// Classify the pair into the exhaustive [`PrimitiveRelation`].
+    pub fn relation(&self, other: &Self) -> PrimitiveRelation {
+        if self.happens_before(other) {
+            PrimitiveRelation::Before
+        } else if other.happens_before(self) {
+            PrimitiveRelation::After
+        } else if self.simultaneous(other) {
+            PrimitiveRelation::Simultaneous
+        } else {
+            PrimitiveRelation::Concurrent
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveTimestamp {
+    /// Renders in the paper's `(site, global, local)` syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.parts.site,
+            self.parts.global.get(),
+            self.parts.local.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pts;
+
+    #[test]
+    fn accessors_match_object_syntax() {
+        // Definition 4.6's `T(e).site / .global / .local` accessors.
+        let t = pts(3, 8, 81);
+        assert_eq!(t.site(), SiteId(3));
+        assert_eq!(t.global(), GlobalTicks(8));
+        assert_eq!(t.local(), LocalTicks(81));
+    }
+
+    #[test]
+    fn same_site_happen_before_by_local() {
+        assert!(pts(1, 5, 50).happens_before(&pts(1, 5, 51)));
+        assert!(!pts(1, 5, 51).happens_before(&pts(1, 5, 50)));
+    }
+
+    #[test]
+    fn cross_site_happen_before_needs_gap() {
+        assert!(!pts(1, 8, 80).happens_before(&pts(2, 9, 90)));
+        assert!(pts(1, 8, 80).happens_before(&pts(2, 10, 100)));
+    }
+
+    #[test]
+    fn simultaneous_requires_same_site_and_local() {
+        assert!(pts(1, 5, 50).simultaneous(&pts(1, 5, 50)));
+        assert!(!pts(1, 5, 50).simultaneous(&pts(2, 5, 50)));
+        assert!(!pts(1, 5, 50).simultaneous(&pts(1, 5, 51)));
+    }
+
+    #[test]
+    fn concurrency_covers_cross_site_within_one_tick() {
+        assert!(pts(1, 8, 80).concurrent(&pts(2, 9, 91)));
+        assert!(pts(1, 8, 80).concurrent(&pts(2, 8, 83)));
+        assert!(pts(1, 8, 80).concurrent(&pts(2, 7, 70)));
+        assert!(!pts(1, 8, 80).concurrent(&pts(2, 10, 100)));
+    }
+
+    #[test]
+    fn weak_leq_any_pair_comparable_some_direction() {
+        // Proposition 4.2(4): either a ⪯ b or b ⪯ a (or both).
+        let cases = [
+            (pts(1, 1, 10), pts(2, 1, 11)),
+            (pts(1, 1, 10), pts(2, 9, 90)),
+            (pts(1, 1, 10), pts(1, 1, 10)),
+            (pts(1, 2, 20), pts(1, 1, 10)),
+        ];
+        for (a, b) in cases {
+            assert!(a.weak_leq(&b) || b.weak_leq(&a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relation_classification_is_exhaustive_and_consistent() {
+        let a = pts(1, 5, 50);
+        assert_eq!(a.relation(&pts(1, 5, 51)), PrimitiveRelation::Before);
+        assert_eq!(a.relation(&pts(1, 5, 49)), PrimitiveRelation::After);
+        assert_eq!(a.relation(&pts(1, 5, 50)), PrimitiveRelation::Simultaneous);
+        assert_eq!(a.relation(&pts(2, 5, 50)), PrimitiveRelation::Concurrent);
+        assert_eq!(a.relation(&pts(2, 7, 70)), PrimitiveRelation::Before);
+        assert_eq!(a.relation(&pts(2, 3, 30)), PrimitiveRelation::After);
+    }
+
+    #[test]
+    fn relation_flip_symmetry() {
+        let samples = [
+            pts(1, 1, 10),
+            pts(1, 1, 12),
+            pts(2, 1, 13),
+            pts(2, 3, 30),
+            pts(3, 9, 91),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.relation(b).flip(), b.relation(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(pts(3, 8, 81).to_string(), "(s3, 8, 81)");
+    }
+
+    #[test]
+    fn container_order_is_total_and_distinct_from_temporal() {
+        // (s1, 9, 90) vs (s2, 1, 10): temporally After, but container order
+        // sorts by site first.
+        let a = pts(1, 9, 90);
+        let b = pts(2, 1, 10);
+        assert!(a < b); // container order
+        assert_eq!(a.relation(&b), PrimitiveRelation::After); // temporal
+    }
+}

@@ -1,0 +1,363 @@
+//! Executable statements of every proposition and theorem of the paper.
+//!
+//! Each item is a pure predicate over concrete timestamps, so the paper's
+//! proofs can be *checked* mechanically: the unit tests spot-check them and
+//! the proptest suites (`tests/` of this crate) quantify them over
+//! randomized universes. Where the scanned paper contains an error, the
+//! predicate encodes the corrected claim and the doc comment records the
+//! discrepancy (see also `DESIGN.md`).
+
+use crate::composite::{max_set, CompositeTimestamp};
+use crate::join::max_op;
+use crate::primitive::PrimitiveTimestamp;
+
+// ---------------------------------------------------------------------------
+// Proposition 4.1 — local vs global components.
+// ---------------------------------------------------------------------------
+
+/// Proposition 4.1(1): same-granularity clocks — if `local1 < local2` then
+/// `global1 ≤ global2`. Holds for timestamps produced by one global time
+/// base from a *common* local granularity; encoded over the components.
+pub fn prop_4_1_local_lt_implies_global_leq(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+) -> bool {
+    if t1.local() < t2.local() {
+        t1.global() <= t2.global()
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.1(2): if `local1 = local2` then `global1 = global2`.
+pub fn prop_4_1_local_eq_implies_global_eq(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+) -> bool {
+    if t1.local() == t2.local() {
+        t1.global() == t2.global()
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.1(3): if `T(e1) ~ T(e2)` then
+/// `|global1 − global2| ≤ 1·g_g`.
+pub fn prop_4_1_concurrent_implies_global_within_one(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+) -> bool {
+    if t1.concurrent(t2) {
+        t1.global().abs_diff(t2.global()) <= 1
+    } else {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 and Proposition 4.2 — the primitive relations.
+// ---------------------------------------------------------------------------
+
+/// Theorem 4.1 (irreflexivity half): `¬(t < t)`.
+pub fn thm_4_1_irreflexive(t: &PrimitiveTimestamp) -> bool {
+    !t.happens_before(t)
+}
+
+/// Theorem 4.1 (transitivity half): `t1 < t2 ∧ t2 < t3 ⟹ t1 < t3`.
+pub fn thm_4_1_transitive(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+    t3: &PrimitiveTimestamp,
+) -> bool {
+    if t1.happens_before(t2) && t2.happens_before(t3) {
+        t1.happens_before(t3)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(1) (asymmetry): `t1 < t2 ⟹ ¬(t2 < t1)`.
+pub fn prop_4_2_1_asymmetric(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    !(t1.happens_before(t2) && t2.happens_before(t1))
+}
+
+/// Proposition 4.2(2) (antisymmetry of `⪯`): `t1 ⪯ t2 ∧ t2 ⪯ t1 ⟹ t1 ~ t2`.
+pub fn prop_4_2_2_antisymmetric(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    if t1.weak_leq(t2) && t2.weak_leq(t1) {
+        t1.concurrent(t2)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(3) (trichotomy): exactly one of `t1 < t2`, `t2 < t1`,
+/// `t1 ~ t2` holds.
+pub fn prop_4_2_3_trichotomy(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    let count = [
+        t1.happens_before(t2),
+        t2.happens_before(t1),
+        t1.concurrent(t2),
+    ]
+    .iter()
+    .filter(|&&b| b)
+    .count();
+    count == 1
+}
+
+/// Proposition 4.2(4): `t1 ⪯ t2` or `t2 ⪯ t1` (or both).
+pub fn prop_4_2_4_weak_total(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    t1.weak_leq(t2) || t2.weak_leq(t1)
+}
+
+/// Proposition 4.2(5): same-site concurrency collapses to simultaneity.
+pub fn prop_4_2_5_same_site_concurrent_is_simultaneous(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+) -> bool {
+    if t1.concurrent(t2) && t1.site() == t2.site() {
+        t1.simultaneous(t2)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(6): simultaneity substitutes under `<`:
+/// `t1 = t2 ∧ t1 < t3 ⟹ t2 < t3` (concurrency does *not* substitute —
+/// the companion predicate below exhibits that).
+pub fn prop_4_2_6_simultaneous_substitutes(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+    t3: &PrimitiveTimestamp,
+) -> bool {
+    if t1.simultaneous(t2) && t1.happens_before(t3) {
+        t2.happens_before(t3)
+    } else {
+        true
+    }
+}
+
+/// The paper's companion counterexample claim to 4.2(6): mere concurrency
+/// does **not** substitute under `<`. Returns true if `(t1,t2,t3)` is a
+/// witness (concurrent pair whose `<`-consequences differ).
+pub fn prop_4_2_6_concurrency_counterexample(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+    t3: &PrimitiveTimestamp,
+) -> bool {
+    t1.concurrent(t2) && t1.happens_before(t3) && !t2.happens_before(t3)
+}
+
+/// Proposition 4.2(7): `t1 < t2 ∧ t2 ~ t3 ⟹ t1 ⪯ t3`.
+pub fn prop_4_2_7(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp, t3: &PrimitiveTimestamp) -> bool {
+    if t1.happens_before(t2) && t2.concurrent(t3) {
+        t1.weak_leq(t3)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(8): `t1 ~ t2 ∧ t2 < t3 ⟹ t1 ⪯ t3`.
+pub fn prop_4_2_8(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp, t3: &PrimitiveTimestamp) -> bool {
+    if t1.concurrent(t2) && t2.happens_before(t3) {
+        t1.weak_leq(t3)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(9): `¬(t1 < t2) ⟹ t2 ⪯ t1`.
+pub fn prop_4_2_9(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    if !t1.happens_before(t2) {
+        t2.weak_leq(t1)
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.2(10): `¬(t1 < t2) ∧ ¬(t2 < t1) ⟹ t1 ~ t2`.
+pub fn prop_4_2_10(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp) -> bool {
+    if !t1.happens_before(t2) && !t2.happens_before(t1) {
+        t1.concurrent(t2)
+    } else {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 5.1–5.4 — the composite level.
+// ---------------------------------------------------------------------------
+
+/// Theorem 5.1: members of `max(ST)` are pairwise concurrent.
+pub fn thm_5_1_max_set_concurrent(st: &[PrimitiveTimestamp]) -> bool {
+    let m = max_set(st);
+    m.iter()
+        .enumerate()
+        .all(|(i, a)| m[i + 1..].iter().all(|b| a.concurrent(b)))
+}
+
+/// Theorem 5.2 (irreflexivity half): `¬(T <_p T)`.
+pub fn thm_5_2_irreflexive(t: &CompositeTimestamp) -> bool {
+    !t.happens_before(t)
+}
+
+/// Theorem 5.2 (transitivity half).
+pub fn thm_5_2_transitive(
+    t1: &CompositeTimestamp,
+    t2: &CompositeTimestamp,
+    t3: &CompositeTimestamp,
+) -> bool {
+    if t1.happens_before(t2) && t2.happens_before(t3) {
+        t1.happens_before(t3)
+    } else {
+        true
+    }
+}
+
+/// Theorem 5.3, the direction that holds universally:
+/// `T1 ~ T2 ∨ T1 <_p T2 ⟹ T1 ⪯̃ T2`.
+pub fn thm_5_3_implication(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    if t1.concurrent(t2) || t1.happens_before(t2) {
+        t1.weak_leq(t2)
+    } else {
+        true
+    }
+}
+
+/// Theorem 5.3 as printed (an *iff*). **Reproduction finding:** the converse
+/// fails — a timestamp in the Figure 2 "weak band" (e.g. `{(s9,6,60)}`
+/// against `{(s3,8,81),(s6,7,72)}`) is `⪯̃` without being `~` or `<_p`.
+/// Exposed as a predicate so experiments can quantify how often the
+/// converse holds.
+pub fn thm_5_3_iff(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    t1.weak_leq(t2) == (t1.concurrent(t2) || t1.happens_before(t2))
+}
+
+/// Theorem 5.4: `Max(T1, T2) = max(T1 ∪ T2)`. True by construction for the
+/// normative [`max_op`]; the experiments apply the same check to the
+/// literal Definition 5.9 to expose its divergence on ordered branches.
+pub fn thm_5_4(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    let combined: Vec<_> = t1.iter().copied().chain(t2.iter().copied()).collect();
+    max_op(t1, t2).members() == max_set(&combined).as_slice()
+}
+
+/// Asymmetry of `<_p` (a consequence of Theorem 5.2 the dual-pair
+/// construction relies on): `T1 <_p T2 ⟹ ¬(T2 <_p T1)`.
+pub fn asymmetry(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> bool {
+    !(t1.happens_before(t2) && t2.happens_before(t1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cts, pts};
+
+    fn primitive_samples() -> Vec<PrimitiveTimestamp> {
+        let mut v = Vec::new();
+        for site in 1..=3u32 {
+            for g in [0u64, 1, 2, 5, 6, 9] {
+                v.push(pts(site, g, g * 10 + u64::from(site)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn proposition_4_2_all_items_on_grid() {
+        let samples = primitive_samples();
+        for a in &samples {
+            assert!(thm_4_1_irreflexive(a));
+            for b in &samples {
+                assert!(prop_4_2_1_asymmetric(a, b), "{a} {b}");
+                assert!(prop_4_2_2_antisymmetric(a, b), "{a} {b}");
+                assert!(prop_4_2_3_trichotomy(a, b), "{a} {b}");
+                assert!(prop_4_2_4_weak_total(a, b), "{a} {b}");
+                assert!(prop_4_2_5_same_site_concurrent_is_simultaneous(a, b));
+                assert!(prop_4_2_9(a, b), "{a} {b}");
+                assert!(prop_4_2_10(a, b), "{a} {b}");
+                for c in &samples {
+                    assert!(thm_4_1_transitive(a, b, c));
+                    assert!(prop_4_2_6_simultaneous_substitutes(a, b, c));
+                    assert!(prop_4_2_7(a, b, c), "{a} {b} {c}");
+                    assert!(prop_4_2_8(a, b, c), "{a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_counterexample_to_concurrency_substitution() {
+        // Globals 1, 2, 3 at distinct sites — the paper's own example.
+        let t1 = pts(1, 1, 10);
+        let t2 = pts(2, 2, 20);
+        let t3 = pts(3, 3, 30);
+        // t1 ~ t2, t1 < t3 (gap 2), but ¬(t2 < t3) (gap only 1).
+        assert!(prop_4_2_6_concurrency_counterexample(&t1, &t2, &t3));
+    }
+
+    #[test]
+    fn proposition_4_1_on_conforming_components() {
+        // Components produced by one time base: global = local / 10.
+        let mk = |site: u32, local: u64| pts(site, local / 10, local);
+        let samples: Vec<_> = (0..40u64).map(|l| mk(1 + (l % 3) as u32, l)).collect();
+        for a in &samples {
+            for b in &samples {
+                assert!(prop_4_1_local_lt_implies_global_leq(a, b));
+                assert!(prop_4_1_local_eq_implies_global_eq(a, b));
+                assert!(prop_4_1_concurrent_implies_global_within_one(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_1_on_random_subsets() {
+        let samples = primitive_samples();
+        // All 3-subsets of the grid.
+        for i in 0..samples.len() {
+            for j in (i + 1)..samples.len() {
+                for k in (j + 1)..samples.len() {
+                    let st = [samples[i], samples[j], samples[k]];
+                    assert!(thm_5_1_max_set_concurrent(&st));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_2_on_composite_grid() {
+        let composites = [
+            cts(&[(1, 8, 80), (2, 7, 70)]),
+            cts(&[(1, 8, 81), (2, 7, 71)]),
+            cts(&[(3, 9, 90)]),
+            cts(&[(1, 1, 10)]),
+            cts(&[(2, 4, 40), (3, 4, 44)]),
+        ];
+        for a in &composites {
+            assert!(thm_5_2_irreflexive(a));
+            for b in &composites {
+                assert!(thm_5_3_implication(a, b));
+                assert!(thm_5_4(a, b));
+                for c in &composites {
+                    assert!(thm_5_2_transitive(a, b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_3_iff_fails_on_the_weak_band() {
+        let reference = cts(&[(3, 8, 81), (6, 7, 72)]);
+        let probe = cts(&[(9, 6, 60)]);
+        assert!(thm_5_3_implication(&probe, &reference));
+        assert!(!thm_5_3_iff(&probe, &reference));
+    }
+
+    #[test]
+    fn asymmetry_on_samples() {
+        let a = cts(&[(1, 1, 10)]);
+        let b = cts(&[(2, 5, 50)]);
+        assert!(a.happens_before(&b));
+        assert!(asymmetry(&a, &b));
+        assert!(asymmetry(&b, &a));
+        assert!(asymmetry(&a, &a));
+    }
+}

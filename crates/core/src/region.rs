@@ -1,0 +1,272 @@
+//! The Figure 2 region classification.
+//!
+//! The paper visualizes the plane of composite timestamps as a 2-D grid
+//! (X = global time, Y = sites) and draws four vertical lines around a
+//! reference composite timestamp `T(e)`:
+//!
+//! ```text
+//!        Line1         Line2   Line3         Line4
+//! ──<──────┆──(weak)─────┆──~────┆──(weak)─────┆──>──   global time →
+//! ```
+//!
+//! For the paper's example `T(e) = {(s3,8,81),(s6,7,72)}` the lines sit at
+//! global ticks 5, 7, 8 and 9, and (for timestamps at sites disjoint from
+//! `T(e)`'s, so only cross-site comparison applies):
+//!
+//! * `T(e1) < T(e)`  iff `T(e1)` lies at or before Line1 (`g ≤ 5`);
+//! * `T(e1) ~ T(e)`  iff `T(e1)` lies between Line2 and Line3 (`7 ≤ g ≤ 8`);
+//! * `T(e) < T(e1)`  iff `T(e1)` lies at or after Line4 (`g ≥ 9`);
+//! * `T(e1) ⪯̃ T(e)` iff `T(e1)` lies at or before Line3 (`g ≤ 8`);
+//! * `T(e) ⪯̃ T(e1)` iff `T(e1)` lies at or after Line2 (`g ≥ 7`).
+//!
+//! A timestamp whose members straddle the lines is **incomparable**
+//! ("crossing"). Note the weak band below the concurrency band (between
+//! Line1 and Line2) is non-empty whenever the reference has global spread;
+//! timestamps there are `⪯̃ T(e)` without being either `<` or `~` — this is
+//! the region that shows Theorem 5.3's "iff" only holds as an implication
+//! (see `properties::theorem_5_3`).
+
+use crate::composite::CompositeTimestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The qualitative region of the plane relative to a reference timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Strictly precedes the reference (`t <_p ref`), at or before Line1.
+    Before,
+    /// `t ⪯̃ ref` but neither `<_p` nor `~`: the Line1–Line2 band.
+    WeakBefore,
+    /// Concurrent with the reference: the Line2–Line3 band.
+    Concurrent,
+    /// `ref ⪯̃ t` but neither `~` nor `ref <_p t`: the Line3–Line4 band.
+    WeakAfter,
+    /// Strictly follows the reference (`ref <_p t`), at or after Line4.
+    After,
+    /// Straddles the lines: incomparable and not even weakly related.
+    Crossing,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Before => "before (<)",
+            Region::WeakBefore => "weak-before (⪯̃ only)",
+            Region::Concurrent => "concurrent (~)",
+            Region::WeakAfter => "weak-after (⪯̃ only)",
+            Region::After => "after (>)",
+            Region::Crossing => "crossing (incomparable)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Exact classification of `t` relative to `reference`, by the Definition
+/// 5.3/5.4 relations (site-aware; valid for any pair, unlike the line
+/// heuristic below).
+pub fn classify_region(reference: &CompositeTimestamp, t: &CompositeTimestamp) -> Region {
+    if t.happens_before(reference) {
+        Region::Before
+    } else if reference.happens_before(t) {
+        Region::After
+    } else if t.concurrent(reference) {
+        Region::Concurrent
+    } else if t.weak_leq(reference) {
+        Region::WeakBefore
+    } else if reference.weak_leq(t) {
+        Region::WeakAfter
+    } else {
+        Region::Crossing
+    }
+}
+
+/// The four Figure 2 line positions (in global ticks) for a reference
+/// timestamp, plus a line-based classifier valid for timestamps whose sites
+/// are disjoint from the reference's (pure cross-site comparison).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionMap {
+    reference: CompositeTimestamp,
+    /// Line1: last global tick that strictly precedes the reference, or
+    /// `None` when the reference sits too close to the epoch for any global
+    /// tick to precede it (`min_global < 2`).
+    pub line1: Option<u64>,
+    /// Line2: first global tick concurrent with the reference.
+    pub line2: u64,
+    /// Line3: last global tick concurrent with the reference.
+    pub line3: u64,
+    /// Line4: first global tick that strictly follows the reference.
+    pub line4: u64,
+}
+
+impl RegionMap {
+    /// Compute the line positions for `reference`.
+    ///
+    /// With `m = min` and `M = max` global tick of the reference members
+    /// (`M − m ≤ 1` by the concurrency invariant):
+    /// `Line1 = m − 2`, `Line2 = M − 1`, `Line3 = m + 1`, `Line4 = m + 2`.
+    pub fn new(reference: CompositeTimestamp) -> Self {
+        let m = reference.min_global();
+        let big_m = reference.max_global();
+        RegionMap {
+            line1: m.checked_sub(2),
+            line2: big_m.saturating_sub(1),
+            line3: m + 1,
+            line4: m + 2,
+            reference,
+        }
+    }
+
+    /// The reference timestamp.
+    pub fn reference(&self) -> &CompositeTimestamp {
+        &self.reference
+    }
+
+    /// Classify a *cross-site* timestamp that lives entirely at global tick
+    /// `g` (all members at sites disjoint from the reference's and with the
+    /// same global tick). Agrees with [`classify_region`] in that setting —
+    /// verified by the test suite and the `fig2_regions` experiment.
+    pub fn classify_global(&self, g: u64) -> Region {
+        if self.line1.is_some_and(|l1| g <= l1) {
+            Region::Before
+        } else if g >= self.line4 {
+            Region::After
+        } else if g >= self.line2 && g <= self.line3 {
+            Region::Concurrent
+        } else if g < self.line2 {
+            Region::WeakBefore
+        } else {
+            Region::WeakAfter
+        }
+    }
+
+    /// Classify a cross-site composite timestamp spanning global ticks
+    /// `[g_min, g_max]`: if all members fall in one region, that region;
+    /// otherwise it crosses lines. (`Crossing` here means the *band*
+    /// classification is mixed — the exact relation may still resolve, use
+    /// [`classify_region`] for the authoritative answer.)
+    pub fn classify_span(&self, g_min: u64, g_max: u64) -> Region {
+        let lo = self.classify_global(g_min);
+        let hi = self.classify_global(g_max);
+        if lo == hi {
+            lo
+        } else {
+            Region::Crossing
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cts;
+
+    /// The paper's Figure 2 reference timestamp.
+    fn fig2_reference() -> CompositeTimestamp {
+        cts(&[(3, 8, 81), (6, 7, 72)])
+    }
+
+    #[test]
+    fn figure_2_line_positions() {
+        let map = RegionMap::new(fig2_reference());
+        assert_eq!(map.line1, Some(5));
+        assert_eq!(map.line2, 7);
+        assert_eq!(map.line3, 8);
+        assert_eq!(map.line4, 9);
+    }
+
+    #[test]
+    fn figure_2_band_classification() {
+        let map = RegionMap::new(fig2_reference());
+        assert_eq!(map.classify_global(3), Region::Before);
+        assert_eq!(map.classify_global(5), Region::Before);
+        assert_eq!(map.classify_global(6), Region::WeakBefore);
+        assert_eq!(map.classify_global(7), Region::Concurrent);
+        assert_eq!(map.classify_global(8), Region::Concurrent);
+        assert_eq!(map.classify_global(9), Region::After);
+        assert_eq!(map.classify_global(12), Region::After);
+    }
+
+    #[test]
+    fn line_classifier_agrees_with_exact_relations() {
+        let reference = fig2_reference();
+        let map = RegionMap::new(reference.clone());
+        // Fresh site 9, sweeping the global axis.
+        for g in 0..15u64 {
+            let probe = cts(&[(9, g, g * 10)]);
+            assert_eq!(
+                map.classify_global(g),
+                classify_region(&reference, &probe),
+                "disagreement at global {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_classifier_is_site_aware() {
+        let reference = fig2_reference();
+        // A same-site probe at the same global tick as (s3,8,81) but a later
+        // local tick is *not* concurrent with the reference: local order
+        // decides.
+        let probe = cts(&[(3, 8, 82)]);
+        assert_ne!(classify_region(&reference, &probe), Region::Concurrent);
+    }
+
+    #[test]
+    fn crossing_span() {
+        let map = RegionMap::new(fig2_reference());
+        assert_eq!(map.classify_span(7, 8), Region::Concurrent);
+        assert_eq!(map.classify_span(5, 9), Region::Crossing);
+        assert_eq!(map.classify_span(6, 6), Region::WeakBefore);
+    }
+
+    #[test]
+    fn weak_band_is_the_theorem_5_3_gap() {
+        // g = 6 probes are ⪯̃ the reference while neither < nor ~ it.
+        let reference = fig2_reference();
+        let probe = cts(&[(9, 6, 60)]);
+        assert!(probe.weak_leq(&reference));
+        assert!(!probe.happens_before(&reference));
+        assert!(!probe.concurrent(&reference));
+        assert_eq!(classify_region(&reference, &probe), Region::WeakBefore);
+    }
+
+    #[test]
+    fn weak_after_band_requires_spread_of_the_other_side() {
+        // With the asymmetric quantifiers of <_p, the band above the
+        // concurrency region is empty for single-tick cross-site probes
+        // against this reference — After starts right after Concurrent.
+        let map = RegionMap::new(fig2_reference());
+        assert_eq!(map.line3 + 1, map.line4);
+    }
+
+    #[test]
+    fn crossing_exact_example() {
+        // A probe spanning both extremes is incomparable and not weakly
+        // related in either direction.
+        let reference = fig2_reference();
+        let probe = cts(&[(9, 3, 30), (10, 4, 42)]);
+        // (s9,3) and (s10,4) are concurrent (gap 1); probe < reference?
+        // (s3,8): 3+1<8 ✓ or 4+1<8 ✓; (s6,7): 4+1<7 ✓. All have
+        // predecessors → actually Before. Pick a genuinely crossing probe:
+        let crossing = cts(&[(9, 6, 60), (10, 7, 75)]);
+        // (s9,6): weak-before band; (s10,7): concurrent band.
+        assert_eq!(classify_region(&reference, &probe), Region::Before);
+        let r = classify_region(&reference, &crossing);
+        assert!(
+            r == Region::WeakBefore || r == Region::Crossing,
+            "got {r}"
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Region::Concurrent.to_string(), "concurrent (~)");
+        assert_eq!(Region::Crossing.to_string(), "crossing (incomparable)");
+    }
+
+    #[test]
+    fn reference_accessor() {
+        let map = RegionMap::new(fig2_reference());
+        assert_eq!(map.reference(), &fig2_reference());
+    }
+}

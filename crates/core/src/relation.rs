@@ -1,0 +1,143 @@
+//! The temporal relation enums shared by the primitive and composite levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The exhaustive temporal relation between two *primitive* timestamps
+/// (Definition 4.7). By Proposition 4.2(3) exactly one of
+/// `Before`/`After`/`Concurrent` holds for distinct stamps, with
+/// `Simultaneous` the same-site special case of `Concurrent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimitiveRelation {
+    /// `T(e1) < T(e2)` — happen-before.
+    Before,
+    /// `T(e2) < T(e1)` — happen-after.
+    After,
+    /// `T(e1) = T(e2)` — same site, same local tick.
+    Simultaneous,
+    /// `T(e1) ~ T(e2)` — neither precedes the other (cross-site within
+    /// `1 g_g`, or incomparable same-instant readings).
+    Concurrent,
+}
+
+impl PrimitiveRelation {
+    /// Whether this relation counts as concurrent in the sense of
+    /// Definition 4.7(3) (simultaneity is the same-site special case).
+    pub fn is_concurrent(self) -> bool {
+        matches!(
+            self,
+            PrimitiveRelation::Concurrent | PrimitiveRelation::Simultaneous
+        )
+    }
+
+    /// The relation with the operand order swapped.
+    pub fn flip(self) -> Self {
+        match self {
+            PrimitiveRelation::Before => PrimitiveRelation::After,
+            PrimitiveRelation::After => PrimitiveRelation::Before,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimitiveRelation::Before => "<",
+            PrimitiveRelation::After => ">",
+            PrimitiveRelation::Simultaneous => "=",
+            PrimitiveRelation::Concurrent => "~",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The exhaustive temporal relation between two *composite* timestamps
+/// (Definition 5.3): happen-before/after under `<_p`, all-pairs concurrency,
+/// or incomparability (the timestamp "crosses the lines" of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompositeRelation {
+    /// `T(e1) < T(e2)` under the least-restricted ordering `<_p`.
+    Before,
+    /// `T(e2) < T(e1)` under `<_p`.
+    After,
+    /// `T(e1) ~ T(e2)`: every pair of members is concurrent.
+    Concurrent,
+    /// None of the above.
+    Incomparable,
+}
+
+impl CompositeRelation {
+    /// The relation with the operand order swapped.
+    pub fn flip(self) -> Self {
+        match self {
+            CompositeRelation::Before => CompositeRelation::After,
+            CompositeRelation::After => CompositeRelation::Before,
+            other => other,
+        }
+    }
+
+    /// Whether the pair is comparable at all (not `Incomparable`).
+    pub fn is_comparable(self) -> bool {
+        !matches!(self, CompositeRelation::Incomparable)
+    }
+}
+
+impl fmt::Display for CompositeRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompositeRelation::Before => "<",
+            CompositeRelation::After => ">",
+            CompositeRelation::Concurrent => "~",
+            CompositeRelation::Incomparable => "≬",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for r in [
+            PrimitiveRelation::Before,
+            PrimitiveRelation::After,
+            PrimitiveRelation::Simultaneous,
+            PrimitiveRelation::Concurrent,
+        ] {
+            assert_eq!(r.flip().flip(), r);
+        }
+        for r in [
+            CompositeRelation::Before,
+            CompositeRelation::After,
+            CompositeRelation::Concurrent,
+            CompositeRelation::Incomparable,
+        ] {
+            assert_eq!(r.flip().flip(), r);
+        }
+    }
+
+    #[test]
+    fn simultaneous_is_concurrent() {
+        assert!(PrimitiveRelation::Simultaneous.is_concurrent());
+        assert!(PrimitiveRelation::Concurrent.is_concurrent());
+        assert!(!PrimitiveRelation::Before.is_concurrent());
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(PrimitiveRelation::Before.to_string(), "<");
+        assert_eq!(PrimitiveRelation::Simultaneous.to_string(), "=");
+        assert_eq!(CompositeRelation::Incomparable.to_string(), "≬");
+        assert_eq!(CompositeRelation::Concurrent.to_string(), "~");
+    }
+
+    #[test]
+    fn comparability() {
+        assert!(CompositeRelation::Before.is_comparable());
+        assert!(CompositeRelation::Concurrent.is_comparable());
+        assert!(!CompositeRelation::Incomparable.is_comparable());
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for the composite-timestamp semantics (Section 5):
+//! Theorems 5.1–5.4, the candidate-ordering analysis of Section 5.1, and
+//! the algebraic laws of the `Max` operator.
+
+use decs_core::alt::{self, Candidate};
+use decs_core::properties as p;
+use decs_core::{
+    classify_region, cts, join_concurrent, max_op, pts, CompositeRelation, CompositeTimestamp,
+    PrimitiveTimestamp, RawTimestampSet, Region, RegionMap,
+};
+use proptest::prelude::*;
+
+/// Conforming timestamps: `global = local / 10`, as a real global time base
+/// produces. The Section 4/5 theory *requires* conforming components — for
+/// arbitrary (site, global, local) triples the same-site local order can
+/// contradict the cross-site global order, `<` acquires cycles, and
+/// `max(ST)` can even be empty. See `nonconforming_components_break_the_theory`.
+fn arbitrary_ts() -> impl Strategy<Value = PrimitiveTimestamp> {
+    (1u32..6, 0u64..120).prop_map(|(s, l)| pts(s, l / 10, l))
+}
+
+fn composite() -> impl Strategy<Value = CompositeTimestamp> {
+    proptest::collection::vec(arbitrary_ts(), 1..6)
+        .prop_map(CompositeTimestamp::from_primitives)
+}
+
+fn raw_set() -> impl Strategy<Value = RawTimestampSet> {
+    proptest::collection::vec(arbitrary_ts(), 1..5).prop_map(RawTimestampSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn constructor_establishes_invariant(v in proptest::collection::vec(arbitrary_ts(), 1..8)) {
+        let c = CompositeTimestamp::from_primitives(v);
+        prop_assert!(c.invariant_holds());
+        // Global spread of a normalized timestamp is at most one tick
+        // (members are pairwise concurrent).
+        prop_assert!(c.max_global() - c.min_global() <= 1);
+    }
+
+    #[test]
+    fn thm_5_1_max_set_concurrent(v in proptest::collection::vec(arbitrary_ts(), 0..8)) {
+        prop_assert!(p::thm_5_1_max_set_concurrent(&v));
+    }
+
+    #[test]
+    fn thm_5_2_strict_partial_order(a in composite(), b in composite(), c in composite()) {
+        prop_assert!(p::thm_5_2_irreflexive(&a));
+        prop_assert!(p::thm_5_2_transitive(&a, &b, &c));
+        prop_assert!(p::asymmetry(&a, &b));
+    }
+
+    #[test]
+    fn thm_5_3_implication_direction(a in composite(), b in composite()) {
+        prop_assert!(p::thm_5_3_implication(&a, &b));
+    }
+
+    #[test]
+    fn thm_5_4_max_is_max_of_union(a in composite(), b in composite()) {
+        prop_assert!(p::thm_5_4(&a, &b));
+    }
+
+    #[test]
+    fn max_op_laws(a in composite(), b in composite(), c in composite()) {
+        // Commutative, idempotent, associative; result satisfies invariant.
+        prop_assert_eq!(max_op(&a, &b), max_op(&b, &a));
+        prop_assert_eq!(max_op(&a, &a), a.clone());
+        prop_assert_eq!(max_op(&max_op(&a, &b), &c), max_op(&a, &max_op(&b, &c)));
+        prop_assert!(max_op(&a, &b).invariant_holds());
+    }
+
+    #[test]
+    fn max_op_upper_bound(a in composite(), b in composite()) {
+        // Neither input strictly follows the Max (the Max is an upper
+        // bound in the weak sense): every member of the result is a member
+        // of one of the inputs and no input member strictly dominates it.
+        let m = max_op(&a, &b);
+        for t in m.iter() {
+            prop_assert!(a.contains(t) || b.contains(t));
+            prop_assert!(!a.iter().any(|u| t.happens_before(u)));
+            prop_assert!(!b.iter().any(|u| t.happens_before(u)));
+        }
+    }
+
+    #[test]
+    fn join_concurrent_matches_max_when_concurrent(a in composite(), b in composite()) {
+        if a.concurrent(&b) {
+            prop_assert_eq!(join_concurrent(&a, &b), max_op(&a, &b));
+        }
+    }
+
+    #[test]
+    fn relation_exhaustive_and_flip(a in composite(), b in composite()) {
+        let r = a.relation(&b);
+        prop_assert_eq!(r.flip(), b.relation(&a));
+        // Exactly the branch reported holds.
+        match r {
+            CompositeRelation::Before => prop_assert!(a.happens_before(&b)),
+            CompositeRelation::After => prop_assert!(b.happens_before(&a)),
+            CompositeRelation::Concurrent => prop_assert!(a.concurrent(&b)),
+            CompositeRelation::Incomparable => prop_assert!(a.incomparable(&b)),
+        }
+    }
+
+    #[test]
+    fn chosen_ordering_is_least_restricted(a in composite(), b in composite()) {
+        // Every pair relatable by the more-restricted valid candidates is
+        // relatable by <_p (Section 5.1's restrictiveness claim).
+        let ra = RawTimestampSet::from(a.clone());
+        let rb = RawTimestampSet::from(b.clone());
+        if alt::lt_p2(&ra, &rb) {
+            prop_assert!(a.happens_before(&b), "∀∀ ⊄ <_p for {a} {b}");
+        }
+        if alt::lt_p3(&ra, &rb) {
+            prop_assert!(a.happens_before(&b), "min ⊄ <_p for {a} {b}");
+        }
+    }
+
+    #[test]
+    fn lt_p_transitive_even_on_raw_sets(a in raw_set(), b in raw_set(), c in raw_set()) {
+        if alt::lt_p(&a, &b) && alt::lt_p(&b, &c) {
+            prop_assert!(alt::lt_p(&a, &c));
+        }
+    }
+
+    #[test]
+    fn lt_g_transitive_even_on_raw_sets(a in raw_set(), b in raw_set(), c in raw_set()) {
+        if alt::lt_g(&a, &b) && alt::lt_g(&b, &c) {
+            prop_assert!(alt::lt_g(&a, &c));
+        }
+    }
+
+    #[test]
+    fn valid_candidates_irreflexive_on_normalized(a in composite()) {
+        let ra = RawTimestampSet::from(a);
+        for cand in [
+            Candidate::ForallExistsBack,
+            Candidate::ForallExistsFwd,
+            Candidate::ForallForall,
+            Candidate::MinAnchored,
+        ] {
+            prop_assert!(!cand.eval(&ra, &ra), "{} reflexive", cand.name());
+        }
+    }
+
+    #[test]
+    fn region_classification_total_and_antisymmetric(a in composite(), b in composite()) {
+        let r_ab = classify_region(&a, &b);
+        let r_ba = classify_region(&b, &a);
+        // Before/After and the weak bands swap; Concurrent/Crossing are
+        // symmetric.
+        let expected = match r_ab {
+            Region::Before => Region::After,
+            Region::After => Region::Before,
+            Region::WeakBefore => Region::WeakAfter,
+            Region::WeakAfter => Region::WeakBefore,
+            Region::Concurrent => Region::Concurrent,
+            Region::Crossing => Region::Crossing,
+        };
+        prop_assert_eq!(r_ba, expected);
+    }
+
+    #[test]
+    fn line_map_agrees_with_exact_for_fresh_site_singletons(
+        a in composite(), g in 0u64..15
+    ) {
+        // Probe at site 99, guaranteed disjoint from the generator's sites.
+        let probe = cts(&[(99, g, g * 10)]);
+        let map = RegionMap::new(a.clone());
+        prop_assert_eq!(map.classify_global(g), classify_region(&a, &probe));
+    }
+
+    #[test]
+    fn weak_leq_composite_definition_consistency(a in composite(), b in composite()) {
+        // Definition 5.4 all-pairs form vs direct evaluation.
+        let all_pairs = a.iter().all(|t1| b.iter().all(|t2| t1.weak_leq(t2)));
+        prop_assert_eq!(a.weak_leq(&b), all_pairs);
+    }
+}
+
+/// Non-conforming triples (global contradicting local) break the theory:
+/// `<` acquires a cycle and `max(ST)` of a non-empty set becomes empty.
+/// This documents why every generator above derives `global` from `local`.
+#[test]
+fn nonconforming_components_break_the_theory() {
+    // a < b by same-site local order, but a's global is *later*.
+    let a = pts(1, 9, 10);
+    let b = pts(1, 0, 20);
+    let c = pts(2, 5, 50);
+    assert!(a.happens_before(&b)); // local 10 < 20
+    assert!(b.happens_before(&c)); // global 0 + 1 < 5
+    assert!(c.happens_before(&a)); // global 5 + 1 < 9 — a cycle!
+    assert!(decs_core::composite::max_set(&[a, b, c]).is_empty());
+}
+
+/// The Theorem 5.3 converse failure must be *findable* by search: in a rich
+/// universe some pair is ⪯̃ without being ~ or <_p (see DESIGN.md,
+/// reproduction finding on Theorem 5.3).
+#[test]
+fn thm_5_3_converse_failure_witness() {
+    let reference = cts(&[(3, 8, 81), (6, 7, 72)]);
+    let probe = cts(&[(9, 6, 60)]);
+    assert!(probe.weak_leq(&reference));
+    assert!(!probe.happens_before(&reference));
+    assert!(!probe.concurrent(&reference));
+    assert!(!p::thm_5_3_iff(&probe, &reference));
+}

@@ -1,0 +1,97 @@
+//! Property tests for interval semantics (Definitions 4.9/4.10, 5.5/5.6).
+
+use decs_core::{pts, ClosedInterval, CompositeTimestamp, OpenInterval, PrimitiveTimestamp};
+use proptest::prelude::*;
+
+fn conforming() -> impl Strategy<Value = PrimitiveTimestamp> {
+    (1u32..6, 0u64..400).prop_map(|(s, l)| pts(s, l / 10, l))
+}
+
+fn composite() -> impl Strategy<Value = CompositeTimestamp> {
+    proptest::collection::vec(conforming(), 1..5)
+        .prop_map(CompositeTimestamp::from_primitives)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    /// Open-interval membership implies closed-interval membership with
+    /// the same endpoints (the closed interval is wider).
+    #[test]
+    fn open_subset_of_closed(a in conforming(), b in conforming(), t in conforming()) {
+        if let Ok(open) = OpenInterval::new(a, b) {
+            let closed = ClosedInterval::new(a, b).expect("lo < hi ⟹ lo ⪯ hi");
+            if open.contains(&t) {
+                prop_assert!(closed.contains(&t), "{t} in ({a},{b}) but not [{a},{b}]");
+            }
+        }
+    }
+
+    /// Endpoints are never inside their own open interval, always inside
+    /// their closed interval.
+    #[test]
+    fn endpoint_membership(a in conforming(), b in conforming()) {
+        if let Ok(open) = OpenInterval::new(a, b) {
+            prop_assert!(!open.contains(&a));
+            prop_assert!(!open.contains(&b));
+        }
+        if let Ok(closed) = ClosedInterval::new(a, b) {
+            prop_assert!(closed.contains(&a) || !a.weak_leq(&a)); // a ⪯ a always
+            prop_assert!(closed.contains(&a));
+            prop_assert!(closed.contains(&b));
+        }
+    }
+
+    /// Widening the upper endpoint preserves open-interval membership.
+    #[test]
+    fn open_interval_monotone_in_upper_endpoint(
+        a in conforming(), b in conforming(), c in conforming(), t in conforming()
+    ) {
+        if let (Ok(small), Ok(big)) = (OpenInterval::new(a, b), OpenInterval::new(a, c)) {
+            if b.happens_before(&c) && small.contains(&t) && t.happens_before(&c) {
+                prop_assert!(big.contains(&t));
+            }
+        }
+    }
+
+    /// The cross-site global-tick range agrees with exact membership for
+    /// fresh-site probes.
+    #[test]
+    fn cross_site_range_matches_membership(
+        ga in 0u64..40, gb in 0u64..40, gt in 0u64..40
+    ) {
+        let a = pts(1, ga, ga * 10);
+        let b = pts(2, gb, gb * 10);
+        let t = pts(3, gt, gt * 10 + 5); // fresh site
+        if let Ok(open) = OpenInterval::new(a, b) {
+            let in_range = open
+                .cross_site_global_range()
+                .is_some_and(|(lo, hi)| (lo..=hi).contains(&gt));
+            prop_assert_eq!(open.contains(&t), in_range, "open ({}, {}) probe {}", ga, gb, gt);
+        }
+        if let Ok(closed) = ClosedInterval::new(a, b) {
+            let (lo, hi) = closed.cross_site_global_range();
+            prop_assert_eq!(
+                closed.contains(&t),
+                (lo..=hi).contains(&gt),
+                "closed [{}, {}] probe {}", ga, gb, gt
+            );
+        }
+    }
+
+    /// Composite intervals: membership of a composite probe implies the
+    /// endpoint relations chain through the probe.
+    #[test]
+    fn composite_interval_membership_consistent(
+        a in composite(), b in composite(), t in composite()
+    ) {
+        if let Ok(open) = OpenInterval::new(a.clone(), b.clone()) {
+            if open.contains(&t) {
+                prop_assert!(a.happens_before(&t));
+                prop_assert!(t.happens_before(&b));
+                // …and hence a < b by transitivity (Theorem 5.2).
+                prop_assert!(a.happens_before(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Engine configuration.
+
+use decs_chronos::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// When the coordinator feeds a buffered notification into the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReleasePolicy {
+    /// The correct policy: hold a notification until the watermark
+    /// stability rule proves nothing earlier/concurrent can still arrive,
+    /// then release in the canonical order. Detection becomes a pure
+    /// function of the workload.
+    #[default]
+    Stable,
+    /// Ablation: feed notifications in arrival order, immediately. Faster
+    /// and lower latency, but detection depends on network timing — the
+    /// `ablation_release` experiment quantifies the damage.
+    Immediate,
+}
+
+/// Tunables of the distributed detection engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// How often each site heartbeats its watermark.
+    pub heartbeat_interval: Nanos,
+    /// Capacity of the simulation trace (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Release policy (see [`ReleasePolicy`]).
+    pub release_policy: ReleasePolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            // Heartbeat well below the paper-scale g_g (1/10 s) so
+            // stability lags by a small number of global ticks.
+            heartbeat_interval: Nanos::from_millis(20),
+            trace_capacity: 0,
+            release_policy: ReleasePolicy::Stable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_heartbeat_is_positive() {
+        let c = EngineConfig::default();
+        assert!(c.heartbeat_interval.get() > 0);
+        assert_eq!(c.release_policy, ReleasePolicy::Stable);
+    }
+}

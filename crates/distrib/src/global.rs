@@ -1,0 +1,369 @@
+//! The coordinator (global event detector).
+//!
+//! Receives stamped primitive-event notifications and heartbeats from every
+//! site, reassembles each site's FIFO stream, buffers notifications until
+//! the watermark stability rule releases them, feeds them to the
+//! `Detector<CompositeTimestamp>` in a canonical order, and services the
+//! detector's timer requests from its own clock.
+
+use crate::config::ReleasePolicy;
+use crate::metrics::Metrics;
+use crate::protocol::Msg;
+use crate::watermark::WatermarkTracker;
+use decs_chronos::Nanos;
+use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
+use decs_simnet::{Actor, Ctx, NodeIdx};
+use decs_snoop::{Detector, EventId, FeedResult, Occurrence, TimerId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Canonical release key: (max global tick, origin site, origin sequence).
+/// Unique per notification and independent of delivery order, so detection
+/// is a pure function of the workload.
+type ReleaseKey = (u64, u32, u64);
+
+#[derive(Debug, Default)]
+struct SiteStream {
+    next: u64,
+    parked: BTreeMap<u64, Msg>,
+}
+
+/// A detection produced by the coordinator, with bookkeeping times.
+#[derive(Debug, Clone)]
+pub struct RawDetection {
+    /// The composite occurrence.
+    pub occ: Occurrence<CompositeTimestamp>,
+    /// True time at which the coordinator produced it.
+    pub detected_at: Nanos,
+}
+
+/// The coordinator actor.
+pub struct CoordinatorNode {
+    detector: Detector<CompositeTimestamp>,
+    tracker: WatermarkTracker,
+    streams: Vec<SiteStream>,
+    buffer: BTreeMap<ReleaseKey, (Occurrence<CompositeTimestamp>, Nanos)>,
+    /// Completed detections (drained by the engine after a run).
+    pub detections: Vec<RawDetection>,
+    /// Metrics counters.
+    pub metrics: Metrics,
+    timer_map: HashMap<u64, TimerId>,
+    next_tag: u64,
+    gg_nanos: u64,
+    policy: ReleasePolicy,
+    /// Event types whose *arrival* is itself a reportable detection
+    /// (site-local composite events detected at the sites).
+    reportable: HashSet<EventId>,
+}
+
+impl std::fmt::Debug for CoordinatorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinatorNode")
+            .field("buffered", &self.buffer.len())
+            .field("detections", &self.detections.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoordinatorNode {
+    /// Coordinator over `sites` sites, running the pre-compiled detector.
+    /// `gg_nanos` is the duration of one global tick (for timer delays).
+    pub fn new(sites: usize, detector: Detector<CompositeTimestamp>, gg_nanos: u64) -> Self {
+        Self::with_policy(sites, detector, gg_nanos, ReleasePolicy::Stable)
+    }
+
+    /// Coordinator with an explicit release policy (the `Immediate` policy
+    /// exists for the ablation experiments).
+    pub fn with_policy(
+        sites: usize,
+        detector: Detector<CompositeTimestamp>,
+        gg_nanos: u64,
+        policy: ReleasePolicy,
+    ) -> Self {
+        CoordinatorNode {
+            detector,
+            tracker: WatermarkTracker::new(sites),
+            streams: (0..sites).map(|_| SiteStream::default()).collect(),
+            buffer: BTreeMap::new(),
+            detections: Vec::new(),
+            metrics: Metrics::default(),
+            timer_map: HashMap::new(),
+            next_tag: 0,
+            gg_nanos,
+            policy,
+            reportable: HashSet::new(),
+        }
+    }
+
+    /// Mark event types whose arrivals are reported as detections in their
+    /// own right (used for site-local composite events).
+    pub fn set_reportable(&mut self, ids: impl IntoIterator<Item = EventId>) {
+        self.reportable = ids.into_iter().collect();
+    }
+
+    /// Read access to the watermark tracker (tests/diagnostics).
+    pub fn tracker(&self) -> &WatermarkTracker {
+        &self.tracker
+    }
+
+    /// Number of notifications awaiting stability.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn absorb(&mut self, r: FeedResult<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        for t in r.timers {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.timer_map.insert(tag, t.id);
+            ctx.set_timer(Nanos(t.delay_ticks * self.gg_nanos), tag);
+        }
+        for occ in r.detected {
+            self.metrics.detections += 1;
+            self.detections.push(RawDetection {
+                occ,
+                detected_at: ctx.true_now(),
+            });
+        }
+    }
+
+    fn release_stable(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        while let Some((&key, _)) = self.buffer.iter().next() {
+            if !self.tracker.is_stable(key.0) {
+                break;
+            }
+            let (occ, arrived) = self.buffer.remove(&key).expect("present");
+            self.metrics.events_released += 1;
+            self.metrics.stability_latency_sum_ns +=
+                u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
+            self.feed_released(occ, ctx);
+        }
+    }
+
+    /// Feed a released notification: report it if it is itself a
+    /// site-local composite detection, then run the global graph.
+    fn feed_released(&mut self, occ: Occurrence<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        if self.reportable.contains(&occ.ty) {
+            self.metrics.detections += 1;
+            self.detections.push(RawDetection {
+                occ: occ.clone(),
+                detected_at: ctx.true_now(),
+            });
+        }
+        let r = self.detector.feed(occ);
+        self.absorb(r, ctx);
+    }
+
+    fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Event { seq, occ } => {
+                self.metrics.events_received += 1;
+                match self.policy {
+                    ReleasePolicy::Stable => {
+                        let key: ReleaseKey = (occ.time.max_global(), site as u32, seq);
+                        self.buffer.insert(key, (occ, ctx.true_now()));
+                        self.metrics.max_buffered =
+                            self.metrics.max_buffered.max(self.buffer.len());
+                    }
+                    ReleasePolicy::Immediate => {
+                        self.metrics.events_released += 1;
+                        self.feed_released(occ, ctx);
+                    }
+                }
+            }
+            Msg::Heartbeat { watermark, .. } => {
+                self.metrics.heartbeats_received += 1;
+                self.tracker.update(site, watermark);
+                self.release_stable(ctx);
+            }
+            Msg::Start | Msg::Inject { .. } | Msg::Crash | Msg::Evict { .. } => {
+                debug_assert!(false, "sequence-numbered control message");
+            }
+        }
+    }
+
+    fn seq_of(msg: &Msg) -> Option<u64> {
+        match msg {
+            Msg::Event { seq, .. } | Msg::Heartbeat { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+}
+
+impl Actor for CoordinatorNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: NodeIdx, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        if let Msg::Evict { site } = msg {
+            // Operator action: treat the site's watermark as +∞ so the
+            // remaining buffer can stabilize without it.
+            self.tracker.update(site as usize, u64::MAX);
+            self.release_stable(ctx);
+            return;
+        }
+        let site = from.0 as usize;
+        let Some(seq) = Self::seq_of(&msg) else {
+            return; // Start/Inject are not coordinator traffic
+        };
+        debug_assert!(site < self.streams.len(), "unknown site {site}");
+        let stream = &mut self.streams[site];
+        match seq.cmp(&stream.next) {
+            std::cmp::Ordering::Equal => {
+                stream.next += 1;
+                self.handle_in_order(site, msg, ctx);
+                // Drain any parked successors.
+                loop {
+                    let stream = &mut self.streams[site];
+                    let Some(m) = stream.parked.remove(&stream.next) else {
+                        break;
+                    };
+                    stream.next += 1;
+                    self.handle_in_order(site, m, ctx);
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                self.metrics.reassembly_parks += 1;
+                stream.parked.insert(seq, msg);
+            }
+            std::cmp::Ordering::Less => {
+                debug_assert!(false, "duplicate sequence number {seq} from site {site}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        let Some(timer_id) = self.timer_map.remove(&tag) else {
+            debug_assert!(false, "unknown coordinator timer tag {tag}");
+            return;
+        };
+        // Stamp the fire with the coordinator's own clock — periodic
+        // occurrences carry genuine (site, global, local) triples.
+        let Ok(parts) = ctx.stamp() else {
+            return;
+        };
+        let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
+            parts.site,
+            parts.global,
+            parts.local,
+        ));
+        self.metrics.timer_fires += 1;
+        match self.detector.fire_timer(timer_id, ts) {
+            Ok(r) => self.absorb(r, ctx),
+            Err(_) => debug_assert!(false, "detector rejected timer"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_core::cts;
+    use decs_snoop::{Context, EventExpr, EventId};
+
+    fn detector() -> (Detector<CompositeTimestamp>, EventId) {
+        let mut d = Detector::new();
+        d.register("A").unwrap();
+        d.register("B").unwrap();
+        let x = d
+            .define(
+                "X",
+                &EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B")),
+                Context::Chronicle,
+            )
+            .unwrap();
+        (d, x)
+    }
+
+    // Drive the coordinator directly through a one-node simulation so we
+    // get a real Ctx.
+    use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, TruncMode};
+    use decs_simnet::{LinkConfig, Simulation, SiteTimeSource};
+
+    fn coordinator_sim(sites: usize) -> Simulation<CoordinatorNode> {
+        let (d, _) = detector();
+        let base = GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(1_000_000),
+        )
+        .unwrap();
+        let src = SiteTimeSource::new(
+            99u32.into(),
+            LocalClock::perfect(Granularity::per_second(100).unwrap()),
+            base,
+        );
+        let coord = CoordinatorNode::new(sites, d, 100_000_000);
+        Simulation::new(vec![(coord, src)], LinkConfig::instant(), 1)
+    }
+
+    fn ev(ty: u32, seq: u64, s: u32, g: u64, l: u64) -> Msg {
+        Msg::Event {
+            seq,
+            occ: Occurrence::bare(EventId(ty), cts(&[(s, g, l)])),
+        }
+    }
+
+    fn hb(seq: u64, w: u64) -> Msg {
+        Msg::Heartbeat { seq, watermark: w }
+    }
+
+    // NOTE: `inject` delivers with from == node, so we cannot use it to
+    // fake multi-site senders through the public API; instead these tests
+    // exercise the handler directly via a tiny two-site harness in the
+    // engine tests. Here we check the single-site path (site index 0 ==
+    // coordinator node index 0 in this reduced sim).
+
+    #[test]
+    fn stability_gates_release_and_detection() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        // A@(s0, g5), B@(s0, g6) arrive, then watermarks advance.
+        sim.inject(Nanos(10), n, ev(0, 0, 0, 5, 50));
+        sim.inject(Nanos(20), n, ev(1, 1, 0, 6, 60));
+        sim.inject(Nanos(30), n, hb(2, 6));
+        sim.run_to_completion();
+        {
+            let c = sim.node(n);
+            // Watermark 6 releases only g ≤ 4: nothing yet.
+            assert_eq!(c.buffered(), 2);
+            assert!(c.detections.is_empty());
+        }
+        sim.inject(Nanos(40), n, hb(3, 8));
+        sim.run_to_completion();
+        {
+            let c = sim.node(n);
+            // Watermark 8 releases g ≤ 6: both, in order; SEQ fires.
+            assert_eq!(c.buffered(), 0);
+            assert_eq!(c.detections.len(), 1);
+            assert_eq!(c.metrics.events_released, 2);
+        }
+    }
+
+    #[test]
+    fn reassembly_reorders_back() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        // Deliver seq 1 before seq 0 (simulating network reordering).
+        sim.inject(Nanos(10), n, ev(1, 1, 0, 6, 60));
+        sim.inject(Nanos(20), n, ev(0, 0, 0, 5, 50));
+        sim.inject(Nanos(30), n, hb(2, 9));
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.metrics.reassembly_parks, 1);
+        assert_eq!(c.metrics.events_received, 2);
+        // Release order is canonical (by global tick): A then B → SEQ.
+        assert_eq!(c.detections.len(), 1);
+    }
+
+    #[test]
+    fn lagging_watermark_blocks() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        sim.inject(Nanos(10), n, ev(0, 0, 0, 5, 50));
+        sim.inject(Nanos(20), n, hb(1, 6)); // not enough: needs > 6+? g=5 needs w > 6
+        sim.run_to_completion();
+        assert_eq!(sim.node(n).buffered(), 1);
+        sim.inject(Nanos(30), n, hb(2, 7));
+        sim.run_to_completion();
+        assert_eq!(sim.node(n).buffered(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # decs-distrib — distributed composite event detection
+//!
+//! The Section 5.3 semantics, executed: primitive events occur at sites,
+//! are stamped by the site's (drifting, Π-synchronized) local clock as
+//! `(site, global, local)` triples, and flow to a **global event detector**
+//! that runs the Snoop operator graph over the
+//! [`decs_core::CompositeTimestamp`] time domain — the partial order `<_p`
+//! and the `Max` operator doing the work that total order and `max` do in
+//! the centralized engine.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  site 0 ─┐ EventMsg(seq)                 ┌──────────────────────────┐
+//!  site 1 ─┼──── reordering links ────────▶│ coordinator              │
+//!  site 2 ─┘ Heartbeat(watermark, seq)     │  per-site FIFO reassembly│
+//!                                          │  watermark stability     │
+//!                                          │  canonical release order │
+//!                                          │  Detector<CompositeTs>   │
+//!                                          └──────────────────────────┘
+//! ```
+//!
+//! * **FIFO reassembly** — every site stamps its messages with a sequence
+//!   number; the coordinator processes them in sequence order even when
+//!   the network reorders (the TCP-like substrate the semantics assumes).
+//! * **Watermark stability** — a notification whose timestamp has maximum
+//!   global tick `g` is *stable* once every site's heartbeat watermark
+//!   exceeds `g + 1·g_g`: no event that could still arrive can happen
+//!   before, or be concurrent with, it. Stable notifications are released
+//!   into the detector in a canonical order, which makes detection a pure
+//!   function of the workload — independent of link latency and jitter
+//!   (verified by metamorphic tests that permute the network).
+//! * **Temporal events** — `P`/`P*`/`+` timers are serviced by the
+//!   coordinator's own clock, so periodic occurrences carry genuine
+//!   timestamps from a real site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod global;
+pub mod metrics;
+pub mod protocol;
+pub mod site;
+pub mod watermark;
+
+pub use config::{EngineConfig, ReleasePolicy};
+pub use engine::{Detection, Engine};
+pub use metrics::Metrics;
+pub use protocol::Msg;
+pub use watermark::WatermarkTracker;

@@ -1,0 +1,50 @@
+//! Engine metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and simple statistics collected by the coordinator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Event notifications received (after reassembly).
+    pub events_received: u64,
+    /// Heartbeats received.
+    pub heartbeats_received: u64,
+    /// Notifications released into the detector.
+    pub events_released: u64,
+    /// Named composite detections produced.
+    pub detections: u64,
+    /// Messages that arrived out of sequence and were parked.
+    pub reassembly_parks: u64,
+    /// High-water mark of the stability buffer.
+    pub max_buffered: usize,
+    /// Sum over released events of (release true-time − arrival true-time),
+    /// in nanoseconds (stability latency).
+    pub stability_latency_sum_ns: u128,
+    /// Timer fires serviced for temporal operators.
+    pub timer_fires: u64,
+}
+
+impl Metrics {
+    /// Mean stability latency in nanoseconds (0 when nothing was released).
+    pub fn mean_stability_latency_ns(&self) -> u64 {
+        if self.events_released == 0 {
+            0
+        } else {
+            (self.stability_latency_sum_ns / u128::from(self.events_released)) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency() {
+        let mut m = Metrics::default();
+        assert_eq!(m.mean_stability_latency_ns(), 0);
+        m.events_released = 4;
+        m.stability_latency_sum_ns = 400;
+        assert_eq!(m.mean_stability_latency_ns(), 100);
+    }
+}

@@ -1,0 +1,68 @@
+//! Messages exchanged between sites and the coordinator.
+
+use decs_core::CompositeTimestamp;
+use decs_snoop::{EventId, Occurrence, Value};
+use serde::{Deserialize, Serialize};
+
+/// The wire protocol. Every site→coordinator message carries a per-site
+/// sequence number so the coordinator can reassemble FIFO order over a
+/// reordering network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Msg {
+    /// Engine control: start heartbeating (delivered at simulation start).
+    Start,
+    /// External workload: a primitive event of type `ty` happened *here*,
+    /// with these parameters. The receiving site stamps it with its clock.
+    Inject {
+        /// The primitive event type.
+        ty: EventId,
+        /// Event parameters.
+        values: Vec<Value>,
+    },
+    /// A stamped primitive event notification, site → coordinator.
+    Event {
+        /// Per-site sequence number.
+        seq: u64,
+        /// The stamped occurrence (singleton composite timestamp).
+        occ: Occurrence<CompositeTimestamp>,
+    },
+    /// A liveness/watermark beacon, site → coordinator: "every event I
+    /// will ever send from now on has global tick ≥ `watermark`".
+    Heartbeat {
+        /// Per-site sequence number (shared stream with events).
+        seq: u64,
+        /// The site's current global tick.
+        watermark: u64,
+    },
+    /// Failure injection: the receiving site crashes — it stops
+    /// heartbeating and drops future injections.
+    Crash,
+    /// Operator action at the coordinator: stop waiting for `site`'s
+    /// watermark (its promises are treated as +∞ from now on). Buffered
+    /// events from the evicted site still release; new ones are refused.
+    Evict {
+        /// The site to evict.
+        site: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_core::cts;
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = Msg::Event {
+            seq: 3,
+            occ: Occurrence::bare(EventId(1), cts(&[(1, 8, 80)])),
+        };
+        let m2 = m.clone();
+        assert!(format!("{m2:?}").contains("seq: 3"));
+        let h = Msg::Heartbeat {
+            seq: 4,
+            watermark: 9,
+        };
+        assert!(format!("{h:?}").contains("watermark"));
+    }
+}

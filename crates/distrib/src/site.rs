@@ -1,0 +1,383 @@
+//! The per-site actor: stamps injected primitive events with the site
+//! clock, optionally runs a **local detection graph** (the paper's
+//! architecture detects site-local composite events at the site and
+//! propagates their set-valued timestamps), and streams primitive events,
+//! local detections and watermark heartbeats to the coordinator under a
+//! single per-site sequence number.
+
+use crate::protocol::Msg;
+use decs_chronos::Nanos;
+use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
+use decs_simnet::{Actor, Ctx, NodeIdx};
+use decs_snoop::{Detector, EventId, FeedResult, Occurrence, TimerId};
+use std::collections::HashMap;
+
+const HEARTBEAT_TAG: u64 = 0;
+/// Timer tags below this are reserved for site infrastructure; local
+/// detector timers are offset by it.
+const LOCAL_TIMER_BASE: u64 = 16;
+
+/// Site-local detection state: a compiled detector plus the mapping from
+/// its event-id space to the coordinator's (synthetic node ids never leave
+/// the site).
+pub struct LocalDetection {
+    /// The site's own detection graph.
+    pub detector: Detector<CompositeTimestamp>,
+    /// site EventId → coordinator EventId, for every named event.
+    pub translate: HashMap<EventId, EventId>,
+    /// Nanoseconds per global tick (to schedule local temporal operators).
+    pub gg_nanos: u64,
+    timer_map: HashMap<u64, TimerId>,
+    next_tag: u64,
+}
+
+impl LocalDetection {
+    /// Bundle a compiled site detector with its id translation table.
+    pub fn new(
+        detector: Detector<CompositeTimestamp>,
+        translate: HashMap<EventId, EventId>,
+        gg_nanos: u64,
+    ) -> Self {
+        LocalDetection {
+            detector,
+            translate,
+            gg_nanos,
+            timer_map: HashMap::new(),
+            next_tag: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalDetection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalDetection").finish_non_exhaustive()
+    }
+}
+
+/// A site: event source + optional local detector + heartbeat beacon.
+#[derive(Debug)]
+pub struct SiteNode {
+    coordinator: NodeIdx,
+    heartbeat_interval: Nanos,
+    seq: u64,
+    /// Events dropped because the site clock had not started yet.
+    pub dropped_pre_epoch: u64,
+    /// Whether the site has crashed (failure injection).
+    pub crashed: bool,
+    /// Local detection graph, when configured.
+    pub local: Option<LocalDetection>,
+    /// Local composite detections produced at this site.
+    pub local_detections: u64,
+}
+
+impl SiteNode {
+    /// A site that reports to `coordinator`.
+    pub fn new(coordinator: NodeIdx, heartbeat_interval: Nanos) -> Self {
+        SiteNode {
+            coordinator,
+            heartbeat_interval,
+            seq: 0,
+            dropped_pre_epoch: 0,
+            crashed: false,
+            local: None,
+            local_detections: 0,
+        }
+    }
+
+    /// A site with a local detection graph.
+    pub fn with_local(
+        coordinator: NodeIdx,
+        heartbeat_interval: Nanos,
+        local: LocalDetection,
+    ) -> Self {
+        let mut s = Self::new(coordinator, heartbeat_interval);
+        s.local = Some(local);
+        s
+    }
+
+    /// Forward an occurrence to the coordinator, translating its event id
+    /// into the coordinator's id space when a local detector is present.
+    fn forward(&mut self, mut occ: Occurrence<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(local) = &self.local {
+            match local.translate.get(&occ.ty) {
+                Some(&coord_ty) => occ.ty = coord_ty,
+                None => return, // synthetic internal node: never forwarded
+            }
+        }
+        let seq = self.next_seq();
+        ctx.send(self.coordinator, Msg::Event { seq, occ });
+    }
+
+    /// Absorb a local feed result: count + forward detections, schedule
+    /// local timers.
+    fn absorb_local(&mut self, r: FeedResult<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(local) = &mut self.local {
+            for t in r.timers {
+                let tag = LOCAL_TIMER_BASE + local.next_tag;
+                local.next_tag += 1;
+                local.timer_map.insert(tag, t.id);
+                ctx.set_timer(Nanos(t.delay_ticks * local.gg_nanos), tag);
+            }
+        }
+        for occ in r.detected {
+            self.local_detections += 1;
+            self.forward(occ, ctx);
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.crashed {
+            return; // no beacon, no re-arm: the site is silent.
+        }
+        if let Ok(parts) = ctx.stamp() {
+            let seq = self.next_seq();
+            ctx.send(
+                self.coordinator,
+                Msg::Heartbeat {
+                    seq,
+                    watermark: parts.global.get(),
+                },
+            );
+        }
+        ctx.set_timer(self.heartbeat_interval, HEARTBEAT_TAG);
+    }
+}
+
+impl Actor for SiteNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: NodeIdx, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Start => {
+                debug_assert_eq!(from, ctx.me());
+                self.heartbeat(ctx);
+            }
+            Msg::Crash => {
+                self.crashed = true;
+            }
+            Msg::Inject { ty, values } => {
+                debug_assert_eq!(from, ctx.me(), "Inject comes from the environment");
+                if self.crashed {
+                    return;
+                }
+                match ctx.stamp() {
+                    Ok(parts) => {
+                        let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
+                            parts.site,
+                            parts.global,
+                            parts.local,
+                        ));
+                        let occ = Occurrence::primitive(ty, ts, values);
+                        // Run the local graph first (site-local composite
+                        // detection), then forward the primitive and any
+                        // local detections.
+                        let local_result = self
+                            .local
+                            .as_mut()
+                            .map(|l| l.detector.feed(occ.clone()));
+                        self.forward(occ, ctx);
+                        if let Some(r) = local_result {
+                            self.absorb_local(r, ctx);
+                        }
+                    }
+                    Err(_) => self.dropped_pre_epoch += 1,
+                }
+            }
+            // Sites do not receive protocol traffic in the star topology.
+            Msg::Event { .. } | Msg::Heartbeat { .. } | Msg::Evict { .. } => {
+                debug_assert!(false, "site received coordinator traffic");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        if tag == HEARTBEAT_TAG {
+            self.heartbeat(ctx);
+            return;
+        }
+        // A local temporal operator fired: stamp with the site clock.
+        if self.crashed {
+            return;
+        }
+        let Ok(parts) = ctx.stamp() else { return };
+        let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
+            parts.site,
+            parts.global,
+            parts.local,
+        ));
+        let result = self.local.as_mut().and_then(|local| {
+            let timer_id = local.timer_map.remove(&tag)?;
+            local.detector.fire_timer(timer_id, ts).ok()
+        });
+        if let Some(r) = result {
+            self.absorb_local(r, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, TruncMode};
+    use decs_simnet::{LinkConfig, SiteTimeSource, Simulation};
+    use decs_snoop::EventId;
+
+    #[derive(Debug, Default)]
+    struct Collector {
+        events: Vec<(u64, Occurrence<CompositeTimestamp>)>,
+        heartbeats: Vec<(u64, u64)>,
+    }
+
+    impl Actor for Collector {
+        type Msg = Msg;
+
+        fn on_message(&mut self, _from: NodeIdx, msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Event { seq, occ } => self.events.push((seq, occ)),
+                Msg::Heartbeat { seq, watermark } => self.heartbeats.push((seq, watermark)),
+                _ => {}
+            }
+        }
+    }
+
+    #[allow(clippy::large_enum_variant)]
+    enum Node {
+        Site(SiteNode),
+        Collector(Collector),
+    }
+
+    impl std::fmt::Debug for Node {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Node::Site(_) => f.write_str("Site"),
+                Node::Collector(_) => f.write_str("Collector"),
+            }
+        }
+    }
+
+    impl Actor for Node {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: NodeIdx, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match self {
+                Node::Site(s) => s.on_message(from, msg, ctx),
+                Node::Collector(c) => c.on_message(from, msg, ctx),
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+            if let Node::Site(s) = self {
+                s.on_timer(tag, ctx);
+            }
+        }
+    }
+
+    fn source(site: u32) -> SiteTimeSource {
+        let base = GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(1_000_000),
+        )
+        .unwrap();
+        SiteTimeSource::new(
+            site.into(),
+            LocalClock::perfect(Granularity::per_second(100).unwrap()),
+            base,
+        )
+    }
+
+    #[test]
+    fn site_stamps_and_streams() {
+        let coord = NodeIdx(1);
+        let nodes = vec![
+            (
+                Node::Site(SiteNode::new(coord, Nanos::from_millis(100))),
+                source(0),
+            ),
+            (Node::Collector(Collector::default()), source(1)),
+        ];
+        let mut sim = Simulation::new(nodes, LinkConfig::instant(), 1);
+        sim.inject(Nanos::ZERO, NodeIdx(0), Msg::Start);
+        sim.inject(
+            Nanos::from_secs(1),
+            NodeIdx(0),
+            Msg::Inject {
+                ty: EventId(7),
+                values: vec![],
+            },
+        );
+        sim.run_until(Nanos::from_secs(2));
+        let Node::Collector(c) = sim.node(coord) else {
+            panic!("collector expected")
+        };
+        // One event, stamped (site0, global 10, local 100).
+        assert_eq!(c.events.len(), 1);
+        let occ = &c.events[0].1;
+        assert_eq!(occ.ty, EventId(7));
+        let member = occ.time.members()[0];
+        assert_eq!(member.site().get(), 0);
+        assert_eq!(member.global().get(), 10);
+        assert_eq!(member.local().get(), 100);
+        // ~20 heartbeats over 2 s at 100 ms.
+        assert!(c.heartbeats.len() >= 19, "{}", c.heartbeats.len());
+        // Sequence numbers strictly increase across the shared stream.
+        let mut seqs: Vec<u64> = c
+            .events
+            .iter()
+            .map(|(s, _)| *s)
+            .chain(c.heartbeats.iter().map(|(s, _)| *s))
+            .collect();
+        seqs.sort_unstable();
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(*s, i as u64);
+        }
+        // Watermarks are non-decreasing.
+        let w: Vec<u64> = c.heartbeats.iter().map(|(_, w)| *w).collect();
+        assert!(w.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn pre_epoch_injection_is_counted_not_sent() {
+        // A clock 10 s behind: injections at t < 10 s are dropped.
+        let coord = NodeIdx(1);
+        let g_local = Granularity::per_second(100).unwrap();
+        let base = GlobalTimeBase::new(
+            Granularity::per_second(10).unwrap(),
+            TruncMode::Floor,
+            Precision::from_nanos(1_000_000),
+        )
+        .unwrap();
+        let behind = SiteTimeSource::new(
+            0u32.into(),
+            LocalClock::with_error(g_local, 0, -10_000_000_000),
+            base,
+        );
+        let nodes = vec![
+            (
+                Node::Site(SiteNode::new(coord, Nanos::from_millis(100))),
+                behind,
+            ),
+            (Node::Collector(Collector::default()), source(1)),
+        ];
+        let mut sim = Simulation::new(nodes, LinkConfig::instant(), 1);
+        sim.inject(
+            Nanos::from_secs(1),
+            NodeIdx(0),
+            Msg::Inject {
+                ty: EventId(7),
+                values: vec![],
+            },
+        );
+        sim.run_to_completion();
+        let Node::Site(s) = sim.node(NodeIdx(0)) else {
+            panic!()
+        };
+        assert_eq!(s.dropped_pre_epoch, 1);
+    }
+}

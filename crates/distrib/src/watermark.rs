@@ -1,0 +1,123 @@
+//! Watermark tracking and the stability rule.
+//!
+//! The `2g_g`-order between a buffered notification and a *future* one is
+//! only decidable once the future one's global tick is known to be far
+//! enough away. Each site's heartbeat promises "everything I send from now
+//! on has global tick ≥ w". A buffered notification whose timestamp has
+//! maximum global tick `g` is **stable** when every site's promise exceeds
+//! `g + 1`: any event still in flight or unborn will have global tick
+//! `≥ w > g + 1`, hence strictly *after* the notification in the `2g_g`
+//! order — it can no longer precede it or be concurrent with it.
+//!
+//! (Events from the same site are already FIFO-reassembled, so same-site
+//! local ordering is preserved by arrival order.)
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks each site's promised minimum future global tick.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatermarkTracker {
+    marks: Vec<u64>,
+}
+
+impl WatermarkTracker {
+    /// Tracker for `sites` sites, all watermarks at 0.
+    pub fn new(sites: usize) -> Self {
+        WatermarkTracker {
+            marks: vec![0; sites],
+        }
+    }
+
+    /// Update a site's watermark (monotonic; regressions are ignored).
+    pub fn update(&mut self, site: usize, watermark: u64) {
+        if let Some(m) = self.marks.get_mut(site) {
+            *m = (*m).max(watermark);
+        }
+    }
+
+    /// The ensemble watermark: the minimum promise across sites.
+    pub fn min_watermark(&self) -> u64 {
+        self.marks.iter().copied().min().unwrap_or(0)
+    }
+
+    /// A site's current watermark.
+    pub fn site_watermark(&self, site: usize) -> u64 {
+        self.marks.get(site).copied().unwrap_or(0)
+    }
+
+    /// The stability rule: is a notification with maximum global tick `g`
+    /// safe to release?
+    pub fn is_stable(&self, g: u64) -> bool {
+        self.min_watermark() > g + 1
+    }
+
+    /// Number of tracked sites.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether no sites are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_over_sites() {
+        let mut w = WatermarkTracker::new(3);
+        assert_eq!(w.min_watermark(), 0);
+        w.update(0, 10);
+        w.update(1, 7);
+        w.update(2, 12);
+        assert_eq!(w.min_watermark(), 7);
+        assert_eq!(w.site_watermark(2), 12);
+    }
+
+    #[test]
+    fn monotonic_updates() {
+        let mut w = WatermarkTracker::new(1);
+        w.update(0, 10);
+        w.update(0, 5); // regression ignored
+        assert_eq!(w.min_watermark(), 10);
+    }
+
+    #[test]
+    fn stability_needs_strict_gap() {
+        let mut w = WatermarkTracker::new(2);
+        w.update(0, 10);
+        w.update(1, 10);
+        // g + 1 < 10 ⟹ g ≤ 8.
+        assert!(w.is_stable(8));
+        assert!(!w.is_stable(9));
+        assert!(!w.is_stable(10));
+    }
+
+    #[test]
+    fn one_lagging_site_blocks_everything() {
+        let mut w = WatermarkTracker::new(3);
+        w.update(0, 100);
+        w.update(2, 100);
+        assert!(!w.is_stable(0)); // site 1 never promised anything
+        w.update(1, 3);
+        assert!(w.is_stable(1));
+        assert!(!w.is_stable(2));
+    }
+
+    #[test]
+    fn out_of_range_site_is_ignored() {
+        let mut w = WatermarkTracker::new(1);
+        w.update(5, 100);
+        assert_eq!(w.min_watermark(), 0);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let w = WatermarkTracker::new(0);
+        assert!(w.is_empty());
+        assert_eq!(w.min_watermark(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Failure injection: crashed sites stall the stability rule (as they
+//! must — a silent site could still hold earlier events) and eviction
+//! restores progress.
+
+use decs_chronos::{Granularity, Nanos};
+use decs_distrib::{Engine, EngineConfig, ReleasePolicy};
+use decs_simnet::{Scenario, ScenarioBuilder};
+use decs_snoop::{Context, EventExpr as E};
+
+fn scenario(sites: u32) -> Scenario {
+    ScenarioBuilder::new(sites, 31)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .max_offset_ns(1_000_000)
+        .build()
+        .unwrap()
+}
+
+fn seq_engine(sites: u32, policy: ReleasePolicy) -> Engine {
+    Engine::new(
+        &scenario(sites),
+        EngineConfig {
+            release_policy: policy,
+            ..EngineConfig::default()
+        },
+        &["A", "B"],
+        &[(
+            "X",
+            E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        )],
+    )
+    .unwrap()
+}
+
+#[test]
+fn crashed_site_stalls_stability() {
+    let mut e = seq_engine(3, ReleasePolicy::Stable);
+    // Site 2 dies immediately; sites 0 and 1 exchange a clean sequence.
+    e.crash_site(Nanos::from_millis(1), 2);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    let det = e.run_for(Nanos::from_secs(5));
+    // The events arrived but can never stabilize: site 2's watermark is
+    // stuck at (or near) zero.
+    assert!(det.is_empty(), "stability must stall on a silent site");
+    assert_eq!(e.metrics().events_received, 2);
+    assert_eq!(e.buffered(), 2);
+}
+
+#[test]
+fn eviction_restores_progress() {
+    let mut e = seq_engine(3, ReleasePolicy::Stable);
+    e.crash_site(Nanos::from_millis(1), 2);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    e.run_for(Nanos::from_secs(4));
+    // Operator notices the stall and evicts the dead site.
+    e.evict_site(Nanos::from_secs(4), 2);
+    let det = e.run_for(Nanos::from_secs(6));
+    assert_eq!(det.len(), 1, "eviction must unblock the buffer");
+    assert_eq!(e.buffered(), 0);
+}
+
+#[test]
+fn crash_after_sending_preserves_its_events() {
+    let mut e = seq_engine(2, ReleasePolicy::Stable);
+    // Site 1 sends B then dies; site 0 stays alive.
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    e.crash_site(Nanos::from_millis(2_100), 1);
+    e.run_for(Nanos::from_secs(5));
+    // Stuck: site 1's watermark froze around tick 21 < B's tick + 2.
+    e.evict_site(Nanos::from_secs(5), 1);
+    let det = e.run_for(Nanos::from_secs(6));
+    assert_eq!(det.len(), 1, "the pre-crash event must still detect");
+}
+
+#[test]
+fn immediate_policy_does_not_stall_but_is_timing_dependent() {
+    let mut e = seq_engine(3, ReleasePolicy::Immediate);
+    e.crash_site(Nanos::from_millis(1), 2);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    let det = e.run_for(Nanos::from_secs(5));
+    // No stability wait: the detection happens despite the dead site…
+    assert_eq!(det.len(), 1);
+    // …and the buffer is never used.
+    assert_eq!(e.buffered(), 0);
+}
+
+#[test]
+fn injections_to_crashed_site_are_dropped() {
+    let mut e = seq_engine(2, ReleasePolicy::Stable);
+    e.crash_site(Nanos::from_millis(1), 0);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.run_for(Nanos::from_secs(2));
+    assert_eq!(e.metrics().events_received, 0);
+}

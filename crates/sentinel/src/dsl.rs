@@ -1,0 +1,628 @@
+//! A textual event-expression language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( ("or" | "|") and )*
+//! and     := seq ( ("and" | "&") seq )*
+//! seq     := postfix ( ";" postfix )*
+//! postfix := unary ( "+" INT | "{" mask "}" )*
+//! mask    := matom ( ("and"|"or") matom )*      // "and" binds tighter
+//! matom   := INT ">=" INT | INT "<=" INT | INT "==" (STRING | IDENT)
+//! unary   := "not" "(" expr ")" "[" expr "," expr "]"
+//!          | "A"  "(" expr "," expr "," expr ")"
+//!          | "A*" "(" expr "," expr "," expr ")"
+//!          | "P"  "(" expr "," INT "," expr ")"
+//!          | "P*" "(" expr "," INT "," expr ")"
+//!          | "any" "(" INT ";" expr ("," expr)* ")"
+//!          | IDENT
+//!          | "(" expr ")"
+//! ```
+//!
+//! Keywords are case-insensitive (`AND`, `and`, `And` all work); event
+//! identifiers are case-sensitive `[A-Za-z_][A-Za-z0-9_]*`.
+//!
+//! ```
+//! use decs_sentinel::parse_expr;
+//! let e = parse_expr("(deposit ; withdraw) and not(audit)[open, close]").unwrap();
+//! assert_eq!(e.operator_count(), 3);
+//! ```
+
+use crate::error::{Result, SentinelError};
+use decs_snoop::{EventExpr, Mask};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Plus,
+    Amp,
+    Pipe,
+    Ge,
+    Le,
+    EqEq,
+    AStar,
+    PStar,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SentinelError {
+        SentinelError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Tok)>> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((start, Tok::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((start, Tok::RParen));
+                    self.pos += 1;
+                }
+                '[' => {
+                    out.push((start, Tok::LBracket));
+                    self.pos += 1;
+                }
+                ']' => {
+                    out.push((start, Tok::RBracket));
+                    self.pos += 1;
+                }
+                '{' => {
+                    out.push((start, Tok::LBrace));
+                    self.pos += 1;
+                }
+                '}' => {
+                    out.push((start, Tok::RBrace));
+                    self.pos += 1;
+                }
+                '>' | '<' | '=' => {
+                    if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'=' {
+                        out.push((
+                            start,
+                            match c {
+                                '>' => Tok::Ge,
+                                '<' => Tok::Le,
+                                _ => Tok::EqEq,
+                            },
+                        ));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error(format!("expected '{c}=' comparison")));
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let lit_start = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= bytes.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    out.push((start, Tok::Str(self.src[lit_start..self.pos].to_owned())));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((start, Tok::Comma));
+                    self.pos += 1;
+                }
+                ';' => {
+                    out.push((start, Tok::Semi));
+                    self.pos += 1;
+                }
+                '+' => {
+                    out.push((start, Tok::Plus));
+                    self.pos += 1;
+                }
+                '&' => {
+                    out.push((start, Tok::Amp));
+                    self.pos += 1;
+                }
+                '|' => {
+                    out.push((start, Tok::Pipe));
+                    self.pos += 1;
+                }
+                '0'..='9' => {
+                    let mut v: u64 = 0;
+                    while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(bytes[self.pos] - b'0')))
+                            .ok_or_else(|| self.error("integer literal overflows u64"))?;
+                        self.pos += 1;
+                    }
+                    out.push((start, Tok::Int(v)));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    while self.pos < bytes.len()
+                        && ((bytes[self.pos] as char).is_ascii_alphanumeric()
+                            || bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let word = &self.src[start..self.pos];
+                    // `A*` / `P*` glue the star onto the identifier.
+                    if (word == "A" || word == "P")
+                        && self.pos < bytes.len()
+                        && bytes[self.pos] == b'*'
+                    {
+                        self.pos += 1;
+                        out.push((
+                            start,
+                            if word == "A" { Tok::AStar } else { Tok::PStar },
+                        ));
+                    } else {
+                        out.push((start, Tok::Ident(word.to_owned())));
+                    }
+                }
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.len)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SentinelError {
+        SentinelError::Parse {
+            at: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        if self.peek() == Some(want) {
+            self.idx += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<u64> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v),
+            _ => {
+                self.idx -= 1;
+                Err(self.error(format!("expected integer {what}")))
+            }
+        }
+    }
+
+    fn kw(t: &Tok) -> Option<&str> {
+        match t {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self) -> Result<EventExpr> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            let is_or = match self.peek() {
+                Some(Tok::Pipe) => true,
+                Some(t) => Self::kw(t).is_some_and(|k| k.eq_ignore_ascii_case("or")),
+                None => false,
+            };
+            if !is_or {
+                break;
+            }
+            self.idx += 1;
+            let rhs = self.and_expr()?;
+            lhs = EventExpr::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<EventExpr> {
+        let mut lhs = self.seq_expr()?;
+        loop {
+            let is_and = match self.peek() {
+                Some(Tok::Amp) => true,
+                Some(t) => Self::kw(t).is_some_and(|k| k.eq_ignore_ascii_case("and")),
+                None => false,
+            };
+            if !is_and {
+                break;
+            }
+            self.idx += 1;
+            let rhs = self.seq_expr()?;
+            lhs = EventExpr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn seq_expr(&mut self) -> Result<EventExpr> {
+        let mut lhs = self.postfix()?;
+        while self.peek() == Some(&Tok::Semi) {
+            self.idx += 1;
+            let rhs = self.postfix()?;
+            lhs = EventExpr::seq(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<EventExpr> {
+        let mut e = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.idx += 1;
+                    let delta = self.expect_int("offset after '+'")?;
+                    e = EventExpr::plus(e, delta);
+                }
+                Some(Tok::LBrace) => {
+                    self.idx += 1;
+                    let mask = self.mask_or()?;
+                    self.expect(&Tok::RBrace, "'}'")?;
+                    e = EventExpr::masked(e, mask);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    // mask grammar: atom := INT ('>=' | '<=' | '==') (INT | STRING);
+    // combined with 'and' / 'or' (no parentheses inside braces).
+    fn mask_or(&mut self) -> Result<Mask> {
+        let mut lhs = self.mask_and()?;
+        while self
+            .peek()
+            .and_then(Self::kw)
+            .is_some_and(|k| k.eq_ignore_ascii_case("or"))
+        {
+            self.idx += 1;
+            let rhs = self.mask_and()?;
+            lhs = Mask::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mask_and(&mut self) -> Result<Mask> {
+        let mut lhs = self.mask_atom()?;
+        while self
+            .peek()
+            .and_then(Self::kw)
+            .is_some_and(|k| k.eq_ignore_ascii_case("and"))
+        {
+            self.idx += 1;
+            let rhs = self.mask_atom()?;
+            lhs = Mask::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mask_atom(&mut self) -> Result<Mask> {
+        let index = self.expect_int("parameter index")? as usize;
+        let op = self.bump();
+        match op {
+            Some(Tok::Ge) => Ok(Mask::AtLeast {
+                index,
+                min: self.expect_int("bound")? as i64,
+            }),
+            Some(Tok::Le) => Ok(Mask::AtMost {
+                index,
+                max: self.expect_int("bound")? as i64,
+            }),
+            Some(Tok::EqEq) => match self.bump() {
+                Some(Tok::Str(v)) => Ok(Mask::StrEq { index, value: v }),
+                Some(Tok::Ident(v)) => Ok(Mask::StrEq { index, value: v }),
+                _ => {
+                    self.idx -= 1;
+                    Err(self.error("expected a string after '=='"))
+                }
+            },
+            _ => {
+                self.idx -= 1;
+                Err(self.error("expected '>=', '<=' or '==' in mask"))
+            }
+        }
+    }
+
+    fn triple(&mut self) -> Result<(EventExpr, EventExpr, EventExpr)> {
+        self.expect(&Tok::LParen, "'('")?;
+        let a = self.expr()?;
+        self.expect(&Tok::Comma, "','")?;
+        let b = self.expr()?;
+        self.expect(&Tok::Comma, "','")?;
+        let c = self.expr()?;
+        self.expect(&Tok::RParen, "')'")?;
+        Ok((a, b, c))
+    }
+
+    fn periodic_args(&mut self) -> Result<(EventExpr, u64, EventExpr)> {
+        self.expect(&Tok::LParen, "'('")?;
+        let a = self.expr()?;
+        self.expect(&Tok::Comma, "','")?;
+        let p = self.expect_int("period")?;
+        self.expect(&Tok::Comma, "','")?;
+        let c = self.expr()?;
+        self.expect(&Tok::RParen, "')'")?;
+        Ok((a, p, c))
+    }
+
+    fn unary(&mut self) -> Result<EventExpr> {
+        match self.peek().cloned() {
+            Some(Tok::AStar) => {
+                self.idx += 1;
+                let (a, b, c) = self.triple()?;
+                Ok(EventExpr::aperiodic_star(a, b, c))
+            }
+            Some(Tok::PStar) => {
+                self.idx += 1;
+                let (a, p, c) = self.periodic_args()?;
+                Ok(EventExpr::periodic_star(a, p, c))
+            }
+            Some(Tok::LParen) => {
+                self.idx += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(word)) => {
+                let lower = word.to_ascii_lowercase();
+                match lower.as_str() {
+                    "not" => {
+                        self.idx += 1;
+                        self.expect(&Tok::LParen, "'(' after not")?;
+                        let guard = self.expr()?;
+                        self.expect(&Tok::RParen, "')'")?;
+                        self.expect(&Tok::LBracket, "'[' after not(...)")?;
+                        let opener = self.expr()?;
+                        self.expect(&Tok::Comma, "','")?;
+                        let closer = self.expr()?;
+                        self.expect(&Tok::RBracket, "']'")?;
+                        Ok(EventExpr::not(guard, opener, closer))
+                    }
+                    "any" => {
+                        self.idx += 1;
+                        self.expect(&Tok::LParen, "'(' after any")?;
+                        let m = self.expect_int("threshold m")? as usize;
+                        self.expect(&Tok::Semi, "';' after m")?;
+                        let mut alts = vec![self.expr()?];
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.idx += 1;
+                            alts.push(self.expr()?);
+                        }
+                        self.expect(&Tok::RParen, "')'")?;
+                        Ok(EventExpr::any(m, alts))
+                    }
+                    // `A(...)` / `P(...)` only when followed by '(' —
+                    // otherwise they are plain event identifiers.
+                    "a" if word == "A" && self.toks.get(self.idx + 1).map(|(_, t)| t)
+                        == Some(&Tok::LParen) =>
+                    {
+                        self.idx += 1;
+                        let (a, b, c) = self.triple()?;
+                        Ok(EventExpr::aperiodic(a, b, c))
+                    }
+                    "p" if word == "P" && self.toks.get(self.idx + 1).map(|(_, t)| t)
+                        == Some(&Tok::LParen) =>
+                    {
+                        self.idx += 1;
+                        let (a, p, c) = self.periodic_args()?;
+                        Ok(EventExpr::periodic(a, p, c))
+                    }
+                    _ => {
+                        self.idx += 1;
+                        Ok(EventExpr::prim(&word))
+                    }
+                }
+            }
+            _ => Err(self.error("expected an event expression")),
+        }
+    }
+}
+
+/// Parse DSL text into an [`EventExpr`].
+pub fn parse_expr(src: &str) -> Result<EventExpr> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        len: src.len(),
+    };
+    let e = p.expr()?;
+    if p.idx != p.toks.len() {
+        return Err(p.error("trailing input"));
+    }
+    e.validate()?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_snoop::EventExpr as E;
+
+    #[test]
+    fn primitives_and_binary_ops() {
+        assert_eq!(parse_expr("A").unwrap(), E::prim("A"));
+        assert_eq!(
+            parse_expr("A ; B").unwrap(),
+            E::seq(E::prim("A"), E::prim("B"))
+        );
+        assert_eq!(
+            parse_expr("A and B").unwrap(),
+            E::and(E::prim("A"), E::prim("B"))
+        );
+        assert_eq!(
+            parse_expr("A | B").unwrap(),
+            E::or(E::prim("A"), E::prim("B"))
+        );
+        assert_eq!(
+            parse_expr("A & B").unwrap(),
+            E::and(E::prim("A"), E::prim("B"))
+        );
+    }
+
+    #[test]
+    fn precedence_or_lowest_seq_highest() {
+        // "A ; B and C or D" = ((A;B) and C) or D
+        let e = parse_expr("A ; B and C or D").unwrap();
+        assert_eq!(
+            e,
+            E::or(
+                E::and(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                E::prim("D")
+            )
+        );
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let e = parse_expr("A ; (B or C)").unwrap();
+        assert_eq!(e, E::seq(E::prim("A"), E::or(E::prim("B"), E::prim("C"))));
+    }
+
+    #[test]
+    fn not_and_aperiodic() {
+        let e = parse_expr("not(X)[A, B]").unwrap();
+        assert_eq!(e, E::not(E::prim("X"), E::prim("A"), E::prim("B")));
+        let a = parse_expr("A(open, tick, close)").unwrap();
+        assert_eq!(
+            a,
+            E::aperiodic(E::prim("open"), E::prim("tick"), E::prim("close"))
+        );
+        let astar = parse_expr("A*(open, tick, close)").unwrap();
+        assert_eq!(
+            astar,
+            E::aperiodic_star(E::prim("open"), E::prim("tick"), E::prim("close"))
+        );
+    }
+
+    #[test]
+    fn periodic_and_plus() {
+        assert_eq!(
+            parse_expr("P(go, 10, stop)").unwrap(),
+            E::periodic(E::prim("go"), 10, E::prim("stop"))
+        );
+        assert_eq!(
+            parse_expr("P*(go, 10, stop)").unwrap(),
+            E::periodic_star(E::prim("go"), 10, E::prim("stop"))
+        );
+        assert_eq!(parse_expr("A + 5").unwrap(), E::plus(E::prim("A"), 5));
+        assert_eq!(
+            parse_expr("(A ; B) + 3").unwrap(),
+            E::plus(E::seq(E::prim("A"), E::prim("B")), 3)
+        );
+    }
+
+    #[test]
+    fn any_expression() {
+        let e = parse_expr("any(2; A, B, C)").unwrap();
+        assert_eq!(
+            e,
+            E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")])
+        );
+    }
+
+    #[test]
+    fn a_and_p_as_plain_identifiers() {
+        // Without '(' they are just event names.
+        assert_eq!(
+            parse_expr("A ; P").unwrap(),
+            E::seq(E::prim("A"), E::prim("P"))
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            parse_expr("A AND B Or C").unwrap(),
+            E::or(E::and(E::prim("A"), E::prim("B")), E::prim("C"))
+        );
+        // But NOT as an event name must still parse as the operator.
+        assert!(parse_expr("NOT(X)[A, B]").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_expr("A ;").unwrap_err();
+        assert!(matches!(err, SentinelError::Parse { .. }));
+        let err = parse_expr("A @ B").unwrap_err();
+        let SentinelError::Parse { at, .. } = err else {
+            panic!()
+        };
+        assert_eq!(at, 2);
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("A B").is_err()); // trailing input
+        assert!(parse_expr("not(X)[A B]").is_err());
+        assert!(parse_expr("any(0; A)").is_err()); // validation
+        assert!(parse_expr("P(a, 0, b)").is_err()); // zero period
+    }
+
+    #[test]
+    fn complex_nested() {
+        let e = parse_expr("not(cancel)[order ; pay, ship + 10] and any(2; a, b, c)").unwrap();
+        assert_eq!(e.operator_count(), 5);
+        assert_eq!(
+            e.primitive_names(),
+            vec!["a", "b", "c", "cancel", "order", "pay", "ship"]
+        );
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let src = "((A ; B) or (C and D)) ; A*(open, mid, close)";
+        let e = parse_expr(src).unwrap();
+        // Re-parse the Display form of subexpressions is not guaranteed
+        // (unicode operators), but structure must be stable.
+        assert_eq!(e.operator_count(), 5);
+    }
+}

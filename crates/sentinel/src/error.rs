@@ -1,0 +1,86 @@
+//! Error type for the active-DBMS layer.
+
+use std::fmt;
+
+/// Errors produced by the store, transactions, rules and the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SentinelError {
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown row.
+    NoSuchRow(u64),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Row arity does not match the table's columns.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// Unknown transaction id.
+    NoSuchTxn(u64),
+    /// The transaction is already finished.
+    TxnFinished(u64),
+    /// DSL parse error with position and message.
+    Parse {
+        /// Byte offset of the error.
+        at: usize,
+        /// Description.
+        msg: String,
+    },
+    /// The underlying detector rejected something.
+    Snoop(decs_snoop::SnoopError),
+    /// Unknown rule name.
+    NoSuchRule(String),
+}
+
+impl fmt::Display for SentinelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SentinelError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SentinelError::NoSuchRow(r) => write!(f, "no such row: {r}"),
+            SentinelError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SentinelError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "table {table} has {expected} columns but {got} values were given"
+            ),
+            SentinelError::NoSuchTxn(t) => write!(f, "no such transaction: {t}"),
+            SentinelError::TxnFinished(t) => write!(f, "transaction {t} already finished"),
+            SentinelError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            SentinelError::Snoop(e) => write!(f, "event error: {e}"),
+            SentinelError::NoSuchRule(r) => write!(f, "no such rule: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for SentinelError {}
+
+impl From<decs_snoop::SnoopError> for SentinelError {
+    fn from(e: decs_snoop::SnoopError) -> Self {
+        SentinelError::Snoop(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SentinelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: SentinelError = decs_snoop::SnoopError::ZeroPeriod.into();
+        assert!(e.to_string().contains("event error"));
+        assert!(SentinelError::Parse { at: 3, msg: "x".into() }
+            .to_string()
+            .contains("byte 3"));
+    }
+}

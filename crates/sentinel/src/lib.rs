@@ -1,0 +1,34 @@
+//! # decs-sentinel — the active-DBMS layer
+//!
+//! Sentinel is an active object-oriented DBMS: ECA (event–condition–action)
+//! rules fire when composite events are detected over the stream of
+//! database, transaction, temporal and explicit events. This crate provides
+//! the substrate the paper's semantics lives in:
+//!
+//! * an in-memory [`store::ObjectStore`] whose mutations generate database
+//!   events (`<table>_insert` / `_update` / `_delete`);
+//! * a [`txn::TxnManager`] generating transaction events (`txn_begin`,
+//!   `txn_commit`, `txn_abort`);
+//! * [`rule::Rule`]s — event expression + condition + action with
+//!   priorities and immediate/deferred coupling modes;
+//! * a [`manager::RuleEngine`] wiring everything to the centralized
+//!   detector (the distributed engine returns detections to the caller,
+//!   who applies rules through [`manager::RuleEngine::apply_detection`]);
+//! * a textual event-expression [`dsl`] (`"(A ; B) and not(C)[D, E]"`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod error;
+pub mod manager;
+pub mod rule;
+pub mod store;
+pub mod txn;
+
+pub use dsl::parse_expr;
+pub use error::{Result, SentinelError};
+pub use manager::RuleEngine;
+pub use rule::{Action, Condition, Coupling, Rule, RuleOccurrence};
+pub use store::{ObjectStore, RowId, StoreEvent, StoreOp};
+pub use txn::{TxnEvent, TxnId, TxnManager, TxnOp};

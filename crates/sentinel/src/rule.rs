@@ -1,0 +1,221 @@
+//! ECA rules: event + condition + action, with priorities and coupling
+//! modes.
+
+use decs_core::CompositeTimestamp;
+use decs_snoop::{CentralTime, Occurrence, Value};
+use std::fmt;
+
+/// When the action runs relative to the triggering detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Coupling {
+    /// Run the action as soon as the event is detected and the condition
+    /// holds.
+    #[default]
+    Immediate,
+    /// Queue the action; run it when the surrounding transaction commits.
+    Deferred,
+}
+
+/// Signature of a custom condition predicate.
+pub type ConditionFn = Box<dyn Fn(&[decs_snoop::ParamTuple]) -> bool + Send>;
+
+/// Signature of a custom action callback.
+pub type ActionFn = Box<dyn FnMut(&str, &RuleOccurrence) -> Vec<String> + Send>;
+
+/// The condition part of a rule, evaluated over the detected occurrence's
+/// accumulated parameters.
+pub enum Condition {
+    /// Always true.
+    Always,
+    /// True when any parameter tuple has a numeric value at `index`
+    /// comparing `>=`/`<=` against `threshold`.
+    Threshold {
+        /// Value index within each tuple.
+        index: usize,
+        /// The bound.
+        threshold: f64,
+        /// `true`: fire when `value >= threshold`; `false`: `<=`.
+        above: bool,
+    },
+    /// True when at least `n` parameter tuples are present (useful with
+    /// cumulative contexts and `A*`).
+    MinTuples(usize),
+    /// Arbitrary predicate.
+    Custom(ConditionFn),
+}
+
+impl Condition {
+    /// Evaluate against an occurrence's parameters.
+    pub fn eval(&self, params: &[decs_snoop::ParamTuple]) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::Threshold {
+                index,
+                threshold,
+                above,
+            } => params.iter().any(|t| {
+                t.values
+                    .get(*index)
+                    .and_then(Value::as_float)
+                    .is_some_and(|v| if *above { v >= *threshold } else { v <= *threshold })
+            }),
+            Condition::MinTuples(n) => params.len() >= *n,
+            Condition::Custom(f) => f(params),
+        }
+    }
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Always => f.write_str("Always"),
+            Condition::Threshold {
+                index,
+                threshold,
+                above,
+            } => write!(f, "Threshold(v[{index}] {} {threshold})", if *above { ">=" } else { "<=" }),
+            Condition::MinTuples(n) => write!(f, "MinTuples({n})"),
+            Condition::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// What a fired rule does. Actions receive the triggering occurrence and
+/// append log lines to the engine's action log (the observable effect used
+/// by tests and examples); `Custom` actions may do anything.
+pub enum Action {
+    /// Append `"<rule>: <message>"` to the action log.
+    Log(String),
+    /// Arbitrary callback receiving the rule name and occurrence; returns
+    /// log lines to append.
+    Custom(ActionFn),
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Log(m) => write!(f, "Log({m:?})"),
+            Action::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// The occurrence a rule sees: centralized or distributed.
+#[derive(Debug, Clone)]
+pub enum RuleOccurrence {
+    /// Detected by the centralized engine.
+    Central(Occurrence<CentralTime>),
+    /// Detected by the distributed engine.
+    Distributed(Occurrence<CompositeTimestamp>),
+}
+
+impl RuleOccurrence {
+    /// The accumulated parameter tuples.
+    pub fn params(&self) -> &[decs_snoop::ParamTuple] {
+        match self {
+            RuleOccurrence::Central(o) => &o.params,
+            RuleOccurrence::Distributed(o) => &o.params,
+        }
+    }
+}
+
+/// An ECA rule.
+#[derive(Debug)]
+pub struct Rule {
+    /// Rule name (unique within an engine).
+    pub name: String,
+    /// The named composite (or primitive) event that triggers it.
+    pub event: String,
+    /// The condition.
+    pub condition: Condition,
+    /// The action.
+    pub action: Action,
+    /// Higher priority rules run first on the same detection.
+    pub priority: i32,
+    /// Coupling mode.
+    pub coupling: Coupling,
+}
+
+impl Rule {
+    /// A rule with default priority 0 and immediate coupling.
+    pub fn new(name: &str, event: &str, condition: Condition, action: Action) -> Self {
+        Rule {
+            name: name.to_owned(),
+            event: event.to_owned(),
+            condition,
+            action,
+            priority: 0,
+            coupling: Coupling::Immediate,
+        }
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the coupling mode.
+    pub fn coupling(mut self, c: Coupling) -> Self {
+        self.coupling = c;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_snoop::{EventId, ParamTuple};
+
+    fn tuple(vals: Vec<Value>) -> ParamTuple {
+        ParamTuple::new(EventId(0), vals)
+    }
+
+    #[test]
+    fn threshold_condition() {
+        let c = Condition::Threshold {
+            index: 1,
+            threshold: 100.0,
+            above: true,
+        };
+        assert!(c.eval(&[tuple(vec!["IBM".into(), 101.0.into()])]));
+        assert!(!c.eval(&[tuple(vec!["IBM".into(), 99.0.into()])]));
+        // Int values widen to float.
+        assert!(c.eval(&[tuple(vec!["IBM".into(), Value::Int(100)])]));
+        // Missing index → false.
+        assert!(!c.eval(&[tuple(vec!["IBM".into()])]));
+        let below = Condition::Threshold {
+            index: 0,
+            threshold: 5.0,
+            above: false,
+        };
+        assert!(below.eval(&[tuple(vec![Value::Int(3)])]));
+        assert!(!below.eval(&[tuple(vec![Value::Int(9)])]));
+    }
+
+    #[test]
+    fn min_tuples_and_always() {
+        assert!(Condition::Always.eval(&[]));
+        assert!(Condition::MinTuples(2).eval(&[tuple(vec![]), tuple(vec![])]));
+        assert!(!Condition::MinTuples(3).eval(&[tuple(vec![])]));
+    }
+
+    #[test]
+    fn custom_condition() {
+        let c = Condition::Custom(Box::new(|ps| {
+            ps.iter().any(|t| t.values.iter().any(|v| v.as_str() == Some("ALERT")))
+        }));
+        assert!(c.eval(&[tuple(vec!["ALERT".into()])]));
+        assert!(!c.eval(&[tuple(vec!["ok".into()])]));
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let r = Rule::new("r", "X", Condition::Always, Action::Log("hi".into()))
+            .priority(5)
+            .coupling(Coupling::Deferred);
+        assert_eq!(r.priority, 5);
+        assert_eq!(r.coupling, Coupling::Deferred);
+        assert!(format!("{r:?}").contains("Log"));
+    }
+}

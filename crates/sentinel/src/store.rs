@@ -1,0 +1,284 @@
+//! The in-memory object store.
+//!
+//! A minimal typed row store whose mutations emit [`StoreEvent`]s — the
+//! "data manipulation events" of the active-DBMS model. The store knows
+//! nothing about detection; the [`crate::manager::RuleEngine`] drains its
+//! event queue and feeds the detector, which keeps the layers testable in
+//! isolation.
+
+use crate::error::{Result, SentinelError};
+use decs_snoop::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Row identifier (unique per table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+/// The kind of mutation an event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreOp {
+    /// Row inserted.
+    Insert,
+    /// Row updated.
+    Update,
+    /// Row deleted.
+    Delete,
+}
+
+impl StoreOp {
+    /// The event-name suffix for this operation.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            StoreOp::Insert => "insert",
+            StoreOp::Update => "update",
+            StoreOp::Delete => "delete",
+        }
+    }
+}
+
+/// A data-manipulation event emitted by the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreEvent {
+    /// The table.
+    pub table: String,
+    /// The operation.
+    pub op: StoreOp,
+    /// The affected row.
+    pub row: RowId,
+    /// The row values after the operation (before, for deletes).
+    pub values: Vec<Value>,
+}
+
+impl StoreEvent {
+    /// The primitive event name this maps to: `<table>_<op>`.
+    pub fn event_name(&self) -> String {
+        format!("{}_{}", self.table, self.op.suffix())
+    }
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Table {
+    columns: Vec<String>,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_row: u64,
+}
+
+/// The in-memory object store.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct ObjectStore {
+    tables: BTreeMap<String, Table>,
+    pending: Vec<StoreEvent>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Create a table with the given columns.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(SentinelError::TableExists(name.to_owned()));
+        }
+        self.tables.insert(
+            name.to_owned(),
+            Table {
+                columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+                rows: BTreeMap::new(),
+                next_row: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// The tables, in name order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Column names of a table.
+    pub fn columns(&self, table: &str) -> Result<&[String]> {
+        Ok(&self.get(table)?.columns)
+    }
+
+    fn get(&self, table: &str) -> Result<&Table> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| SentinelError::NoSuchTable(table.to_owned()))
+    }
+
+    fn get_mut(&mut self, table: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| SentinelError::NoSuchTable(table.to_owned()))
+    }
+
+    /// Insert a row; emits an `_insert` event.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<RowId> {
+        let t = self.get_mut(table)?;
+        if values.len() != t.columns.len() {
+            return Err(SentinelError::ArityMismatch {
+                table: table.to_owned(),
+                expected: t.columns.len(),
+                got: values.len(),
+            });
+        }
+        let id = RowId(t.next_row);
+        t.next_row += 1;
+        t.rows.insert(id, values.clone());
+        self.pending.push(StoreEvent {
+            table: table.to_owned(),
+            op: StoreOp::Insert,
+            row: id,
+            values,
+        });
+        Ok(id)
+    }
+
+    /// Update a row; emits an `_update` event.
+    pub fn update(&mut self, table: &str, row: RowId, values: Vec<Value>) -> Result<()> {
+        let t = self.get_mut(table)?;
+        if values.len() != t.columns.len() {
+            return Err(SentinelError::ArityMismatch {
+                table: table.to_owned(),
+                expected: t.columns.len(),
+                got: values.len(),
+            });
+        }
+        if !t.rows.contains_key(&row) {
+            return Err(SentinelError::NoSuchRow(row.0));
+        }
+        t.rows.insert(row, values.clone());
+        self.pending.push(StoreEvent {
+            table: table.to_owned(),
+            op: StoreOp::Update,
+            row,
+            values,
+        });
+        Ok(())
+    }
+
+    /// Delete a row; emits a `_delete` event carrying the old values.
+    pub fn delete(&mut self, table: &str, row: RowId) -> Result<()> {
+        let t = self.get_mut(table)?;
+        let old = t
+            .rows
+            .remove(&row)
+            .ok_or(SentinelError::NoSuchRow(row.0))?;
+        self.pending.push(StoreEvent {
+            table: table.to_owned(),
+            op: StoreOp::Delete,
+            row,
+            values: old,
+        });
+        Ok(())
+    }
+
+    /// Read a row.
+    pub fn read(&self, table: &str, row: RowId) -> Result<&[Value]> {
+        self.get(table)?
+            .rows
+            .get(&row)
+            .map(Vec::as_slice)
+            .ok_or(SentinelError::NoSuchRow(row.0))
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.get(table)?.rows.len())
+    }
+
+    /// Iterate a table's rows in id order.
+    pub fn scan(&self, table: &str) -> Result<impl Iterator<Item = (RowId, &[Value])>> {
+        Ok(self
+            .get(table)?
+            .rows
+            .iter()
+            .map(|(id, v)| (*id, v.as_slice())))
+    }
+
+    /// Drain the pending data-manipulation events.
+    pub fn drain_events(&mut self) -> Vec<StoreEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Number of undrained events.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        let mut s = ObjectStore::new();
+        s.create_table("stock", &["symbol", "price"]).unwrap();
+        s
+    }
+
+    #[test]
+    fn create_and_duplicate() {
+        let mut s = store();
+        assert_eq!(
+            s.create_table("stock", &["x"]).unwrap_err(),
+            SentinelError::TableExists("stock".into())
+        );
+        assert_eq!(s.table_names(), vec!["stock"]);
+        assert_eq!(s.columns("stock").unwrap(), &["symbol", "price"]);
+    }
+
+    #[test]
+    fn insert_read_update_delete_with_events() {
+        let mut s = store();
+        let id = s
+            .insert("stock", vec!["IBM".into(), Value::Float(100.0)])
+            .unwrap();
+        assert_eq!(s.read("stock", id).unwrap()[0].as_str(), Some("IBM"));
+        s.update("stock", id, vec!["IBM".into(), Value::Float(101.5)])
+            .unwrap();
+        assert_eq!(s.row_count("stock").unwrap(), 1);
+        s.delete("stock", id).unwrap();
+        assert_eq!(s.row_count("stock").unwrap(), 0);
+        let evs = s.drain_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].event_name(), "stock_insert");
+        assert_eq!(evs[1].event_name(), "stock_update");
+        assert_eq!(evs[2].event_name(), "stock_delete");
+        // Delete carries the pre-delete values.
+        assert_eq!(evs[2].values[1].as_float(), Some(101.5));
+        assert_eq!(s.pending_events(), 0);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut s = store();
+        assert!(matches!(
+            s.insert("stock", vec!["IBM".into()]),
+            Err(SentinelError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_table_and_row() {
+        let mut s = store();
+        assert!(s.insert("nope", vec![]).is_err());
+        assert!(s.read("stock", RowId(0)).is_err());
+        assert!(s.update("stock", RowId(0), vec!["X".into(), 1.0.into()]).is_err());
+        assert!(s.delete("stock", RowId(0)).is_err());
+    }
+
+    #[test]
+    fn scan_in_id_order() {
+        let mut s = store();
+        for i in 0..5i64 {
+            s.insert("stock", vec![format!("S{i}").as_str().into(), Value::Int(i)])
+                .unwrap();
+        }
+        let ids: Vec<u64> = s.scan("stock").unwrap().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

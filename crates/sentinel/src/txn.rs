@@ -1,0 +1,158 @@
+//! Transactions and transaction events.
+//!
+//! The active-DBMS model distinguishes *transaction events* (`begin`,
+//! `commit`, `abort`) from data events; rules with **deferred** coupling
+//! run their actions at the commit of the triggering transaction. This
+//! module provides transaction lifecycle bookkeeping and the corresponding
+//! event stream.
+
+use crate::error::{Result, SentinelError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// A transaction lifecycle operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnOp {
+    /// Transaction started.
+    Begin,
+    /// Transaction committed.
+    Commit,
+    /// Transaction aborted.
+    Abort,
+}
+
+impl TxnOp {
+    /// The primitive event name this maps to.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            TxnOp::Begin => "txn_begin",
+            TxnOp::Commit => "txn_commit",
+            TxnOp::Abort => "txn_abort",
+        }
+    }
+}
+
+/// A transaction event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnEvent {
+    /// The transaction.
+    pub txn: TxnId,
+    /// The lifecycle operation.
+    pub op: TxnOp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// Transaction lifecycle manager.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct TxnManager {
+    states: BTreeMap<TxnId, TxnState>,
+    next: u64,
+    pending: Vec<TxnEvent>,
+}
+
+impl TxnManager {
+    /// A fresh manager.
+    pub fn new() -> Self {
+        TxnManager::default()
+    }
+
+    /// Begin a transaction; emits `txn_begin`.
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next);
+        self.next += 1;
+        self.states.insert(id, TxnState::Active);
+        self.pending.push(TxnEvent {
+            txn: id,
+            op: TxnOp::Begin,
+        });
+        id
+    }
+
+    /// Commit; emits `txn_commit`.
+    pub fn commit(&mut self, id: TxnId) -> Result<()> {
+        self.finish(id, TxnState::Committed, TxnOp::Commit)
+    }
+
+    /// Abort; emits `txn_abort`.
+    pub fn abort(&mut self, id: TxnId) -> Result<()> {
+        self.finish(id, TxnState::Aborted, TxnOp::Abort)
+    }
+
+    fn finish(&mut self, id: TxnId, state: TxnState, op: TxnOp) -> Result<()> {
+        match self.states.get_mut(&id) {
+            None => Err(SentinelError::NoSuchTxn(id.0)),
+            Some(s @ TxnState::Active) => {
+                *s = state;
+                self.pending.push(TxnEvent { txn: id, op });
+                Ok(())
+            }
+            Some(_) => Err(SentinelError::TxnFinished(id.0)),
+        }
+    }
+
+    /// Whether a transaction is active.
+    pub fn is_active(&self, id: TxnId) -> bool {
+        matches!(self.states.get(&id), Some(TxnState::Active))
+    }
+
+    /// Whether a transaction committed.
+    pub fn is_committed(&self, id: TxnId) -> bool {
+        matches!(self.states.get(&id), Some(TxnState::Committed))
+    }
+
+    /// Drain pending transaction events.
+    pub fn drain_events(&mut self) -> Vec<TxnEvent> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_events() {
+        let mut m = TxnManager::new();
+        let t1 = m.begin();
+        let t2 = m.begin();
+        assert_ne!(t1, t2);
+        assert!(m.is_active(t1));
+        m.commit(t1).unwrap();
+        m.abort(t2).unwrap();
+        assert!(m.is_committed(t1));
+        assert!(!m.is_active(t2));
+        let evs = m.drain_events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].op, TxnOp::Begin);
+        assert_eq!(evs[2].op.event_name(), "txn_commit");
+        assert_eq!(evs[3].op.event_name(), "txn_abort");
+    }
+
+    #[test]
+    fn double_finish_rejected() {
+        let mut m = TxnManager::new();
+        let t = m.begin();
+        m.commit(t).unwrap();
+        assert_eq!(m.commit(t).unwrap_err(), SentinelError::TxnFinished(t.0));
+        assert_eq!(m.abort(t).unwrap_err(), SentinelError::TxnFinished(t.0));
+    }
+
+    #[test]
+    fn unknown_txn_rejected() {
+        let mut m = TxnManager::new();
+        assert_eq!(
+            m.commit(TxnId(99)).unwrap_err(),
+            SentinelError::NoSuchTxn(99)
+        );
+    }
+}

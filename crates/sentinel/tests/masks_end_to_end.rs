@@ -1,0 +1,116 @@
+//! Event masks through the DSL and the rule engine, end to end.
+
+use decs_sentinel::{parse_expr, Condition, RuleEngine, SentinelError};
+use decs_snoop::{Context, EventExpr, Mask};
+
+#[test]
+fn mask_dsl_parses() {
+    let e = parse_expr("price_update{1 >= 100}").unwrap();
+    let EventExpr::Masked { base, mask } = e else {
+        panic!("expected Masked, got {e:?}")
+    };
+    assert_eq!(*base, EventExpr::prim("price_update"));
+    assert_eq!(mask, Mask::AtLeast { index: 1, min: 100 });
+}
+
+#[test]
+fn mask_dsl_string_and_combinators() {
+    let e = parse_expr(r#"login_fail{0 == "root" or 0 == "admin"}"#).unwrap();
+    assert_eq!(e.operator_count(), 1);
+    let e2 = parse_expr(r#"trade{0 == "IBM" and 1 >= 100}"#).unwrap();
+    let EventExpr::Masked { mask, .. } = e2 else {
+        panic!()
+    };
+    assert!(matches!(mask, Mask::And(..)));
+    // Unquoted identifiers also work as string literals.
+    assert!(parse_expr("x{0 == root}").is_ok());
+}
+
+#[test]
+fn mask_dsl_composes_with_operators() {
+    let e = parse_expr(r#"a{0 >= 5} ; b{0 <= 3}"#).unwrap();
+    assert_eq!(e.operator_count(), 3); // seq + two masks
+    let e2 = parse_expr(r#"(a ; b){0 >= 5}"#).unwrap();
+    let EventExpr::Masked { base, .. } = e2 else {
+        panic!()
+    };
+    assert!(matches!(*base, EventExpr::Seq(..)));
+}
+
+#[test]
+fn mask_dsl_errors() {
+    assert!(matches!(
+        parse_expr("a{0 > 5}"),
+        Err(SentinelError::Parse { .. })
+    )); // bare '>' is not a token
+    assert!(parse_expr("a{0 >= }").is_err());
+    assert!(parse_expr("a{0 >= 5").is_err()); // missing brace
+    assert!(parse_expr(r#"a{0 == "unterminated}"#).is_err());
+}
+
+#[test]
+fn masked_sequence_filters_constituents() {
+    let mut e = RuleEngine::new();
+    e.register_event("tick").unwrap();
+    // Two large ticks in sequence — small ticks invisible to the pattern.
+    e.define_event_dsl("surge", "tick{0 >= 100} ; tick{0 >= 100}", Context::Chronicle)
+        .unwrap();
+    e.on("alert", "surge", Condition::Always, "two big ticks");
+    e.raise("tick", vec![150i64.into()]).unwrap();
+    e.raise("tick", vec![10i64.into()]).unwrap(); // filtered out
+    assert!(e.log().is_empty());
+    e.raise("tick", vec![200i64.into()]).unwrap();
+    assert_eq!(e.log().len(), 1, "150 ; 200 completes the masked sequence");
+}
+
+#[test]
+fn masked_event_in_not_guard() {
+    // ¬(override{0 == "admin"})[request, timeout]: only *admin* overrides
+    // cancel the window.
+    let mut e = RuleEngine::new();
+    for ev in ["request", "override", "timeout"] {
+        e.register_event(ev).unwrap();
+    }
+    e.define_event_dsl(
+        "unanswered",
+        r#"not(override{0 == "admin"})[request, timeout]"#,
+        Context::Chronicle,
+    )
+    .unwrap();
+    e.on("escalate", "unanswered", Condition::Always, "no admin response");
+    e.raise("request", vec![]).unwrap();
+    e.raise("override", vec!["guest".into()]).unwrap(); // does not count
+    e.raise("timeout", vec![]).unwrap();
+    assert_eq!(e.log().len(), 1);
+
+    // Same trace with an admin override: window cancelled.
+    let mut e2 = RuleEngine::new();
+    for ev in ["request", "override", "timeout"] {
+        e2.register_event(ev).unwrap();
+    }
+    e2.define_event_dsl(
+        "unanswered",
+        r#"not(override{0 == "admin"})[request, timeout]"#,
+        Context::Chronicle,
+    )
+    .unwrap();
+    e2.on("escalate", "unanswered", Condition::Always, "no admin response");
+    e2.raise("request", vec![]).unwrap();
+    e2.raise("override", vec!["admin".into()]).unwrap();
+    e2.raise("timeout", vec![]).unwrap();
+    assert!(e2.log().is_empty());
+}
+
+#[test]
+fn mask_on_composite_checks_any_tuple() {
+    // Mask over a composite: passes when ANY constituent satisfies it.
+    let mut e = RuleEngine::new();
+    e.register_event("x").unwrap();
+    e.register_event("y").unwrap();
+    e.define_event_dsl("pair", "(x ; y){0 >= 100}", Context::Chronicle)
+        .unwrap();
+    e.on("r", "pair", Condition::Always, "big pair");
+    e.raise("x", vec![5i64.into()]).unwrap();
+    e.raise("y", vec![500i64.into()]).unwrap();
+    assert_eq!(e.log().len(), 1);
+}

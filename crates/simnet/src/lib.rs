@@ -1,0 +1,40 @@
+//! # decs-simnet — deterministic discrete-event simulation of a
+//! distributed system with drifting clocks
+//!
+//! The paper's semantics is parameterized by physical artifacts — clock
+//! drift, synchronization precision `Π`, the global granularity `g_g`,
+//! message latency — that a wall-clock testbed cannot control or reproduce.
+//! This crate replaces the testbed with a deterministic discrete-event
+//! simulator:
+//!
+//! * **True time** is explicit ([`decs_chronos::Nanos`] since the epoch);
+//!   the simulation advances through a priority queue of scheduled events.
+//! * Every **site** owns a [`decs_chronos::LocalClock`] with configurable
+//!   drift/offset, periodically resynchronized ([`node::SiteTimeSource`]),
+//!   so event occurrences receive genuine `(site, global, local)` stamps.
+//! * **Links** deliver messages with configurable base latency and
+//!   deterministic jitter; non-FIFO links model real reordering
+//!   ([`link::LinkConfig`]).
+//! * All randomness comes from a seeded [`rng::SplitMix64`]; a run is a
+//!   pure function of its seed and configuration.
+//!
+//! The actor interface ([`sim::Actor`]) is deliberately small: a node
+//! reacts to delivered messages and to its own timers, reads its local
+//! clock through the context, and sends messages/schedules timers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod node;
+pub mod rng;
+pub mod scenario;
+pub mod sim;
+pub mod trace;
+
+pub use link::LinkConfig;
+pub use node::SiteTimeSource;
+pub use rng::SplitMix64;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use sim::{Actor, Ctx, NodeIdx, Simulation};
+pub use trace::{Trace, TraceEntry};

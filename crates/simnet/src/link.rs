@@ -1,0 +1,161 @@
+//! Network link model.
+//!
+//! Links deliver messages after `base_latency ± jitter` (uniform,
+//! deterministic from the simulation seed). A link may be declared FIFO, in
+//! which case delivery times are clamped to be non-decreasing per
+//! (src, dst) pair; non-FIFO links can reorder messages, which is exactly
+//! the hostile condition the distributed detector's watermark logic must
+//! tolerate.
+
+use crate::rng::SplitMix64;
+use decs_chronos::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Latency model of one (directed) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Base one-way latency in nanoseconds.
+    pub base_latency_ns: u64,
+    /// Maximum symmetric jitter in nanoseconds (uniform in `[-j, +j]`).
+    pub jitter_ns: u64,
+    /// Whether deliveries preserve send order.
+    pub fifo: bool,
+}
+
+impl LinkConfig {
+    /// A symmetric LAN-ish default: 500 µs ± 200 µs, non-FIFO.
+    pub fn lan() -> Self {
+        LinkConfig {
+            base_latency_ns: 500_000,
+            jitter_ns: 200_000,
+            fifo: false,
+        }
+    }
+
+    /// A WAN-ish default: 40 ms ± 10 ms, non-FIFO.
+    pub fn wan() -> Self {
+        LinkConfig {
+            base_latency_ns: 40_000_000,
+            jitter_ns: 10_000_000,
+            fifo: false,
+        }
+    }
+
+    /// Zero-latency, FIFO (useful for unit tests).
+    pub fn instant() -> Self {
+        LinkConfig {
+            base_latency_ns: 0,
+            jitter_ns: 0,
+            fifo: true,
+        }
+    }
+
+    /// Sample a one-way latency.
+    pub fn sample_latency(&self, rng: &mut SplitMix64) -> Nanos {
+        if self.jitter_ns == 0 {
+            return Nanos(self.base_latency_ns);
+        }
+        let delta = rng.next_signed(self.jitter_ns);
+        Nanos(self.base_latency_ns.saturating_add_signed(delta))
+    }
+}
+
+/// Per-pair link state (latency config + FIFO clamp).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkState {
+    /// The configuration.
+    pub config: LinkConfig,
+    /// Latest delivery time scheduled so far (for FIFO clamping).
+    last_delivery: Nanos,
+}
+
+impl LinkState {
+    /// Fresh state for a config.
+    pub fn new(config: LinkConfig) -> Self {
+        LinkState {
+            config,
+            last_delivery: Nanos::ZERO,
+        }
+    }
+
+    /// Compute the delivery time of a message sent at `now`.
+    pub fn delivery_time(&mut self, now: Nanos, rng: &mut SplitMix64) -> Nanos {
+        let raw = Nanos(now.get() + self.config.sample_latency(rng).get());
+        let at = if self.config.fifo {
+            Nanos(raw.get().max(self.last_delivery.get()))
+        } else {
+            raw
+        };
+        self.last_delivery = Nanos(self.last_delivery.get().max(at.get()));
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_within_bounds() {
+        let cfg = LinkConfig {
+            base_latency_ns: 1000,
+            jitter_ns: 100,
+            fifo: false,
+        };
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let l = cfg.sample_latency(&mut rng).get();
+            assert!((900..=1100).contains(&l), "latency {l}");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(LinkConfig::instant().sample_latency(&mut rng), Nanos(0));
+    }
+
+    #[test]
+    fn fifo_clamps_delivery_order() {
+        let cfg = LinkConfig {
+            base_latency_ns: 1000,
+            jitter_ns: 900,
+            fifo: true,
+        };
+        let mut st = LinkState::new(cfg);
+        let mut rng = SplitMix64::new(5);
+        let mut last = Nanos::ZERO;
+        for send in (0..100u64).map(|i| Nanos(i * 10)) {
+            let at = st.delivery_time(send, &mut rng);
+            assert!(at >= last, "FIFO violated: {at} < {last}");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn non_fifo_can_reorder() {
+        let cfg = LinkConfig {
+            base_latency_ns: 1000,
+            jitter_ns: 990,
+            fifo: false,
+        };
+        let mut st = LinkState::new(cfg);
+        let mut rng = SplitMix64::new(5);
+        let mut reordered = false;
+        let mut last = Nanos::ZERO;
+        for send in (0..200u64).map(|i| Nanos(i * 10)) {
+            let at = st.delivery_time(send, &mut rng);
+            if at < last {
+                reordered = true;
+            }
+            last = at;
+        }
+        assert!(reordered, "expected at least one reordering");
+    }
+
+    #[test]
+    fn presets() {
+        assert!(LinkConfig::wan().base_latency_ns > LinkConfig::lan().base_latency_ns);
+        assert!(LinkConfig::instant().fifo);
+    }
+}

@@ -1,0 +1,222 @@
+//! Scenario builder: sites, clocks, precision and the global time base.
+//!
+//! A [`Scenario`] is the deterministic description of a distributed system:
+//! per-site clock parameters (drift/offset sampled from a seed), the
+//! resulting analytic precision `Π`, a validated global granularity
+//! `g_g > Π`, and a default link model. The distributed detection engine
+//! and the experiment binaries build everything from a scenario, so every
+//! run is reproducible from `(seed, parameters)`.
+
+use crate::link::LinkConfig;
+use crate::node::SiteTimeSource;
+use crate::rng::SplitMix64;
+use decs_chronos::{
+    ChronosError, ClockEnsemble, GlobalTimeBase, Granularity, LocalClock, Nanos, Precision,
+    SiteId, TruncMode,
+};
+use serde::{Deserialize, Serialize};
+
+/// Builder for a [`Scenario`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioBuilder {
+    sites: u32,
+    seed: u64,
+    local_granularity: Granularity,
+    gg: Option<Granularity>,
+    max_drift_ppb: u64,
+    max_offset_ns: u64,
+    link: LinkConfig,
+}
+
+impl ScenarioBuilder {
+    /// Start a scenario with `sites` sites and a seed.
+    pub fn new(sites: u32, seed: u64) -> Self {
+        ScenarioBuilder {
+            sites,
+            seed,
+            // The paper's example: local clocks at 1/100 s.
+            local_granularity: Granularity::per_second(100).expect("static"),
+            gg: None,
+            max_drift_ppb: 20_000, // ±20 ppm
+            max_offset_ns: 5_000_000, // ±5 ms initial offset
+            link: LinkConfig::lan(),
+        }
+    }
+
+    /// Local clock granularity (default `1/100 s`).
+    pub fn local_granularity(mut self, g: Granularity) -> Self {
+        self.local_granularity = g;
+        self
+    }
+
+    /// Global granularity `g_g` (default: minimal valid, `Π + ε` rounded
+    /// up to the local granularity).
+    pub fn global_granularity(mut self, g: Granularity) -> Self {
+        self.gg = Some(g);
+        self
+    }
+
+    /// Maximum clock drift magnitude in ppb (default 20 000 = 20 ppm).
+    pub fn max_drift_ppb(mut self, d: u64) -> Self {
+        self.max_drift_ppb = d;
+        self
+    }
+
+    /// Maximum initial clock offset magnitude in ns (default 5 ms).
+    pub fn max_offset_ns(mut self, o: u64) -> Self {
+        self.max_offset_ns = o;
+        self
+    }
+
+    /// Default link configuration (default: LAN).
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Build the scenario: sample clocks, bound the precision, validate
+    /// `g_g > Π`.
+    pub fn build(self) -> Result<Scenario, ChronosError> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut clocks = Vec::with_capacity(self.sites as usize);
+        for _ in 0..self.sites {
+            let drift = rng.next_signed(self.max_drift_ppb);
+            let offset = rng.next_signed(self.max_offset_ns);
+            clocks.push(LocalClock::with_error(
+                self.local_granularity,
+                drift,
+                offset,
+            ));
+        }
+        // Resync every simulated second with a residual equal to the
+        // initial offset bound — a conservative model of an external sync
+        // service.
+        let ensemble = ClockEnsemble::new(
+            clocks,
+            self.max_offset_ns as i64,
+            Nanos::from_secs(1),
+        );
+        let precision = ensemble.precision_bound();
+        let gg = match self.gg {
+            Some(g) => g,
+            None => {
+                // Minimal valid g_g, rounded up to a multiple of the local
+                // granularity so truncation ratios stay integral.
+                let local = self.local_granularity.nanos_per_tick();
+                let min = precision.nanos() + 1;
+                Granularity::from_nanos(min.div_ceil(local) * local)?
+            }
+        };
+        let base = GlobalTimeBase::new(gg, TruncMode::Floor, precision)?;
+        Ok(Scenario {
+            seed: self.seed,
+            ensemble,
+            base,
+            link: self.link,
+            local_granularity: self.local_granularity,
+        })
+    }
+}
+
+/// A fully specified distributed-system scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The seed everything was derived from.
+    pub seed: u64,
+    /// The per-site clocks as a synchronized ensemble.
+    pub ensemble: ClockEnsemble,
+    /// The validated global time base (`g_g > Π`).
+    pub base: GlobalTimeBase,
+    /// Default link model.
+    pub link: LinkConfig,
+    /// Local clock granularity shared by the sites.
+    pub local_granularity: Granularity,
+}
+
+impl Scenario {
+    /// Number of sites.
+    pub fn sites(&self) -> u32 {
+        self.ensemble.len() as u32
+    }
+
+    /// The time source of site `i`.
+    pub fn time_source(&self, i: u32) -> SiteTimeSource {
+        let clock = *self
+            .ensemble
+            .clock(i as usize)
+            .expect("site index in range");
+        SiteTimeSource::new(SiteId(i), clock, self.base)
+    }
+
+    /// The analytic precision `Π` of the ensemble.
+    pub fn precision(&self) -> Precision {
+        self.base.precision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_validates_gg() {
+        let s = ScenarioBuilder::new(4, 42).build().unwrap();
+        assert_eq!(s.sites(), 4);
+        assert!(s.base.gg().nanos_per_tick() > s.precision().nanos());
+    }
+
+    #[test]
+    fn explicit_gg_must_dominate_precision() {
+        let err = ScenarioBuilder::new(4, 42)
+            .global_granularity(Granularity::from_nanos(10).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ChronosError::GranularityNotAbovePrecision { .. }
+        ));
+    }
+
+    #[test]
+    fn paper_scale_scenario() {
+        // g_g = 1/10 s as in the paper's worked example; drift/offset well
+        // within Π < 1/10 s.
+        let s = ScenarioBuilder::new(3, 7)
+            .global_granularity(Granularity::per_second(10).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(s.base.gg().nanos_per_tick(), 100_000_000);
+        // Truncation ratio integral w.r.t. 1/100 s local clocks.
+        assert_eq!(s.base.gg().ratio_to(s.local_granularity), Some(10));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = ScenarioBuilder::new(5, 99).build().unwrap();
+        let b = ScenarioBuilder::new(5, 99).build().unwrap();
+        for i in 0..5usize {
+            assert_eq!(
+                a.ensemble.clock(i).unwrap().drift_ppb(),
+                b.ensemble.clock(i).unwrap().drift_ppb()
+            );
+        }
+        let c = ScenarioBuilder::new(5, 100).build().unwrap();
+        let same = (0..5).all(|i| {
+            a.ensemble.clock(i).unwrap().drift_ppb()
+                == c.ensemble.clock(i).unwrap().drift_ppb()
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn default_gg_is_multiple_of_local() {
+        let s = ScenarioBuilder::new(2, 1).build().unwrap();
+        assert!(s.base.gg().ratio_to(s.local_granularity).is_some());
+    }
+
+    #[test]
+    fn time_sources_carry_site_ids() {
+        let s = ScenarioBuilder::new(3, 5).build().unwrap();
+        assert_eq!(s.time_source(2).site(), SiteId(2));
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation traces.
+//!
+//! A bounded in-memory record of what happened during a run — message
+//! sends/deliveries and timer fires — used by tests to assert on ordering
+//! behaviour and by the experiment binaries for diagnostics.
+
+use crate::sim::NodeIdx;
+use decs_chronos::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEntry {
+    /// A message was sent.
+    Send {
+        /// True time of the send.
+        at: Nanos,
+        /// Sender.
+        from: NodeIdx,
+        /// Receiver.
+        to: NodeIdx,
+        /// Scheduled delivery time.
+        deliver_at: Nanos,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// True time of delivery.
+        at: Nanos,
+        /// Sender.
+        from: NodeIdx,
+        /// Receiver.
+        to: NodeIdx,
+    },
+    /// A node timer fired.
+    Timer {
+        /// True time of the fire.
+        at: Nanos,
+        /// The node.
+        node: NodeIdx,
+        /// The node-chosen tag.
+        tag: u64,
+    },
+}
+
+impl TraceEntry {
+    /// The true time of the entry.
+    pub fn at(&self) -> Nanos {
+        match self {
+            TraceEntry::Send { at, .. }
+            | TraceEntry::Deliver { at, .. }
+            | TraceEntry::Timer { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` entries (older entries beyond
+    /// the cap are counted, not stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::with_capacity(0)
+    }
+
+    /// Record an entry.
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// How many entries did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_recording() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5u64 {
+            t.push(TraceEntry::Timer {
+                at: Nanos(i),
+                node: NodeIdx(0),
+                tag: i,
+            });
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEntry::Timer {
+            at: Nanos(1),
+            node: NodeIdx(0),
+            tag: 0,
+        });
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn entry_time_accessor() {
+        let e = TraceEntry::Send {
+            at: Nanos(5),
+            from: NodeIdx(0),
+            to: NodeIdx(1),
+            deliver_at: Nanos(9),
+        };
+        assert_eq!(e.at(), Nanos(5));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the simulator: determinism from seeds, FIFO
+//! clamping, latency bounds, and scenario validity.
+
+use decs_chronos::{Granularity, Nanos};
+use decs_simnet::link::LinkState;
+use decs_simnet::{LinkConfig, ScenarioBuilder, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn link_latency_within_configured_bounds(
+        base in 0u64..10_000_000,
+        jitter in 0u64..1_000_000,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, fifo: false };
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let l = cfg.sample_latency(&mut rng).get();
+            prop_assert!(l >= base.saturating_sub(jitter));
+            prop_assert!(l <= base + jitter);
+        }
+    }
+
+    #[test]
+    fn fifo_links_never_reorder(
+        base in 1u64..1_000_000,
+        jitter in 0u64..1_000_000,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, fifo: true };
+        let mut st = LinkState::new(cfg);
+        let mut rng = SplitMix64::new(seed);
+        let mut last = Nanos::ZERO;
+        for send in (0..200u64).map(|i| Nanos(i * 100)) {
+            let at = st.delivery_time(send, &mut rng);
+            prop_assert!(at >= last);
+            prop_assert!(at >= send, "delivery before send");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn scenario_gg_always_dominates_precision(
+        sites in 1u32..20,
+        seed in 0u64..10_000,
+        drift in 1u64..50_000,
+        offset in 1u64..10_000_000,
+    ) {
+        let s = ScenarioBuilder::new(sites, seed)
+            .max_drift_ppb(drift)
+            .max_offset_ns(offset)
+            .build()
+            .unwrap();
+        prop_assert!(s.base.gg().nanos_per_tick() > s.precision().nanos());
+        // The default g_g is an exact multiple of the local granularity.
+        prop_assert!(s.base.gg().ratio_to(s.local_granularity).is_some());
+        // Every site clock's drift is within the configured magnitude.
+        for i in 0..sites as usize {
+            let c = s.ensemble.clock(i).unwrap();
+            prop_assert!(c.drift_ppb().unsigned_abs() <= drift);
+            prop_assert!(c.offset_ns().unsigned_abs() <= offset);
+        }
+    }
+
+    #[test]
+    fn scenario_is_pure_function_of_seed(sites in 1u32..8, seed in 0u64..1_000) {
+        let a = ScenarioBuilder::new(sites, seed).build().unwrap();
+        let b = ScenarioBuilder::new(sites, seed).build().unwrap();
+        for i in 0..sites as usize {
+            prop_assert_eq!(
+                a.ensemble.clock(i).unwrap().drift_ppb(),
+                b.ensemble.clock(i).unwrap().drift_ppb()
+            );
+            prop_assert_eq!(
+                a.ensemble.clock(i).unwrap().offset_ns(),
+                b.ensemble.clock(i).unwrap().offset_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn site_stamps_are_conforming(seed in 0u64..1_000, at_ms in 100u64..100_000) {
+        // Stamps produced by scenario time sources satisfy the conformance
+        // the core theory requires: global = TRUNC(local).
+        let s = ScenarioBuilder::new(4, seed)
+            .global_granularity(Granularity::per_second(10).unwrap())
+            .build()
+            .unwrap();
+        for i in 0..4 {
+            if let Ok(parts) = s.time_source(i).stamp(Nanos::from_millis(at_ms)) {
+                prop_assert_eq!(parts.global.get(), parts.local.get() / 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Sentinel parameter contexts (event consumption modes).
+//!
+//! A composite event can be detected with many different constituent
+//! combinations; the *parameter context* restricts which initiator
+//! occurrences pair with which terminator occurrences, and what is consumed
+//! when a detection happens. Sentinel defines four restrictive contexts over
+//! the unrestricted semantics (Chakravarthy et al., "Composite Events for
+//! Active Databases: Semantics, Contexts and Detection", VLDB 1994):
+//!
+//! * **Unrestricted** — every valid initiator/terminator combination
+//!   detects; nothing is consumed.
+//! * **Recent** — only the *most recent* initiator is kept; it is not
+//!   consumed by detection (it keeps pairing with later terminators until
+//!   replaced).
+//! * **Chronicle** — initiators pair with terminators in FIFO order; both
+//!   are consumed.
+//! * **Continuous** — every initiator opens a window; a terminator detects
+//!   once per open window and consumes them all.
+//! * **Cumulative** — all initiators (and, for `A*`, all mid events) are
+//!   accumulated into a single detection per terminator, then cleared.
+//!
+//! In the distributed time domain "most recent" is defined through the `Max`
+//! operator / `<_p` (an arriving initiator replaces the buffered one unless
+//! it happens-before it) — an extension decision documented in `DESIGN.md`,
+//! since the paper formalizes the operators' occurrence semantics but not
+//! the contexts' distributed behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Sentinel parameter context under which an operator node pairs and
+/// consumes constituent occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Context {
+    /// All valid combinations; no consumption.
+    #[default]
+    Unrestricted,
+    /// Most recent initiator only; initiator survives detection.
+    Recent,
+    /// FIFO initiator/terminator pairing; both consumed.
+    Chronicle,
+    /// Terminator detects with every open initiator and consumes them.
+    Continuous,
+    /// All buffered constituents merge into one detection, then clear.
+    Cumulative,
+}
+
+impl Context {
+    /// All contexts, in the conventional order.
+    pub const ALL: [Context; 5] = [
+        Context::Unrestricted,
+        Context::Recent,
+        Context::Chronicle,
+        Context::Continuous,
+        Context::Cumulative,
+    ];
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Context::Unrestricted => "unrestricted",
+            Context::Recent => "recent",
+            Context::Chronicle => "chronicle",
+            Context::Continuous => "continuous",
+            Context::Cumulative => "cumulative",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        let mut names: Vec<String> = Context::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn default_is_unrestricted() {
+        assert_eq!(Context::default(), Context::Unrestricted);
+    }
+}

@@ -1,0 +1,276 @@
+//! Detection drivers.
+//!
+//! [`Detector`] wraps a catalog and a graph for any time domain and leaves
+//! timer servicing to the caller. [`CentralDetector`] is the Section 3
+//! centralized semantics: time is a total-order tick counter, so the driver
+//! itself can service timer requests from a priority queue — feeding an
+//! occurrence at tick `t` first fires every timer due at or before `t`.
+
+use crate::context::Context;
+use crate::error::Result;
+use crate::event::{Catalog, EventId, Occurrence, Value};
+use crate::expr::EventExpr;
+use crate::graph::{EventGraph, FeedResult, TimerId};
+use crate::time::{CentralTime, EventTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A catalog + graph pair for any time domain. Timer requests surface in
+/// the returned [`FeedResult`]; the caller decides how to schedule them.
+#[derive(Debug, Default)]
+pub struct Detector<T: EventTime> {
+    catalog: Catalog,
+    graph: EventGraph<T>,
+}
+
+impl<T: EventTime> Detector<T> {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Detector {
+            catalog: Catalog::new(),
+            graph: EventGraph::new(),
+        }
+    }
+
+    /// Register a primitive event type.
+    pub fn register(&mut self, name: &str) -> Result<EventId> {
+        self.catalog.register(name)
+    }
+
+    /// Define a named composite event.
+    pub fn define(&mut self, name: &str, expr: &EventExpr, ctx: Context) -> Result<EventId> {
+        self.graph.compile(&mut self.catalog, name, expr, ctx)
+    }
+
+    /// The catalog (name ↔ id mapping).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &EventGraph<T> {
+        &self.graph
+    }
+
+    /// Feed a primitive occurrence.
+    pub fn feed(&mut self, occ: Occurrence<T>) -> FeedResult<T> {
+        self.graph.feed(occ)
+    }
+
+    /// Feed by name with parameters.
+    pub fn feed_named(&mut self, name: &str, time: T, values: Vec<Value>) -> Result<FeedResult<T>> {
+        let ty = self.catalog.lookup(name)?;
+        Ok(self.graph.feed(Occurrence::primitive(ty, time, values)))
+    }
+
+    /// Deliver a timer with a driver-assigned timestamp.
+    pub fn fire_timer(&mut self, id: TimerId, time: T) -> Result<FeedResult<T>> {
+        self.graph.fire_timer(id, time)
+    }
+}
+
+/// The centralized detector (Section 3): totally ordered ticks with an
+/// internal timer queue. Occurrences must be fed in non-decreasing tick
+/// order (as a single physical clock produces them).
+#[derive(Debug, Default)]
+pub struct CentralDetector {
+    inner: Detector<CentralTime>,
+    /// Due timers: `(fire_tick, id)`, min-heap.
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Highest tick seen (for monotonicity checking).
+    now: u64,
+}
+
+impl CentralDetector {
+    /// An empty centralized detector.
+    pub fn new() -> Self {
+        CentralDetector {
+            inner: Detector::new(),
+            timers: BinaryHeap::new(),
+            now: 0,
+        }
+    }
+
+    /// Register a primitive event type.
+    pub fn register(&mut self, name: &str) -> Result<EventId> {
+        self.inner.register(name)
+    }
+
+    /// Define a named composite event.
+    pub fn define(&mut self, name: &str, expr: &EventExpr, ctx: Context) -> Result<EventId> {
+        self.inner.define(name, expr, ctx)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.inner.catalog()
+    }
+
+    /// The current clock tick (highest seen).
+    pub fn now(&self) -> CentralTime {
+        CentralTime(self.now)
+    }
+
+    /// Advance the clock to `tick`, firing every due timer, and return the
+    /// composite occurrences those timers produced.
+    pub fn advance_to(&mut self, tick: u64) -> Result<Vec<Occurrence<CentralTime>>> {
+        let mut detected = Vec::new();
+        while let Some(&Reverse((due, id))) = self.timers.peek() {
+            if due > tick {
+                break;
+            }
+            self.timers.pop();
+            let r = self.inner.fire_timer(TimerId(id), CentralTime(due))?;
+            self.absorb(r, due, &mut detected);
+        }
+        self.now = self.now.max(tick);
+        Ok(detected)
+    }
+
+    /// Feed a primitive occurrence at tick `t` (≥ the last fed tick), first
+    /// firing due timers. Returns every named composite occurrence detected
+    /// by the timers and the occurrence itself, in order.
+    pub fn feed(
+        &mut self,
+        name: &str,
+        tick: u64,
+        values: Vec<Value>,
+    ) -> Result<Vec<Occurrence<CentralTime>>> {
+        let mut detected = self.advance_to(tick)?;
+        let r = self.inner.feed_named(name, CentralTime(tick), values)?;
+        self.absorb(r, tick, &mut detected);
+        Ok(detected)
+    }
+
+    /// Feed without parameters.
+    pub fn feed_bare(&mut self, name: &str, tick: u64) -> Result<Vec<Occurrence<CentralTime>>> {
+        self.feed(name, tick, Vec::new())
+    }
+
+    /// Resolve a detected occurrence's type name.
+    pub fn name_of(&self, occ: &Occurrence<CentralTime>) -> &str {
+        self.inner.catalog().name(occ.ty)
+    }
+
+    fn absorb(
+        &mut self,
+        r: FeedResult<CentralTime>,
+        base_tick: u64,
+        detected: &mut Vec<Occurrence<CentralTime>>,
+    ) {
+        for t in r.timers {
+            self.timers
+                .push(Reverse((base_tick + t.delay_ticks, t.id.0)));
+        }
+        detected.extend(r.detected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::EventExpr as E;
+
+    fn detector_with(expr: EventExpr, ctx: Context) -> CentralDetector {
+        let mut d = CentralDetector::new();
+        for n in ["A", "B", "C"] {
+            d.register(n).unwrap();
+        }
+        d.define("X", &expr, ctx).unwrap();
+        d
+    }
+
+    #[test]
+    fn seq_end_to_end() {
+        let mut d = detector_with(E::seq(E::prim("A"), E::prim("B")), Context::Chronicle);
+        assert!(d.feed_bare("A", 1).unwrap().is_empty());
+        let det = d.feed_bare("B", 2).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(d.name_of(&det[0]), "X");
+        assert_eq!(det[0].time, CentralTime(2));
+    }
+
+    #[test]
+    fn plus_fires_via_timer_queue() {
+        let mut d = detector_with(E::plus(E::prim("A"), 10), Context::Chronicle);
+        assert!(d.feed_bare("A", 5).unwrap().is_empty());
+        // Nothing yet at tick 14…
+        assert!(d.advance_to(14).unwrap().is_empty());
+        // …fires at 15.
+        let det = d.advance_to(15).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].time, CentralTime(15));
+    }
+
+    #[test]
+    fn plus_fires_lazily_on_next_feed() {
+        let mut d = detector_with(E::plus(E::prim("A"), 10), Context::Chronicle);
+        d.feed_bare("A", 5).unwrap();
+        // Feeding B at 20 first services the due timer at 15.
+        let det = d.feed_bare("B", 20).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].time, CentralTime(15));
+    }
+
+    #[test]
+    fn periodic_repeats_until_closed() {
+        let mut d = detector_with(
+            E::periodic(E::prim("A"), 10, E::prim("B")),
+            Context::Chronicle,
+        );
+        d.feed_bare("A", 0).unwrap();
+        let det = d.advance_to(35).unwrap();
+        // Fires at 10, 20, 30.
+        assert_eq!(det.len(), 3);
+        assert_eq!(det[2].time, CentralTime(30));
+        // Close the window; later ticks produce nothing.
+        d.feed_bare("B", 36).unwrap();
+        assert!(d.advance_to(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn periodic_star_counts_fires() {
+        let mut d = detector_with(
+            E::periodic_star(E::prim("A"), 10, E::prim("B")),
+            Context::Chronicle,
+        );
+        d.feed_bare("A", 0).unwrap();
+        let det = d.feed_bare("B", 25).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].params.last().unwrap().values[0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn nested_composite() {
+        // X = (A ∧ B) ; C
+        let mut d = detector_with(
+            E::seq(E::and(E::prim("A"), E::prim("B")), E::prim("C")),
+            Context::Chronicle,
+        );
+        d.feed_bare("B", 1).unwrap();
+        d.feed_bare("A", 2).unwrap();
+        let det = d.feed_bare("C", 3).unwrap();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].params.len(), 3);
+    }
+
+    #[test]
+    fn or_of_seq() {
+        let mut d = detector_with(
+            E::or(
+                E::seq(E::prim("A"), E::prim("B")),
+                E::seq(E::prim("A"), E::prim("C")),
+            ),
+            Context::Chronicle,
+        );
+        d.feed_bare("A", 1).unwrap();
+        assert_eq!(d.feed_bare("C", 2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn now_tracks_feeds() {
+        let mut d = detector_with(E::seq(E::prim("A"), E::prim("B")), Context::Chronicle);
+        d.feed_bare("A", 7).unwrap();
+        assert_eq!(d.now(), CentralTime(7));
+    }
+}

@@ -1,0 +1,158 @@
+//! Conjunction `E1 ∧ E2`: both constituents occur, in any order
+//! (Section 5.3: `(E1 ∧ E2)(ts) = ∃t1,t2 (E1(t1) ∧ E2(t2))`,
+//! `ts = Max(t1, t2)`).
+//!
+//! Either operand may arrive first, so either side can play the initiator
+//! role; the arriving occurrence acts as the terminator against the other
+//! side's buffer under the node's parameter context.
+
+use crate::context::Context;
+use crate::event::Occurrence;
+use crate::nodes::{buffer_initiator, pair_terminator, OperatorNode, Sink};
+use crate::time::EventTime;
+
+/// State machine for `E1 ∧ E2`.
+#[derive(Debug)]
+pub struct AndNode<T: EventTime> {
+    ctx: Context,
+    left: Vec<Occurrence<T>>,
+    right: Vec<Occurrence<T>>,
+}
+
+impl<T: EventTime> AndNode<T> {
+    /// New conjunction node under `ctx`.
+    pub fn new(ctx: Context) -> Self {
+        AndNode {
+            ctx,
+            left: Vec::new(),
+            right: Vec::new(),
+        }
+    }
+
+    #[cfg(test)]
+    fn buffered(&self) -> (usize, usize) {
+        (self.left.len(), self.right.len())
+    }
+}
+
+impl<T: EventTime> OperatorNode<T> for AndNode<T> {
+    fn on_child(&mut self, slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
+        debug_assert!(slot < 2, "AND has two operands");
+        let (own, other) = if slot == 0 {
+            (&mut self.left, &mut self.right)
+        } else {
+            (&mut self.right, &mut self.left)
+        };
+        let other_had = !other.is_empty();
+        // The arriving occurrence terminates against the other side's
+        // buffer; conjunction imposes no temporal constraint.
+        pair_terminator(self.ctx, other, occ, sink, |_| true);
+        // Whether the arrival is also buffered as a future initiator
+        // depends on the context's consumption discipline.
+        match self.ctx {
+            // Everything stays available for later pairings.
+            Context::Unrestricted | Context::Recent => buffer_initiator(self.ctx, own, occ),
+            // Consuming contexts: the arrival is consumed if it detected
+            // something; otherwise it waits as an initiator.
+            Context::Chronicle | Context::Continuous | Context::Cumulative => {
+                if !other_had {
+                    buffer_initiator(self.ctx, own, occ);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::CentralTime;
+
+    fn occ(ty: u32, t: u64) -> Occurrence<CentralTime> {
+        // Carry the tick as a parameter so tests can identify which
+        // constituent was paired.
+        Occurrence::primitive(EventId(ty), CentralTime(t), vec![(t as i64).into()])
+    }
+
+    fn run(
+        ctx: Context,
+        feeds: &[(usize, u64)],
+    ) -> (Vec<Occurrence<CentralTime>>, AndNode<CentralTime>) {
+        let mut node = AndNode::new(ctx);
+        let mut all = Vec::new();
+        for &(slot, t) in feeds {
+            let mut em = Vec::new();
+            let mut tr = Vec::new();
+            {
+                let mut sink = Sink::new(EventId(99), &mut em, &mut tr);
+                node.on_child(slot, &occ(slot as u32, t), &mut sink);
+            }
+            all.extend(em);
+        }
+        (all, node)
+    }
+
+    #[test]
+    fn detects_in_either_order() {
+        let (d1, _) = run(Context::Chronicle, &[(0, 1), (1, 2)]);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].time, CentralTime(2));
+        let (d2, _) = run(Context::Chronicle, &[(1, 1), (0, 2)]);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].time, CentralTime(2));
+    }
+
+    #[test]
+    fn unrestricted_all_combinations() {
+        // A@1, A@2, B@3 → two detections; B@4 → two more.
+        let (d, _) = run(Context::Unrestricted, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn recent_pairs_latest_only() {
+        let (d, _) = run(Context::Recent, &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(d.len(), 1);
+        // Pairs with A@2 (the most recent left initiator).
+        assert_eq!(d[0].params[0].source, EventId(0));
+        assert_eq!(d[0].time, CentralTime(3));
+        // Recent initiators are not consumed: another B pairs again.
+        let (d2, _) = run(Context::Recent, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(d2.len(), 2);
+    }
+
+    #[test]
+    fn chronicle_fifo_consumption() {
+        let (d, _) = run(Context::Chronicle, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(d.len(), 2);
+        // First B pairs with A@1, second with A@2 (FIFO).
+        assert_eq!(d[0].params[0].values[0].as_int(), Some(1));
+        assert_eq!(d[1].params[0].values[0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn continuous_consumes_all_initiators() {
+        let (d, node) = run(Context::Continuous, &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(node.buffered(), (0, 0));
+        // A later B finds nothing.
+        let (d2, _) = run(Context::Continuous, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(d2.len(), 2);
+    }
+
+    #[test]
+    fn cumulative_merges_everything() {
+        let (d, node) = run(Context::Cumulative, &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].params.len(), 3);
+        assert_eq!(node.buffered(), (0, 0));
+    }
+
+    #[test]
+    fn terminator_waits_when_other_side_empty() {
+        let (d, node) = run(Context::Chronicle, &[(1, 5)]);
+        assert!(d.is_empty());
+        assert_eq!(node.buffered(), (0, 1));
+    }
+}

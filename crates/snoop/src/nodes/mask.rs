@@ -1,0 +1,191 @@
+//! Event masks: parameter-filtered event expressions.
+//!
+//! Sentinel lets an event expression restrict which occurrences of a
+//! constituent participate, by predicate over the event parameters
+//! ("masks"). `Masked { base, mask }` forwards only the occurrences of
+//! `base` whose parameters satisfy the mask — filtering happens *inside*
+//! the graph, so a masked constituent never reaches its parent operator.
+
+use crate::event::{Occurrence, ParamTuple, Value};
+use crate::nodes::{OperatorNode, Sink};
+use crate::time::EventTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A predicate over an occurrence's parameter tuples. The mask passes when
+/// **any** tuple satisfies it (composite occurrences carry one tuple per
+/// constituent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mask {
+    /// Integer (or float, widened) at `index` is `>= min`.
+    AtLeast {
+        /// Value index within a tuple.
+        index: usize,
+        /// Inclusive lower bound.
+        min: i64,
+    },
+    /// Integer (or float, widened) at `index` is `<= max`.
+    AtMost {
+        /// Value index within a tuple.
+        index: usize,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// String at `index` equals `value`.
+    StrEq {
+        /// Value index within a tuple.
+        index: usize,
+        /// Expected string.
+        value: String,
+    },
+    /// Both masks must pass.
+    And(Box<Mask>, Box<Mask>),
+    /// Either mask must pass.
+    Or(Box<Mask>, Box<Mask>),
+}
+
+impl Mask {
+    /// Whether any parameter tuple satisfies the mask.
+    pub fn matches(&self, params: &[ParamTuple]) -> bool {
+        params.iter().any(|t| self.matches_tuple(t))
+    }
+
+    fn matches_tuple(&self, t: &ParamTuple) -> bool {
+        match self {
+            Mask::AtLeast { index, min } => t
+                .values
+                .get(*index)
+                .and_then(Value::as_float)
+                .is_some_and(|v| v >= *min as f64),
+            Mask::AtMost { index, max } => t
+                .values
+                .get(*index)
+                .and_then(Value::as_float)
+                .is_some_and(|v| v <= *max as f64),
+            Mask::StrEq { index, value } => t
+                .values
+                .get(*index)
+                .and_then(Value::as_str)
+                .is_some_and(|s| s == value),
+            Mask::And(a, b) => a.matches_tuple(t) && b.matches_tuple(t),
+            Mask::Or(a, b) => a.matches_tuple(t) || b.matches_tuple(t),
+        }
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mask::AtLeast { index, min } => write!(f, "{index} >= {min}"),
+            Mask::AtMost { index, max } => write!(f, "{index} <= {max}"),
+            Mask::StrEq { index, value } => write!(f, "{index} == {value:?}"),
+            Mask::And(a, b) => write!(f, "({a} and {b})"),
+            Mask::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// Filtering node: forwards occurrences whose parameters pass the mask.
+#[derive(Debug)]
+pub struct MaskNode {
+    mask: Mask,
+}
+
+impl MaskNode {
+    /// New filter node.
+    pub fn new(mask: Mask) -> Self {
+        MaskNode { mask }
+    }
+}
+
+impl<T: EventTime> OperatorNode<T> for MaskNode {
+    fn on_child(&mut self, _slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
+        if self.mask.matches(&occ.params) {
+            sink.emit(occ.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::CentralTime;
+
+    fn occ(values: Vec<Value>) -> Occurrence<CentralTime> {
+        Occurrence::primitive(EventId(0), CentralTime(1), values)
+    }
+
+    fn passes(mask: &Mask, values: Vec<Value>) -> bool {
+        let mut node = MaskNode::new(mask.clone());
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(0, &occ(values), &mut sink);
+        }
+        !em.is_empty()
+    }
+
+    #[test]
+    fn numeric_bounds() {
+        let m = Mask::AtLeast { index: 1, min: 100 };
+        assert!(passes(&m, vec!["IBM".into(), 150i64.into()]));
+        assert!(passes(&m, vec!["IBM".into(), 100i64.into()]));
+        assert!(!passes(&m, vec!["IBM".into(), 99i64.into()]));
+        assert!(passes(&m, vec!["IBM".into(), 101.5f64.into()]));
+        let m = Mask::AtMost { index: 0, max: 5 };
+        assert!(passes(&m, vec![3i64.into()]));
+        assert!(!passes(&m, vec![9i64.into()]));
+    }
+
+    #[test]
+    fn string_equality() {
+        let m = Mask::StrEq {
+            index: 0,
+            value: "root".into(),
+        };
+        assert!(passes(&m, vec!["root".into()]));
+        assert!(!passes(&m, vec!["guest".into()]));
+        assert!(!passes(&m, vec![5i64.into()])); // type mismatch
+    }
+
+    #[test]
+    fn missing_index_fails_closed() {
+        let m = Mask::AtLeast { index: 7, min: 0 };
+        assert!(!passes(&m, vec![1i64.into()]));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let m = Mask::And(
+            Box::new(Mask::StrEq {
+                index: 0,
+                value: "IBM".into(),
+            }),
+            Box::new(Mask::AtLeast { index: 1, min: 100 }),
+        );
+        assert!(passes(&m, vec!["IBM".into(), 100i64.into()]));
+        assert!(!passes(&m, vec!["IBM".into(), 50i64.into()]));
+        assert!(!passes(&m, vec!["T".into(), 150i64.into()]));
+        let o = Mask::Or(
+            Box::new(Mask::AtMost { index: 0, max: 0 }),
+            Box::new(Mask::AtLeast { index: 0, min: 10 }),
+        );
+        assert!(passes(&o, vec![0i64.into()]));
+        assert!(passes(&o, vec![15i64.into()]));
+        assert!(!passes(&o, vec![5i64.into()]));
+    }
+
+    #[test]
+    fn display() {
+        let m = Mask::And(
+            Box::new(Mask::AtLeast { index: 1, min: 5 }),
+            Box::new(Mask::StrEq {
+                index: 0,
+                value: "x".into(),
+            }),
+        );
+        assert_eq!(m.to_string(), "(1 >= 5 and 0 == \"x\")");
+    }
+}

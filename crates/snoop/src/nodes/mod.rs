@@ -1,0 +1,268 @@
+//! Operator node state machines.
+//!
+//! Every Snoop operator is implemented once, generically over the time
+//! domain [`EventTime`] — the same code detects centralized (total-order)
+//! and distributed (partial-order, `Max`-propagated) composite events. Each
+//! node receives child occurrences through [`OperatorNode::on_child`]
+//! (`slot` identifies which operand), emits derived occurrences and timer
+//! requests through its [`Sink`], and receives timer callbacks through
+//! [`OperatorNode::on_timer`].
+
+pub mod and;
+pub mod any;
+pub mod aperiodic;
+pub mod mask;
+pub mod not;
+pub mod or;
+pub mod periodic;
+pub mod plus;
+pub mod seq;
+
+use crate::context::Context;
+use crate::event::{EventId, Occurrence};
+use crate::time::EventTime;
+use std::fmt::Debug;
+
+/// A compiled operator instance inside the detection graph.
+pub trait OperatorNode<T: EventTime>: Debug + Send {
+    /// A child (operand `slot`) produced `occ`.
+    fn on_child(&mut self, slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>);
+
+    /// A previously requested timer fired with driver-assigned time.
+    /// Only temporal operators override this.
+    fn on_timer(&mut self, _tag: u64, _time: &T, _sink: &mut Sink<'_, T>) {}
+}
+
+/// Collects a node's emissions and timer requests during one step.
+pub struct Sink<'a, T: EventTime> {
+    emit_ty: EventId,
+    emissions: &'a mut Vec<Occurrence<T>>,
+    /// `(node-internal tag, delay ticks)`.
+    timer_reqs: &'a mut Vec<(u64, u64)>,
+}
+
+impl<'a, T: EventTime> Sink<'a, T> {
+    /// Create a sink emitting under `emit_ty`.
+    pub fn new(
+        emit_ty: EventId,
+        emissions: &'a mut Vec<Occurrence<T>>,
+        timer_reqs: &'a mut Vec<(u64, u64)>,
+    ) -> Self {
+        Sink {
+            emit_ty,
+            emissions,
+            timer_reqs,
+        }
+    }
+
+    /// The event type emissions will carry.
+    pub fn emit_ty(&self) -> EventId {
+        self.emit_ty
+    }
+
+    /// Emit a derived occurrence (retyped to the node's event type).
+    pub fn emit(&mut self, occ: Occurrence<T>) {
+        self.emissions.push(occ.retyped(self.emit_ty));
+    }
+
+    /// Emit the combination of two constituents (`Max` time, concatenated
+    /// parameters).
+    pub fn emit_pair(&mut self, a: &Occurrence<T>, b: &Occurrence<T>) {
+        self.emissions.push(Occurrence::combine(self.emit_ty, a, b));
+    }
+
+    /// Emit the combination of many constituents.
+    pub fn emit_all(&mut self, parts: &[&Occurrence<T>]) {
+        self.emissions
+            .push(Occurrence::combine_all(self.emit_ty, parts));
+    }
+
+    /// Ask the driver to call back after `delay_ticks`, passing `tag` back
+    /// to this node.
+    pub fn request_timer(&mut self, tag: u64, delay_ticks: u64) {
+        self.timer_reqs.push((tag, delay_ticks));
+    }
+}
+
+/// Buffer an initiator occurrence according to the parameter context:
+/// Recent keeps a single latest occurrence (an arrival replaces the buffer
+/// unless it happens strictly before the buffered one); all other contexts
+/// append in arrival order.
+pub(crate) fn buffer_initiator<T: EventTime>(
+    ctx: Context,
+    buf: &mut Vec<Occurrence<T>>,
+    occ: &Occurrence<T>,
+) {
+    match ctx {
+        Context::Recent => {
+            if let Some(existing) = buf.first() {
+                if occ.time.before(&existing.time) {
+                    return; // older than the buffered one: ignore
+                }
+                buf.clear();
+            }
+            buf.push(occ.clone());
+        }
+        _ => buf.push(occ.clone()),
+    }
+}
+
+/// Pair a terminator with matching initiators per the context and emit one
+/// detection per pairing (or one merged detection in Cumulative).
+///
+/// `matches(init)` decides eligibility (e.g. `init.time < t2` for `;`).
+/// Consumption: Unrestricted/Recent keep initiators; Chronicle consumes the
+/// oldest match; Continuous consumes every match; Cumulative merges every
+/// match into a single emission and consumes them.
+pub(crate) fn pair_terminator<T, F>(
+    ctx: Context,
+    inits: &mut Vec<Occurrence<T>>,
+    term: &Occurrence<T>,
+    sink: &mut Sink<'_, T>,
+    mut matches: F,
+) where
+    T: EventTime,
+    F: FnMut(&Occurrence<T>) -> bool,
+{
+    // An occurrence never pairs with itself: when one operand expression
+    // feeds both slots of an operator (`E ∧ E`), the same occurrence
+    // arrives on both sides and must be skipped by identity.
+    let mut matches = |i: &Occurrence<T>| i.uid != term.uid && matches(i);
+    match ctx {
+        Context::Unrestricted => {
+            for init in inits.iter().filter(|i| matches(i)) {
+                sink.emit_pair(init, term);
+            }
+        }
+        Context::Recent => {
+            // Buffer holds at most one occurrence.
+            if let Some(init) = inits.first() {
+                if matches(init) {
+                    sink.emit_pair(init, term);
+                }
+            }
+        }
+        Context::Chronicle => {
+            if let Some(pos) = inits.iter().position(&mut matches) {
+                let init = inits.remove(pos);
+                sink.emit_pair(&init, term);
+            }
+        }
+        Context::Continuous => {
+            let mut kept = Vec::with_capacity(inits.len());
+            for init in inits.drain(..) {
+                if matches(&init) {
+                    sink.emit_pair(&init, term);
+                } else {
+                    kept.push(init);
+                }
+            }
+            *inits = kept;
+        }
+        Context::Cumulative => {
+            let mut kept = Vec::with_capacity(inits.len());
+            let mut used = Vec::new();
+            for init in inits.drain(..) {
+                if matches(&init) {
+                    used.push(init);
+                } else {
+                    kept.push(init);
+                }
+            }
+            *inits = kept;
+            if !used.is_empty() {
+                let mut parts: Vec<&Occurrence<T>> = used.iter().collect();
+                parts.push(term);
+                sink.emit_all(&parts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::CentralTime;
+
+    fn bare(t: u64) -> Occurrence<CentralTime> {
+        Occurrence::bare(EventId(0), CentralTime(t))
+    }
+
+    #[test]
+    fn recent_buffer_keeps_latest() {
+        let mut buf = Vec::new();
+        buffer_initiator(Context::Recent, &mut buf, &bare(5));
+        buffer_initiator(Context::Recent, &mut buf, &bare(9));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].time, CentralTime(9));
+        // An older arrival does not displace the newer one.
+        buffer_initiator(Context::Recent, &mut buf, &bare(3));
+        assert_eq!(buf[0].time, CentralTime(9));
+    }
+
+    #[test]
+    fn other_contexts_append() {
+        for ctx in [
+            Context::Unrestricted,
+            Context::Chronicle,
+            Context::Continuous,
+            Context::Cumulative,
+        ] {
+            let mut buf = Vec::new();
+            buffer_initiator(ctx, &mut buf, &bare(5));
+            buffer_initiator(ctx, &mut buf, &bare(3));
+            assert_eq!(buf.len(), 2, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn pairing_consumption_rules() {
+        let term = bare(10);
+        let run = |ctx: Context| {
+            let mut inits = vec![bare(1), bare(2), bare(3)];
+            let mut em = Vec::new();
+            let mut tr = Vec::new();
+            {
+                let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+                pair_terminator(ctx, &mut inits, &term, &mut sink, |_| true);
+            }
+            (em.len(), inits.len())
+        };
+        assert_eq!(run(Context::Unrestricted), (3, 3));
+        assert_eq!(run(Context::Chronicle), (1, 2));
+        assert_eq!(run(Context::Continuous), (3, 0));
+        assert_eq!(run(Context::Cumulative), (1, 0));
+    }
+
+    #[test]
+    fn cumulative_merges_params() {
+        let term = bare(10);
+        let mut inits = vec![bare(1), bare(2)];
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            pair_terminator(Context::Cumulative, &mut inits, &term, &mut sink, |_| true);
+        }
+        assert_eq!(em.len(), 1);
+        assert_eq!(em[0].params.len(), 3); // two initiators + terminator
+        assert_eq!(em[0].time, CentralTime(10));
+    }
+
+    #[test]
+    fn nonmatching_initiators_survive() {
+        let term = bare(10);
+        let mut inits = vec![bare(1), bare(20)]; // 20 is "after" the terminator
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            pair_terminator(Context::Continuous, &mut inits, &term, &mut sink, |i| {
+                i.time.before(&term.time)
+            });
+        }
+        assert_eq!(em.len(), 1);
+        assert_eq!(inits.len(), 1);
+        assert_eq!(inits[0].time, CentralTime(20));
+    }
+}

@@ -1,0 +1,223 @@
+//! Negation `¬(E2)[E1, E3]`: `E1` followed by `E3` with **no** `E2`
+//! occurrence strictly inside the open interval `(t1, t3)`
+//! (Section 5.3: `¬(E2)[E1,E3](ts) = ∃t1 ∀t2 (t1 < t3 ∧ E1(t1) ∧ E3(t3) ∧
+//! ¬(E2(t2) ∧ t1 < t2 < t3))`).
+//!
+//! In the distributed domain "inside the open interval" uses the strict
+//! partial order: a guard occurrence merely *concurrent* with an endpoint
+//! does **not** cancel the window — exactly the open-interval semantics of
+//! Definition 5.5 (a `1·g_g` guard band at each end).
+
+use crate::context::Context;
+use crate::event::Occurrence;
+use crate::nodes::{buffer_initiator, pair_terminator, OperatorNode, Sink};
+use crate::time::EventTime;
+
+/// Operand slot of the interval opener (`E1`).
+pub const SLOT_OPENER: usize = 0;
+/// Operand slot of the guard (`E2`).
+pub const SLOT_GUARD: usize = 1;
+/// Operand slot of the interval closer (`E3`).
+pub const SLOT_CLOSER: usize = 2;
+
+/// State machine for `¬(E2)[E1, E3]`.
+#[derive(Debug)]
+pub struct NotNode<T: EventTime> {
+    ctx: Context,
+    openers: Vec<Occurrence<T>>,
+    /// Times of guard occurrences seen so far.
+    guards: Vec<T>,
+}
+
+impl<T: EventTime> NotNode<T> {
+    /// New negation node under `ctx`.
+    pub fn new(ctx: Context) -> Self {
+        NotNode {
+            ctx,
+            openers: Vec::new(),
+            guards: Vec::new(),
+        }
+    }
+
+    /// Number of retained guard times (tests/metrics).
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
+    }
+}
+
+impl<T: EventTime> OperatorNode<T> for NotNode<T> {
+    fn on_child(&mut self, slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
+        match slot {
+            SLOT_OPENER => buffer_initiator(self.ctx, &mut self.openers, occ),
+            SLOT_GUARD => self.guards.push(occ.time.clone()),
+            SLOT_CLOSER => {
+                let t3 = occ.time.clone();
+                let guards = std::mem::take(&mut self.guards);
+                pair_terminator(self.ctx, &mut self.openers, occ, sink, |opener| {
+                    opener.time.before(&t3)
+                        && !guards
+                            .iter()
+                            .any(|tg| opener.time.before(tg) && tg.before(&t3))
+                });
+                // Guards can still cancel windows against later closers
+                // (for surviving openers); retain only those not yet
+                // provably useless — a guard before every retained opener
+                // could still fall inside a future window, so keep all.
+                self.guards = guards;
+            }
+            _ => debug_assert!(false, "NOT has three operands"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::CentralTime;
+    use decs_core::cts;
+
+    fn occ(t: u64) -> Occurrence<CentralTime> {
+        Occurrence::bare(EventId(0), CentralTime(t))
+    }
+
+    fn run(ctx: Context, feeds: &[(usize, u64)]) -> Vec<Occurrence<CentralTime>> {
+        let mut node = NotNode::new(ctx);
+        let mut all = Vec::new();
+        for &(slot, t) in feeds {
+            let mut em = Vec::new();
+            let mut tr = Vec::new();
+            {
+                let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+                node.on_child(slot, &occ(t), &mut sink);
+            }
+            all.extend(em);
+        }
+        all
+    }
+
+    #[test]
+    fn detects_without_guard() {
+        let d = run(Context::Chronicle, &[(SLOT_OPENER, 1), (SLOT_CLOSER, 5)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].time, CentralTime(5));
+    }
+
+    #[test]
+    fn guard_inside_cancels() {
+        let d = run(
+            Context::Chronicle,
+            &[(SLOT_OPENER, 1), (SLOT_GUARD, 3), (SLOT_CLOSER, 5)],
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn guard_outside_does_not_cancel() {
+        // Guard before the opener and guard after the closer are harmless.
+        let d = run(
+            Context::Chronicle,
+            &[
+                (SLOT_GUARD, 0),
+                (SLOT_OPENER, 1),
+                (SLOT_CLOSER, 5),
+                (SLOT_GUARD, 9),
+            ],
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn guard_at_endpoints_does_not_cancel() {
+        // Open interval: a guard exactly at t1 or t3 is outside.
+        let d = run(
+            Context::Chronicle,
+            &[
+                (SLOT_OPENER, 1),
+                (SLOT_GUARD, 1),
+                (SLOT_GUARD, 5),
+                (SLOT_CLOSER, 5),
+            ],
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn per_window_cancellation() {
+        // Two windows; guard falls only inside the first.
+        let d = run(
+            Context::Continuous,
+            &[
+                (SLOT_OPENER, 1),
+                (SLOT_GUARD, 2),
+                (SLOT_OPENER, 3),
+                (SLOT_CLOSER, 5),
+            ],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].params[0].source, EventId(0));
+    }
+
+    #[test]
+    fn distributed_concurrent_guard_does_not_cancel() {
+        // Window (s1,1,10) → (s1,9,90); guard {(s2,9,92)} is concurrent
+        // with the closer, hence *outside* the open interval.
+        let mut node = NotNode::new(Context::Chronicle);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(
+                SLOT_OPENER,
+                &Occurrence::bare(EventId(0), cts(&[(1, 1, 10)])),
+                &mut sink,
+            );
+            node.on_child(
+                SLOT_GUARD,
+                &Occurrence::bare(EventId(1), cts(&[(2, 9, 92)])),
+                &mut sink,
+            );
+            node.on_child(
+                SLOT_CLOSER,
+                &Occurrence::bare(EventId(2), cts(&[(1, 9, 90)])),
+                &mut sink,
+            );
+        }
+        assert_eq!(em.len(), 1);
+        // A guard strictly inside does cancel.
+        let mut node2 = NotNode::new(Context::Chronicle);
+        em.clear();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node2.on_child(
+                SLOT_OPENER,
+                &Occurrence::bare(EventId(0), cts(&[(1, 1, 10)])),
+                &mut sink,
+            );
+            node2.on_child(
+                SLOT_GUARD,
+                &Occurrence::bare(EventId(1), cts(&[(2, 5, 52)])),
+                &mut sink,
+            );
+            node2.on_child(
+                SLOT_CLOSER,
+                &Occurrence::bare(EventId(2), cts(&[(1, 9, 90)])),
+                &mut sink,
+            );
+        }
+        assert!(em.is_empty());
+    }
+
+    #[test]
+    fn guards_retained_across_closers() {
+        let mut node: NotNode<CentralTime> = NotNode::new(Context::Unrestricted);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(SLOT_GUARD, &occ(3), &mut sink);
+            node.on_child(SLOT_CLOSER, &occ(5), &mut sink);
+        }
+        assert_eq!(node.guard_count(), 1);
+    }
+}

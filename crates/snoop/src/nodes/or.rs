@@ -1,0 +1,65 @@
+//! Disjunction `E1 ∨ E2`: occurs whenever either constituent occurs, with
+//! that constituent's timestamp and parameters. Stateless; parameter
+//! contexts do not affect it. Also reused as the forwarding node for
+//! pure-alias definitions.
+
+use crate::event::Occurrence;
+use crate::nodes::{OperatorNode, Sink};
+use crate::time::EventTime;
+
+/// State machine for `E1 ∨ E2` (stateless pass-through).
+#[derive(Debug, Default)]
+pub struct OrNode;
+
+impl OrNode {
+    /// New disjunction node.
+    pub fn new() -> Self {
+        OrNode
+    }
+}
+
+impl<T: EventTime> OperatorNode<T> for OrNode {
+    fn on_child(&mut self, _slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
+        sink.emit(occ.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::CentralTime;
+
+    #[test]
+    fn forwards_both_slots() {
+        let mut node = OrNode::new();
+        for slot in [0usize, 1] {
+            let mut em = Vec::new();
+            let mut tr = Vec::new();
+            let occ = Occurrence::bare(EventId(slot as u32), CentralTime(slot as u64));
+            {
+                let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+                node.on_child(slot, &occ, &mut sink);
+            }
+            assert_eq!(em.len(), 1);
+            assert_eq!(em[0].ty, EventId(9)); // retyped
+            assert_eq!(em[0].time, CentralTime(slot as u64));
+            assert!(tr.is_empty());
+        }
+    }
+
+    #[test]
+    fn preserves_params() {
+        let mut node = OrNode::new();
+        let occ = Occurrence::primitive(EventId(1), CentralTime(3), vec![7i64.into()]);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(0, &occ, &mut sink);
+        }
+        assert_eq!(em[0].params[0].values[0].as_int(), Some(7));
+        // The parameter tuple still records the original source type.
+        assert_eq!(em[0].params[0].source, EventId(1));
+    }
+}

@@ -1,0 +1,97 @@
+//! The offset operator `E + t`: signalled `delta` ticks after each
+//! occurrence of `E`, carrying `E`'s parameters. Like the periodic
+//! operators, the node registers a timer and the driver supplies the fire
+//! timestamp.
+
+use crate::event::Occurrence;
+use crate::nodes::{OperatorNode, Sink};
+use crate::time::EventTime;
+use std::collections::HashMap;
+
+/// State machine for `E + t`.
+#[derive(Debug)]
+pub struct PlusNode<T: EventTime> {
+    delta: u64,
+    pending: HashMap<u64, Occurrence<T>>,
+    next_tag: u64,
+}
+
+impl<T: EventTime> PlusNode<T> {
+    /// New offset node with delay `delta` ticks.
+    pub fn new(delta: u64) -> Self {
+        PlusNode {
+            delta,
+            pending: HashMap::new(),
+            next_tag: 0,
+        }
+    }
+
+    /// Number of armed offsets (tests/metrics).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<T: EventTime> OperatorNode<T> for PlusNode<T> {
+    fn on_child(&mut self, _slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, occ.clone());
+        sink.request_timer(tag, self.delta);
+    }
+
+    fn on_timer(&mut self, tag: u64, time: &T, sink: &mut Sink<'_, T>) {
+        if let Some(base) = self.pending.remove(&tag) {
+            sink.emit(Occurrence::with_params(base.ty, time.clone(), base.params));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::CentralTime;
+
+    #[test]
+    fn arms_and_fires_once() {
+        let mut node: PlusNode<CentralTime> = PlusNode::new(5);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        let base = Occurrence::primitive(EventId(0), CentralTime(10), vec![42i64.into()]);
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(0, &base, &mut sink);
+        }
+        assert_eq!(tr, vec![(0, 5)]);
+        assert_eq!(node.pending_count(), 1);
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_timer(0, &CentralTime(15), &mut sink);
+        }
+        assert_eq!(em.len(), 1);
+        assert_eq!(em[0].time, CentralTime(15));
+        assert_eq!(em[0].params[0].values[0].as_int(), Some(42));
+        assert_eq!(node.pending_count(), 0);
+        // Duplicate fire: no-op.
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_timer(0, &CentralTime(20), &mut sink);
+        }
+        assert_eq!(em.len(), 1);
+    }
+
+    #[test]
+    fn each_occurrence_gets_its_own_timer() {
+        let mut node: PlusNode<CentralTime> = PlusNode::new(5);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(0, &Occurrence::bare(EventId(0), CentralTime(1)), &mut sink);
+            node.on_child(0, &Occurrence::bare(EventId(0), CentralTime(2)), &mut sink);
+        }
+        assert_eq!(tr.len(), 2);
+        assert_ne!(tr[0].0, tr[1].0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The time-domain abstraction the operator semantics is generic over.
+//!
+//! Definition 3.1 / Section 5.3 of the paper: an event is a boolean function
+//! over the *time stamp domain*. What the operator state machines actually
+//! need from that domain is:
+//!
+//! 1. the exhaustive temporal relation between two stamps
+//!    (before/after/concurrent/incomparable);
+//! 2. the `Max` operation that combines constituent stamps into the stamp
+//!    of a composite occurrence (`t_occ = max(…)` centralized, the
+//!    Definition 5.9 `Max` operator distributed).
+//!
+//! [`EventTime`] captures exactly that. [`CentralTime`] instantiates it with
+//! totally ordered clock ticks (Section 3); `decs_core::CompositeTimestamp`
+//! instantiates it with the Section 5 partial order.
+
+use decs_core::{max_op, CompositeRelation, CompositeTimestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt::Debug;
+
+/// The operations the Snoop operator semantics needs from a time domain.
+pub trait EventTime: Clone + Debug + PartialEq + Send + Sync + 'static {
+    /// The exhaustive temporal relation between `self` and `other`.
+    fn relation(&self, other: &Self) -> CompositeRelation;
+
+    /// The `Max` of two stamps: the occurrence time of a composite event
+    /// whose latest constituents carry `self` and `other`.
+    fn max(&self, other: &Self) -> Self;
+
+    /// Strict happen-before.
+    fn before(&self, other: &Self) -> bool {
+        self.relation(other) == CompositeRelation::Before
+    }
+
+    /// Weak less-than-or-equal (`⪯` / `⪯̃`): before or concurrent.
+    fn wleq(&self, other: &Self) -> bool {
+        matches!(
+            self.relation(other),
+            CompositeRelation::Before | CompositeRelation::Concurrent
+        )
+    }
+}
+
+/// Centralized time: non-negative physical clock ticks, totally ordered
+/// (Section 3 of the paper). Equal ticks are reported as `Concurrent`
+/// (simultaneity is the same-clock special case of concurrency).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CentralTime(pub u64);
+
+impl CentralTime {
+    /// The tick count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The tick `delta` ticks later.
+    pub const fn plus(self, delta: u64) -> Self {
+        CentralTime(self.0 + delta)
+    }
+}
+
+impl std::fmt::Display for CentralTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl EventTime for CentralTime {
+    fn relation(&self, other: &Self) -> CompositeRelation {
+        match self.0.cmp(&other.0) {
+            std::cmp::Ordering::Less => CompositeRelation::Before,
+            std::cmp::Ordering::Greater => CompositeRelation::After,
+            std::cmp::Ordering::Equal => CompositeRelation::Concurrent,
+        }
+    }
+
+    fn max(&self, other: &Self) -> Self {
+        CentralTime(self.0.max(other.0))
+    }
+}
+
+impl EventTime for CompositeTimestamp {
+    fn relation(&self, other: &Self) -> CompositeRelation {
+        CompositeTimestamp::relation(self, other)
+    }
+
+    fn max(&self, other: &Self) -> Self {
+        max_op(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decs_core::cts;
+
+    #[test]
+    fn central_time_total_order() {
+        let a = CentralTime(3);
+        let b = CentralTime(7);
+        assert_eq!(a.relation(&b), CompositeRelation::Before);
+        assert_eq!(b.relation(&a), CompositeRelation::After);
+        assert_eq!(a.relation(&a), CompositeRelation::Concurrent);
+        assert!(a.before(&b));
+        assert!(!b.before(&a));
+        assert!(a.wleq(&b));
+        assert!(a.wleq(&a));
+        assert!(!b.wleq(&a));
+    }
+
+    #[test]
+    fn central_time_max_and_plus() {
+        assert_eq!(EventTime::max(&CentralTime(3), &CentralTime(7)), CentralTime(7));
+        assert_eq!(EventTime::max(&CentralTime(9), &CentralTime(7)), CentralTime(9));
+        assert_eq!(CentralTime(3).plus(4), CentralTime(7));
+        assert_eq!(CentralTime(5).to_string(), "t5");
+    }
+
+    #[test]
+    fn composite_timestamp_implements_event_time() {
+        let a = cts(&[(1, 1, 10)]);
+        let b = cts(&[(2, 5, 50)]);
+        assert_eq!(EventTime::relation(&a, &b), CompositeRelation::Before);
+        assert!(a.before(&b));
+        // Max through the trait is the paper's Max operator.
+        let c = cts(&[(1, 8, 80)]);
+        let d = cts(&[(2, 8, 82)]);
+        assert_eq!(EventTime::max(&c, &d), cts(&[(1, 8, 80), (2, 8, 82)]));
+    }
+
+    #[test]
+    fn central_never_incomparable() {
+        for i in 0..10u64 {
+            for j in 0..10u64 {
+                let r = CentralTime(i).relation(&CentralTime(j));
+                assert_ne!(r, CompositeRelation::Incomparable);
+            }
+        }
+    }
+}

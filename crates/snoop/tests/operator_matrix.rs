@@ -1,0 +1,196 @@
+//! The full operator × context semantics matrix, at the graph level.
+//!
+//! For each operator we fix one canonical trace and assert the exact
+//! detection count (and, where meaningful, the detection times) under
+//! *every* parameter context. These tables pin the semantics: any change
+//! to a node's state machine that alters a cell is caught here.
+
+use decs_snoop::{CentralDetector, Context, EventExpr as E, Occurrence, CentralTime};
+
+/// Run `expr` (over primitives A, B, C) against a trace of (name, tick).
+fn run(expr: &E, ctx: Context, trace: &[(&str, u64)]) -> Vec<Occurrence<CentralTime>> {
+    let mut d = CentralDetector::new();
+    for n in ["A", "B", "C"] {
+        d.register(n).unwrap();
+    }
+    d.define("X", expr, ctx).unwrap();
+    let mut out = Vec::new();
+    for &(n, t) in trace {
+        out.extend(d.feed_bare(n, t).unwrap());
+    }
+    out
+}
+
+fn counts(expr: &E, trace: &[(&str, u64)]) -> [usize; 5] {
+    Context::ALL.map(|ctx| run(expr, ctx, trace).len())
+}
+
+// Trace used by the binary operators: two initiators, two terminators.
+const AABB: [(&str, u64); 4] = [("A", 1), ("A", 2), ("B", 3), ("B", 4)];
+
+#[test]
+fn and_matrix() {
+    let expr = E::and(E::prim("A"), E::prim("B"));
+    // unrestricted, recent, chronicle, continuous, cumulative
+    assert_eq!(counts(&expr, &AABB), [4, 2, 2, 2, 1]);
+}
+
+#[test]
+fn seq_matrix() {
+    let expr = E::seq(E::prim("A"), E::prim("B"));
+    assert_eq!(counts(&expr, &AABB), [4, 2, 2, 2, 1]);
+}
+
+#[test]
+fn seq_interleaved_matrix() {
+    // A B A B: strict order restricts which pairs exist.
+    let trace = [("A", 1), ("B", 2), ("A", 3), ("B", 4)];
+    let expr = E::seq(E::prim("A"), E::prim("B"));
+    // unrestricted: (1,2),(1,4),(3,4) = 3
+    // recent: B@2 with A@1; B@4 with A@3 = 2
+    // chronicle: (1,2),(3,4) = 2
+    // continuous: B@2 consumes A@1; B@4 consumes A@3 = 2
+    // cumulative: B@2 merges {A@1}; B@4 merges {A@3} = 2
+    assert_eq!(counts(&expr, &trace), [3, 2, 2, 2, 2]);
+}
+
+#[test]
+fn or_matrix_is_context_free() {
+    let expr = E::or(E::prim("A"), E::prim("B"));
+    assert_eq!(counts(&expr, &AABB), [4, 4, 4, 4, 4]);
+}
+
+#[test]
+fn not_matrix() {
+    // Window A..B with guard C.
+    let clean = [("A", 1), ("B", 5)];
+    let dirty = [("A", 1), ("C", 3), ("B", 5)];
+    let expr = E::not(E::prim("C"), E::prim("A"), E::prim("B"));
+    assert_eq!(counts(&expr, &clean), [1, 1, 1, 1, 1]);
+    assert_eq!(counts(&expr, &dirty), [0, 0, 0, 0, 0]);
+    // Two windows, guard inside the first only.
+    let mixed = [("A", 1), ("C", 2), ("A", 3), ("B", 5)];
+    // unrestricted: window A@3 survives = 1 (A@1 cancelled)
+    // recent: only A@3 buffered = 1
+    // chronicle: oldest *matching* = A@3 (A@1 fails the guard test) = 1
+    // continuous: both windows checked, A@3 survives = 1
+    // cumulative: merge of surviving = 1
+    assert_eq!(counts(&expr, &mixed), [1, 1, 1, 1, 1]);
+}
+
+#[test]
+fn aperiodic_matrix() {
+    // A C C B C: window open at 1, two mids inside, closed at 4; late C ignored.
+    let trace = [("A", 1), ("C", 2), ("C", 3), ("B", 4), ("C", 5)];
+    let expr = E::aperiodic(E::prim("A"), E::prim("C"), E::prim("B"));
+    assert_eq!(counts(&expr, &trace), [2, 2, 2, 2, 2]);
+    // Two overlapping windows: per-mid signalling differs by context.
+    let overlap = [("A", 1), ("A", 2), ("C", 3), ("B", 4)];
+    // unrestricted/continuous/cumulative: one detection per open window = 2
+    // recent: latest window only = 1; chronicle: oldest window = 1
+    assert_eq!(counts(&expr, &overlap), [2, 1, 1, 2, 2]);
+}
+
+#[test]
+fn aperiodic_star_matrix() {
+    let trace = [("A", 1), ("C", 2), ("C", 3), ("B", 4)];
+    let expr = E::aperiodic_star(E::prim("A"), E::prim("C"), E::prim("B"));
+    for ctx in Context::ALL {
+        let det = run(&expr, ctx, &trace);
+        assert_eq!(det.len(), 1, "{ctx}");
+        // opener + 2 mids + closer accumulated.
+        assert_eq!(det[0].params.len(), 4, "{ctx}");
+        assert_eq!(det[0].time, CentralTime(4), "{ctx}");
+    }
+    // Two windows closed by one B.
+    let overlap = [("A", 1), ("C", 2), ("A", 3), ("B", 5)];
+    let c = counts(&expr, &overlap);
+    // unrestricted/recent(latest only)/continuous: per-window; chronicle:
+    // oldest only; cumulative: merged single.
+    assert_eq!(c, [2, 1, 1, 2, 1]);
+}
+
+#[test]
+fn any_matrix() {
+    let expr = E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")]);
+    let trace = [("A", 1), ("B", 2), ("C", 3)];
+    // unrestricted: B@2 fires with A; C@3 fires with {A or B} (terminator
+    // picks first non-empty slots) = 2. recent: same buffers kept = 2.
+    // chronicle/continuous/cumulative: B@2 consumes A and B; C@3 alone = 1.
+    assert_eq!(counts(&expr, &trace), [2, 2, 1, 1, 1]);
+}
+
+#[test]
+fn plus_fires_per_occurrence() {
+    let expr = E::plus(E::prim("A"), 10);
+    let mut d = CentralDetector::new();
+    for n in ["A", "B", "C"] {
+        d.register(n).unwrap();
+    }
+    d.define("X", &expr, Context::Chronicle).unwrap();
+    d.feed_bare("A", 1).unwrap();
+    d.feed_bare("A", 5).unwrap();
+    let det = d.advance_to(100).unwrap();
+    assert_eq!(det.len(), 2);
+    assert_eq!(det[0].time, CentralTime(11));
+    assert_eq!(det[1].time, CentralTime(15));
+}
+
+#[test]
+fn periodic_exact_fire_times() {
+    let expr = E::periodic(E::prim("A"), 7, E::prim("B"));
+    let mut d = CentralDetector::new();
+    for n in ["A", "B", "C"] {
+        d.register(n).unwrap();
+    }
+    d.define("X", &expr, Context::Chronicle).unwrap();
+    d.feed_bare("A", 10).unwrap();
+    let det = d.advance_to(40).unwrap();
+    let times: Vec<u64> = det.iter().map(|o| o.time.get()).collect();
+    assert_eq!(times, vec![17, 24, 31, 38]);
+    d.feed_bare("B", 41).unwrap();
+    assert!(d.advance_to(100).unwrap().is_empty());
+}
+
+#[test]
+fn nested_composites_under_mixed_contexts() {
+    // Outer SEQ over an inner AND: each layer keeps its own context.
+    let expr = E::seq(E::and(E::prim("A"), E::prim("B")), E::prim("C"));
+    let trace = [("A", 1), ("B", 2), ("C", 3), ("A", 4), ("B", 5), ("C", 6)];
+    let c = counts(&expr, &trace);
+    // chronicle: (A1∧B2);C3 and (A4∧B5);C6 = 2
+    assert_eq!(c[2], 2);
+    // unrestricted: AND fires at 2 (A1,B2), 5 (A4,B5) and also (A4? no —
+    // A4 pairs with B2? yes unrestricted AND pairs across: A4 arrives,
+    // pairs with B2 → fires at 4; B5 pairs with A1 and A4 → two more.
+    // SEQ then pairs each AND occurrence with every later C.
+    assert!(c[0] >= c[2]);
+    // every context detects at least the two "clean" groups.
+    for (i, n) in c.iter().enumerate() {
+        assert!(*n >= 1, "context #{i} detected nothing");
+    }
+}
+
+#[test]
+fn detection_times_use_terminator_max() {
+    let expr = E::and(E::prim("A"), E::prim("B"));
+    for ctx in Context::ALL {
+        let det = run(&expr, ctx, &[("A", 1), ("B", 9)]);
+        assert_eq!(det.len(), 1, "{ctx}");
+        assert_eq!(det[0].time, CentralTime(9), "{ctx}");
+    }
+}
+
+#[test]
+fn param_accumulation_order_is_initiator_then_terminator() {
+    let expr = E::seq(E::prim("A"), E::prim("B"));
+    let mut d = CentralDetector::new();
+    let a = d.register("A").unwrap();
+    let b = d.register("B").unwrap();
+    d.register("C").unwrap();
+    d.define("X", &expr, Context::Chronicle).unwrap();
+    d.feed("A", 1, vec![1i64.into()]).unwrap();
+    let det = d.feed("B", 2, vec![2i64.into()]).unwrap();
+    assert_eq!(det[0].params[0].source, a);
+    assert_eq!(det[0].params[1].source, b);
+}

@@ -1,0 +1,16 @@
+//! # decs-workloads — seeded synthetic event workloads
+//!
+//! Deterministic generators for the event traces the benchmarks and
+//! experiments replay: uniform/bursty Poisson-ish arrival processes over
+//! multiple sites ([`gen`]), and three domain scenarios (stock ticker,
+//! sensor network, intrusion detection) matching the example applications
+//! ([`scenarios`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod scenarios;
+
+pub use gen::{ArrivalModel, Injection, WorkloadSpec};
+pub use scenarios::{intrusion_trace, sensor_trace, stock_trace};

@@ -1,0 +1,164 @@
+//! Domain scenario traces matching the example applications.
+
+use crate::gen::Injection;
+use decs_chronos::Nanos;
+use decs_snoop::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Event-name tables for the scenarios (index ↔ `Injection::event`).
+pub mod names {
+    /// Stock scenario events.
+    pub const STOCK: &[&str] = &["price_update", "trade", "halt"];
+    /// Sensor scenario events.
+    pub const SENSOR: &[&str] = &["reading", "threshold_cross", "heartbeat_miss"];
+    /// Intrusion scenario events.
+    pub const INTRUSION: &[&str] = &["login_fail", "login_ok", "port_scan", "privilege_esc"];
+}
+
+/// A multi-exchange stock ticker: random-walk prices per site with
+/// occasional trades and rare halts. Values: `[symbol_id, price_cents]`.
+pub fn stock_trace(sites: u32, duration: Nanos, seed: u64) -> Vec<Injection> {
+    let mut out = Vec::new();
+    for site in 0..sites {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(site) << 24));
+        let mut price: i64 = 10_000 + i64::from(site) * 500;
+        let mut t: u64 = 1_000;
+        while t < duration.get() {
+            price += rng.gen_range(-50..=50);
+            price = price.max(100);
+            let roll: f64 = rng.gen();
+            let event = if roll < 0.85 {
+                0 // price_update
+            } else if roll < 0.99 {
+                1 // trade
+            } else {
+                2 // halt
+            };
+            out.push(Injection {
+                at: Nanos(t),
+                site,
+                event,
+                values: vec![Value::Int(i64::from(site)), Value::Int(price)],
+            });
+            t += rng.gen_range(200_000..5_000_000);
+        }
+    }
+    out.sort_by_key(|i| (i.at, i.site));
+    out
+}
+
+/// A sensor network: periodic readings; a threshold-cross event whenever a
+/// reading leaves `[lo, hi]`; missed heartbeats rarely.
+/// Values: `[sensor_id, reading_milli]`.
+pub fn sensor_trace(sites: u32, duration: Nanos, seed: u64) -> Vec<Injection> {
+    let mut out = Vec::new();
+    let (lo, hi) = (18_000i64, 27_000i64); // 18–27 °C in milli-degrees
+    for site in 0..sites {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(site) << 16));
+        let mut temp: i64 = 22_000;
+        let mut t: u64 = 500;
+        while t < duration.get() {
+            temp += rng.gen_range(-800..=800);
+            out.push(Injection {
+                at: Nanos(t),
+                site,
+                event: 0,
+                values: vec![Value::Int(i64::from(site)), Value::Int(temp)],
+            });
+            if temp < lo || temp > hi {
+                out.push(Injection {
+                    at: Nanos(t + 1),
+                    site,
+                    event: 1,
+                    values: vec![Value::Int(i64::from(site)), Value::Int(temp)],
+                });
+                temp = temp.clamp(lo, hi);
+            }
+            if rng.gen_bool(0.01) {
+                out.push(Injection {
+                    at: Nanos(t + 2),
+                    site,
+                    event: 2,
+                    values: vec![Value::Int(i64::from(site))],
+                });
+            }
+            t += rng.gen_range(1_000_000..10_000_000);
+        }
+    }
+    out.sort_by_key(|i| (i.at, i.site));
+    out
+}
+
+/// An intrusion-detection feed: failed/successful logins, port scans, and
+/// rare privilege escalations. Values: `[user_id]`.
+pub fn intrusion_trace(sites: u32, duration: Nanos, seed: u64) -> Vec<Injection> {
+    let mut out = Vec::new();
+    for site in 0..sites {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(site) << 8));
+        let mut t: u64 = 100;
+        while t < duration.get() {
+            let roll: f64 = rng.gen();
+            let event = if roll < 0.30 {
+                0 // login_fail
+            } else if roll < 0.85 {
+                1 // login_ok
+            } else if roll < 0.98 {
+                2 // port_scan
+            } else {
+                3 // privilege_esc
+            };
+            out.push(Injection {
+                at: Nanos(t),
+                site,
+                event,
+                values: vec![Value::Int(rng.gen_range(0..20))],
+            });
+            t += rng.gen_range(100_000..3_000_000);
+        }
+    }
+    out.sort_by_key(|i| (i.at, i.site));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_trace_shape() {
+        let t = stock_trace(3, Nanos::from_millis(50), 1);
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|i| i.event < names::STOCK.len()));
+        assert!(t.iter().all(|i| i.values.len() == 2));
+        // Prices stay positive.
+        assert!(t
+            .iter()
+            .all(|i| i.values[1].as_int().unwrap() >= 100));
+        assert_eq!(t, stock_trace(3, Nanos::from_millis(50), 1));
+    }
+
+    #[test]
+    fn sensor_trace_threshold_follows_reading() {
+        let t = sensor_trace(2, Nanos::from_millis(200), 2);
+        // Every threshold_cross is immediately preceded (at −1 ns) by a
+        // reading from the same site.
+        for (i, inj) in t.iter().enumerate() {
+            if inj.event == 1 {
+                let found = t[..i]
+                    .iter()
+                    .any(|p| p.site == inj.site && p.event == 0 && p.at.get() + 1 == inj.at.get());
+                assert!(found, "orphan threshold_cross at {}", inj.at);
+            }
+        }
+    }
+
+    #[test]
+    fn intrusion_trace_mix() {
+        let t = intrusion_trace(2, Nanos::from_millis(100), 3);
+        let fails = t.iter().filter(|i| i.event == 0).count();
+        let oks = t.iter().filter(|i| i.event == 1).count();
+        assert!(fails > 0 && oks > fails, "fails={fails} oks={oks}");
+        assert!(t.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

@@ -1,0 +1,76 @@
+//! What clock skew does to event ordering — the paper's core motivation,
+//! made visible.
+//!
+//! Two events occur 30 ms apart in true time on different sites. Whether
+//! the system can *prove* the order depends on the global granularity
+//! `g_g` (which must exceed the clock-ensemble precision Π): with
+//! `g_g = 10 ms` the pair is clearly ordered; with `g_g = 100 ms` it is
+//! concurrent; and a SEQ detection appears/disappears accordingly.
+//!
+//! Run with `cargo run --example clock_skew`.
+
+use decs::core::{CompositeTimestamp, PrimitiveTimestamp};
+use decs::distrib::{Engine, EngineConfig};
+use decs::simnet::ScenarioBuilder;
+use decs::snoop::{Context, EventExpr as E};
+use decs_chronos::{Granularity, Nanos};
+
+fn order_with_gg(gg_per_second: u64, gap_ms: u64) -> (String, usize) {
+    let scenario = ScenarioBuilder::new(2, 11)
+        .max_offset_ns(2_000_000) // ±2 ms initial offset
+        .max_drift_ppb(10_000)
+        .global_granularity(Granularity::per_second(gg_per_second).unwrap())
+        .build()
+        .unwrap();
+
+    // Stamp the two occurrences directly through the site time sources.
+    let a = scenario.time_source(0).stamp(Nanos::from_millis(1000)).unwrap();
+    let b = scenario
+        .time_source(1)
+        .stamp(Nanos::from_millis(1000 + gap_ms))
+        .unwrap();
+    let ta = CompositeTimestamp::singleton(PrimitiveTimestamp::new(a.site, a.global, a.local));
+    let tb = CompositeTimestamp::singleton(PrimitiveTimestamp::new(b.site, b.global, b.local));
+    let relation = format!("{}", ta.relation(&tb));
+
+    // And confirm with the full engine: does `A ; B` fire?
+    let mut engine = Engine::new(
+        &scenario,
+        EngineConfig::default(),
+        &["A", "B"],
+        &[(
+            "AB",
+            E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        )],
+    )
+    .unwrap();
+    engine.inject(Nanos::from_millis(1000), 0, "A", vec![]).unwrap();
+    engine
+        .inject(Nanos::from_millis(1000 + gap_ms), 1, "B", vec![])
+        .unwrap();
+    let detections = engine.run_for(Nanos::from_secs(3));
+    (relation, detections.len())
+}
+
+fn main() {
+    println!("true gap between A@site0 and B@site1: 30 ms\n");
+    println!("{:>10} │ {:^12} │ SEQ detections", "g_g", "relation");
+    println!("───────────┼──────────────┼───────────────");
+    for (label, gg) in [("10 ms", 100u64), ("25 ms", 40), ("100 ms", 10)] {
+        let (rel, dets) = order_with_gg(gg, 30);
+        println!("{label:>10} │ {rel:^12} │ {dets}");
+    }
+
+    println!("\nWith a coarse g_g the 30 ms gap drowns inside one global tick:");
+    println!("the events become concurrent (~) and the sequence is undetectable —");
+    println!("exactly the trade-off the paper's 2g_g-restricted order formalizes.");
+
+    // Sanity: fine granularity proves the order, coarse does not.
+    let (fine, fine_dets) = order_with_gg(100, 30);
+    let (coarse, coarse_dets) = order_with_gg(10, 30);
+    assert_eq!(fine, "<");
+    assert_eq!(fine_dets, 1);
+    assert_eq!(coarse, "~");
+    assert_eq!(coarse_dets, 0);
+}

@@ -1,0 +1,86 @@
+//! ICU patient monitoring — temporal operators in an active database.
+//!
+//! A bedside monitor generates sensor readings into the object store;
+//! ECA rules watch for clinically meaningful *composite* patterns:
+//!
+//! * `sustained_tachy` — two high-heart-rate readings with no normal
+//!   reading in between (`not(normal)[high, high]`);
+//! * `no_response` — an alarm not acknowledged within 30 ticks
+//!   (`alarm + 30`, cancelled logically by the condition checking an ack);
+//! * `obs_window` — `A*` accumulating all readings between rounds, fired
+//!   at the next nurse round with the full set of values.
+//!
+//! Everything here is the *centralized* engine (a single ICU server),
+//! showing the Section 3 semantics and the sentinel layer working with
+//! temporal operators.
+//!
+//! Run with `cargo run --example hospital_icu`.
+
+use decs::sentinel::{Condition, RuleEngine};
+use decs::snoop::Context;
+
+fn main() {
+    let mut icu = RuleEngine::new();
+    icu.create_table("vitals", &["patient", "hr"]).unwrap();
+    for ev in ["hr_high", "hr_normal", "alarm", "ack", "nurse_round"] {
+        icu.register_event(ev).unwrap();
+    }
+
+    icu.define_event_dsl(
+        "sustained_tachy",
+        "not(hr_normal)[hr_high, hr_high]",
+        Context::Chronicle,
+    )
+    .unwrap();
+    icu.define_event_dsl("no_response", "alarm + 30", Context::Chronicle)
+        .unwrap();
+    icu.define_event_dsl(
+        "obs_window",
+        "A*(nurse_round, vitals_insert, nurse_round)",
+        Context::Continuous,
+    )
+    .unwrap();
+
+    icu.on(
+        "call_doctor",
+        "sustained_tachy",
+        Condition::Always,
+        "sustained tachycardia — calling physician",
+    );
+    icu.on(
+        "escalate",
+        "no_response",
+        Condition::Always,
+        "alarm unacknowledged for 30 ticks — escalating",
+    );
+    icu.on(
+        "chart",
+        "obs_window",
+        Condition::MinTuples(3),
+        "observation window charted",
+    );
+
+    // ── A shift unfolds ────────────────────────────────────────────────
+    icu.raise("nurse_round", vec![]).unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 82i64.into()]).unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 126i64.into()]).unwrap();
+    icu.raise("hr_high", vec!["bed-4".into()]).unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 131i64.into()]).unwrap();
+    icu.raise("hr_high", vec!["bed-4".into()]).unwrap(); // no hr_normal between → tachy!
+    icu.raise("alarm", vec!["bed-4".into()]).unwrap();
+    // The nurse never acks; 30 ticks pass.
+    let now = icu.now();
+    icu.tick(now + 31).unwrap(); // no_response fires
+    icu.raise("nurse_round", vec![]).unwrap(); // closes the A* window
+
+    println!("ICU shift log:");
+    for fired in icu.log() {
+        println!("  [{}] {:?}", fired.rule, fired.output);
+    }
+
+    let rules_fired: Vec<&str> = icu.log().iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules_fired.contains(&"call_doctor"), "{rules_fired:?}");
+    assert!(rules_fired.contains(&"escalate"), "{rules_fired:?}");
+    assert!(rules_fired.contains(&"chart"), "{rules_fired:?}");
+    println!("\nall three clinical rules fired as expected");
+}

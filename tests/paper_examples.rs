@@ -1,0 +1,137 @@
+//! The paper's own examples, end-to-end through the public API.
+
+use decs::core::alt::{self, Candidate};
+use decs::core::{cts, classify_region, max_op, CompositeRelation, RawTimestampSet, Region, RegionMap};
+use decs::core::{pts, PrimitiveTimestamp};
+use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, TruncMode};
+
+/// Section 5 worked example: clocks k, l, m with g = 1/100 s,
+/// g_z = 1/1000 s, Π < 1/10 s, g_g = 1/10 s.
+#[test]
+fn section_5_worked_example_timestamps_from_real_clocks() {
+    let g_local = Granularity::per_second(100).unwrap();
+    let base = GlobalTimeBase::new(
+        Granularity::per_second(10).unwrap(),
+        TruncMode::Floor,
+        Precision::from_nanos(99_999_999),
+    )
+    .unwrap();
+    // A perfect clock reading of 91548276 local ticks must truncate to
+    // global tick 9154827 — the paper's numbers.
+    let clock = LocalClock::perfect(g_local);
+    let t = decs_chronos::Nanos(915_482_765_000_000);
+    let local = clock.read(t).unwrap();
+    assert_eq!(local.get(), 91_548_276);
+    let global = base.global_of_local(local, g_local).unwrap();
+    assert_eq!(global.get(), 9_154_827);
+}
+
+#[test]
+fn section_5_worked_example_relations() {
+    let e1 = cts(&[(1, 9_154_827, 91_548_276), (3, 9_154_827, 91_548_277)]);
+    let e2 = cts(&[(2, 9_154_827, 91_548_276), (1, 9_154_827, 91_548_277)]);
+    let e3 = cts(&[(3, 9_154_827, 91_548_276), (2, 9_154_827, 91_548_277)]);
+    let e4 = cts(&[(1, 9_154_828, 91_548_288), (2, 9_154_827, 91_548_277)]);
+    let e5 = cts(&[(1, 9_154_829, 91_548_289), (2, 9_154_828, 91_548_287)]);
+    // The paper reports: e1 ≬ e2 ≬ e3 (incomparable), e4 ~ e3, e3 < e5.
+    assert_eq!(e1.relation(&e2), CompositeRelation::Incomparable);
+    assert_eq!(e2.relation(&e3), CompositeRelation::Incomparable);
+    assert_eq!(e1.relation(&e3), CompositeRelation::Incomparable);
+    assert_eq!(e4.relation(&e3), CompositeRelation::Concurrent);
+    assert_eq!(e3.relation(&e5), CompositeRelation::Before);
+}
+
+/// Figure 2: T(e) = {(s3,8,81),(s6,7,72)}; lines at 5, 7, 8, 9.
+#[test]
+fn figure_2_regions() {
+    let reference = cts(&[(3, 8, 81), (6, 7, 72)]);
+    let map = RegionMap::new(reference.clone());
+    assert_eq!(
+        (map.line1, map.line2, map.line3, map.line4),
+        (Some(5), 7, 8, 9)
+    );
+    // Fresh-site probes across the global axis match the exact relations.
+    let expect = [
+        (5, Region::Before),
+        (6, Region::WeakBefore),
+        (7, Region::Concurrent),
+        (8, Region::Concurrent),
+        (9, Region::After),
+    ];
+    for (g, want) in expect {
+        let probe = cts(&[(9, g, g * 10)]);
+        assert_eq!(classify_region(&reference, &probe), want, "g = {g}");
+        assert_eq!(map.classify_global(g), want, "line map at g = {g}");
+    }
+}
+
+/// Section 5.1's two restrictiveness examples.
+#[test]
+fn section_5_1_restrictiveness_examples() {
+    let raw = |t: &[(u32, u64, u64)]| {
+        RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)))
+    };
+    // Example 1: <_p holds, ∀∀ (<_p2) does not.
+    let t1 = raw(&[(1, 8, 80), (2, 7, 70)]);
+    let t2 = raw(&[(3, 9, 90)]);
+    assert!(alt::lt_p(&t1, &t2));
+    assert!(!alt::lt_p2(&t1, &t2));
+    // Example 2: <_p holds, min-anchored (<_p3) does not.
+    let t2b = raw(&[(1, 8, 81), (2, 7, 71)]);
+    assert!(alt::lt_p(&t1, &t2b));
+    assert!(!alt::lt_p3(&t1, &t2b));
+}
+
+/// The Section 5.1 argument against [10]: an existential-witness ordering
+/// admits transitivity violations; the chosen `<_p` does not, on the same
+/// universe.
+#[test]
+fn section_5_1_schwiderski_not_transitive() {
+    let raw = |t: &[(u32, u64, u64)]| {
+        RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)))
+    };
+    let universe = vec![
+        raw(&[(1, 0, 0), (2, 6, 60)]),
+        raw(&[(3, 5, 50)]),
+        raw(&[(4, 9, 90), (2, 4, 45)]),
+        raw(&[(1, 8, 80), (2, 2, 20)]),
+        raw(&[(2, 9, 90)]),
+    ];
+    assert!(alt::find_transitivity_violation(Candidate::Schwiderski, &universe).is_some());
+    assert!(
+        alt::find_transitivity_violation(Candidate::ForallExistsBack, &universe).is_none()
+    );
+    assert!(alt::find_transitivity_violation(Candidate::ForallForall, &universe).is_none());
+    assert!(alt::find_transitivity_violation(Candidate::MinAnchored, &universe).is_none());
+}
+
+/// Definition 5.9 / Theorem 5.4: Max over the three relation cases.
+#[test]
+fn definition_5_9_max_cases() {
+    // Ordered: the later timestamp wins (plus its concurrent leftovers —
+    // see DESIGN.md on the Definition 5.9 / Theorem 5.4 divergence).
+    let early = cts(&[(1, 1, 10)]);
+    let late = cts(&[(1, 9, 90)]);
+    assert_eq!(max_op(&early, &late), late);
+    // Concurrent: union.
+    let a = cts(&[(1, 8, 80)]);
+    let b = cts(&[(2, 8, 82)]);
+    assert_eq!(max_op(&a, &b), cts(&[(1, 8, 80), (2, 8, 82)]));
+    // Incomparable: mutually undominated members survive.
+    let x = cts(&[(1, 9, 90), (2, 8, 85)]);
+    let y = cts(&[(1, 8, 82), (2, 9, 95)]);
+    assert_eq!(max_op(&x, &y), cts(&[(1, 9, 90), (2, 9, 95)]));
+}
+
+/// Proposition 4.2(6)'s counterexample (globals 1, 2, 3).
+#[test]
+fn proposition_4_2_6_counterexample() {
+    let t1: PrimitiveTimestamp = pts(1, 1, 10);
+    let t2 = pts(2, 2, 20);
+    let t3 = pts(3, 3, 30);
+    assert!(t1.concurrent(&t2));
+    assert!(t2.concurrent(&t3));
+    assert!(!t1.concurrent(&t3)); // ~ is not transitive
+    assert!(t1.happens_before(&t3));
+    assert!(!t2.happens_before(&t3)); // concurrency does not substitute
+}
