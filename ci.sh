@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+# Run from the repository root.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
+cargo fmt --check
+
+echo "ci.sh: all tier-1 checks passed"

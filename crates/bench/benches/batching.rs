@@ -1,0 +1,111 @@
+//! Criterion benches for the batched notification protocol: end-to-end
+//! engine cost vs batch interval (0 = per-event transport), and the raw
+//! sharded-detector batch feed vs per-occurrence feeds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decs_chronos::{Granularity, Nanos};
+use decs_core::CompositeTimestamp;
+use decs_distrib::{Engine, EngineConfig};
+use decs_simnet::ScenarioBuilder;
+use decs_snoop::{Context, EventExpr as E, Occurrence, ShardedDetector};
+use decs_workloads::{ArrivalModel, WorkloadSpec};
+
+fn run_engine(sites: u32, batch_ms: u64, trace: &[decs_workloads::Injection]) -> usize {
+    let scenario = ScenarioBuilder::new(sites, 2024)
+        .max_offset_ns(1_000_000)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .build()
+        .unwrap();
+    let mut engine = Engine::new(
+        &scenario,
+        EngineConfig {
+            batch_interval: Nanos::from_millis(batch_ms),
+            ..EngineConfig::default()
+        },
+        &["A", "B"],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
+    )
+    .unwrap();
+    let names = ["A", "B"];
+    for inj in trace {
+        engine
+            .inject(inj.at, inj.site, names[inj.event], inj.values.clone())
+            .unwrap();
+    }
+    engine.run_for(Nanos::from_secs(2)).len()
+}
+
+fn workload(sites: u32) -> Vec<decs_workloads::Injection> {
+    WorkloadSpec {
+        sites,
+        duration: Nanos::from_millis(500),
+        arrivals: ArrivalModel::Poisson {
+            mean_ns: 1_000_000 * u64::from(sites),
+        },
+        event_types: 2,
+        seed: 5,
+    }
+    .generate()
+}
+
+/// End-to-end engine cost as the batch interval grows (0 = per-event).
+fn bench_batch_interval(c: &mut Criterion) {
+    let trace = workload(4);
+    let mut g = c.benchmark_group("engine_vs_batch_interval");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for batch_ms in [0u64, 5, 20, 100] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(batch_ms),
+            &batch_ms,
+            |b, &batch_ms| b.iter(|| black_box(run_engine(4, batch_ms, &trace))),
+        );
+    }
+    g.finish();
+}
+
+/// Raw sharded-detector cost: one `feed_batch` vs N single feeds over the
+/// same occurrences (the coordinator's release-path hot loop).
+fn bench_feed_batch(c: &mut Criterion) {
+    fn detector() -> ShardedDetector<CompositeTimestamp> {
+        let mut d = ShardedDetector::new();
+        for n in ["A", "B", "C"] {
+            d.register(n).unwrap();
+        }
+        d.define("X", &E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)
+            .unwrap();
+        d.define("Y", &E::and(E::prim("B"), E::prim("C")), Context::Chronicle)
+            .unwrap();
+        d
+    }
+    let proto = detector();
+    let names = ["A", "B", "C"];
+    let occs: Vec<Occurrence<CompositeTimestamp>> = (0..512u64)
+        .map(|k| {
+            let ty = proto.catalog().lookup(names[(k % 3) as usize]).unwrap();
+            Occurrence::bare(ty, decs_core::cts(&[(0, 10 * k, 100 * k)]))
+        })
+        .collect();
+    let mut g = c.benchmark_group("sharded_feed");
+    g.throughput(Throughput::Elements(occs.len() as u64));
+    g.bench_function("per_event", |b| {
+        b.iter(|| {
+            let mut d = detector();
+            let mut n = 0usize;
+            for occ in &occs {
+                n += d.feed(occ.clone()).detected.len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut d = detector();
+            black_box(d.feed_batch(occs.clone()).detected.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_interval, bench_feed_batch);
+criterion_main!(benches);

@@ -21,11 +21,7 @@ fn run_engine(sites: u32, heartbeat_ms: u64, trace: &[decs_workloads::Injection]
             ..EngineConfig::default()
         },
         &["A", "B"],
-        &[(
-            "X",
-            E::seq(E::prim("A"), E::prim("B")),
-            Context::Chronicle,
-        )],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
     )
     .unwrap();
     let names = ["A", "B"];

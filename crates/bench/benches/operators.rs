@@ -13,10 +13,7 @@ fn operator_exprs() -> Vec<(&'static str, E)> {
         ("and", E::and(E::prim("A"), E::prim("B"))),
         ("or", E::or(E::prim("A"), E::prim("B"))),
         ("seq", E::seq(E::prim("A"), E::prim("B"))),
-        (
-            "not",
-            E::not(E::prim("C"), E::prim("A"), E::prim("B")),
-        ),
+        ("not", E::not(E::prim("C"), E::prim("A"), E::prim("B"))),
         (
             "aperiodic",
             E::aperiodic(E::prim("A"), E::prim("C"), E::prim("B")),
@@ -62,7 +59,11 @@ fn bench_operators_centralized(c: &mut Criterion) {
                 d.define("X", expr, Context::Chronicle).unwrap();
                 let mut count = 0usize;
                 for &(n, t) in &tr {
-                    count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+                    count += d
+                        .feed_named(n, CentralTime(t), vec![])
+                        .unwrap()
+                        .detected
+                        .len();
                 }
                 black_box(count)
             })
@@ -86,7 +87,11 @@ fn bench_contexts(c: &mut Criterion) {
                 d.define("X", &expr, ctx).unwrap();
                 let mut count = 0usize;
                 for &(n, t) in &tr {
-                    count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+                    count += d
+                        .feed_named(n, CentralTime(t), vec![])
+                        .unwrap()
+                        .detected
+                        .len();
                 }
                 black_box(count)
             })
@@ -109,7 +114,11 @@ fn bench_central_vs_distributed_feed(c: &mut Criterion) {
             d.define("X", &expr, Context::Chronicle).unwrap();
             let mut count = 0usize;
             for &(n, t) in &tr {
-                count += d.feed_named(n, CentralTime(t), vec![]).unwrap().detected.len();
+                count += d
+                    .feed_named(n, CentralTime(t), vec![])
+                    .unwrap()
+                    .detected
+                    .len();
             }
             black_box(count)
         })

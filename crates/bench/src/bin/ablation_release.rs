@@ -38,11 +38,7 @@ fn detections(
             ..EngineConfig::default()
         },
         &["A", "B"],
-        &[(
-            "X",
-            E::seq(E::prim("A"), E::prim("B")),
-            Context::Chronicle,
-        )],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
     )
     .unwrap();
     for s in 0..4 {
@@ -68,18 +64,37 @@ fn main() {
     let trace = WorkloadSpec {
         sites: 4,
         duration: Nanos::from_secs(3),
-        arrivals: ArrivalModel::Poisson { mean_ns: 60_000_000 },
+        arrivals: ArrivalModel::Poisson {
+            mean_ns: 60_000_000,
+        },
         event_types: 2,
         seed: 17,
     }
     .generate();
-    println!("workload: {} events over 3 s on 4 sites (g_g = 100 ms)\n", trace.len());
+    println!(
+        "workload: {} events over 3 s on 4 sites (g_g = 100 ms)\n",
+        trace.len()
+    );
 
     let links = [
-        ("calm (0.1ms ±0)", LinkConfig { base_latency_ns: 100_000, jitter_ns: 0, fifo: true }),
+        (
+            "calm (0.1ms ±0)",
+            LinkConfig {
+                base_latency_ns: 100_000,
+                jitter_ns: 0,
+                fifo: true,
+            },
+        ),
         ("LAN (0.5ms ±0.2)", LinkConfig::lan()),
         ("WAN (40ms ±10)", LinkConfig::wan()),
-        ("hostile (50ms ±49)", LinkConfig { base_latency_ns: 50_000_000, jitter_ns: 49_000_000, fifo: false }),
+        (
+            "hostile (50ms ±49)",
+            LinkConfig {
+                base_latency_ns: 50_000_000,
+                jitter_ns: 49_000_000,
+                fifo: false,
+            },
+        ),
     ];
 
     // Reference: stable policy under the calm network.

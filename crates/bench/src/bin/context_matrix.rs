@@ -67,7 +67,14 @@ fn main() {
         ),
     ];
 
-    let header = ["operator / trace", "unrestr", "recent", "chron", "contin", "cumul"];
+    let header = [
+        "operator / trace",
+        "unrestr",
+        "recent",
+        "chron",
+        "contin",
+        "cumul",
+    ];
     let widths = [22, 8, 7, 6, 7, 6];
     let mut rows = Vec::new();
     for (label, expr, trace) in &cases {

@@ -38,11 +38,7 @@ fn run(gg_ms: u64, hb_ms: u64) -> Row {
             ..EngineConfig::default()
         },
         &["A", "B"],
-        &[(
-            "X",
-            E::seq(E::prim("A"), E::prim("B")),
-            Context::Chronicle,
-        )],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
     )
     .unwrap();
 

@@ -8,8 +8,8 @@
 //! Run: `cargo run -p decs-bench --bin ex_clocks`
 
 use decs_bench::print_table;
-use decs_core::cts;
 use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Nanos, Precision, TruncMode};
+use decs_core::cts;
 
 fn main() {
     println!("E4 / Section 5 worked example\n");
@@ -36,11 +36,26 @@ fn main() {
 
     // The five composite timestamps (sites: k = 1, l = 2, m = 3).
     let stamps = [
-        ("T(e1)", cts(&[(1, 9_154_827, 91_548_276), (3, 9_154_827, 91_548_277)])),
-        ("T(e2)", cts(&[(2, 9_154_827, 91_548_276), (1, 9_154_827, 91_548_277)])),
-        ("T(e3)", cts(&[(3, 9_154_827, 91_548_276), (2, 9_154_827, 91_548_277)])),
-        ("T(e4)", cts(&[(1, 9_154_828, 91_548_288), (2, 9_154_827, 91_548_277)])),
-        ("T(e5)", cts(&[(1, 9_154_829, 91_548_289), (2, 9_154_828, 91_548_287)])),
+        (
+            "T(e1)",
+            cts(&[(1, 9_154_827, 91_548_276), (3, 9_154_827, 91_548_277)]),
+        ),
+        (
+            "T(e2)",
+            cts(&[(2, 9_154_827, 91_548_276), (1, 9_154_827, 91_548_277)]),
+        ),
+        (
+            "T(e3)",
+            cts(&[(3, 9_154_827, 91_548_276), (2, 9_154_827, 91_548_277)]),
+        ),
+        (
+            "T(e4)",
+            cts(&[(1, 9_154_828, 91_548_288), (2, 9_154_827, 91_548_277)]),
+        ),
+        (
+            "T(e5)",
+            cts(&[(1, 9_154_829, 91_548_289), (2, 9_154_828, 91_548_287)]),
+        ),
     ];
     println!("\ncomposite timestamps (k=s1, l=s2, m=s3):");
     for (n, t) in &stamps {

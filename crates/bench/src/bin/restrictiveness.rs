@@ -22,7 +22,14 @@ fn main() {
     const PAIRS: usize = 30_000;
 
     let mut rows = Vec::new();
-    for (width, horizon) in [(1usize, 300u64), (2, 300), (4, 300), (6, 300), (4, 60), (4, 1200)] {
+    for (width, horizon) in [
+        (1usize, 300u64),
+        (2, 300),
+        (4, 300),
+        (6, 300),
+        (4, 60),
+        (4, 1200),
+    ] {
         let mut counts = vec![0u64; Candidate::ALL.len()];
         let mut concurrent = 0u64;
         for _ in 0..PAIRS {

@@ -102,9 +102,7 @@ impl GlobalTimeBase {
                 local_nanos: g_local.nanos_per_tick(),
             });
         }
-        let ns = g_local
-            .duration_of(l.get())
-            .ok_or(ChronosError::Overflow)?;
+        let ns = g_local.duration_of(l.get()).ok_or(ChronosError::Overflow)?;
         Ok(GlobalTicks(
             self.trunc.apply(ns.get(), self.gg.nanos_per_tick()),
         ))

@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Granularity::per_second(10).unwrap().to_string(), "1/10s/tick");
+        assert_eq!(
+            Granularity::per_second(10).unwrap().to_string(),
+            "1/10s/tick"
+        );
         assert_eq!(
             Granularity::from_nanos(2_000_000_000).unwrap().to_string(),
             "2s/tick"

@@ -62,11 +62,7 @@ pub fn lt_p2(a: &RawTimestampSet, b: &RawTimestampSet) -> bool {
 /// minimum global tick (tie-broken by the canonical container order),
 /// `∀t2∈b: m < t2`. Valid but more restricted than `<_p`.
 pub fn lt_p3(a: &RawTimestampSet, b: &RawTimestampSet) -> bool {
-    let Some(min) = a
-        .members()
-        .iter()
-        .min_by_key(|t| (t.global().get(), **t))
-    else {
+    let Some(min) = a.members().iter().min_by_key(|t| (t.global().get(), **t)) else {
         return false;
     };
     !b.is_empty() && b.members().iter().all(|t2| min.happens_before(t2))

@@ -22,7 +22,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::EmptyTimestamp => {
-                write!(f, "a composite timestamp must contain at least one primitive timestamp")
+                write!(
+                    f,
+                    "a composite timestamp must contain at least one primitive timestamp"
+                )
             }
             CoreError::InvalidInterval { reason } => {
                 write!(f, "invalid interval endpoints: {reason}")
@@ -45,7 +48,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::EmptyTimestamp.to_string().contains("at least one"));
+        assert!(CoreError::EmptyTimestamp
+            .to_string()
+            .contains("at least one"));
         assert!(CoreError::InvalidInterval { reason: "a !< b" }
             .to_string()
             .contains("a !< b"));

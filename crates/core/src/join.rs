@@ -188,8 +188,14 @@ mod tests {
         let cases = [
             (cts(&[(1, 1, 10)]), cts(&[(1, 8, 80)])),
             (cts(&[(1, 8, 80)]), cts(&[(2, 8, 82), (3, 9, 91)])),
-            (cts(&[(1, 9, 90), (2, 8, 85)]), cts(&[(1, 8, 82), (2, 9, 95)])),
-            (cts(&[(1, 9, 90), (3, 9, 93)]), cts(&[(1, 9, 91), (4, 8, 85)])),
+            (
+                cts(&[(1, 9, 90), (2, 8, 85)]),
+                cts(&[(1, 8, 82), (2, 9, 95)]),
+            ),
+            (
+                cts(&[(1, 9, 90), (3, 9, 93)]),
+                cts(&[(1, 9, 91), (4, 8, 85)]),
+            ),
             (cts(&[(5, 4, 44)]), cts(&[(5, 4, 44)])),
             (cts(&[(1, 8, 85), (2, 8, 87)]), cts(&[(1, 9, 90)])),
         ];

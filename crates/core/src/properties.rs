@@ -148,7 +148,11 @@ pub fn prop_4_2_6_concurrency_counterexample(
 }
 
 /// Proposition 4.2(7): `t1 < t2 ∧ t2 ~ t3 ⟹ t1 ⪯ t3`.
-pub fn prop_4_2_7(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp, t3: &PrimitiveTimestamp) -> bool {
+pub fn prop_4_2_7(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+    t3: &PrimitiveTimestamp,
+) -> bool {
     if t1.happens_before(t2) && t2.concurrent(t3) {
         t1.weak_leq(t3)
     } else {
@@ -157,7 +161,11 @@ pub fn prop_4_2_7(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp, t3: &Primiti
 }
 
 /// Proposition 4.2(8): `t1 ~ t2 ∧ t2 < t3 ⟹ t1 ⪯ t3`.
-pub fn prop_4_2_8(t1: &PrimitiveTimestamp, t2: &PrimitiveTimestamp, t3: &PrimitiveTimestamp) -> bool {
+pub fn prop_4_2_8(
+    t1: &PrimitiveTimestamp,
+    t2: &PrimitiveTimestamp,
+    t3: &PrimitiveTimestamp,
+) -> bool {
     if t1.concurrent(t2) && t2.happens_before(t3) {
         t1.weak_leq(t3)
     } else {

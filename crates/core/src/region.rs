@@ -252,10 +252,7 @@ mod tests {
         // (s9,6): weak-before band; (s10,7): concurrent band.
         assert_eq!(classify_region(&reference, &probe), Region::Before);
         let r = classify_region(&reference, &crossing);
-        assert!(
-            r == Region::WeakBefore || r == Region::Crossing,
-            "got {r}"
-        );
+        assert!(r == Region::WeakBefore || r == Region::Crossing, "got {r}");
     }
 
     #[test]

@@ -20,8 +20,7 @@ fn arbitrary_ts() -> impl Strategy<Value = PrimitiveTimestamp> {
 }
 
 fn composite() -> impl Strategy<Value = CompositeTimestamp> {
-    proptest::collection::vec(arbitrary_ts(), 1..6)
-        .prop_map(CompositeTimestamp::from_primitives)
+    proptest::collection::vec(arbitrary_ts(), 1..6).prop_map(CompositeTimestamp::from_primitives)
 }
 
 fn raw_set() -> impl Strategy<Value = RawTimestampSet> {

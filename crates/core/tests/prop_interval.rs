@@ -8,8 +8,7 @@ fn conforming() -> impl Strategy<Value = PrimitiveTimestamp> {
 }
 
 fn composite() -> impl Strategy<Value = CompositeTimestamp> {
-    proptest::collection::vec(conforming(), 1..5)
-        .prop_map(CompositeTimestamp::from_primitives)
+    proptest::collection::vec(conforming(), 1..5).prop_map(CompositeTimestamp::from_primitives)
 }
 
 proptest! {

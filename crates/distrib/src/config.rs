@@ -23,6 +23,13 @@ pub enum ReleasePolicy {
 pub struct EngineConfig {
     /// How often each site heartbeats its watermark.
     pub heartbeat_interval: Nanos,
+    /// How often each site flushes its coalesced notification batch.
+    /// `Nanos::ZERO` (the default) disables batching: every occurrence is
+    /// sent as its own `Msg::Event` and watermarks travel as separate
+    /// `Msg::Heartbeat`s. Any positive interval switches the site to
+    /// `Msg::Batch` (which carries the watermark, so heartbeats are
+    /// subsumed). Detections are identical either way.
+    pub batch_interval: Nanos,
     /// Capacity of the simulation trace (0 disables tracing).
     pub trace_capacity: usize,
     /// Release policy (see [`ReleasePolicy`]).
@@ -35,6 +42,7 @@ impl Default for EngineConfig {
             // Heartbeat well below the paper-scale g_g (1/10 s) so
             // stability lags by a small number of global ticks.
             heartbeat_interval: Nanos::from_millis(20),
+            batch_interval: Nanos::ZERO,
             trace_capacity: 0,
             release_policy: ReleasePolicy::Stable,
         }

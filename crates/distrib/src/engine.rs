@@ -15,7 +15,9 @@ use crate::site::{LocalDetection, SiteNode};
 use decs_chronos::Nanos;
 use decs_core::CompositeTimestamp;
 use decs_simnet::{Actor, Ctx, LinkConfig, NodeIdx, Scenario, Simulation};
-use decs_snoop::{Context, Detector, EventExpr, Occurrence, Result, SnoopError, Value};
+use decs_snoop::{
+    Context, Detector, EventExpr, Occurrence, Result, ShardedDetector, SnoopError, Value,
+};
 
 /// Either role in the star topology.
 #[derive(Debug)]
@@ -91,7 +93,7 @@ impl Engine {
         global_definitions: &[(&str, EventExpr, Context)],
     ) -> Result<Self> {
         let definitions = global_definitions;
-        let mut detector: Detector<CompositeTimestamp> = Detector::new();
+        let mut detector: ShardedDetector<CompositeTimestamp> = ShardedDetector::new();
         let mut name_ids = std::collections::HashMap::new();
         for p in primitives {
             let id = detector.register(p)?;
@@ -148,6 +150,7 @@ impl Engine {
                     LocalDetection::new(site_det, translate, gg_nanos_sites),
                 )
             };
+            let site_node = site_node.with_batching(config.batch_interval);
             nodes.push((Node::Site(Box::new(site_node)), scenario.time_source(i)));
         }
         // The coordinator is its own site (id n) with a scenario-sampled
@@ -159,21 +162,11 @@ impl Engine {
             scenario.base,
         );
         let gg_nanos = scenario.base.gg().nanos_per_tick();
-        let mut coordinator_node = CoordinatorNode::with_policy(
-            n as usize,
-            detector,
-            gg_nanos,
-            config.release_policy,
-        );
-        coordinator_node.set_reportable(
-            local_definitions
-                .iter()
-                .map(|(name, _, _)| name_ids[*name]),
-        );
-        nodes.push((
-            Node::Coordinator(Box::new(coordinator_node)),
-            coord_source,
-        ));
+        let mut coordinator_node =
+            CoordinatorNode::with_policy(n as usize, detector, gg_nanos, config.release_policy);
+        coordinator_node
+            .set_reportable(local_definitions.iter().map(|(name, _, _)| name_ids[*name]));
+        nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));
 
         let mut sim = Simulation::new(nodes, scenario.link, scenario.seed ^ 0x5EED);
         if config.trace_capacity > 0 {
@@ -206,8 +199,7 @@ impl Engine {
     /// Operator action: stop waiting for `site`'s watermark at true time
     /// `at` (its promises become +∞), letting the stability buffer drain.
     pub fn evict_site(&mut self, at: Nanos, site: u32) {
-        self.sim
-            .inject(at, self.coordinator, Msg::Evict { site });
+        self.sim.inject(at, self.coordinator, Msg::Evict { site });
     }
 
     /// Inject a primitive event occurrence at `site` at true time `at`.
@@ -216,7 +208,8 @@ impl Engine {
             .name_ids
             .get(event)
             .ok_or_else(|| SnoopError::UnknownEvent(event.to_string()))?;
-        self.sim.inject(at, NodeIdx(site), Msg::Inject { ty, values });
+        self.sim
+            .inject(at, NodeIdx(site), Msg::Inject { ty, values });
         Ok(())
     }
 
@@ -227,11 +220,15 @@ impl Engine {
         self.drain()
     }
 
-    /// Run until every queued event (including heartbeats up to `horizon`)
-    /// has been processed; heartbeats re-arm forever, so a horizon is
-    /// required.
+    /// Run for `horizon` more simulated time **relative to the current
+    /// simulation clock**, then drain and return the detections produced
+    /// so far. `run_until(t)` followed by `run_for(h)` covers exactly the
+    /// same simulated span as `run_until(t + h)`. (Heartbeat/batch timers
+    /// re-arm forever, so a bounded horizon is required; there is no
+    /// run-to-quiescence.)
     pub fn run_for(&mut self, horizon: Nanos) -> Vec<Detection> {
-        self.run_until(horizon)
+        let until = Nanos(self.sim.now().get().saturating_add(horizon.get()));
+        self.run_until(until)
     }
 
     fn drain(&mut self) -> Vec<Detection> {
@@ -340,8 +337,37 @@ mod tests {
         assert_eq!(m.events_released, 2);
     }
 
+    // NOTE: the old `detection_is_independent_of_link_jitter` unit test
+    // (two hand-picked link configs) now lives in the workspace-level
+    // `tests/prop_distributed.rs` as a property over randomized links,
+    // covering batched mode too.
+
     #[test]
-    fn detection_is_independent_of_link_jitter() {
+    fn run_for_is_relative_to_current_time() {
+        // run_until(2 s) + run_for(2 s) must cover the same simulated span
+        // as a fresh run_until(4 s) — `run_for` used to silently alias
+        // `run_until`, truncating the second leg.
+        let mut split = seq_engine(2, 42);
+        split.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+        split.inject(Nanos::from_secs(3), 1, "B", vec![]).unwrap();
+        let mut det = split.run_until(Nanos::from_secs(2));
+        det.extend(split.run_for(Nanos::from_secs(2)));
+
+        let mut whole = seq_engine(2, 42);
+        whole.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+        whole.inject(Nanos::from_secs(3), 1, "B", vec![]).unwrap();
+        let expect = whole.run_until(Nanos::from_secs(4));
+
+        assert!(!expect.is_empty());
+        let key = |d: &Detection| (d.name.clone(), d.occ.time.clone());
+        assert_eq!(
+            det.iter().map(key).collect::<Vec<_>>(),
+            expect.iter().map(key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batched_engine_matches_per_event_engine() {
         let workload: Vec<(u64, u32, &str)> = vec![
             (1_000, 0, "A"),
             (1_250, 1, "B"),
@@ -350,30 +376,43 @@ mod tests {
             (3_500, 0, "A"),
             (5_000, 1, "B"),
         ];
-        let run = |link: LinkConfig| {
-            let mut e = seq_engine(2, 42);
-            e.set_link(0, link);
-            e.set_link(1, link);
+        let run = |batch_interval: Nanos| {
+            let mut e = Engine::new(
+                &scenario(2, 42),
+                EngineConfig {
+                    batch_interval,
+                    ..EngineConfig::default()
+                },
+                &["A", "B"],
+                &[(
+                    "X",
+                    EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B")),
+                    Context::Chronicle,
+                )],
+            )
+            .unwrap();
             for &(ms, site, ev) in &workload {
                 e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
             }
-            e.run_for(Nanos::from_secs(10))
-                .into_iter()
-                .map(|d| (d.name, d.occ.time))
-                .collect::<Vec<_>>()
+            let det = e.run_for(Nanos::from_secs(10));
+            (
+                det.into_iter()
+                    .map(|d| (d.name, d.occ.time))
+                    .collect::<Vec<_>>(),
+                e.metrics(),
+            )
         };
-        let calm = run(LinkConfig {
-            base_latency_ns: 100_000,
-            jitter_ns: 0,
-            fifo: true,
-        });
-        let wild = run(LinkConfig {
-            base_latency_ns: 5_000_000,
-            jitter_ns: 4_900_000,
-            fifo: false,
-        });
-        assert_eq!(calm, wild, "detections must be network-independent");
-        assert!(!calm.is_empty());
+        let (plain, m_plain) = run(Nanos::ZERO);
+        let (batched, m_batched) = run(Nanos::from_millis(20));
+        assert_eq!(plain, batched, "batching must not change detections");
+        assert!(!plain.is_empty());
+        // Transport actually switched: batches instead of events+heartbeats.
+        assert_eq!(m_plain.batches_received, 0);
+        assert!(m_batched.batches_received > 0);
+        assert_eq!(m_batched.heartbeats_received, 0);
+        assert!(m_batched.batch_size_max >= 1);
+        assert!(m_batched.messages_processed < m_plain.messages_processed);
+        assert_eq!(m_batched.shard_count, 1);
     }
 
     #[test]

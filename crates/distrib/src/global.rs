@@ -1,10 +1,13 @@
 //! The coordinator (global event detector).
 //!
-//! Receives stamped primitive-event notifications and heartbeats from every
-//! site, reassembles each site's FIFO stream, buffers notifications until
-//! the watermark stability rule releases them, feeds them to the
-//! `Detector<CompositeTimestamp>` in a canonical order, and services the
-//! detector's timer requests from its own clock.
+//! Receives stamped primitive-event notifications and watermarks from
+//! every site — either per-event (`Msg::Event` + `Msg::Heartbeat`) or
+//! coalesced into `Msg::Batch`es — reassembles each site's FIFO stream,
+//! buffers notifications until the watermark stability rule releases them,
+//! drains the stable prefix in watermark-bounded batches into a
+//! [`ShardedDetector`] (one event-graph shard per composite definition) in
+//! a canonical order, and services the detector's timer requests from its
+//! own clock. Detections are identical in both transport modes.
 
 use crate::config::ReleasePolicy;
 use crate::metrics::Metrics;
@@ -13,18 +16,23 @@ use crate::watermark::WatermarkTracker;
 use decs_chronos::Nanos;
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx};
-use decs_snoop::{Detector, EventId, FeedResult, Occurrence, TimerId};
+use decs_snoop::{EventId, Occurrence, ShardFeedResult, ShardId, ShardedDetector, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Canonical release key: (max global tick, origin site, origin sequence).
-/// Unique per notification and independent of delivery order, so detection
-/// is a pure function of the workload.
+/// Canonical release key: (max global tick, origin site, per-site arrival
+/// counter). The counter is assigned when the notification enters the
+/// stability buffer, in reassembled FIFO order, so it is the same whether
+/// the notification traveled as its own `Msg::Event` or inside a
+/// `Msg::Batch` — detection stays a pure function of the workload,
+/// independent of both delivery order and transport mode.
 type ReleaseKey = (u64, u32, u64);
 
 #[derive(Debug, Default)]
 struct SiteStream {
     next: u64,
     parked: BTreeMap<u64, Msg>,
+    /// Notifications buffered from this site so far (release-key counter).
+    arrivals: u64,
 }
 
 /// A detection produced by the coordinator, with bookkeeping times.
@@ -38,7 +46,7 @@ pub struct RawDetection {
 
 /// The coordinator actor.
 pub struct CoordinatorNode {
-    detector: Detector<CompositeTimestamp>,
+    detector: ShardedDetector<CompositeTimestamp>,
     tracker: WatermarkTracker,
     streams: Vec<SiteStream>,
     buffer: BTreeMap<ReleaseKey, (Occurrence<CompositeTimestamp>, Nanos)>,
@@ -46,7 +54,7 @@ pub struct CoordinatorNode {
     pub detections: Vec<RawDetection>,
     /// Metrics counters.
     pub metrics: Metrics,
-    timer_map: HashMap<u64, TimerId>,
+    timer_map: HashMap<u64, (ShardId, TimerId)>,
     next_tag: u64,
     gg_nanos: u64,
     policy: ReleasePolicy,
@@ -65,9 +73,10 @@ impl std::fmt::Debug for CoordinatorNode {
 }
 
 impl CoordinatorNode {
-    /// Coordinator over `sites` sites, running the pre-compiled detector.
-    /// `gg_nanos` is the duration of one global tick (for timer delays).
-    pub fn new(sites: usize, detector: Detector<CompositeTimestamp>, gg_nanos: u64) -> Self {
+    /// Coordinator over `sites` sites, running the pre-compiled sharded
+    /// detector. `gg_nanos` is the duration of one global tick (for timer
+    /// delays).
+    pub fn new(sites: usize, detector: ShardedDetector<CompositeTimestamp>, gg_nanos: u64) -> Self {
         Self::with_policy(sites, detector, gg_nanos, ReleasePolicy::Stable)
     }
 
@@ -75,17 +84,21 @@ impl CoordinatorNode {
     /// exists for the ablation experiments).
     pub fn with_policy(
         sites: usize,
-        detector: Detector<CompositeTimestamp>,
+        detector: ShardedDetector<CompositeTimestamp>,
         gg_nanos: u64,
         policy: ReleasePolicy,
     ) -> Self {
+        let metrics = Metrics {
+            shard_count: detector.shard_count(),
+            ..Metrics::default()
+        };
         CoordinatorNode {
             detector,
             tracker: WatermarkTracker::new(sites),
             streams: (0..sites).map(|_| SiteStream::default()).collect(),
             buffer: BTreeMap::new(),
             detections: Vec::new(),
-            metrics: Metrics::default(),
+            metrics,
             timer_map: HashMap::new(),
             next_tag: 0,
             gg_nanos,
@@ -110,11 +123,11 @@ impl CoordinatorNode {
         self.buffer.len()
     }
 
-    fn absorb(&mut self, r: FeedResult<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
-        for t in r.timers {
+    fn absorb(&mut self, r: ShardFeedResult<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        for (shard, t) in r.timers {
             let tag = self.next_tag;
             self.next_tag += 1;
-            self.timer_map.insert(tag, t.id);
+            self.timer_map.insert(tag, (shard, t.id));
             ctx.set_timer(Nanos(t.delay_ticks * self.gg_nanos), tag);
         }
         for occ in r.detected {
@@ -126,7 +139,12 @@ impl CoordinatorNode {
         }
     }
 
+    /// Drain the stable prefix of the buffer in one watermark-bounded
+    /// batch: collect every released notification first (the buffer walk
+    /// is cheap and canonical), then feed them as a single batch so the
+    /// sharded detector can fan the whole batch out to its shards.
     fn release_stable(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut batch = Vec::new();
         while let Some((&key, _)) = self.buffer.iter().next() {
             if !self.tracker.is_stable(key.0) {
                 break;
@@ -135,7 +153,22 @@ impl CoordinatorNode {
             self.metrics.events_released += 1;
             self.metrics.stability_latency_sum_ns +=
                 u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
-            self.feed_released(occ, ctx);
+            batch.push(occ);
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.metrics.release_batches += 1;
+        if self.reportable.is_empty() {
+            let r = self.detector.feed_batch(batch);
+            self.absorb(r, ctx);
+        } else {
+            // Site-local composite arrivals are reported interleaved with
+            // the global graph's own detections, so keep the per-event
+            // feed order observable.
+            for occ in batch {
+                self.feed_released(occ, ctx);
+            }
         }
     }
 
@@ -153,25 +186,50 @@ impl CoordinatorNode {
         self.absorb(r, ctx);
     }
 
+    /// Buffer (or, under `Immediate`, directly feed) one reassembled
+    /// notification. The release key's third component is the per-site
+    /// arrival counter — identical for the `Event` and `Batch` transports.
+    fn accept_notification(
+        &mut self,
+        site: usize,
+        occ: Occurrence<CompositeTimestamp>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        self.metrics.events_received += 1;
+        match self.policy {
+            ReleasePolicy::Stable => {
+                let arrival = self.streams[site].arrivals;
+                self.streams[site].arrivals += 1;
+                let key: ReleaseKey = (occ.time.max_global(), site as u32, arrival);
+                self.buffer.insert(key, (occ, ctx.true_now()));
+                self.metrics.max_buffered = self.metrics.max_buffered.max(self.buffer.len());
+            }
+            ReleasePolicy::Immediate => {
+                self.metrics.events_released += 1;
+                self.feed_released(occ, ctx);
+            }
+        }
+    }
+
     fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.metrics.messages_processed += 1;
         match msg {
-            Msg::Event { seq, occ } => {
-                self.metrics.events_received += 1;
-                match self.policy {
-                    ReleasePolicy::Stable => {
-                        let key: ReleaseKey = (occ.time.max_global(), site as u32, seq);
-                        self.buffer.insert(key, (occ, ctx.true_now()));
-                        self.metrics.max_buffered =
-                            self.metrics.max_buffered.max(self.buffer.len());
-                    }
-                    ReleasePolicy::Immediate => {
-                        self.metrics.events_released += 1;
-                        self.feed_released(occ, ctx);
-                    }
-                }
+            Msg::Event { occ, .. } => {
+                self.accept_notification(site, occ, ctx);
             }
             Msg::Heartbeat { watermark, .. } => {
                 self.metrics.heartbeats_received += 1;
+                self.tracker.update(site, watermark);
+                self.release_stable(ctx);
+            }
+            Msg::Batch {
+                watermark, events, ..
+            } => {
+                self.metrics.batches_received += 1;
+                self.metrics.batch_size_max = self.metrics.batch_size_max.max(events.len());
+                for occ in events {
+                    self.accept_notification(site, occ, ctx);
+                }
                 self.tracker.update(site, watermark);
                 self.release_stable(ctx);
             }
@@ -183,7 +241,9 @@ impl CoordinatorNode {
 
     fn seq_of(msg: &Msg) -> Option<u64> {
         match msg {
-            Msg::Event { seq, .. } | Msg::Heartbeat { seq, .. } => Some(*seq),
+            Msg::Event { seq, .. } | Msg::Heartbeat { seq, .. } | Msg::Batch { seq, .. } => {
+                Some(*seq)
+            }
             _ => None,
         }
     }
@@ -231,7 +291,7 @@ impl Actor for CoordinatorNode {
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
-        let Some(timer_id) = self.timer_map.remove(&tag) else {
+        let Some((shard, timer_id)) = self.timer_map.remove(&tag) else {
             debug_assert!(false, "unknown coordinator timer tag {tag}");
             return;
         };
@@ -246,7 +306,7 @@ impl Actor for CoordinatorNode {
             parts.local,
         ));
         self.metrics.timer_fires += 1;
-        match self.detector.fire_timer(timer_id, ts) {
+        match self.detector.fire_timer(shard, timer_id, ts) {
             Ok(r) => self.absorb(r, ctx),
             Err(_) => debug_assert!(false, "detector rejected timer"),
         }
@@ -259,8 +319,8 @@ mod tests {
     use decs_core::cts;
     use decs_snoop::{Context, EventExpr, EventId};
 
-    fn detector() -> (Detector<CompositeTimestamp>, EventId) {
-        let mut d = Detector::new();
+    fn detector() -> (ShardedDetector<CompositeTimestamp>, EventId) {
+        let mut d = ShardedDetector::new();
         d.register("A").unwrap();
         d.register("B").unwrap();
         let x = d
@@ -304,6 +364,10 @@ mod tests {
 
     fn hb(seq: u64, w: u64) -> Msg {
         Msg::Heartbeat { seq, watermark: w }
+    }
+
+    fn occ(ty: u32, s: u32, g: u64, l: u64) -> Occurrence<CompositeTimestamp> {
+        Occurrence::bare(EventId(ty), cts(&[(s, g, l)]))
     }
 
     // NOTE: `inject` delivers with from == node, so we cannot use it to
@@ -352,6 +416,52 @@ mod tests {
         assert_eq!(c.metrics.events_received, 2);
         // Release order is canonical (by global tick): A then B → SEQ.
         assert_eq!(c.detections.len(), 1);
+    }
+
+    #[test]
+    fn batch_transport_matches_per_event_transport() {
+        // The same workload delivered as two batches instead of two events
+        // plus two heartbeats: identical release and detection.
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        sim.inject(
+            Nanos(10),
+            n,
+            Msg::Batch {
+                seq: 0,
+                watermark: 6,
+                events: vec![occ(0, 0, 5, 50), occ(1, 0, 6, 60)],
+            },
+        );
+        sim.run_to_completion();
+        {
+            let c = sim.node(n);
+            // Watermark 6 releases only g ≤ 4: both still buffered.
+            assert_eq!(c.buffered(), 2);
+            assert!(c.detections.is_empty());
+            assert_eq!(c.metrics.batches_received, 1);
+            assert_eq!(c.metrics.batch_size_max, 2);
+        }
+        // An empty batch is exactly a heartbeat.
+        sim.inject(
+            Nanos(20),
+            n,
+            Msg::Batch {
+                seq: 1,
+                watermark: 8,
+                events: vec![],
+            },
+        );
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.buffered(), 0);
+        assert_eq!(c.detections.len(), 1);
+        assert_eq!(c.metrics.events_received, 2);
+        assert_eq!(c.metrics.events_released, 2);
+        assert_eq!(c.metrics.release_batches, 1);
+        assert_eq!(c.metrics.messages_processed, 2);
+        assert_eq!(c.metrics.heartbeats_received, 0);
+        assert_eq!(c.metrics.shard_count, 1);
     }
 
     #[test]

@@ -22,6 +22,17 @@ pub struct Metrics {
     pub stability_latency_sum_ns: u128,
     /// Timer fires serviced for temporal operators.
     pub timer_fires: u64,
+    /// Protocol messages the coordinator processed in order (events,
+    /// heartbeats and batches — the per-message work of the hot path).
+    pub messages_processed: u64,
+    /// `Msg::Batch` messages received.
+    pub batches_received: u64,
+    /// Largest number of occurrences carried by a single batch.
+    pub batch_size_max: usize,
+    /// Watermark-bounded release rounds that fed at least one notification.
+    pub release_batches: u64,
+    /// Definition shards in the coordinator's event graph.
+    pub shard_count: usize,
 }
 
 impl Metrics {

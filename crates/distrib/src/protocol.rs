@@ -34,6 +34,21 @@ pub enum Msg {
         /// The site's current global tick.
         watermark: u64,
     },
+    /// Batched notification, site → coordinator: every occurrence the site
+    /// stamped during one batch interval plus the watermark at flush time,
+    /// in one message. Subsumes `Heartbeat` (an empty batch is exactly a
+    /// heartbeat) and `Event` (each element is processed as if it had
+    /// arrived individually, in order). One sequence number covers the
+    /// whole batch on the shared per-site stream.
+    Batch {
+        /// Per-site sequence number (shared stream).
+        seq: u64,
+        /// The site's global tick at flush time; every event the site will
+        /// ever send after this batch has global tick ≥ `watermark`.
+        watermark: u64,
+        /// The coalesced occurrences, in site send order.
+        events: Vec<Occurrence<CompositeTimestamp>>,
+    },
     /// Failure injection: the receiving site crashes — it stops
     /// heartbeating and drops future injections.
     Crash,
@@ -64,5 +79,11 @@ mod tests {
             watermark: 9,
         };
         assert!(format!("{h:?}").contains("watermark"));
+        let b = Msg::Batch {
+            seq: 5,
+            watermark: 9,
+            events: vec![Occurrence::bare(EventId(1), cts(&[(1, 8, 80)]))],
+        };
+        assert!(format!("{b:?}").contains("events"));
     }
 }

@@ -13,6 +13,7 @@ use decs_snoop::{Detector, EventId, FeedResult, Occurrence, TimerId};
 use std::collections::HashMap;
 
 const HEARTBEAT_TAG: u64 = 0;
+const BATCH_TAG: u64 = 1;
 /// Timer tags below this are reserved for site infrastructure; local
 /// detector timers are offset by it.
 const LOCAL_TIMER_BASE: u64 = 16;
@@ -59,6 +60,12 @@ impl std::fmt::Debug for LocalDetection {
 pub struct SiteNode {
     coordinator: NodeIdx,
     heartbeat_interval: Nanos,
+    /// Batch flush period; `Nanos::ZERO` disables batching (per-event
+    /// `Msg::Event` + periodic `Msg::Heartbeat` instead of `Msg::Batch`).
+    batch_interval: Nanos,
+    /// Occurrences coalesced since the last flush (batching mode only),
+    /// in send order.
+    pending: Vec<Occurrence<CompositeTimestamp>>,
     seq: u64,
     /// Events dropped because the site clock had not started yet.
     pub dropped_pre_epoch: u64,
@@ -76,12 +83,26 @@ impl SiteNode {
         SiteNode {
             coordinator,
             heartbeat_interval,
+            batch_interval: Nanos::ZERO,
+            pending: Vec::new(),
             seq: 0,
             dropped_pre_epoch: 0,
             crashed: false,
             local: None,
             local_detections: 0,
         }
+    }
+
+    /// Switch the site to batched notifications flushed every `interval`
+    /// (`Nanos::ZERO` keeps per-event mode). In batching mode every flush
+    /// carries the watermark, so separate heartbeats are suppressed.
+    pub fn with_batching(mut self, interval: Nanos) -> Self {
+        self.batch_interval = interval;
+        self
+    }
+
+    fn batching(&self) -> bool {
+        self.batch_interval.get() > 0
     }
 
     /// A site with a local detection graph.
@@ -104,8 +125,12 @@ impl SiteNode {
                 None => return, // synthetic internal node: never forwarded
             }
         }
-        let seq = self.next_seq();
-        ctx.send(self.coordinator, Msg::Event { seq, occ });
+        if self.batching() {
+            self.pending.push(occ);
+        } else {
+            let seq = self.next_seq();
+            ctx.send(self.coordinator, Msg::Event { seq, occ });
+        }
     }
 
     /// Absorb a local feed result: count + forward detections, schedule
@@ -147,6 +172,30 @@ impl SiteNode {
         }
         ctx.set_timer(self.heartbeat_interval, HEARTBEAT_TAG);
     }
+
+    /// Flush the pending batch: one `Msg::Batch` carrying every occurrence
+    /// coalesced since the previous flush plus the watermark at flush time.
+    /// An empty batch is still sent — it is exactly a heartbeat. A crashed
+    /// site neither flushes nor re-arms, so buffered occurrences die with
+    /// it (the coordinator must evict to make progress).
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.crashed {
+            return; // pending events are lost: the site is silent.
+        }
+        if let Ok(parts) = ctx.stamp() {
+            let seq = self.next_seq();
+            let events = std::mem::take(&mut self.pending);
+            ctx.send(
+                self.coordinator,
+                Msg::Batch {
+                    seq,
+                    watermark: parts.global.get(),
+                    events,
+                },
+            );
+        }
+        ctx.set_timer(self.batch_interval, BATCH_TAG);
+    }
 }
 
 impl Actor for SiteNode {
@@ -156,7 +205,11 @@ impl Actor for SiteNode {
         match msg {
             Msg::Start => {
                 debug_assert_eq!(from, ctx.me());
-                self.heartbeat(ctx);
+                if self.batching() {
+                    self.flush_batch(ctx);
+                } else {
+                    self.heartbeat(ctx);
+                }
             }
             Msg::Crash => {
                 self.crashed = true;
@@ -177,10 +230,8 @@ impl Actor for SiteNode {
                         // Run the local graph first (site-local composite
                         // detection), then forward the primitive and any
                         // local detections.
-                        let local_result = self
-                            .local
-                            .as_mut()
-                            .map(|l| l.detector.feed(occ.clone()));
+                        let local_result =
+                            self.local.as_mut().map(|l| l.detector.feed(occ.clone()));
                         self.forward(occ, ctx);
                         if let Some(r) = local_result {
                             self.absorb_local(r, ctx);
@@ -190,7 +241,7 @@ impl Actor for SiteNode {
                 }
             }
             // Sites do not receive protocol traffic in the star topology.
-            Msg::Event { .. } | Msg::Heartbeat { .. } | Msg::Evict { .. } => {
+            Msg::Event { .. } | Msg::Heartbeat { .. } | Msg::Batch { .. } | Msg::Evict { .. } => {
                 debug_assert!(false, "site received coordinator traffic");
             }
         }
@@ -199,6 +250,10 @@ impl Actor for SiteNode {
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
         if tag == HEARTBEAT_TAG {
             self.heartbeat(ctx);
+            return;
+        }
+        if tag == BATCH_TAG {
+            self.flush_batch(ctx);
             return;
         }
         // A local temporal operator fired: stamp with the site clock.
@@ -225,13 +280,14 @@ impl Actor for SiteNode {
 mod tests {
     use super::*;
     use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, TruncMode};
-    use decs_simnet::{LinkConfig, SiteTimeSource, Simulation};
+    use decs_simnet::{LinkConfig, Simulation, SiteTimeSource};
     use decs_snoop::EventId;
 
     #[derive(Debug, Default)]
     struct Collector {
         events: Vec<(u64, Occurrence<CompositeTimestamp>)>,
         heartbeats: Vec<(u64, u64)>,
+        batches: Vec<(u64, u64, Vec<Occurrence<CompositeTimestamp>>)>,
     }
 
     impl Actor for Collector {
@@ -241,6 +297,11 @@ mod tests {
             match msg {
                 Msg::Event { seq, occ } => self.events.push((seq, occ)),
                 Msg::Heartbeat { seq, watermark } => self.heartbeats.push((seq, watermark)),
+                Msg::Batch {
+                    seq,
+                    watermark,
+                    events,
+                } => self.batches.push((seq, watermark, events)),
                 _ => {}
             }
         }
@@ -339,6 +400,52 @@ mod tests {
         }
         // Watermarks are non-decreasing.
         let w: Vec<u64> = c.heartbeats.iter().map(|(_, w)| *w).collect();
+        assert!(w.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn batching_site_coalesces_events_and_suppresses_heartbeats() {
+        let coord = NodeIdx(1);
+        let nodes = vec![
+            (
+                Node::Site(
+                    SiteNode::new(coord, Nanos::from_millis(100))
+                        .with_batching(Nanos::from_millis(100)),
+                ),
+                source(0),
+            ),
+            (Node::Collector(Collector::default()), source(1)),
+        ];
+        let mut sim = Simulation::new(nodes, LinkConfig::instant(), 1);
+        sim.inject(Nanos::ZERO, NodeIdx(0), Msg::Start);
+        // Two injections inside one 100 ms batch window.
+        for dt in [0u64, 20_000_000] {
+            sim.inject(
+                Nanos(1_010_000_000 + dt),
+                NodeIdx(0),
+                Msg::Inject {
+                    ty: EventId(7),
+                    values: vec![],
+                },
+            );
+        }
+        sim.run_until(Nanos::from_secs(2));
+        let Node::Collector(c) = sim.node(coord) else {
+            panic!("collector expected")
+        };
+        // Batching mode: no Event or Heartbeat traffic at all.
+        assert!(c.events.is_empty());
+        assert!(c.heartbeats.is_empty());
+        // ~20 batches over 2 s at 100 ms; both events ride one batch.
+        assert!(c.batches.len() >= 19, "{}", c.batches.len());
+        let sizes: Vec<usize> = c.batches.iter().map(|(_, _, e)| e.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert!(sizes.contains(&2), "{sizes:?}");
+        // One seq per batch, strictly increasing; watermarks non-decreasing.
+        for (i, (seq, _, _)) in c.batches.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        let w: Vec<u64> = c.batches.iter().map(|(_, w, _)| *w).collect();
         assert!(w.windows(2).all(|p| p[0] <= p[1]));
     }
 

@@ -23,11 +23,7 @@ fn seq_engine(sites: u32, policy: ReleasePolicy) -> Engine {
             ..EngineConfig::default()
         },
         &["A", "B"],
-        &[(
-            "X",
-            E::seq(E::prim("A"), E::prim("B")),
-            Context::Chronicle,
-        )],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
     )
     .unwrap()
 }
@@ -85,6 +81,69 @@ fn immediate_policy_does_not_stall_but_is_timing_dependent() {
     // No stability wait: the detection happens despite the dead site…
     assert_eq!(det.len(), 1);
     // …and the buffer is never used.
+    assert_eq!(e.buffered(), 0);
+}
+
+fn batched_seq_engine(sites: u32, batch_ms: u64) -> Engine {
+    Engine::new(
+        &scenario(sites),
+        EngineConfig {
+            batch_interval: Nanos::from_millis(batch_ms),
+            ..EngineConfig::default()
+        },
+        &["A", "B"],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn crash_mid_batch_loses_pending_events_without_wedging() {
+    // 100 ms batch interval: flushes land at 0.0, 0.1, 0.2 … s. Site 1's B
+    // is injected at 2.055 s (buffered for the 2.1 s flush) and the site
+    // crashes at 2.07 s — before that flush — so B dies in the site's
+    // pending buffer and never reaches the coordinator. Had it been
+    // flushed, A (g=10) → B (g=20) would have detected X.
+    let mut e = batched_seq_engine(2, 100);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_millis(2_055), 1, "B", vec![]).unwrap();
+    e.crash_site(Nanos::from_millis(2_070), 1);
+    // A second A after the crash: its tick (25) can never stabilize
+    // against the dead site's stuck watermark (≈ 20), so it wedges the
+    // stability buffer until the operator evicts.
+    e.inject(Nanos::from_millis(2_500), 0, "A", vec![]).unwrap();
+    e.run_for(Nanos::from_secs(5));
+    // Both As arrived, B did not; the late A is stalled.
+    assert_eq!(e.metrics().events_received, 2);
+    assert_eq!(e.buffered(), 1);
+    // Eviction must drain the buffer cleanly — no detection (B was lost),
+    // but no wedged notification either.
+    e.evict_site(Nanos::from_secs(6), 1);
+    let det = e.run_for(Nanos::from_secs(3));
+    assert!(det.is_empty(), "a lost constituent must not detect");
+    assert_eq!(e.buffered(), 0, "eviction must not wedge the buffer");
+}
+
+#[test]
+fn evict_with_flushed_batches_buffered_preserves_them() {
+    // Site 1's B is injected at 2.05 s and flushed in the 2.1 s batch;
+    // the site crashes *after* that flush, at 2.15 s. Everything already
+    // flushed is buffered at the coordinator awaiting the dead site's
+    // watermark; evicting while those batch-delivered notifications sit
+    // in the stability buffer must release them and detect X.
+    let mut e = batched_seq_engine(2, 100);
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_millis(2_050), 1, "B", vec![]).unwrap();
+    e.crash_site(Nanos::from_millis(2_150), 1);
+    e.run_for(Nanos::from_secs(5));
+    // A (g=10) stabilized long before the crash; B (g=20) is stuck behind
+    // its own site's frozen watermark (≈ 21).
+    assert_eq!(e.metrics().events_received, 2);
+    assert_eq!(e.buffered(), 1, "stability must stall on the silent site");
+    e.evict_site(Nanos::from_secs(6), 1);
+    let det = e.run_for(Nanos::from_secs(3));
+    assert_eq!(det.len(), 1, "flushed-before-crash events must detect");
+    assert_eq!(det[0].name, "X");
     assert_eq!(e.buffered(), 0);
 }
 

@@ -108,10 +108,14 @@ fn concurrent_local_composites_do_not_form_a_global_sequence() {
     .unwrap();
     // Both round trips complete within the same global tick (100 ms):
     // their Max timestamps are concurrent → no cascade.
-    e.inject(Nanos::from_millis(1000), 0, "req", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1030), 0, "resp", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1010), 1, "req", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1040), 1, "resp", vec![]).unwrap();
+    e.inject(Nanos::from_millis(1000), 0, "req", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1030), 0, "resp", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1010), 1, "req", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1040), 1, "resp", vec![])
+        .unwrap();
     let det = e.run_for(Nanos::from_secs(4));
     assert_eq!(e.local_detections(0), 1);
     assert_eq!(e.local_detections(1), 1);
@@ -139,10 +143,14 @@ fn global_and_over_locals_carries_multi_member_timestamp() {
         )],
     )
     .unwrap();
-    e.inject(Nanos::from_millis(1000), 0, "req", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1030), 0, "resp", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1010), 1, "req", vec![]).unwrap();
-    e.inject(Nanos::from_millis(1040), 1, "resp", vec![]).unwrap();
+    e.inject(Nanos::from_millis(1000), 0, "req", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1030), 0, "resp", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1010), 1, "req", vec![])
+        .unwrap();
+    e.inject(Nanos::from_millis(1040), 1, "resp", vec![])
+        .unwrap();
     let det = e.run_for(Nanos::from_secs(4));
     let and_det: Vec<_> = det
         .iter()

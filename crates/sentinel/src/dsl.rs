@@ -178,10 +178,7 @@ impl<'a> Lexer<'a> {
                         && bytes[self.pos] == b'*'
                     {
                         self.pos += 1;
-                        out.push((
-                            start,
-                            if word == "A" { Tok::AStar } else { Tok::PStar },
-                        ));
+                        out.push((start, if word == "A" { Tok::AStar } else { Tok::PStar }));
                     } else {
                         out.push((start, Tok::Ident(word.to_owned())));
                     }
@@ -205,10 +202,7 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.toks
-            .get(self.idx)
-            .map(|(p, _)| *p)
-            .unwrap_or(self.len)
+        self.toks.get(self.idx).map(|(p, _)| *p).unwrap_or(self.len)
     }
 
     fn error(&self, msg: impl Into<String>) -> SentinelError {
@@ -444,15 +438,15 @@ impl Parser {
                     }
                     // `A(...)` / `P(...)` only when followed by '(' —
                     // otherwise they are plain event identifiers.
-                    "a" if word == "A" && self.toks.get(self.idx + 1).map(|(_, t)| t)
-                        == Some(&Tok::LParen) =>
+                    "a" if word == "A"
+                        && self.toks.get(self.idx + 1).map(|(_, t)| t) == Some(&Tok::LParen) =>
                     {
                         self.idx += 1;
                         let (a, b, c) = self.triple()?;
                         Ok(EventExpr::aperiodic(a, b, c))
                     }
-                    "p" if word == "P" && self.toks.get(self.idx + 1).map(|(_, t)| t)
-                        == Some(&Tok::LParen) =>
+                    "p" if word == "P"
+                        && self.toks.get(self.idx + 1).map(|(_, t)| t) == Some(&Tok::LParen) =>
                     {
                         self.idx += 1;
                         let (a, p, c) = self.periodic_args()?;
@@ -566,10 +560,7 @@ mod tests {
     #[test]
     fn any_expression() {
         let e = parse_expr("any(2; A, B, C)").unwrap();
-        assert_eq!(
-            e,
-            E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")])
-        );
+        assert_eq!(e, E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")]));
     }
 
     #[test]

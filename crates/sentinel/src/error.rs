@@ -79,8 +79,11 @@ mod tests {
     fn display_and_from() {
         let e: SentinelError = decs_snoop::SnoopError::ZeroPeriod.into();
         assert!(e.to_string().contains("event error"));
-        assert!(SentinelError::Parse { at: 3, msg: "x".into() }
-            .to_string()
-            .contains("byte 3"));
+        assert!(SentinelError::Parse {
+            at: 3,
+            msg: "x".into()
+        }
+        .to_string()
+        .contains("byte 3"));
     }
 }

@@ -137,8 +137,7 @@ impl RuleEngine {
     /// itself, then on every composite detection it produces.
     fn feed_and_dispatch(&mut self, event: &str, tick: u64, values: Vec<Value>) -> Result<()> {
         let ty = self.detector.catalog().lookup(event)?;
-        let primitive =
-            Occurrence::primitive(ty, decs_snoop::CentralTime(tick), values.clone());
+        let primitive = Occurrence::primitive(ty, decs_snoop::CentralTime(tick), values.clone());
         let detections = self.detector.feed(event, tick, values)?;
         self.dispatch_one(event.to_owned(), primitive);
         self.dispatch(detections);
@@ -258,11 +257,7 @@ impl RuleEngine {
         for ev in self.txns.drain_events() {
             self.clock += 1;
             let tick = self.clock;
-            self.feed_and_dispatch(
-                ev.op.event_name(),
-                tick,
-                vec![Value::Int(ev.txn.0 as i64)],
-            )?;
+            self.feed_and_dispatch(ev.op.event_name(), tick, vec![Value::Int(ev.txn.0 as i64)])?;
         }
         Ok(())
     }
@@ -336,8 +331,10 @@ mod tests {
         .unwrap();
         e.on("r", "spike", Condition::Always, "two updates");
         let row = e.insert("stock", vec!["IBM".into(), 100.0.into()]).unwrap();
-        e.update("stock", row, vec!["IBM".into(), 101.0.into()]).unwrap();
-        e.update("stock", row, vec!["IBM".into(), 102.0.into()]).unwrap();
+        e.update("stock", row, vec!["IBM".into(), 101.0.into()])
+            .unwrap();
+        e.update("stock", row, vec!["IBM".into(), 102.0.into()])
+            .unwrap();
         assert_eq!(e.log().len(), 1);
     }
 
@@ -346,8 +343,13 @@ mod tests {
         let mut e = RuleEngine::new();
         e.register_event("ping").unwrap();
         e.add_rule(
-            Rule::new("d", "ping", Condition::Always, Action::Log("deferred".into()))
-                .coupling(Coupling::Deferred),
+            Rule::new(
+                "d",
+                "ping",
+                Condition::Always,
+                Action::Log("deferred".into()),
+            )
+            .coupling(Coupling::Deferred),
         );
         let t = e.begin().unwrap();
         e.raise("ping", vec![]).unwrap();
@@ -375,7 +377,9 @@ mod tests {
         let mut e = RuleEngine::new();
         e.register_event("ping").unwrap();
         e.on("low", "ping", Condition::Always, "low");
-        e.add_rule(Rule::new("high", "ping", Condition::Always, Action::Log("hi".into())).priority(10));
+        e.add_rule(
+            Rule::new("high", "ping", Condition::Always, Action::Log("hi".into())).priority(10),
+        );
         e.raise("ping", vec![]).unwrap();
         assert_eq!(e.log()[0].rule, "high");
         assert_eq!(e.log()[1].rule, "low");

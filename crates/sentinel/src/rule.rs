@@ -57,7 +57,13 @@ impl Condition {
                 t.values
                     .get(*index)
                     .and_then(Value::as_float)
-                    .is_some_and(|v| if *above { v >= *threshold } else { v <= *threshold })
+                    .is_some_and(|v| {
+                        if *above {
+                            v >= *threshold
+                        } else {
+                            v <= *threshold
+                        }
+                    })
             }),
             Condition::MinTuples(n) => params.len() >= *n,
             Condition::Custom(f) => f(params),
@@ -73,7 +79,11 @@ impl fmt::Debug for Condition {
                 index,
                 threshold,
                 above,
-            } => write!(f, "Threshold(v[{index}] {} {threshold})", if *above { ">=" } else { "<=" }),
+            } => write!(
+                f,
+                "Threshold(v[{index}] {} {threshold})",
+                if *above { ">=" } else { "<=" }
+            ),
             Condition::MinTuples(n) => write!(f, "MinTuples({n})"),
             Condition::Custom(_) => f.write_str("Custom(..)"),
         }
@@ -203,7 +213,8 @@ mod tests {
     #[test]
     fn custom_condition() {
         let c = Condition::Custom(Box::new(|ps| {
-            ps.iter().any(|t| t.values.iter().any(|v| v.as_str() == Some("ALERT")))
+            ps.iter()
+                .any(|t| t.values.iter().any(|v| v.as_str() == Some("ALERT")))
         }));
         assert!(c.eval(&[tuple(vec!["ALERT".into()])]));
         assert!(!c.eval(&[tuple(vec!["ok".into()])]));

@@ -163,10 +163,7 @@ impl ObjectStore {
     /// Delete a row; emits a `_delete` event carrying the old values.
     pub fn delete(&mut self, table: &str, row: RowId) -> Result<()> {
         let t = self.get_mut(table)?;
-        let old = t
-            .rows
-            .remove(&row)
-            .ok_or(SentinelError::NoSuchRow(row.0))?;
+        let old = t.rows.remove(&row).ok_or(SentinelError::NoSuchRow(row.0))?;
         self.pending.push(StoreEvent {
             table: table.to_owned(),
             op: StoreOp::Delete,
@@ -258,7 +255,11 @@ mod tests {
         let mut s = store();
         assert!(matches!(
             s.insert("stock", vec!["IBM".into()]),
-            Err(SentinelError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(SentinelError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -267,7 +268,9 @@ mod tests {
         let mut s = store();
         assert!(s.insert("nope", vec![]).is_err());
         assert!(s.read("stock", RowId(0)).is_err());
-        assert!(s.update("stock", RowId(0), vec!["X".into(), 1.0.into()]).is_err());
+        assert!(s
+            .update("stock", RowId(0), vec!["X".into(), 1.0.into()])
+            .is_err());
         assert!(s.delete("stock", RowId(0)).is_err());
     }
 
@@ -275,8 +278,11 @@ mod tests {
     fn scan_in_id_order() {
         let mut s = store();
         for i in 0..5i64 {
-            s.insert("stock", vec![format!("S{i}").as_str().into(), Value::Int(i)])
-                .unwrap();
+            s.insert(
+                "stock",
+                vec![format!("S{i}").as_str().into(), Value::Int(i)],
+            )
+            .unwrap();
         }
         let ids: Vec<u64> = s.scan("stock").unwrap().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);

@@ -53,8 +53,12 @@ fn masked_sequence_filters_constituents() {
     let mut e = RuleEngine::new();
     e.register_event("tick").unwrap();
     // Two large ticks in sequence — small ticks invisible to the pattern.
-    e.define_event_dsl("surge", "tick{0 >= 100} ; tick{0 >= 100}", Context::Chronicle)
-        .unwrap();
+    e.define_event_dsl(
+        "surge",
+        "tick{0 >= 100} ; tick{0 >= 100}",
+        Context::Chronicle,
+    )
+    .unwrap();
     e.on("alert", "surge", Condition::Always, "two big ticks");
     e.raise("tick", vec![150i64.into()]).unwrap();
     e.raise("tick", vec![10i64.into()]).unwrap(); // filtered out
@@ -77,7 +81,12 @@ fn masked_event_in_not_guard() {
         Context::Chronicle,
     )
     .unwrap();
-    e.on("escalate", "unanswered", Condition::Always, "no admin response");
+    e.on(
+        "escalate",
+        "unanswered",
+        Condition::Always,
+        "no admin response",
+    );
     e.raise("request", vec![]).unwrap();
     e.raise("override", vec!["guest".into()]).unwrap(); // does not count
     e.raise("timeout", vec![]).unwrap();
@@ -94,7 +103,12 @@ fn masked_event_in_not_guard() {
         Context::Chronicle,
     )
     .unwrap();
-    e2.on("escalate", "unanswered", Condition::Always, "no admin response");
+    e2.on(
+        "escalate",
+        "unanswered",
+        Condition::Always,
+        "no admin response",
+    );
     e2.raise("request", vec![]).unwrap();
     e2.raise("override", vec!["admin".into()]).unwrap();
     e2.raise("timeout", vec![]).unwrap();

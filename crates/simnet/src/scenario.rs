@@ -11,8 +11,8 @@ use crate::link::LinkConfig;
 use crate::node::SiteTimeSource;
 use crate::rng::SplitMix64;
 use decs_chronos::{
-    ChronosError, ClockEnsemble, GlobalTimeBase, Granularity, LocalClock, Nanos, Precision,
-    SiteId, TruncMode,
+    ChronosError, ClockEnsemble, GlobalTimeBase, Granularity, LocalClock, Nanos, Precision, SiteId,
+    TruncMode,
 };
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +37,7 @@ impl ScenarioBuilder {
             // The paper's example: local clocks at 1/100 s.
             local_granularity: Granularity::per_second(100).expect("static"),
             gg: None,
-            max_drift_ppb: 20_000, // ±20 ppm
+            max_drift_ppb: 20_000,    // ±20 ppm
             max_offset_ns: 5_000_000, // ±5 ms initial offset
             link: LinkConfig::lan(),
         }
@@ -91,11 +91,7 @@ impl ScenarioBuilder {
         // Resync every simulated second with a residual equal to the
         // initial offset bound — a conservative model of an external sync
         // service.
-        let ensemble = ClockEnsemble::new(
-            clocks,
-            self.max_offset_ns as i64,
-            Nanos::from_secs(1),
-        );
+        let ensemble = ClockEnsemble::new(clocks, self.max_offset_ns as i64, Nanos::from_secs(1));
         let precision = ensemble.precision_bound();
         let gg = match self.gg {
             Some(g) => g,
@@ -202,8 +198,7 @@ mod tests {
         }
         let c = ScenarioBuilder::new(5, 100).build().unwrap();
         let same = (0..5).all(|i| {
-            a.ensemble.clock(i).unwrap().drift_ppb()
-                == c.ensemble.clock(i).unwrap().drift_ppb()
+            a.ensemble.clock(i).unwrap().drift_ppb() == c.ensemble.clock(i).unwrap().drift_ppb()
         });
         assert!(!same);
     }

@@ -20,9 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// Index of a node (site) within one simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeIdx(pub u32);
 
 impl fmt::Display for NodeIdx {
@@ -304,9 +302,7 @@ impl<A: Actor> Simulation<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use decs_chronos::{
-        GlobalTimeBase, Granularity, LocalClock, Precision, SiteId, TruncMode,
-    };
+    use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, SiteId, TruncMode};
 
     /// A ping-pong actor used to exercise the machinery.
     #[derive(Debug, Default)]
@@ -419,7 +415,13 @@ mod tests {
         let mut s = sim(1, false);
         // Kick the timer chain via an injected message? Timers are set by
         // actors; start one directly through the queue.
-        s.push(Nanos(5), Pending::Timer { node: NodeIdx(0), tag: 0 });
+        s.push(
+            Nanos(5),
+            Pending::Timer {
+                node: NodeIdx(0),
+                tag: 0,
+            },
+        );
         s.run_to_completion();
         assert_eq!(s.node(NodeIdx(0)).timer_fires, 3);
     }
@@ -427,7 +429,13 @@ mod tests {
     #[test]
     fn run_until_stops_at_horizon() {
         let mut s = sim(1, false);
-        s.push(Nanos(5), Pending::Timer { node: NodeIdx(0), tag: 0 });
+        s.push(
+            Nanos(5),
+            Pending::Timer {
+                node: NodeIdx(0),
+                tag: 0,
+            },
+        );
         // Each rearm is +100ns: fires at 5, 105, 205.
         s.run_until(Nanos(110));
         assert_eq!(s.node(NodeIdx(0)).timer_fires, 2);
@@ -454,7 +462,10 @@ mod tests {
         let mut s = sim(2, false);
         s.inject(Nanos::from_secs(5), NodeIdx(1), 0);
         s.run_to_completion();
-        let st = s.time_source(NodeIdx(1)).stamp(Nanos::from_secs(5)).unwrap();
+        let st = s
+            .time_source(NodeIdx(1))
+            .stamp(Nanos::from_secs(5))
+            .unwrap();
         assert_eq!(st.site, SiteId(1));
         assert_eq!(st.local.get(), 500);
     }

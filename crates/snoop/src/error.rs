@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SnoopError::UnknownEvent("X".into()).to_string().contains('X'));
-        assert!(SnoopError::InvalidAny { m: 3, n: 2 }.to_string().contains("ANY(3"));
+        assert!(SnoopError::UnknownEvent("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(SnoopError::InvalidAny { m: 3, n: 2 }
+            .to_string()
+            .contains("ANY(3"));
     }
 }

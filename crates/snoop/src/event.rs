@@ -23,9 +23,7 @@ fn fresh_uid() -> u64 {
 }
 
 /// Compact identifier of an event type within one catalog.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EventId(pub u32);
 
 impl fmt::Display for EventId {

@@ -209,8 +209,16 @@ impl EventExpr {
                 opener.validate()?;
                 closer.validate()
             }
-            EventExpr::Aperiodic { opener, mid, closer }
-            | EventExpr::AperiodicStar { opener, mid, closer } => {
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
+            }
+            | EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
                 opener.validate()?;
                 mid.validate()?;
                 closer.validate()
@@ -275,8 +283,16 @@ impl EventExpr {
                 opener.collect_names(out);
                 closer.collect_names(out);
             }
-            EventExpr::Aperiodic { opener, mid, closer }
-            | EventExpr::AperiodicStar { opener, mid, closer } => {
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
+            }
+            | EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
                 opener.collect_names(out);
                 mid.collect_names(out);
                 closer.collect_names(out);
@@ -308,17 +324,26 @@ impl EventExpr {
                 opener,
                 closer,
             } => 1 + guard.operator_count() + opener.operator_count() + closer.operator_count(),
-            EventExpr::Aperiodic { opener, mid, closer }
-            | EventExpr::AperiodicStar { opener, mid, closer } => {
-                1 + opener.operator_count() + mid.operator_count() + closer.operator_count()
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
             }
+            | EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => 1 + opener.operator_count() + mid.operator_count() + closer.operator_count(),
             EventExpr::Periodic { opener, closer, .. }
             | EventExpr::PeriodicStar { opener, closer, .. } => {
                 1 + opener.operator_count() + closer.operator_count()
             }
             EventExpr::Plus { base, .. } => 1 + base.operator_count(),
             EventExpr::Any { alternatives, .. } => {
-                1 + alternatives.iter().map(EventExpr::operator_count).sum::<usize>()
+                1 + alternatives
+                    .iter()
+                    .map(EventExpr::operator_count)
+                    .sum::<usize>()
             }
             EventExpr::Masked { base, .. } => 1 + base.operator_count(),
         }
@@ -337,10 +362,18 @@ impl fmt::Display for EventExpr {
                 opener,
                 closer,
             } => write!(f, "¬({guard})[{opener}, {closer}]"),
-            EventExpr::Aperiodic { opener, mid, closer } => {
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
+            } => {
                 write!(f, "A({opener}, {mid}, {closer})")
             }
-            EventExpr::AperiodicStar { opener, mid, closer } => {
+            EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
                 write!(f, "A*({opener}, {mid}, {closer})")
             }
             EventExpr::Periodic {
@@ -403,7 +436,10 @@ mod tests {
     #[test]
     fn validate_catches_bad_any() {
         let bad = EventExpr::any(3, vec![EventExpr::prim("A"), EventExpr::prim("B")]);
-        assert_eq!(bad.validate().unwrap_err(), SnoopError::InvalidAny { m: 3, n: 2 });
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            SnoopError::InvalidAny { m: 3, n: 2 }
+        );
         let bad0 = EventExpr::any(0, vec![EventExpr::prim("A")]);
         assert!(bad0.validate().is_err());
         let ok = EventExpr::any(1, vec![EventExpr::prim("A")]);

@@ -128,6 +128,14 @@ impl<T: EventTime> EventGraph<T> {
         self.nodes.len()
     }
 
+    /// The event types this graph has graph-level subscriptions for: the
+    /// primitive (and referenced named-composite) types that can make it
+    /// react. Feeding any other type is a no-op. Used by the sharded
+    /// detector to build its per-shard routing index.
+    pub fn subscribed_types(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.subs.keys().copied()
+    }
+
     /// Render the graph in Graphviz `dot` syntax: event-type sources as
     /// ellipses, operator nodes as boxes (double border for named
     /// composite events), edges labelled with the operand slot.
@@ -195,12 +203,7 @@ impl<T: EventTime> EventGraph<T> {
         Ok(emits)
     }
 
-    fn push_node(
-        &mut self,
-        op: Box<dyn OperatorNode<T>>,
-        emits: EventId,
-        named: bool,
-    ) -> NodeId {
+    fn push_node(&mut self, op: Box<dyn OperatorNode<T>>, emits: EventId, named: bool) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeEntry {
             op,
@@ -222,12 +225,7 @@ impl<T: EventTime> EventGraph<T> {
         catalog.intern(&format!("__node_{}", self.nodes.len()))
     }
 
-    fn build(
-        &mut self,
-        catalog: &mut Catalog,
-        expr: &EventExpr,
-        ctx: Context,
-    ) -> Result<Source> {
+    fn build(&mut self, catalog: &mut Catalog, expr: &EventExpr, ctx: Context) -> Result<Source> {
         Ok(match expr {
             EventExpr::Primitive(name) => Source::Event(catalog.lookup(name)?),
             EventExpr::And(a, b) => {
@@ -269,22 +267,26 @@ impl<T: EventTime> EventGraph<T> {
                 self.subscribe(sc, n, nodes::not::SLOT_CLOSER);
                 Source::Node(n)
             }
-            EventExpr::Aperiodic { opener, mid, closer } => {
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
+            } => {
                 let so = self.build(catalog, opener, ctx)?;
                 let sm = self.build(catalog, mid, ctx)?;
                 let sc = self.build(catalog, closer, ctx)?;
                 let emits = self.synthetic(catalog);
-                let n = self.push_node(
-                    Box::new(nodes::aperiodic::ANode::new(ctx)),
-                    emits,
-                    false,
-                );
+                let n = self.push_node(Box::new(nodes::aperiodic::ANode::new(ctx)), emits, false);
                 self.subscribe(so, n, nodes::aperiodic::SLOT_OPENER);
                 self.subscribe(sm, n, nodes::aperiodic::SLOT_MID);
                 self.subscribe(sc, n, nodes::aperiodic::SLOT_CLOSER);
                 Source::Node(n)
             }
-            EventExpr::AperiodicStar { opener, mid, closer } => {
+            EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
                 let so = self.build(catalog, opener, ctx)?;
                 let sm = self.build(catalog, mid, ctx)?;
                 let sc = self.build(catalog, closer, ctx)?;
@@ -307,11 +309,8 @@ impl<T: EventTime> EventGraph<T> {
                 let so = self.build(catalog, opener, ctx)?;
                 let sc = self.build(catalog, closer, ctx)?;
                 let emits = self.synthetic(catalog);
-                let n = self.push_node(
-                    Box::new(nodes::periodic::PNode::new(*period)),
-                    emits,
-                    false,
-                );
+                let n =
+                    self.push_node(Box::new(nodes::periodic::PNode::new(*period)), emits, false);
                 self.subscribe(so, n, nodes::periodic::SLOT_OPENER);
                 self.subscribe(sc, n, nodes::periodic::SLOT_CLOSER);
                 Source::Node(n)
@@ -336,11 +335,7 @@ impl<T: EventTime> EventGraph<T> {
             EventExpr::Plus { base, delta } => {
                 let sb = self.build(catalog, base, ctx)?;
                 let emits = self.synthetic(catalog);
-                let n = self.push_node(
-                    Box::new(nodes::plus::PlusNode::new(*delta)),
-                    emits,
-                    false,
-                );
+                let n = self.push_node(Box::new(nodes::plus::PlusNode::new(*delta)), emits, false);
                 self.subscribe(sb, n, 0);
                 Source::Node(n)
             }
@@ -508,7 +503,8 @@ mod tests {
     fn duplicate_name_rejected() {
         let (mut cat, mut g) = setup();
         let e = EventExpr::and(EventExpr::prim("A"), EventExpr::prim("B"));
-        g.compile(&mut cat, "AB", &e, Context::Unrestricted).unwrap();
+        g.compile(&mut cat, "AB", &e, Context::Unrestricted)
+            .unwrap();
         assert!(matches!(
             g.compile(&mut cat, "AB", &e, Context::Unrestricted),
             Err(SnoopError::DuplicateEvent(_))
@@ -541,8 +537,13 @@ mod tests {
     #[test]
     fn alias_of_primitive_forwards() {
         let (mut cat, mut g) = setup();
-        g.compile(&mut cat, "JustA", &EventExpr::prim("A"), Context::Unrestricted)
-            .unwrap();
+        g.compile(
+            &mut cat,
+            "JustA",
+            &EventExpr::prim("A"),
+            Context::Unrestricted,
+        )
+        .unwrap();
         let r = g.feed(occ(&cat, "A", 5));
         assert_eq!(r.detected.len(), 1);
         assert_eq!(cat.name(r.detected[0].ty), "JustA");

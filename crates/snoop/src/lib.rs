@@ -34,6 +34,7 @@ pub mod event;
 pub mod expr;
 pub mod graph;
 pub mod nodes;
+pub mod shard;
 pub mod time;
 
 pub use context::Context;
@@ -43,4 +44,5 @@ pub use event::{Catalog, EventId, Occurrence, ParamList, ParamTuple, Value};
 pub use expr::EventExpr;
 pub use graph::{EventGraph, FeedResult, NodeId, TimerId, TimerRequest};
 pub use nodes::mask::Mask;
+pub use shard::{ShardFeedResult, ShardId, ShardedDetector};
 pub use time::{CentralTime, EventTime};

@@ -87,7 +87,11 @@ mod tests {
     use crate::time::CentralTime;
 
     fn occ(slot: usize, t: u64) -> Occurrence<CentralTime> {
-        Occurrence::primitive(EventId(slot as u32), CentralTime(t), vec![(t as i64).into()])
+        Occurrence::primitive(
+            EventId(slot as u32),
+            CentralTime(t),
+            vec![(t as i64).into()],
+        )
     }
 
     fn run(

@@ -54,9 +54,7 @@ impl<T: EventTime> OperatorNode<T> for ANode<T> {
                         }
                     }
                     Context::Chronicle => {
-                        if let Some(op) =
-                            self.openers.iter().find(|op| op.time.before(t2))
-                        {
+                        if let Some(op) = self.openers.iter().find(|op| op.time.before(t2)) {
                             sink.emit_pair(op, occ);
                         }
                     }
@@ -196,7 +194,11 @@ mod tests {
     use crate::time::CentralTime;
 
     fn occ(slot: usize, t: u64) -> Occurrence<CentralTime> {
-        Occurrence::primitive(EventId(slot as u32), CentralTime(t), vec![(t as i64).into()])
+        Occurrence::primitive(
+            EventId(slot as u32),
+            CentralTime(t),
+            vec![(t as i64).into()],
+        )
     }
 
     fn run_a(ctx: Context, feeds: &[(usize, u64)]) -> Vec<Occurrence<CentralTime>> {

@@ -16,6 +16,7 @@
 
 use decs_core::{max_op, CompositeRelation, CompositeTimestamp};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt::Debug;
 
 /// The operations the Snoop operator semantics needs from a time domain.
@@ -26,6 +27,15 @@ pub trait EventTime: Clone + Debug + PartialEq + Send + Sync + 'static {
     /// The `Max` of two stamps: the occurrence time of a composite event
     /// whose latest constituents carry `self` and `other`.
     fn max(&self, other: &Self) -> Self;
+
+    /// An arbitrary-but-fixed *total* order over stamps, used only to merge
+    /// detections from independent graph shards into one canonical,
+    /// reproducible sequence. It must be consistent with equality, and for
+    /// totally ordered domains it must agree with [`EventTime::relation`];
+    /// for partially ordered domains (composite timestamps) incomparable
+    /// stamps are ordered by representation. It carries no temporal
+    /// meaning beyond that.
+    fn canonical_cmp(&self, other: &Self) -> Ordering;
 
     /// Strict happen-before.
     fn before(&self, other: &Self) -> bool {
@@ -79,6 +89,10 @@ impl EventTime for CentralTime {
     fn max(&self, other: &Self) -> Self {
         CentralTime(self.0.max(other.0))
     }
+
+    fn canonical_cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
 }
 
 impl EventTime for CompositeTimestamp {
@@ -88,6 +102,12 @@ impl EventTime for CompositeTimestamp {
 
     fn max(&self, other: &Self) -> Self {
         max_op(self, other)
+    }
+
+    fn canonical_cmp(&self, other: &Self) -> Ordering {
+        // Normalized member lists are sorted, so lexicographic comparison
+        // is a total order consistent with `PartialEq`.
+        self.members().cmp(other.members())
     }
 }
 
@@ -112,8 +132,14 @@ mod tests {
 
     #[test]
     fn central_time_max_and_plus() {
-        assert_eq!(EventTime::max(&CentralTime(3), &CentralTime(7)), CentralTime(7));
-        assert_eq!(EventTime::max(&CentralTime(9), &CentralTime(7)), CentralTime(9));
+        assert_eq!(
+            EventTime::max(&CentralTime(3), &CentralTime(7)),
+            CentralTime(7)
+        );
+        assert_eq!(
+            EventTime::max(&CentralTime(9), &CentralTime(7)),
+            CentralTime(9)
+        );
         assert_eq!(CentralTime(3).plus(4), CentralTime(7));
         assert_eq!(CentralTime(5).to_string(), "t5");
     }

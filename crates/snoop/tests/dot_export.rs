@@ -1,7 +1,7 @@
 //! Graphviz export of compiled detection graphs.
 
-use decs_snoop::{Catalog, Context, EventExpr as E, EventGraph};
 use decs_snoop::CentralTime;
+use decs_snoop::{Catalog, Context, EventExpr as E, EventGraph};
 
 #[test]
 fn dot_contains_nodes_edges_and_names() {

@@ -5,7 +5,7 @@
 //! *every* parameter context. These tables pin the semantics: any change
 //! to a node's state machine that alters a cell is caught here.
 
-use decs_snoop::{CentralDetector, Context, EventExpr as E, Occurrence, CentralTime};
+use decs_snoop::{CentralDetector, CentralTime, Context, EventExpr as E, Occurrence};
 
 /// Run `expr` (over primitives A, B, C) against a trace of (name, tick).
 fn run(expr: &E, ctx: Context, trace: &[(&str, u64)]) -> Vec<Occurrence<CentralTime>> {

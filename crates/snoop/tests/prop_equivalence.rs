@@ -20,8 +20,7 @@ fn expr_strategy() -> impl Strategy<Value = EventExpr> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::and(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::or(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::seq(a, b)),
             (inner.clone(), inner.clone(), inner.clone())

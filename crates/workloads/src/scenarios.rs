@@ -132,9 +132,7 @@ mod tests {
         assert!(t.iter().all(|i| i.event < names::STOCK.len()));
         assert!(t.iter().all(|i| i.values.len() == 2));
         // Prices stay positive.
-        assert!(t
-            .iter()
-            .all(|i| i.values[1].as_int().unwrap() >= 100));
+        assert!(t.iter().all(|i| i.values[1].as_int().unwrap() >= 100));
         assert_eq!(t, stock_trace(3, Nanos::from_millis(50), 1));
     }
 

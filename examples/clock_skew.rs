@@ -24,7 +24,10 @@ fn order_with_gg(gg_per_second: u64, gap_ms: u64) -> (String, usize) {
         .unwrap();
 
     // Stamp the two occurrences directly through the site time sources.
-    let a = scenario.time_source(0).stamp(Nanos::from_millis(1000)).unwrap();
+    let a = scenario
+        .time_source(0)
+        .stamp(Nanos::from_millis(1000))
+        .unwrap();
     let b = scenario
         .time_source(1)
         .stamp(Nanos::from_millis(1000 + gap_ms))
@@ -38,14 +41,12 @@ fn order_with_gg(gg_per_second: u64, gap_ms: u64) -> (String, usize) {
         &scenario,
         EngineConfig::default(),
         &["A", "B"],
-        &[(
-            "AB",
-            E::seq(E::prim("A"), E::prim("B")),
-            Context::Chronicle,
-        )],
+        &[("AB", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
     )
     .unwrap();
-    engine.inject(Nanos::from_millis(1000), 0, "A", vec![]).unwrap();
+    engine
+        .inject(Nanos::from_millis(1000), 0, "A", vec![])
+        .unwrap();
     engine
         .inject(Nanos::from_millis(1000 + gap_ms), 1, "B", vec![])
         .unwrap();

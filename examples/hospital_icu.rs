@@ -62,10 +62,13 @@ fn main() {
 
     // ── A shift unfolds ────────────────────────────────────────────────
     icu.raise("nurse_round", vec![]).unwrap();
-    icu.insert("vitals", vec!["bed-4".into(), 82i64.into()]).unwrap();
-    icu.insert("vitals", vec!["bed-4".into(), 126i64.into()]).unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 82i64.into()])
+        .unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 126i64.into()])
+        .unwrap();
     icu.raise("hr_high", vec!["bed-4".into()]).unwrap();
-    icu.insert("vitals", vec!["bed-4".into(), 131i64.into()]).unwrap();
+    icu.insert("vitals", vec!["bed-4".into(), 131i64.into()])
+        .unwrap();
     icu.raise("hr_high", vec!["bed-4".into()]).unwrap(); // no hr_normal between → tachy!
     icu.raise("alarm", vec!["bed-4".into()]).unwrap();
     // The nurse never acks; 30 ticks pass.

@@ -67,7 +67,12 @@ fn main() {
     println!("replaying {} security events from 4 sites", trace.len());
     for inj in &trace {
         engine
-            .inject(inj.at, inj.site, names::INTRUSION[inj.event], inj.values.clone())
+            .inject(
+                inj.at,
+                inj.site,
+                names::INTRUSION[inj.event],
+                inj.values.clone(),
+            )
             .unwrap();
     }
     let detections = engine.run_for(Nanos::from_secs(4));

@@ -29,11 +29,7 @@ fn main() {
     let mut engine = RuleEngine::new();
     engine.create_table("stock", &["symbol", "price"]).unwrap();
     engine
-        .define_event_dsl(
-            "spike",
-            "stock_update ; stock_update",
-            Context::Chronicle,
-        )
+        .define_event_dsl("spike", "stock_update ; stock_update", Context::Chronicle)
         .unwrap();
     engine.on(
         "alert",
@@ -55,7 +51,10 @@ fn main() {
         .update("stock", row, vec!["IBM".into(), 107.5.into()])
         .unwrap();
     for fired in engine.log() {
-        println!("centralized rule fired: {} → {:?}", fired.rule, fired.output);
+        println!(
+            "centralized rule fired: {} → {:?}",
+            fired.rule, fired.output
+        );
     }
     assert_eq!(engine.log().len(), 1);
 
@@ -85,8 +84,10 @@ fn main() {
     dist.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
     dist.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
     // …and a concurrent pair that must NOT count as a sequence:
-    dist.inject(Nanos::from_millis(3_000), 0, "A", vec![]).unwrap();
-    dist.inject(Nanos::from_millis(3_020), 1, "B", vec![]).unwrap();
+    dist.inject(Nanos::from_millis(3_000), 0, "A", vec![])
+        .unwrap();
+    dist.inject(Nanos::from_millis(3_020), 1, "B", vec![])
+        .unwrap();
     let detections = dist.run_for(Nanos::from_secs(5));
     for d in &detections {
         println!("distributed detection: {} @ {}", d.name, d.occ.time);

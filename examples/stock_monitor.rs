@@ -55,7 +55,12 @@ fn main() {
     println!("injecting {} market events", trace.len());
     for inj in &trace {
         engine
-            .inject(inj.at, inj.site, names::STOCK[inj.event], inj.values.clone())
+            .inject(
+                inj.at,
+                inj.site,
+                names::STOCK[inj.event],
+                inj.values.clone(),
+            )
             .unwrap();
     }
 

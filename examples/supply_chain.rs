@@ -45,15 +45,23 @@ fn main() {
     let s = Nanos::from_millis;
     engine.inject(s(1_000), 0, "pick", vec![]).unwrap();
     engine.inject(s(1_400), 0, "pack", vec![]).unwrap();
-    engine.inject(s(2_000), 0, "ship", vec![0i64.into(), 4i64.into()]).unwrap();
+    engine
+        .inject(s(2_000), 0, "ship", vec![0i64.into(), 4i64.into()])
+        .unwrap();
     // …temperature spikes in transit (site 1 sensor, 9 °C)…
-    engine.inject(s(3_000), 1, "temp", vec![7i64.into(), 9i64.into()]).unwrap();
+    engine
+        .inject(s(3_000), 1, "temp", vec![7i64.into(), 9i64.into()])
+        .unwrap();
     // …and a cool reading that must NOT trigger (3 °C)…
-    engine.inject(s(3_300), 1, "temp", vec![7i64.into(), 3i64.into()]).unwrap();
+    engine
+        .inject(s(3_300), 1, "temp", vec![7i64.into(), 3i64.into()])
+        .unwrap();
     // …warehouse 1 relays the parcel with its own full cycle…
     engine.inject(s(4_000), 1, "pick", vec![]).unwrap();
     engine.inject(s(4_300), 1, "pack", vec![]).unwrap();
-    engine.inject(s(5_000), 1, "ship", vec![1i64.into(), 5i64.into()]).unwrap();
+    engine
+        .inject(s(5_000), 1, "ship", vec![1i64.into(), 5i64.into()])
+        .unwrap();
     // …delivery confirmed at site 2.
     engine.inject(s(6_000), 2, "deliver", vec![]).unwrap();
 

@@ -72,7 +72,9 @@ fn network_permutation_invariance() {
     let spec = WorkloadSpec {
         sites: 4,
         duration: Nanos::from_secs(2),
-        arrivals: ArrivalModel::Poisson { mean_ns: 40_000_000 },
+        arrivals: ArrivalModel::Poisson {
+            mean_ns: 40_000_000,
+        },
         event_types: 2,
         seed: 3,
     };
@@ -83,11 +85,7 @@ fn network_permutation_invariance() {
             &scenario(4, engine_seed),
             EngineConfig::default(),
             &names,
-            &[(
-                "X",
-                E::and(E::prim("A"), E::prim("B")),
-                Context::Chronicle,
-            )],
+            &[("X", E::and(E::prim("A"), E::prim("B")), Context::Chronicle)],
         )
         .unwrap();
         for s in 0..4 {

@@ -1,7 +1,9 @@
 //! The paper's own examples, end-to-end through the public API.
 
 use decs::core::alt::{self, Candidate};
-use decs::core::{cts, classify_region, max_op, CompositeRelation, RawTimestampSet, Region, RegionMap};
+use decs::core::{
+    classify_region, cts, max_op, CompositeRelation, RawTimestampSet, Region, RegionMap,
+};
 use decs::core::{pts, PrimitiveTimestamp};
 use decs_chronos::{GlobalTimeBase, Granularity, LocalClock, Precision, TruncMode};
 
@@ -68,9 +70,7 @@ fn figure_2_regions() {
 /// Section 5.1's two restrictiveness examples.
 #[test]
 fn section_5_1_restrictiveness_examples() {
-    let raw = |t: &[(u32, u64, u64)]| {
-        RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)))
-    };
+    let raw = |t: &[(u32, u64, u64)]| RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)));
     // Example 1: <_p holds, ∀∀ (<_p2) does not.
     let t1 = raw(&[(1, 8, 80), (2, 7, 70)]);
     let t2 = raw(&[(3, 9, 90)]);
@@ -87,9 +87,7 @@ fn section_5_1_restrictiveness_examples() {
 /// universe.
 #[test]
 fn section_5_1_schwiderski_not_transitive() {
-    let raw = |t: &[(u32, u64, u64)]| {
-        RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)))
-    };
+    let raw = |t: &[(u32, u64, u64)]| RawTimestampSet::new(t.iter().map(|&(s, g, l)| pts(s, g, l)));
     let universe = vec![
         raw(&[(1, 0, 0), (2, 6, 60)]),
         raw(&[(3, 5, 50)]),
@@ -98,9 +96,7 @@ fn section_5_1_schwiderski_not_transitive() {
         raw(&[(2, 9, 90)]),
     ];
     assert!(alt::find_transitivity_violation(Candidate::Schwiderski, &universe).is_some());
-    assert!(
-        alt::find_transitivity_violation(Candidate::ForallExistsBack, &universe).is_none()
-    );
+    assert!(alt::find_transitivity_violation(Candidate::ForallExistsBack, &universe).is_none());
     assert!(alt::find_transitivity_violation(Candidate::ForallForall, &universe).is_none());
     assert!(alt::find_transitivity_violation(Candidate::MinAnchored, &universe).is_none());
 }
