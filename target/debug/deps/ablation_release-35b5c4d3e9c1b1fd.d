@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_release-35b5c4d3e9c1b1fd.d: crates/bench/src/bin/ablation_release.rs
+
+/root/repo/target/debug/deps/ablation_release-35b5c4d3e9c1b1fd: crates/bench/src/bin/ablation_release.rs
+
+crates/bench/src/bin/ablation_release.rs:

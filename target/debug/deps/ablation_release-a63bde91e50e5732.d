@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_release-a63bde91e50e5732.d: crates/bench/src/bin/ablation_release.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_release-a63bde91e50e5732.rmeta: crates/bench/src/bin/ablation_release.rs Cargo.toml
+
+crates/bench/src/bin/ablation_release.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

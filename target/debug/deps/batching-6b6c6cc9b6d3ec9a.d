@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batching-6b6c6cc9b6d3ec9a.d: crates/bench/benches/batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatching-6b6c6cc9b6d3ec9a.rmeta: crates/bench/benches/batching.rs Cargo.toml
+
+crates/bench/benches/batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

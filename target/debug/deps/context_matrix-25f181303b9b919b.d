@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context_matrix-25f181303b9b919b.d: crates/bench/src/bin/context_matrix.rs
+
+/root/repo/target/debug/deps/context_matrix-25f181303b9b919b: crates/bench/src/bin/context_matrix.rs
+
+crates/bench/src/bin/context_matrix.rs:

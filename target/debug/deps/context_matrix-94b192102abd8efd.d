@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_matrix-94b192102abd8efd.d: crates/bench/src/bin/context_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_matrix-94b192102abd8efd.rmeta: crates/bench/src/bin/context_matrix.rs Cargo.toml
+
+crates/bench/src/bin/context_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_matrix-d06ea0f772722123.d: crates/bench/src/bin/context_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_matrix-d06ea0f772722123.rmeta: crates/bench/src/bin/context_matrix.rs Cargo.toml
+
+crates/bench/src/bin/context_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7fb6a06abfac7acb.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7fb6a06abfac7acb.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-91a8d2ef83e18632.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-91a8d2ef83e18632.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-91a8d2ef83e18632.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decs-5e0a1d8ee3fbbb7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/decs-5e0a1d8ee3fbbb7f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decs-a361b497ff8d65cc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs-a361b497ff8d65cc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decs-bd1dbfcbfe9576c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdecs-bd1dbfcbfe9576c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdecs-bd1dbfcbfe9576c6.rmeta: src/lib.rs
+
+src/lib.rs:

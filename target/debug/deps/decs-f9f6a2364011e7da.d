@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decs-f9f6a2364011e7da.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs-f9f6a2364011e7da.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decs_bench-0f70f52cf67b47ca.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_bench-0f70f52cf67b47ca.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

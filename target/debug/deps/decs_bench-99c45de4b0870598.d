@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decs_bench-99c45de4b0870598.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_bench-99c45de4b0870598.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decs_bench-a1db6fbc70431a8d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/decs_bench-a1db6fbc70431a8d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decs_bench-c962063a6adcacad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdecs_bench-c962063a6adcacad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdecs_bench-c962063a6adcacad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/decs_chronos-82c31e4729ce6d0b.d: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_chronos-82c31e4729ce6d0b.rmeta: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs Cargo.toml
+
+crates/chronos/src/lib.rs:
+crates/chronos/src/calendar.rs:
+crates/chronos/src/clock.rs:
+crates/chronos/src/error.rs:
+crates/chronos/src/global.rs:
+crates/chronos/src/gran.rs:
+crates/chronos/src/precedence.rs:
+crates/chronos/src/sync.rs:
+crates/chronos/src/tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/decs_chronos-8bb8d556ce3049fc.d: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/debug/deps/libdecs_chronos-8bb8d556ce3049fc.rlib: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/debug/deps/libdecs_chronos-8bb8d556ce3049fc.rmeta: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+crates/chronos/src/lib.rs:
+crates/chronos/src/calendar.rs:
+crates/chronos/src/clock.rs:
+crates/chronos/src/error.rs:
+crates/chronos/src/global.rs:
+crates/chronos/src/gran.rs:
+crates/chronos/src/precedence.rs:
+crates/chronos/src/sync.rs:
+crates/chronos/src/tick.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/decs_chronos-b3bb65659be377e0.d: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/debug/deps/decs_chronos-b3bb65659be377e0: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+crates/chronos/src/lib.rs:
+crates/chronos/src/calendar.rs:
+crates/chronos/src/clock.rs:
+crates/chronos/src/error.rs:
+crates/chronos/src/global.rs:
+crates/chronos/src/gran.rs:
+crates/chronos/src/precedence.rs:
+crates/chronos/src/sync.rs:
+crates/chronos/src/tick.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/decs_core-ac2a3e7f8640a702.d: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+/root/repo/target/debug/deps/decs_core-ac2a3e7f8640a702: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alt.rs:
+crates/core/src/composite.rs:
+crates/core/src/error.rs:
+crates/core/src/interval.rs:
+crates/core/src/join.rs:
+crates/core/src/ordering.rs:
+crates/core/src/primitive.rs:
+crates/core/src/properties.rs:
+crates/core/src/region.rs:
+crates/core/src/relation.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/decs_core-ba49a00b987b3727.d: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_core-ba49a00b987b3727.rmeta: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alt.rs:
+crates/core/src/composite.rs:
+crates/core/src/error.rs:
+crates/core/src/interval.rs:
+crates/core/src/join.rs:
+crates/core/src/ordering.rs:
+crates/core/src/primitive.rs:
+crates/core/src/properties.rs:
+crates/core/src/region.rs:
+crates/core/src/relation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/decs_core-dd5757a6522bd1ef.d: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+/root/repo/target/debug/deps/libdecs_core-dd5757a6522bd1ef.rlib: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+/root/repo/target/debug/deps/libdecs_core-dd5757a6522bd1ef.rmeta: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alt.rs:
+crates/core/src/composite.rs:
+crates/core/src/error.rs:
+crates/core/src/interval.rs:
+crates/core/src/join.rs:
+crates/core/src/ordering.rs:
+crates/core/src/primitive.rs:
+crates/core/src/properties.rs:
+crates/core/src/region.rs:
+crates/core/src/relation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/decs_distrib-11e7e08ba4dfb994.d: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/debug/deps/libdecs_distrib-11e7e08ba4dfb994.rlib: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/debug/deps/libdecs_distrib-11e7e08ba4dfb994.rmeta: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+crates/distrib/src/lib.rs:
+crates/distrib/src/config.rs:
+crates/distrib/src/engine.rs:
+crates/distrib/src/global.rs:
+crates/distrib/src/metrics.rs:
+crates/distrib/src/protocol.rs:
+crates/distrib/src/site.rs:
+crates/distrib/src/watermark.rs:

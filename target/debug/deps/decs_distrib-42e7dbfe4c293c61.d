@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/decs_distrib-42e7dbfe4c293c61.d: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_distrib-42e7dbfe4c293c61.rmeta: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs Cargo.toml
+
+crates/distrib/src/lib.rs:
+crates/distrib/src/config.rs:
+crates/distrib/src/engine.rs:
+crates/distrib/src/global.rs:
+crates/distrib/src/metrics.rs:
+crates/distrib/src/protocol.rs:
+crates/distrib/src/site.rs:
+crates/distrib/src/watermark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

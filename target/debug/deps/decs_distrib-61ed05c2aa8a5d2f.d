@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decs_distrib-61ed05c2aa8a5d2f.d: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/debug/deps/decs_distrib-61ed05c2aa8a5d2f: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+crates/distrib/src/lib.rs:
+crates/distrib/src/config.rs:
+crates/distrib/src/engine.rs:
+crates/distrib/src/global.rs:
+crates/distrib/src/metrics.rs:
+crates/distrib/src/protocol.rs:
+crates/distrib/src/site.rs:
+crates/distrib/src/watermark.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/decs_sentinel-81a04a5edec151da.d: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_sentinel-81a04a5edec151da.rmeta: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs Cargo.toml
+
+crates/sentinel/src/lib.rs:
+crates/sentinel/src/dsl.rs:
+crates/sentinel/src/error.rs:
+crates/sentinel/src/manager.rs:
+crates/sentinel/src/rule.rs:
+crates/sentinel/src/store.rs:
+crates/sentinel/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

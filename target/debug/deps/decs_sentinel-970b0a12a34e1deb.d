@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/decs_sentinel-970b0a12a34e1deb.d: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/debug/deps/libdecs_sentinel-970b0a12a34e1deb.rlib: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/debug/deps/libdecs_sentinel-970b0a12a34e1deb.rmeta: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+crates/sentinel/src/lib.rs:
+crates/sentinel/src/dsl.rs:
+crates/sentinel/src/error.rs:
+crates/sentinel/src/manager.rs:
+crates/sentinel/src/rule.rs:
+crates/sentinel/src/store.rs:
+crates/sentinel/src/txn.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/decs_sentinel-b38ffbc92a7b2d08.d: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/debug/deps/decs_sentinel-b38ffbc92a7b2d08: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+crates/sentinel/src/lib.rs:
+crates/sentinel/src/dsl.rs:
+crates/sentinel/src/error.rs:
+crates/sentinel/src/manager.rs:
+crates/sentinel/src/rule.rs:
+crates/sentinel/src/store.rs:
+crates/sentinel/src/txn.rs:

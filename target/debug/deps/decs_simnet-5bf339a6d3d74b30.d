@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/decs_simnet-5bf339a6d3d74b30.d: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/decs_simnet-5bf339a6d3d74b30: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/scenario.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/decs_simnet-c7690ee72109d743.d: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libdecs_simnet-c7690ee72109d743.rlib: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libdecs_simnet-c7690ee72109d743.rmeta: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/scenario.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/trace.rs:

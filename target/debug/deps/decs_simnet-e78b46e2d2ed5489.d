@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/decs_simnet-e78b46e2d2ed5489.d: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_simnet-e78b46e2d2ed5489.rmeta: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/scenario.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/decs_snoop-01f474ac2d10632f.d: crates/snoop/src/lib.rs crates/snoop/src/context.rs crates/snoop/src/detector.rs crates/snoop/src/error.rs crates/snoop/src/event.rs crates/snoop/src/expr.rs crates/snoop/src/graph.rs crates/snoop/src/nodes/mod.rs crates/snoop/src/nodes/and.rs crates/snoop/src/nodes/any.rs crates/snoop/src/nodes/aperiodic.rs crates/snoop/src/nodes/mask.rs crates/snoop/src/nodes/not.rs crates/snoop/src/nodes/or.rs crates/snoop/src/nodes/periodic.rs crates/snoop/src/nodes/plus.rs crates/snoop/src/nodes/seq.rs crates/snoop/src/shard.rs crates/snoop/src/time.rs
+
+/root/repo/target/debug/deps/decs_snoop-01f474ac2d10632f: crates/snoop/src/lib.rs crates/snoop/src/context.rs crates/snoop/src/detector.rs crates/snoop/src/error.rs crates/snoop/src/event.rs crates/snoop/src/expr.rs crates/snoop/src/graph.rs crates/snoop/src/nodes/mod.rs crates/snoop/src/nodes/and.rs crates/snoop/src/nodes/any.rs crates/snoop/src/nodes/aperiodic.rs crates/snoop/src/nodes/mask.rs crates/snoop/src/nodes/not.rs crates/snoop/src/nodes/or.rs crates/snoop/src/nodes/periodic.rs crates/snoop/src/nodes/plus.rs crates/snoop/src/nodes/seq.rs crates/snoop/src/shard.rs crates/snoop/src/time.rs
+
+crates/snoop/src/lib.rs:
+crates/snoop/src/context.rs:
+crates/snoop/src/detector.rs:
+crates/snoop/src/error.rs:
+crates/snoop/src/event.rs:
+crates/snoop/src/expr.rs:
+crates/snoop/src/graph.rs:
+crates/snoop/src/nodes/mod.rs:
+crates/snoop/src/nodes/and.rs:
+crates/snoop/src/nodes/any.rs:
+crates/snoop/src/nodes/aperiodic.rs:
+crates/snoop/src/nodes/mask.rs:
+crates/snoop/src/nodes/not.rs:
+crates/snoop/src/nodes/or.rs:
+crates/snoop/src/nodes/periodic.rs:
+crates/snoop/src/nodes/plus.rs:
+crates/snoop/src/nodes/seq.rs:
+crates/snoop/src/shard.rs:
+crates/snoop/src/time.rs:

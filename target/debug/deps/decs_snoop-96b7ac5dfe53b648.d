@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/decs_snoop-96b7ac5dfe53b648.d: crates/snoop/src/lib.rs crates/snoop/src/context.rs crates/snoop/src/detector.rs crates/snoop/src/error.rs crates/snoop/src/event.rs crates/snoop/src/expr.rs crates/snoop/src/graph.rs crates/snoop/src/nodes/mod.rs crates/snoop/src/nodes/and.rs crates/snoop/src/nodes/any.rs crates/snoop/src/nodes/aperiodic.rs crates/snoop/src/nodes/mask.rs crates/snoop/src/nodes/not.rs crates/snoop/src/nodes/or.rs crates/snoop/src/nodes/periodic.rs crates/snoop/src/nodes/plus.rs crates/snoop/src/nodes/seq.rs crates/snoop/src/shard.rs crates/snoop/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_snoop-96b7ac5dfe53b648.rmeta: crates/snoop/src/lib.rs crates/snoop/src/context.rs crates/snoop/src/detector.rs crates/snoop/src/error.rs crates/snoop/src/event.rs crates/snoop/src/expr.rs crates/snoop/src/graph.rs crates/snoop/src/nodes/mod.rs crates/snoop/src/nodes/and.rs crates/snoop/src/nodes/any.rs crates/snoop/src/nodes/aperiodic.rs crates/snoop/src/nodes/mask.rs crates/snoop/src/nodes/not.rs crates/snoop/src/nodes/or.rs crates/snoop/src/nodes/periodic.rs crates/snoop/src/nodes/plus.rs crates/snoop/src/nodes/seq.rs crates/snoop/src/shard.rs crates/snoop/src/time.rs Cargo.toml
+
+crates/snoop/src/lib.rs:
+crates/snoop/src/context.rs:
+crates/snoop/src/detector.rs:
+crates/snoop/src/error.rs:
+crates/snoop/src/event.rs:
+crates/snoop/src/expr.rs:
+crates/snoop/src/graph.rs:
+crates/snoop/src/nodes/mod.rs:
+crates/snoop/src/nodes/and.rs:
+crates/snoop/src/nodes/any.rs:
+crates/snoop/src/nodes/aperiodic.rs:
+crates/snoop/src/nodes/mask.rs:
+crates/snoop/src/nodes/not.rs:
+crates/snoop/src/nodes/or.rs:
+crates/snoop/src/nodes/periodic.rs:
+crates/snoop/src/nodes/plus.rs:
+crates/snoop/src/nodes/seq.rs:
+crates/snoop/src/shard.rs:
+crates/snoop/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/decs_workloads-0a11160ec04a88f1.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecs_workloads-0a11160ec04a88f1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

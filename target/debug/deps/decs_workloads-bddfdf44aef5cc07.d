@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decs_workloads-bddfdf44aef5cc07.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/decs_workloads-bddfdf44aef5cc07: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/scenarios.rs:

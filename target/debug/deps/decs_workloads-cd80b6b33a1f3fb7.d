@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decs_workloads-cd80b6b33a1f3fb7.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/libdecs_workloads-cd80b6b33a1f3fb7.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/libdecs_workloads-cd80b6b33a1f3fb7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/scenarios.rs:

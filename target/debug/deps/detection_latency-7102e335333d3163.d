@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_latency-7102e335333d3163.d: crates/bench/src/bin/detection_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_latency-7102e335333d3163.rmeta: crates/bench/src/bin/detection_latency.rs Cargo.toml
+
+crates/bench/src/bin/detection_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

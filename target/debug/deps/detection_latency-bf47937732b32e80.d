@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection_latency-bf47937732b32e80.d: crates/bench/src/bin/detection_latency.rs
+
+/root/repo/target/debug/deps/detection_latency-bf47937732b32e80: crates/bench/src/bin/detection_latency.rs
+
+crates/bench/src/bin/detection_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection_latency-e25c88cb532ebfbf.d: crates/bench/src/bin/detection_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection_latency-e25c88cb532ebfbf.rmeta: crates/bench/src/bin/detection_latency.rs Cargo.toml
+
+crates/bench/src/bin/detection_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-29442a6b1b8a0e66.d: crates/bench/benches/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-29442a6b1b8a0e66.rmeta: crates/bench/benches/distributed.rs Cargo.toml
+
+crates/bench/benches/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_end_to_end-7b50aa31d63e40d0.d: tests/distributed_end_to_end.rs
+
+/root/repo/target/debug/deps/distributed_end_to_end-7b50aa31d63e40d0: tests/distributed_end_to_end.rs
+
+tests/distributed_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_end_to_end-ec3d590d1bc63f4f.d: tests/distributed_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_end_to_end-ec3d590d1bc63f4f.rmeta: tests/distributed_end_to_end.rs Cargo.toml
+
+tests/distributed_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dot_export-49b23208cddba5d3.d: crates/snoop/tests/dot_export.rs
+
+/root/repo/target/debug/deps/dot_export-49b23208cddba5d3: crates/snoop/tests/dot_export.rs
+
+crates/snoop/tests/dot_export.rs:

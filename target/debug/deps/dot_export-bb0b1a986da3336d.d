@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dot_export-bb0b1a986da3336d.d: crates/snoop/tests/dot_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdot_export-bb0b1a986da3336d.rmeta: crates/snoop/tests/dot_export.rs Cargo.toml
+
+crates/snoop/tests/dot_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

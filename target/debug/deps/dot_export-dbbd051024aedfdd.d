@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dot_export-dbbd051024aedfdd.d: crates/snoop/tests/dot_export.rs
+
+/root/repo/target/debug/deps/dot_export-dbbd051024aedfdd: crates/snoop/tests/dot_export.rs
+
+crates/snoop/tests/dot_export.rs:

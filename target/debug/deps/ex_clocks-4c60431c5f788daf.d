@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ex_clocks-4c60431c5f788daf.d: crates/bench/src/bin/ex_clocks.rs
+
+/root/repo/target/debug/deps/ex_clocks-4c60431c5f788daf: crates/bench/src/bin/ex_clocks.rs
+
+crates/bench/src/bin/ex_clocks.rs:

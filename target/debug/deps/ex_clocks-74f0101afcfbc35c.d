@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex_clocks-74f0101afcfbc35c.d: crates/bench/src/bin/ex_clocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex_clocks-74f0101afcfbc35c.rmeta: crates/bench/src/bin/ex_clocks.rs Cargo.toml
+
+crates/bench/src/bin/ex_clocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

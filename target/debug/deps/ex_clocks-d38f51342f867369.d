@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex_clocks-d38f51342f867369.d: crates/bench/src/bin/ex_clocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex_clocks-d38f51342f867369.rmeta: crates/bench/src/bin/ex_clocks.rs Cargo.toml
+
+crates/bench/src/bin/ex_clocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex_orderings-20041f41e32da862.d: crates/bench/src/bin/ex_orderings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex_orderings-20041f41e32da862.rmeta: crates/bench/src/bin/ex_orderings.rs Cargo.toml
+
+crates/bench/src/bin/ex_orderings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

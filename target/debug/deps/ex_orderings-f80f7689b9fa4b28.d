@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ex_orderings-f80f7689b9fa4b28.d: crates/bench/src/bin/ex_orderings.rs
+
+/root/repo/target/debug/deps/ex_orderings-f80f7689b9fa4b28: crates/bench/src/bin/ex_orderings.rs
+
+crates/bench/src/bin/ex_orderings.rs:

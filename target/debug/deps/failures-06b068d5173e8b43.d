@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-06b068d5173e8b43.d: crates/distrib/tests/failures.rs
+
+/root/repo/target/debug/deps/failures-06b068d5173e8b43: crates/distrib/tests/failures.rs
+
+crates/distrib/tests/failures.rs:

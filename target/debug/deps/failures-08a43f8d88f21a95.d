@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-08a43f8d88f21a95.d: crates/distrib/tests/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-08a43f8d88f21a95.rmeta: crates/distrib/tests/failures.rs Cargo.toml
+
+crates/distrib/tests/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

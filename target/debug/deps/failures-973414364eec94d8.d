@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-973414364eec94d8.d: crates/distrib/tests/failures.rs
+
+/root/repo/target/debug/deps/failures-973414364eec94d8: crates/distrib/tests/failures.rs
+
+crates/distrib/tests/failures.rs:

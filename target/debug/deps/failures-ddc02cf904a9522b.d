@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-ddc02cf904a9522b.d: crates/distrib/tests/failures.rs
+
+/root/repo/target/debug/deps/failures-ddc02cf904a9522b: crates/distrib/tests/failures.rs
+
+crates/distrib/tests/failures.rs:

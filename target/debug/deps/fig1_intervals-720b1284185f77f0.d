@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_intervals-720b1284185f77f0.d: crates/bench/src/bin/fig1_intervals.rs
+
+/root/repo/target/debug/deps/fig1_intervals-720b1284185f77f0: crates/bench/src/bin/fig1_intervals.rs
+
+crates/bench/src/bin/fig1_intervals.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_intervals-7f41d1d0ca91b53e.d: crates/bench/src/bin/fig1_intervals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_intervals-7f41d1d0ca91b53e.rmeta: crates/bench/src/bin/fig1_intervals.rs Cargo.toml
+
+crates/bench/src/bin/fig1_intervals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

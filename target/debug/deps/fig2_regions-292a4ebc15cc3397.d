@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_regions-292a4ebc15cc3397.d: crates/bench/src/bin/fig2_regions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_regions-292a4ebc15cc3397.rmeta: crates/bench/src/bin/fig2_regions.rs Cargo.toml
+
+crates/bench/src/bin/fig2_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

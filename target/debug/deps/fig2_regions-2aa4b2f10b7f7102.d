@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_regions-2aa4b2f10b7f7102.d: crates/bench/src/bin/fig2_regions.rs
+
+/root/repo/target/debug/deps/fig2_regions-2aa4b2f10b7f7102: crates/bench/src/bin/fig2_regions.rs
+
+crates/bench/src/bin/fig2_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_detection-6ac3156f51a48d15.d: crates/distrib/tests/local_detection.rs
+
+/root/repo/target/debug/deps/local_detection-6ac3156f51a48d15: crates/distrib/tests/local_detection.rs
+
+crates/distrib/tests/local_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/local_detection-a7bde2eace05c435.d: crates/distrib/tests/local_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_detection-a7bde2eace05c435.rmeta: crates/distrib/tests/local_detection.rs Cargo.toml
+
+crates/distrib/tests/local_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_detection-d7b9308c73861768.d: crates/distrib/tests/local_detection.rs
+
+/root/repo/target/debug/deps/local_detection-d7b9308c73861768: crates/distrib/tests/local_detection.rs
+
+crates/distrib/tests/local_detection.rs:

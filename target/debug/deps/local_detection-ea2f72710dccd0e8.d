@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_detection-ea2f72710dccd0e8.d: crates/distrib/tests/local_detection.rs
+
+/root/repo/target/debug/deps/local_detection-ea2f72710dccd0e8: crates/distrib/tests/local_detection.rs
+
+crates/distrib/tests/local_detection.rs:

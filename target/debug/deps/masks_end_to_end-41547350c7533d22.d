@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/masks_end_to_end-41547350c7533d22.d: crates/sentinel/tests/masks_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmasks_end_to_end-41547350c7533d22.rmeta: crates/sentinel/tests/masks_end_to_end.rs Cargo.toml
+
+crates/sentinel/tests/masks_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/masks_end_to_end-ab88a8937dbaa469.d: crates/sentinel/tests/masks_end_to_end.rs
+
+/root/repo/target/debug/deps/masks_end_to_end-ab88a8937dbaa469: crates/sentinel/tests/masks_end_to_end.rs
+
+crates/sentinel/tests/masks_end_to_end.rs:

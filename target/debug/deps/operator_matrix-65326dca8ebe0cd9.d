@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_matrix-65326dca8ebe0cd9.d: crates/snoop/tests/operator_matrix.rs
+
+/root/repo/target/debug/deps/operator_matrix-65326dca8ebe0cd9: crates/snoop/tests/operator_matrix.rs
+
+crates/snoop/tests/operator_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operator_matrix-928ffacb7567fc44.d: crates/snoop/tests/operator_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperator_matrix-928ffacb7567fc44.rmeta: crates/snoop/tests/operator_matrix.rs Cargo.toml
+
+crates/snoop/tests/operator_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

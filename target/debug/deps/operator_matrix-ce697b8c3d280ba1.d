@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_matrix-ce697b8c3d280ba1.d: crates/snoop/tests/operator_matrix.rs
+
+/root/repo/target/debug/deps/operator_matrix-ce697b8c3d280ba1: crates/snoop/tests/operator_matrix.rs
+
+crates/snoop/tests/operator_matrix.rs:

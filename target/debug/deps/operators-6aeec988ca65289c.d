@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operators-6aeec988ca65289c.d: crates/bench/benches/operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperators-6aeec988ca65289c.rmeta: crates/bench/benches/operators.rs Cargo.toml
+
+crates/bench/benches/operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

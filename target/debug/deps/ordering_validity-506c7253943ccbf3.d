@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering_validity-506c7253943ccbf3.d: crates/bench/src/bin/ordering_validity.rs
+
+/root/repo/target/debug/deps/ordering_validity-506c7253943ccbf3: crates/bench/src/bin/ordering_validity.rs
+
+crates/bench/src/bin/ordering_validity.rs:

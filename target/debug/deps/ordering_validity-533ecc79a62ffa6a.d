@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering_validity-533ecc79a62ffa6a.d: crates/bench/src/bin/ordering_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering_validity-533ecc79a62ffa6a.rmeta: crates/bench/src/bin/ordering_validity.rs Cargo.toml
+
+crates/bench/src/bin/ordering_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering_validity-83cd071b2cc5a2eb.d: crates/bench/src/bin/ordering_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering_validity-83cd071b2cc5a2eb.rmeta: crates/bench/src/bin/ordering_validity.rs Cargo.toml
+
+crates/bench/src/bin/ordering_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-60b03ee4951bd8cc.d: tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-60b03ee4951bd8cc.rmeta: tests/paper_examples.rs Cargo.toml
+
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

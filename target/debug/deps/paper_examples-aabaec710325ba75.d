@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-aabaec710325ba75.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-aabaec710325ba75: tests/paper_examples.rs
+
+tests/paper_examples.rs:

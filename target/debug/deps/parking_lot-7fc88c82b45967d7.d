@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7fc88c82b45967d7.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7fc88c82b45967d7.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

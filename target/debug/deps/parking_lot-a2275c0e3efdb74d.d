@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-a2275c0e3efdb74d.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a2275c0e3efdb74d.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a2275c0e3efdb74d.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

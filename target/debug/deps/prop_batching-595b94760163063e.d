@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_batching-595b94760163063e.d: tests/prop_batching.rs
+
+/root/repo/target/debug/deps/prop_batching-595b94760163063e: tests/prop_batching.rs
+
+tests/prop_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_batching-ffaa210d64a48bb6.d: tests/prop_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_batching-ffaa210d64a48bb6.rmeta: tests/prop_batching.rs Cargo.toml
+
+tests/prop_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_chronos-3b83ad8392deebc0.d: crates/chronos/tests/prop_chronos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_chronos-3b83ad8392deebc0.rmeta: crates/chronos/tests/prop_chronos.rs Cargo.toml
+
+crates/chronos/tests/prop_chronos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_chronos-45bf211390e4fec0.d: crates/chronos/tests/prop_chronos.rs
+
+/root/repo/target/debug/deps/prop_chronos-45bf211390e4fec0: crates/chronos/tests/prop_chronos.rs
+
+crates/chronos/tests/prop_chronos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_composite-84246bd8436f499c.d: crates/core/tests/prop_composite.rs
+
+/root/repo/target/debug/deps/prop_composite-84246bd8436f499c: crates/core/tests/prop_composite.rs
+
+crates/core/tests/prop_composite.rs:

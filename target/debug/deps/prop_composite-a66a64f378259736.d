@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_composite-a66a64f378259736.d: crates/core/tests/prop_composite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_composite-a66a64f378259736.rmeta: crates/core/tests/prop_composite.rs Cargo.toml
+
+crates/core/tests/prop_composite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_distributed-0d57b1c7e5423f02.d: tests/prop_distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_distributed-0d57b1c7e5423f02.rmeta: tests/prop_distributed.rs Cargo.toml
+
+tests/prop_distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_distributed-b7ea9d4f0bc23633.d: tests/prop_distributed.rs
+
+/root/repo/target/debug/deps/prop_distributed-b7ea9d4f0bc23633: tests/prop_distributed.rs
+
+tests/prop_distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-3e0cc64eb19f73f0.d: crates/snoop/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-3e0cc64eb19f73f0: crates/snoop/tests/prop_equivalence.rs
+
+crates/snoop/tests/prop_equivalence.rs:

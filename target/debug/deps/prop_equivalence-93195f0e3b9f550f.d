@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_equivalence-93195f0e3b9f550f.d: crates/snoop/tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_equivalence-93195f0e3b9f550f.rmeta: crates/snoop/tests/prop_equivalence.rs Cargo.toml
+
+crates/snoop/tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-d4853c98dae3e0f4.d: crates/snoop/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-d4853c98dae3e0f4: crates/snoop/tests/prop_equivalence.rs
+
+crates/snoop/tests/prop_equivalence.rs:

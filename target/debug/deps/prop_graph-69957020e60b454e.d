@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_graph-69957020e60b454e.d: crates/snoop/tests/prop_graph.rs
+
+/root/repo/target/debug/deps/prop_graph-69957020e60b454e: crates/snoop/tests/prop_graph.rs
+
+crates/snoop/tests/prop_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_graph-a249529b6d9f602e.d: crates/snoop/tests/prop_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_graph-a249529b6d9f602e.rmeta: crates/snoop/tests/prop_graph.rs Cargo.toml
+
+crates/snoop/tests/prop_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

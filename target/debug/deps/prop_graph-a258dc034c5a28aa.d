@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_graph-a258dc034c5a28aa.d: crates/snoop/tests/prop_graph.rs
+
+/root/repo/target/debug/deps/prop_graph-a258dc034c5a28aa: crates/snoop/tests/prop_graph.rs
+
+crates/snoop/tests/prop_graph.rs:

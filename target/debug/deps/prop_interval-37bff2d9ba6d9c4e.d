@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_interval-37bff2d9ba6d9c4e.d: crates/core/tests/prop_interval.rs
+
+/root/repo/target/debug/deps/prop_interval-37bff2d9ba6d9c4e: crates/core/tests/prop_interval.rs
+
+crates/core/tests/prop_interval.rs:

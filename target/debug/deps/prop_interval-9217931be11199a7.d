@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_interval-9217931be11199a7.d: crates/core/tests/prop_interval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_interval-9217931be11199a7.rmeta: crates/core/tests/prop_interval.rs Cargo.toml
+
+crates/core/tests/prop_interval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_primitive-8bf2cdde20f61a0d.d: crates/core/tests/prop_primitive.rs
+
+/root/repo/target/debug/deps/prop_primitive-8bf2cdde20f61a0d: crates/core/tests/prop_primitive.rs
+
+crates/core/tests/prop_primitive.rs:

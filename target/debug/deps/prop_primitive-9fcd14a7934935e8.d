@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_primitive-9fcd14a7934935e8.d: crates/core/tests/prop_primitive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_primitive-9fcd14a7934935e8.rmeta: crates/core/tests/prop_primitive.rs Cargo.toml
+
+crates/core/tests/prop_primitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_simnet-27a67c737faf9a83.d: crates/simnet/tests/prop_simnet.rs
+
+/root/repo/target/debug/deps/prop_simnet-27a67c737faf9a83: crates/simnet/tests/prop_simnet.rs
+
+crates/simnet/tests/prop_simnet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_simnet-5c35c134f2ab0815.d: crates/simnet/tests/prop_simnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_simnet-5c35c134f2ab0815.rmeta: crates/simnet/tests/prop_simnet.rs Cargo.toml
+
+crates/simnet/tests/prop_simnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

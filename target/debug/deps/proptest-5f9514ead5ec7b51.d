@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5f9514ead5ec7b51.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5f9514ead5ec7b51.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

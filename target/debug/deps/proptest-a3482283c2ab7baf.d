@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a3482283c2ab7baf.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a3482283c2ab7baf.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a3482283c2ab7baf.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0aee09140a775797.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0aee09140a775797.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5bf1490cdfb8ccfa.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5bf1490cdfb8ccfa.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5bf1490cdfb8ccfa.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restrictiveness-31becbdd110b6949.d: crates/bench/src/bin/restrictiveness.rs
+
+/root/repo/target/debug/deps/restrictiveness-31becbdd110b6949: crates/bench/src/bin/restrictiveness.rs
+
+crates/bench/src/bin/restrictiveness.rs:

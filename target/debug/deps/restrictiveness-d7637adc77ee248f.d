@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restrictiveness-d7637adc77ee248f.d: crates/bench/src/bin/restrictiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestrictiveness-d7637adc77ee248f.rmeta: crates/bench/src/bin/restrictiveness.rs Cargo.toml
+
+crates/bench/src/bin/restrictiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restrictiveness-dc99a7d030ab8546.d: crates/bench/src/bin/restrictiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestrictiveness-dc99a7d030ab8546.rmeta: crates/bench/src/bin/restrictiveness.rs Cargo.toml
+
+crates/bench/src/bin/restrictiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

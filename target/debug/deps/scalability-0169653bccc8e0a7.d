@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-0169653bccc8e0a7.d: crates/bench/src/bin/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-0169653bccc8e0a7.rmeta: crates/bench/src/bin/scalability.rs Cargo.toml
+
+crates/bench/src/bin/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

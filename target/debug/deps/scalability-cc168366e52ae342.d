@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-cc168366e52ae342.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-cc168366e52ae342: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e373d27d0a10bbf8.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e373d27d0a10bbf8.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fbb597294ce7046c.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fbb597294ce7046c.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fbb597294ce7046c.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timestamps-74ecdf3c32b4cc5e.d: crates/bench/benches/timestamps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimestamps-74ecdf3c32b4cc5e.rmeta: crates/bench/benches/timestamps.rs Cargo.toml
+
+crates/bench/benches/timestamps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

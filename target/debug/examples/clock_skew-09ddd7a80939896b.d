@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clock_skew-09ddd7a80939896b.d: examples/clock_skew.rs
+
+/root/repo/target/debug/examples/clock_skew-09ddd7a80939896b: examples/clock_skew.rs
+
+examples/clock_skew.rs:

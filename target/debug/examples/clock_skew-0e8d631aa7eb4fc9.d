@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clock_skew-0e8d631aa7eb4fc9.d: examples/clock_skew.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclock_skew-0e8d631aa7eb4fc9.rmeta: examples/clock_skew.rs Cargo.toml
+
+examples/clock_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_icu-0eeb752a2d6a0546.d: examples/hospital_icu.rs
+
+/root/repo/target/debug/examples/hospital_icu-0eeb752a2d6a0546: examples/hospital_icu.rs
+
+examples/hospital_icu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hospital_icu-22a47e68cde28c1a.d: examples/hospital_icu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhospital_icu-22a47e68cde28c1a.rmeta: examples/hospital_icu.rs Cargo.toml
+
+examples/hospital_icu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detection-8b4251ef5c4f0d94.d: examples/intrusion_detection.rs
+
+/root/repo/target/debug/examples/intrusion_detection-8b4251ef5c4f0d94: examples/intrusion_detection.rs
+
+examples/intrusion_detection.rs:

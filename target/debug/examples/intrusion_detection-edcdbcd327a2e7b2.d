@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detection-edcdbcd327a2e7b2.d: examples/intrusion_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detection-edcdbcd327a2e7b2.rmeta: examples/intrusion_detection.rs Cargo.toml
+
+examples/intrusion_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0276458af868b2ad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0276458af868b2ad: examples/quickstart.rs
+
+examples/quickstart.rs:

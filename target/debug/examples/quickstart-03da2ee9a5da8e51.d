@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-03da2ee9a5da8e51.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-03da2ee9a5da8e51.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stock_monitor-3f5dec359e1a71de.d: examples/stock_monitor.rs
+
+/root/repo/target/debug/examples/stock_monitor-3f5dec359e1a71de: examples/stock_monitor.rs
+
+examples/stock_monitor.rs:

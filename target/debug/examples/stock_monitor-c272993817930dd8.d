@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stock_monitor-c272993817930dd8.d: examples/stock_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstock_monitor-c272993817930dd8.rmeta: examples/stock_monitor.rs Cargo.toml
+
+examples/stock_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

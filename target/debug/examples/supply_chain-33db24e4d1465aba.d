@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain-33db24e4d1465aba.d: examples/supply_chain.rs
+
+/root/repo/target/debug/examples/supply_chain-33db24e4d1465aba: examples/supply_chain.rs
+
+examples/supply_chain.rs:

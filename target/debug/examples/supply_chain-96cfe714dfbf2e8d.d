@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supply_chain-96cfe714dfbf2e8d.d: examples/supply_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupply_chain-96cfe714dfbf2e8d.rmeta: examples/supply_chain.rs Cargo.toml
+
+examples/supply_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

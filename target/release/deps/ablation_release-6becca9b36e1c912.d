@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_release-6becca9b36e1c912.d: crates/bench/src/bin/ablation_release.rs
+
+/root/repo/target/release/deps/ablation_release-6becca9b36e1c912: crates/bench/src/bin/ablation_release.rs
+
+crates/bench/src/bin/ablation_release.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batching-a11f383d778c310f.d: crates/bench/benches/batching.rs
+
+/root/repo/target/release/deps/batching-a11f383d778c310f: crates/bench/benches/batching.rs
+
+crates/bench/benches/batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/context_matrix-ca943ea648b1f687.d: crates/bench/src/bin/context_matrix.rs
+
+/root/repo/target/release/deps/context_matrix-ca943ea648b1f687: crates/bench/src/bin/context_matrix.rs
+
+crates/bench/src/bin/context_matrix.rs:

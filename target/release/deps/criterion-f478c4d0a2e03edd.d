@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f478c4d0a2e03edd.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f478c4d0a2e03edd.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f478c4d0a2e03edd.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decs-ecbdaeb0daef4796.d: src/lib.rs
+
+/root/repo/target/release/deps/libdecs-ecbdaeb0daef4796.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdecs-ecbdaeb0daef4796.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decs_bench-5c5875ac2eaa27e6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecs_bench-5c5875ac2eaa27e6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecs_bench-5c5875ac2eaa27e6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decs_bench-62ff04ea055bb25b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecs_bench-62ff04ea055bb25b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdecs_bench-62ff04ea055bb25b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

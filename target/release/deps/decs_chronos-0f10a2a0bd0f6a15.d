@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/decs_chronos-0f10a2a0bd0f6a15.d: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/release/deps/libdecs_chronos-0f10a2a0bd0f6a15.rlib: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/release/deps/libdecs_chronos-0f10a2a0bd0f6a15.rmeta: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+crates/chronos/src/lib.rs:
+crates/chronos/src/calendar.rs:
+crates/chronos/src/clock.rs:
+crates/chronos/src/error.rs:
+crates/chronos/src/global.rs:
+crates/chronos/src/gran.rs:
+crates/chronos/src/precedence.rs:
+crates/chronos/src/sync.rs:
+crates/chronos/src/tick.rs:

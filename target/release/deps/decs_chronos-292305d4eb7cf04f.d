@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/decs_chronos-292305d4eb7cf04f.d: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/release/deps/libdecs_chronos-292305d4eb7cf04f.rlib: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+/root/repo/target/release/deps/libdecs_chronos-292305d4eb7cf04f.rmeta: crates/chronos/src/lib.rs crates/chronos/src/calendar.rs crates/chronos/src/clock.rs crates/chronos/src/error.rs crates/chronos/src/global.rs crates/chronos/src/gran.rs crates/chronos/src/precedence.rs crates/chronos/src/sync.rs crates/chronos/src/tick.rs
+
+crates/chronos/src/lib.rs:
+crates/chronos/src/calendar.rs:
+crates/chronos/src/clock.rs:
+crates/chronos/src/error.rs:
+crates/chronos/src/global.rs:
+crates/chronos/src/gran.rs:
+crates/chronos/src/precedence.rs:
+crates/chronos/src/sync.rs:
+crates/chronos/src/tick.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/decs_core-05155d14476ae24b.d: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+/root/repo/target/release/deps/libdecs_core-05155d14476ae24b.rlib: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+/root/repo/target/release/deps/libdecs_core-05155d14476ae24b.rmeta: crates/core/src/lib.rs crates/core/src/alt.rs crates/core/src/composite.rs crates/core/src/error.rs crates/core/src/interval.rs crates/core/src/join.rs crates/core/src/ordering.rs crates/core/src/primitive.rs crates/core/src/properties.rs crates/core/src/region.rs crates/core/src/relation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alt.rs:
+crates/core/src/composite.rs:
+crates/core/src/error.rs:
+crates/core/src/interval.rs:
+crates/core/src/join.rs:
+crates/core/src/ordering.rs:
+crates/core/src/primitive.rs:
+crates/core/src/properties.rs:
+crates/core/src/region.rs:
+crates/core/src/relation.rs:

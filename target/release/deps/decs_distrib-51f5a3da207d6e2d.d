@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/decs_distrib-51f5a3da207d6e2d.d: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/release/deps/libdecs_distrib-51f5a3da207d6e2d.rlib: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/release/deps/libdecs_distrib-51f5a3da207d6e2d.rmeta: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+crates/distrib/src/lib.rs:
+crates/distrib/src/config.rs:
+crates/distrib/src/engine.rs:
+crates/distrib/src/global.rs:
+crates/distrib/src/metrics.rs:
+crates/distrib/src/protocol.rs:
+crates/distrib/src/site.rs:
+crates/distrib/src/watermark.rs:

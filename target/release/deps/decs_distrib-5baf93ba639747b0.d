@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/decs_distrib-5baf93ba639747b0.d: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/release/deps/libdecs_distrib-5baf93ba639747b0.rlib: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+/root/repo/target/release/deps/libdecs_distrib-5baf93ba639747b0.rmeta: crates/distrib/src/lib.rs crates/distrib/src/config.rs crates/distrib/src/engine.rs crates/distrib/src/global.rs crates/distrib/src/metrics.rs crates/distrib/src/protocol.rs crates/distrib/src/site.rs crates/distrib/src/watermark.rs
+
+crates/distrib/src/lib.rs:
+crates/distrib/src/config.rs:
+crates/distrib/src/engine.rs:
+crates/distrib/src/global.rs:
+crates/distrib/src/metrics.rs:
+crates/distrib/src/protocol.rs:
+crates/distrib/src/site.rs:
+crates/distrib/src/watermark.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/decs_sentinel-f069b7f598e85482.d: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/release/deps/libdecs_sentinel-f069b7f598e85482.rlib: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/release/deps/libdecs_sentinel-f069b7f598e85482.rmeta: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+crates/sentinel/src/lib.rs:
+crates/sentinel/src/dsl.rs:
+crates/sentinel/src/error.rs:
+crates/sentinel/src/manager.rs:
+crates/sentinel/src/rule.rs:
+crates/sentinel/src/store.rs:
+crates/sentinel/src/txn.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/decs_sentinel-f4c34a8ecfdbc6eb.d: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/release/deps/libdecs_sentinel-f4c34a8ecfdbc6eb.rlib: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+/root/repo/target/release/deps/libdecs_sentinel-f4c34a8ecfdbc6eb.rmeta: crates/sentinel/src/lib.rs crates/sentinel/src/dsl.rs crates/sentinel/src/error.rs crates/sentinel/src/manager.rs crates/sentinel/src/rule.rs crates/sentinel/src/store.rs crates/sentinel/src/txn.rs
+
+crates/sentinel/src/lib.rs:
+crates/sentinel/src/dsl.rs:
+crates/sentinel/src/error.rs:
+crates/sentinel/src/manager.rs:
+crates/sentinel/src/rule.rs:
+crates/sentinel/src/store.rs:
+crates/sentinel/src/txn.rs:

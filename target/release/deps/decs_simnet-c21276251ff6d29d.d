@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/decs_simnet-c21276251ff6d29d.d: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libdecs_simnet-c21276251ff6d29d.rlib: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libdecs_simnet-c21276251ff6d29d.rmeta: crates/simnet/src/lib.rs crates/simnet/src/link.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/scenario.rs crates/simnet/src/sim.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/scenario.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/trace.rs:

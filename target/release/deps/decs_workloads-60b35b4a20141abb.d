@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decs_workloads-60b35b4a20141abb.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libdecs_workloads-60b35b4a20141abb.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libdecs_workloads-60b35b4a20141abb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decs_workloads-f370d1ca2992b96c.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libdecs_workloads-f370d1ca2992b96c.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libdecs_workloads-f370d1ca2992b96c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detection_latency-c069327e3583fbb3.d: crates/bench/src/bin/detection_latency.rs
+
+/root/repo/target/release/deps/detection_latency-c069327e3583fbb3: crates/bench/src/bin/detection_latency.rs
+
+crates/bench/src/bin/detection_latency.rs:

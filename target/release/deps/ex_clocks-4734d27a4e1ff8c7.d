@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ex_clocks-4734d27a4e1ff8c7.d: crates/bench/src/bin/ex_clocks.rs
+
+/root/repo/target/release/deps/ex_clocks-4734d27a4e1ff8c7: crates/bench/src/bin/ex_clocks.rs
+
+crates/bench/src/bin/ex_clocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ex_orderings-9078a358e73563f9.d: crates/bench/src/bin/ex_orderings.rs
+
+/root/repo/target/release/deps/ex_orderings-9078a358e73563f9: crates/bench/src/bin/ex_orderings.rs
+
+crates/bench/src/bin/ex_orderings.rs:

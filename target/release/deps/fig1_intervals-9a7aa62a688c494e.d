@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_intervals-9a7aa62a688c494e.d: crates/bench/src/bin/fig1_intervals.rs
+
+/root/repo/target/release/deps/fig1_intervals-9a7aa62a688c494e: crates/bench/src/bin/fig1_intervals.rs
+
+crates/bench/src/bin/fig1_intervals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_regions-ccac680b98712a9f.d: crates/bench/src/bin/fig2_regions.rs
+
+/root/repo/target/release/deps/fig2_regions-ccac680b98712a9f: crates/bench/src/bin/fig2_regions.rs
+
+crates/bench/src/bin/fig2_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ordering_validity-d6e58c51f8ad4fce.d: crates/bench/src/bin/ordering_validity.rs
+
+/root/repo/target/release/deps/ordering_validity-d6e58c51f8ad4fce: crates/bench/src/bin/ordering_validity.rs
+
+crates/bench/src/bin/ordering_validity.rs:

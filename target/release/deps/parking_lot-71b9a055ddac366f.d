@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-71b9a055ddac366f.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71b9a055ddac366f.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71b9a055ddac366f.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-fe11e29061e4c2b9.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fe11e29061e4c2b9.rlib: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fe11e29061e4c2b9.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-803f9724d2f8e895.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-803f9724d2f8e895.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-803f9724d2f8e895.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c12c5470646560f7.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c12c5470646560f7.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c12c5470646560f7.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

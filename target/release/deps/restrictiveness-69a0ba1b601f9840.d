@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/restrictiveness-69a0ba1b601f9840.d: crates/bench/src/bin/restrictiveness.rs
+
+/root/repo/target/release/deps/restrictiveness-69a0ba1b601f9840: crates/bench/src/bin/restrictiveness.rs
+
+crates/bench/src/bin/restrictiveness.rs:

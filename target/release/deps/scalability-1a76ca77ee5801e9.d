@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-1a76ca77ee5801e9.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-1a76ca77ee5801e9: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

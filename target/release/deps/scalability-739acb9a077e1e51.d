@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-739acb9a077e1e51.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-739acb9a077e1e51: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

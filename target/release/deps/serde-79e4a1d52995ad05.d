@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-79e4a1d52995ad05.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-79e4a1d52995ad05.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-79e4a1d52995ad05.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-99d6037e56b86e93.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-99d6037e56b86e93.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-99d6037e56b86e93.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2c604269b894238c.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2c604269b894238c.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

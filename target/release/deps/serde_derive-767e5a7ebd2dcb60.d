@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-767e5a7ebd2dcb60.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-767e5a7ebd2dcb60.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:
