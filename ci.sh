@@ -8,4 +8,9 @@ cargo test -q
 cargo clippy -- -D warnings
 cargo fmt --check
 
+# Bench smoke: re-measures the hot-path kernels and validates the
+# committed BENCH_hotpath.json baseline (fails on malformed JSON or a
+# >2x regression of any fast kernel).
+cargo run --release -p decs-bench --bin hotpath -- --smoke
+
 echo "ci.sh: all tier-1 checks passed"

@@ -1,0 +1,97 @@
+//! Criterion benches for the hot-path kernels (E13): each fast-path
+//! relation kernel against its naive Definition 5.3/5.9 oracle, on
+//! band-separated pairs (cached-bound short circuit) and overlapping
+//! pairs (scan fallback), plus the width scaling of the fast paths.
+//!
+//! The `hotpath` bin regenerates `BENCH_hotpath.json` from the same
+//! kernels; this group is the interactive `cargo bench` view.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use decs_bench::concurrent_composite;
+use decs_core::{max_op, max_op_naive, CompositeTimestamp};
+
+/// (band-separated same-site, band-separated disjoint-site, overlapping)
+/// width-4 pairs, mirroring the bin's kernel matrix.
+fn pairs() -> [(CompositeTimestamp, CompositeTimestamp); 3] {
+    [
+        (
+            concurrent_composite(1, 100, 4),
+            concurrent_composite(1, 200, 4),
+        ),
+        (
+            concurrent_composite(1, 100, 4),
+            concurrent_composite(10, 200, 4),
+        ),
+        (
+            concurrent_composite(1, 100, 4),
+            concurrent_composite(5, 100, 4),
+        ),
+    ]
+}
+
+const SHAPES: [&str; 3] = ["band_separated", "disjoint_sites", "overlapping"];
+
+fn bench_relation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_relation");
+    for (shape, (a, b)) in SHAPES.iter().zip(pairs()) {
+        g.bench_with_input(BenchmarkId::new("fast", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(a.relation(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(a.relation_naive(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_happens_before(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_happens_before");
+    for (shape, (a, b)) in SHAPES.iter().zip(pairs()) {
+        g.bench_with_input(BenchmarkId::new("fast", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(a.happens_before(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(a.happens_before_naive(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_op_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_max_op");
+    for (shape, (a, b)) in SHAPES.iter().zip(pairs()) {
+        g.bench_with_input(BenchmarkId::new("fast", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(max_op(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", shape), &(), |bch, ()| {
+            bch.iter(|| black_box(max_op_naive(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fast_vs_width(c: &mut Criterion) {
+    // The fast band-separated path is O(1) in the member count; the naive
+    // scan is O(|T1|·|T2|). Width sweep makes the asymptotic gap visible.
+    let mut g = c.benchmark_group("hotpath_relation_vs_width");
+    for width in [1usize, 2, 4, 8, 16] {
+        let a = concurrent_composite(1, 100, width);
+        let b = concurrent_composite(1, 200, width);
+        g.bench_with_input(BenchmarkId::new("fast", width), &(), |bch, ()| {
+            bch.iter(|| black_box(a.relation(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", width), &(), |bch, ()| {
+            bch.iter(|| black_box(a.relation_naive(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_relation,
+    bench_happens_before,
+    bench_max_op_kernel,
+    bench_fast_vs_width
+);
+criterion_main!(benches);

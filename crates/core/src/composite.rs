@@ -25,8 +25,10 @@
 
 use crate::error::{CoreError, Result};
 use crate::primitive::PrimitiveTimestamp;
+use decs_chronos::SiteId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Definition 5.1: the set of maximal timestamps of `ST` — members not
 /// happening-before any other member. Duplicates are removed; the result is
@@ -42,21 +44,160 @@ pub fn max_set(st: &[PrimitiveTimestamp]) -> Vec<PrimitiveTimestamp> {
     out
 }
 
+/// How many members are stored inline before spilling to the heap. Member
+/// sets are tiny in practice (one per participating site, bounded by the
+/// fan-in of the event expression), so four covers the common cases.
+const INLINE_MEMBERS: usize = 4;
+
+/// Inline-first member storage: up to [`INLINE_MEMBERS`] primitive
+/// timestamps live directly in the struct (no allocation, cache-friendly);
+/// larger sets spill to a `Vec`. Always holds members in canonical sorted
+/// order; all reads go through [`MemberVec::as_slice`].
+#[derive(Debug, Clone)]
+enum MemberVec {
+    Inline {
+        len: u8,
+        buf: [PrimitiveTimestamp; INLINE_MEMBERS],
+    },
+    Heap(Vec<PrimitiveTimestamp>),
+}
+
+impl MemberVec {
+    /// Padding value for unused inline slots; never observable through
+    /// `as_slice`.
+    const FILL: PrimitiveTimestamp = PrimitiveTimestamp::new(
+        SiteId(0),
+        decs_chronos::GlobalTicks(0),
+        decs_chronos::LocalTicks(0),
+    );
+
+    fn from_sorted(v: Vec<PrimitiveTimestamp>) -> Self {
+        if v.len() <= INLINE_MEMBERS {
+            let mut buf = [Self::FILL; INLINE_MEMBERS];
+            buf[..v.len()].copy_from_slice(&v);
+            MemberVec::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            MemberVec::Heap(v)
+        }
+    }
+
+    fn as_slice(&self) -> &[PrimitiveTimestamp] {
+        match self {
+            MemberVec::Inline { len, buf } => &buf[..*len as usize],
+            MemberVec::Heap(v) => v,
+        }
+    }
+
+    fn into_vec(self) -> Vec<PrimitiveTimestamp> {
+        match self {
+            MemberVec::Inline { len, buf } => buf[..len as usize].to_vec(),
+            MemberVec::Heap(v) => v,
+        }
+    }
+}
+
 /// A distributed composite event timestamp: a non-empty set of pairwise
 /// concurrent, maximal primitive timestamps (Definition 5.2).
 ///
 /// Members are stored sorted in the canonical container order (site, then
 /// global, then local), so equal timestamp sets compare equal with `==`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Sets of up to four members are stored inline (no heap allocation).
+///
+/// Three derived quantities are cached at construction so the hot
+/// comparison kernels ([`crate::ordering`], [`crate::join`]) can decide
+/// most relations in O(1) without touching the member slice:
+///
+/// * [`min_global`](Self::min_global) / [`max_global`](Self::max_global) —
+///   the global-tick *band* of the member set;
+/// * [`site_mask`](Self::site_mask) — a 64-bit Bloom-style bitmap of member
+///   sites (bit `site % 64`). Disjoint masks prove the site sets are
+///   disjoint, i.e. every member pair is cross-site and therefore decided
+///   by global ticks alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "CompositeTimestampWire", into = "CompositeTimestampWire")]
 pub struct CompositeTimestamp {
+    members: MemberVec,
+    min_global: u64,
+    max_global: u64,
+    site_mask: u64,
+}
+
+impl PartialEq for CompositeTimestamp {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are pure functions of the members; comparing them first is
+        // a cheap reject.
+        self.site_mask == other.site_mask
+            && self.min_global == other.min_global
+            && self.max_global == other.max_global
+            && self.members.as_slice() == other.members.as_slice()
+    }
+}
+
+impl Eq for CompositeTimestamp {}
+
+impl Hash for CompositeTimestamp {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash exactly what the pre-cache derive hashed (the member list),
+        // so hashes stay stable across the layout change.
+        self.members.as_slice().hash(state);
+    }
+}
+
+/// Wire shape of a composite timestamp: the member list alone, matching the
+/// serialization of the original `{ members: Vec<_> }` struct so existing
+/// encoded data round-trips. Deserialization re-normalizes through the
+/// fallible constructor, so decoded values always carry valid caches.
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(rename = "CompositeTimestamp")]
+struct CompositeTimestampWire {
     members: Vec<PrimitiveTimestamp>,
 }
 
+impl From<CompositeTimestamp> for CompositeTimestampWire {
+    fn from(c: CompositeTimestamp) -> Self {
+        CompositeTimestampWire {
+            members: c.into_members(),
+        }
+    }
+}
+
+impl TryFrom<CompositeTimestampWire> for CompositeTimestamp {
+    type Error = CoreError;
+
+    fn try_from(wire: CompositeTimestampWire) -> Result<Self> {
+        CompositeTimestamp::try_from_primitives(wire.members)
+    }
+}
+
 impl CompositeTimestamp {
+    /// Internal constructor: takes a member list already in canonical form
+    /// (sorted, deduped, maximal) and computes the cached bounds/bitmap.
+    fn from_sorted_members(members: Vec<PrimitiveTimestamp>) -> Self {
+        debug_assert!(!members.is_empty());
+        let mut min_global = u64::MAX;
+        let mut max_global = 0u64;
+        let mut site_mask = 0u64;
+        for t in &members {
+            let g = t.global().get();
+            min_global = min_global.min(g);
+            max_global = max_global.max(g);
+            site_mask |= 1u64 << (t.site().get() % 64);
+        }
+        CompositeTimestamp {
+            members: MemberVec::from_sorted(members),
+            min_global,
+            max_global,
+            site_mask,
+        }
+    }
+
     /// A composite timestamp with a single member — the form every
     /// primitive event's timestamp takes when it enters the composite world.
     pub fn singleton(t: PrimitiveTimestamp) -> Self {
-        CompositeTimestamp { members: vec![t] }
+        Self::from_sorted_members(vec![t])
     }
 
     /// Build from constituent primitive timestamps, normalizing through
@@ -73,7 +214,7 @@ impl CompositeTimestamp {
         }
         let members = max_set(&st);
         debug_assert!(!members.is_empty());
-        Ok(CompositeTimestamp { members })
+        Ok(Self::from_sorted_members(members))
     }
 
     /// Build from constituent primitive timestamps, normalizing through
@@ -91,12 +232,12 @@ impl CompositeTimestamp {
 
     /// The members, sorted in canonical order.
     pub fn members(&self) -> &[PrimitiveTimestamp] {
-        &self.members
+        self.members.as_slice()
     }
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.members.as_slice().len()
     }
 
     /// Composite timestamps are never empty, but the idiomatic pair of
@@ -107,48 +248,62 @@ impl CompositeTimestamp {
 
     /// Iterate over members.
     pub fn iter(&self) -> impl Iterator<Item = &PrimitiveTimestamp> {
-        self.members.iter()
+        self.members.as_slice().iter()
     }
 
     /// Whether `t` is one of the members.
     pub fn contains(&self, t: &PrimitiveTimestamp) -> bool {
-        self.members.binary_search(t).is_ok()
+        self.members.as_slice().binary_search(t).is_ok()
     }
 
     /// Theorem 5.1 / Definition 5.2 invariant check: all members pairwise
     /// concurrent and none dominated. Always true for values built through
     /// the public constructors; exposed for property tests and debugging.
     pub fn invariant_holds(&self) -> bool {
-        !self.members.is_empty()
-            && self
-                .members
+        let members = self.members.as_slice();
+        !members.is_empty()
+            && members
                 .iter()
                 .enumerate()
-                .all(|(i, a)| self.members[i + 1..].iter().all(|b| a.concurrent(b)))
+                .all(|(i, a)| members[i + 1..].iter().all(|b| a.concurrent(b)))
     }
 
     /// The largest global tick among members — an upper anchor used by
-    /// watermark logic and the Figure 2 lines.
+    /// watermark logic and the Figure 2 lines. Cached at construction: O(1).
     pub fn max_global(&self) -> u64 {
-        self.members
-            .iter()
-            .map(|t| t.global().get())
-            .max()
-            .expect("non-empty")
+        self.max_global
     }
 
-    /// The smallest global tick among members.
+    /// The smallest global tick among members. Cached at construction: O(1).
     pub fn min_global(&self) -> u64 {
-        self.members
-            .iter()
-            .map(|t| t.global().get())
-            .min()
-            .expect("non-empty")
+        self.min_global
+    }
+
+    /// Bloom-style bitmap of member sites: bit `site % 64` is set for every
+    /// member. Disjoint masks (`a & b == 0`) *prove* the two member sets
+    /// occupy disjoint sites — every member pair is cross-site and the
+    /// `2g_g` relation is decided by global ticks alone. Overlapping masks
+    /// prove nothing (two different sites can share a bit); callers must
+    /// fall back to the member scan.
+    pub fn site_mask(&self) -> u64 {
+        self.site_mask
+    }
+
+    /// `Some(site)` when every member occurred at the same site (members
+    /// are sorted by site first, so first == last suffices), else `None`.
+    pub fn single_site(&self) -> Option<SiteId> {
+        let members = self.members.as_slice();
+        let first = members[0].site();
+        if members[members.len() - 1].site() == first {
+            Some(first)
+        } else {
+            None
+        }
     }
 
     /// Consume into the member vector.
     pub fn into_members(self) -> Vec<PrimitiveTimestamp> {
-        self.members
+        self.members.into_vec()
     }
 }
 
@@ -161,7 +316,7 @@ impl From<PrimitiveTimestamp> for CompositeTimestamp {
 impl fmt::Display for CompositeTimestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        for (i, t) in self.members.iter().enumerate() {
+        for (i, t) in self.members().iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -357,5 +512,63 @@ mod tests {
         let c = cts(&[(1, 8, 80), (2, 7, 72), (1, 2, 20)]);
         let again = CompositeTimestamp::from_primitives(c.iter().copied());
         assert_eq!(c, again);
+    }
+
+    #[test]
+    fn cached_bounds_match_member_scan() {
+        let sets = [
+            cts(&[(1, 8, 80)]),
+            cts(&[(3, 8, 81), (6, 7, 72)]),
+            cts(&[(1, 8, 80), (2, 8, 81), (3, 9, 90), (4, 8, 82), (5, 9, 91)]),
+        ];
+        for c in &sets {
+            let scan_min = c.iter().map(|t| t.global().get()).min().unwrap();
+            let scan_max = c.iter().map(|t| t.global().get()).max().unwrap();
+            assert_eq!(c.min_global(), scan_min);
+            assert_eq!(c.max_global(), scan_max);
+            for t in c.iter() {
+                assert_ne!(c.site_mask() & (1u64 << (t.site().get() % 64)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn inline_to_heap_spill_is_transparent() {
+        // 5 pairwise-concurrent members: one past the inline capacity.
+        let big = cts(&[(1, 8, 80), (2, 8, 81), (3, 9, 90), (4, 8, 82), (5, 9, 91)]);
+        assert_eq!(big.len(), 5);
+        assert!(big.invariant_holds());
+        let small = cts(&[(1, 8, 80), (2, 8, 81), (3, 9, 90), (4, 8, 82)]);
+        assert_eq!(small.len(), 4);
+        // Round-trip through the member vector preserves equality either way.
+        for c in [&big, &small] {
+            let again = CompositeTimestamp::from_primitives(c.clone().into_members());
+            assert_eq!(&again, c);
+        }
+    }
+
+    #[test]
+    fn single_site_detection() {
+        assert_eq!(cts(&[(3, 8, 81)]).single_site(), Some(SiteId(3)));
+        assert_eq!(
+            cts(&[(3, 8, 80), (3, 9, 80)]).single_site(),
+            Some(SiteId(3))
+        );
+        assert_eq!(cts(&[(3, 8, 81), (6, 7, 72)]).single_site(), None);
+    }
+
+    #[test]
+    fn hash_is_member_list_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // The cached bounds must not contribute to the hash: equal member
+        // lists (however stored — inline or heap) hash identically to the
+        // bare slice, as the pre-cache derive did.
+        let c = cts(&[(3, 8, 81), (6, 7, 72)]);
+        let mut h1 = DefaultHasher::new();
+        c.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        c.members().hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }

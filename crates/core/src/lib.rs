@@ -44,7 +44,7 @@ pub use composite::{max_set, CompositeTimestamp, RawTimestampSet};
 pub use decs_chronos::{GlobalTicks, LocalTicks, SiteId};
 pub use error::{CoreError, Result};
 pub use interval::{ClosedInterval, OpenInterval};
-pub use join::{join_concurrent, join_incomparable, max_op};
+pub use join::{join_concurrent, join_incomparable, max_op, max_op_naive};
 pub use ordering::composite_relation;
 pub use primitive::PrimitiveTimestamp;
 pub use region::{classify_region, Region, RegionMap};

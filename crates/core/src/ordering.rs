@@ -29,14 +29,77 @@ use crate::relation::CompositeRelation;
 impl CompositeTimestamp {
     /// Definition 5.3(2): happen-before `<_p` —
     /// `∀t2 ∈ other ∃t1 ∈ self: t1 < t2`.
+    ///
+    /// Fast paths (both *exact*, relied on by `tests/prop_fastpath.rs`):
+    ///
+    /// 1. **Disjoint site masks** — every member pair is cross-site, so
+    ///    `t1 < t2 ⇔ g1 + 1 < g2`. The `∀∃` quantifiers collapse to the
+    ///    band bounds: `<_p ⇔ min_global(self) + 1 < min_global(other)`.
+    /// 2. **Band separation** (`max_global(self) + 1 < min_global(other)`)
+    ///    — every *cross-site* pair is ordered. If `self` spans ≥ 2 sites,
+    ///    each `t2` has a cross-site predecessor, so `<_p` holds outright;
+    ///    if `self` sits on a single site, only `other`'s members at that
+    ///    same site still need a local-tick witness.
+    ///
+    /// Anything else falls back to the pairwise scan
+    /// ([`Self::happens_before_naive`]).
     pub fn happens_before(&self, other: &Self) -> bool {
+        if self.site_mask() & other.site_mask() == 0 {
+            return self.min_global() + 1 < other.min_global();
+        }
+        if self.max_global() + 1 < other.min_global() {
+            return match self.single_site() {
+                None => true,
+                Some(s) => {
+                    let min_local = self
+                        .iter()
+                        .map(|t1| t1.local().get())
+                        .min()
+                        .expect("non-empty");
+                    other
+                        .iter()
+                        .all(|t2| t2.site() != s || min_local < t2.local().get())
+                }
+            };
+        }
+        self.happens_before_naive(other)
+    }
+
+    /// Reference implementation of `<_p`: the literal Definition 5.3 `∀∃`
+    /// scan, O(|self|·|other|). Kept as the equivalence oracle for the
+    /// fast-path property suite and the "before" side of the hot-path
+    /// benchmarks.
+    pub fn happens_before_naive(&self, other: &Self) -> bool {
         other
             .iter()
             .all(|t2| self.iter().any(|t1| t1.happens_before(t2)))
     }
 
     /// Definition 5.3(1): concurrency `~` — every member pair concurrent.
+    ///
+    /// Fast paths (exact): with disjoint site masks every pair is
+    /// cross-site, and `t1 ~ t2 ⇔ |g1 − g2| ≤ 1`, so all pairs are
+    /// concurrent iff the bands overlap within one tick in both directions.
+    /// With overlapping masks, band separation refutes concurrency as soon
+    /// as any cross-site pair exists (both sets single-site on the *same*
+    /// site is the only shape without one).
     pub fn concurrent(&self, other: &Self) -> bool {
+        if self.site_mask() & other.site_mask() == 0 {
+            return self.max_global() <= other.min_global().saturating_add(1)
+                && other.max_global() <= self.min_global().saturating_add(1);
+        }
+        if self.max_global() + 1 < other.min_global() || other.max_global() + 1 < self.min_global()
+        {
+            match (self.single_site(), other.single_site()) {
+                (Some(s1), Some(s2)) if s1 == s2 => {} // all pairs same-site: scan
+                _ => return false,
+            }
+        }
+        self.concurrent_naive(other)
+    }
+
+    /// Reference implementation of `~`: the literal all-pairs scan.
+    pub fn concurrent_naive(&self, other: &Self) -> bool {
         self.iter()
             .all(|t1| other.iter().all(|t2| t1.concurrent(t2)))
     }
@@ -45,7 +108,19 @@ impl CompositeTimestamp {
     ///
     /// Theorem 5.3 proves this equivalent to `self ~ other ∨ self <_p other`
     /// (checked by the property suite).
+    ///
+    /// Fast path (exact): with disjoint site masks, `t1 ⪯ t2 ⇔ ¬(t2 < t1)
+    /// ⇔ g1 ≤ g2 + 1`, so the all-pairs condition collapses to
+    /// `max_global(self) ≤ min_global(other) + 1`.
     pub fn weak_leq(&self, other: &Self) -> bool {
+        if self.site_mask() & other.site_mask() == 0 {
+            return self.max_global() <= other.min_global().saturating_add(1);
+        }
+        self.weak_leq_naive(other)
+    }
+
+    /// Reference implementation of `⪯̃`: the literal all-pairs scan.
+    pub fn weak_leq_naive(&self, other: &Self) -> bool {
         self.iter().all(|t1| other.iter().all(|t2| t1.weak_leq(t2)))
     }
 
@@ -61,12 +136,45 @@ impl CompositeTimestamp {
     /// `<_p` and `~` cases are mutually exclusive (a `<`-related member pair
     /// cannot be concurrent), so the order of checks does not change the
     /// result; it only fixes the tie-break for the impossible overlap.
+    ///
+    /// Fast path (exact): disjoint site masks decide the full
+    /// classification from the cached global-tick bands alone — no member
+    /// scan. The mutual exclusivity argument carries over: `min1 + 1 <
+    /// min2` contradicts `max2 ≤ min1 + 1`, so the O(1) branch can never
+    /// disagree with the check order of the scan.
     pub fn relation(&self, other: &Self) -> CompositeRelation {
+        if self.site_mask() & other.site_mask() == 0 {
+            let (min1, max1) = (self.min_global(), self.max_global());
+            let (min2, max2) = (other.min_global(), other.max_global());
+            return if min1 + 1 < min2 {
+                CompositeRelation::Before
+            } else if min2 + 1 < min1 {
+                CompositeRelation::After
+            } else if max1 <= min2 + 1 && max2 <= min1 + 1 {
+                CompositeRelation::Concurrent
+            } else {
+                CompositeRelation::Incomparable
+            };
+        }
         if self.happens_before(other) {
             CompositeRelation::Before
         } else if other.happens_before(self) {
             CompositeRelation::After
         } else if self.concurrent(other) {
+            CompositeRelation::Concurrent
+        } else {
+            CompositeRelation::Incomparable
+        }
+    }
+
+    /// Reference implementation of [`Self::relation`] built entirely from
+    /// the naive scans — the oracle for the fast-path equivalence suite.
+    pub fn relation_naive(&self, other: &Self) -> CompositeRelation {
+        if self.happens_before_naive(other) {
+            CompositeRelation::Before
+        } else if other.happens_before_naive(self) {
+            CompositeRelation::After
+        } else if self.concurrent_naive(other) {
             CompositeRelation::Concurrent
         } else {
             CompositeRelation::Incomparable

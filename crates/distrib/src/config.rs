@@ -34,6 +34,12 @@ pub struct EngineConfig {
     pub trace_capacity: usize,
     /// Release policy (see [`ReleasePolicy`]).
     pub release_policy: ReleasePolicy,
+    /// Whether the coordinator garbage-collects operator buffers as the
+    /// watermark advances. GC is behavior-preserving (the detection stream
+    /// is identical either way — `tests/prop_fastpath.rs` proves it), so
+    /// this only trades a little release-round work for bounded memory on
+    /// long runs. On by default; the off switch exists for ablation.
+    pub buffer_gc: bool,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +51,7 @@ impl Default for EngineConfig {
             batch_interval: Nanos::ZERO,
             trace_capacity: 0,
             release_policy: ReleasePolicy::Stable,
+            buffer_gc: true,
         }
     }
 }

@@ -164,6 +164,7 @@ impl Engine {
         let gg_nanos = scenario.base.gg().nanos_per_tick();
         let mut coordinator_node =
             CoordinatorNode::with_policy(n as usize, detector, gg_nanos, config.release_policy);
+        coordinator_node.set_buffer_gc(config.buffer_gc);
         coordinator_node
             .set_reportable(local_definitions.iter().map(|(name, _, _)| name_ids[*name]));
         nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));

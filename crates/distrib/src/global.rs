@@ -58,6 +58,11 @@ pub struct CoordinatorNode {
     next_tag: u64,
     gg_nanos: u64,
     policy: ReleasePolicy,
+    /// Whether release rounds garbage-collect operator buffers.
+    buffer_gc: bool,
+    /// Last watermark the operator buffers were collected at (GC only runs
+    /// when the low bound strictly advances).
+    last_gc_low: u64,
     /// Event types whose *arrival* is itself a reportable detection
     /// (site-local composite events detected at the sites).
     reportable: HashSet<EventId>,
@@ -103,8 +108,17 @@ impl CoordinatorNode {
             next_tag: 0,
             gg_nanos,
             policy,
+            buffer_gc: true,
+            last_gc_low: 0,
             reportable: HashSet::new(),
         }
+    }
+
+    /// Enable or disable operator-buffer GC (on by default). GC is
+    /// behavior-preserving, so this only trades memory for release-round
+    /// work; the off switch exists for ablation and the occupancy bench.
+    pub fn set_buffer_gc(&mut self, enabled: bool) {
+        self.buffer_gc = enabled;
     }
 
     /// Mark event types whose arrivals are reported as detections in their
@@ -155,21 +169,47 @@ impl CoordinatorNode {
                 u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
             batch.push(occ);
         }
-        if batch.is_empty() {
-            return;
-        }
-        self.metrics.release_batches += 1;
-        if self.reportable.is_empty() {
-            let r = self.detector.feed_batch(batch);
-            self.absorb(r, ctx);
-        } else {
-            // Site-local composite arrivals are reported interleaved with
-            // the global graph's own detections, so keep the per-event
-            // feed order observable.
-            for occ in batch {
-                self.feed_released(occ, ctx);
+        if !batch.is_empty() {
+            self.metrics.release_batches += 1;
+            if self.reportable.is_empty() {
+                let r = self.detector.feed_batch(batch);
+                self.absorb(r, ctx);
+            } else {
+                // Site-local composite arrivals are reported interleaved
+                // with the global graph's own detections, so keep the
+                // per-event feed order observable.
+                for occ in batch {
+                    self.feed_released(occ, ctx);
+                }
             }
         }
+        self.gc_operator_buffers();
+    }
+
+    /// Let the detector's operator nodes reclaim buffered state the
+    /// watermark proves dead, and refresh the occupancy metrics.
+    ///
+    /// The low bound is `min_watermark − 2`: everything the coordinator can
+    /// still feed has all member globals `≥` that. Stability releases
+    /// stamps with `max_global ≤ min − 2`, so buffer residue and future
+    /// releases have `max_global ≥ min − 1`; by Theorem 5.1 the members of
+    /// a `Max`-combined stamp are pairwise concurrent, so their globals
+    /// span at most one tick — all `≥ min − 2`. Coordinator-clock timer
+    /// stamps sit at the current global tick, ahead of every received
+    /// watermark under the `2g_g` clock-sync assumption (Prop 4.1).
+    fn gc_operator_buffers(&mut self) {
+        if self.buffer_gc {
+            let low = self.tracker.min_watermark().saturating_sub(2);
+            if low > self.last_gc_low {
+                self.last_gc_low = low;
+                self.metrics.gc_evicted += self.detector.advance_watermark(low);
+            }
+        }
+        self.metrics.node_buffered = self.detector.buffered_occupancy();
+        self.metrics.node_buffer_peak = self
+            .metrics
+            .node_buffer_peak
+            .max(self.metrics.node_buffered);
     }
 
     /// Feed a released notification: report it if it is itself a

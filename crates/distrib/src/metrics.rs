@@ -33,6 +33,13 @@ pub struct Metrics {
     pub release_batches: u64,
     /// Definition shards in the coordinator's event graph.
     pub shard_count: usize,
+    /// Operator-buffer entries reclaimed by watermark-driven GC.
+    pub gc_evicted: u64,
+    /// Occurrences currently buffered inside operator nodes (as of the last
+    /// release round).
+    pub node_buffered: usize,
+    /// High-water mark of [`Metrics::node_buffered`].
+    pub node_buffer_peak: usize,
 }
 
 impl Metrics {

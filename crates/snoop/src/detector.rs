@@ -67,6 +67,18 @@ impl<T: EventTime> Detector<T> {
     pub fn fire_timer(&mut self, id: TimerId, time: T) -> Result<FeedResult<T>> {
         self.graph.fire_timer(id, time)
     }
+
+    /// Advance the low watermark: the caller promises every future stamp's
+    /// global ticks are `≥ low`. Evicts provably-dead buffered state and
+    /// returns the evicted count (see [`EventGraph::advance_watermark`]).
+    pub fn advance_watermark(&mut self, low: u64) -> u64 {
+        self.graph.advance_watermark(low)
+    }
+
+    /// Total occurrences buffered across operator nodes.
+    pub fn buffered_occupancy(&self) -> usize {
+        self.graph.buffered_occupancy()
+    }
 }
 
 /// The centralized detector (Section 3): totally ordered ticks with an
@@ -79,6 +91,12 @@ pub struct CentralDetector {
     timers: BinaryHeap<Reverse<(u64, u64)>>,
     /// Highest tick seen (for monotonicity checking).
     now: u64,
+    /// Whether the clock drives buffer GC (on by default).
+    gc: bool,
+    /// Total entries evicted by watermark GC.
+    gc_evicted: u64,
+    /// Highest buffered occupancy observed at a GC point.
+    buffer_peak: usize,
 }
 
 impl CentralDetector {
@@ -88,7 +106,31 @@ impl CentralDetector {
             inner: Detector::new(),
             timers: BinaryHeap::new(),
             now: 0,
+            gc: true,
+            gc_evicted: 0,
+            buffer_peak: 0,
         }
+    }
+
+    /// Enable or disable clock-driven buffer GC (on by default). GC is
+    /// behavior-preserving, so this only trades memory for time.
+    pub fn set_buffer_gc(&mut self, enabled: bool) {
+        self.gc = enabled;
+    }
+
+    /// Total buffered entries evicted by watermark GC so far.
+    pub fn gc_evicted(&self) -> u64 {
+        self.gc_evicted
+    }
+
+    /// Occurrences currently buffered across operator nodes.
+    pub fn buffered_occupancy(&self) -> usize {
+        self.inner.buffered_occupancy()
+    }
+
+    /// Highest occupancy observed at a GC point (post-eviction).
+    pub fn buffer_peak(&self) -> usize {
+        self.buffer_peak
     }
 
     /// Register a primitive event type.
@@ -124,6 +166,12 @@ impl CentralDetector {
             self.absorb(r, due, &mut detected);
         }
         self.now = self.now.max(tick);
+        if self.gc {
+            // Feeds are non-decreasing and due timers have been drained, so
+            // every future stamp is ≥ `now`: `now` is a valid low watermark.
+            self.gc_evicted += self.inner.advance_watermark(self.now);
+            self.buffer_peak = self.buffer_peak.max(self.inner.buffered_occupancy());
+        }
         Ok(detected)
     }
 
@@ -265,6 +313,33 @@ mod tests {
         );
         d.feed_bare("A", 1).unwrap();
         assert_eq!(d.feed_bare("C", 2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn clock_driven_gc_evicts_dead_not_state() {
+        // X = ¬(B)[A, C]: cancelled openers and dead guards accumulate
+        // without GC; the clock watermark reclaims them.
+        let expr = E::not(E::prim("B"), E::prim("A"), E::prim("C"));
+        let mut gc_on = detector_with(expr.clone(), Context::Chronicle);
+        let mut gc_off = detector_with(expr, Context::Chronicle);
+        gc_off.set_buffer_gc(false);
+        let mut on_det = Vec::new();
+        let mut off_det = Vec::new();
+        for round in 0..50u64 {
+            let t = round * 10;
+            for (name, dt) in [("A", 0), ("B", 1), ("A", 2), ("C", 3)] {
+                on_det.extend(gc_on.feed_bare(name, t + dt).unwrap());
+                off_det.extend(gc_off.feed_bare(name, t + dt).unwrap());
+            }
+        }
+        // Same detection stream with and without GC…
+        assert_eq!(on_det.len(), off_det.len());
+        for (a, b) in on_det.iter().zip(&off_det) {
+            assert_eq!(a.time, b.time);
+        }
+        // …but the GC run reclaimed the dead openers/guards.
+        assert!(gc_on.gc_evicted() > 0);
+        assert!(gc_on.buffered_occupancy() < gc_off.buffered_occupancy());
     }
 
     #[test]

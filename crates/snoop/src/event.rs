@@ -123,8 +123,11 @@ impl ParamTuple {
 }
 
 /// The accumulated parameter tuples of an occurrence (constituents in
-/// detection order).
-pub type ParamList = Vec<ParamTuple>;
+/// detection order). Shared via `Arc`: cloning an occurrence during graph
+/// fan-out (one clone per subscriber/parent edge) costs one reference-count
+/// increment instead of a heap copy of the tuple list. Operators that build
+/// a *new* list (combination, accumulation) allocate once and re-wrap.
+pub type ParamList = Arc<Vec<ParamTuple>>;
 
 /// An event occurrence: type, timestamp, parameters, and a process-unique
 /// identity.
@@ -158,7 +161,7 @@ impl<T: EventTime> Occurrence<T> {
         Occurrence {
             ty,
             time,
-            params: vec![ParamTuple::new(ty, values)],
+            params: Arc::new(vec![ParamTuple::new(ty, values)]),
             uid: fresh_uid(),
         }
     }
@@ -168,7 +171,7 @@ impl<T: EventTime> Occurrence<T> {
         Occurrence {
             ty,
             time,
-            params: vec![ParamTuple::new(ty, Vec::new())],
+            params: Arc::new(vec![ParamTuple::new(ty, Vec::new())]),
             uid: fresh_uid(),
         }
     }
@@ -182,7 +185,7 @@ impl<T: EventTime> Occurrence<T> {
         Occurrence {
             ty,
             time: a.time.max(&b.time),
-            params,
+            params: Arc::new(params),
             uid: fresh_uid(),
         }
     }
@@ -205,7 +208,7 @@ impl<T: EventTime> Occurrence<T> {
         Occurrence {
             ty,
             time,
-            params,
+            params: Arc::new(params),
             uid: fresh_uid(),
         }
     }

@@ -404,6 +404,23 @@ impl<T: EventTime> EventGraph<T> {
         self.timers.len()
     }
 
+    /// The driver's low watermark advanced to `low`: let every operator
+    /// node garbage-collect buffered state the watermark proves dead (see
+    /// [`OperatorNode::on_watermark`]). Returns the total number of evicted
+    /// entries. Behavior-preserving: the detection stream is unchanged.
+    pub fn advance_watermark(&mut self, low: u64) -> u64 {
+        self.nodes
+            .iter_mut()
+            .map(|entry| entry.op.on_watermark(low))
+            .sum()
+    }
+
+    /// Total occurrences buffered across all operator nodes (occupancy
+    /// metric; see [`OperatorNode::buffered_len`]).
+    pub fn buffered_occupancy(&self) -> usize {
+        self.nodes.iter().map(|entry| entry.op.buffered_len()).sum()
+    }
+
     fn enqueue_subscribers(
         &self,
         occ: &Occurrence<T>,

@@ -61,6 +61,16 @@ impl<T: EventTime> OperatorNode<T> for AndNode<T> {
             }
         }
     }
+
+    // No `on_watermark` override: conjunction imposes no temporal
+    // constraint, so every buffered occurrence pairs with every future
+    // arrival on the other side — the watermark can never prove one dead.
+    // (`Recent` is bounded at one per side; the consuming contexts drain
+    // one side whenever the other arrives.)
+
+    fn buffered_len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
 }
 
 #[cfg(test)]

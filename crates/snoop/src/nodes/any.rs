@@ -78,6 +78,34 @@ impl<T: EventTime> OperatorNode<T> for AnyNode<T> {
             }
         }
     }
+
+    /// `ANY` imposes no temporal constraint, so the watermark itself proves
+    /// nothing — but under `Unrestricted` the buffers contain entries that
+    /// are *structurally* unreachable: pairing only ever reads each slot's
+    /// most recent occurrence and this context never pops, so everything
+    /// below the top is dead and each buffer truncates to one element.
+    /// `Recent` is already bounded at one by `buffer_initiator`; the
+    /// consuming contexts pop from the top, which re-exposes older entries,
+    /// so there every entry is live.
+    fn on_watermark(&mut self, _low: u64) -> u64 {
+        if self.ctx != Context::Unrestricted {
+            return 0;
+        }
+        let mut evicted = 0;
+        for buf in &mut self.bufs {
+            if buf.len() > 1 {
+                evicted += (buf.len() - 1) as u64;
+                let top = buf.pop().expect("non-empty");
+                buf.clear();
+                buf.push(top);
+            }
+        }
+        evicted
+    }
+
+    fn buffered_len(&self) -> usize {
+        self.bufs.iter().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +179,49 @@ mod tests {
     fn unrestricted_refires() {
         let d = run(Context::Unrestricted, 2, 2, &[(0, 1), (1, 2), (1, 3)]);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn unrestricted_gc_truncates_to_top_without_changing_detections() {
+        let feeds = [(0usize, 1u64), (0, 2), (0, 3), (1, 4), (1, 5)];
+        let mut plain = AnyNode::new(Context::Unrestricted, 2, 2);
+        let mut gc = AnyNode::new(Context::Unrestricted, 2, 2);
+        let mut plain_em = Vec::new();
+        let mut gc_em = Vec::new();
+        let mut tr = Vec::new();
+        for &(slot, t) in &feeds {
+            {
+                let mut sink = Sink::new(EventId(9), &mut plain_em, &mut tr);
+                plain.on_child(slot, &occ(slot, t), &mut sink);
+            }
+            {
+                let mut sink = Sink::new(EventId(9), &mut gc_em, &mut tr);
+                gc.on_child(slot, &occ(slot, t), &mut sink);
+            }
+            gc.on_watermark(t);
+        }
+        assert_eq!(plain_em.len(), gc_em.len());
+        for (a, b) in plain_em.iter().zip(&gc_em) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.params, b.params);
+        }
+        assert_eq!(plain.buffered_len(), 5);
+        assert_eq!(gc.buffered_len(), 2); // one top entry per slot
+    }
+
+    #[test]
+    fn consuming_contexts_keep_reachable_entries() {
+        let mut node = AnyNode::new(Context::Chronicle, 2, 2);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(0, &occ(0, 1), &mut sink);
+            node.on_child(0, &occ(0, 2), &mut sink);
+        }
+        // Chronicle pops re-expose older entries: nothing may be evicted.
+        assert_eq!(node.on_watermark(100), 0);
+        assert_eq!(node.buffered_len(), 2);
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl<T: EventTime> OperatorNode<T> for ANode<T> {
             _ => debug_assert!(false, "A has three operands"),
         }
     }
+
+    // No `on_watermark` override: an open window matches every future mid
+    // occurrence (strictly-after only becomes easier with age), and the
+    // closer arm already consumes terminated windows eagerly — so every
+    // buffered opener is live.
+
+    fn buffered_len(&self) -> usize {
+        self.openers.len()
+    }
 }
 
 /// One open window of `A*`.
@@ -184,6 +193,15 @@ impl<T: EventTime> OperatorNode<T> for AStarNode<T> {
             }
             _ => debug_assert!(false, "A* has three operands"),
         }
+    }
+
+    // No `on_watermark` override: open windows accumulate until a closer
+    // consumes them (the closer arm drains every terminated window), and
+    // accumulated mids are needed at close time — nothing buffered here is
+    // ever provably dead before the closer arrives.
+
+    fn buffered_len(&self) -> usize {
+        self.windows.iter().map(|w| 1 + w.mids.len()).sum()
     }
 }
 

@@ -31,6 +31,31 @@ pub trait OperatorNode<T: EventTime>: Debug + Send {
     /// A previously requested timer fired with driver-assigned time.
     /// Only temporal operators override this.
     fn on_timer(&mut self, _tag: u64, _time: &T, _sink: &mut Sink<'_, T>) {}
+
+    /// The driver's low watermark advanced to `low`: every occurrence this
+    /// node will receive from now on carries a stamp whose global ticks are
+    /// all `≥ low` (so [`EventTime::settled`] stamps happen-before all of
+    /// them). A node may evict buffered state that can provably never
+    /// contribute to a future detection, returning how many entries it
+    /// dropped. Eviction must be **behavior-preserving**: the detected
+    /// occurrence stream with and without GC is identical (enforced by
+    /// `tests/prop_fastpath.rs`).
+    ///
+    /// The default keeps everything — which is not laziness but the correct
+    /// rule for most operators: a buffered `∧`/`;`/`A` initiator matches
+    /// *every* future terminator (growing older only makes `t1 < t2` more
+    /// true, never less), so no watermark can prove it dead. The operators
+    /// whose semantics do strand state (`¬` guards and cancelled openers,
+    /// `ANY`'s unreachable Unrestricted entries) override this.
+    fn on_watermark(&mut self, _low: u64) -> u64 {
+        0
+    }
+
+    /// Number of occurrences (or guard stamps / armed offsets) currently
+    /// buffered in this node's state, for occupancy metrics.
+    fn buffered_len(&self) -> usize {
+        0
+    }
 }
 
 /// Collects a node's emissions and timer requests during one step.

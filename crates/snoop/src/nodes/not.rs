@@ -63,10 +63,63 @@ impl<T: EventTime> OperatorNode<T> for NotNode<T> {
                 // (for surviving openers); retain only those not yet
                 // provably useless — a guard before every retained opener
                 // could still fall inside a future window, so keep all.
+                // (Provably-dead guards are pruned by `on_watermark`.)
                 self.guards = guards;
             }
             _ => debug_assert!(false, "NOT has three operands"),
         }
+    }
+
+    /// `¬` is the operator that genuinely strands state: guards are
+    /// retained across closers and openers cancelled by them are never
+    /// consumed, so without GC both grow without bound (and every closer
+    /// re-scans them). Two watermark rules fix that, both exact:
+    ///
+    /// 1. **Cancelled openers** — if a *settled* guard `tg` has
+    ///    `opener < tg`, then for every future closer `t3` the guard lies
+    ///    strictly inside `(opener, t3)` (`tg < t3` by settledness), so no
+    ///    window of this opener can ever fire again. There is no closer
+    ///    buffer, so the opener is dead. Skipped under `Recent`, whose
+    ///    one-slot buffer participates in the replacement rule
+    ///    (`buffer_initiator` compares arrivals against the buffered
+    ///    occurrence, so evicting it could change which opener is kept).
+    /// 2. **Dead guards** — a settled guard can never cancel a *future*
+    ///    opener's window: future openers have all global ticks `≥ low`,
+    ///    and no such stamp precedes a settled one. So a settled guard with
+    ///    no remaining buffered opener before it is dead. Under `Recent`
+    ///    one settled guard inside the single opener's window already
+    ///    cancels every future closer, so a single witness is kept.
+    fn on_watermark(&mut self, low: u64) -> u64 {
+        let before = self.openers.len() + self.guards.len();
+        if self.ctx != Context::Recent {
+            let guards = &self.guards;
+            self.openers.retain(|op| {
+                !guards
+                    .iter()
+                    .any(|tg| tg.settled(low) && op.time.before(tg))
+            });
+        }
+        let openers = &self.openers;
+        let keep_redundant_witnesses = self.ctx != Context::Recent;
+        let mut witness_kept = false;
+        self.guards.retain(|tg| {
+            if !tg.settled(low) {
+                return true;
+            }
+            if !openers.iter().any(|op| op.time.before(tg)) {
+                return false;
+            }
+            if keep_redundant_witnesses || !witness_kept {
+                witness_kept = true;
+                return true;
+            }
+            false
+        });
+        (before - self.openers.len() - self.guards.len()) as u64
+    }
+
+    fn buffered_len(&self) -> usize {
+        self.openers.len() + self.guards.len()
     }
 }
 
@@ -204,6 +257,98 @@ mod tests {
                 &Occurrence::bare(EventId(2), cts(&[(1, 9, 90)])),
                 &mut sink,
             );
+        }
+        assert!(em.is_empty());
+    }
+
+    #[test]
+    fn watermark_evicts_cancelled_openers_and_dead_guards() {
+        let mut node: NotNode<CentralTime> = NotNode::new(Context::Chronicle);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(SLOT_OPENER, &occ(1), &mut sink); // cancelled by guard@3
+            node.on_child(SLOT_GUARD, &occ(3), &mut sink);
+            node.on_child(SLOT_OPENER, &occ(5), &mut sink); // still live
+        }
+        assert_eq!(node.buffered_len(), 3);
+        // Watermark below the guard: nothing is settled, nothing moves.
+        assert_eq!(node.on_watermark(3), 0);
+        // Guard@3 settles at low=4: opener@1 is dead; the guard stays as
+        // long as opener@1 precedes it — both go in the same pass because
+        // openers are pruned first.
+        assert_eq!(node.on_watermark(4), 2);
+        assert_eq!(node.buffered_len(), 1);
+        assert_eq!(node.guard_count(), 0);
+        // The surviving opener still detects against a later closer.
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(SLOT_CLOSER, &occ(9), &mut sink);
+        }
+        assert_eq!(em.len(), 1);
+        assert_eq!(em[0].params[0].values.len(), 0);
+    }
+
+    #[test]
+    fn watermark_gc_preserves_detections() {
+        // Same feed sequence, interleaved with aggressive watermarks on one
+        // copy: the emission streams must be identical.
+        let feeds = [
+            (SLOT_OPENER, 1),
+            (SLOT_GUARD, 2),
+            (SLOT_OPENER, 4),
+            (SLOT_CLOSER, 6),
+            (SLOT_OPENER, 7),
+            (SLOT_GUARD, 8),
+            (SLOT_CLOSER, 10),
+        ];
+        for ctx in [
+            Context::Unrestricted,
+            Context::Recent,
+            Context::Chronicle,
+            Context::Continuous,
+            Context::Cumulative,
+        ] {
+            let mut plain = NotNode::new(ctx);
+            let mut gc = NotNode::new(ctx);
+            let mut plain_em = Vec::new();
+            let mut gc_em = Vec::new();
+            let mut tr = Vec::new();
+            for &(slot, t) in &feeds {
+                {
+                    let mut sink = Sink::new(EventId(9), &mut plain_em, &mut tr);
+                    plain.on_child(slot, &occ(t), &mut sink);
+                }
+                {
+                    let mut sink = Sink::new(EventId(9), &mut gc_em, &mut tr);
+                    gc.on_child(slot, &occ(t), &mut sink);
+                }
+                gc.on_watermark(t); // feeds are monotone, so `t` is a valid low
+            }
+            assert_eq!(plain_em, gc_em, "{ctx}");
+            assert!(gc.buffered_len() <= plain.buffered_len(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn recent_keeps_one_settled_guard_witness() {
+        let mut node: NotNode<CentralTime> = NotNode::new(Context::Recent);
+        let mut em = Vec::new();
+        let mut tr = Vec::new();
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(SLOT_OPENER, &occ(1), &mut sink);
+            for t in [3, 4, 5] {
+                node.on_child(SLOT_GUARD, &occ(t), &mut sink);
+            }
+        }
+        assert_eq!(node.on_watermark(6), 2);
+        assert_eq!(node.guard_count(), 1);
+        // The witness still cancels the opener's window.
+        {
+            let mut sink = Sink::new(EventId(9), &mut em, &mut tr);
+            node.on_child(SLOT_CLOSER, &occ(9), &mut sink);
         }
         assert!(em.is_empty());
     }

@@ -125,6 +125,14 @@ impl<T: EventTime> OperatorNode<T> for PNode<T> {
         // A fire for a removed window is a no-op (window closed between
         // scheduling and delivery).
     }
+
+    // No `on_watermark` override: an open periodic window keeps firing
+    // until its closer arrives, and the closer arm consumes it eagerly —
+    // every buffered window is live by construction.
+
+    fn buffered_len(&self) -> usize {
+        self.core.windows.len()
+    }
 }
 
 /// State machine for `P*(E1, [t], E3)`.
@@ -160,12 +168,12 @@ impl<T: EventTime> OperatorNode<T> for PStarNode<T> {
                     for f in &w.fires {
                         time = time.max(f);
                     }
-                    let mut params = w.opener.params.clone();
+                    let mut params = (*w.opener.params).clone();
                     params.push(crate::event::ParamTuple::new(
                         occ.ty,
                         vec![Value::Int(w.fires.len() as i64)],
                     ));
-                    sink.emit(Occurrence::with_params(occ.ty, time, params));
+                    sink.emit(Occurrence::with_params(occ.ty, time, params.into()));
                 }
             }
             _ => debug_assert!(false, "P* has two event operands"),
@@ -178,6 +186,13 @@ impl<T: EventTime> OperatorNode<T> for PStarNode<T> {
             w.fires.push(time.clone());
             sink.request_timer(tag, period);
         }
+    }
+
+    // No `on_watermark` override: accumulated fires are all reported at the
+    // closer, so every window and every fire is live until then.
+
+    fn buffered_len(&self) -> usize {
+        self.core.windows.iter().map(|w| 1 + w.fires.len()).sum()
     }
 }
 

@@ -45,6 +45,13 @@ impl<T: EventTime> OperatorNode<T> for PlusNode<T> {
             sink.emit(Occurrence::with_params(base.ty, time.clone(), base.params));
         }
     }
+
+    // No `on_watermark` override: each armed offset is consumed by exactly
+    // one timer fire that is already scheduled — nothing is ever stranded.
+
+    fn buffered_len(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 #[cfg(test)]

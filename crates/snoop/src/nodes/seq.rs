@@ -47,6 +47,15 @@ impl<T: EventTime> OperatorNode<T> for SeqNode<T> {
             _ => debug_assert!(false, "SEQ has two operands"),
         }
     }
+
+    // No `on_watermark` override: a buffered initiator matches every
+    // *later* terminator, and aging only moves future terminators further
+    // past it — `t1 < t2` can only become true over time, never false. The
+    // watermark therefore cannot prove an initiator dead.
+
+    fn buffered_len(&self) -> usize {
+        self.inits.len()
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,24 @@ impl<T: EventTime> ShardedDetector<T> {
             .sum()
     }
 
+    /// Advance the low watermark across every shard (see
+    /// [`EventGraph::advance_watermark`]): the caller promises every future
+    /// stamp's global ticks are `≥ low`. Returns the evicted count.
+    pub fn advance_watermark(&mut self, low: u64) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| s.graph.advance_watermark(low))
+            .sum()
+    }
+
+    /// Total occurrences buffered across all shards' operator nodes.
+    pub fn buffered_occupancy(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.graph.buffered_occupancy())
+            .sum()
+    }
+
     /// Whether some definition references another definition's named event
     /// (forcing batch feeds onto the serial cascade path).
     pub fn has_cross_shard_routes(&self) -> bool {

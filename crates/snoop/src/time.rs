@@ -37,6 +37,21 @@ pub trait EventTime: Clone + Debug + PartialEq + Send + Sync + 'static {
     /// meaning beyond that.
     fn canonical_cmp(&self, other: &Self) -> Ordering;
 
+    /// Whether this stamp is *settled* relative to a low watermark: `true`
+    /// guarantees `self.before(u)` for **every** stamp `u` the driver can
+    /// still deliver, where the driver promises that every future stamp's
+    /// global ticks (all members, for composite stamps) are `≥ low`.
+    ///
+    /// Operator nodes use this to garbage-collect buffered state whose
+    /// relation to all future arrivals is already decided (the watermark
+    /// analogue of the `2g_g` band-separation fast path). The conservative
+    /// default — never settled — keeps GC a no-op for time domains that do
+    /// not opt in; it is always sound because eviction only ever *relies*
+    /// on `settled`, never on its negation.
+    fn settled(&self, _low: u64) -> bool {
+        false
+    }
+
     /// Strict happen-before.
     fn before(&self, other: &Self) -> bool {
         self.relation(other) == CompositeRelation::Before
@@ -93,6 +108,12 @@ impl EventTime for CentralTime {
     fn canonical_cmp(&self, other: &Self) -> Ordering {
         self.0.cmp(&other.0)
     }
+
+    /// Total order: every future tick `≥ low` is strictly after `self`
+    /// exactly when `self < low`.
+    fn settled(&self, low: u64) -> bool {
+        self.0 < low
+    }
 }
 
 impl EventTime for CompositeTimestamp {
@@ -108,6 +129,17 @@ impl EventTime for CompositeTimestamp {
         // Normalized member lists are sorted, so lexicographic comparison
         // is a total order consistent with `PartialEq`.
         self.members().cmp(other.members())
+    }
+
+    /// `<_p` against any future stamp `u` (all of whose member globals are
+    /// `≥ low`) requires, per Definition 5.3, a member of `self` before
+    /// each member of `u`. When `max_global(self) + 1 < low`, every
+    /// cross-site pair is ordered by the `2g_g` rule
+    /// (`g₁ + 1 < low ≤ g₂`), and every same-site pair follows from
+    /// Proposition 4.1's site-monotone clocks (larger global tick at one
+    /// site implies larger local tick). The cached bound makes this O(1).
+    fn settled(&self, low: u64) -> bool {
+        self.max_global() + 1 < low
     }
 }
 
@@ -154,6 +186,24 @@ mod tests {
         let c = cts(&[(1, 8, 80)]);
         let d = cts(&[(2, 8, 82)]);
         assert_eq!(EventTime::max(&c, &d), cts(&[(1, 8, 80), (2, 8, 82)]));
+    }
+
+    #[test]
+    fn central_settled_iff_below_watermark() {
+        assert!(CentralTime(4).settled(5));
+        assert!(!CentralTime(5).settled(5));
+        assert!(!CentralTime(9).settled(5));
+    }
+
+    #[test]
+    fn composite_settled_implies_before_future_stamps() {
+        let old = cts(&[(1, 3, 30), (2, 4, 41)]);
+        assert!(old.settled(6)); // max_global 4, 4 + 1 < 6
+        assert!(!old.settled(5)); // band gap of exactly 1: undecided
+                                  // Any stamp whose globals are ≥ the watermark is provably after.
+        for probe in [cts(&[(3, 6, 60)]), cts(&[(1, 7, 70), (2, 6, 62)])] {
+            assert!(old.before(&probe));
+        }
     }
 
     #[test]
