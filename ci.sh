@@ -8,9 +8,20 @@ cargo test -q
 cargo clippy -- -D warnings
 cargo fmt --check
 
+# The worker pool is feature-gated; build and test the whole workspace
+# with it on (includes the ≥128-case staged-parallel == serial suite).
+cargo test -q --workspace --features parallel
+cargo clippy --workspace --features parallel -- -D warnings
+
 # Bench smoke: re-measures the hot-path kernels and validates the
 # committed BENCH_hotpath.json baseline (fails on malformed JSON or a
 # >2x regression of any fast kernel).
 cargo run --release -p decs-bench --bin hotpath -- --smoke
+
+# Worker-pool smoke: re-runs the scaling workloads (asserting pooled ==
+# serial determinism at every worker count) and validates the committed
+# BENCH_parallel.json baseline; the ≥2x-at-4-workers check is enforced
+# only when the baseline machine had ≥4 threads (stamped in the JSON).
+cargo run --release -p decs-bench --features parallel --bin parallel -- --smoke
 
 echo "ci.sh: all tier-1 checks passed"

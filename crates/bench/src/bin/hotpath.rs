@@ -228,10 +228,13 @@ fn render_json(
     occupancy: &[OccRow],
     latency: &[(bool, LatencyRow)],
 ) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
     let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(j, "  \"kernels\": [");
     for (i, k) in kernels.iter().enumerate() {
         let comma = if i + 1 < kernels.len() { "," } else { "" };
@@ -305,6 +308,31 @@ fn smoke(baseline_path: &str) -> i32 {
         return 1;
     };
     let mut failed = false;
+    // Absolute ns are only comparable when the baseline was produced on a
+    // machine with the same parallelism (a proxy for "the same class of
+    // hardware"); on a mismatch only the machine-independent speedup
+    // ratios below are enforced. Pre-schema baselines carry no stamp and
+    // keep the old always-compare behaviour.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base_threads = {
+        let at = baseline
+            .find("\"threads\":")
+            .map(|i| i + "\"threads\":".len());
+        at.and_then(|i| {
+            let rest = &baseline[i..];
+            let end = rest.find([',', '\n']).unwrap_or(rest.len());
+            rest[..end].trim().parse::<usize>().ok()
+        })
+    };
+    let comparable = base_threads.is_none() || base_threads == Some(threads);
+    if !comparable {
+        eprintln!(
+            "smoke: note — baseline ran on {} thread(s), this machine has {}; \
+             skipping absolute-ns kernel comparisons",
+            base_threads.unwrap(),
+            threads
+        );
+    }
     for k in &kernels {
         let Some(base_fast) = extract(&baseline, k.name, "fast_ns") else {
             eprintln!(
@@ -314,7 +342,7 @@ fn smoke(baseline_path: &str) -> i32 {
             failed = true;
             continue;
         };
-        if k.fast_ns > 2.0 * base_fast {
+        if comparable && k.fast_ns > 2.0 * base_fast {
             eprintln!(
                 "smoke: FAIL — {} regressed {:.2} ns → {:.2} ns (>2x)",
                 k.name, base_fast, k.fast_ns

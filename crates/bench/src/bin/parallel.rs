@@ -1,0 +1,435 @@
+//! E14 — persistent worker pool: throughput vs worker count.
+//!
+//! Measures [`ShardedDetector::feed_batch`] on composite-timestamp
+//! workloads sized so per-shard work (in-band `<_p` relation checks
+//! against a large initiator buffer) dominates round dispatch:
+//!
+//! 1. **independent** — 8 disjoint `SEQ(A_i, B_i)` definitions
+//!    (stage count 1): a batch fans out to all shards in one pool round.
+//! 2. **cascading** — 8 `X_i = SEQ(A_i, B)` definitions sharing the
+//!    terminator `B`, each feeding `Y_i = SEQ(X_i, C_i)` (stage count 2):
+//!    cross-definition routes, so batches run as staged cascade waves.
+//!
+//! Each workload runs serially (no pool) and on pools of 1/2/4/8 workers;
+//! the detection streams are asserted bit-for-bit identical before any
+//! number is reported. Results go to `BENCH_parallel.json`, stamped with
+//! `threads` (the machine's available parallelism) and a `schema` version
+//! so the smoke gate can skip cross-machine comparisons cleanly: scaling
+//! ratios are only enforced when the baseline machine actually had the
+//! cores to scale.
+//!
+//! Run: `cargo run --release -p decs-bench --features parallel --bin
+//! parallel` (full, writes `BENCH_parallel.json`). `--smoke` runs a quick
+//! pass, validates the committed baseline and writes its own results under
+//! `target/`.
+
+use decs_bench::concurrent_composite;
+use decs_core::CompositeTimestamp;
+use decs_snoop::{Context, EventExpr as E, Occurrence, ShardedDetector};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DEFS: usize = 8;
+
+/// Per-run sizing: buffered in-band initiators per definition (each one
+/// costs a full `<_p` check per terminator) and measured batch rounds.
+#[derive(Clone, Copy)]
+struct Sizing {
+    band_inits: usize,
+    rounds: usize,
+}
+
+const FULL: Sizing = Sizing {
+    band_inits: 768,
+    rounds: 32,
+};
+const SMOKE: Sizing = Sizing {
+    band_inits: 96,
+    rounds: 8,
+};
+
+/// One measured configuration: `workers == 0` is the serial path.
+struct CurvePoint {
+    workers: usize,
+    events: u64,
+    elapsed_ms: f64,
+    events_per_sec: f64,
+    detections: usize,
+    parallel_rounds: u64,
+    pool_busy_ms: f64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    stage_count: usize,
+    curve: Vec<CurvePoint>,
+}
+
+impl WorkloadResult {
+    /// Throughput at `w` workers over throughput at 1 worker.
+    fn speedup(&self, w: usize) -> f64 {
+        let at = |workers| {
+            self.curve
+                .iter()
+                .find(|p| p.workers == workers)
+                .map_or(f64::NAN, |p| p.events_per_sec)
+        };
+        at(w) / at(1)
+    }
+}
+
+fn ty(d: &ShardedDetector<CompositeTimestamp>, name: &str) -> decs_snoop::EventId {
+    d.catalog().lookup(name).expect("registered")
+}
+
+fn stamp(base_site: usize, g: u64) -> CompositeTimestamp {
+    concurrent_composite(base_site as u32, g, 4)
+}
+
+/// 8 disjoint `SEQ(A_i, B_i)` definitions, Unrestricted. Seeded with a few
+/// certainly-before initiators (they match every terminator, so detections
+/// flow) and `band_inits` in-band initiators per definition (concurrent
+/// with the terminators, so every one costs a full relation check and none
+/// is ever consumed — per-round work stays constant).
+fn build_independent(s: Sizing) -> ShardedDetector<CompositeTimestamp> {
+    let mut d = ShardedDetector::new();
+    for i in 0..DEFS {
+        d.register(&format!("A{i}")).unwrap();
+        d.register(&format!("B{i}")).unwrap();
+    }
+    for i in 0..DEFS {
+        d.define(
+            &format!("S{i}"),
+            &E::seq(E::prim(&format!("A{i}")), E::prim(&format!("B{i}"))),
+            Context::Unrestricted,
+        )
+        .unwrap();
+    }
+    for i in 0..DEFS {
+        let a = ty(&d, &format!("A{i}"));
+        for k in 0..4u64 {
+            d.feed(Occurrence::bare(a, stamp(100 + i * 8, 50 + k)));
+        }
+        for k in 0..s.band_inits {
+            d.feed(Occurrence::bare(
+                a,
+                stamp(100 + i * 8, 1000 + (k % 2) as u64),
+            ));
+        }
+    }
+    d
+}
+
+/// Measured phase for the independent workload: batches of 4 terminators
+/// per definition. No cross-shard routes → one pool round per batch.
+fn run_independent(
+    d: &mut ShardedDetector<CompositeTimestamp>,
+    s: Sizing,
+) -> (u64, Vec<Occurrence<CompositeTimestamp>>) {
+    let bs: Vec<_> = (0..DEFS).map(|i| ty(d, &format!("B{i}"))).collect();
+    let mut detected = Vec::new();
+    let mut events = 0u64;
+    for _ in 0..s.rounds {
+        let mut batch = Vec::with_capacity(DEFS * 4);
+        for j in 0..4usize {
+            for (i, &b) in bs.iter().enumerate() {
+                batch.push(Occurrence::bare(b, stamp(300 + (i * 4 + j) * 8, 1001)));
+            }
+        }
+        events += batch.len() as u64;
+        detected.extend(d.feed_batch(batch).detected);
+    }
+    (events, detected)
+}
+
+/// 8 `X_i = SEQ(A_i, B)` definitions sharing the terminator `B`, each
+/// feeding `Y_i = SEQ(X_i, C_i)` — cross-definition routes with stage
+/// count 2, so batches run as staged cascade waves. Chronicle, so each `B`
+/// consumes one certainly-before `A_i` per shard (those are pre-seeded for
+/// the whole measured phase) while the in-band `A_i`s are scanned but
+/// never consumed.
+fn build_cascading(s: Sizing) -> ShardedDetector<CompositeTimestamp> {
+    let mut d = ShardedDetector::new();
+    for i in 0..DEFS {
+        d.register(&format!("A{i}")).unwrap();
+    }
+    d.register("B").unwrap();
+    for i in 0..DEFS {
+        d.register(&format!("C{i}")).unwrap();
+    }
+    for i in 0..DEFS {
+        d.define(
+            &format!("X{i}"),
+            &E::seq(E::prim(&format!("A{i}")), E::prim("B")),
+            Context::Chronicle,
+        )
+        .unwrap();
+    }
+    for i in 0..DEFS {
+        d.define(
+            &format!("Y{i}"),
+            &E::seq(E::prim(&format!("X{i}")), E::prim(&format!("C{i}"))),
+            Context::Chronicle,
+        )
+        .unwrap();
+    }
+    assert_eq!(d.stage_count(), 2);
+    assert!(d.has_cross_shard_routes());
+    let b_per_phase = (s.rounds * 4) as u64;
+    for i in 0..DEFS {
+        let a = ty(&d, &format!("A{i}"));
+        for k in 0..b_per_phase {
+            d.feed(Occurrence::bare(a, stamp(100 + i * 8, 10 + k)));
+        }
+        for k in 0..s.band_inits {
+            d.feed(Occurrence::bare(
+                a,
+                stamp(100 + i * 8, 1000 + (k % 2) as u64),
+            ));
+        }
+    }
+    d
+}
+
+/// Measured phase for the cascading workload: each round feeds 4 shared
+/// terminators `B` (every one triggers all 8 `X` shards, and its `X_i`
+/// detections cascade into the `Y` shards as a second wave) plus one
+/// `C_i` per definition (terminating `Y_i` against the accumulated `X_i`
+/// initiators).
+fn run_cascading(
+    d: &mut ShardedDetector<CompositeTimestamp>,
+    s: Sizing,
+) -> (u64, Vec<Occurrence<CompositeTimestamp>>) {
+    let b = ty(d, "B");
+    let cs: Vec<_> = (0..DEFS).map(|i| ty(d, &format!("C{i}"))).collect();
+    let mut detected = Vec::new();
+    let mut events = 0u64;
+    for _ in 0..s.rounds {
+        let mut batch = Vec::with_capacity(4 + DEFS);
+        for j in 0..4usize {
+            batch.push(Occurrence::bare(b, stamp(300 + j * 8, 1001)));
+        }
+        for (i, &c) in cs.iter().enumerate() {
+            batch.push(Occurrence::bare(c, stamp(400 + i * 8, 1004)));
+        }
+        events += batch.len() as u64;
+        detected.extend(d.feed_batch(batch).detected);
+    }
+    (events, detected)
+}
+
+/// A workload's measured phase: feed the batches, return (events fed,
+/// detection stream).
+type MeasuredRun = fn(
+    &mut ShardedDetector<CompositeTimestamp>,
+    Sizing,
+) -> (u64, Vec<Occurrence<CompositeTimestamp>>);
+
+/// Run one workload across the whole worker curve, asserting every
+/// configuration's detection stream is bit-for-bit identical to serial.
+fn bench_workload(
+    name: &'static str,
+    s: Sizing,
+    build: fn(Sizing) -> ShardedDetector<CompositeTimestamp>,
+    run: MeasuredRun,
+) -> WorkloadResult {
+    let mut curve = Vec::new();
+    let mut reference: Option<Vec<Occurrence<CompositeTimestamp>>> = None;
+    let mut stage_count = 0;
+    for workers in [0usize, 1, 2, 4, 8] {
+        let mut d = build(s);
+        stage_count = d.stage_count();
+        if workers > 0 {
+            d.enable_pool(workers);
+        }
+        let start = Instant::now();
+        let (events, detected) = run(&mut d, s);
+        let elapsed = start.elapsed().as_secs_f64();
+        match &reference {
+            None => {
+                assert!(!detected.is_empty(), "{name}: workload must detect");
+                reference = Some(detected);
+            }
+            Some(expect) => assert_eq!(
+                expect, &detected,
+                "{name}: {workers}-worker run diverged from serial"
+            ),
+        }
+        curve.push(CurvePoint {
+            workers,
+            events,
+            elapsed_ms: elapsed * 1e3,
+            events_per_sec: events as f64 / elapsed,
+            detections: reference.as_ref().map_or(0, Vec::len),
+            parallel_rounds: d.parallel_rounds(),
+            pool_busy_ms: d.pool_busy_ns() as f64 / 1e6,
+        });
+        eprintln!(
+            "  {name:<12} workers={workers} {:>9.0} ev/s ({:.1} ms, {} rounds)",
+            events as f64 / elapsed,
+            elapsed * 1e3,
+            curve.last().unwrap().parallel_rounds,
+        );
+    }
+    WorkloadResult {
+        name,
+        stage_count,
+        curve,
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn render_json(mode: &str, results: &[WorkloadResult]) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"parallel\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"threads\": {},", threads());
+    let _ = writeln!(j, "  \"workloads\": [");
+    for (i, w) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"defs\": {DEFS}, \"stage_count\": {}, \"curve\": [",
+            w.name, w.stage_count
+        );
+        for (k, p) in w.curve.iter().enumerate() {
+            let comma = if k + 1 < w.curve.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "      {{\"workers\": {}, \"events\": {}, \"elapsed_ms\": {:.2}, \
+                 \"events_per_sec\": {:.0}, \"detections\": {}, \
+                 \"parallel_rounds\": {}, \"pool_busy_ms\": {:.2}}}{comma}",
+                p.workers,
+                p.events,
+                p.elapsed_ms,
+                p.events_per_sec,
+                p.detections,
+                p.parallel_rounds,
+                p.pool_busy_ms
+            );
+        }
+        let _ = writeln!(j, "    ]}}{comma}");
+    }
+    let _ = writeln!(j, "  ],");
+    // Flat summary entries so the smoke gate can parse with a substring
+    // scanner (same shape as the hotpath kernels).
+    let _ = writeln!(j, "  \"summary\": [");
+    for (i, w) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}_speedup_4v1\", \"value\": {:.3}}}{comma}",
+            w.name,
+            w.speedup(4)
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull `"field": <number>` out of the object named `name` (summary
+/// entries are flat, so substring scanning is an adequate parser).
+fn extract(json: &str, name: &str, field: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"name\": \"{name}\""))?..];
+    let obj = &obj[..obj.find('}')?];
+    let at = obj.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pull a top-level `"field": <number>`.
+fn extract_top(json: &str, field: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &json[at..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn smoke(baseline_path: &str) -> i32 {
+    // The quick pass itself asserts serial == pooled determinism for every
+    // worker count; a divergence panics, which is the hard failure.
+    let results = [
+        bench_workload("independent", SMOKE, build_independent, run_independent),
+        bench_workload("cascading", SMOKE, build_cascading, run_cascading),
+    ];
+    let json = render_json("smoke", &results);
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/BENCH_parallel_smoke.json", &json).ok();
+    print!("{json}");
+
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("smoke: FAIL — missing baseline {baseline_path}");
+        return 1;
+    };
+    let mut failed = false;
+    if !baseline.contains("\"bench\": \"parallel\"") {
+        eprintln!("smoke: FAIL — baseline is not a parallel-bench artifact");
+        failed = true;
+    }
+    let schema = extract_top(&baseline, "schema");
+    if schema != Some(1.0) {
+        eprintln!("smoke: FAIL — baseline schema {schema:?} (expected 1)");
+        failed = true;
+    }
+    let Some(base_threads) = extract_top(&baseline, "threads") else {
+        eprintln!("smoke: FAIL — baseline carries no thread count");
+        return 1;
+    };
+    for w in ["independent", "cascading"] {
+        let key = format!("{w}_speedup_4v1");
+        let Some(speedup) = extract(&baseline, &key, "value") else {
+            eprintln!("smoke: FAIL — baseline is malformed (no {key})");
+            failed = true;
+            continue;
+        };
+        // Throughput ratios only mean something when the baseline machine
+        // had the cores: with fewer threads than workers the pool is
+        // time-sliced and the honest ratio is ~1x.
+        if base_threads >= 4.0 {
+            if speedup < 2.0 {
+                eprintln!(
+                    "smoke: FAIL — baseline {key} = {speedup:.2} < 2x at {base_threads} threads"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "smoke: note — baseline ran on {base_threads} thread(s); \
+                 skipping the {key} >= 2x scaling check ({key} = {speedup:.2})"
+            );
+        }
+    }
+    if failed {
+        1
+    } else {
+        eprintln!("smoke: OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke("BENCH_parallel.json"));
+    }
+
+    eprintln!(
+        "E14 — persistent worker pool throughput curve ({} threads available)",
+        threads()
+    );
+    let results = [
+        bench_workload("independent", FULL, build_independent, run_independent),
+        bench_workload("cascading", FULL, build_cascading, run_cascading),
+    ];
+    let json = render_json("full", &results);
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_parallel.json");
+}

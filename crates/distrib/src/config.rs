@@ -40,6 +40,14 @@ pub struct EngineConfig {
     /// this only trades a little release-round work for bounded memory on
     /// long runs. On by default; the off switch exists for ablation.
     pub buffer_gc: bool,
+    /// Worker threads for the coordinator's persistent shard pool
+    /// (`parallel` feature). `0` — the default — means auto:
+    /// `min(available_parallelism, shard_count)`, attaching a pool only
+    /// when that is ≥ 2. `1` forces the serial path (the baseline the
+    /// determinism suites compare against); `n ≥ 2` attaches a pool of
+    /// `min(n, shard_count)` threads. Detections are bit-for-bit identical
+    /// for every value. Ignored without the `parallel` feature.
+    pub worker_count: usize,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +60,7 @@ impl Default for EngineConfig {
             trace_capacity: 0,
             release_policy: ReleasePolicy::Stable,
             buffer_gc: true,
+            worker_count: 0,
         }
     }
 }

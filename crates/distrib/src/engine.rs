@@ -109,6 +109,22 @@ impl Engine {
             let id = detector.define(name, expr, *ctx)?;
             name_ids.insert((*name).to_string(), id);
         }
+        // `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit),
+        // 1 = forced serial (the determinism-suite baseline), n ≥ 2 = pool
+        // of min(n, shards). See `EngineConfig::worker_count`.
+        #[cfg(feature = "parallel")]
+        if detector.shard_count() > 1 {
+            let workers = match config.worker_count {
+                0 => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                n => n,
+            }
+            .min(detector.shard_count());
+            if workers > 1 {
+                detector.enable_pool(workers);
+            }
+        }
         // Snapshot id → name for reporting.
         let mut names = Vec::new();
         {

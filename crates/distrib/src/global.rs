@@ -95,6 +95,8 @@ impl CoordinatorNode {
     ) -> Self {
         let metrics = Metrics {
             shard_count: detector.shard_count(),
+            stage_count: detector.stage_count(),
+            worker_count: detector.worker_count(),
             ..Metrics::default()
         };
         CoordinatorNode {
@@ -210,6 +212,9 @@ impl CoordinatorNode {
             .metrics
             .node_buffer_peak
             .max(self.metrics.node_buffered);
+        self.metrics.worker_count = self.detector.worker_count();
+        self.metrics.parallel_rounds = self.detector.parallel_rounds();
+        self.metrics.pool_busy_ns = self.detector.pool_busy_ns();
     }
 
     /// Feed a released notification: report it if it is itself a

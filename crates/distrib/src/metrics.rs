@@ -40,6 +40,16 @@ pub struct Metrics {
     pub node_buffered: usize,
     /// High-water mark of [`Metrics::node_buffered`].
     pub node_buffer_peak: usize,
+    /// Worker threads in the persistent shard pool (0 = serial path).
+    pub worker_count: usize,
+    /// Rounds dispatched to the pool (one per batch fan-out or cascade
+    /// wave; 0 on the serial path).
+    pub parallel_rounds: u64,
+    /// Topological stages of the definition dependency DAG (1 when every
+    /// definition is independent).
+    pub stage_count: usize,
+    /// Cumulative busy time across pool workers, in nanoseconds.
+    pub pool_busy_ns: u64,
 }
 
 impl Metrics {

@@ -10,7 +10,8 @@ use crate::context::Context;
 use crate::error::Result;
 use crate::event::{Catalog, EventId, Occurrence, Value};
 use crate::expr::EventExpr;
-use crate::graph::{EventGraph, FeedResult, TimerId};
+use crate::graph::{EventGraph, FeedResult, TimerId, TimerRequest};
+use crate::shard::{ShardId, ShardedDetector};
 use crate::time::{CentralTime, EventTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -81,14 +82,24 @@ impl<T: EventTime> Detector<T> {
     }
 }
 
+/// Backend of a [`CentralDetector`]: one monolithic graph (the default)
+/// or one graph per definition, which enables batch fan-out and — with the
+/// `parallel` feature — the persistent worker pool.
+#[derive(Debug)]
+enum Core {
+    Mono(Detector<CentralTime>),
+    Sharded(ShardedDetector<CentralTime>),
+}
+
 /// The centralized detector (Section 3): totally ordered ticks with an
 /// internal timer queue. Occurrences must be fed in non-decreasing tick
 /// order (as a single physical clock produces them).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CentralDetector {
-    inner: Detector<CentralTime>,
-    /// Due timers: `(fire_tick, id)`, min-heap.
-    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    core: Core,
+    /// Due timers: `(fire_tick, owning shard, id)`, min-heap. The shard is
+    /// always 0 with the monolithic backend.
+    timers: BinaryHeap<Reverse<(u64, ShardId, u64)>>,
     /// Highest tick seen (for monotonicity checking).
     now: u64,
     /// Whether the clock drives buffer GC (on by default).
@@ -99,16 +110,75 @@ pub struct CentralDetector {
     buffer_peak: usize,
 }
 
+impl Default for CentralDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl CentralDetector {
-    /// An empty centralized detector.
+    /// An empty centralized detector over one monolithic graph.
     pub fn new() -> Self {
+        Self::with_core(Core::Mono(Detector::new()))
+    }
+
+    /// An empty centralized detector with the definition-sharded backend:
+    /// every `define` compiles into its own shard, so [`Self::feed_batch`]
+    /// can fan a batch out across definitions and (with the `parallel`
+    /// feature) run it on a persistent worker pool. Detection output is
+    /// identical to the monolithic backend.
+    pub fn sharded() -> Self {
+        Self::with_core(Core::Sharded(ShardedDetector::new()))
+    }
+
+    fn with_core(core: Core) -> Self {
         CentralDetector {
-            inner: Detector::new(),
+            core,
             timers: BinaryHeap::new(),
             now: 0,
             gc: true,
             gc_evicted: 0,
             buffer_peak: 0,
+        }
+    }
+
+    /// Attach a persistent worker pool to the sharded backend (see
+    /// [`ShardedDetector::enable_pool`]). Returns `true` if the pool was
+    /// attached; the monolithic backend always runs serially.
+    #[cfg(feature = "parallel")]
+    pub fn enable_worker_pool(&mut self, workers: usize) -> bool {
+        match &mut self.core {
+            Core::Sharded(s) => {
+                s.enable_pool(workers);
+                true
+            }
+            Core::Mono(_) => false,
+        }
+    }
+
+    /// Worker threads in the pool (0 = serial / monolithic backend).
+    pub fn worker_count(&self) -> usize {
+        match &self.core {
+            Core::Sharded(s) => s.worker_count(),
+            Core::Mono(_) => 0,
+        }
+    }
+
+    /// Topological stages in the definition dependency DAG (1 for the
+    /// monolithic backend, which is a single stage by construction).
+    pub fn stage_count(&self) -> usize {
+        match &self.core {
+            Core::Sharded(s) => s.stage_count(),
+            Core::Mono(_) => 1,
+        }
+    }
+
+    /// Smallest timer delay any definition can request, or `None` when no
+    /// definition uses a temporal operator (`+`, `P`, `P*`).
+    pub fn min_timer_delay(&self) -> Option<u64> {
+        match &self.core {
+            Core::Mono(d) => d.graph().min_timer_delay(),
+            Core::Sharded(s) => s.min_timer_delay(),
         }
     }
 
@@ -125,7 +195,10 @@ impl CentralDetector {
 
     /// Occurrences currently buffered across operator nodes.
     pub fn buffered_occupancy(&self) -> usize {
-        self.inner.buffered_occupancy()
+        match &self.core {
+            Core::Mono(d) => d.buffered_occupancy(),
+            Core::Sharded(s) => s.buffered_occupancy(),
+        }
     }
 
     /// Highest occupancy observed at a GC point (post-eviction).
@@ -135,17 +208,26 @@ impl CentralDetector {
 
     /// Register a primitive event type.
     pub fn register(&mut self, name: &str) -> Result<EventId> {
-        self.inner.register(name)
+        match &mut self.core {
+            Core::Mono(d) => d.register(name),
+            Core::Sharded(s) => s.register(name),
+        }
     }
 
     /// Define a named composite event.
     pub fn define(&mut self, name: &str, expr: &EventExpr, ctx: Context) -> Result<EventId> {
-        self.inner.define(name, expr, ctx)
+        match &mut self.core {
+            Core::Mono(d) => d.define(name, expr, ctx),
+            Core::Sharded(s) => s.define(name, expr, ctx),
+        }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
-        self.inner.catalog()
+        match &self.core {
+            Core::Mono(d) => d.catalog(),
+            Core::Sharded(s) => s.catalog(),
+        }
     }
 
     /// The current clock tick (highest seen).
@@ -157,20 +239,28 @@ impl CentralDetector {
     /// composite occurrences those timers produced.
     pub fn advance_to(&mut self, tick: u64) -> Result<Vec<Occurrence<CentralTime>>> {
         let mut detected = Vec::new();
-        while let Some(&Reverse((due, id))) = self.timers.peek() {
+        while let Some(&Reverse((due, shard, id))) = self.timers.peek() {
             if due > tick {
                 break;
             }
             self.timers.pop();
-            let r = self.inner.fire_timer(TimerId(id), CentralTime(due))?;
-            self.absorb(r, due, &mut detected);
+            let (det, timers) = match &mut self.core {
+                Core::Mono(d) => {
+                    let r = d.fire_timer(TimerId(id), CentralTime(due))?;
+                    (r.detected, tag_mono(r.timers))
+                }
+                Core::Sharded(s) => {
+                    let r = s.fire_timer(shard, TimerId(id), CentralTime(due))?;
+                    (r.detected, r.timers)
+                }
+            };
+            self.absorb(det, timers, due, &mut detected);
         }
         self.now = self.now.max(tick);
         if self.gc {
             // Feeds are non-decreasing and due timers have been drained, so
             // every future stamp is ≥ `now`: `now` is a valid low watermark.
-            self.gc_evicted += self.inner.advance_watermark(self.now);
-            self.buffer_peak = self.buffer_peak.max(self.inner.buffered_occupancy());
+            self.run_gc();
         }
         Ok(detected)
     }
@@ -185,8 +275,9 @@ impl CentralDetector {
         values: Vec<Value>,
     ) -> Result<Vec<Occurrence<CentralTime>>> {
         let mut detected = self.advance_to(tick)?;
-        let r = self.inner.feed_named(name, CentralTime(tick), values)?;
-        self.absorb(r, tick, &mut detected);
+        let ty = self.catalog().lookup(name)?;
+        let occ = Occurrence::primitive(ty, CentralTime(tick), values);
+        self.feed_occ(occ, tick, &mut detected);
         Ok(detected)
     }
 
@@ -195,23 +286,127 @@ impl CentralDetector {
         self.feed(name, tick, Vec::new())
     }
 
+    /// Feed a whole batch of `(name, tick, values)` triples (ticks
+    /// non-decreasing). Semantically identical to calling [`Self::feed`]
+    /// on each triple in order. Timer-free definition sets are fed through
+    /// the backend's batch path in stretches split at due-timer boundaries
+    /// — with the sharded backend that is [`ShardedDetector::feed_batch`],
+    /// which runs on the worker pool when one is enabled. Definition sets
+    /// with temporal operators arm timers whose due ticks derive from the
+    /// arming occurrence, so they keep the ordered per-occurrence path.
+    pub fn feed_batch(
+        &mut self,
+        batch: Vec<(&str, u64, Vec<Value>)>,
+    ) -> Result<Vec<Occurrence<CentralTime>>> {
+        // Resolve every name first so an unknown name fails atomically,
+        // before any state changes.
+        let mut occs = std::collections::VecDeque::with_capacity(batch.len());
+        for (name, tick, values) in batch {
+            let ty = self.catalog().lookup(name)?;
+            occs.push_back(Occurrence::primitive(ty, CentralTime(tick), values));
+        }
+        let batchable = self.min_timer_delay().is_none();
+        let mut out = Vec::new();
+        while let Some(front) = occs.front() {
+            let first = front.time.get();
+            out.extend(self.advance_to(first)?);
+            if !batchable {
+                let occ = occs.pop_front().expect("front exists");
+                self.feed_occ(occ, first, &mut out);
+                continue;
+            }
+            // No definition can arm a timer, so the only split points are
+            // the timers already queued (none, for timer-free graphs —
+            // the general form keeps the invariant obvious).
+            let next_due = self
+                .timers
+                .peek()
+                .map_or(u64::MAX, |&Reverse((due, _, _))| due);
+            let split = occs
+                .iter()
+                .position(|o| o.time.get() >= next_due)
+                .unwrap_or(occs.len())
+                .max(1);
+            let prefix: Vec<_> = occs.drain(..split).collect();
+            let last = prefix.last().expect("split ≥ 1").time.get();
+            let (det, timers) = match &mut self.core {
+                Core::Mono(d) => {
+                    let mut det = Vec::new();
+                    let mut tmr = Vec::new();
+                    for occ in prefix {
+                        let r = d.feed(occ);
+                        det.extend(r.detected);
+                        tmr.extend(tag_mono(r.timers));
+                    }
+                    (det, tmr)
+                }
+                Core::Sharded(s) => {
+                    let r = s.feed_batch(prefix);
+                    (r.detected, r.timers)
+                }
+            };
+            debug_assert!(timers.is_empty(), "timer-free graph armed a timer");
+            self.absorb(det, timers, last, &mut out);
+            self.now = self.now.max(last);
+        }
+        if self.gc {
+            self.run_gc();
+        }
+        Ok(out)
+    }
+
     /// Resolve a detected occurrence's type name.
     pub fn name_of(&self, occ: &Occurrence<CentralTime>) -> &str {
-        self.inner.catalog().name(occ.ty)
+        self.catalog().name(occ.ty)
+    }
+
+    fn feed_occ(
+        &mut self,
+        occ: Occurrence<CentralTime>,
+        base_tick: u64,
+        detected: &mut Vec<Occurrence<CentralTime>>,
+    ) {
+        let (det, timers) = match &mut self.core {
+            Core::Mono(d) => {
+                let r = d.feed(occ);
+                (r.detected, tag_mono(r.timers))
+            }
+            Core::Sharded(s) => {
+                let r = s.feed(occ);
+                (r.detected, r.timers)
+            }
+        };
+        self.absorb(det, timers, base_tick, detected);
     }
 
     fn absorb(
         &mut self,
-        r: FeedResult<CentralTime>,
+        det: Vec<Occurrence<CentralTime>>,
+        timers: Vec<(ShardId, TimerRequest)>,
         base_tick: u64,
         detected: &mut Vec<Occurrence<CentralTime>>,
     ) {
-        for t in r.timers {
+        for (shard, t) in timers {
             self.timers
-                .push(Reverse((base_tick + t.delay_ticks, t.id.0)));
+                .push(Reverse((base_tick + t.delay_ticks, shard, t.id.0)));
         }
-        detected.extend(r.detected);
+        detected.extend(det);
     }
+
+    fn run_gc(&mut self) {
+        let low = self.now;
+        let evicted = match &mut self.core {
+            Core::Mono(d) => d.advance_watermark(low),
+            Core::Sharded(s) => s.advance_watermark(low),
+        };
+        self.gc_evicted += evicted;
+        self.buffer_peak = self.buffer_peak.max(self.buffered_occupancy());
+    }
+}
+
+/// Tag a monolithic graph's timer requests with the lone shard id 0.
+fn tag_mono(timers: Vec<TimerRequest>) -> Vec<(ShardId, TimerRequest)> {
+    timers.into_iter().map(|t| (0, t)).collect()
 }
 
 #[cfg(test)]
@@ -347,5 +542,132 @@ mod tests {
         let mut d = detector_with(E::seq(E::prim("A"), E::prim("B")), Context::Chronicle);
         d.feed_bare("A", 7).unwrap();
         assert_eq!(d.now(), CentralTime(7));
+    }
+
+    /// Two cross-referencing timer-free definitions plus one timer def
+    /// when `with_timers` — exercises both feed_batch arms.
+    fn populate(d: &mut CentralDetector, with_timers: bool) {
+        for n in ["A", "B", "C"] {
+            d.register(n).unwrap();
+        }
+        d.define("X", &E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)
+            .unwrap();
+        d.define(
+            "Y",
+            &E::and(E::prim("X"), E::prim("C")),
+            Context::Unrestricted,
+        )
+        .unwrap();
+        if with_timers {
+            d.define("D", &E::plus(E::prim("C"), 3), Context::Chronicle)
+                .unwrap();
+        }
+    }
+
+    fn batch_trace() -> Vec<(&'static str, u64)> {
+        vec![
+            ("A", 1),
+            ("B", 2),
+            ("C", 3),
+            ("A", 4),
+            ("C", 5),
+            ("B", 9),
+            ("C", 10),
+            ("B", 12),
+        ]
+    }
+
+    fn run_serial(mut d: CentralDetector, with_timers: bool) -> Vec<(String, u64)> {
+        populate(&mut d, with_timers);
+        let mut out = Vec::new();
+        for (n, t) in batch_trace() {
+            out.extend(d.feed_bare(n, t).unwrap());
+        }
+        out.extend(d.advance_to(100).unwrap());
+        out.iter()
+            .map(|o| (d.name_of(o).to_owned(), o.time.get()))
+            .collect()
+    }
+
+    fn run_batched(mut d: CentralDetector, with_timers: bool) -> Vec<(String, u64)> {
+        populate(&mut d, with_timers);
+        let batch = batch_trace()
+            .into_iter()
+            .map(|(n, t)| (n, t, Vec::new()))
+            .collect();
+        let mut out = d.feed_batch(batch).unwrap();
+        out.extend(d.advance_to(100).unwrap());
+        out.iter()
+            .map(|o| (d.name_of(o).to_owned(), o.time.get()))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_backend_matches_mono() {
+        for with_timers in [false, true] {
+            let mono = run_serial(CentralDetector::new(), with_timers);
+            let sharded = run_serial(CentralDetector::sharded(), with_timers);
+            assert!(!mono.is_empty());
+            assert_eq!(mono, sharded, "with_timers={with_timers}");
+        }
+    }
+
+    #[test]
+    fn feed_batch_equals_serial_feeds_on_both_backends() {
+        for with_timers in [false, true] {
+            let reference = run_serial(CentralDetector::new(), with_timers);
+            assert_eq!(
+                run_batched(CentralDetector::new(), with_timers),
+                reference,
+                "mono, with_timers={with_timers}"
+            );
+            assert_eq!(
+                run_batched(CentralDetector::sharded(), with_timers),
+                reference,
+                "sharded, with_timers={with_timers}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_timer_delay_reports_temporal_operators() {
+        let mut d = CentralDetector::sharded();
+        populate(&mut d, false);
+        assert_eq!(d.min_timer_delay(), None);
+        let mut d = CentralDetector::sharded();
+        populate(&mut d, true);
+        assert_eq!(d.min_timer_delay(), Some(3));
+        assert_eq!(d.stage_count(), 2); // Y references X
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pooled_sharded_backend_matches_mono_batches() {
+        for with_timers in [false, true] {
+            let reference = run_serial(CentralDetector::new(), with_timers);
+            let mut d = CentralDetector::sharded();
+            populate(&mut d, with_timers);
+            assert!(d.enable_worker_pool(2));
+            assert_eq!(d.worker_count(), 2);
+            let batch = batch_trace()
+                .into_iter()
+                .map(|(n, t)| (n, t, Vec::new()))
+                .collect();
+            let mut out = d.feed_batch(batch).unwrap();
+            out.extend(d.advance_to(100).unwrap());
+            let got: Vec<(String, u64)> = out
+                .iter()
+                .map(|o| (d.name_of(o).to_owned(), o.time.get()))
+                .collect();
+            assert_eq!(got, reference, "with_timers={with_timers}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn enable_worker_pool_is_rejected_on_mono_backend() {
+        let mut d = CentralDetector::new();
+        assert!(!d.enable_worker_pool(4));
+        assert_eq!(d.worker_count(), 0);
     }
 }

@@ -370,10 +370,34 @@ impl<T: EventTime> EventGraph<T> {
     }
 
     /// Feed a primitive (or named-composite) occurrence into the graph.
+    /// Taking the occurrence by value lets the last subscriber receive it
+    /// by move, so single-subscriber delivery (the common case) is
+    /// clone-free; see [`EventGraph::feed_ref`] for the borrowing variant.
     pub fn feed(&mut self, occ: Occurrence<T>) -> FeedResult<T> {
         let mut result = FeedResult::new();
         let mut queue: VecDeque<(NodeId, usize, Occurrence<T>)> = VecDeque::new();
-        self.enqueue_subscribers(&occ, &mut queue);
+        match self.subs.get(&occ.ty) {
+            None => return result,
+            Some(subs) => {
+                let (&(last, last_slot), rest) = subs.split_last().expect("subs are non-empty");
+                for &(node, slot) in rest {
+                    queue.push_back((node, slot, occ.clone()));
+                }
+                queue.push_back((last, last_slot, occ));
+            }
+        }
+        self.drain(queue, &mut result);
+        result
+    }
+
+    /// Feed by reference: clones once per subscriber edge, never for the
+    /// graph itself. Callers that fan one occurrence out to several graphs
+    /// (the sharded detector's routing) use this to avoid a clone per
+    /// graph.
+    pub fn feed_ref(&mut self, occ: &Occurrence<T>) -> FeedResult<T> {
+        let mut result = FeedResult::new();
+        let mut queue: VecDeque<(NodeId, usize, Occurrence<T>)> = VecDeque::new();
+        self.enqueue_subscribers(occ, &mut queue);
         self.drain(queue, &mut result);
         result
     }
@@ -402,6 +426,18 @@ impl<T: EventTime> EventGraph<T> {
     /// Number of outstanding timers (for driver bookkeeping/tests).
     pub fn pending_timer_count(&self) -> usize {
         self.timers.len()
+    }
+
+    /// Smallest delay any node in this graph can request a timer with, or
+    /// `None` when the graph contains no temporal operators. Batching
+    /// drivers rely on the resulting bound: an occurrence fed at tick `t`
+    /// cannot enqueue a timer due before `t + min` (see
+    /// [`OperatorNode::min_timer_delay`]).
+    pub fn min_timer_delay(&self) -> Option<u64> {
+        self.nodes
+            .iter()
+            .filter_map(|entry| entry.op.min_timer_delay())
+            .min()
     }
 
     /// The driver's low watermark advanced to `low`: let every operator

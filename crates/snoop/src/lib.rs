@@ -34,6 +34,8 @@ pub mod event;
 pub mod expr;
 pub mod graph;
 pub mod nodes;
+#[cfg(feature = "parallel")]
+mod pool;
 pub mod shard;
 pub mod time;
 

@@ -56,6 +56,15 @@ pub trait OperatorNode<T: EventTime>: Debug + Send {
     fn buffered_len(&self) -> usize {
         0
     }
+
+    /// Smallest delay this node can ever pass to [`Sink::request_timer`],
+    /// or `None` if it never requests timers. Delays are compile-time
+    /// constants of the temporal operators, so batching drivers can rely
+    /// on the graph-wide minimum: an occurrence fed at tick `t` cannot
+    /// enqueue a timer due before `t + min`.
+    fn min_timer_delay(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Collects a node's emissions and timer requests during one step.
@@ -204,6 +213,157 @@ pub(crate) fn pair_terminator<T, F>(
     }
 }
 
+/// One buffered initiator inside a [`BandedBuffer`].
+#[derive(Debug)]
+struct BandEntry<T: EventTime> {
+    /// Cached [`EventTime::global_upper_bound`] of `occ`'s stamp (the sort
+    /// key).
+    band: u64,
+    /// Arrival sequence number — the semantic order of the buffer. Context
+    /// consumption rules (Chronicle FIFO, emission order) are defined over
+    /// *arrival* order, which band order need not agree with.
+    seq: u64,
+    occ: Occurrence<T>,
+}
+
+/// An initiator buffer kept sorted by `(global_upper_bound, arrival)` so a
+/// terminator can binary-search the **band-separated prefix**: every entry
+/// with `band + 1 < terminator.global_lower_bound()` is settled at the
+/// terminator's band floor and therefore certainly happens-before it (the
+/// buffered analogue of the `2g_g` band-separation fast path, under the
+/// same site-monotone-clock assumption as [`EventTime::settled`]). Full
+/// `<_p` relation checks run only on the entries inside the uncertainty
+/// band. `tests/prop_fastpath.rs` pins this against the linear-scan oracle.
+#[derive(Debug)]
+pub(crate) struct BandedBuffer<T: EventTime> {
+    /// Sorted by `(band, seq)`; `seq` values are unique.
+    entries: Vec<BandEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T: EventTime> Default for BandedBuffer<T> {
+    fn default() -> Self {
+        BandedBuffer {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T: EventTime> BandedBuffer<T> {
+    /// Number of buffered initiators.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Buffer an initiator (the banded analogue of [`buffer_initiator`]):
+    /// Recent keeps a single latest occurrence; other contexts insert in
+    /// band order, remembering arrival order in `seq`.
+    pub(crate) fn insert(&mut self, ctx: Context, occ: &Occurrence<T>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if ctx == Context::Recent {
+            if let Some(existing) = self.entries.first() {
+                if occ.time.before(&existing.occ.time) {
+                    return; // older than the buffered one: ignore
+                }
+                self.entries.clear();
+            }
+        }
+        let band = occ.time.global_upper_bound();
+        // In-order arrivals (the common case) have the largest `(band, seq)`
+        // key so far, so this is an O(log n) search + push at the end.
+        let pos = self.entries.partition_point(|e| e.band <= band);
+        self.entries.insert(
+            pos,
+            BandEntry {
+                band,
+                seq,
+                occ: occ.clone(),
+            },
+        );
+    }
+
+    /// Pair `term` with every buffered initiator that strictly
+    /// happens-before it, applying the context's consumption rule exactly
+    /// like [`pair_terminator`] with the `init.time.before(term.time)`
+    /// predicate: emissions happen in arrival order, Chronicle consumes the
+    /// oldest arrival, Continuous/Cumulative consume every match.
+    ///
+    /// Entries below the band-separated prefix match by construction (the
+    /// prefix bound implies `before`, and `term` itself can never land in
+    /// the prefix since its own band overlaps its floor); only in-band
+    /// entries run the full relation check and the self-pairing uid guard.
+    pub(crate) fn terminate_before(
+        &mut self,
+        ctx: Context,
+        term: &Occurrence<T>,
+        sink: &mut Sink<'_, T>,
+    ) {
+        let floor = term.time.global_lower_bound();
+        let prefix = self
+            .entries
+            .partition_point(|e| e.band.saturating_add(1) < floor);
+        let in_band = |e: &BandEntry<T>| e.occ.uid != term.uid && e.occ.time.before(&term.time);
+        match ctx {
+            Context::Unrestricted => {
+                let mut matched: Vec<&BandEntry<T>> = self.entries[..prefix]
+                    .iter()
+                    .chain(self.entries[prefix..].iter().filter(|e| in_band(e)))
+                    .collect();
+                matched.sort_by_key(|e| e.seq);
+                for e in matched {
+                    sink.emit_pair(&e.occ, term);
+                }
+            }
+            Context::Recent => {
+                // Buffer holds at most one occurrence.
+                if let Some(e) = self.entries.first() {
+                    if prefix > 0 || in_band(e) {
+                        sink.emit_pair(&e.occ, term);
+                    }
+                }
+            }
+            Context::Chronicle => {
+                let mut oldest: Option<usize> = None;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if (i < prefix || in_band(e))
+                        && oldest.is_none_or(|o| e.seq < self.entries[o].seq)
+                    {
+                        oldest = Some(i);
+                    }
+                }
+                if let Some(i) = oldest {
+                    let e = self.entries.remove(i);
+                    sink.emit_pair(&e.occ, term);
+                }
+            }
+            Context::Continuous | Context::Cumulative => {
+                let mut matched = Vec::new();
+                let mut kept = Vec::new();
+                for (i, e) in self.entries.drain(..).enumerate() {
+                    if i < prefix || in_band(&e) {
+                        matched.push(e);
+                    } else {
+                        kept.push(e);
+                    }
+                }
+                self.entries = kept; // a subsequence: still sorted
+                matched.sort_by_key(|e| e.seq);
+                if ctx == Context::Continuous {
+                    for e in &matched {
+                        sink.emit_pair(&e.occ, term);
+                    }
+                } else if !matched.is_empty() {
+                    let mut parts: Vec<&Occurrence<T>> = matched.iter().map(|e| &e.occ).collect();
+                    parts.push(term);
+                    sink.emit_all(&parts);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +432,46 @@ mod tests {
         assert_eq!(em.len(), 1);
         assert_eq!(em[0].params.len(), 3); // two initiators + terminator
         assert_eq!(em[0].time, CentralTime(10));
+    }
+
+    /// The banded buffer replicates the linear helpers exactly — same
+    /// emissions in the same order, same surviving buffer — even when
+    /// arrival order disagrees with band order. (The full randomized
+    /// oracle suite is in `tests/prop_fastpath.rs`.)
+    #[test]
+    fn banded_buffer_matches_linear_helpers() {
+        let arrivals = [7u64, 2, 9, 2, 5, 14, 1];
+        for ctx in [
+            Context::Unrestricted,
+            Context::Recent,
+            Context::Chronicle,
+            Context::Continuous,
+            Context::Cumulative,
+        ] {
+            let mut linear = Vec::new();
+            let mut banded = BandedBuffer::default();
+            let occs: Vec<_> = arrivals.iter().map(|&t| bare(t)).collect();
+            for occ in &occs {
+                buffer_initiator(ctx, &mut linear, occ);
+                banded.insert(ctx, occ);
+            }
+            for term_t in [6u64, 10, 3] {
+                let term = bare(term_t);
+                let (mut em_l, mut em_b) = (Vec::new(), Vec::new());
+                let (mut tr_l, mut tr_b) = (Vec::new(), Vec::new());
+                {
+                    let mut sink = Sink::new(EventId(9), &mut em_l, &mut tr_l);
+                    let t2 = term.time;
+                    pair_terminator(ctx, &mut linear, &term, &mut sink, |i| i.time.before(&t2));
+                }
+                {
+                    let mut sink = Sink::new(EventId(9), &mut em_b, &mut tr_b);
+                    banded.terminate_before(ctx, &term, &mut sink);
+                }
+                assert_eq!(em_l, em_b, "{ctx} term@{term_t}");
+                assert_eq!(linear.len(), banded.len(), "{ctx} term@{term_t}");
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,10 @@ impl<T: EventTime> OperatorNode<T> for PNode<T> {
     fn buffered_len(&self) -> usize {
         self.core.windows.len()
     }
+
+    fn min_timer_delay(&self) -> Option<u64> {
+        Some(self.core.period)
+    }
 }
 
 /// State machine for `P*(E1, [t], E3)`.
@@ -193,6 +197,10 @@ impl<T: EventTime> OperatorNode<T> for PStarNode<T> {
 
     fn buffered_len(&self) -> usize {
         self.core.windows.iter().map(|w| 1 + w.fires.len()).sum()
+    }
+
+    fn min_timer_delay(&self) -> Option<u64> {
+        Some(self.core.period)
     }
 }
 

@@ -52,6 +52,10 @@ impl<T: EventTime> OperatorNode<T> for PlusNode<T> {
     fn buffered_len(&self) -> usize {
         self.pending.len()
     }
+
+    fn min_timer_delay(&self) -> Option<u64> {
+        Some(self.delta)
+    }
 }
 
 #[cfg(test)]

@@ -9,14 +9,20 @@
 
 use crate::context::Context;
 use crate::event::Occurrence;
-use crate::nodes::{buffer_initiator, pair_terminator, OperatorNode, Sink};
+use crate::nodes::{BandedBuffer, OperatorNode, Sink};
 use crate::time::EventTime;
 
 /// State machine for `E1 ; E2`.
+///
+/// Initiators live in a [`BandedBuffer`] sorted by the cached max-global
+/// bound: a terminator binary-searches the band-separated
+/// "certainly-before" prefix and only runs full `<_p` relation checks on
+/// the initiators inside the `2g_g` uncertainty band. Behaviorally
+/// identical to the linear scan (the oracle in `tests/prop_fastpath.rs`).
 #[derive(Debug)]
 pub struct SeqNode<T: EventTime> {
     ctx: Context,
-    inits: Vec<Occurrence<T>>,
+    inits: BandedBuffer<T>,
 }
 
 impl<T: EventTime> SeqNode<T> {
@@ -24,7 +30,7 @@ impl<T: EventTime> SeqNode<T> {
     pub fn new(ctx: Context) -> Self {
         SeqNode {
             ctx,
-            inits: Vec::new(),
+            inits: BandedBuffer::default(),
         }
     }
 
@@ -37,13 +43,8 @@ impl<T: EventTime> SeqNode<T> {
 impl<T: EventTime> OperatorNode<T> for SeqNode<T> {
     fn on_child(&mut self, slot: usize, occ: &Occurrence<T>, sink: &mut Sink<'_, T>) {
         match slot {
-            0 => buffer_initiator(self.ctx, &mut self.inits, occ),
-            1 => {
-                let t2 = occ.time.clone();
-                pair_terminator(self.ctx, &mut self.inits, occ, sink, |init| {
-                    init.time.before(&t2)
-                });
-            }
+            0 => self.inits.insert(self.ctx, occ),
+            1 => self.inits.terminate_before(self.ctx, occ, sink),
             _ => debug_assert!(false, "SEQ has two operands"),
         }
     }

@@ -1,0 +1,159 @@
+//! Persistent worker pool for the sharded detector (`parallel` feature).
+//!
+//! PR 1's parallel path spawned one scoped thread per shard per batch,
+//! paying thread-creation cost on every release round. This pool creates
+//! its threads once and keeps them for the detector's lifetime; each round
+//! the detector *moves* the shards a worker is pinned to into a [`Job`]
+//! sent over a channel, the worker feeds its shards and sends them back
+//! with keyed results, and the detector reinstalls them and merges in the
+//! canonical order. Because results are merged by `(trigger index, shard
+//! id)` — never by completion order — the output is bit-for-bit identical
+//! to the serial path no matter how many workers run or how they are
+//! scheduled.
+
+use crate::event::Occurrence;
+use crate::graph::FeedResult;
+use crate::shard::{Shard, ShardId};
+use crate::time::EventTime;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-shard feed results, keyed by trigger index (ascending — workers
+/// scan the shared trigger slice in order).
+pub(crate) type KeyedResults<T> = Vec<(ShardId, Vec<(usize, FeedResult<T>)>)>;
+
+/// One worker's assignment for one round: the shards it owns this round
+/// (moved in, moved back out in the result) and the round's shared
+/// trigger sequence.
+pub(crate) struct Job<T: EventTime> {
+    pub(crate) shards: Vec<(ShardId, Shard<T>)>,
+    pub(crate) triggers: Arc<[Occurrence<T>]>,
+}
+
+/// What a worker sends back after a round.
+pub(crate) struct RoundResult<T: EventTime> {
+    /// The shards moved back, in job order.
+    pub(crate) shards: Vec<(ShardId, Shard<T>)>,
+    /// The feed results for those shards.
+    pub(crate) results: KeyedResults<T>,
+    /// Wall time this worker spent on the round, in nanoseconds.
+    pub(crate) busy_ns: u64,
+}
+
+/// Long-lived worker threads executing shard rounds. Workers block on
+/// their job channel between rounds; dropping the pool closes the
+/// channels, which terminates and joins every thread.
+pub(crate) struct WorkerPool<T: EventTime> {
+    senders: Vec<Sender<Job<T>>>,
+    result_rx: Receiver<RoundResult<T>>,
+    handles: Vec<JoinHandle<()>>,
+    rounds: u64,
+    busy_ns: u64,
+}
+
+impl<T: EventTime> std::fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .field("rounds", &self.rounds)
+            .field("busy_ns", &self.busy_ns)
+            .finish()
+    }
+}
+
+impl<T: EventTime> WorkerPool<T> {
+    /// Spawn `workers` (≥ 1) persistent threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, result_rx) = channel::<RoundResult<T>>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job<T>>();
+            senders.push(tx);
+            let result_tx = result_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let started = Instant::now();
+                    let mut shards = Vec::with_capacity(job.shards.len());
+                    let mut results = Vec::with_capacity(job.shards.len());
+                    for (sid, mut shard) in job.shards {
+                        let mut keyed = Vec::new();
+                        for (k, occ) in job.triggers.iter().enumerate() {
+                            if shard.subscribed.contains(&occ.ty) {
+                                keyed.push((k, shard.graph.feed_ref(occ)));
+                            }
+                        }
+                        results.push((sid, keyed));
+                        shards.push((sid, shard));
+                    }
+                    let busy_ns = started.elapsed().as_nanos() as u64;
+                    if result_tx
+                        .send(RoundResult {
+                            shards,
+                            results,
+                            busy_ns,
+                        })
+                        .is_err()
+                    {
+                        break; // pool dropped mid-round
+                    }
+                }
+            }));
+        }
+        WorkerPool {
+            senders,
+            result_rx,
+            handles,
+            rounds: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn worker_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Rounds dispatched so far.
+    pub(crate) fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total busy time across workers, in nanoseconds.
+    pub(crate) fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Dispatch one round (`(worker index, job)` pairs, one per engaged
+    /// worker) and collect every result. Results arrive in completion
+    /// order; callers must merge by shard/trigger key, never by position.
+    pub(crate) fn run_round(&mut self, jobs: Vec<(usize, Job<T>)>) -> Vec<RoundResult<T>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.rounds += 1;
+        for (w, job) in jobs {
+            self.senders[w].send(job).expect("pool worker exited");
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = self.result_rx.recv().expect("pool worker panicked");
+            self.busy_ns += r.busy_ns;
+            out.push(r);
+        }
+        out
+    }
+}
+
+impl<T: EventTime> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes the job channels
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -10,11 +10,15 @@
 //! later definition feeds that definition's shard).
 //!
 //! The canonical merge makes runs bit-for-bit deterministic regardless of
-//! how shards are executed, which is what allows the optional parallel
-//! batch path (`parallel` feature): when no definition references another
-//! named composite, [`ShardedDetector::feed_batch`] fans a whole batch out
-//! to all shards on scoped threads and merges per-trigger, producing
-//! exactly the sequence the serial path produces.
+//! how shards are executed, which is what allows the parallel batch path
+//! (`parallel` feature): [`ShardedDetector::enable_pool`] attaches a
+//! persistent [`crate::pool::WorkerPool`] with shards pinned round-robin
+//! in `define` order. Independent definitions fan a whole batch out in one
+//! round; definitions that reference other named composites (a **staged**
+//! schedule over the acyclic definition dependency DAG — `compile` rejects
+//! cycles) run one parallel round per cascade wave, each wave's
+//! canonically-merged detections becoming the next wave's triggers. Both
+//! paths reproduce the serial output exactly.
 
 use crate::context::Context;
 use crate::error::Result;
@@ -22,7 +26,7 @@ use crate::event::{Catalog, EventId, Occurrence};
 use crate::expr::EventExpr;
 use crate::graph::{EventGraph, TimerId, TimerRequest};
 use crate::time::EventTime;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 
 /// Index of a shard (one per composite definition, in `define` order).
 pub type ShardId = usize;
@@ -47,12 +51,25 @@ impl<T> Default for ShardFeedResult<T> {
 }
 
 #[derive(Debug)]
-struct Shard<T: EventTime> {
-    graph: EventGraph<T>,
+pub(crate) struct Shard<T: EventTime> {
+    pub(crate) graph: EventGraph<T>,
     /// The named composite event this shard defines.
-    emits: EventId,
+    pub(crate) emits: EventId,
     /// Event types that can make this shard react.
-    subscribed: BTreeSet<EventId>,
+    pub(crate) subscribed: BTreeSet<EventId>,
+}
+
+impl<T: EventTime> Shard<T> {
+    /// Inert stand-in left behind while the real shard is out on a pool
+    /// worker (subscribed is empty, so it can never be fed by mistake).
+    #[cfg(feature = "parallel")]
+    fn placeholder() -> Self {
+        Shard {
+            graph: EventGraph::new(),
+            emits: EventId(u32::MAX),
+            subscribed: BTreeSet::new(),
+        }
+    }
 }
 
 /// A catalog plus one [`EventGraph`] per composite definition, with a
@@ -67,6 +84,11 @@ pub struct ShardedDetector<T: EventTime> {
     shards: Vec<Shard<T>>,
     /// Event type → shards subscribed to it, ascending.
     routes: HashMap<EventId, Vec<ShardId>>,
+    /// Topological level of each shard in the definition dependency DAG
+    /// (0 = references no other definition).
+    levels: Vec<usize>,
+    #[cfg(feature = "parallel")]
+    pool: Option<crate::pool::WorkerPool<T>>,
 }
 
 impl<T: EventTime> ShardedDetector<T> {
@@ -76,6 +98,9 @@ impl<T: EventTime> ShardedDetector<T> {
             catalog: Catalog::new(),
             shards: Vec::new(),
             routes: HashMap::new(),
+            levels: Vec::new(),
+            #[cfg(feature = "parallel")]
+            pool: None,
         }
     }
 
@@ -90,9 +115,23 @@ impl<T: EventTime> ShardedDetector<T> {
         let emits = graph.compile(&mut self.catalog, name, expr, ctx)?;
         let subscribed: BTreeSet<EventId> = graph.subscribed_types().collect();
         let shard = self.shards.len();
+        // Stage = 1 + the deepest referenced definition. Definitions can
+        // only reference earlier names (cycles are rejected at compile), so
+        // levels are computable incrementally.
+        let level = subscribed
+            .iter()
+            .filter_map(|ty| {
+                self.shards
+                    .iter()
+                    .position(|s| s.emits == *ty)
+                    .map(|j| self.levels[j] + 1)
+            })
+            .max()
+            .unwrap_or(0);
         for &ty in &subscribed {
             self.routes.entry(ty).or_default().push(shard);
         }
+        self.levels.push(level);
         self.shards.push(Shard {
             graph,
             emits,
@@ -111,9 +150,33 @@ impl<T: EventTime> ShardedDetector<T> {
         self.shards.len()
     }
 
+    /// Topological level of `shard` in the definition dependency DAG:
+    /// 0 for definitions over primitives only, `1 + max(level of referenced
+    /// definitions)` otherwise.
+    pub fn shard_level(&self, shard: ShardId) -> usize {
+        self.levels[shard]
+    }
+
+    /// Number of topological stages in the definition dependency DAG
+    /// (1 when all definitions are independent, 0 with no definitions).
+    /// A batch cascade runs at most this many waves per trigger.
+    pub fn stage_count(&self) -> usize {
+        self.levels.iter().max().map_or(0, |m| m + 1)
+    }
+
     /// Event types shard `shard` subscribes to, ascending (diagnostics).
     pub fn shard_subscriptions(&self, shard: ShardId) -> impl Iterator<Item = EventId> + '_ {
         self.shards[shard].subscribed.iter().copied()
+    }
+
+    /// Smallest timer delay any shard can request, or `None` when no
+    /// definition uses a temporal operator (see
+    /// [`EventGraph::min_timer_delay`]).
+    pub fn min_timer_delay(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.graph.min_timer_delay())
+            .min()
     }
 
     /// Total outstanding timers across all shards.
@@ -143,18 +206,55 @@ impl<T: EventTime> ShardedDetector<T> {
     }
 
     /// Whether some definition references another definition's named event
-    /// (forcing batch feeds onto the serial cascade path).
+    /// (batch feeds then cascade in staged waves instead of one fan-out).
     pub fn has_cross_shard_routes(&self) -> bool {
         self.shards
             .iter()
             .any(|s| self.routes.contains_key(&s.emits))
     }
 
+    /// Attach a persistent worker pool of `workers` threads (clamped to
+    /// `1..=shard_count`) and route every subsequent [`Self::feed_batch`]
+    /// through it. Shards are pinned to workers round-robin in `define`
+    /// order. Output stays bit-for-bit identical to the serial path.
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool(&mut self, workers: usize) {
+        let workers = workers.clamp(1, self.shards.len().max(1));
+        self.pool = Some(crate::pool::WorkerPool::new(workers));
+    }
+
+    /// Worker threads in the persistent pool (0 = serial).
+    pub fn worker_count(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.worker_count();
+        }
+        0
+    }
+
+    /// Parallel rounds dispatched to the pool so far.
+    pub fn parallel_rounds(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.rounds();
+        }
+        0
+    }
+
+    /// Total busy time across pool workers, in nanoseconds.
+    pub fn pool_busy_ns(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.busy_ns();
+        }
+        0
+    }
+
     /// Feed one occurrence through every subscribed shard, cascading named
     /// detections (in canonical order) into the shards that reference them.
     pub fn feed(&mut self, occ: Occurrence<T>) -> ShardFeedResult<T> {
         let mut out = ShardFeedResult::default();
-        self.pump(VecDeque::from([occ]), &mut out);
+        self.pump(vec![occ], &mut out);
         out
     }
 
@@ -167,98 +267,210 @@ impl<T: EventTime> ShardedDetector<T> {
     ) -> Result<ShardFeedResult<T>> {
         let r = self.shards[shard].graph.fire_timer(id, time)?;
         let mut out = ShardFeedResult::default();
-        let mut queue = VecDeque::new();
         out.timers.extend(r.timers.into_iter().map(|t| (shard, t)));
         let mut round = r.detected;
         sort_canonical(&mut round);
+        let mut wave = Vec::with_capacity(round.len());
         for d in round {
-            queue.push_back(d.clone());
+            wave.push(d.clone());
             out.detected.push(d);
         }
-        self.pump(queue, &mut out);
+        self.pump(wave, &mut out);
         Ok(out)
     }
 
     /// Feed a whole batch. Semantically identical to feeding each
-    /// occurrence in order; with the `parallel` feature (and no cross-shard
-    /// references) the shards run on scoped threads and the per-trigger
-    /// merge reproduces the serial output exactly.
+    /// occurrence in order; with the `parallel` feature and a pool enabled
+    /// (see [`Self::enable_pool`]) the shards run on the persistent workers
+    /// and the per-trigger canonical merge reproduces the serial output
+    /// exactly — including across cross-definition cascades, which run as
+    /// staged waves.
     pub fn feed_batch(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
         #[cfg(feature = "parallel")]
-        if !self.has_cross_shard_routes() && self.shards.len() > 1 {
-            return self.feed_batch_parallel(occs);
+        if self.pool.is_some() && self.shards.len() > 1 && !occs.is_empty() {
+            return if self.has_cross_shard_routes() {
+                self.feed_batch_staged(occs)
+            } else {
+                self.feed_batch_fanout(occs)
+            };
         }
         let mut out = ShardFeedResult::default();
         for occ in occs {
-            self.pump(VecDeque::from([occ]), &mut out);
+            self.pump(vec![occ], &mut out);
         }
         out
     }
 
-    /// BFS cascade: route each queued occurrence to its subscribed shards
-    /// (ascending), canonically merge the round's detections, and requeue
-    /// them so cross-definition references see named composites.
-    fn pump(&mut self, mut queue: VecDeque<Occurrence<T>>, out: &mut ShardFeedResult<T>) {
-        while let Some(occ) = queue.pop_front() {
-            let Some(shards) = self.routes.get(&occ.ty) else {
-                continue;
-            };
-            let mut round = Vec::new();
-            for s in shards.clone() {
-                let r = self.shards[s].graph.feed(occ.clone());
-                out.timers.extend(r.timers.into_iter().map(|t| (s, t)));
-                round.extend(r.detected);
-            }
-            sort_canonical(&mut round);
-            for d in round {
-                queue.push_back(d.clone());
-                out.detected.push(d);
-            }
+    /// BFS cascade: run serial waves until no detections remain. Each wave
+    /// routes its occurrences to the subscribed shards (ascending),
+    /// canonically merges the per-trigger detections, and the merged
+    /// detections form the next wave so cross-definition references see
+    /// named composites.
+    fn pump(&mut self, mut wave: Vec<Occurrence<T>>, out: &mut ShardFeedResult<T>) {
+        while !wave.is_empty() {
+            wave = self.serial_wave(wave, out);
         }
     }
 
-    #[cfg(feature = "parallel")]
-    fn feed_batch_parallel(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
-        let occs = &occs;
-        // One scoped thread per shard, each feeding the subsequence of the
-        // batch its shard subscribes to, keyed by trigger index.
-        let per_shard: Vec<Vec<(usize, crate::graph::FeedResult<T>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            occs.iter()
-                                .enumerate()
-                                .filter(|(_, o)| shard.subscribed.contains(&o.ty))
-                                .map(|(k, o)| (k, shard.graph.feed(o.clone())))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard thread panicked"))
-                    .collect()
-            });
-        // Merge per trigger index, shards ascending — the exact order the
-        // serial path visits, then the same canonical round sort.
-        let mut out = ShardFeedResult::default();
-        let mut next = vec![0usize; per_shard.len()];
-        for k in 0..occs.len() {
+    /// Run one cascade wave serially and return the next wave. The last
+    /// subscribed shard receives each occurrence by move and the others by
+    /// reference, so single-subscriber routing (the common case) never
+    /// clones the trigger.
+    fn serial_wave(
+        &mut self,
+        wave: Vec<Occurrence<T>>,
+        out: &mut ShardFeedResult<T>,
+    ) -> Vec<Occurrence<T>> {
+        let mut next = Vec::new();
+        for occ in wave {
+            let Some(route) = self.routes.get(&occ.ty) else {
+                continue;
+            };
+            let (&last, rest) = route.split_last().expect("routes are non-empty");
             let mut round = Vec::new();
-            for (s, results) in per_shard.iter().enumerate() {
-                if let Some((key, r)) = results.get(next[s]) {
+            for &s in rest {
+                let r = self.shards[s].graph.feed_ref(&occ);
+                out.timers.extend(r.timers.into_iter().map(|t| (s, t)));
+                round.extend(r.detected);
+            }
+            let r = self.shards[last].graph.feed(occ);
+            out.timers.extend(r.timers.into_iter().map(|t| (last, t)));
+            round.extend(r.detected);
+            sort_canonical(&mut round);
+            for d in round {
+                next.push(d.clone());
+                out.detected.push(d);
+            }
+        }
+        next
+    }
+
+    /// Number of shards subscribed to at least one of `wave`'s types.
+    #[cfg(feature = "parallel")]
+    fn active_shard_count(&self, wave: &[Occurrence<T>]) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| wave.iter().any(|o| s.subscribed.contains(&o.ty)))
+            .count()
+    }
+
+    /// Dispatch one pool round over `triggers`: move the active shards out
+    /// to their pinned workers, collect results, reinstall the shards, and
+    /// return the keyed feed results sorted by shard id.
+    #[cfg(feature = "parallel")]
+    fn pooled_round(
+        &mut self,
+        triggers: &std::sync::Arc<[Occurrence<T>]>,
+    ) -> crate::pool::KeyedResults<T> {
+        let workers = self.pool.as_ref().expect("pool enabled").worker_count();
+        let mut assignments: Vec<Vec<(ShardId, Shard<T>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for i in 0..self.shards.len() {
+            let active = triggers
+                .iter()
+                .any(|o| self.shards[i].subscribed.contains(&o.ty));
+            if active {
+                let shard = std::mem::replace(&mut self.shards[i], Shard::placeholder());
+                assignments[i % workers].push((i, shard));
+            }
+        }
+        let jobs: Vec<(usize, crate::pool::Job<T>)> = assignments
+            .into_iter()
+            .enumerate()
+            .filter(|(_, shards)| !shards.is_empty())
+            .map(|(w, shards)| {
+                (
+                    w,
+                    crate::pool::Job {
+                        shards,
+                        triggers: std::sync::Arc::clone(triggers),
+                    },
+                )
+            })
+            .collect();
+        let mut merged = Vec::new();
+        for r in self.pool.as_mut().expect("pool enabled").run_round(jobs) {
+            for (sid, shard) in r.shards {
+                self.shards[sid] = shard;
+            }
+            merged.extend(r.results);
+        }
+        merged.sort_by_key(|(sid, _)| *sid);
+        merged
+    }
+
+    /// Independent definitions (no cross-shard routes): one pool round fans
+    /// the whole batch out, then the per-trigger merge — shards ascending,
+    /// canonical round sort — reproduces the serial visit order exactly.
+    /// Detections cannot cascade (nothing subscribes to them), so no
+    /// further waves are needed.
+    #[cfg(feature = "parallel")]
+    fn feed_batch_fanout(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        let triggers: std::sync::Arc<[Occurrence<T>]> = occs.into();
+        let per_shard = self.pooled_round(&triggers);
+        let mut out = ShardFeedResult::default();
+        let mut cursors = vec![0usize; per_shard.len()];
+        for k in 0..triggers.len() {
+            let mut round = Vec::new();
+            for (idx, (sid, results)) in per_shard.iter().enumerate() {
+                if let Some((key, r)) = results.get(cursors[idx]) {
                     if *key == k {
-                        next[s] += 1;
-                        out.timers.extend(r.timers.iter().map(|t| (s, *t)));
+                        cursors[idx] += 1;
+                        out.timers.extend(r.timers.iter().map(|t| (*sid, *t)));
                         round.extend(r.detected.iter().cloned());
                     }
                 }
             }
             sort_canonical(&mut round);
             out.detected.extend(round);
+        }
+        out
+    }
+
+    /// Cross-definition cascades: per trigger, run one pool round per
+    /// cascade wave (the staged schedule over the definition DAG — at most
+    /// [`Self::stage_count`] waves deep). The serial cascade is a BFS whose
+    /// queue never interleaves triggers, so waves of one trigger at a time
+    /// reproduce it exactly; within a wave the per-element merge (shards
+    /// ascending, canonical round sort) is the serial visit order.
+    #[cfg(feature = "parallel")]
+    fn feed_batch_staged(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        let mut out = ShardFeedResult::default();
+        for occ in occs {
+            let mut wave = vec![occ];
+            while !wave.is_empty() {
+                let active = self.active_shard_count(&wave);
+                if active == 0 {
+                    break;
+                }
+                if active == 1 {
+                    // Nothing to parallelize: run the wave in place.
+                    wave = self.serial_wave(wave, &mut out);
+                    continue;
+                }
+                let triggers: std::sync::Arc<[Occurrence<T>]> = wave.into();
+                let per_shard = self.pooled_round(&triggers);
+                let mut next_wave = Vec::new();
+                let mut cursors = vec![0usize; per_shard.len()];
+                for k in 0..triggers.len() {
+                    let mut round = Vec::new();
+                    for (idx, (sid, results)) in per_shard.iter().enumerate() {
+                        if let Some((key, r)) = results.get(cursors[idx]) {
+                            if *key == k {
+                                cursors[idx] += 1;
+                                out.timers.extend(r.timers.iter().map(|t| (*sid, *t)));
+                                round.extend(r.detected.iter().cloned());
+                            }
+                        }
+                    }
+                    sort_canonical(&mut round);
+                    for d in round {
+                        next_wave.push(d.clone());
+                        out.detected.push(d);
+                    }
+                }
+                wave = next_wave;
+            }
         }
         out
     }
@@ -339,6 +551,23 @@ mod tests {
         let subs2: Vec<EventId> = sharded.shard_subscriptions(2).collect();
         assert_eq!(subs0, vec![a, b]);
         assert_eq!(subs2, vec![c, x]);
+    }
+
+    #[test]
+    fn stages_follow_the_definition_dag() {
+        let (_, sharded) = build_pair();
+        // X and Y reference only primitives; Z references X.
+        assert_eq!(sharded.shard_level(0), 0);
+        assert_eq!(sharded.shard_level(1), 0);
+        assert_eq!(sharded.shard_level(2), 1);
+        assert_eq!(sharded.stage_count(), 2);
+        // A deeper chain: W = seq(Z, B) sits one stage later again.
+        let (_, mut deeper) = build_pair();
+        deeper
+            .define("W", &E::seq(E::prim("Z"), E::prim("B")), Context::Chronicle)
+            .unwrap();
+        assert_eq!(deeper.shard_level(3), 2);
+        assert_eq!(deeper.stage_count(), 3);
     }
 
     #[test]
@@ -449,5 +678,117 @@ mod tests {
         let fired = sharded.fire_timer(shard, req.id, CentralTime(15)).unwrap();
         assert_eq!(fired.detected.len(), 1);
         assert_eq!(sharded.catalog().name(fired.detected[0].ty), "D");
+    }
+}
+
+#[cfg(all(test, feature = "parallel"))]
+mod parallel_tests {
+    use super::*;
+    use crate::expr::EventExpr as E;
+    use crate::time::CentralTime;
+
+    /// Eight independent definitions (fan-out path) plus, when `cascade`
+    /// is set, two extra stages referencing them (staged path).
+    fn build(cascade: bool) -> ShardedDetector<CentralTime> {
+        let mut d = ShardedDetector::new();
+        for n in ["A", "B", "C", "D"] {
+            d.register(n).unwrap();
+        }
+        let prims = ["A", "B", "C", "D"];
+        for i in 0..8usize {
+            let (p, q) = (prims[i % 4], prims[(i + 1) % 4]);
+            let name = format!("S{i}");
+            d.define(&name, &E::seq(E::prim(p), E::prim(q)), Context::Chronicle)
+                .unwrap();
+        }
+        if cascade {
+            d.define(
+                "M",
+                &E::and(E::prim("S0"), E::prim("S1")),
+                Context::Unrestricted,
+            )
+            .unwrap();
+            d.define("T", &E::seq(E::prim("M"), E::prim("C")), Context::Chronicle)
+                .unwrap();
+        }
+        d
+    }
+
+    fn trace(d: &ShardedDetector<CentralTime>) -> Vec<Occurrence<CentralTime>> {
+        let prims = ["A", "B", "C", "D"];
+        (0..64u64)
+            .map(|t| {
+                let ty = d.catalog().lookup(prims[(t % 4) as usize]).unwrap();
+                Occurrence::bare(ty, CentralTime(t))
+            })
+            .collect()
+    }
+
+    fn serial_reference(cascade: bool) -> ShardFeedResult<CentralTime> {
+        let mut d = build(cascade);
+        let occs = trace(&d);
+        let mut out = ShardFeedResult::default();
+        for occ in occs {
+            let r = d.feed(occ);
+            out.detected.extend(r.detected);
+            out.timers.extend(r.timers);
+        }
+        out
+    }
+
+    #[test]
+    fn pooled_fanout_is_bit_identical_to_serial() {
+        let expect = serial_reference(false);
+        assert!(!expect.detected.is_empty());
+        for workers in [1, 2, 4, 8] {
+            let mut d = build(false);
+            assert!(!d.has_cross_shard_routes());
+            d.enable_pool(workers);
+            let occs = trace(&d);
+            let got = d.feed_batch(occs);
+            assert_eq!(got.detected, expect.detected, "{workers} workers");
+            assert_eq!(got.timers, expect.timers, "{workers} workers");
+            assert!(d.parallel_rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn pooled_staged_cascade_is_bit_identical_to_serial() {
+        let expect = serial_reference(true);
+        // The cascade actually fires (M and T detections exist).
+        assert!(
+            expect.detected.iter().any(|o| o.ty.0 >= 12),
+            "cascade must detect"
+        );
+        for workers in [1, 2, 4] {
+            let mut d = build(true);
+            assert!(d.has_cross_shard_routes());
+            assert_eq!(d.stage_count(), 3);
+            d.enable_pool(workers);
+            let occs = trace(&d);
+            let got = d.feed_batch(occs);
+            assert_eq!(got.detected, expect.detected, "{workers} workers");
+            assert_eq!(got.timers, expect.timers, "{workers} workers");
+            assert!(d.parallel_rounds() > 0, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn pool_stats_accumulate() {
+        let mut d = build(false);
+        d.enable_pool(4);
+        assert_eq!(d.worker_count(), 4);
+        assert_eq!(d.parallel_rounds(), 0);
+        let occs = trace(&d);
+        d.feed_batch(occs);
+        assert_eq!(d.parallel_rounds(), 1); // independent defs: one round
+        assert!(d.pool_busy_ns() > 0);
+    }
+
+    #[test]
+    fn enable_pool_clamps_to_shard_count() {
+        let mut d = build(false); // 8 shards
+        d.enable_pool(64);
+        assert_eq!(d.worker_count(), 8);
     }
 }

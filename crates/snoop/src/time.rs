@@ -52,6 +52,26 @@ pub trait EventTime: Clone + Debug + PartialEq + Send + Sync + 'static {
         false
     }
 
+    /// Inclusive upper bound on this stamp's global ticks (all members, for
+    /// composite stamps), for **band ordering** of buffered occurrences:
+    /// `global_upper_bound() + 1 < low` implies [`EventTime::settled`]`(low)`,
+    /// so a buffer sorted by this key has a binary-searchable prefix of
+    /// stamps that certainly happen-before any stamp whose globals are all
+    /// `≥ low`. The default (`u64::MAX`) claims no bound, which keeps the
+    /// prefix empty and band ordering equal to arrival ordering — a sound
+    /// no-op for time domains that do not opt in.
+    fn global_upper_bound(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Inclusive lower bound on this stamp's global ticks: every member's
+    /// global tick is `≥` this, so any stamp settled at this bound (see
+    /// [`EventTime::settled`]) certainly happens before `self`. The default
+    /// (0) claims no bound, disabling the certainly-before shortcut.
+    fn global_lower_bound(&self) -> u64 {
+        0
+    }
+
     /// Strict happen-before.
     fn before(&self, other: &Self) -> bool {
         self.relation(other) == CompositeRelation::Before
@@ -114,6 +134,14 @@ impl EventTime for CentralTime {
     fn settled(&self, low: u64) -> bool {
         self.0 < low
     }
+
+    fn global_upper_bound(&self) -> u64 {
+        self.0
+    }
+
+    fn global_lower_bound(&self) -> u64 {
+        self.0
+    }
 }
 
 impl EventTime for CompositeTimestamp {
@@ -140,6 +168,14 @@ impl EventTime for CompositeTimestamp {
     /// site implies larger local tick). The cached bound makes this O(1).
     fn settled(&self, low: u64) -> bool {
         self.max_global() + 1 < low
+    }
+
+    fn global_upper_bound(&self) -> u64 {
+        self.max_global()
+    }
+
+    fn global_lower_bound(&self) -> u64 {
+        self.min_global()
     }
 }
 
@@ -204,6 +240,21 @@ mod tests {
         for probe in [cts(&[(3, 6, 60)]), cts(&[(1, 7, 70), (2, 6, 62)])] {
             assert!(old.before(&probe));
         }
+    }
+
+    #[test]
+    fn band_bounds_bracket_settled() {
+        // The contract band ordering relies on: upper + 1 < low ⇒ settled(low),
+        // and lower is a floor on every member global.
+        let t = CentralTime(7);
+        assert_eq!(t.global_upper_bound(), 7);
+        assert_eq!(t.global_lower_bound(), 7);
+        assert!(t.settled(9)); // 7 + 1 < 9
+        let c = cts(&[(1, 3, 30), (2, 4, 42)]);
+        assert_eq!(c.global_upper_bound(), 4);
+        assert_eq!(c.global_lower_bound(), 3);
+        assert!(c.settled(6)); // 4 + 1 < 6
+        assert!(!c.settled(5));
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!    `weak_leq`, `max_op`) agree with the literal Definition 5.3/5.9
 //!    pairwise scans (`*_naive`) on arbitrary member sets, including the
 //!    band-separated shapes the fast paths short-circuit on.
-//! 2. **Watermark-driven buffer GC** — the engine with `buffer_gc` on
+//! 2. **Banded SEQ buffer** — the band-sorted initiator buffer behind
+//!    `SEQ` (binary-searched certainly-before prefix, full `<_p` checks
+//!    only inside the uncertainty band) emits exactly what the linear
+//!    arrival-order scan emits, in the same order, with the same
+//!    consumption, under every parameter context.
+//! 3. **Watermark-driven buffer GC** — the engine with `buffer_gc` on
 //!    produces exactly the same named detections, with the same composite
 //!    timestamps, in the same order, as with GC off. This is the contract
 //!    that makes GC a pure memory optimization.
@@ -65,6 +70,139 @@ proptest! {
         }
         prop_assert_eq!(max_op(&a, &b), max_op_naive(&a, &b));
         prop_assert_eq!(max_op(&b, &a), max_op_naive(&b, &a));
+    }
+}
+
+/// Banded SEQ buffer vs the linear arrival-order scan.
+mod banded_seq {
+    use super::*;
+    use decs::snoop::{Detector, EventTime, Occurrence};
+
+    /// A random initiator/terminator stream. Each element is `(is_term,
+    /// stamp)`; stamps use the same site-monotone construction as
+    /// [`members`], with a per-element band shift so streams mix
+    /// band-separated pairs (the binary-searched prefix) with overlapping
+    /// ones (the full in-band `<_p` checks).
+    fn stream() -> impl Strategy<Value = Vec<(bool, CompositeTimestamp)>> {
+        let element = (0u64..2, 0u64..40, members(0)).prop_map(|(kind, shift, raw)| {
+            let stamp = cts(&raw
+                .into_iter()
+                .map(|(s, g, l)| (s, g + shift, l + shift * 10))
+                .collect::<Vec<_>>());
+            (kind == 1, stamp)
+        });
+        proptest::collection::vec(element, 1..24)
+    }
+
+    /// The linear-scan oracle: `buffer_initiator`/`pair_terminator`
+    /// semantics (arrival-order buffer, `init <_p term` predicate, the
+    /// context's exact consumption rule), reimplemented independently of
+    /// the banded production path.
+    fn oracle(
+        ctx: Context,
+        a: decs::snoop::EventId,
+        b: decs::snoop::EventId,
+        x: decs::snoop::EventId,
+        stream: &[(bool, CompositeTimestamp)],
+    ) -> Vec<Occurrence<CompositeTimestamp>> {
+        let mut inits: Vec<Occurrence<CompositeTimestamp>> = Vec::new();
+        let mut out = Vec::new();
+        for (is_term, t) in stream {
+            if !is_term {
+                let occ = Occurrence::bare(a, t.clone());
+                if ctx == Context::Recent {
+                    if let Some(existing) = inits.first() {
+                        if occ.time.before(&existing.time) {
+                            continue; // older than the buffered one: ignore
+                        }
+                        inits.clear();
+                    }
+                }
+                inits.push(occ);
+                continue;
+            }
+            let term = Occurrence::bare(b, t.clone());
+            let hit = |i: &Occurrence<CompositeTimestamp>| i.time.before(&term.time);
+            match ctx {
+                Context::Unrestricted => {
+                    for init in inits.iter().filter(|i| hit(i)) {
+                        out.push(Occurrence::combine(x, init, &term));
+                    }
+                }
+                Context::Recent => {
+                    if let Some(init) = inits.first() {
+                        if hit(init) {
+                            out.push(Occurrence::combine(x, init, &term));
+                        }
+                    }
+                }
+                Context::Chronicle => {
+                    if let Some(pos) = inits.iter().position(&hit) {
+                        let init = inits.remove(pos);
+                        out.push(Occurrence::combine(x, &init, &term));
+                    }
+                }
+                Context::Continuous => {
+                    let mut kept = Vec::new();
+                    for init in inits.drain(..) {
+                        if hit(&init) {
+                            out.push(Occurrence::combine(x, &init, &term));
+                        } else {
+                            kept.push(init);
+                        }
+                    }
+                    inits = kept;
+                }
+                Context::Cumulative => {
+                    let mut kept = Vec::new();
+                    let mut used = Vec::new();
+                    for init in inits.drain(..) {
+                        if hit(&init) {
+                            used.push(init);
+                        } else {
+                            kept.push(init);
+                        }
+                    }
+                    inits = kept;
+                    if !used.is_empty() {
+                        let mut parts: Vec<&Occurrence<CompositeTimestamp>> = used.iter().collect();
+                        parts.push(&term);
+                        out.push(Occurrence::combine_all(x, &parts));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The production `SEQ` detector (banded buffer) emits exactly
+        /// what the linear oracle emits, in the same order, under every
+        /// parameter context.
+        #[test]
+        fn banded_seq_equals_linear_oracle(stream in stream()) {
+            for ctx in [
+                Context::Unrestricted,
+                Context::Recent,
+                Context::Chronicle,
+                Context::Continuous,
+                Context::Cumulative,
+            ] {
+                let mut d: Detector<CompositeTimestamp> = Detector::new();
+                let a = d.register("A").unwrap();
+                let b = d.register("B").unwrap();
+                let x = d.define("X", &E::seq(E::prim("A"), E::prim("B")), ctx).unwrap();
+                let mut detected = Vec::new();
+                for (is_term, t) in &stream {
+                    let ty = if *is_term { b } else { a };
+                    detected.extend(d.feed(Occurrence::bare(ty, t.clone())).detected);
+                }
+                let expected = oracle(ctx, a, b, x, &stream);
+                prop_assert_eq!(&expected, &detected, "{}", ctx);
+            }
+        }
     }
 }
 
