@@ -24,4 +24,9 @@ cargo run --release -p decs-bench --bin hotpath -- --smoke
 # only when the baseline machine had ≥4 threads (stamped in the JSON).
 cargo run --release -p decs-bench --features parallel --bin parallel -- --smoke
 
+# Chaos smoke: re-runs the lossy-network matrix (hard-asserting that
+# detections at every drop rate match the fault-free run) and validates
+# the committed BENCH_chaos.json baseline.
+cargo run --release -p decs-bench --bin chaos -- --smoke
+
 echo "ci.sh: all tier-1 checks passed"

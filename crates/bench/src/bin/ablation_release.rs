@@ -83,6 +83,7 @@ fn main() {
                 base_latency_ns: 100_000,
                 jitter_ns: 0,
                 fifo: true,
+                ..LinkConfig::lan()
             },
         ),
         ("LAN (0.5ms ±0.2)", LinkConfig::lan()),
@@ -93,6 +94,7 @@ fn main() {
                 base_latency_ns: 50_000_000,
                 jitter_ns: 49_000_000,
                 fifo: false,
+                ..LinkConfig::lan()
             },
         ),
     ];

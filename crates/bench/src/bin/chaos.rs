@@ -1,0 +1,238 @@
+//! E15 — chaos: detection under a lossy network, as a function of the
+//! message drop rate.
+//!
+//! One fixed seeded workload runs through the distributed engine at drop
+//! rates 0% / 1% / 5% / 20% (applied to both directions of every
+//! site↔coordinator link, with 2% duplication on the lossy legs). For
+//! every rate the bench records the detection count, whether the
+//! detections are **bit-for-bit identical** to the fault-free run (the
+//! chaos suite's headline, here measured rather than only asserted), the
+//! mean stability latency, and the retransmission overhead (retransmits,
+//! acks, duplicates dropped, link-level drops).
+//!
+//! Run: `cargo run --release -p decs-bench --bin chaos` (full, writes
+//! `BENCH_chaos.json` in the current directory).
+//! `--smoke` runs a reduced workload, hard-asserts detection equality at
+//! every drop rate, and validates the committed `BENCH_chaos.json`
+//! (malformed JSON, a non-matching row, or zero retransmissions on the
+//! lossy legs fail with a nonzero exit).
+
+use decs_chronos::{Granularity, Nanos};
+use decs_core::CompositeTimestamp;
+use decs_distrib::{Engine, EngineConfig};
+use decs_simnet::{LinkConfig, ScenarioBuilder, SplitMix64};
+use decs_snoop::{Context, EventExpr as E};
+use std::fmt::Write as _;
+
+const SITES: u32 = 4;
+const DROP_PPM: [u32; 4] = [0, 10_000, 50_000, 200_000];
+/// Duplication rate on the lossy legs (0 on the clean leg).
+const DUP_PPM: u32 = 20_000;
+
+struct Row {
+    drop_ppm: u32,
+    detections: usize,
+    match_clean: bool,
+    mean_stability_ms: f64,
+    retransmits: u64,
+    acks_sent: u64,
+    duplicates_dropped: u64,
+    link_dropped: u64,
+    retx_per_msg: f64,
+}
+
+type Keys = Vec<(String, CompositeTimestamp)>;
+
+/// Deterministic workload shared by every rate: `events` injections over
+/// the first 3 s on random sites.
+fn workload(events: usize) -> Vec<(u64, u32, &'static str)> {
+    let mut rng = SplitMix64::new(0xE15_C4A05);
+    (0..events)
+        .map(|_| {
+            let ms = rng.next_range(10, 3_000);
+            let site = rng.next_below(u64::from(SITES)) as u32;
+            let ev = if rng.next_below(2) == 0 { "A" } else { "B" };
+            (ms, site, ev)
+        })
+        .collect()
+}
+
+fn run_case(drop_ppm: u32, w: &[(u64, u32, &'static str)], horizon_secs: u64) -> (Keys, Row) {
+    let scenario = ScenarioBuilder::new(SITES, 42)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .max_offset_ns(1_000_000)
+        .build()
+        .unwrap();
+    let mut e = Engine::new(
+        &scenario,
+        EngineConfig::default(),
+        &["A", "B"],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
+    )
+    .unwrap();
+    if drop_ppm > 0 {
+        for site in 0..SITES {
+            e.set_link_pair(site, LinkConfig::lan().with_faults(drop_ppm, DUP_PPM));
+        }
+    }
+    for &(ms, site, ev) in w {
+        e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+    }
+    let det = e.run_for(Nanos::from_secs(horizon_secs));
+    let keys: Keys = det.into_iter().map(|d| (d.name, d.occ.time)).collect();
+    let m = e.metrics();
+    let c = e.fault_counters();
+    let row = Row {
+        drop_ppm,
+        detections: keys.len(),
+        match_clean: true, // filled by the caller against the 0% run
+        mean_stability_ms: m.mean_stability_latency_ns() as f64 / 1e6,
+        retransmits: m.retransmits,
+        acks_sent: m.acks_sent,
+        duplicates_dropped: m.duplicates_dropped,
+        link_dropped: c.dropped,
+        retx_per_msg: if m.messages_processed == 0 {
+            0.0
+        } else {
+            m.retransmits as f64 / m.messages_processed as f64
+        },
+    };
+    (keys, row)
+}
+
+fn run_matrix(events: usize, horizon_secs: u64) -> Vec<Row> {
+    let w = workload(events);
+    let mut clean_keys: Option<Keys> = None;
+    let mut rows = Vec::new();
+    for &ppm in &DROP_PPM {
+        let (keys, mut row) = run_case(ppm, &w, horizon_secs);
+        match &clean_keys {
+            None => clean_keys = Some(keys),
+            Some(clean) => row.match_clean = *clean == keys,
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn render_json(mode: &str, rows: &[Row]) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"chaos\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"drop_ppm\": {}, \"detections\": {}, \"match_clean\": {}, \
+             \"mean_stability_ms\": {:.2}, \"retransmits\": {}, \"acks_sent\": {}, \
+             \"duplicates_dropped\": {}, \"link_dropped\": {}, \"retx_per_msg\": {:.4}}}{comma}",
+            r.drop_ppm,
+            r.detections,
+            r.match_clean,
+            r.mean_stability_ms,
+            r.retransmits,
+            r.acks_sent,
+            r.duplicates_dropped,
+            r.link_dropped,
+            r.retx_per_msg
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull `"field": <value>` out of the row with the given drop rate. The
+/// baseline is our own emission, so substring scanning is an adequate
+/// parser — anything it can't find is treated as malformed.
+fn extract<'a>(json: &'a str, drop_ppm: u32, field: &str) -> Option<&'a str> {
+    let obj = &json[json.find(&format!("\"drop_ppm\": {drop_ppm},"))?..];
+    let obj = &obj[..obj.find('}')?];
+    let at = obj.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn smoke(baseline_path: &str) -> i32 {
+    let rows = run_matrix(40, 20);
+    let json = render_json("smoke", &rows);
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/BENCH_chaos_smoke.json", &json).ok();
+    print!("{json}");
+
+    let mut failed = false;
+    for r in &rows {
+        if !r.match_clean {
+            eprintln!(
+                "smoke: FAIL — detections diverged from the fault-free run at {} ppm",
+                r.drop_ppm
+            );
+            failed = true;
+        }
+        if r.drop_ppm >= 50_000 && r.retransmits == 0 {
+            eprintln!(
+                "smoke: FAIL — no retransmissions at {} ppm (protocol inert?)",
+                r.drop_ppm
+            );
+            failed = true;
+        }
+    }
+
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("smoke: FAIL — missing baseline {baseline_path}");
+        return 1;
+    };
+    for &ppm in &DROP_PPM {
+        match extract(&baseline, ppm, "match_clean") {
+            Some("true") => {}
+            Some(v) => {
+                eprintln!("smoke: FAIL — baseline row {ppm} ppm has match_clean = {v}");
+                failed = true;
+            }
+            None => {
+                eprintln!("smoke: FAIL — baseline is malformed (no row for {ppm} ppm)");
+                failed = true;
+            }
+        }
+    }
+    match extract(&baseline, 0, "detections").and_then(|v| v.parse::<u64>().ok()) {
+        Some(d) if d > 0 => {}
+        _ => {
+            eprintln!("smoke: FAIL — baseline fault-free run detected nothing");
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        eprintln!("smoke: OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke("BENCH_chaos.json"));
+    }
+
+    eprintln!("E15 — detection vs drop rate (full run)");
+    let rows = run_matrix(200, 30);
+    for r in &rows {
+        assert!(
+            r.match_clean,
+            "detections diverged at {} ppm — the reliability layer is broken",
+            r.drop_ppm
+        );
+    }
+    let json = render_json("full", &rows);
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_chaos.json");
+}

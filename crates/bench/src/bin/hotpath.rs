@@ -176,6 +176,11 @@ struct LatencyRow {
     mean_stability_ms: f64,
     gc_evicted: u64,
     node_buffer_peak: usize,
+    retransmits: u64,
+    acks_sent: u64,
+    duplicates_dropped: u64,
+    parked_peak: usize,
+    suspect_sites: usize,
 }
 
 /// Distributed-engine leg: the NOT workload across 4 sites, GC on or off.
@@ -219,6 +224,11 @@ fn latency_run(buffer_gc: bool) -> LatencyRow {
         mean_stability_ms: m.mean_stability_latency_ns() as f64 / 1e6,
         gc_evicted: m.gc_evicted,
         node_buffer_peak: m.node_buffer_peak,
+        retransmits: m.retransmits,
+        acks_sent: m.acks_sent,
+        duplicates_dropped: m.duplicates_dropped,
+        parked_peak: m.parked_peak,
+        suspect_sites: m.suspect_sites,
     }
 }
 
@@ -274,8 +284,18 @@ fn render_json(
         let _ = writeln!(
             j,
             "    {{\"gc\": {gc}, \"detections\": {}, \"mean_stability_ms\": {:.2}, \
-             \"gc_evicted\": {}, \"node_buffer_peak\": {}}}{comma}",
-            r.detections, r.mean_stability_ms, r.gc_evicted, r.node_buffer_peak
+             \"gc_evicted\": {}, \"node_buffer_peak\": {}, \"retransmits\": {}, \
+             \"acks_sent\": {}, \"duplicates_dropped\": {}, \"parked_peak\": {}, \
+             \"suspect_sites\": {}}}{comma}",
+            r.detections,
+            r.mean_stability_ms,
+            r.gc_evicted,
+            r.node_buffer_peak,
+            r.retransmits,
+            r.acks_sent,
+            r.duplicates_dropped,
+            r.parked_peak,
+            r.suspect_sites
         );
     }
     let _ = writeln!(j, "  ]");

@@ -48,6 +48,29 @@ pub struct EngineConfig {
     /// `min(n, shard_count)` threads. Detections are bit-for-bit identical
     /// for every value. Ignored without the `parallel` feature.
     pub worker_count: usize,
+    /// Base retransmission timeout for unacked site→coordinator messages.
+    /// `Nanos::ZERO` disables the ack/retransmit protocol (fire-and-forget,
+    /// for lossless links or ablation).
+    pub retransmit_timeout: Nanos,
+    /// Cap on the exponential retransmission backoff. Retries continue at
+    /// the cap forever, so any partition that heals is eventually crossed.
+    pub retransmit_cap: Nanos,
+    /// How often the coordinator sends periodic cumulative acks (repairing
+    /// acks lost on the return path) and runs the stall detector.
+    /// `Nanos::ZERO` disables both.
+    pub ack_interval: Nanos,
+    /// Stall detector threshold: a site is marked *suspect* after its
+    /// watermark fails to advance for this many consecutive ack intervals
+    /// while some other site's does. `0` disables stall detection.
+    pub stall_intervals: u64,
+    /// Escalate suspect sites to eviction automatically. Off by default:
+    /// eviction sacrifices completeness (composites needing the evicted
+    /// site's events are suppressed), so it is an explicit opt-in.
+    pub auto_evict: bool,
+    /// Bound on each site's parked (out-of-order) reassembly buffer;
+    /// overflow discards the highest-sequence parked message (recovered by
+    /// retransmission). `0` means unbounded.
+    pub parked_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +84,17 @@ impl Default for EngineConfig {
             release_policy: ReleasePolicy::Stable,
             buffer_gc: true,
             worker_count: 0,
+            // Reliability on by default: a 200 ms base timeout sits far
+            // above LAN/WAN round trips (no spurious retransmits on a
+            // healthy link — and a spurious copy is just deduped anyway).
+            retransmit_timeout: Nanos::from_millis(200),
+            retransmit_cap: Nanos::from_millis(3_200),
+            ack_interval: Nanos::from_millis(100),
+            // 50 × 100 ms = 5 s of one-sided watermark silence before a
+            // site is suspected.
+            stall_intervals: 50,
+            auto_evict: false,
+            parked_cap: 4096,
         }
     }
 }

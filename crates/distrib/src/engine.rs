@@ -166,7 +166,9 @@ impl Engine {
                     LocalDetection::new(site_det, translate, gg_nanos_sites),
                 )
             };
-            let site_node = site_node.with_batching(config.batch_interval);
+            let site_node = site_node
+                .with_batching(config.batch_interval)
+                .with_reliability(config.retransmit_timeout, config.retransmit_cap);
             nodes.push((Node::Site(Box::new(site_node)), scenario.time_source(i)));
         }
         // The coordinator is its own site (id n) with a scenario-sampled
@@ -183,14 +185,21 @@ impl Engine {
         coordinator_node.set_buffer_gc(config.buffer_gc);
         coordinator_node
             .set_reportable(local_definitions.iter().map(|(name, _, _)| name_ids[*name]));
+        coordinator_node.set_fault_tolerance(
+            config.ack_interval,
+            config.stall_intervals,
+            config.auto_evict,
+            config.parked_cap,
+        );
         nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));
 
         let mut sim = Simulation::new(nodes, scenario.link, scenario.seed ^ 0x5EED);
         if config.trace_capacity > 0 {
             sim.enable_trace(config.trace_capacity);
         }
-        // Start heartbeats everywhere.
-        for i in 0..n {
+        // Start heartbeats everywhere; the coordinator's Start arms its
+        // periodic ack/stall-check round.
+        for i in 0..=n {
             sim.inject(Nanos::ZERO, NodeIdx(i), Msg::Start);
         }
         Ok(Engine {
@@ -204,6 +213,36 @@ impl Engine {
     /// Override a site→coordinator link.
     pub fn set_link(&mut self, site: u32, cfg: LinkConfig) {
         self.sim.set_link(NodeIdx(site), self.coordinator, cfg);
+    }
+
+    /// Override both directions of a site's link with the coordinator
+    /// (faulty links lose acks on the return path too).
+    pub fn set_link_pair(&mut self, site: u32, cfg: LinkConfig) {
+        self.sim.set_link(NodeIdx(site), self.coordinator, cfg);
+        self.sim.set_link(self.coordinator, NodeIdx(site), cfg);
+    }
+
+    /// Schedule a bidirectional partition between `site` and the
+    /// coordinator over the true-time window `[from, until)`.
+    pub fn partition_site(&mut self, site: u32, from: Nanos, until: Nanos) {
+        self.sim
+            .add_partition(NodeIdx(site), self.coordinator, from, until);
+        self.sim
+            .add_partition(self.coordinator, NodeIdx(site), from, until);
+    }
+
+    /// Aggregate link fault counters across every link in the simulation.
+    pub fn fault_counters(&self) -> decs_simnet::FaultCounters {
+        self.sim.fault_counters()
+    }
+
+    /// Number of sent-but-unacked messages a site currently holds for
+    /// retransmission (0 for the coordinator index).
+    pub fn unacked(&self, site: u32) -> usize {
+        match self.sim.node(NodeIdx(site)) {
+            Node::Site(s) => s.unacked(),
+            Node::Coordinator(_) => 0,
+        }
     }
 
     /// Failure injection: crash `site` at true time `at` — it stops
@@ -266,12 +305,19 @@ impl Engine {
             .collect()
     }
 
-    /// Coordinator metrics snapshot.
+    /// Coordinator metrics snapshot, with site-held counters (retransmits)
+    /// aggregated in.
     pub fn metrics(&self) -> Metrics {
         let Node::Coordinator(c) = self.sim.node(self.coordinator) else {
             unreachable!("coordinator index")
         };
-        c.metrics.clone()
+        let mut m = c.metrics.clone();
+        for i in 0..self.coordinator.0 {
+            if let Node::Site(s) = self.sim.node(NodeIdx(i)) {
+                m.retransmits += s.retransmits;
+            }
+        }
+        m
     }
 
     /// Number of notifications still awaiting stability.

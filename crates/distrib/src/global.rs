@@ -27,12 +27,31 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 /// independent of both delivery order and transport mode.
 type ReleaseKey = (u64, u32, u64);
 
+/// Timer tag reserved for the periodic ack/stall-check round. Detector
+/// timer tags count up from 0, so the two can never collide.
+const ACK_TIMER_TAG: u64 = u64::MAX;
+
 #[derive(Debug, Default)]
 struct SiteStream {
     next: u64,
     parked: BTreeMap<u64, Msg>,
     /// Notifications buffered from this site so far (release-key counter).
     arrivals: u64,
+    /// Evicted sites keep their stream bookkeeping (so retransmissions are
+    /// acked and die down) but their notifications are refused.
+    evicted: bool,
+}
+
+/// Per-site stall-detector state.
+#[derive(Debug, Default, Clone)]
+struct StallState {
+    /// Watermark observed at the last check round.
+    last_wm: u64,
+    /// Consecutive check rounds without watermark progress while some
+    /// other site progressed.
+    stalled_checks: u64,
+    /// Whether the site is currently suspect.
+    suspect: bool,
 }
 
 /// A detection produced by the coordinator, with bookkeeping times.
@@ -66,6 +85,19 @@ pub struct CoordinatorNode {
     /// Event types whose *arrival* is itself a reportable detection
     /// (site-local composite events detected at the sites).
     reportable: HashSet<EventId>,
+    /// Period of the ack/stall-check timer (`ZERO` disables it; armed by
+    /// `Msg::Start`).
+    ack_interval: Nanos,
+    /// Stall threshold in check rounds (`0` disables stall detection).
+    stall_intervals: u64,
+    /// Escalate suspect sites to eviction.
+    auto_evict: bool,
+    /// Bound on each site's parked reassembly buffer (`0` = unbounded).
+    parked_cap: usize,
+    /// Stall-detector state, one entry per site.
+    stall: Vec<StallState>,
+    /// Parked messages across all site streams (for `parked_peak`).
+    parked_total: usize,
 }
 
 impl std::fmt::Debug for CoordinatorNode {
@@ -113,7 +145,30 @@ impl CoordinatorNode {
             buffer_gc: true,
             last_gc_low: 0,
             reportable: HashSet::new(),
+            ack_interval: Nanos::ZERO,
+            stall_intervals: 0,
+            auto_evict: false,
+            parked_cap: 0,
+            stall: vec![StallState::default(); sites],
+            parked_total: 0,
         }
+    }
+
+    /// Configure the fault-tolerance machinery: the periodic ack/stall
+    /// timer (armed when the engine delivers `Msg::Start`), the stall
+    /// threshold, automatic eviction of suspect sites, and the parked
+    /// reassembly-buffer bound. All off in a bare coordinator.
+    pub fn set_fault_tolerance(
+        &mut self,
+        ack_interval: Nanos,
+        stall_intervals: u64,
+        auto_evict: bool,
+        parked_cap: usize,
+    ) {
+        self.ack_interval = ack_interval;
+        self.stall_intervals = stall_intervals;
+        self.auto_evict = auto_evict;
+        self.parked_cap = parked_cap;
     }
 
     /// Enable or disable operator-buffer GC (on by default). GC is
@@ -258,9 +313,17 @@ impl CoordinatorNode {
 
     fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         self.metrics.messages_processed += 1;
+        // Evicted sites: stream bookkeeping continues (their retransmits
+        // must be acked into silence) but new notifications are refused and
+        // their watermark promises stay pinned at +∞.
+        let evicted = self.streams[site].evicted;
         match msg {
             Msg::Event { occ, .. } => {
-                self.accept_notification(site, occ, ctx);
+                if evicted {
+                    self.metrics.evict_refused += 1;
+                } else {
+                    self.accept_notification(site, occ, ctx);
+                }
             }
             Msg::Heartbeat { watermark, .. } => {
                 self.metrics.heartbeats_received += 1;
@@ -272,13 +335,17 @@ impl CoordinatorNode {
             } => {
                 self.metrics.batches_received += 1;
                 self.metrics.batch_size_max = self.metrics.batch_size_max.max(events.len());
-                for occ in events {
-                    self.accept_notification(site, occ, ctx);
+                if evicted {
+                    self.metrics.evict_refused += events.len() as u64;
+                } else {
+                    for occ in events {
+                        self.accept_notification(site, occ, ctx);
+                    }
                 }
                 self.tracker.update(site, watermark);
                 self.release_stable(ctx);
             }
-            Msg::Start | Msg::Inject { .. } | Msg::Crash | Msg::Evict { .. } => {
+            Msg::Start | Msg::Inject { .. } | Msg::Crash | Msg::Evict { .. } | Msg::Ack { .. } => {
                 debug_assert!(false, "sequence-numbered control message");
             }
         }
@@ -292,6 +359,87 @@ impl CoordinatorNode {
             _ => None,
         }
     }
+
+    /// Stop waiting for `site`: its watermark promise becomes +∞ and its
+    /// future notifications are refused (buffered ones still release).
+    fn evict(&mut self, site: usize, ctx: &mut Ctx<'_, Msg>) {
+        if site >= self.streams.len() || self.streams[site].evicted {
+            return;
+        }
+        self.streams[site].evicted = true;
+        self.tracker.update(site, u64::MAX);
+        self.release_stable(ctx);
+    }
+
+    fn send_ack(&mut self, to: NodeIdx, cum_seq: u64, ctx: &mut Ctx<'_, Msg>) {
+        self.metrics.acks_sent += 1;
+        ctx.send(to, Msg::Ack { cum_seq });
+    }
+
+    /// Periodic round: re-send every site's cumulative ack (repairing acks
+    /// lost on the return path), run the stall detector, re-arm.
+    fn ack_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for site in 0..self.streams.len() {
+            let next = self.streams[site].next;
+            self.send_ack(NodeIdx(site as u32), next, ctx);
+        }
+        self.stall_check(ctx);
+        ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
+    }
+
+    /// Mark a site *suspect* when its watermark has not advanced for
+    /// `stall_intervals` consecutive rounds in which some other site's
+    /// did (a globally idle system suspects nobody). Suspicion clears as
+    /// soon as the watermark moves again; with `auto_evict` it escalates
+    /// to eviction instead.
+    fn stall_check(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.stall_intervals == 0 {
+            return;
+        }
+        let n = self.stall.len();
+        let mut advanced = vec![false; n];
+        let mut any_advanced = false;
+        for (i, adv) in advanced.iter_mut().enumerate() {
+            if self.streams[i].evicted {
+                continue;
+            }
+            let wm = self.tracker.site_watermark(i);
+            if wm > self.stall[i].last_wm {
+                self.stall[i].last_wm = wm;
+                *adv = true;
+                any_advanced = true;
+            }
+        }
+        let mut to_evict = Vec::new();
+        for (i, &adv) in advanced.iter().enumerate() {
+            if self.streams[i].evicted {
+                continue;
+            }
+            let st = &mut self.stall[i];
+            if adv {
+                st.stalled_checks = 0;
+                if st.suspect {
+                    st.suspect = false;
+                    self.metrics.suspect_sites -= 1;
+                }
+            } else if any_advanced {
+                st.stalled_checks += 1;
+                if st.suspect {
+                    self.metrics.stall_ns += u128::from(self.ack_interval.get());
+                } else if st.stalled_checks >= self.stall_intervals {
+                    st.suspect = true;
+                    self.metrics.suspect_sites += 1;
+                    if self.auto_evict {
+                        self.metrics.auto_evictions += 1;
+                        to_evict.push(i);
+                    }
+                }
+            }
+        }
+        for site in to_evict {
+            self.evict(site, ctx);
+        }
+    }
 }
 
 impl Actor for CoordinatorNode {
@@ -301,13 +449,19 @@ impl Actor for CoordinatorNode {
         if let Msg::Evict { site } = msg {
             // Operator action: treat the site's watermark as +∞ so the
             // remaining buffer can stabilize without it.
-            self.tracker.update(site as usize, u64::MAX);
-            self.release_stable(ctx);
+            self.evict(site as usize, ctx);
+            return;
+        }
+        if matches!(msg, Msg::Start) {
+            // Engine control: arm the periodic ack/stall-check round.
+            if self.ack_interval.get() > 0 {
+                ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
+            }
             return;
         }
         let site = from.0 as usize;
         let Some(seq) = Self::seq_of(&msg) else {
-            return; // Start/Inject are not coordinator traffic
+            return; // Inject/Ack echoes are not coordinator traffic
         };
         debug_assert!(site < self.streams.len(), "unknown site {site}");
         let stream = &mut self.streams[site];
@@ -321,21 +475,52 @@ impl Actor for CoordinatorNode {
                     let Some(m) = stream.parked.remove(&stream.next) else {
                         break;
                     };
+                    self.parked_total -= 1;
                     stream.next += 1;
                     self.handle_in_order(site, m, ctx);
                 }
+                // Cumulative ack on every in-order delivery: the site trims
+                // its retransmit buffer as soon as the frontier moves.
+                let next = self.streams[site].next;
+                self.send_ack(from, next, ctx);
             }
             std::cmp::Ordering::Greater => {
+                if stream.parked.insert(seq, msg).is_some() {
+                    // A second copy of an already-parked message
+                    // (retransmitted or link-duplicated): the overwrite is
+                    // idempotent.
+                    self.metrics.duplicates_dropped += 1;
+                    return;
+                }
                 self.metrics.reassembly_parks += 1;
-                stream.parked.insert(seq, msg);
+                self.parked_total += 1;
+                if self.parked_cap > 0 && stream.parked.len() > self.parked_cap {
+                    // Backpressure: discard the parked message farthest
+                    // from the in-order frontier. Cumulative acks never
+                    // cover it, so the sender retransmits it later.
+                    let (&victim, _) = stream.parked.iter().next_back().expect("non-empty");
+                    stream.parked.remove(&victim);
+                    self.parked_total -= 1;
+                    self.metrics.parked_dropped += 1;
+                }
+                self.metrics.parked_peak = self.metrics.parked_peak.max(self.parked_total);
             }
             std::cmp::Ordering::Less => {
-                debug_assert!(false, "duplicate sequence number {seq} from site {site}");
+                // An already-delivered sequence number: a retransmitted or
+                // link-duplicated copy. Drop it and re-ack so the sender
+                // learns its delivery even if the original ack was lost.
+                self.metrics.duplicates_dropped += 1;
+                let next = stream.next;
+                self.send_ack(from, next, ctx);
             }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        if tag == ACK_TIMER_TAG {
+            self.ack_round(ctx);
+            return;
+        }
         let Some((shard, timer_id)) = self.timer_map.remove(&tag) else {
             debug_assert!(false, "unknown coordinator timer tag {tag}");
             return;

@@ -50,6 +50,28 @@ pub struct Metrics {
     pub stage_count: usize,
     /// Cumulative busy time across pool workers, in nanoseconds.
     pub pool_busy_ns: u64,
+    /// Messages resent by site retransmission timers (aggregated over
+    /// sites by the engine; 0 in a bare coordinator).
+    pub retransmits: u64,
+    /// Cumulative acknowledgements the coordinator sent.
+    pub acks_sent: u64,
+    /// Already-delivered sequence numbers received again (retransmitted or
+    /// link-duplicated copies) and ignored.
+    pub duplicates_dropped: u64,
+    /// High-water mark of parked (out-of-order) messages summed over all
+    /// site streams.
+    pub parked_peak: usize,
+    /// Parked messages discarded because a site's reassembly buffer hit
+    /// its bound (backpressure; the sender's retransmission recovers them).
+    pub parked_dropped: u64,
+    /// Sites currently marked suspect by the stall detector.
+    pub suspect_sites: usize,
+    /// Cumulative nanoseconds sites spent in the suspect state.
+    pub stall_ns: u128,
+    /// Notifications refused because their origin site was evicted.
+    pub evict_refused: u64,
+    /// Suspect sites escalated to eviction by the stall detector.
+    pub auto_evictions: u64,
 }
 
 impl Metrics {

@@ -49,6 +49,15 @@ pub enum Msg {
         /// The coalesced occurrences, in site send order.
         events: Vec<Occurrence<CompositeTimestamp>>,
     },
+    /// Cumulative acknowledgement, coordinator → site: every message with
+    /// sequence number `< cum_seq` has been delivered (in order). The site
+    /// trims its retransmit buffer on receipt. Sent on every in-order
+    /// delivery, on every duplicate (so a lost ack is repaired by the
+    /// retransmission it failed to suppress), and periodically.
+    Ack {
+        /// The next sequence number the coordinator expects.
+        cum_seq: u64,
+    },
     /// Failure injection: the receiving site crashes — it stops
     /// heartbeating and drops future injections.
     Crash,

@@ -10,13 +10,19 @@ use decs_chronos::Nanos;
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx};
 use decs_snoop::{Detector, EventId, FeedResult, Occurrence, TimerId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const HEARTBEAT_TAG: u64 = 0;
 const BATCH_TAG: u64 = 1;
+const RETX_TAG: u64 = 2;
 /// Timer tags below this are reserved for site infrastructure; local
 /// detector timers are offset by it.
 const LOCAL_TIMER_BASE: u64 = 16;
+
+/// Most unacked messages resent per retransmission round. Cumulative acks
+/// trim the buffer between rounds, so a long outage drains incrementally
+/// instead of flooding the link with one giant burst.
+const RETX_BURST: usize = 64;
 
 /// Site-local detection state: a compiled detector plus the mapping from
 /// its event-id space to the coordinator's (synthetic node ids never leave
@@ -75,6 +81,22 @@ pub struct SiteNode {
     pub local: Option<LocalDetection>,
     /// Local composite detections produced at this site.
     pub local_detections: u64,
+    /// Base retransmission timeout; `Nanos::ZERO` disables the
+    /// ack/retransmit protocol (fire-and-forget, as before).
+    retx_base: Nanos,
+    /// Backoff cap: the retransmission interval doubles per silent round
+    /// up to this bound, then stays there — retries never stop, so any
+    /// partition that eventually heals is eventually crossed.
+    retx_cap: Nanos,
+    /// Current backoff (reset to `retx_base` whenever an ack makes
+    /// progress).
+    retx_backoff: Nanos,
+    /// Whether a retransmission timer is outstanding.
+    retx_armed: bool,
+    /// Sent-but-unacked messages by sequence number.
+    retx: BTreeMap<u64, Msg>,
+    /// Messages resent by the retransmission timer.
+    pub retransmits: u64,
 }
 
 impl SiteNode {
@@ -90,7 +112,28 @@ impl SiteNode {
             crashed: false,
             local: None,
             local_detections: 0,
+            retx_base: Nanos::ZERO,
+            retx_cap: Nanos::ZERO,
+            retx_backoff: Nanos::ZERO,
+            retx_armed: false,
+            retx: BTreeMap::new(),
+            retransmits: 0,
         }
+    }
+
+    /// Enable the ack/retransmit protocol: unacked messages are resent
+    /// after `base`, doubling per silent round up to `cap` (`Nanos::ZERO`
+    /// for `base` keeps fire-and-forget).
+    pub fn with_reliability(mut self, base: Nanos, cap: Nanos) -> Self {
+        self.retx_base = base;
+        self.retx_cap = Nanos(cap.get().max(base.get()));
+        self.retx_backoff = base;
+        self
+    }
+
+    /// Number of sent-but-unacked messages held for retransmission.
+    pub fn unacked(&self) -> usize {
+        self.retx.len()
     }
 
     /// Switch the site to batched notifications flushed every `interval`
@@ -129,8 +172,56 @@ impl SiteNode {
             self.pending.push(occ);
         } else {
             let seq = self.next_seq();
-            ctx.send(self.coordinator, Msg::Event { seq, occ });
+            self.send_seq(seq, Msg::Event { seq, occ }, ctx);
         }
+    }
+
+    /// Send a sequence-numbered message, retaining a copy for
+    /// retransmission until it is cumulatively acked (when reliability is
+    /// enabled).
+    fn send_seq(&mut self, seq: u64, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        if self.retx_base.get() > 0 {
+            self.retx.insert(seq, msg.clone());
+            if !self.retx_armed {
+                self.retx_armed = true;
+                ctx.set_timer(self.retx_backoff, RETX_TAG);
+            }
+        }
+        ctx.send(self.coordinator, msg);
+    }
+
+    /// Trim the retransmit buffer on a cumulative ack; progress resets the
+    /// backoff to its base.
+    fn on_ack(&mut self, cum_seq: u64) {
+        if self.retx_base.get() == 0 {
+            return;
+        }
+        let before = self.retx.len();
+        self.retx = self.retx.split_off(&cum_seq);
+        if self.retx.len() < before {
+            self.retx_backoff = self.retx_base;
+        }
+    }
+
+    /// Retransmission round: resend the oldest unacked messages and back
+    /// off exponentially (capped — retries continue forever, so healing
+    /// partitions are always eventually crossed).
+    fn retransmit_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.retx_armed = false;
+        if self.crashed {
+            return; // the site is dead: nothing is ever resent.
+        }
+        if self.retx.is_empty() {
+            self.retx_backoff = self.retx_base;
+            return; // fully acked: the timer dies until the next send.
+        }
+        for msg in self.retx.values().take(RETX_BURST) {
+            self.retransmits += 1;
+            ctx.send(self.coordinator, msg.clone());
+        }
+        self.retx_backoff = Nanos((2 * self.retx_backoff.get()).min(self.retx_cap.get()));
+        self.retx_armed = true;
+        ctx.set_timer(self.retx_backoff, RETX_TAG);
     }
 
     /// Absorb a local feed result: count + forward detections, schedule
@@ -162,12 +253,13 @@ impl SiteNode {
         }
         if let Ok(parts) = ctx.stamp() {
             let seq = self.next_seq();
-            ctx.send(
-                self.coordinator,
+            self.send_seq(
+                seq,
                 Msg::Heartbeat {
                     seq,
                     watermark: parts.global.get(),
                 },
+                ctx,
             );
         }
         ctx.set_timer(self.heartbeat_interval, HEARTBEAT_TAG);
@@ -185,13 +277,14 @@ impl SiteNode {
         if let Ok(parts) = ctx.stamp() {
             let seq = self.next_seq();
             let events = std::mem::take(&mut self.pending);
-            ctx.send(
-                self.coordinator,
+            self.send_seq(
+                seq,
                 Msg::Batch {
                     seq,
                     watermark: parts.global.get(),
                     events,
                 },
+                ctx,
             );
         }
         ctx.set_timer(self.batch_interval, BATCH_TAG);
@@ -240,6 +333,9 @@ impl Actor for SiteNode {
                     Err(_) => self.dropped_pre_epoch += 1,
                 }
             }
+            Msg::Ack { cum_seq } => {
+                self.on_ack(cum_seq);
+            }
             // Sites do not receive protocol traffic in the star topology.
             Msg::Event { .. } | Msg::Heartbeat { .. } | Msg::Batch { .. } | Msg::Evict { .. } => {
                 debug_assert!(false, "site received coordinator traffic");
@@ -254,6 +350,10 @@ impl Actor for SiteNode {
         }
         if tag == BATCH_TAG {
             self.flush_batch(ctx);
+            return;
+        }
+        if tag == RETX_TAG {
+            self.retransmit_round(ctx);
             return;
         }
         // A local temporal operator fired: stamp with the site clock.

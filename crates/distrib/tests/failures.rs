@@ -4,7 +4,7 @@
 
 use decs_chronos::{Granularity, Nanos};
 use decs_distrib::{Engine, EngineConfig, ReleasePolicy};
-use decs_simnet::{Scenario, ScenarioBuilder};
+use decs_simnet::{LinkConfig, Scenario, ScenarioBuilder};
 use decs_snoop::{Context, EventExpr as E};
 
 fn scenario(sites: u32) -> Scenario {
@@ -145,6 +145,65 @@ fn evict_with_flushed_batches_buffered_preserves_them() {
     assert_eq!(det.len(), 1, "flushed-before-crash events must detect");
     assert_eq!(det[0].name, "X");
     assert_eq!(e.buffered(), 0);
+}
+
+#[test]
+fn evicting_a_live_site_refuses_new_events_but_keeps_buffered_ones() {
+    let mut e = seq_engine(3, ReleasePolicy::Stable);
+    // A clean pre-evict pair: A (site 0) then B (site 1).
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    // Evict site 1 while it is alive and still heartbeating.
+    e.evict_site(Nanos::from_millis(2_500), 1);
+    // Everything site 1 sends from now on is refused at the coordinator…
+    e.inject(Nanos::from_secs(3), 1, "B", vec![]).unwrap();
+    e.inject(Nanos::from_secs(4), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(5), 1, "B", vec![]).unwrap();
+    let det = e.run_for(Nanos::from_secs(10));
+    // …so only the pre-evict pair detects: the post-evict Bs would have
+    // completed two more sequences.
+    assert_eq!(det.len(), 1, "only the pre-evict pair may detect");
+    let m = e.metrics();
+    assert_eq!(m.evict_refused, 2, "both post-evict Bs are refused");
+    // The evicted site's watermark is out of the stability minimum: the
+    // late A (site 0) still releases and the buffer drains.
+    assert_eq!(e.buffered(), 0, "evicted watermark must not gate stability");
+    assert_eq!(m.events_received, 3);
+}
+
+#[test]
+fn retransmitted_copy_of_delayed_event_is_deduplicated() {
+    // Crash-mid-retransmission: the link is so slow (300 ms each way) that
+    // the site's 200 ms retransmission timer fires while the original copy
+    // is still *in flight* — delayed, not dropped. The site then crashes.
+    // The coordinator receives both copies and must release exactly once.
+    let mut e = seq_engine(2, ReleasePolicy::Stable);
+    e.set_link_pair(
+        1,
+        LinkConfig {
+            base_latency_ns: 300_000_000,
+            jitter_ns: 0,
+            fifo: true,
+            ..LinkConfig::lan()
+        },
+    );
+    e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+    e.inject(Nanos::from_secs(2), 1, "B", vec![]).unwrap();
+    // Die after at least one retransmission round has re-sent B
+    // (B is unacked for ≥ 600 ms round-trip ≫ the 200 ms timeout).
+    e.crash_site(Nanos::from_millis(2_450), 1);
+    let det = e.run_for(Nanos::from_secs(10));
+    assert_eq!(det.len(), 1, "the duplicate copy must not double-detect");
+    let m = e.metrics();
+    assert_eq!(m.events_received, 2, "duplicates never enter the buffer");
+    assert!(
+        m.retransmits >= 1,
+        "the slow link must force retransmission"
+    );
+    assert!(
+        m.duplicates_dropped >= 1,
+        "the redundant copy is counted and ignored"
+    );
 }
 
 #[test]

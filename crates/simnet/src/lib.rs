@@ -32,7 +32,7 @@ pub mod scenario;
 pub mod sim;
 pub mod trace;
 
-pub use link::LinkConfig;
+pub use link::{FaultCounters, LinkConfig, LinkFate};
 pub use node::SiteTimeSource;
 pub use rng::SplitMix64;
 pub use scenario::{Scenario, ScenarioBuilder};

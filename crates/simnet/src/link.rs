@@ -6,12 +6,20 @@
 //! (src, dst) pair; non-FIFO links can reorder messages, which is exactly
 //! the hostile condition the distributed detector's watermark logic must
 //! tolerate.
+//!
+//! Links can also be **lossy**: each directed link carries a deterministic,
+//! seed-derived fault model — per-message drop and duplication
+//! probabilities (in parts per million, so [`LinkConfig`] stays `Eq`) and
+//! scheduled *partition windows* (`[from, until)` outages during which
+//! every message sent over the link is lost). Faults consume randomness
+//! only when enabled, so a zero-fault configuration reproduces the exact
+//! delivery schedule of earlier versions bit for bit.
 
 use crate::rng::SplitMix64;
 use decs_chronos::Nanos;
 use serde::{Deserialize, Serialize};
 
-/// Latency model of one (directed) link.
+/// Latency and fault model of one (directed) link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Base one-way latency in nanoseconds.
@@ -20,34 +28,54 @@ pub struct LinkConfig {
     pub jitter_ns: u64,
     /// Whether deliveries preserve send order.
     pub fifo: bool,
+    /// Per-message drop probability in parts per million (0 = lossless).
+    pub drop_ppm: u32,
+    /// Per-message duplication probability in parts per million. A
+    /// duplicated message is delivered twice, each copy with its own
+    /// sampled latency.
+    pub dup_ppm: u32,
 }
 
 impl LinkConfig {
-    /// A symmetric LAN-ish default: 500 µs ± 200 µs, non-FIFO.
+    /// A symmetric LAN-ish default: 500 µs ± 200 µs, non-FIFO, lossless.
     pub fn lan() -> Self {
         LinkConfig {
             base_latency_ns: 500_000,
             jitter_ns: 200_000,
             fifo: false,
+            drop_ppm: 0,
+            dup_ppm: 0,
         }
     }
 
-    /// A WAN-ish default: 40 ms ± 10 ms, non-FIFO.
+    /// A WAN-ish default: 40 ms ± 10 ms, non-FIFO, lossless.
     pub fn wan() -> Self {
         LinkConfig {
             base_latency_ns: 40_000_000,
             jitter_ns: 10_000_000,
             fifo: false,
+            drop_ppm: 0,
+            dup_ppm: 0,
         }
     }
 
-    /// Zero-latency, FIFO (useful for unit tests).
+    /// Zero-latency, FIFO, lossless (useful for unit tests).
     pub fn instant() -> Self {
         LinkConfig {
             base_latency_ns: 0,
             jitter_ns: 0,
             fifo: true,
+            drop_ppm: 0,
+            dup_ppm: 0,
         }
+    }
+
+    /// This configuration with the given drop/duplication probabilities
+    /// (parts per million).
+    pub fn with_faults(mut self, drop_ppm: u32, dup_ppm: u32) -> Self {
+        self.drop_ppm = drop_ppm;
+        self.dup_ppm = dup_ppm;
+        self
     }
 
     /// Sample a one-way latency.
@@ -60,13 +88,56 @@ impl LinkConfig {
     }
 }
 
-/// Per-pair link state (latency config + FIFO clamp).
+/// Per-link fault counters, exposed for diagnostics and traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Messages scheduled for delivery (duplicates count separately).
+    pub delivered: u64,
+    /// Messages dropped by the random loss model.
+    pub dropped: u64,
+    /// Extra copies injected by the duplication model.
+    pub duplicated: u64,
+    /// Messages lost to a scheduled partition window.
+    pub partitioned: u64,
+}
+
+impl FaultCounters {
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.partitioned += other.partitioned;
+    }
+}
+
+/// The fate of one message routed over a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Deliver at `at`; `duplicate_at` carries the second copy's delivery
+    /// time when the duplication model fired.
+    Deliver {
+        /// Primary delivery time.
+        at: Nanos,
+        /// Delivery time of the duplicate copy, if any.
+        duplicate_at: Option<Nanos>,
+    },
+    /// Lost to the random drop model.
+    Dropped,
+    /// Lost to a scheduled partition window covering the send time.
+    Partitioned,
+}
+
+/// Per-pair link state (latency config + FIFO clamp + fault schedule).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkState {
     /// The configuration.
     pub config: LinkConfig,
     /// Latest delivery time scheduled so far (for FIFO clamping).
     last_delivery: Nanos,
+    /// Scheduled `[from, until)` outage windows (true time).
+    partitions: Vec<(Nanos, Nanos)>,
+    counters: FaultCounters,
 }
 
 impl LinkState {
@@ -75,7 +146,25 @@ impl LinkState {
         LinkState {
             config,
             last_delivery: Nanos::ZERO,
+            partitions: Vec::new(),
+            counters: FaultCounters::default(),
         }
+    }
+
+    /// Schedule a partition window: every message sent in `[from, until)`
+    /// is lost. Windows may overlap.
+    pub fn add_partition(&mut self, from: Nanos, until: Nanos) {
+        self.partitions.push((from, until));
+    }
+
+    /// Whether a message sent at `now` falls inside an outage window.
+    pub fn partitioned_at(&self, now: Nanos) -> bool {
+        self.partitions.iter().any(|&(f, u)| now >= f && now < u)
+    }
+
+    /// The fault counters accumulated so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
     }
 
     /// Compute the delivery time of a message sent at `now`.
@@ -89,6 +178,32 @@ impl LinkState {
         self.last_delivery = Nanos(self.last_delivery.get().max(at.get()));
         at
     }
+
+    /// Route a message sent at `now` through the fault model: partition
+    /// windows first, then the random drop model, then latency sampling,
+    /// then the duplication model. Randomness is consumed only by enabled
+    /// fault stages, so a fault-free link's latency stream is unchanged.
+    pub fn route(&mut self, now: Nanos, rng: &mut SplitMix64) -> LinkFate {
+        if self.partitioned_at(now) {
+            self.counters.partitioned += 1;
+            return LinkFate::Partitioned;
+        }
+        if self.config.drop_ppm > 0 && rng.next_below(1_000_000) < u64::from(self.config.drop_ppm) {
+            self.counters.dropped += 1;
+            return LinkFate::Dropped;
+        }
+        let at = self.delivery_time(now, rng);
+        self.counters.delivered += 1;
+        let duplicate_at = if self.config.dup_ppm > 0
+            && rng.next_below(1_000_000) < u64::from(self.config.dup_ppm)
+        {
+            self.counters.duplicated += 1;
+            Some(self.delivery_time(now, rng))
+        } else {
+            None
+        };
+        LinkFate::Deliver { at, duplicate_at }
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +216,8 @@ mod tests {
             base_latency_ns: 1000,
             jitter_ns: 100,
             fifo: false,
+            drop_ppm: 0,
+            dup_ppm: 0,
         };
         let mut rng = SplitMix64::new(1);
         for _ in 0..1000 {
@@ -121,6 +238,8 @@ mod tests {
             base_latency_ns: 1000,
             jitter_ns: 900,
             fifo: true,
+            drop_ppm: 0,
+            dup_ppm: 0,
         };
         let mut st = LinkState::new(cfg);
         let mut rng = SplitMix64::new(5);
@@ -138,6 +257,8 @@ mod tests {
             base_latency_ns: 1000,
             jitter_ns: 990,
             fifo: false,
+            drop_ppm: 0,
+            dup_ppm: 0,
         };
         let mut st = LinkState::new(cfg);
         let mut rng = SplitMix64::new(5);
@@ -157,5 +278,93 @@ mod tests {
     fn presets() {
         assert!(LinkConfig::wan().base_latency_ns > LinkConfig::lan().base_latency_ns);
         assert!(LinkConfig::instant().fifo);
+        assert_eq!(LinkConfig::lan().drop_ppm, 0);
+        assert_eq!(LinkConfig::lan().dup_ppm, 0);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let cfg = LinkConfig::instant().with_faults(200_000, 0); // 20%
+        let mut st = LinkState::new(cfg);
+        let mut rng = SplitMix64::new(11);
+        let mut dropped = 0;
+        for i in 0..10_000u64 {
+            if st.route(Nanos(i), &mut rng) == LinkFate::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!((1700..2300).contains(&dropped), "dropped {dropped}");
+        assert_eq!(st.counters().dropped, dropped);
+        assert_eq!(st.counters().delivered, 10_000 - dropped);
+    }
+
+    #[test]
+    fn duplication_rate_tracks_probability() {
+        let cfg = LinkConfig::instant().with_faults(0, 100_000); // 10%
+        let mut st = LinkState::new(cfg);
+        let mut rng = SplitMix64::new(13);
+        let mut dups = 0;
+        for i in 0..10_000u64 {
+            if let LinkFate::Deliver {
+                duplicate_at: Some(_),
+                ..
+            } = st.route(Nanos(i), &mut rng)
+            {
+                dups += 1;
+            }
+        }
+        assert!((800..1200).contains(&dups), "duplicated {dups}");
+        assert_eq!(st.counters().duplicated, dups);
+        assert_eq!(st.counters().delivered, 10_000);
+    }
+
+    #[test]
+    fn partition_window_blocks_only_inside() {
+        let mut st = LinkState::new(LinkConfig::instant());
+        st.add_partition(Nanos(100), Nanos(200));
+        let mut rng = SplitMix64::new(1);
+        assert!(matches!(
+            st.route(Nanos(99), &mut rng),
+            LinkFate::Deliver { .. }
+        ));
+        assert_eq!(st.route(Nanos(100), &mut rng), LinkFate::Partitioned);
+        assert_eq!(st.route(Nanos(199), &mut rng), LinkFate::Partitioned);
+        assert!(matches!(
+            st.route(Nanos(200), &mut rng),
+            LinkFate::Deliver { .. }
+        ));
+        assert_eq!(st.counters().partitioned, 2);
+    }
+
+    #[test]
+    fn zero_fault_route_preserves_latency_stream() {
+        // route() on a fault-free link must consume exactly the same
+        // randomness as the old delivery_time()-only path.
+        let cfg = LinkConfig::lan();
+        let mut a = LinkState::new(cfg);
+        let mut b = LinkState::new(cfg);
+        let mut rng_a = SplitMix64::new(77);
+        let mut rng_b = SplitMix64::new(77);
+        for i in 0..100u64 {
+            let LinkFate::Deliver { at, duplicate_at } = a.route(Nanos(i * 10), &mut rng_a) else {
+                panic!("fault-free link dropped a message");
+            };
+            assert_eq!(duplicate_at, None);
+            assert_eq!(at, b.delivery_time(Nanos(i * 10), &mut rng_b));
+        }
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let run = || {
+            let cfg = LinkConfig::lan().with_faults(100_000, 50_000);
+            let mut st = LinkState::new(cfg);
+            st.add_partition(Nanos(300), Nanos(600));
+            let mut rng = SplitMix64::new(42);
+            (0..200u64)
+                .map(|i| format!("{:?}", st.route(Nanos(i * 5), &mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

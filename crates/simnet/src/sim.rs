@@ -10,7 +10,7 @@
 //! delivered through [`Actor::on_message`] with `from == self`, which by
 //! convention means "the environment".
 
-use crate::link::{LinkConfig, LinkState};
+use crate::link::{FaultCounters, LinkConfig, LinkFate, LinkState};
 use crate::node::SiteTimeSource;
 use crate::rng::SplitMix64;
 use crate::trace::{Trace, TraceEntry};
@@ -164,6 +164,34 @@ impl<A: Actor> Simulation<A> {
         self.links.insert((from.0, to.0), LinkState::new(cfg));
     }
 
+    /// Schedule a partition window on the directed pair `(from, to)`:
+    /// every message sent in `[start, until)` true time is lost.
+    pub fn add_partition(&mut self, from: NodeIdx, to: NodeIdx, start: Nanos, until: Nanos) {
+        let default = self.default_link;
+        self.links
+            .entry((from.0, to.0))
+            .or_insert_with(|| LinkState::new(default))
+            .add_partition(start, until);
+    }
+
+    /// Fault counters of the directed link `(from, to)` (zero if the link
+    /// has never carried a message and has no overrides).
+    pub fn link_counters(&self, from: NodeIdx, to: NodeIdx) -> FaultCounters {
+        self.links
+            .get(&(from.0, to.0))
+            .map(|l| l.counters())
+            .unwrap_or_default()
+    }
+
+    /// Fault counters aggregated over every link in the simulation.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for l in self.links.values() {
+            total.merge(&l.counters());
+        }
+        total
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -281,14 +309,44 @@ impl<A: Actor> Simulation<A> {
                 .links
                 .entry(key)
                 .or_insert_with(|| LinkState::new(default));
-            let deliver_at = link.delivery_time(at, &mut self.rng);
-            self.trace.push(TraceEntry::Send {
-                at,
-                from: me,
-                to,
-                deliver_at,
-            });
-            self.push(deliver_at, Pending::Deliver { from: me, to, msg });
+            match link.route(at, &mut self.rng) {
+                LinkFate::Deliver {
+                    at: deliver_at,
+                    duplicate_at,
+                } => {
+                    self.trace.push(TraceEntry::Send {
+                        at,
+                        from: me,
+                        to,
+                        deliver_at,
+                    });
+                    if let Some(dup_at) = duplicate_at {
+                        self.trace.push(TraceEntry::Send {
+                            at,
+                            from: me,
+                            to,
+                            deliver_at: dup_at,
+                        });
+                        self.push(
+                            dup_at,
+                            Pending::Deliver {
+                                from: me,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    self.push(deliver_at, Pending::Deliver { from: me, to, msg });
+                }
+                fate @ (LinkFate::Dropped | LinkFate::Partitioned) => {
+                    self.trace.push(TraceEntry::Drop {
+                        at,
+                        from: me,
+                        to,
+                        partitioned: fate == LinkFate::Partitioned,
+                    });
+                }
+            }
         }
         for (tag, delay) in timers {
             self.push(

@@ -40,6 +40,18 @@ pub enum TraceEntry {
         /// The node-chosen tag.
         tag: u64,
     },
+    /// A message was lost in transit (fault injection).
+    Drop {
+        /// True time of the send.
+        at: Nanos,
+        /// Sender.
+        from: NodeIdx,
+        /// Intended receiver.
+        to: NodeIdx,
+        /// True when lost to a scheduled partition window, false when
+        /// lost to the random drop model.
+        partitioned: bool,
+    },
 }
 
 impl TraceEntry {
@@ -48,7 +60,8 @@ impl TraceEntry {
         match self {
             TraceEntry::Send { at, .. }
             | TraceEntry::Deliver { at, .. }
-            | TraceEntry::Timer { at, .. } => *at,
+            | TraceEntry::Timer { at, .. }
+            | TraceEntry::Drop { at, .. } => *at,
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests for the simulator: determinism from seeds, FIFO
-//! clamping, latency bounds, and scenario validity.
+//! clamping, latency bounds, fault injection, and scenario validity.
 
 use decs_chronos::{Granularity, Nanos};
 use decs_simnet::link::LinkState;
-use decs_simnet::{LinkConfig, ScenarioBuilder, SplitMix64};
+use decs_simnet::{LinkConfig, LinkFate, ScenarioBuilder, SplitMix64};
 use proptest::prelude::*;
 
 proptest! {
@@ -15,7 +15,7 @@ proptest! {
         jitter in 0u64..1_000_000,
         seed in 0u64..1_000,
     ) {
-        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, fifo: false };
+        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, ..LinkConfig::lan() };
         let mut rng = SplitMix64::new(seed);
         for _ in 0..100 {
             let l = cfg.sample_latency(&mut rng).get();
@@ -30,7 +30,7 @@ proptest! {
         jitter in 0u64..1_000_000,
         seed in 0u64..1_000,
     ) {
-        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, fifo: true };
+        let cfg = LinkConfig { base_latency_ns: base, jitter_ns: jitter, fifo: true, ..LinkConfig::lan() };
         let mut st = LinkState::new(cfg);
         let mut rng = SplitMix64::new(seed);
         let mut last = Nanos::ZERO;
@@ -79,6 +79,64 @@ proptest! {
                 b.ensemble.clock(i).unwrap().offset_ns()
             );
         }
+    }
+
+    #[test]
+    fn fault_model_conserves_messages(
+        drop_ppm in 0u32..500_000,
+        dup_ppm in 0u32..500_000,
+        seed in 0u64..1_000,
+    ) {
+        // Every routed message is exactly one of delivered / dropped /
+        // partitioned, and the counters account for all of them.
+        let cfg = LinkConfig::lan().with_faults(drop_ppm, dup_ppm);
+        let mut st = LinkState::new(cfg);
+        st.add_partition(Nanos(2_000), Nanos(5_000));
+        let mut rng = SplitMix64::new(seed);
+        let (mut delivered, mut dropped, mut partitioned, mut dups) = (0u64, 0u64, 0u64, 0u64);
+        for send in (0..500u64).map(|i| Nanos(i * 10)) {
+            match st.route(send, &mut rng) {
+                LinkFate::Deliver { at, duplicate_at } => {
+                    delivered += 1;
+                    prop_assert!(at >= send);
+                    if let Some(d) = duplicate_at {
+                        dups += 1;
+                        prop_assert!(d >= send);
+                    }
+                }
+                LinkFate::Dropped => dropped += 1,
+                LinkFate::Partitioned => {
+                    partitioned += 1;
+                    prop_assert!(st.partitioned_at(send));
+                }
+            }
+        }
+        let c = st.counters();
+        prop_assert_eq!(c.delivered, delivered);
+        prop_assert_eq!(c.dropped, dropped);
+        prop_assert_eq!(c.partitioned, partitioned);
+        prop_assert_eq!(c.duplicated, dups);
+        prop_assert_eq!(delivered + dropped + partitioned, 500);
+        // Sends inside the window are always partitioned: [2000, 5000)
+        // covers sends 200..=499, so 300 of the 500.
+        prop_assert_eq!(partitioned, 300);
+    }
+
+    #[test]
+    fn fault_schedule_is_pure_function_of_seed(
+        drop_ppm in 0u32..300_000,
+        dup_ppm in 0u32..300_000,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let cfg = LinkConfig::lan().with_faults(drop_ppm, dup_ppm);
+            let mut st = LinkState::new(cfg);
+            let mut rng = SplitMix64::new(seed);
+            (0..200u64)
+                .map(|i| format!("{:?}", st.route(Nanos(i * 100), &mut rng)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
     }
 
     #[test]

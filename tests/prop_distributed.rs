@@ -17,6 +17,7 @@ fn link() -> impl Strategy<Value = LinkConfig> {
         base_latency_ns: base,
         jitter_ns: jitter,
         fifo: fifo == 1,
+        ..LinkConfig::lan()
     })
 }
 
