@@ -29,4 +29,10 @@ cargo run --release -p decs-bench --features parallel --bin parallel -- --smoke
 # the committed BENCH_chaos.json baseline.
 cargo run --release -p decs-bench --bin chaos -- --smoke
 
+# Plan-sharing smoke: re-runs the overlap matrix (hard-asserting that the
+# shared plan and independent compilation detect identically at every
+# overlap point) and validates the committed BENCH_sharing.json baseline
+# (fails on malformed JSON or a 50%-overlap speedup below 1.5x).
+cargo run --release -p decs-bench --bin sharing -- --smoke
+
 echo "ci.sh: all tier-1 checks passed"

@@ -181,6 +181,9 @@ struct LatencyRow {
     duplicates_dropped: u64,
     parked_peak: usize,
     suspect_sites: usize,
+    plan_nodes: usize,
+    shared_nodes: usize,
+    sharing_ratio: f64,
 }
 
 /// Distributed-engine leg: the NOT workload across 4 sites, GC on or off.
@@ -229,6 +232,9 @@ fn latency_run(buffer_gc: bool) -> LatencyRow {
         duplicates_dropped: m.duplicates_dropped,
         parked_peak: m.parked_peak,
         suspect_sites: m.suspect_sites,
+        plan_nodes: m.plan_nodes,
+        shared_nodes: m.shared_nodes,
+        sharing_ratio: m.sharing_ratio,
     }
 }
 
@@ -286,7 +292,8 @@ fn render_json(
             "    {{\"gc\": {gc}, \"detections\": {}, \"mean_stability_ms\": {:.2}, \
              \"gc_evicted\": {}, \"node_buffer_peak\": {}, \"retransmits\": {}, \
              \"acks_sent\": {}, \"duplicates_dropped\": {}, \"parked_peak\": {}, \
-             \"suspect_sites\": {}}}{comma}",
+             \"suspect_sites\": {}, \"plan_nodes\": {}, \"shared_nodes\": {}, \
+             \"sharing_ratio\": {:.3}}}{comma}",
             r.detections,
             r.mean_stability_ms,
             r.gc_evicted,
@@ -295,7 +302,10 @@ fn render_json(
             r.acks_sent,
             r.duplicates_dropped,
             r.parked_peak,
-            r.suspect_sites
+            r.suspect_sites,
+            r.plan_nodes,
+            r.shared_nodes,
+            r.sharing_ratio
         );
     }
     let _ = writeln!(j, "  ]");

@@ -1,0 +1,285 @@
+//! E16 — cross-definition operator sharing (the hash-consed plan IR).
+//!
+//! Measures serial feed throughput of the shared-plan backend
+//! ([`CentralDetector::plan`]) against independent per-definition
+//! compilation ([`CentralDetector::sharded`], the `plan_sharing: false`
+//! oracle) on definition sets with a controlled **overlap fraction**:
+//! of `N` definitions, `overlap%` are copies of one common deep body over
+//! a shared primitive triple (the plan collapses them to a single operator
+//! subtree with per-definition fan-out) and the rest are structurally
+//! identical bodies over *private* primitive triples (no sharing possible,
+//! same cost on both backends). The workload cycles over every registered
+//! primitive, so both populations do real work.
+//!
+//! Detection counts are asserted equal between the backends on every
+//! configuration — a mismatch is a correctness bug, not a slow run.
+//!
+//! Run: `cargo run --release -p decs-bench --bin sharing` (full, writes
+//! `BENCH_sharing.json` in the current directory).
+//! `--smoke` runs a quick pass, validates the committed
+//! `BENCH_sharing.json` (malformed JSON, a missing 50%-overlap row, or a
+//! headline speedup below 1.5x fails with a nonzero exit) and writes its
+//! own results under `target/`.
+
+use decs_snoop::{CentralDetector, Context, EventExpr as E, EventExpr};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Total definitions per configuration.
+const DEFS: usize = 16;
+
+/// The common body over a primitive triple: `¬(b)[a, c]`. The workload
+/// drives it guard-heavy (openers and guards pile up, closers are where
+/// the window scan happens, emissions are rare and tiny), so operator
+/// *execution* — the part the plan runs once per trigger instead of once
+/// per duplicate definition — dominates the constant per-definition
+/// fan-out bookkeeping that every backend pays.
+fn body(a: &str, b: &str, c: &str) -> EventExpr {
+    E::not(E::prim(b), E::prim(a), E::prim(c))
+}
+
+/// The primitive names a configuration needs: one shared triple plus a
+/// private triple per non-overlapping definition.
+fn primitives(unique_defs: usize) -> Vec<String> {
+    let mut names: Vec<String> = ["S0", "S1", "S2"].iter().map(|s| s.to_string()).collect();
+    for i in 0..unique_defs {
+        for k in 0..3 {
+            names.push(format!("U{i}_{k}"));
+        }
+    }
+    names
+}
+
+/// Build a detector with `dup` copies of the common body and
+/// `DEFS - dup` private-triple bodies.
+fn build(shared_plan: bool, dup: usize) -> CentralDetector {
+    let mut d = if shared_plan {
+        CentralDetector::plan()
+    } else {
+        CentralDetector::sharded()
+    };
+    for n in primitives(DEFS - dup) {
+        d.register(&n).unwrap();
+    }
+    for i in 0..dup {
+        d.define(
+            &format!("D{i}"),
+            &body("S0", "S1", "S2"),
+            Context::Chronicle,
+        )
+        .unwrap();
+    }
+    for i in 0..DEFS - dup {
+        let (a, b, c) = (format!("U{i}_0"), format!("U{i}_1"), format!("U{i}_2"));
+        d.define(
+            &format!("D{}", dup + i),
+            &body(&a, &b, &c),
+            Context::Chronicle,
+        )
+        .unwrap();
+    }
+    // Both legs run with clock-driven buffer GC off: the bench measures
+    // detection work on accumulated operator state, and GC equivalence is
+    // `hotpath`'s subject, not this one's. The setting is identical for
+    // both backends, so the ratio stays apples-to-apples.
+    d.set_buffer_gc(false);
+    d
+}
+
+/// Feed `events` occurrences, cycling the guard-heavy `[a, b, a, c]`
+/// pattern round-robin over every registered triple (opener, window-
+/// killing guard, opener, closer — the closer's window scan is the hot
+/// operation); returns (elapsed seconds, detections produced).
+fn drive(d: &mut CentralDetector, events: u64) -> (f64, u64) {
+    let names = primitives(DEFS); // superset order; trim to the catalog
+    let live: Vec<&str> = names
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|n| d.catalog().lookup(n).is_ok())
+        .collect();
+    let triples: Vec<[&str; 3]> = live.chunks(3).map(|t| [t[0], t[1], t[2]]).collect();
+    let mut detections = 0u64;
+    let start = Instant::now();
+    for i in 0..events {
+        let [a, b, c] = triples[((i / 4) as usize) % triples.len()];
+        let name = [a, b, a, c][(i % 4) as usize];
+        detections += d.feed_bare(name, i).unwrap().len() as u64;
+    }
+    (start.elapsed().as_secs_f64(), detections)
+}
+
+struct Row {
+    overlap_pct: usize,
+    shared_meps: f64,
+    unshared_meps: f64,
+    detections: u64,
+    plan_nodes: usize,
+    shared_nodes: usize,
+    sharing_ratio: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.shared_meps / self.unshared_meps
+    }
+}
+
+/// Best-of-3 throughput for one backend (fresh detector per repetition —
+/// feeding mutates operator state).
+fn throughput(shared_plan: bool, dup: usize, events: u64) -> (f64, u64) {
+    let mut best = 0.0f64;
+    let mut detections = 0;
+    for _ in 0..3 {
+        let mut d = build(shared_plan, dup);
+        let (secs, det) = drive(&mut d, events);
+        best = best.max(events as f64 / secs / 1e6);
+        detections = det;
+    }
+    (best, detections)
+}
+
+fn run_config(overlap_pct: usize, events: u64) -> Row {
+    let dup = DEFS * overlap_pct / 100;
+    let (shared_meps, det_shared) = throughput(true, dup, events);
+    let (unshared_meps, det_unshared) = throughput(false, dup, events);
+    // The hard equivalence gate: both backends must detect identically.
+    assert_eq!(
+        det_shared, det_unshared,
+        "backend detection mismatch at overlap {overlap_pct}%"
+    );
+    let stats = build(true, dup).plan_stats();
+    Row {
+        overlap_pct,
+        shared_meps,
+        unshared_meps,
+        detections: det_shared,
+        plan_nodes: stats.plan_nodes,
+        shared_nodes: stats.shared_nodes,
+        sharing_ratio: stats.sharing_ratio,
+    }
+}
+
+fn render_json(mode: &str, events: u64, rows: &[Row]) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"sharing\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"defs\": {DEFS},");
+    let _ = writeln!(j, "  \"events\": {events},");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"overlap_{}\", \"overlap_pct\": {}, \
+             \"shared_meps\": {:.3}, \"unshared_meps\": {:.3}, \
+             \"speedup\": {:.2}, \"detections\": {}, \"plan_nodes\": {}, \
+             \"shared_nodes\": {}, \"sharing_ratio\": {:.3}}}{comma}",
+            r.overlap_pct,
+            r.overlap_pct,
+            r.shared_meps,
+            r.unshared_meps,
+            r.speedup(),
+            r.detections,
+            r.plan_nodes,
+            r.shared_nodes,
+            r.sharing_ratio
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull `"field": <number>` out of the row object named `name` (same
+/// substring scanner as the other bench smokes — the baseline is our own
+/// emission, so anything it can't find is malformed).
+fn extract(json: &str, name: &str, field: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"name\": \"{name}\""))?..];
+    let obj = &obj[..obj.find('}')?];
+    let at = obj.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn smoke(baseline_path: &str) -> i32 {
+    // A quick pass still runs every overlap point — `run_config` hard-
+    // asserts shared == unshared detections, which is the smoke's real
+    // correctness gate.
+    let events = 20_000;
+    let rows: Vec<Row> = [0, 25, 50, 75]
+        .iter()
+        .map(|&p| run_config(p, events))
+        .collect();
+    let json = render_json("smoke", events, &rows);
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/BENCH_sharing_smoke.json", &json).ok();
+    print!("{json}");
+
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("smoke: FAIL — missing baseline {baseline_path}");
+        return 1;
+    };
+    let mut failed = false;
+    for p in [0, 25, 50, 75] {
+        if extract(&baseline, &format!("overlap_{p}"), "speedup").is_none() {
+            eprintln!("smoke: FAIL — baseline is malformed (no overlap_{p} row)");
+            failed = true;
+        }
+    }
+    // The committed artifact must carry the headline: ≥1.5x feed
+    // throughput at 50% overlap. The ratio is machine-independent enough
+    // to enforce unconditionally (both legs run on the same machine).
+    match extract(&baseline, "overlap_50", "speedup") {
+        Some(s) if s >= 1.5 => {}
+        Some(s) => {
+            eprintln!("smoke: FAIL — baseline 50%-overlap speedup {s:.2} < 1.5x");
+            failed = true;
+        }
+        None => {} // already reported as malformed above
+    }
+    if failed {
+        1
+    } else {
+        eprintln!("smoke: OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke("BENCH_sharing.json"));
+    }
+
+    eprintln!("E16 — cross-definition operator sharing (full run)");
+    // The no-GC guard scan is quadratic in per-triple rounds by design,
+    // so the full run stays at a size where the slowest (75%-overlap,
+    // unshared) leg finishes in tens of seconds.
+    let events = 120_000;
+    let rows: Vec<Row> = [0, 25, 50, 75]
+        .iter()
+        .map(|&p| {
+            let r = run_config(p, events);
+            eprintln!(
+                "overlap {:>2}%: shared {:.2} Mev/s, unshared {:.2} Mev/s ({:.2}x), \
+                 plan {} nodes ({} shared)",
+                r.overlap_pct,
+                r.shared_meps,
+                r.unshared_meps,
+                r.speedup(),
+                r.plan_nodes,
+                r.shared_nodes
+            );
+            r
+        })
+        .collect();
+    let json = render_json("full", events, &rows);
+    std::fs::write("BENCH_sharing.json", &json).expect("write BENCH_sharing.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_sharing.json");
+}

@@ -71,6 +71,13 @@ pub struct EngineConfig {
     /// overflow discards the highest-sequence parked message (recovered by
     /// retransmission). `0` means unbounded.
     pub parked_cap: usize,
+    /// Compile the coordinator's definitions into one hash-consed shared
+    /// plan, so structurally identical subexpressions across definitions
+    /// execute once per released notification. On by default; the off
+    /// switch keeps the independent-compilation path as a differential
+    /// oracle (the `sharing` bench and equivalence suites compare the
+    /// two). Detections are bit-for-bit identical either way.
+    pub plan_sharing: bool,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +102,7 @@ impl Default for EngineConfig {
             stall_intervals: 50,
             auto_evict: false,
             parked_cap: 4096,
+            plan_sharing: true,
         }
     }
 }

@@ -16,7 +16,8 @@ use decs_chronos::Nanos;
 use decs_core::CompositeTimestamp;
 use decs_simnet::{Actor, Ctx, LinkConfig, NodeIdx, Scenario, Simulation};
 use decs_snoop::{
-    Context, Detector, EventExpr, Occurrence, Result, ShardedDetector, SnoopError, Value,
+    AnyDetector, Context, Detector, EventExpr, Occurrence, PlanDetector, Result, ShardedDetector,
+    SnoopError, Value,
 };
 
 /// Either role in the star topology.
@@ -93,7 +94,13 @@ impl Engine {
         global_definitions: &[(&str, EventExpr, Context)],
     ) -> Result<Self> {
         let definitions = global_definitions;
-        let mut detector: ShardedDetector<CompositeTimestamp> = ShardedDetector::new();
+        // The shared-plan backend is the default; `plan_sharing: false`
+        // keeps the independent-compilation path as a differential oracle.
+        let mut detector: AnyDetector<CompositeTimestamp> = if config.plan_sharing {
+            PlanDetector::new().into()
+        } else {
+            ShardedDetector::new().into()
+        };
         let mut name_ids = std::collections::HashMap::new();
         for p in primitives {
             let id = detector.register(p)?;
@@ -476,6 +483,60 @@ mod tests {
         assert!(m_batched.batch_size_max >= 1);
         assert!(m_batched.messages_processed < m_plain.messages_processed);
         assert_eq!(m_batched.shard_count, 1);
+    }
+
+    #[test]
+    fn plan_sharing_matches_unshared_oracle() {
+        // Two global definitions over the same Seq(A, B) body: the shared
+        // plan compiles the body once; detections must be bit-for-bit
+        // identical to independent compilation.
+        let run = |plan_sharing: bool| {
+            let body = EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B"));
+            let mut e = Engine::new(
+                &scenario(2, 42),
+                EngineConfig {
+                    plan_sharing,
+                    ..EngineConfig::default()
+                },
+                &["A", "B", "C"],
+                &[
+                    ("X", body.clone(), Context::Chronicle),
+                    (
+                        "Y",
+                        EventExpr::and(body.clone(), EventExpr::prim("C")),
+                        Context::Chronicle,
+                    ),
+                ],
+            )
+            .unwrap();
+            for &(ms, site, ev) in &[
+                (1_000u64, 0u32, "A"),
+                (1_500, 1, "C"),
+                (2_000, 1, "B"),
+                (3_000, 0, "A"),
+                (4_000, 0, "B"),
+                (5_000, 1, "C"),
+            ] {
+                e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+            }
+            let det = e.run_for(Nanos::from_secs(10));
+            (
+                det.into_iter()
+                    .map(|d| (d.name, d.occ.time))
+                    .collect::<Vec<_>>(),
+                e.metrics(),
+            )
+        };
+        let (shared, m_shared) = run(true);
+        let (unshared, m_unshared) = run(false);
+        assert!(!shared.is_empty());
+        assert_eq!(shared, unshared, "sharing must not change detections");
+        // The shared plan actually shared the Seq body; the oracle did not.
+        assert_eq!(m_shared.shared_nodes, 1);
+        assert!(m_shared.sharing_ratio > 0.0);
+        assert!(m_shared.plan_nodes < m_unshared.plan_nodes);
+        assert_eq!(m_unshared.shared_nodes, 0);
+        assert_eq!(m_unshared.sharing_ratio, 0.0);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! every site — either per-event (`Msg::Event` + `Msg::Heartbeat`) or
 //! coalesced into `Msg::Batch`es — reassembles each site's FIFO stream,
 //! buffers notifications until the watermark stability rule releases them,
-//! drains the stable prefix in watermark-bounded batches into a
-//! [`ShardedDetector`] (one event-graph shard per composite definition) in
-//! a canonical order, and services the detector's timer requests from its
-//! own clock. Detections are identical in both transport modes.
+//! drains the stable prefix in watermark-bounded batches into an
+//! [`AnyDetector`] — the hash-consed shared plan by default, or one
+//! event-graph shard per composite definition with plan sharing disabled —
+//! in a canonical order, and services the detector's timer requests from
+//! its own clock. Detections are identical in both transport modes and
+//! with either backend.
 
 use crate::config::ReleasePolicy;
 use crate::metrics::Metrics;
@@ -16,7 +18,7 @@ use crate::watermark::WatermarkTracker;
 use decs_chronos::Nanos;
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx};
-use decs_snoop::{EventId, Occurrence, ShardFeedResult, ShardId, ShardedDetector, TimerId};
+use decs_snoop::{AnyDetector, EventId, Occurrence, ShardFeedResult, ShardId, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Canonical release key: (max global tick, origin site, per-site arrival
@@ -65,7 +67,7 @@ pub struct RawDetection {
 
 /// The coordinator actor.
 pub struct CoordinatorNode {
-    detector: ShardedDetector<CompositeTimestamp>,
+    detector: AnyDetector<CompositeTimestamp>,
     tracker: WatermarkTracker,
     streams: Vec<SiteStream>,
     buffer: BTreeMap<ReleaseKey, (Occurrence<CompositeTimestamp>, Nanos)>,
@@ -110,10 +112,16 @@ impl std::fmt::Debug for CoordinatorNode {
 }
 
 impl CoordinatorNode {
-    /// Coordinator over `sites` sites, running the pre-compiled sharded
-    /// detector. `gg_nanos` is the duration of one global tick (for timer
-    /// delays).
-    pub fn new(sites: usize, detector: ShardedDetector<CompositeTimestamp>, gg_nanos: u64) -> Self {
+    /// Coordinator over `sites` sites, running a pre-compiled detector —
+    /// either backend ([`decs_snoop::ShardedDetector`] or
+    /// [`decs_snoop::PlanDetector`]) converts into the [`AnyDetector`]
+    /// this takes. `gg_nanos` is the duration of one global tick (for
+    /// timer delays).
+    pub fn new(
+        sites: usize,
+        detector: impl Into<AnyDetector<CompositeTimestamp>>,
+        gg_nanos: u64,
+    ) -> Self {
         Self::with_policy(sites, detector, gg_nanos, ReleasePolicy::Stable)
     }
 
@@ -121,14 +129,19 @@ impl CoordinatorNode {
     /// exists for the ablation experiments).
     pub fn with_policy(
         sites: usize,
-        detector: ShardedDetector<CompositeTimestamp>,
+        detector: impl Into<AnyDetector<CompositeTimestamp>>,
         gg_nanos: u64,
         policy: ReleasePolicy,
     ) -> Self {
+        let detector = detector.into();
+        let plan = detector.plan_stats();
         let metrics = Metrics {
             shard_count: detector.shard_count(),
             stage_count: detector.stage_count(),
             worker_count: detector.worker_count(),
+            plan_nodes: plan.plan_nodes,
+            shared_nodes: plan.shared_nodes,
+            sharing_ratio: plan.sharing_ratio,
             ..Metrics::default()
         };
         CoordinatorNode {
@@ -547,7 +560,7 @@ impl Actor for CoordinatorNode {
 mod tests {
     use super::*;
     use decs_core::cts;
-    use decs_snoop::{Context, EventExpr, EventId};
+    use decs_snoop::{Context, EventExpr, EventId, ShardedDetector};
 
     fn detector() -> (ShardedDetector<CompositeTimestamp>, EventId) {
         let mut d = ShardedDetector::new();

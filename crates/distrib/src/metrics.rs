@@ -33,6 +33,15 @@ pub struct Metrics {
     pub release_batches: u64,
     /// Definition shards in the coordinator's event graph.
     pub shard_count: usize,
+    /// Unique operator nodes in the coordinator's compiled plan (with the
+    /// unshared backends: total nodes across independent graphs).
+    pub plan_nodes: usize,
+    /// Plan nodes shared by more than one definition (0 with plan sharing
+    /// disabled — every definition compiles independently).
+    pub shared_nodes: usize,
+    /// Fraction of operator instances eliminated by cross-definition
+    /// sharing: `1 − plan_nodes / position_count`.
+    pub sharing_ratio: f64,
     /// Operator-buffer entries reclaimed by watermark-driven GC.
     pub gc_evicted: u64,
     /// Occurrences currently buffered inside operator nodes (as of the last

@@ -45,8 +45,10 @@ impl Default for RuleEngine {
 
 impl RuleEngine {
     /// An empty engine with the standard transaction events registered.
+    /// Rules compile into the shared-plan backend, so rule sets with
+    /// overlapping event expressions share operator state.
     pub fn new() -> Self {
-        let mut detector = CentralDetector::new();
+        let mut detector = CentralDetector::plan();
         for n in ["txn_begin", "txn_commit", "txn_abort"] {
             detector.register(n).expect("fresh catalog");
         }

@@ -11,6 +11,7 @@ use crate::error::Result;
 use crate::event::{Catalog, EventId, Occurrence, Value};
 use crate::expr::EventExpr;
 use crate::graph::{EventGraph, FeedResult, TimerId, TimerRequest};
+use crate::plan::{PlanDetector, PlanStats};
 use crate::shard::{ShardId, ShardedDetector};
 use crate::time::{CentralTime, EventTime};
 use std::cmp::Reverse;
@@ -82,13 +83,16 @@ impl<T: EventTime> Detector<T> {
     }
 }
 
-/// Backend of a [`CentralDetector`]: one monolithic graph (the default)
-/// or one graph per definition, which enables batch fan-out and — with the
-/// `parallel` feature — the persistent worker pool.
+/// Backend of a [`CentralDetector`]: one monolithic graph (the default),
+/// one graph per definition (batch fan-out and — with the `parallel`
+/// feature — the persistent worker pool), or the hash-consed shared plan,
+/// which adds cross-definition operator sharing on top of the sharded
+/// execution model.
 #[derive(Debug)]
 enum Core {
     Mono(Detector<CentralTime>),
     Sharded(ShardedDetector<CentralTime>),
+    Plan(PlanDetector<CentralTime>),
 }
 
 /// The centralized detector (Section 3): totally ordered ticks with an
@@ -131,6 +135,15 @@ impl CentralDetector {
         Self::with_core(Core::Sharded(ShardedDetector::new()))
     }
 
+    /// An empty centralized detector with the hash-consed shared-plan
+    /// backend: definitions compile into one plan of unique operator
+    /// nodes, so structurally identical subexpressions across definitions
+    /// execute once per trigger (see [`PlanDetector`]). Detection output
+    /// is identical to the other backends.
+    pub fn plan() -> Self {
+        Self::with_core(Core::Plan(PlanDetector::new()))
+    }
+
     fn with_core(core: Core) -> Self {
         CentralDetector {
             core,
@@ -142,14 +155,18 @@ impl CentralDetector {
         }
     }
 
-    /// Attach a persistent worker pool to the sharded backend (see
-    /// [`ShardedDetector::enable_pool`]). Returns `true` if the pool was
-    /// attached; the monolithic backend always runs serially.
+    /// Attach a persistent worker pool to the sharded or plan backend
+    /// (see [`ShardedDetector::enable_pool`]). Returns `true` if the pool
+    /// was attached; the monolithic backend always runs serially.
     #[cfg(feature = "parallel")]
     pub fn enable_worker_pool(&mut self, workers: usize) -> bool {
         match &mut self.core {
             Core::Sharded(s) => {
                 s.enable_pool(workers);
+                true
+            }
+            Core::Plan(p) => {
+                p.enable_pool(workers);
                 true
             }
             Core::Mono(_) => false,
@@ -160,6 +177,7 @@ impl CentralDetector {
     pub fn worker_count(&self) -> usize {
         match &self.core {
             Core::Sharded(s) => s.worker_count(),
+            Core::Plan(p) => p.worker_count(),
             Core::Mono(_) => 0,
         }
     }
@@ -169,6 +187,7 @@ impl CentralDetector {
     pub fn stage_count(&self) -> usize {
         match &self.core {
             Core::Sharded(s) => s.stage_count(),
+            Core::Plan(p) => p.stage_count(),
             Core::Mono(_) => 1,
         }
     }
@@ -179,6 +198,34 @@ impl CentralDetector {
         match &self.core {
             Core::Mono(d) => d.graph().min_timer_delay(),
             Core::Sharded(s) => s.min_timer_delay(),
+            Core::Plan(p) => p.min_timer_delay(),
+        }
+    }
+
+    /// Plan statistics for the active backend. The monolithic and sharded
+    /// backends compile every definition independently, so they report
+    /// zero shared nodes and a sharing ratio of 0.
+    pub fn plan_stats(&self) -> PlanStats {
+        match &self.core {
+            Core::Mono(d) => {
+                let n = d.graph().node_count();
+                PlanStats {
+                    plan_nodes: n,
+                    shared_nodes: 0,
+                    position_count: n,
+                    sharing_ratio: 0.0,
+                }
+            }
+            Core::Sharded(s) => {
+                let n = s.node_count();
+                PlanStats {
+                    plan_nodes: n,
+                    shared_nodes: 0,
+                    position_count: n,
+                    sharing_ratio: 0.0,
+                }
+            }
+            Core::Plan(p) => p.plan_stats(),
         }
     }
 
@@ -198,6 +245,7 @@ impl CentralDetector {
         match &self.core {
             Core::Mono(d) => d.buffered_occupancy(),
             Core::Sharded(s) => s.buffered_occupancy(),
+            Core::Plan(p) => p.buffered_occupancy(),
         }
     }
 
@@ -211,6 +259,7 @@ impl CentralDetector {
         match &mut self.core {
             Core::Mono(d) => d.register(name),
             Core::Sharded(s) => s.register(name),
+            Core::Plan(p) => p.register(name),
         }
     }
 
@@ -219,6 +268,7 @@ impl CentralDetector {
         match &mut self.core {
             Core::Mono(d) => d.define(name, expr, ctx),
             Core::Sharded(s) => s.define(name, expr, ctx),
+            Core::Plan(p) => p.define(name, expr, ctx),
         }
     }
 
@@ -227,6 +277,7 @@ impl CentralDetector {
         match &self.core {
             Core::Mono(d) => d.catalog(),
             Core::Sharded(s) => s.catalog(),
+            Core::Plan(p) => p.catalog(),
         }
     }
 
@@ -251,6 +302,10 @@ impl CentralDetector {
                 }
                 Core::Sharded(s) => {
                     let r = s.fire_timer(shard, TimerId(id), CentralTime(due))?;
+                    (r.detected, r.timers)
+                }
+                Core::Plan(p) => {
+                    let r = p.fire_timer(shard, TimerId(id), CentralTime(due))?;
                     (r.detected, r.timers)
                 }
             };
@@ -344,6 +399,10 @@ impl CentralDetector {
                     let r = s.feed_batch(prefix);
                     (r.detected, r.timers)
                 }
+                Core::Plan(p) => {
+                    let r = p.feed_batch(prefix);
+                    (r.detected, r.timers)
+                }
             };
             debug_assert!(timers.is_empty(), "timer-free graph armed a timer");
             self.absorb(det, timers, last, &mut out);
@@ -375,6 +434,10 @@ impl CentralDetector {
                 let r = s.feed(occ);
                 (r.detected, r.timers)
             }
+            Core::Plan(p) => {
+                let r = p.feed(occ);
+                (r.detected, r.timers)
+            }
         };
         self.absorb(det, timers, base_tick, detected);
     }
@@ -398,6 +461,7 @@ impl CentralDetector {
         let evicted = match &mut self.core {
             Core::Mono(d) => d.advance_watermark(low),
             Core::Sharded(s) => s.advance_watermark(low),
+            Core::Plan(p) => p.advance_watermark(low),
         };
         self.gc_evicted += evicted;
         self.buffer_peak = self.buffer_peak.max(self.buffered_occupancy());
@@ -613,7 +677,17 @@ mod tests {
     }
 
     #[test]
-    fn feed_batch_equals_serial_feeds_on_both_backends() {
+    fn plan_backend_matches_mono() {
+        for with_timers in [false, true] {
+            let mono = run_serial(CentralDetector::new(), with_timers);
+            let plan = run_serial(CentralDetector::plan(), with_timers);
+            assert!(!mono.is_empty());
+            assert_eq!(mono, plan, "with_timers={with_timers}");
+        }
+    }
+
+    #[test]
+    fn feed_batch_equals_serial_feeds_on_all_backends() {
         for with_timers in [false, true] {
             let reference = run_serial(CentralDetector::new(), with_timers);
             assert_eq!(
@@ -626,6 +700,38 @@ mod tests {
                 reference,
                 "sharded, with_timers={with_timers}"
             );
+            assert_eq!(
+                run_batched(CentralDetector::plan(), with_timers),
+                reference,
+                "plan, with_timers={with_timers}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_stats_report_sharing_only_on_plan_backend() {
+        // Two definitions over the same Seq(A, B) body: the plan backend
+        // shares the Seq node; the others compile it twice.
+        let build = |mut d: CentralDetector| {
+            for n in ["A", "B", "C"] {
+                d.register(n).unwrap();
+            }
+            let body = E::seq(E::prim("A"), E::prim("B"));
+            d.define("X", &body, Context::Chronicle).unwrap();
+            d.define("Y", &body, Context::Chronicle).unwrap();
+            d
+        };
+        let plan = build(CentralDetector::plan()).plan_stats();
+        assert_eq!(plan.shared_nodes, 1);
+        assert!(plan.sharing_ratio > 0.0);
+        assert!(plan.position_count > plan.plan_nodes);
+        for other in [
+            build(CentralDetector::new()).plan_stats(),
+            build(CentralDetector::sharded()).plan_stats(),
+        ] {
+            assert_eq!(other.shared_nodes, 0);
+            assert_eq!(other.sharing_ratio, 0.0);
+            assert_eq!(other.position_count, other.plan_nodes);
         }
     }
 
@@ -645,21 +751,23 @@ mod tests {
     fn pooled_sharded_backend_matches_mono_batches() {
         for with_timers in [false, true] {
             let reference = run_serial(CentralDetector::new(), with_timers);
-            let mut d = CentralDetector::sharded();
-            populate(&mut d, with_timers);
-            assert!(d.enable_worker_pool(2));
-            assert_eq!(d.worker_count(), 2);
-            let batch = batch_trace()
-                .into_iter()
-                .map(|(n, t)| (n, t, Vec::new()))
-                .collect();
-            let mut out = d.feed_batch(batch).unwrap();
-            out.extend(d.advance_to(100).unwrap());
-            let got: Vec<(String, u64)> = out
-                .iter()
-                .map(|o| (d.name_of(o).to_owned(), o.time.get()))
-                .collect();
-            assert_eq!(got, reference, "with_timers={with_timers}");
+            for make in [CentralDetector::sharded, CentralDetector::plan] {
+                let mut d = make();
+                populate(&mut d, with_timers);
+                assert!(d.enable_worker_pool(2));
+                assert_eq!(d.worker_count(), 2);
+                let batch = batch_trace()
+                    .into_iter()
+                    .map(|(n, t)| (n, t, Vec::new()))
+                    .collect();
+                let mut out = d.feed_batch(batch).unwrap();
+                out.extend(d.advance_to(100).unwrap());
+                let got: Vec<(String, u64)> = out
+                    .iter()
+                    .map(|o| (d.name_of(o).to_owned(), o.time.get()))
+                    .collect();
+                assert_eq!(got, reference, "with_timers={with_timers}");
+            }
         }
     }
 

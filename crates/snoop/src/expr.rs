@@ -21,7 +21,15 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A composite event expression over named primitive events.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality is structural (`Eq` — operand order matters everywhere, since
+/// parameter tuples are accumulated in constituent order). The [`Hash`]
+/// implementation is *canonical*: commutative operands of `And`/`Or` are
+/// hashed in a normalized order, so `And(a, b)` and `And(b, a)` land in the
+/// same hash bucket (they are equivalent as *detectors* even though their
+/// parameter order differs), while the order-sensitive `Seq` does not. See
+/// [`EventExpr::canonicalize`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum EventExpr {
     /// A primitive (or separately defined composite) event, by name.
     Primitive(String),
@@ -105,7 +113,184 @@ pub enum EventExpr {
     },
 }
 
+impl std::hash::Hash for EventExpr {
+    /// Canonical structural hash: every variant hashes a discriminant tag
+    /// plus its fields, except that the commutative `And`/`Or` hash their
+    /// two operands in [`Ord`]-normalized order. Consistent with the
+    /// (structural) `Eq`: equal expressions hash equal; additionally
+    /// commutative reorderings hash equal, which the plan compiler uses to
+    /// bucket equivalent subexpressions cheaply.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use EventExpr::*;
+        match self {
+            Primitive(name) => {
+                state.write_u8(0);
+                name.hash(state);
+            }
+            And(a, b) | Or(a, b) => {
+                state.write_u8(if matches!(self, And(..)) { 1 } else { 2 });
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                x.hash(state);
+                y.hash(state);
+            }
+            Seq(a, b) => {
+                state.write_u8(3);
+                a.hash(state);
+                b.hash(state);
+            }
+            Not {
+                guard,
+                opener,
+                closer,
+            } => {
+                state.write_u8(4);
+                guard.hash(state);
+                opener.hash(state);
+                closer.hash(state);
+            }
+            Aperiodic {
+                opener,
+                mid,
+                closer,
+            } => {
+                state.write_u8(5);
+                opener.hash(state);
+                mid.hash(state);
+                closer.hash(state);
+            }
+            AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
+                state.write_u8(6);
+                opener.hash(state);
+                mid.hash(state);
+                closer.hash(state);
+            }
+            Periodic {
+                opener,
+                period,
+                closer,
+            } => {
+                state.write_u8(7);
+                opener.hash(state);
+                period.hash(state);
+                closer.hash(state);
+            }
+            PeriodicStar {
+                opener,
+                period,
+                closer,
+            } => {
+                state.write_u8(8);
+                opener.hash(state);
+                period.hash(state);
+                closer.hash(state);
+            }
+            Plus { base, delta } => {
+                state.write_u8(9);
+                base.hash(state);
+                delta.hash(state);
+            }
+            Any { m, alternatives } => {
+                state.write_u8(10);
+                m.hash(state);
+                alternatives.hash(state);
+            }
+            Masked { base, mask } => {
+                state.write_u8(11);
+                base.hash(state);
+                mask.hash(state);
+            }
+        }
+    }
+}
+
 impl EventExpr {
+    /// The canonical form of this expression: commutative `And`/`Or`
+    /// operand pairs are recursively sorted into [`Ord`] order. Two
+    /// expressions with the same canonical form detect the same occurrences
+    /// (they are the same boolean/temporal pattern); they are **not**
+    /// interchangeable bit-for-bit, because the order of operands fixes the
+    /// order in which parameter tuples are concatenated. The plan compiler
+    /// therefore uses the canonical form (via [`Hash`]) only to bucket
+    /// candidate subexpressions and shares an operator node only on exact
+    /// structural equality.
+    pub fn canonicalize(&self) -> EventExpr {
+        use EventExpr::*;
+        match self {
+            Primitive(_) => self.clone(),
+            And(a, b) | Or(a, b) => {
+                let (ca, cb) = (a.canonicalize(), b.canonicalize());
+                let (x, y) = if ca <= cb { (ca, cb) } else { (cb, ca) };
+                if matches!(self, And(..)) {
+                    And(Box::new(x), Box::new(y))
+                } else {
+                    Or(Box::new(x), Box::new(y))
+                }
+            }
+            Seq(a, b) => Seq(Box::new(a.canonicalize()), Box::new(b.canonicalize())),
+            Not {
+                guard,
+                opener,
+                closer,
+            } => Not {
+                guard: Box::new(guard.canonicalize()),
+                opener: Box::new(opener.canonicalize()),
+                closer: Box::new(closer.canonicalize()),
+            },
+            Aperiodic {
+                opener,
+                mid,
+                closer,
+            } => Aperiodic {
+                opener: Box::new(opener.canonicalize()),
+                mid: Box::new(mid.canonicalize()),
+                closer: Box::new(closer.canonicalize()),
+            },
+            AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => AperiodicStar {
+                opener: Box::new(opener.canonicalize()),
+                mid: Box::new(mid.canonicalize()),
+                closer: Box::new(closer.canonicalize()),
+            },
+            Periodic {
+                opener,
+                period,
+                closer,
+            } => Periodic {
+                opener: Box::new(opener.canonicalize()),
+                period: *period,
+                closer: Box::new(closer.canonicalize()),
+            },
+            PeriodicStar {
+                opener,
+                period,
+                closer,
+            } => PeriodicStar {
+                opener: Box::new(opener.canonicalize()),
+                period: *period,
+                closer: Box::new(closer.canonicalize()),
+            },
+            Plus { base, delta } => Plus {
+                base: Box::new(base.canonicalize()),
+                delta: *delta,
+            },
+            Any { m, alternatives } => Any {
+                m: *m,
+                alternatives: alternatives.iter().map(|a| a.canonicalize()).collect(),
+            },
+            Masked { base, mask } => Masked {
+                base: Box::new(base.canonicalize()),
+                mask: mask.clone(),
+            },
+        }
+    }
+
     /// A primitive event reference.
     pub fn prim(name: &str) -> Self {
         EventExpr::Primitive(name.to_owned())
@@ -487,5 +672,81 @@ mod tests {
             ),
         );
         assert_eq!(e.operator_count(), 3);
+    }
+
+    fn hash_of(e: &EventExpr) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        e.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn commutative_reordering_hashes_equal() {
+        let ab = EventExpr::and(EventExpr::prim("A"), EventExpr::prim("B"));
+        let ba = EventExpr::and(EventExpr::prim("B"), EventExpr::prim("A"));
+        assert_ne!(ab, ba, "And is structurally ordered");
+        assert_eq!(hash_of(&ab), hash_of(&ba));
+        let or1 = EventExpr::or(
+            EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B")),
+            EventExpr::prim("C"),
+        );
+        let or2 = EventExpr::or(
+            EventExpr::prim("C"),
+            EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B")),
+        );
+        assert_eq!(hash_of(&or1), hash_of(&or2));
+        // Nested commutative swaps normalize too.
+        let deep1 = EventExpr::seq(ab.clone(), or1);
+        let deep2 = EventExpr::seq(ba.clone(), or2);
+        assert_eq!(hash_of(&deep1), hash_of(&deep2));
+    }
+
+    #[test]
+    fn seq_reordering_hashes_differently() {
+        let ab = EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B"));
+        let ba = EventExpr::seq(EventExpr::prim("B"), EventExpr::prim("A"));
+        assert_ne!(ab, ba);
+        assert_ne!(hash_of(&ab), hash_of(&ba));
+    }
+
+    #[test]
+    fn and_does_not_hash_like_or() {
+        let and = EventExpr::and(EventExpr::prim("A"), EventExpr::prim("B"));
+        let or = EventExpr::or(EventExpr::prim("A"), EventExpr::prim("B"));
+        assert_ne!(hash_of(&and), hash_of(&or));
+    }
+
+    #[test]
+    fn equal_exprs_hash_equal() {
+        let e = EventExpr::not(
+            EventExpr::prim("C"),
+            EventExpr::and(EventExpr::prim("B"), EventExpr::prim("A")),
+            EventExpr::plus(EventExpr::prim("D"), 5),
+        );
+        assert_eq!(e, e.clone());
+        assert_eq!(hash_of(&e), hash_of(&e.clone()));
+    }
+
+    #[test]
+    fn canonicalize_sorts_commutative_operands_only() {
+        let e = EventExpr::seq(
+            EventExpr::and(EventExpr::prim("B"), EventExpr::prim("A")),
+            EventExpr::or(EventExpr::prim("Z"), EventExpr::prim("Y")),
+        );
+        let canon = e.canonicalize();
+        assert_eq!(
+            canon,
+            EventExpr::seq(
+                EventExpr::and(EventExpr::prim("A"), EventExpr::prim("B")),
+                EventExpr::or(EventExpr::prim("Y"), EventExpr::prim("Z")),
+            )
+        );
+        // Canonicalization is idempotent and hash-preserving.
+        assert_eq!(canon, canon.canonicalize());
+        assert_eq!(hash_of(&e), hash_of(&canon));
+        // Seq operands keep their order.
+        let s = EventExpr::seq(EventExpr::prim("B"), EventExpr::prim("A"));
+        assert_eq!(s.canonicalize(), s);
     }
 }

@@ -34,6 +34,7 @@ pub mod event;
 pub mod expr;
 pub mod graph;
 pub mod nodes;
+pub mod plan;
 #[cfg(feature = "parallel")]
 mod pool;
 pub mod shard;
@@ -46,5 +47,6 @@ pub use event::{Catalog, EventId, Occurrence, ParamList, ParamTuple, Value};
 pub use expr::EventExpr;
 pub use graph::{EventGraph, FeedResult, NodeId, TimerId, TimerRequest};
 pub use nodes::mask::Mask;
+pub use plan::{AnyDetector, PlanDetector, PlanStats};
 pub use shard::{ShardFeedResult, ShardId, ShardedDetector};
 pub use time::{CentralTime, EventTime};

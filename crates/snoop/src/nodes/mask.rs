@@ -15,7 +15,7 @@ use std::fmt;
 /// A predicate over an occurrence's parameter tuples. The mask passes when
 /// **any** tuple satisfies it (composite occurrences carry one tuple per
 /// constituent).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Mask {
     /// Integer (or float, widened) at `index` is `>= min`.
     AtLeast {

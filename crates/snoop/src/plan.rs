@@ -1,0 +1,2233 @@
+//! Shared, hash-consed plan IR with cross-definition operator sharing.
+//!
+//! [`crate::ShardedDetector`] compiles every definition into its own
+//! [`crate::graph::EventGraph`], so `Seq(A, B)` appearing under ten
+//! definitions is compiled — and fed — ten times. [`PlanDetector`]
+//! compiles all definitions into **one** plan of unique operator nodes:
+//! structurally identical subexpressions (same operator, same context,
+//! same children) hash-cons to a single [`PlanNode`] with multi-parent
+//! fan-out, and each definition keeps a lightweight [`DefView`] of
+//! *positions* (one per subexpression occurrence) that routes the shared
+//! node's output to the definition's own parents.
+//!
+//! # Bit-for-bit equivalence
+//!
+//! The plan reproduces the sharded detector's output exactly — same
+//! detections, same order, same timer tags — which `tests/prop_plan.rs`
+//! pins property-style. Three mechanisms make this work:
+//!
+//! * **Execute-once + replay log** for stateful operators (`∧`, `;`, `¬`,
+//!   `A`, `A*`, `ANY`): the first definition cursor to reach a shared node
+//!   for a given delivery executes the operator and logs the emissions;
+//!   later cursors *replay* the log, re-stamping each emission with their
+//!   own synthetic event type and a fresh uid — exactly what their private
+//!   copy of the operator would have produced (these operators only emit
+//!   combined occurrences, which always carry fresh uids).
+//! * **Always re-execute** for stateless forwarders (`∨`, masks,
+//!   aliases): forwarding preserves the *input* occurrence's uid, which
+//!   the self-pairing guard upstream operators apply depends on
+//!   (`E ∧ E` must not pair an occurrence with itself). Re-executing a
+//!   pure forwarder per position is free and keeps each definition's uid
+//!   flow identical to independent compilation.
+//! * **No consing of temporal operators** (`+`, `P`, `P*`): their timer
+//!   tags and periodic state are driver-visible, so each definition keeps
+//!   a private node (their *subexpressions* still share). Since cons keys
+//!   embed child node ids, every ancestor of a temporal operator is
+//!   automatically private too.
+//!
+//! Structural consing is deliberately **not** modulo commutativity:
+//! `And(a, b)` and `And(b, a)` build their children in opposite order, so
+//! a shared trigger reaches the two operand slots in opposite order and
+//! the emitted parameter lists differ. Canonicalization (see
+//! [`crate::expr::EventExpr::canonicalize`]) exists at the expression
+//! layer for callers that *want* to opt into commutative normalization
+//! before defining.
+
+use crate::context::Context;
+use crate::error::{Result, SnoopError};
+use crate::event::{Catalog, EventId, Occurrence};
+use crate::expr::EventExpr;
+use crate::graph::{FeedResult, TimerId, TimerRequest};
+use crate::nodes::mask::Mask;
+use crate::nodes::{self, OperatorNode, Sink};
+use crate::shard::{sort_canonical, ShardFeedResult, ShardId, ShardedDetector};
+use crate::time::EventTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// What a plan node's operand subscribes to: a leaf event type or another
+/// plan node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ChildKey {
+    /// A primitive (or referenced named-composite) event type.
+    Event(EventId),
+    /// An internal plan node, by index.
+    Node(usize),
+}
+
+/// Structural hash-consing key: operator + context + children. Two
+/// subexpressions build the same plan node iff their keys are equal.
+/// `Or`/`Mask`/`Alias` carry no context (the operators ignore it);
+/// temporal operators never get a key (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConsKey {
+    Alias(ChildKey),
+    And(Context, ChildKey, ChildKey),
+    Or(ChildKey, ChildKey),
+    Seq(Context, ChildKey, ChildKey),
+    Not(Context, ChildKey, ChildKey, ChildKey),
+    Aperiodic(Context, ChildKey, ChildKey, ChildKey),
+    AperiodicStar(Context, ChildKey, ChildKey, ChildKey),
+    Any(Context, usize, Vec<ChildKey>),
+    Mask(Mask, ChildKey),
+}
+
+/// One unique operator instance in the shared plan.
+pub(crate) struct PlanNode<T: EventTime> {
+    pub(crate) op: Box<dyn OperatorNode<T>>,
+    /// Every `(definition, position)` bound to this node, in bind order.
+    /// Length > 1 means the node is shared.
+    pub(crate) bound: Vec<(u32, u32)>,
+    /// Operand sources `(child, slot)` in subscribe order (dot export).
+    pub(crate) children: Vec<(ChildKey, usize)>,
+    /// Operator label for diagnostics/dot.
+    pub(crate) label: &'static str,
+    /// Pure forwarders re-execute per position instead of logging.
+    pub(crate) stateless: bool,
+    /// Deliveries executed on this node so far.
+    pub(crate) exec: u64,
+    /// Delivery index of `log[0]` (trimmed prefix).
+    pub(crate) base: u64,
+    /// Emissions of each executed delivery still awaiting replay.
+    pub(crate) log: Vec<Vec<Occurrence<T>>>,
+}
+
+impl<T: EventTime> fmt::Debug for PlanNode<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanNode")
+            .field("label", &self.label)
+            .field("bound", &self.bound)
+            .field("children", &self.children)
+            .field("stateless", &self.stateless)
+            .field("exec", &self.exec)
+            .finish()
+    }
+}
+
+/// One subexpression occurrence inside a definition: which plan node
+/// implements it, what event type its emissions carry for *this*
+/// definition, and where they go next.
+#[derive(Debug)]
+pub(crate) struct Position {
+    /// The plan node implementing this subexpression.
+    pub(crate) node: usize,
+    /// Synthetic (or, at the root, named) event type of this position.
+    pub(crate) emits: EventId,
+    /// Whether `emits` is the definition's user-visible name.
+    pub(crate) named: bool,
+    /// Subscribing parent positions `(position, slot)` within the same
+    /// definition.
+    pub(crate) parents: Vec<(u32, usize)>,
+    /// Deliveries this cursor has consumed from `node` (equals the node's
+    /// `exec` whenever the detector is quiescent).
+    pub(crate) seen: u64,
+}
+
+/// A definition's private view of the shared plan.
+#[derive(Debug)]
+pub(crate) struct DefView {
+    /// The named composite event this definition detects.
+    pub(crate) emits: EventId,
+    /// Event types that can make this definition react.
+    pub(crate) subscribed: BTreeSet<EventId>,
+    /// Subexpression positions in build (bottom-up) order.
+    pub(crate) positions: Vec<Position>,
+    /// Leaf event type → subscribing positions `(position, slot)`.
+    pub(crate) subs: HashMap<EventId, Vec<(u32, usize)>>,
+    /// Outstanding timers → `(position, node-internal tag)`.
+    pub(crate) timers: HashMap<TimerId, (u32, u64)>,
+    pub(crate) next_timer: u64,
+}
+
+/// Mutable access to plan nodes by id — implemented by the detector's
+/// dense `Vec` and (under `parallel`) by the sparse per-worker cell, so
+/// the feed path is written once.
+pub(crate) trait NodeStore<T: EventTime> {
+    /// The node with id `id`.
+    fn node_mut(&mut self, id: usize) -> &mut PlanNode<T>;
+}
+
+impl<T: EventTime> NodeStore<T> for Vec<PlanNode<T>> {
+    fn node_mut(&mut self, id: usize) -> &mut PlanNode<T> {
+        &mut self[id]
+    }
+}
+
+/// Where a compiled subexpression delivers its occurrences from.
+#[derive(Clone, Copy)]
+enum Src {
+    /// A leaf event type (primitive or previously named composite).
+    Event(EventId),
+    /// A position (by index) in the definition under construction.
+    Pos(u32),
+}
+
+fn key_of(def: &DefView, s: Src) -> ChildKey {
+    match s {
+        Src::Event(e) => ChildKey::Event(e),
+        Src::Pos(p) => ChildKey::Node(def.positions[p as usize].node),
+    }
+}
+
+/// Deliver `occ` to `pos`'s plan node on operand `slot` and return the
+/// emissions (typed for this position) plus any timer requests.
+fn deliver<T: EventTime>(
+    store: &mut impl NodeStore<T>,
+    pos: &mut Position,
+    slot: usize,
+    occ: &Occurrence<T>,
+) -> (Vec<Occurrence<T>>, Vec<(u64, u64)>) {
+    let node = store.node_mut(pos.node);
+    let mut emissions = Vec::new();
+    let mut timer_reqs = Vec::new();
+    if node.stateless {
+        // Pure forwarder: re-execute per position so each definition's
+        // emission keeps its own input's uid (self-pairing guard).
+        let mut sink = Sink::new(pos.emits, &mut emissions, &mut timer_reqs);
+        node.op.on_child(slot, occ, &mut sink);
+        return (emissions, timer_reqs);
+    }
+    if node.bound.len() == 1 {
+        // Private node: plain execution, counters kept in lockstep so a
+        // later define may still cons onto it while `exec == 0`.
+        {
+            let mut sink = Sink::new(pos.emits, &mut emissions, &mut timer_reqs);
+            node.op.on_child(slot, occ, &mut sink);
+        }
+        node.exec += 1;
+        pos.seen += 1;
+        return (emissions, timer_reqs);
+    }
+    if pos.seen == node.exec {
+        // First cursor to arrive: execute once and log for the others.
+        {
+            let mut sink = Sink::new(pos.emits, &mut emissions, &mut timer_reqs);
+            node.op.on_child(slot, occ, &mut sink);
+        }
+        debug_assert!(
+            timer_reqs.is_empty(),
+            "shared stateful nodes never request timers"
+        );
+        node.log.push(emissions.clone());
+        node.exec += 1;
+        pos.seen += 1;
+        (emissions, timer_reqs)
+    } else {
+        // Replay: re-stamp each logged emission with this position's event
+        // type and a fresh uid — exactly what a private copy's combining
+        // emission would have carried.
+        debug_assert!(pos.seen < node.exec, "cursor ahead of node execution");
+        let idx = (pos.seen - node.base) as usize;
+        let replayed = node.log[idx]
+            .iter()
+            .map(|e| Occurrence::with_params(pos.emits, e.time.clone(), e.params.clone()))
+            .collect();
+        pos.seen += 1;
+        (replayed, timer_reqs)
+    }
+}
+
+/// Route one emission batch from position `p`: register timers, enqueue
+/// parent deliveries, record named detections.
+fn postprocess_def<T: EventTime>(
+    def: &mut DefView,
+    p: u32,
+    emissions: Vec<Occurrence<T>>,
+    timer_reqs: Vec<(u64, u64)>,
+    queue: &mut VecDeque<(u32, usize, Occurrence<T>)>,
+    result: &mut FeedResult<T>,
+) {
+    for (tag, delay) in timer_reqs {
+        let id = TimerId(def.next_timer);
+        def.next_timer += 1;
+        def.timers.insert(id, (p, tag));
+        result.timers.push(TimerRequest {
+            id,
+            delay_ticks: delay,
+        });
+    }
+    let pos = &def.positions[p as usize];
+    let parents = pos.parents.clone();
+    let named = pos.named;
+    for occ in emissions {
+        for &(parent, slot) in &parents {
+            queue.push_back((parent, slot, occ.clone()));
+        }
+        if named {
+            result.detected.push(occ);
+        }
+    }
+}
+
+/// BFS over one definition's queued deliveries.
+fn drain_def<T: EventTime>(
+    store: &mut impl NodeStore<T>,
+    def: &mut DefView,
+    mut queue: VecDeque<(u32, usize, Occurrence<T>)>,
+    result: &mut FeedResult<T>,
+) {
+    while let Some((p, slot, occ)) = queue.pop_front() {
+        let (emissions, timer_reqs) = {
+            let pos = &mut def.positions[p as usize];
+            deliver(store, pos, slot, &occ)
+        };
+        postprocess_def(def, p, emissions, timer_reqs, &mut queue, result);
+    }
+}
+
+/// Feed one occurrence through one definition's view of the plan.
+pub(crate) fn feed_def_into<T: EventTime>(
+    store: &mut impl NodeStore<T>,
+    def: &mut DefView,
+    occ: &Occurrence<T>,
+) -> FeedResult<T> {
+    let mut result = FeedResult {
+        detected: Vec::new(),
+        timers: Vec::new(),
+    };
+    let Some(subs) = def.subs.get(&occ.ty) else {
+        return result;
+    };
+    let mut queue: VecDeque<(u32, usize, Occurrence<T>)> = VecDeque::new();
+    for &(p, slot) in subs {
+        queue.push_back((p, slot, occ.clone()));
+    }
+    drain_def(store, def, queue, &mut result);
+    result
+}
+
+/// Counts describing a compiled plan's degree of sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Unique operator nodes in the plan.
+    pub plan_nodes: usize,
+    /// Plan nodes bound by more than one `(definition, position)`.
+    pub shared_nodes: usize,
+    /// Total subexpression positions across all definitions (what an
+    /// unshared compilation would have built as nodes).
+    pub position_count: usize,
+    /// `1 - plan_nodes / position_count`: fraction of operator instances
+    /// eliminated by sharing (0 with no definitions).
+    pub sharing_ratio: f64,
+}
+
+/// A catalog plus **one shared plan** across all composite definitions,
+/// with per-definition views routing occurrences through it.
+///
+/// Drop-in replacement for [`ShardedDetector`] — same surface (`define`,
+/// `feed`, `feed_batch`, `fire_timer(shard, …)`, watermark GC, the
+/// `parallel` pool) and bit-for-bit identical output — but structurally
+/// identical subexpressions across definitions execute once instead of
+/// once per definition.
+#[derive(Debug, Default)]
+pub struct PlanDetector<T: EventTime> {
+    catalog: Catalog,
+    nodes: Vec<PlanNode<T>>,
+    cons: HashMap<ConsKey, usize>,
+    defs: Vec<DefView>,
+    /// Event type → definitions subscribed to it, ascending.
+    routes: HashMap<EventId, Vec<ShardId>>,
+    /// Topological level of each definition in the dependency DAG.
+    levels: Vec<usize>,
+    /// Union-find over definitions: defs sharing any plan node land in
+    /// one component (the parallel scheduler's placement unit).
+    uf: Vec<usize>,
+    #[cfg(feature = "parallel")]
+    pool: Option<crate::pool::WorkerPool<T>>,
+}
+
+impl<T: EventTime> PlanDetector<T> {
+    /// An empty detector.
+    pub fn new() -> Self {
+        PlanDetector {
+            catalog: Catalog::new(),
+            nodes: Vec::new(),
+            cons: HashMap::new(),
+            defs: Vec::new(),
+            routes: HashMap::new(),
+            levels: Vec::new(),
+            uf: Vec::new(),
+            #[cfg(feature = "parallel")]
+            pool: None,
+        }
+    }
+
+    /// Register a primitive event type.
+    pub fn register(&mut self, name: &str) -> Result<EventId> {
+        self.catalog.register(name)
+    }
+
+    /// Define a named composite event, hash-consing its subexpressions
+    /// into the shared plan.
+    pub fn define(&mut self, name: &str, expr: &EventExpr, ctx: Context) -> Result<EventId> {
+        expr.validate()?;
+        if expr.primitive_names().contains(&name) {
+            return Err(SnoopError::CyclicDefinition(name.to_owned()));
+        }
+        let emits = self.catalog.register(name)?;
+        // Pre-resolve every leaf so the build below is infallible (a
+        // failed define leaves no orphan nodes in the shared plan).
+        for leaf in expr.primitive_names() {
+            self.catalog.lookup(leaf)?;
+        }
+        let d = self.defs.len();
+        self.uf.push(d);
+        let mut def = DefView {
+            emits,
+            subscribed: BTreeSet::new(),
+            positions: Vec::new(),
+            subs: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+        };
+        let root = self.build(d, &mut def, expr, ctx);
+        match root {
+            Src::Pos(p) => {
+                def.positions[p as usize].emits = emits;
+                def.positions[p as usize].named = true;
+            }
+            Src::Event(e) => {
+                // A pure alias: a forwarding OR node with one child. The
+                // oracle gives the alias node the registered name directly
+                // (no synthetic intern), so bind specially here.
+                let key = ConsKey::Alias(ChildKey::Event(e));
+                let n = self.cons_node(d, key, &[(ChildKey::Event(e), 0)], "alias", true, || {
+                    Box::new(nodes::or::OrNode::new())
+                });
+                let p = def.positions.len() as u32;
+                let seen = self.nodes[n].exec;
+                self.nodes[n].bound.push((d as u32, p));
+                def.positions.push(Position {
+                    node: n,
+                    emits,
+                    named: true,
+                    parents: Vec::new(),
+                    seen,
+                });
+                def.subs.entry(e).or_default().push((p, 0));
+            }
+        }
+        def.subscribed = def.subs.keys().copied().collect();
+        let level = def
+            .subscribed
+            .iter()
+            .filter_map(|ty| {
+                self.defs
+                    .iter()
+                    .position(|dv| dv.emits == *ty)
+                    .map(|j| self.levels[j] + 1)
+            })
+            .max()
+            .unwrap_or(0);
+        for &ty in &def.subscribed {
+            self.routes.entry(ty).or_default().push(d);
+        }
+        self.levels.push(level);
+        self.defs.push(def);
+        Ok(emits)
+    }
+
+    /// Reuse a structurally identical node if one exists (and is safe to
+    /// share), else push a fresh one. A stateful node is only reused while
+    /// it has never executed a delivery — a later define must not inherit
+    /// accumulated operator state the oracle's fresh graph would lack.
+    fn cons_node(
+        &mut self,
+        d: usize,
+        key: ConsKey,
+        children: &[(ChildKey, usize)],
+        label: &'static str,
+        stateless: bool,
+        mk: impl FnOnce() -> Box<dyn OperatorNode<T>>,
+    ) -> usize {
+        if let Some(&n) = self.cons.get(&key) {
+            if stateless || self.nodes[n].exec == 0 {
+                if let Some(&(owner, _)) = self.nodes[n].bound.first() {
+                    self.union(owner as usize, d);
+                }
+                return n;
+            }
+        }
+        let n = self.nodes.len();
+        self.nodes.push(PlanNode {
+            op: mk(),
+            bound: Vec::new(),
+            children: children.to_vec(),
+            label,
+            stateless,
+            exec: 0,
+            base: 0,
+            log: Vec::new(),
+        });
+        self.cons.insert(key, n);
+        n
+    }
+
+    /// Push a node that must stay private (temporal operators).
+    fn fresh_node(
+        &mut self,
+        children: &[(ChildKey, usize)],
+        label: &'static str,
+        op: Box<dyn OperatorNode<T>>,
+    ) -> usize {
+        let n = self.nodes.len();
+        self.nodes.push(PlanNode {
+            op,
+            bound: Vec::new(),
+            children: children.to_vec(),
+            label,
+            stateless: false,
+            exec: 0,
+            base: 0,
+            log: Vec::new(),
+        });
+        n
+    }
+
+    /// Bind `node` as the next position of definition `d`, interning the
+    /// per-definition synthetic event type and wiring the operand
+    /// subscriptions. Matches the oracle's catalog intern sequence exactly
+    /// (`__node_{k}` for the k-th node of each definition's graph).
+    fn bind(&mut self, d: usize, def: &mut DefView, node: usize, children: &[(Src, usize)]) -> Src {
+        let p = def.positions.len() as u32;
+        let emits = self.catalog.intern(&format!("__node_{p}"));
+        let seen = self.nodes[node].exec;
+        self.nodes[node].bound.push((d as u32, p));
+        def.positions.push(Position {
+            node,
+            emits,
+            named: false,
+            parents: Vec::new(),
+            seen,
+        });
+        for &(src, slot) in children {
+            match src {
+                Src::Event(e) => def.subs.entry(e).or_default().push((p, slot)),
+                Src::Pos(c) => def.positions[c as usize].parents.push((p, slot)),
+            }
+        }
+        Src::Pos(p)
+    }
+
+    fn build(&mut self, d: usize, def: &mut DefView, expr: &EventExpr, ctx: Context) -> Src {
+        match expr {
+            EventExpr::Primitive(name) => Src::Event(
+                self.catalog
+                    .lookup(name)
+                    .expect("leaves pre-resolved in define"),
+            ),
+            EventExpr::And(a, b) => {
+                let sa = self.build(d, def, a, ctx);
+                let sb = self.build(d, def, b, ctx);
+                let (ka, kb) = (key_of(def, sa), key_of(def, sb));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::And(ctx, ka, kb),
+                    &[(ka, 0), (kb, 1)],
+                    "and",
+                    false,
+                    || Box::new(nodes::and::AndNode::new(ctx)),
+                );
+                self.bind(d, def, n, &[(sa, 0), (sb, 1)])
+            }
+            EventExpr::Or(a, b) => {
+                let sa = self.build(d, def, a, ctx);
+                let sb = self.build(d, def, b, ctx);
+                let (ka, kb) = (key_of(def, sa), key_of(def, sb));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Or(ka, kb),
+                    &[(ka, 0), (kb, 1)],
+                    "or",
+                    true,
+                    || Box::new(nodes::or::OrNode::new()),
+                );
+                self.bind(d, def, n, &[(sa, 0), (sb, 1)])
+            }
+            EventExpr::Seq(a, b) => {
+                let sa = self.build(d, def, a, ctx);
+                let sb = self.build(d, def, b, ctx);
+                let (ka, kb) = (key_of(def, sa), key_of(def, sb));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Seq(ctx, ka, kb),
+                    &[(ka, 0), (kb, 1)],
+                    "seq",
+                    false,
+                    || Box::new(nodes::seq::SeqNode::new(ctx)),
+                );
+                self.bind(d, def, n, &[(sa, 0), (sb, 1)])
+            }
+            EventExpr::Not {
+                guard,
+                opener,
+                closer,
+            } => {
+                let so = self.build(d, def, opener, ctx);
+                let sg = self.build(d, def, guard, ctx);
+                let sc = self.build(d, def, closer, ctx);
+                let (ko, kg, kc) = (key_of(def, so), key_of(def, sg), key_of(def, sc));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Not(ctx, ko, kg, kc),
+                    &[
+                        (ko, nodes::not::SLOT_OPENER),
+                        (kg, nodes::not::SLOT_GUARD),
+                        (kc, nodes::not::SLOT_CLOSER),
+                    ],
+                    "not",
+                    false,
+                    || Box::new(nodes::not::NotNode::new(ctx)),
+                );
+                self.bind(
+                    d,
+                    def,
+                    n,
+                    &[
+                        (so, nodes::not::SLOT_OPENER),
+                        (sg, nodes::not::SLOT_GUARD),
+                        (sc, nodes::not::SLOT_CLOSER),
+                    ],
+                )
+            }
+            EventExpr::Aperiodic {
+                opener,
+                mid,
+                closer,
+            } => {
+                let so = self.build(d, def, opener, ctx);
+                let sm = self.build(d, def, mid, ctx);
+                let sc = self.build(d, def, closer, ctx);
+                let (ko, km, kc) = (key_of(def, so), key_of(def, sm), key_of(def, sc));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Aperiodic(ctx, ko, km, kc),
+                    &[
+                        (ko, nodes::aperiodic::SLOT_OPENER),
+                        (km, nodes::aperiodic::SLOT_MID),
+                        (kc, nodes::aperiodic::SLOT_CLOSER),
+                    ],
+                    "aperiodic",
+                    false,
+                    || Box::new(nodes::aperiodic::ANode::new(ctx)),
+                );
+                self.bind(
+                    d,
+                    def,
+                    n,
+                    &[
+                        (so, nodes::aperiodic::SLOT_OPENER),
+                        (sm, nodes::aperiodic::SLOT_MID),
+                        (sc, nodes::aperiodic::SLOT_CLOSER),
+                    ],
+                )
+            }
+            EventExpr::AperiodicStar {
+                opener,
+                mid,
+                closer,
+            } => {
+                let so = self.build(d, def, opener, ctx);
+                let sm = self.build(d, def, mid, ctx);
+                let sc = self.build(d, def, closer, ctx);
+                let (ko, km, kc) = (key_of(def, so), key_of(def, sm), key_of(def, sc));
+                let n = self.cons_node(
+                    d,
+                    ConsKey::AperiodicStar(ctx, ko, km, kc),
+                    &[
+                        (ko, nodes::aperiodic::SLOT_OPENER),
+                        (km, nodes::aperiodic::SLOT_MID),
+                        (kc, nodes::aperiodic::SLOT_CLOSER),
+                    ],
+                    "aperiodic*",
+                    false,
+                    || Box::new(nodes::aperiodic::AStarNode::new(ctx)),
+                );
+                self.bind(
+                    d,
+                    def,
+                    n,
+                    &[
+                        (so, nodes::aperiodic::SLOT_OPENER),
+                        (sm, nodes::aperiodic::SLOT_MID),
+                        (sc, nodes::aperiodic::SLOT_CLOSER),
+                    ],
+                )
+            }
+            EventExpr::Periodic {
+                opener,
+                period,
+                closer,
+            } => {
+                let so = self.build(d, def, opener, ctx);
+                let sc = self.build(d, def, closer, ctx);
+                let (ko, kc) = (key_of(def, so), key_of(def, sc));
+                let n = self.fresh_node(
+                    &[
+                        (ko, nodes::periodic::SLOT_OPENER),
+                        (kc, nodes::periodic::SLOT_CLOSER),
+                    ],
+                    "periodic",
+                    Box::new(nodes::periodic::PNode::new(*period)),
+                );
+                self.bind(
+                    d,
+                    def,
+                    n,
+                    &[
+                        (so, nodes::periodic::SLOT_OPENER),
+                        (sc, nodes::periodic::SLOT_CLOSER),
+                    ],
+                )
+            }
+            EventExpr::PeriodicStar {
+                opener,
+                period,
+                closer,
+            } => {
+                let so = self.build(d, def, opener, ctx);
+                let sc = self.build(d, def, closer, ctx);
+                let (ko, kc) = (key_of(def, so), key_of(def, sc));
+                let n = self.fresh_node(
+                    &[
+                        (ko, nodes::periodic::SLOT_OPENER),
+                        (kc, nodes::periodic::SLOT_CLOSER),
+                    ],
+                    "periodic*",
+                    Box::new(nodes::periodic::PStarNode::new(*period)),
+                );
+                self.bind(
+                    d,
+                    def,
+                    n,
+                    &[
+                        (so, nodes::periodic::SLOT_OPENER),
+                        (sc, nodes::periodic::SLOT_CLOSER),
+                    ],
+                )
+            }
+            EventExpr::Plus { base, delta } => {
+                let sb = self.build(d, def, base, ctx);
+                let kb = key_of(def, sb);
+                let n = self.fresh_node(
+                    &[(kb, 0)],
+                    "plus",
+                    Box::new(nodes::plus::PlusNode::new(*delta)),
+                );
+                self.bind(d, def, n, &[(sb, 0)])
+            }
+            EventExpr::Masked { base, mask } => {
+                let sb = self.build(d, def, base, ctx);
+                let kb = key_of(def, sb);
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Mask(mask.clone(), kb),
+                    &[(kb, 0)],
+                    "mask",
+                    true,
+                    || Box::new(nodes::mask::MaskNode::new(mask.clone())),
+                );
+                self.bind(d, def, n, &[(sb, 0)])
+            }
+            EventExpr::Any { m, alternatives } => {
+                let sources: Vec<Src> = alternatives
+                    .iter()
+                    .map(|a| self.build(d, def, a, ctx))
+                    .collect();
+                let keys: Vec<ChildKey> = sources.iter().map(|&s| key_of(def, s)).collect();
+                let children: Vec<(ChildKey, usize)> = keys
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(i, k)| (k, i))
+                    .collect();
+                let n = self.cons_node(
+                    d,
+                    ConsKey::Any(ctx, *m, keys),
+                    &children,
+                    "any",
+                    false,
+                    || Box::new(nodes::any::AnyNode::new(ctx, *m, alternatives.len())),
+                );
+                let wired: Vec<(Src, usize)> = sources
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(i, s)| (s, i))
+                    .collect();
+                self.bind(d, def, n, &wired)
+            }
+        }
+    }
+
+    /// The catalog (name ↔ id mapping).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of definitions (the plan analogue of a shard count — timer
+    /// handles and routes are keyed by definition index).
+    pub fn shard_count(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Topological level of definition `d` in the dependency DAG.
+    pub fn shard_level(&self, d: ShardId) -> usize {
+        self.levels[d]
+    }
+
+    /// Number of topological stages in the definition dependency DAG.
+    pub fn stage_count(&self) -> usize {
+        self.levels.iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Event types definition `d` subscribes to, ascending.
+    pub fn shard_subscriptions(&self, d: ShardId) -> impl Iterator<Item = EventId> + '_ {
+        self.defs[d].subscribed.iter().copied()
+    }
+
+    /// Whether some definition references another definition's named
+    /// event.
+    pub fn has_cross_shard_routes(&self) -> bool {
+        self.defs
+            .iter()
+            .any(|dv| self.routes.contains_key(&dv.emits))
+    }
+
+    /// Smallest timer delay any node can request, or `None` when no
+    /// definition uses a temporal operator. Runs **once per plan node**,
+    /// not once per definition.
+    pub fn min_timer_delay(&self) -> Option<u64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.op.min_timer_delay())
+            .min()
+    }
+
+    /// Total outstanding timers across all definitions.
+    pub fn pending_timer_count(&self) -> usize {
+        self.defs.iter().map(|d| d.timers.len()).sum()
+    }
+
+    /// Advance the low watermark: operator GC runs **once per shared
+    /// node** instead of once per definition copy. Returns the evicted
+    /// count (counted per unique node, so it is legitimately lower than
+    /// an unshared detector's on the same workload).
+    pub fn advance_watermark(&mut self, low: u64) -> u64 {
+        self.nodes.iter_mut().map(|n| n.op.on_watermark(low)).sum()
+    }
+
+    /// Total occurrences buffered across all plan nodes (per unique node;
+    /// see [`Self::advance_watermark`] on comparability).
+    pub fn buffered_occupancy(&self) -> usize {
+        self.nodes.iter().map(|n| n.op.buffered_len()).sum()
+    }
+
+    /// Unique operator nodes in the plan.
+    pub fn plan_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Plan nodes bound by more than one position.
+    pub fn shared_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.bound.len() > 1).count()
+    }
+
+    /// Total subexpression positions across all definitions.
+    pub fn position_count(&self) -> usize {
+        self.defs.iter().map(|d| d.positions.len()).sum()
+    }
+
+    /// Sharing counters for metrics export.
+    pub fn plan_stats(&self) -> PlanStats {
+        let plan_nodes = self.plan_node_count();
+        let positions = self.position_count();
+        PlanStats {
+            plan_nodes,
+            shared_nodes: self.shared_node_count(),
+            position_count: positions,
+            sharing_ratio: if positions == 0 {
+                0.0
+            } else {
+                1.0 - plan_nodes as f64 / positions as f64
+            },
+        }
+    }
+
+    /// Number of connected components in the sharing graph over
+    /// definitions (defs that share no node parallelize independently).
+    pub fn component_count(&self) -> usize {
+        (0..self.uf.len()).filter(|&i| self.find(i) == i).count()
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.uf[i] != i {
+            i = self.uf[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.uf[hi] = lo;
+    }
+
+    /// Feed one occurrence, cascading named detections (canonical order)
+    /// into the definitions that reference them.
+    pub fn feed(&mut self, occ: Occurrence<T>) -> ShardFeedResult<T> {
+        let mut out = ShardFeedResult::default();
+        self.pump(vec![occ], &mut out);
+        self.trim_logs();
+        out
+    }
+
+    /// Deliver a previously requested timer on the definition that owns
+    /// it. Temporal nodes are always private, so this never touches the
+    /// shared log.
+    pub fn fire_timer(&mut self, d: ShardId, id: TimerId, time: T) -> Result<ShardFeedResult<T>> {
+        let (p, tag) = self.defs[d]
+            .timers
+            .remove(&id)
+            .ok_or(SnoopError::UnknownTimer(id.0))?;
+        let mut result = FeedResult {
+            detected: Vec::new(),
+            timers: Vec::new(),
+        };
+        let mut queue = VecDeque::new();
+        let mut emissions = Vec::new();
+        let mut timer_reqs = Vec::new();
+        {
+            let def = &self.defs[d];
+            let pos = &def.positions[p as usize];
+            let node = &mut self.nodes[pos.node];
+            debug_assert_eq!(node.bound.len(), 1, "timer nodes are private");
+            let mut sink = Sink::new(pos.emits, &mut emissions, &mut timer_reqs);
+            node.op.on_timer(tag, &time, &mut sink);
+        }
+        postprocess_def(
+            &mut self.defs[d],
+            p,
+            emissions,
+            timer_reqs,
+            &mut queue,
+            &mut result,
+        );
+        drain_def(&mut self.nodes, &mut self.defs[d], queue, &mut result);
+        let mut out = ShardFeedResult::default();
+        out.timers.extend(result.timers.into_iter().map(|t| (d, t)));
+        let mut round = result.detected;
+        sort_canonical(&mut round);
+        let mut wave = Vec::with_capacity(round.len());
+        for det in round {
+            wave.push(det.clone());
+            out.detected.push(det);
+        }
+        self.pump(wave, &mut out);
+        self.trim_logs();
+        Ok(out)
+    }
+
+    /// Feed a whole batch; semantically identical to feeding each
+    /// occurrence in order. With the `parallel` feature and a pool
+    /// enabled, sharing components fan out across the persistent workers
+    /// and the per-trigger canonical merge reproduces the serial output
+    /// exactly.
+    pub fn feed_batch(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        #[cfg(feature = "parallel")]
+        if self.pool.is_some() && self.defs.len() > 1 && !occs.is_empty() {
+            let out = if self.has_cross_shard_routes() {
+                self.feed_batch_staged(occs)
+            } else {
+                self.feed_batch_fanout(occs)
+            };
+            self.trim_logs();
+            return out;
+        }
+        let mut out = ShardFeedResult::default();
+        for occ in occs {
+            self.pump(vec![occ], &mut out);
+        }
+        self.trim_logs();
+        out
+    }
+
+    /// BFS cascade: serial waves until no detections remain.
+    fn pump(&mut self, mut wave: Vec<Occurrence<T>>, out: &mut ShardFeedResult<T>) {
+        while !wave.is_empty() {
+            wave = self.serial_wave(wave, out);
+        }
+    }
+
+    /// Run one cascade wave serially and return the next wave: route each
+    /// occurrence to the subscribed definitions (ascending), canonically
+    /// merge the per-trigger detections.
+    fn serial_wave(
+        &mut self,
+        wave: Vec<Occurrence<T>>,
+        out: &mut ShardFeedResult<T>,
+    ) -> Vec<Occurrence<T>> {
+        let mut next = Vec::new();
+        for occ in wave {
+            let Some(route) = self.routes.get(&occ.ty) else {
+                continue;
+            };
+            let route = route.clone();
+            let mut round = Vec::new();
+            for &d in &route {
+                let r = feed_def_into(&mut self.nodes, &mut self.defs[d], &occ);
+                out.timers.extend(r.timers.into_iter().map(|t| (d, t)));
+                round.extend(r.detected);
+            }
+            sort_canonical(&mut round);
+            for det in round {
+                next.push(det.clone());
+                out.detected.push(det);
+            }
+        }
+        next
+    }
+
+    /// Drop fully-replayed log entries. At the end of every public call
+    /// all cursors of a shared node have consumed every execution (each
+    /// delivery reaches all binder definitions in the same routing round),
+    /// so the logs drain completely.
+    fn trim_logs(&mut self) {
+        let defs = &self.defs;
+        for node in &mut self.nodes {
+            if node.log.is_empty() {
+                continue;
+            }
+            let min_seen = node
+                .bound
+                .iter()
+                .map(|&(d, p)| defs[d as usize].positions[p as usize].seen)
+                .min()
+                .unwrap_or(node.exec);
+            debug_assert_eq!(
+                min_seen, node.exec,
+                "shared-node cursor out of sync on `{}`",
+                node.label
+            );
+            let drop = (min_seen - node.base) as usize;
+            node.log.drain(..drop);
+            node.base = min_seen;
+        }
+    }
+
+    /// Attach a persistent worker pool of `workers` threads (clamped to
+    /// `1..=shard_count`) and route every subsequent [`Self::feed_batch`]
+    /// through it. Sharing components are moved whole to a worker, so a
+    /// shared node always travels with every definition bound to it.
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool(&mut self, workers: usize) {
+        let workers = workers.clamp(1, self.defs.len().max(1));
+        self.pool = Some(crate::pool::WorkerPool::new(workers));
+    }
+
+    /// Worker threads in the persistent pool (0 = serial).
+    pub fn worker_count(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.worker_count();
+        }
+        0
+    }
+
+    /// Parallel rounds dispatched to the pool so far.
+    pub fn parallel_rounds(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.rounds();
+        }
+        0
+    }
+
+    /// Total busy time across pool workers, in nanoseconds.
+    pub fn pool_busy_ns(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.busy_ns();
+        }
+        0
+    }
+
+    /// Render the **shared plan once** in Graphviz `dot` syntax: event
+    /// sources as ellipses, each unique operator node as a single box
+    /// (bold double border when shared), per-definition clusters holding
+    /// the named composite, and a dashed fan-out edge from each
+    /// definition's root node into its cluster.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph decs_plan {\n  rankdir=BT;\n");
+        let mut events: BTreeSet<EventId> = BTreeSet::new();
+        for node in &self.nodes {
+            for &(child, _) in &node.children {
+                if let ChildKey::Event(e) = child {
+                    events.insert(e);
+                }
+            }
+        }
+        for &e in &events {
+            let _ = writeln!(
+                out,
+                "  ev{} [label={:?} shape=ellipse];",
+                e.0,
+                self.catalog.name(e)
+            );
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shared = if node.bound.len() > 1 {
+                " peripheries=2 style=bold"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label={:?} shape=box{}];",
+                i, node.label, shared
+            );
+            for &(child, slot) in &node.children {
+                match child {
+                    ChildKey::Event(e) => {
+                        let _ = writeln!(out, "  ev{} -> n{} [label=\"{}\"];", e.0, i, slot);
+                    }
+                    ChildKey::Node(c) => {
+                        let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", c, i, slot);
+                    }
+                }
+            }
+        }
+        for (d, def) in self.defs.iter().enumerate() {
+            let name = self.catalog.name(def.emits);
+            let _ = writeln!(out, "  subgraph cluster_def{d} {{");
+            let _ = writeln!(out, "    label={name:?};");
+            let _ = writeln!(out, "    def{d} [label={name:?} shape=doubleoctagon];");
+            let _ = writeln!(out, "  }}");
+            if let Some(root) = def.positions.iter().rposition(|p| p.named) {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> def{} [style=dashed];",
+                    def.positions[root].node, d
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Sparse id → node map moved to a pool worker: the subset of plan nodes
+/// one sharing component's definitions can touch.
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+pub(crate) struct SparseNodes<T: EventTime> {
+    /// `(global node id, node)` in ascending id order.
+    nodes: Vec<(usize, PlanNode<T>)>,
+    /// Global node id → index into `nodes`.
+    index: HashMap<usize, usize>,
+}
+
+#[cfg(feature = "parallel")]
+impl<T: EventTime> NodeStore<T> for SparseNodes<T> {
+    fn node_mut(&mut self, id: usize) -> &mut PlanNode<T> {
+        let i = self.index[&id];
+        &mut self.nodes[i].1
+    }
+}
+
+/// One sharing component out on a pool worker: its definitions (ascending
+/// by id) plus every plan node their positions reference. Moving the
+/// component whole keeps the execute-once/replay protocol worker-local —
+/// a shared node always travels with every definition bound to it (a
+/// delivery to a shared node implies all its binder definitions subscribe
+/// to the trigger, so they are all active in the same round).
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+pub(crate) struct PlanCell<T: EventTime> {
+    defs: Vec<(usize, DefView)>,
+    store: SparseNodes<T>,
+}
+
+#[cfg(feature = "parallel")]
+impl<T: EventTime> PlanCell<T> {
+    /// Feed every trigger through this cell's definitions —
+    /// trigger-outer, definitions ascending inner, exactly the serial
+    /// visit order — and return per-definition results keyed by trigger
+    /// index.
+    pub(crate) fn run(&mut self, triggers: &[Occurrence<T>]) -> crate::pool::KeyedResults<T> {
+        let PlanCell { defs, store } = self;
+        let mut out: crate::pool::KeyedResults<T> =
+            defs.iter().map(|(d, _)| (*d, Vec::new())).collect();
+        for (k, occ) in triggers.iter().enumerate() {
+            for (i, (_, def)) in defs.iter_mut().enumerate() {
+                if def.subs.contains_key(&occ.ty) {
+                    let r = feed_def_into(store, def, occ);
+                    out[i].1.push((k, r));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl DefView {
+    /// Inert stand-in left behind while the real view is out on a pool
+    /// worker (no subscriptions, so it can never be fed by mistake).
+    fn placeholder() -> Self {
+        DefView {
+            emits: EventId(u32::MAX),
+            subscribed: BTreeSet::new(),
+            positions: Vec::new(),
+            subs: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<T: EventTime> PlanNode<T> {
+    /// Inert stand-in left behind while the real node is out on a worker.
+    fn placeholder() -> Self {
+        PlanNode {
+            op: Box::new(nodes::or::OrNode::new()),
+            bound: Vec::new(),
+            children: Vec::new(),
+            label: "placeholder",
+            stateless: true,
+            exec: 0,
+            base: 0,
+            log: Vec::new(),
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<T: EventTime> PlanDetector<T> {
+    /// Number of definitions subscribed to at least one of `wave`'s types.
+    fn active_def_count(&self, wave: &[Occurrence<T>]) -> usize {
+        self.defs
+            .iter()
+            .filter(|dv| wave.iter().any(|o| dv.subscribed.contains(&o.ty)))
+            .count()
+    }
+
+    /// Dispatch one pool round over `triggers`: group the active
+    /// definitions by sharing component, move each component (definitions
+    /// plus their plan nodes) whole to a worker, collect results,
+    /// reinstall, and return the keyed feed results sorted by definition id.
+    fn pooled_round(
+        &mut self,
+        triggers: &std::sync::Arc<[Occurrence<T>]>,
+    ) -> crate::pool::KeyedResults<T> {
+        use std::collections::BTreeMap;
+        let workers = self.pool.as_ref().expect("pool enabled").worker_count();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for d in 0..self.defs.len() {
+            let active = triggers
+                .iter()
+                .any(|o| self.defs[d].subscribed.contains(&o.ty));
+            if active {
+                groups.entry(self.find(d)).or_default().push(d);
+            }
+        }
+        let mut per_worker: Vec<Vec<PlanCell<T>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (gi, (_, group)) in groups.into_iter().enumerate() {
+            let mut node_ids: BTreeSet<usize> = BTreeSet::new();
+            for &d in &group {
+                for p in &self.defs[d].positions {
+                    node_ids.insert(p.node);
+                }
+            }
+            let mut defs = Vec::with_capacity(group.len());
+            for d in group {
+                defs.push((
+                    d,
+                    std::mem::replace(&mut self.defs[d], DefView::placeholder()),
+                ));
+            }
+            let mut cell_nodes = Vec::with_capacity(node_ids.len());
+            let mut index = HashMap::with_capacity(node_ids.len());
+            for id in node_ids {
+                index.insert(id, cell_nodes.len());
+                cell_nodes.push((
+                    id,
+                    std::mem::replace(&mut self.nodes[id], PlanNode::placeholder()),
+                ));
+            }
+            per_worker[gi % workers].push(PlanCell {
+                defs,
+                store: SparseNodes {
+                    nodes: cell_nodes,
+                    index,
+                },
+            });
+        }
+        let jobs: Vec<(usize, crate::pool::Job<T>)> = per_worker
+            .into_iter()
+            .enumerate()
+            .filter(|(_, cells)| !cells.is_empty())
+            .map(|(w, cells)| {
+                (
+                    w,
+                    crate::pool::Job {
+                        shards: Vec::new(),
+                        cells,
+                        triggers: std::sync::Arc::clone(triggers),
+                    },
+                )
+            })
+            .collect();
+        let mut merged = Vec::new();
+        for r in self.pool.as_mut().expect("pool enabled").run_round(jobs) {
+            for cell in r.cells {
+                for (d, dv) in cell.defs {
+                    self.defs[d] = dv;
+                }
+                for (id, node) in cell.store.nodes {
+                    self.nodes[id] = node;
+                }
+            }
+            merged.extend(r.results);
+        }
+        merged.sort_by_key(|(sid, _)| *sid);
+        merged
+    }
+
+    /// Independent definitions (no cross-definition routes): one pool
+    /// round fans the whole batch out, then the per-trigger cursor merge
+    /// — definitions ascending, canonical round sort — reproduces the
+    /// serial visit order exactly.
+    fn feed_batch_fanout(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        let triggers: std::sync::Arc<[Occurrence<T>]> = occs.into();
+        let per_def = self.pooled_round(&triggers);
+        let mut out = ShardFeedResult::default();
+        let mut cursors = vec![0usize; per_def.len()];
+        for k in 0..triggers.len() {
+            let mut round = Vec::new();
+            for (idx, (sid, results)) in per_def.iter().enumerate() {
+                if let Some((key, r)) = results.get(cursors[idx]) {
+                    if *key == k {
+                        cursors[idx] += 1;
+                        out.timers.extend(r.timers.iter().map(|t| (*sid, *t)));
+                        round.extend(r.detected.iter().cloned());
+                    }
+                }
+            }
+            sort_canonical(&mut round);
+            out.detected.extend(round);
+        }
+        out
+    }
+
+    /// Cross-definition cascades: per trigger, one pool round per cascade
+    /// wave (at most [`Self::stage_count`] deep), each wave's canonically
+    /// merged detections becoming the next wave's triggers.
+    fn feed_batch_staged(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        let mut out = ShardFeedResult::default();
+        for occ in occs {
+            let mut wave = vec![occ];
+            while !wave.is_empty() {
+                let active = self.active_def_count(&wave);
+                if active == 0 {
+                    break;
+                }
+                if active == 1 {
+                    // Nothing to parallelize: run the wave in place.
+                    wave = self.serial_wave(wave, &mut out);
+                    continue;
+                }
+                let triggers: std::sync::Arc<[Occurrence<T>]> = wave.into();
+                let per_def = self.pooled_round(&triggers);
+                let mut next_wave = Vec::new();
+                let mut cursors = vec![0usize; per_def.len()];
+                for k in 0..triggers.len() {
+                    let mut round = Vec::new();
+                    for (idx, (sid, results)) in per_def.iter().enumerate() {
+                        if let Some((key, r)) = results.get(cursors[idx]) {
+                            if *key == k {
+                                cursors[idx] += 1;
+                                out.timers.extend(r.timers.iter().map(|t| (*sid, *t)));
+                                round.extend(r.detected.iter().cloned());
+                            }
+                        }
+                    }
+                    sort_canonical(&mut round);
+                    for d in round {
+                        next_wave.push(d.clone());
+                        out.detected.push(d);
+                    }
+                }
+                wave = next_wave;
+            }
+        }
+        out
+    }
+}
+
+/// Either detection backend behind one surface, so drivers (the central
+/// detector, the distributed coordinator) can toggle plan sharing with a
+/// config flag while keeping the unshared path as a differential oracle.
+#[derive(Debug)]
+pub enum AnyDetector<T: EventTime> {
+    /// One independent graph per definition (no sharing).
+    Sharded(ShardedDetector<T>),
+    /// The shared, hash-consed plan.
+    Plan(PlanDetector<T>),
+}
+
+impl<T: EventTime> From<ShardedDetector<T>> for AnyDetector<T> {
+    fn from(d: ShardedDetector<T>) -> Self {
+        AnyDetector::Sharded(d)
+    }
+}
+
+impl<T: EventTime> From<PlanDetector<T>> for AnyDetector<T> {
+    fn from(d: PlanDetector<T>) -> Self {
+        AnyDetector::Plan(d)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $d:ident => $e:expr) => {
+        match $self {
+            AnyDetector::Sharded($d) => $e,
+            AnyDetector::Plan($d) => $e,
+        }
+    };
+}
+
+impl<T: EventTime> AnyDetector<T> {
+    /// Register a primitive event type.
+    pub fn register(&mut self, name: &str) -> Result<EventId> {
+        delegate!(self, d => d.register(name))
+    }
+
+    /// Define a named composite event.
+    pub fn define(&mut self, name: &str, expr: &EventExpr, ctx: Context) -> Result<EventId> {
+        delegate!(self, d => d.define(name, expr, ctx))
+    }
+
+    /// The catalog (name ↔ id mapping).
+    pub fn catalog(&self) -> &Catalog {
+        delegate!(self, d => d.catalog())
+    }
+
+    /// Number of definition shards.
+    pub fn shard_count(&self) -> usize {
+        delegate!(self, d => d.shard_count())
+    }
+
+    /// Number of topological stages in the definition dependency DAG.
+    pub fn stage_count(&self) -> usize {
+        delegate!(self, d => d.stage_count())
+    }
+
+    /// Smallest timer delay any definition can request.
+    pub fn min_timer_delay(&self) -> Option<u64> {
+        delegate!(self, d => d.min_timer_delay())
+    }
+
+    /// Total outstanding timers.
+    pub fn pending_timer_count(&self) -> usize {
+        delegate!(self, d => d.pending_timer_count())
+    }
+
+    /// Advance the low watermark (see the backends' docs; the plan runs
+    /// GC once per shared node).
+    pub fn advance_watermark(&mut self, low: u64) -> u64 {
+        delegate!(self, d => d.advance_watermark(low))
+    }
+
+    /// Total buffered occurrences (per unique node under the plan).
+    pub fn buffered_occupancy(&self) -> usize {
+        delegate!(self, d => d.buffered_occupancy())
+    }
+
+    /// Whether some definition references another definition's name.
+    pub fn has_cross_shard_routes(&self) -> bool {
+        delegate!(self, d => d.has_cross_shard_routes())
+    }
+
+    /// Feed one occurrence.
+    pub fn feed(&mut self, occ: Occurrence<T>) -> ShardFeedResult<T> {
+        delegate!(self, d => d.feed(occ))
+    }
+
+    /// Feed a whole batch.
+    pub fn feed_batch(&mut self, occs: Vec<Occurrence<T>>) -> ShardFeedResult<T> {
+        delegate!(self, d => d.feed_batch(occs))
+    }
+
+    /// Deliver a previously requested timer.
+    pub fn fire_timer(
+        &mut self,
+        shard: ShardId,
+        id: TimerId,
+        time: T,
+    ) -> Result<ShardFeedResult<T>> {
+        delegate!(self, d => d.fire_timer(shard, id, time))
+    }
+
+    /// Attach a persistent worker pool (see the backends' `enable_pool`).
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool(&mut self, workers: usize) {
+        delegate!(self, d => d.enable_pool(workers))
+    }
+
+    /// Worker threads in the persistent pool (0 = serial).
+    pub fn worker_count(&self) -> usize {
+        delegate!(self, d => d.worker_count())
+    }
+
+    /// Parallel rounds dispatched to the pool so far.
+    pub fn parallel_rounds(&self) -> u64 {
+        delegate!(self, d => d.parallel_rounds())
+    }
+
+    /// Total busy time across pool workers, in nanoseconds.
+    pub fn pool_busy_ns(&self) -> u64 {
+        delegate!(self, d => d.pool_busy_ns())
+    }
+
+    /// Sharing counters. The sharded backend reports its total graph
+    /// nodes with zero sharing.
+    pub fn plan_stats(&self) -> PlanStats {
+        match self {
+            AnyDetector::Sharded(d) => {
+                let n = d.node_count();
+                PlanStats {
+                    plan_nodes: n,
+                    shared_nodes: 0,
+                    position_count: n,
+                    sharing_ratio: 0.0,
+                }
+            }
+            AnyDetector::Plan(d) => d.plan_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::EventExpr as E;
+    use crate::time::CentralTime;
+
+    fn occ(cat: &Catalog, name: &str, t: u64) -> Occurrence<CentralTime> {
+        Occurrence::bare(cat.lookup(name).unwrap(), CentralTime(t))
+    }
+
+    /// Build both backends over the same definitions and assert that
+    /// feeding the trace produces bit-for-bit identical results
+    /// (detections with types/times/params, timers with ids and tags).
+    fn assert_equivalent(
+        prims: &[&str],
+        defs: &[(&str, EventExpr, Context)],
+        trace: &[(&str, u64)],
+    ) -> (ShardedDetector<CentralTime>, PlanDetector<CentralTime>) {
+        let mut sharded = ShardedDetector::new();
+        let mut plan = PlanDetector::new();
+        for p in prims {
+            sharded.register(p).unwrap();
+            plan.register(p).unwrap();
+        }
+        for (name, expr, ctx) in defs {
+            let a = sharded.define(name, expr, *ctx).unwrap();
+            let b = plan.define(name, expr, *ctx).unwrap();
+            assert_eq!(a, b, "catalog identity for {name}");
+        }
+        assert_eq!(
+            sharded.catalog().len(),
+            plan.catalog().len(),
+            "intern sequence"
+        );
+        for (name, t) in trace {
+            if sharded.catalog().lookup(name).is_err() {
+                continue; // trace is a superset of some tests' primitives
+            }
+            let o = occ(sharded.catalog(), name, *t);
+            let rs = sharded.feed(o.clone());
+            let rp = plan.feed(o);
+            assert_eq!(rs.detected, rp.detected, "detections at {name}@{t}");
+            assert_eq!(rs.timers, rp.timers, "timers at {name}@{t}");
+        }
+        (sharded, plan)
+    }
+
+    fn base_trace() -> Vec<(&'static str, u64)> {
+        vec![
+            ("A", 1),
+            ("B", 2),
+            ("C", 3),
+            ("B", 4),
+            ("A", 5),
+            ("C", 6),
+            ("B", 7),
+            ("A", 8),
+            ("C", 9),
+            ("B", 10),
+        ]
+    }
+
+    #[test]
+    fn overlapping_definitions_share_and_match_oracle() {
+        // Seq(A, B) appears under three definitions; the plan compiles it
+        // once.
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            (
+                "Y",
+                E::and(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+            (
+                "Z",
+                E::seq(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        let stats = plan.plan_stats();
+        assert_eq!(stats.position_count, 5); // 1 + 2 + 2
+        assert_eq!(stats.plan_nodes, 3); // shared seq + and + outer seq
+        assert_eq!(stats.shared_nodes, 1);
+        assert!(stats.sharing_ratio > 0.0);
+        assert_eq!(plan.component_count(), 1);
+    }
+
+    #[test]
+    fn disjoint_definitions_do_not_share() {
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            (
+                "Y",
+                E::and(E::prim("B"), E::prim("C")),
+                Context::Unrestricted,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        assert_eq!(plan.shared_node_count(), 0);
+        assert_eq!(plan.component_count(), 2);
+    }
+
+    #[test]
+    fn context_distinguishes_cons_keys() {
+        // Same structure, different contexts: must NOT share.
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            ("Y", E::seq(E::prim("A"), E::prim("B")), Context::Continuous),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B"], &defs, &base_trace());
+        assert_eq!(plan.shared_node_count(), 0);
+        assert_eq!(plan.plan_node_count(), 2);
+    }
+
+    #[test]
+    fn commutative_swap_does_not_share() {
+        // And(a, b) vs And(b, a): structurally different, so no sharing —
+        // sharing them would flip the param order of shared triggers.
+        let defs = vec![
+            (
+                "X",
+                E::and(E::prim("A"), E::prim("B")),
+                Context::Unrestricted,
+            ),
+            (
+                "Y",
+                E::and(E::prim("B"), E::prim("A")),
+                Context::Unrestricted,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B"], &defs, &base_trace());
+        assert_eq!(plan.shared_node_count(), 0);
+    }
+
+    #[test]
+    fn stateless_or_sharing_preserves_self_pairing_guard() {
+        // Or(A, B) is shared between the two operands' definitions; the
+        // forwarded occurrence must keep its uid in each definition so the
+        // oracle's self-pairing behavior survives.
+        let defs = vec![
+            (
+                "X",
+                E::and(
+                    E::or(E::prim("A"), E::prim("B")),
+                    E::or(E::prim("A"), E::prim("C")),
+                ),
+                Context::Unrestricted,
+            ),
+            (
+                "Y",
+                E::seq(E::or(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        assert_eq!(plan.shared_node_count(), 1); // the Or(A, B)
+    }
+
+    #[test]
+    fn alias_definitions_share_one_forwarder() {
+        let defs = vec![
+            ("Y1", E::prim("A"), Context::Unrestricted),
+            ("Y2", E::prim("A"), Context::Chronicle),
+            (
+                "P",
+                E::and(E::prim("Y1"), E::prim("Y2")),
+                Context::Unrestricted,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B"], &defs, &base_trace());
+        // Y1/Y2 alias nodes cons to one stateless forwarder.
+        assert_eq!(plan.shared_node_count(), 1);
+    }
+
+    #[test]
+    fn within_definition_sharing_matches_oracle() {
+        // Both operands of And are the same subexpression: two positions,
+        // one node, one definition.
+        let defs = vec![(
+            "X",
+            E::and(
+                E::seq(E::prim("A"), E::prim("B")),
+                E::seq(E::prim("A"), E::prim("B")),
+            ),
+            Context::Unrestricted,
+        )];
+        let (_, plan) = assert_equivalent(&["A", "B"], &defs, &base_trace());
+        let stats = plan.plan_stats();
+        assert_eq!(stats.position_count, 3);
+        assert_eq!(stats.plan_nodes, 2);
+        assert_eq!(stats.shared_nodes, 1);
+    }
+
+    #[test]
+    fn primitive_on_both_slots_still_blocks_self_pairing() {
+        // E ∧ E over a primitive: the same occurrence arrives on both
+        // slots and must not pair with itself — in both backends.
+        let defs = vec![(
+            "X",
+            E::and(E::prim("A"), E::prim("A")),
+            Context::Unrestricted,
+        )];
+        // The full trace must stay equivalent (a fresh A *does* pair with
+        // earlier distinct A occurrences in both backends)…
+        let (mut sharded, mut plan) = assert_equivalent(&["A"], &defs, &base_trace());
+        // …and the very first A fed to fresh detectors pairs with nothing:
+        // the same occurrence reaches both slots and is blocked by uid.
+        let mut fresh_sharded = ShardedDetector::<CentralTime>::new();
+        let mut fresh_plan = PlanDetector::<CentralTime>::new();
+        fresh_sharded.register("A").unwrap();
+        fresh_plan.register("A").unwrap();
+        let (name, e, ctx) = &defs[0];
+        fresh_sharded.define(name, e, *ctx).unwrap();
+        fresh_plan.define(name, e, *ctx).unwrap();
+        let o = occ(fresh_sharded.catalog(), "A", 99);
+        assert!(fresh_sharded.feed(o.clone()).detected.is_empty());
+        assert!(fresh_plan.feed(o.clone()).detected.is_empty());
+        // Keep the post-trace detectors honest too: next A matches oracle.
+        assert_eq!(
+            sharded.feed(o.clone()).detected.len(),
+            plan.feed(o).detected.len()
+        );
+    }
+
+    #[test]
+    fn cross_definition_cascade_through_shared_nodes() {
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            ("Z", E::seq(E::prim("X"), E::prim("C")), Context::Chronicle),
+            (
+                "W",
+                E::and(E::seq(E::prim("X"), E::prim("C")), E::prim("B")),
+                Context::Chronicle,
+            ),
+        ];
+        let (sharded, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        assert!(plan.has_cross_shard_routes());
+        assert_eq!(plan.stage_count(), sharded.stage_count());
+        assert_eq!(plan.shard_level(1), 1);
+        // Seq(X, C) shared between Z (root) and W (inner).
+        assert_eq!(plan.shared_node_count(), 1);
+    }
+
+    #[test]
+    fn late_define_does_not_inherit_executed_state() {
+        let mut sharded = ShardedDetector::<CentralTime>::new();
+        let mut plan = PlanDetector::<CentralTime>::new();
+        for p in ["A", "B"] {
+            sharded.register(p).unwrap();
+            plan.register(p).unwrap();
+        }
+        let e = E::seq(E::prim("A"), E::prim("B"));
+        sharded.define("X", &e, Context::Chronicle).unwrap();
+        plan.define("X", &e, Context::Chronicle).unwrap();
+        // Execute: A is now buffered inside the Seq node.
+        let o = occ(sharded.catalog(), "A", 1);
+        sharded.feed(o.clone());
+        plan.feed(o);
+        // A structurally identical later define must NOT see that state.
+        sharded.define("Y", &e, Context::Chronicle).unwrap();
+        plan.define("Y", &e, Context::Chronicle).unwrap();
+        assert_eq!(plan.shared_node_count(), 0, "executed node not reused");
+        for (name, t) in [("B", 2), ("A", 3), ("B", 4)] {
+            let o = occ(sharded.catalog(), name, t);
+            let rs = sharded.feed(o.clone());
+            let rp = plan.feed(o);
+            assert_eq!(rs.detected, rp.detected, "{name}@{t}");
+        }
+    }
+
+    #[test]
+    fn all_operator_shapes_match_oracle() {
+        let defs = vec![
+            (
+                "N",
+                E::not(E::prim("B"), E::prim("A"), E::prim("C")),
+                Context::Chronicle,
+            ),
+            (
+                "AP",
+                EventExpr::Aperiodic {
+                    opener: Box::new(E::prim("A")),
+                    mid: Box::new(E::prim("B")),
+                    closer: Box::new(E::prim("C")),
+                },
+                Context::Unrestricted,
+            ),
+            (
+                "AS",
+                EventExpr::AperiodicStar {
+                    opener: Box::new(E::prim("A")),
+                    mid: Box::new(E::prim("B")),
+                    closer: Box::new(E::prim("C")),
+                },
+                Context::Cumulative,
+            ),
+            (
+                "ANY2",
+                EventExpr::Any {
+                    m: 2,
+                    alternatives: vec![E::prim("A"), E::prim("B"), E::prim("C")],
+                },
+                Context::Continuous,
+            ),
+            (
+                "MSK",
+                EventExpr::Masked {
+                    base: Box::new(E::prim("A")),
+                    mask: Mask::AtLeast { index: 0, min: 0 },
+                },
+                Context::Unrestricted,
+            ),
+        ];
+        assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+    }
+
+    #[test]
+    fn shared_not_and_any_nodes_match_oracle() {
+        // Stateful three-slot and n-ary operators shared across defs.
+        let not = E::not(E::prim("B"), E::prim("A"), E::prim("C"));
+        let any = EventExpr::Any {
+            m: 2,
+            alternatives: vec![E::prim("A"), E::prim("B"), E::prim("C")],
+        };
+        let defs = vec![
+            ("N1", not.clone(), Context::Chronicle),
+            ("N2", E::seq(not.clone(), E::prim("B")), Context::Chronicle),
+            ("Q1", any.clone(), Context::Continuous),
+            ("Q2", E::and(any.clone(), E::prim("C")), Context::Continuous),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        assert_eq!(plan.shared_node_count(), 2);
+    }
+
+    #[test]
+    fn timers_stay_private_and_match_oracle() {
+        let mut sharded = ShardedDetector::<CentralTime>::new();
+        let mut plan = PlanDetector::<CentralTime>::new();
+        sharded.register("A").unwrap();
+        plan.register("A").unwrap();
+        // Two identical Plus defs: temporal nodes must NOT share (each def
+        // owns its timer ids), but their base subexpression may.
+        let e = E::plus(E::seq(E::prim("A"), E::prim("A")), 10);
+        for name in ["D1", "D2"] {
+            sharded.define(name, &e, Context::Chronicle).unwrap();
+            plan.define(name, &e, Context::Chronicle).unwrap();
+        }
+        assert_eq!(plan.shared_node_count(), 1); // the Seq only
+        assert_eq!(plan.min_timer_delay(), Some(10));
+        let o1 = occ(sharded.catalog(), "A", 1);
+        let o2 = occ(sharded.catalog(), "A", 2);
+        sharded.feed(o1.clone());
+        plan.feed(o1);
+        let rs = sharded.feed(o2.clone());
+        let rp = plan.feed(o2);
+        assert_eq!(rs.timers, rp.timers);
+        assert_eq!(rs.timers.len(), 2); // one per def
+        assert_eq!(sharded.pending_timer_count(), plan.pending_timer_count());
+        for ((sd, sreq), (pd, preq)) in rs.timers.iter().zip(rp.timers.iter()) {
+            let fs = sharded.fire_timer(*sd, sreq.id, CentralTime(12)).unwrap();
+            let fp = plan.fire_timer(*pd, preq.id, CentralTime(12)).unwrap();
+            assert_eq!(fs.detected, fp.detected);
+        }
+        assert!(matches!(
+            plan.fire_timer(0, TimerId(99), CentralTime(20)),
+            Err(SnoopError::UnknownTimer(99))
+        ));
+    }
+
+    #[test]
+    fn feed_batch_equals_sequential_feeds() {
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            (
+                "Y",
+                E::and(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+            ("Z", E::seq(E::prim("X"), E::prim("C")), Context::Chronicle),
+        ];
+        let build = || {
+            let mut p = PlanDetector::<CentralTime>::new();
+            for n in ["A", "B", "C"] {
+                p.register(n).unwrap();
+            }
+            for (name, expr, ctx) in &defs {
+                p.define(name, expr, *ctx).unwrap();
+            }
+            p
+        };
+        let mut serial = build();
+        let mut batch = build();
+        let occs: Vec<_> = base_trace()
+            .iter()
+            .map(|(n, t)| occ(serial.catalog(), n, *t))
+            .collect();
+        let mut seq_out = Vec::new();
+        for o in occs.clone() {
+            seq_out.extend(serial.feed(o).detected);
+        }
+        let batch_out = batch.feed_batch(occs).detected;
+        assert_eq!(seq_out, batch_out);
+    }
+
+    #[test]
+    fn watermark_gc_runs_once_per_shared_node() {
+        // NOT strands guard state which the watermark can evict; shared
+        // plans evict it once. Detections stay identical with GC applied.
+        let not = E::not(E::prim("B"), E::prim("A"), E::prim("C"));
+        let defs = vec![
+            ("N1", not.clone(), Context::Chronicle),
+            ("N2", E::seq(not.clone(), E::prim("B")), Context::Chronicle),
+        ];
+        let (mut sharded, mut plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        assert!(plan.buffered_occupancy() <= sharded.buffered_occupancy());
+        sharded.advance_watermark(11);
+        plan.advance_watermark(11);
+        for (name, t) in [("A", 12), ("B", 13), ("C", 14), ("B", 15)] {
+            let o = occ(sharded.catalog(), name, t);
+            let rs = sharded.feed(o.clone());
+            let rp = plan.feed(o);
+            assert_eq!(rs.detected, rp.detected, "{name}@{t} after GC");
+        }
+    }
+
+    #[test]
+    fn logs_drain_after_every_feed() {
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            (
+                "Y",
+                E::seq(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+        ];
+        let (_, plan) = assert_equivalent(&["A", "B", "C"], &defs, &base_trace());
+        for node in &plan.nodes {
+            assert!(node.log.is_empty(), "log not drained on `{}`", node.label);
+        }
+    }
+
+    #[test]
+    fn define_failures_leave_no_orphan_nodes() {
+        let mut plan = PlanDetector::<CentralTime>::new();
+        plan.register("A").unwrap();
+        let before = plan.plan_node_count();
+        let e = E::seq(E::seq(E::prim("A"), E::prim("A")), E::prim("NOPE"));
+        assert!(matches!(
+            plan.define("X", &e, Context::Chronicle),
+            Err(SnoopError::UnknownEvent(_))
+        ));
+        assert_eq!(plan.plan_node_count(), before);
+        assert_eq!(plan.shard_count(), 0);
+        // The failed name stays registered (the oracle's compile registers
+        // before building too), so it cannot be reused…
+        assert!(matches!(
+            plan.define("X", &E::prim("A"), Context::Chronicle),
+            Err(SnoopError::DuplicateEvent(_))
+        ));
+        // …but the detector still works for new names.
+        plan.register("B").unwrap();
+        plan.define(
+            "X2",
+            &E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        )
+        .unwrap();
+        let o = occ(plan.catalog(), "A", 1);
+        plan.feed(o);
+        let o = occ(plan.catalog(), "B", 2);
+        assert_eq!(plan.feed(o).detected.len(), 1);
+    }
+
+    #[test]
+    fn any_detector_delegates_to_both_backends() {
+        let mk = |plan: bool| -> AnyDetector<CentralTime> {
+            let mut d: AnyDetector<CentralTime> = if plan {
+                PlanDetector::new().into()
+            } else {
+                ShardedDetector::new().into()
+            };
+            for n in ["A", "B"] {
+                d.register(n).unwrap();
+            }
+            d.define("X", &E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)
+                .unwrap();
+            d.define(
+                "Y",
+                &E::seq(E::prim("A"), E::prim("B")),
+                Context::Continuous,
+            )
+            .unwrap();
+            d
+        };
+        let mut s = mk(false);
+        let mut p = mk(true);
+        assert_eq!(s.shard_count(), 2);
+        assert_eq!(p.shard_count(), 2);
+        for (name, t) in [("A", 1), ("B", 2)] {
+            let o = occ(s.catalog(), name, t);
+            assert_eq!(s.feed(o.clone()).detected, p.feed(o).detected);
+        }
+        let ss = s.plan_stats();
+        let ps = p.plan_stats();
+        assert_eq!(ss.shared_nodes, 0);
+        assert_eq!(ss.sharing_ratio, 0.0);
+        assert_eq!(ss.plan_nodes, 2);
+        assert_eq!(ps.plan_nodes, 2); // different contexts: no sharing
+        assert_eq!(ps.position_count, 2);
+    }
+
+    #[test]
+    fn dot_renders_shared_plan_once() {
+        let mut plan = PlanDetector::<CentralTime>::new();
+        for n in ["A", "B", "C"] {
+            plan.register(n).unwrap();
+        }
+        plan.define("X", &E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)
+            .unwrap();
+        plan.define(
+            "Y",
+            &E::and(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+            Context::Chronicle,
+        )
+        .unwrap();
+        let dot = plan.to_dot();
+        // The shared seq renders once, with the shared marker.
+        assert_eq!(dot.matches("label=\"seq\"").count(), 1);
+        assert!(dot.contains("peripheries=2 style=bold"));
+        assert!(dot.contains("cluster_def0"));
+        assert!(dot.contains("cluster_def1"));
+        assert!(dot.contains("-> def0 [style=dashed]"));
+        assert!(dot.contains("-> def1 [style=dashed]"));
+        assert_eq!(dot, plan.to_dot(), "deterministic output");
+    }
+}
+
+#[cfg(all(test, feature = "parallel"))]
+mod parallel_tests {
+    use super::*;
+    use crate::expr::EventExpr as E;
+    use crate::time::CentralTime;
+
+    /// Eight definitions over four primitives with deliberate
+    /// subexpression overlap (each `Seq` appears twice), plus — when
+    /// `cascade` is set — two extra stages referencing them. The overlap
+    /// forces multi-definition sharing components onto the pool.
+    fn build(cascade: bool) -> PlanDetector<CentralTime> {
+        let mut d = PlanDetector::new();
+        for n in ["A", "B", "C", "D"] {
+            d.register(n).unwrap();
+        }
+        let prims = ["A", "B", "C", "D"];
+        for i in 0..8usize {
+            let (p, q) = (prims[i % 4], prims[(i + 1) % 4]);
+            let name = format!("S{i}");
+            let seq = E::seq(E::prim(p), E::prim(q));
+            // Even defs are the bare seq; odd defs wrap the same seq, so
+            // S0/S1 share one node, S2/S3 another, and so on.
+            let expr = if i % 2 == 0 {
+                seq
+            } else {
+                let (p0, q0) = (prims[(i - 1) % 4], prims[i % 4]);
+                E::and(
+                    E::seq(E::prim(p0), E::prim(q0)),
+                    E::prim(prims[(i + 2) % 4]),
+                )
+            };
+            d.define(&name, &expr, Context::Chronicle).unwrap();
+        }
+        if cascade {
+            d.define(
+                "M",
+                &E::and(E::prim("S0"), E::prim("S1")),
+                Context::Unrestricted,
+            )
+            .unwrap();
+            d.define("T", &E::seq(E::prim("M"), E::prim("C")), Context::Chronicle)
+                .unwrap();
+        }
+        d
+    }
+
+    fn trace(d: &PlanDetector<CentralTime>) -> Vec<Occurrence<CentralTime>> {
+        let prims = ["A", "B", "C", "D"];
+        (0..64u64)
+            .map(|t| {
+                let ty = d.catalog().lookup(prims[(t % 4) as usize]).unwrap();
+                Occurrence::bare(ty, CentralTime(t))
+            })
+            .collect()
+    }
+
+    fn serial_reference(cascade: bool) -> ShardFeedResult<CentralTime> {
+        let mut d = build(cascade);
+        let occs = trace(&d);
+        let mut out = ShardFeedResult::default();
+        for occ in occs {
+            let r = d.feed(occ);
+            out.detected.extend(r.detected);
+            out.timers.extend(r.timers);
+        }
+        out
+    }
+
+    #[test]
+    fn overlap_creates_multi_def_components() {
+        let d = build(false);
+        assert!(d.shared_node_count() >= 4);
+        let components = d.component_count();
+        assert!(components < 8, "sharing must merge components");
+        assert!(components > 1, "disjoint prefixes stay separate");
+    }
+
+    #[test]
+    fn pooled_fanout_is_bit_identical_to_serial() {
+        let expect = serial_reference(false);
+        assert!(!expect.detected.is_empty());
+        for workers in [1, 2, 4, 8] {
+            let mut d = build(false);
+            assert!(!d.has_cross_shard_routes());
+            d.enable_pool(workers);
+            let occs = trace(&d);
+            let got = d.feed_batch(occs);
+            assert_eq!(got.detected, expect.detected, "{workers} workers");
+            assert_eq!(got.timers, expect.timers, "{workers} workers");
+            assert!(d.parallel_rounds() > 0);
+            for node in &d.nodes {
+                assert!(node.log.is_empty(), "{workers} workers: log drained");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_staged_cascade_is_bit_identical_to_serial() {
+        let expect = serial_reference(true);
+        assert!(
+            expect.detected.iter().any(|o| o.ty.0 >= 12),
+            "cascade must detect"
+        );
+        for workers in [1, 2, 4] {
+            let mut d = build(true);
+            assert!(d.has_cross_shard_routes());
+            assert_eq!(d.stage_count(), 3);
+            d.enable_pool(workers);
+            let occs = trace(&d);
+            let got = d.feed_batch(occs);
+            assert_eq!(got.detected, expect.detected, "{workers} workers");
+            assert_eq!(got.timers, expect.timers, "{workers} workers");
+            assert!(d.parallel_rounds() > 0, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn pooled_plan_matches_pooled_sharded_detector() {
+        // Cross-backend: the pooled plan equals the pooled *sharded*
+        // detector on the same workload (both equal their serial paths).
+        let mut sharded = ShardedDetector::<CentralTime>::new();
+        for n in ["A", "B", "C", "D"] {
+            sharded.register(n).unwrap();
+        }
+        let prims = ["A", "B", "C", "D"];
+        for i in 0..8usize {
+            let (p, q) = (prims[i % 4], prims[(i + 1) % 4]);
+            let name = format!("S{i}");
+            let seq = E::seq(E::prim(p), E::prim(q));
+            let expr = if i % 2 == 0 {
+                seq
+            } else {
+                let (p0, q0) = (prims[(i - 1) % 4], prims[i % 4]);
+                E::and(
+                    E::seq(E::prim(p0), E::prim(q0)),
+                    E::prim(prims[(i + 2) % 4]),
+                )
+            };
+            sharded.define(&name, &expr, Context::Chronicle).unwrap();
+        }
+        sharded.enable_pool(4);
+        let mut plan = build(false);
+        plan.enable_pool(4);
+        let occs = trace(&plan);
+        let rs = sharded.feed_batch(occs.clone());
+        let rp = plan.feed_batch(occs);
+        assert_eq!(rs.detected, rp.detected);
+        assert_eq!(rs.timers, rp.timers);
+    }
+
+    #[test]
+    fn pool_stats_accumulate() {
+        let mut d = build(false);
+        d.enable_pool(4);
+        assert_eq!(d.worker_count(), 4);
+        assert_eq!(d.parallel_rounds(), 0);
+        let occs = trace(&d);
+        d.feed_batch(occs);
+        assert_eq!(d.parallel_rounds(), 1); // independent defs: one round
+        assert!(d.pool_busy_ns() > 0);
+    }
+
+    #[test]
+    fn enable_pool_clamps_to_def_count() {
+        let mut d = build(false); // 8 defs
+        d.enable_pool(64);
+        assert_eq!(d.worker_count(), 8);
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::event::Occurrence;
 use crate::graph::FeedResult;
+use crate::plan::PlanCell;
 use crate::shard::{Shard, ShardId};
 use crate::time::EventTime;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -29,6 +30,9 @@ pub(crate) type KeyedResults<T> = Vec<(ShardId, Vec<(usize, FeedResult<T>)>)>;
 /// trigger sequence.
 pub(crate) struct Job<T: EventTime> {
     pub(crate) shards: Vec<(ShardId, Shard<T>)>,
+    /// Plan sharing components moved to this worker ([`PlanCell`]); empty
+    /// for sharded-detector rounds.
+    pub(crate) cells: Vec<PlanCell<T>>,
     pub(crate) triggers: Arc<[Occurrence<T>]>,
 }
 
@@ -36,7 +40,10 @@ pub(crate) struct Job<T: EventTime> {
 pub(crate) struct RoundResult<T: EventTime> {
     /// The shards moved back, in job order.
     pub(crate) shards: Vec<(ShardId, Shard<T>)>,
-    /// The feed results for those shards.
+    /// The plan cells moved back, in job order.
+    pub(crate) cells: Vec<PlanCell<T>>,
+    /// The feed results for those shards and cells (a cell contributes one
+    /// entry per definition it carries).
     pub(crate) results: KeyedResults<T>,
     /// Wall time this worker spent on the round, in nanoseconds.
     pub(crate) busy_ns: u64,
@@ -89,10 +96,16 @@ impl<T: EventTime> WorkerPool<T> {
                         results.push((sid, keyed));
                         shards.push((sid, shard));
                     }
+                    let mut cells = Vec::with_capacity(job.cells.len());
+                    for mut cell in job.cells {
+                        results.extend(cell.run(&job.triggers));
+                        cells.push(cell);
+                    }
                     let busy_ns = started.elapsed().as_nanos() as u64;
                     if result_tx
                         .send(RoundResult {
                             shards,
+                            cells,
                             results,
                             busy_ns,
                         })

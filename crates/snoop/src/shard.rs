@@ -150,6 +150,13 @@ impl<T: EventTime> ShardedDetector<T> {
         self.shards.len()
     }
 
+    /// Total operator nodes across all shards (every definition compiles
+    /// its full expression tree — nothing is shared; cf.
+    /// [`crate::PlanDetector::plan_node_count`]).
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.graph.node_count()).sum()
+    }
+
     /// Topological level of `shard` in the definition dependency DAG:
     /// 0 for definitions over primitives only, `1 + max(level of referenced
     /// definitions)` otherwise.
@@ -383,6 +390,7 @@ impl<T: EventTime> ShardedDetector<T> {
                     w,
                     crate::pool::Job {
                         shards,
+                        cells: Vec::new(),
                         triggers: std::sync::Arc::clone(triggers),
                     },
                 )
@@ -478,7 +486,7 @@ impl<T: EventTime> ShardedDetector<T> {
 
 /// Canonical `(composite-timestamp, definition-id)` order for merging one
 /// round of detections. Stable, so equal keys keep shard order.
-fn sort_canonical<T: EventTime>(round: &mut [Occurrence<T>]) {
+pub(crate) fn sort_canonical<T: EventTime>(round: &mut [Occurrence<T>]) {
     round.sort_by(|a, b| a.time.canonical_cmp(&b.time).then(a.ty.0.cmp(&b.ty.0)));
 }
 
