@@ -35,4 +35,10 @@ cargo run --release -p decs-bench --bin chaos -- --smoke
 # (fails on malformed JSON or a 50%-overlap speedup below 1.5x).
 cargo run --release -p decs-bench --bin sharing -- --smoke
 
+# Recovery smoke: kills the coordinator mid-run at every snapshot
+# interval (hard-asserting post-recovery detections match an
+# uninterrupted, durability-off run) and validates the committed
+# BENCH_recovery.json baseline.
+cargo run --release -p decs-bench --bin recovery -- --smoke
+
 echo "ci.sh: all tier-1 checks passed"

@@ -19,7 +19,7 @@ pub enum ReleasePolicy {
 }
 
 /// Tunables of the distributed detection engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// How often each site heartbeats its watermark.
     pub heartbeat_interval: Nanos,
@@ -78,6 +78,21 @@ pub struct EngineConfig {
     /// oracle (the `sharing` bench and equivalence suites compare the
     /// two). Detections are bit-for-bit identical either way.
     pub plan_sharing: bool,
+    /// Persist a write-ahead log of delivered notifications plus periodic
+    /// operator-state snapshots, so a crashed coordinator can be rebuilt
+    /// and resumed (`Engine::crash_and_recover_coordinator`). Requires
+    /// [`EngineConfig::wal_dir`]. Off by default — durability costs a
+    /// serialization + fsync-batched write per in-order message.
+    pub durability: bool,
+    /// Take an operator-state snapshot whenever the minimum watermark has
+    /// advanced by at least this many global ticks since the last snapshot.
+    /// `0` means snapshot at every watermark advance; recovery still works
+    /// with any interval (larger intervals just replay a longer WAL
+    /// suffix).
+    pub snapshot_interval: u64,
+    /// Directory for the WAL and snapshot files. `None` (the default)
+    /// disables durability even if [`EngineConfig::durability`] is set.
+    pub wal_dir: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +118,9 @@ impl Default for EngineConfig {
             auto_evict: false,
             parked_cap: 4096,
             plan_sharing: true,
+            durability: false,
+            snapshot_interval: 8,
+            wal_dir: None,
         }
     }
 }

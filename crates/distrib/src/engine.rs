@@ -58,12 +58,30 @@ pub struct Detection {
     pub detected_at: Nanos,
 }
 
+/// A freshly compiled coordinator detector plus the name→id table and
+/// the full coordinator-visible event-name list it was compiled with.
+type CompiledDetector = (
+    AnyDetector<CompositeTimestamp>,
+    std::collections::HashMap<String, decs_snoop::EventId>,
+    Vec<String>,
+);
+
 /// The distributed detection engine.
 pub struct Engine {
     sim: Simulation<Node>,
     coordinator: NodeIdx,
     names: Vec<String>,
     name_ids: std::collections::HashMap<String, decs_snoop::EventId>,
+    /// Everything needed to rebuild the coordinator after a crash: the
+    /// detector is *not* serialized into snapshots (its compiled plan is
+    /// derivable from the definitions), so recovery recompiles it exactly
+    /// as construction did and restores only the buffered state into it.
+    config: EngineConfig,
+    gg_nanos: u64,
+    release_policy: crate::config::ReleasePolicy,
+    primitives: Vec<String>,
+    local_defs: Vec<(String, EventExpr, Context)>,
+    global_defs: Vec<(String, EventExpr, Context)>,
 }
 
 impl Engine {
@@ -79,21 +97,15 @@ impl Engine {
         Self::with_local(scenario, config, primitives, &[], definitions)
     }
 
-    /// Build an engine with **site-local composite events**: every site
-    /// compiles `local_definitions` into its own detection graph; local
-    /// detections are forwarded to the coordinator as first-class events
-    /// (carrying their set-valued `Max` timestamps), where
-    /// `global_definitions` may reference them by name. This is the
-    /// paper's architecture — composite timestamps are *produced at the
-    /// sites* and propagate through the network.
-    pub fn with_local(
-        scenario: &Scenario,
-        config: EngineConfig,
-        primitives: &[&str],
-        local_definitions: &[(&str, EventExpr, Context)],
-        global_definitions: &[(&str, EventExpr, Context)],
-    ) -> Result<Self> {
-        let definitions = global_definitions;
+    /// Compile the coordinator's detector from the (owned) definition
+    /// lists. Shared by construction and crash recovery, so a recovered
+    /// coordinator runs a bit-identical plan.
+    fn build_detector(
+        config: &EngineConfig,
+        primitives: &[String],
+        local_definitions: &[(String, EventExpr, Context)],
+        global_definitions: &[(String, EventExpr, Context)],
+    ) -> Result<CompiledDetector> {
         // The shared-plan backend is the default; `plan_sharing: false`
         // keeps the independent-compilation path as a differential oracle.
         let mut detector: AnyDetector<CompositeTimestamp> = if config.plan_sharing {
@@ -104,17 +116,17 @@ impl Engine {
         let mut name_ids = std::collections::HashMap::new();
         for p in primitives {
             let id = detector.register(p)?;
-            name_ids.insert((*p).to_string(), id);
+            name_ids.insert(p.clone(), id);
         }
         // Local composite events are plain event types at the coordinator
         // (detected at the sites, not re-detected here).
         for (name, _, _) in local_definitions {
             let id = detector.register(name)?;
-            name_ids.insert((*name).to_string(), id);
+            name_ids.insert(name.clone(), id);
         }
-        for (name, expr, ctx) in definitions {
+        for (name, expr, ctx) in global_definitions {
             let id = detector.define(name, expr, *ctx)?;
-            name_ids.insert((*name).to_string(), id);
+            name_ids.insert(name.clone(), id);
         }
         // `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit),
         // 1 = forced serial (the determinism-suite baseline), n ≥ 2 = pool
@@ -140,6 +152,34 @@ impl Engine {
                 names.push(cat.name(decs_snoop::EventId(i as u32)).to_string());
             }
         }
+        Ok((detector, name_ids, names))
+    }
+
+    /// Build an engine with **site-local composite events**: every site
+    /// compiles `local_definitions` into its own detection graph; local
+    /// detections are forwarded to the coordinator as first-class events
+    /// (carrying their set-valued `Max` timestamps), where
+    /// `global_definitions` may reference them by name. This is the
+    /// paper's architecture — composite timestamps are *produced at the
+    /// sites* and propagate through the network.
+    pub fn with_local(
+        scenario: &Scenario,
+        config: EngineConfig,
+        primitives: &[&str],
+        local_definitions: &[(&str, EventExpr, Context)],
+        global_definitions: &[(&str, EventExpr, Context)],
+    ) -> Result<Self> {
+        let primitives_owned: Vec<String> = primitives.iter().map(|p| (*p).to_string()).collect();
+        let local_defs: Vec<(String, EventExpr, Context)> = local_definitions
+            .iter()
+            .map(|(n, e, c)| ((*n).to_string(), e.clone(), *c))
+            .collect();
+        let global_defs: Vec<(String, EventExpr, Context)> = global_definitions
+            .iter()
+            .map(|(n, e, c)| ((*n).to_string(), e.clone(), *c))
+            .collect();
+        let (detector, name_ids, names) =
+            Self::build_detector(&config, &primitives_owned, &local_defs, &global_defs)?;
 
         let n = scenario.sites();
         let coordinator = NodeIdx(n);
@@ -198,6 +238,15 @@ impl Engine {
             config.auto_evict,
             config.parked_cap,
         );
+        if config.durability {
+            if let Some(dir) = &config.wal_dir {
+                coordinator_node
+                    .set_durability(std::path::Path::new(dir), config.snapshot_interval)
+                    .map_err(|e| {
+                        SnoopError::SnapshotMismatch(format!("durability init failed: {e}"))
+                    })?;
+            }
+        }
         nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));
 
         let mut sim = Simulation::new(nodes, scenario.link, scenario.seed ^ 0x5EED);
@@ -214,7 +263,80 @@ impl Engine {
             coordinator,
             names,
             name_ids,
+            release_policy: config.release_policy,
+            config,
+            gg_nanos,
+            primitives: primitives_owned,
+            local_defs,
+            global_defs,
         })
+    }
+
+    /// Crash the coordinator and bring up a replacement recovered from the
+    /// durability directory, in place, at the current simulation time.
+    ///
+    /// The crash model: the coordinator process dies losing **all**
+    /// in-memory state (the old actor is dropped wholesale); its durable
+    /// state (WAL + snapshots) survives; the network and the sites keep
+    /// running — in-flight messages still arrive (at the replacement) and
+    /// unacked messages are retransmitted by their sites. The replacement
+    /// recompiles the detector from the definitions, restores the newest
+    /// usable snapshot, replays the WAL suffix through the normal feed
+    /// path, and re-arms the detector timers that were outstanding.
+    ///
+    /// No `Msg::Start` is re-injected: the crashed node's periodic
+    /// ack/stall timer chain survives in the simulation queue (timers are
+    /// addressed by node index, and each round re-arms the next), so the
+    /// replacement inherits the heartbeat of its predecessor — re-arming
+    /// it here would double the chain.
+    ///
+    /// Errors if durability was not configured
+    /// ([`EngineConfig::durability`] + [`EngineConfig::wal_dir`]) or the
+    /// durable state is unusable.
+    pub fn crash_and_recover_coordinator(&mut self) -> Result<()> {
+        let dir = match (self.config.durability, &self.config.wal_dir) {
+            (true, Some(dir)) => dir.clone(),
+            _ => {
+                return Err(SnoopError::SnapshotMismatch(
+                    "durability is not enabled on this engine".to_string(),
+                ))
+            }
+        };
+        let (detector, _, _) = Self::build_detector(
+            &self.config,
+            &self.primitives,
+            &self.local_defs,
+            &self.global_defs,
+        )?;
+        let sites = self.coordinator.0 as usize;
+        let mut coord =
+            CoordinatorNode::with_policy(sites, detector, self.gg_nanos, self.release_policy);
+        coord.set_buffer_gc(self.config.buffer_gc);
+        coord.set_reportable(self.local_defs.iter().map(|(name, _, _)| {
+            *self
+                .name_ids
+                .get(name)
+                .expect("local definition registered at construction")
+        }));
+        coord.set_fault_tolerance(
+            self.config.ack_interval,
+            self.config.stall_intervals,
+            self.config.auto_evict,
+            self.config.parked_cap,
+        );
+        let timers = coord
+            .recover(std::path::Path::new(&dir), self.config.snapshot_interval)
+            .map_err(|e| SnoopError::SnapshotMismatch(format!("recovery failed: {e}")))?;
+        *self.sim.node_mut(self.coordinator) = Node::Coordinator(Box::new(coord));
+        // Re-arm the timers the crashed node had outstanding. A stale fire
+        // from the old node's arming may still sit in the queue; the
+        // coordinator's timer map makes the duplicate fire a no-op.
+        let now = self.sim.now().get();
+        for (tag, due_ns) in timers {
+            self.sim
+                .schedule_timer(Nanos(due_ns.max(now)), self.coordinator, tag);
+        }
+        Ok(())
     }
 
     /// Override a site→coordinator link.
@@ -300,6 +422,9 @@ impl Engine {
             unreachable!("coordinator index")
         };
         let raw: Vec<RawDetection> = c.detections.drain(..).collect();
+        // Durability: log the drain so a recovered coordinator does not
+        // re-report detections this engine already returned.
+        c.note_drained(raw.len() as u64);
         raw.into_iter()
             .map(|d| Detection {
                 name: names

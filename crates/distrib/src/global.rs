@@ -12,14 +12,66 @@
 //! with either backend.
 
 use crate::config::ReleasePolicy;
+use crate::durability::{
+    read_wal, ArmedTimer, BufferedNotification, CoordinatorSnapshot, PendingDetection,
+    SnapshotStore, WalRecord, WalWriter,
+};
 use crate::metrics::Metrics;
 use crate::protocol::Msg;
 use crate::watermark::WatermarkTracker;
-use decs_chronos::Nanos;
+use decs_chronos::{GlobalTicks, LocalTicks, Nanos, SiteId};
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx};
-use decs_snoop::{AnyDetector, EventId, Occurrence, ShardFeedResult, ShardId, TimerId};
+use decs_snoop::{AnyDetector, EventId, Occurrence, ShardFeedResult, ShardId, Snapshot, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::path::Path;
+
+/// The slice of [`Ctx`] the coordinator's state transitions actually use.
+///
+/// Every state-mutating internal method is generic over this trait so the
+/// *same code* runs in two worlds: live (a real [`Ctx`] — sends go on the
+/// wire, timers get armed) and WAL replay (a [`ReplayCtx`] — `true_now`
+/// reads the logged time, sends and timer arms are swallowed, because the
+/// recovery harness re-arms surviving timers itself and the peers already
+/// received the originals). Recovery being "the normal feed path with a
+/// different context" is what makes replay equivalence an identity rather
+/// than a parallel reimplementation to keep in sync.
+pub(crate) trait CoordCtx {
+    /// Current true time (live: simulation clock; replay: logged time).
+    fn true_now(&self) -> Nanos;
+    /// Arm a timer (no-op during replay).
+    fn set_timer(&mut self, delay: Nanos, tag: u64);
+    /// Send a message (no-op during replay).
+    fn send(&mut self, to: NodeIdx, msg: Msg);
+}
+
+impl CoordCtx for Ctx<'_, Msg> {
+    fn true_now(&self) -> Nanos {
+        Ctx::true_now(self)
+    }
+    fn set_timer(&mut self, delay: Nanos, tag: u64) {
+        Ctx::set_timer(self, delay, tag);
+    }
+    fn send(&mut self, to: NodeIdx, msg: Msg) {
+        Ctx::send(self, to, msg);
+    }
+}
+
+/// The replay world: time is read from the log, effects on the outside
+/// world are suppressed.
+pub(crate) struct ReplayCtx {
+    /// The true time recorded with the record being replayed.
+    pub now: Nanos,
+}
+
+impl CoordCtx for ReplayCtx {
+    fn true_now(&self) -> Nanos {
+        self.now
+    }
+    fn set_timer(&mut self, _delay: Nanos, _tag: u64) {}
+    fn send(&mut self, _to: NodeIdx, _msg: Msg) {}
+}
 
 /// Canonical release key: (max global tick, origin site, per-site arrival
 /// counter). The counter is assigned when the notification enters the
@@ -100,6 +152,23 @@ pub struct CoordinatorNode {
     stall: Vec<StallState>,
     /// Parked messages across all site streams (for `parked_peak`).
     parked_total: usize,
+    /// Write-ahead log of consumed inputs (`None` = durability off).
+    wal: Option<WalWriter>,
+    /// Snapshot store paired with the WAL.
+    snapshots: Option<SnapshotStore>,
+    /// Minimum watermark advance (global ticks) between snapshots.
+    snapshot_interval: u64,
+    /// Watermark at which the last snapshot was taken.
+    last_snapshot_wm: u64,
+    /// Absolute due time (true-time ns) of every armed detector timer, so
+    /// a snapshot can record what to re-arm after recovery.
+    timer_due: HashMap<u64, u64>,
+    /// True while `recover` is replaying the WAL: appends, snapshots, sends
+    /// and timer arms are all suppressed.
+    replaying: bool,
+    /// Detections ever drained by the engine (kept aligned across
+    /// crash/recovery by `WalRecord::Drained`).
+    drained: u64,
 }
 
 impl std::fmt::Debug for CoordinatorNode {
@@ -164,6 +233,13 @@ impl CoordinatorNode {
             parked_cap: 0,
             stall: vec![StallState::default(); sites],
             parked_total: 0,
+            wal: None,
+            snapshots: None,
+            snapshot_interval: 0,
+            last_snapshot_wm: 0,
+            timer_due: HashMap::new(),
+            replaying: false,
+            drained: 0,
         }
     }
 
@@ -207,12 +283,18 @@ impl CoordinatorNode {
         self.buffer.len()
     }
 
-    fn absorb(&mut self, r: ShardFeedResult<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+    fn absorb(&mut self, r: ShardFeedResult<CompositeTimestamp>, ctx: &mut impl CoordCtx) {
         for (shard, t) in r.timers {
             let tag = self.next_tag;
             self.next_tag += 1;
+            let delay = Nanos(t.delay_ticks * self.gg_nanos);
             self.timer_map.insert(tag, (shard, t.id));
-            ctx.set_timer(Nanos(t.delay_ticks * self.gg_nanos), tag);
+            // Recorded even during replay: the due time is derived from the
+            // logged consumption time, so a recovered coordinator re-arms
+            // timers at exactly the instants the crashed one had pending.
+            self.timer_due
+                .insert(tag, ctx.true_now().get().saturating_add(delay.get()));
+            ctx.set_timer(delay, tag);
         }
         for occ in r.detected {
             self.metrics.detections += 1;
@@ -227,7 +309,7 @@ impl CoordinatorNode {
     /// batch: collect every released notification first (the buffer walk
     /// is cheap and canonical), then feed them as a single batch so the
     /// sharded detector can fan the whole batch out to its shards.
-    fn release_stable(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn release_stable(&mut self, ctx: &mut impl CoordCtx) {
         let mut batch = Vec::new();
         while let Some((&key, _)) = self.buffer.iter().next() {
             if !self.tracker.is_stable(key.0) {
@@ -254,6 +336,9 @@ impl CoordinatorNode {
             }
         }
         self.gc_operator_buffers();
+        // End of a release round is the quiescent point: the detector has
+        // no half-processed batch, and GC has just refreshed occupancy.
+        self.maybe_snapshot();
     }
 
     /// Let the detector's operator nodes reclaim buffered state the
@@ -287,7 +372,7 @@ impl CoordinatorNode {
 
     /// Feed a released notification: report it if it is itself a
     /// site-local composite detection, then run the global graph.
-    fn feed_released(&mut self, occ: Occurrence<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+    fn feed_released(&mut self, occ: Occurrence<CompositeTimestamp>, ctx: &mut impl CoordCtx) {
         if self.reportable.contains(&occ.ty) {
             self.metrics.detections += 1;
             self.detections.push(RawDetection {
@@ -306,7 +391,7 @@ impl CoordinatorNode {
         &mut self,
         site: usize,
         occ: Occurrence<CompositeTimestamp>,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut impl CoordCtx,
     ) {
         self.metrics.events_received += 1;
         match self.policy {
@@ -324,7 +409,18 @@ impl CoordinatorNode {
         }
     }
 
-    fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut impl CoordCtx) {
+        // Log before applying: recovery replays exactly the in-order
+        // consumption stream. Parked messages are logged here — when they
+        // are consumed — not on arrival; until then the ack protocol keeps
+        // them the sender's responsibility.
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::Delivered {
+                site: site as u32,
+                at: ctx.true_now().get(),
+                msg: msg.clone(),
+            });
+        }
         self.metrics.messages_processed += 1;
         // Evicted sites: stream bookkeeping continues (their retransmits
         // must be acked into silence) but new notifications are refused and
@@ -375,23 +471,29 @@ impl CoordinatorNode {
 
     /// Stop waiting for `site`: its watermark promise becomes +∞ and its
     /// future notifications are refused (buffered ones still release).
-    fn evict(&mut self, site: usize, ctx: &mut Ctx<'_, Msg>) {
+    fn evict(&mut self, site: usize, ctx: &mut impl CoordCtx) {
         if site >= self.streams.len() || self.streams[site].evicted {
             return;
+        }
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::Evicted {
+                site: site as u32,
+                at: ctx.true_now().get(),
+            });
         }
         self.streams[site].evicted = true;
         self.tracker.update(site, u64::MAX);
         self.release_stable(ctx);
     }
 
-    fn send_ack(&mut self, to: NodeIdx, cum_seq: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn send_ack(&mut self, to: NodeIdx, cum_seq: u64, ctx: &mut impl CoordCtx) {
         self.metrics.acks_sent += 1;
         ctx.send(to, Msg::Ack { cum_seq });
     }
 
     /// Periodic round: re-send every site's cumulative ack (repairing acks
     /// lost on the return path), run the stall detector, re-arm.
-    fn ack_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn ack_round(&mut self, ctx: &mut impl CoordCtx) {
         for site in 0..self.streams.len() {
             let next = self.streams[site].next;
             self.send_ack(NodeIdx(site as u32), next, ctx);
@@ -405,7 +507,7 @@ impl CoordinatorNode {
     /// did (a globally idle system suspects nobody). Suspicion clears as
     /// soon as the watermark moves again; with `auto_evict` it escalates
     /// to eviction instead.
-    fn stall_check(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn stall_check(&mut self, ctx: &mut impl CoordCtx) {
         if self.stall_intervals == 0 {
             return;
         }
@@ -452,6 +554,307 @@ impl CoordinatorNode {
         for site in to_evict {
             self.evict(site, ctx);
         }
+    }
+}
+
+/// Durability: WAL appends, snapshotting, and crash recovery. See
+/// [`crate::durability`] for the formats and the recovery invariants.
+impl CoordinatorNode {
+    /// Append one record to the WAL (no-op during replay or with
+    /// durability off) and refresh the WAL metrics. Durability I/O errors
+    /// are fatal: a coordinator that silently stops logging would recover
+    /// into a state that *looks* valid and detects wrongly.
+    fn wal_append(&mut self, rec: WalRecord) {
+        if self.replaying {
+            return;
+        }
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&rec).expect("WAL append failed");
+            self.metrics.wal_appends = w.appends();
+            self.metrics.wal_bytes = w.bytes();
+        }
+    }
+
+    /// Record that the engine drained `count` finished detections, so a
+    /// recovered coordinator does not re-report them.
+    pub(crate) fn note_drained(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.drained += count;
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::Drained { count });
+        }
+    }
+
+    /// Enable durability with a **fresh** log: any previous WAL and
+    /// snapshots in `dir` are discarded. `snapshot_interval` is in global
+    /// ticks of minimum-watermark advance between snapshots.
+    pub fn set_durability(&mut self, dir: &Path, snapshot_interval: u64) -> io::Result<()> {
+        let store = SnapshotStore::open(dir)?;
+        store.reset()?;
+        let wal = WalWriter::create(dir)?;
+        self.metrics.wal_appends = 0;
+        self.metrics.wal_bytes = 0;
+        self.wal = Some(wal);
+        self.snapshots = Some(store);
+        self.snapshot_interval = snapshot_interval;
+        self.last_snapshot_wm = 0;
+        Ok(())
+    }
+
+    /// Take a snapshot if the minimum watermark advanced enough since the
+    /// last one. Called at the end of every release round (a quiescent
+    /// point for both detector backends).
+    fn maybe_snapshot(&mut self) {
+        if self.replaying || self.snapshots.is_none() || self.wal.is_none() {
+            return;
+        }
+        let wm = self.tracker.min_watermark();
+        // `u64::MAX` means every site is evicted — the watermark is the
+        // empty-min sentinel, not progress.
+        if wm == u64::MAX || wm <= self.last_snapshot_wm {
+            return;
+        }
+        if wm - self.last_snapshot_wm < self.snapshot_interval {
+            return;
+        }
+        self.last_snapshot_wm = wm;
+        self.take_snapshot();
+    }
+
+    fn take_snapshot(&mut self) {
+        let wal = self.wal.as_mut().expect("durability on");
+        // The snapshot claims "wal_records inputs are already applied
+        // here", so those records must be on disk before the claim is.
+        wal.sync().expect("WAL sync failed");
+        let wal_records = wal.appends();
+        let mut timers: Vec<ArmedTimer> = self
+            .timer_map
+            .iter()
+            .map(|(&tag, &(shard, timer_id))| ArmedTimer {
+                tag,
+                shard: shard as u64,
+                timer: timer_id.0,
+                due_ns: self.timer_due.get(&tag).copied().unwrap_or(0),
+            })
+            .collect();
+        timers.sort_by_key(|t| t.tag);
+        let snap = CoordinatorSnapshot {
+            wal_records,
+            detector: self.detector.save_state(),
+            streams: self
+                .streams
+                .iter()
+                .map(|s| (s.next, s.arrivals, s.evicted))
+                .collect(),
+            watermarks: (0..self.streams.len())
+                .map(|i| self.tracker.site_watermark(i))
+                .collect(),
+            buffer: self
+                .buffer
+                .iter()
+                .map(
+                    |(&(max_global, site, arrival), (occ, arrived))| BufferedNotification {
+                        max_global,
+                        site,
+                        arrival,
+                        occ: occ.clone(),
+                        arrived_ns: arrived.get(),
+                    },
+                )
+                .collect(),
+            timers,
+            next_tag: self.next_tag,
+            detections: self
+                .detections
+                .iter()
+                .map(|d| PendingDetection {
+                    occ: d.occ.clone(),
+                    detected_at_ns: d.detected_at.get(),
+                })
+                .collect(),
+            drained: self.drained,
+            metrics: self.metrics.clone(),
+            last_gc_low: self.last_gc_low,
+            stall: self
+                .stall
+                .iter()
+                .map(|s| (s.last_wm, s.stalled_checks, s.suspect))
+                .collect(),
+        };
+        self.snapshots
+            .as_ref()
+            .expect("durability on")
+            .save(&snap)
+            .expect("snapshot save failed");
+        self.metrics.snapshots_taken += 1;
+    }
+
+    fn restore_snapshot(&mut self, snap: CoordinatorSnapshot) -> io::Result<()> {
+        let sites = self.streams.len();
+        if snap.streams.len() != sites
+            || snap.watermarks.len() != sites
+            || snap.stall.len() != sites
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot site count mismatch",
+            ));
+        }
+        self.detector.restore_state(snap.detector).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("detector restore: {e}"))
+        })?;
+        for (stream, &(next, arrivals, evicted)) in self.streams.iter_mut().zip(&snap.streams) {
+            stream.next = next;
+            stream.arrivals = arrivals;
+            stream.evicted = evicted;
+            // Parked messages are outside the durability boundary: they
+            // were never acked, so their sites retransmit them.
+            stream.parked.clear();
+        }
+        self.parked_total = 0;
+        for (i, &wm) in snap.watermarks.iter().enumerate() {
+            self.tracker.update(i, wm);
+        }
+        self.buffer = snap
+            .buffer
+            .into_iter()
+            .map(|b| {
+                (
+                    (b.max_global, b.site, b.arrival),
+                    (b.occ, Nanos(b.arrived_ns)),
+                )
+            })
+            .collect();
+        self.timer_map.clear();
+        self.timer_due.clear();
+        for t in &snap.timers {
+            self.timer_map
+                .insert(t.tag, (t.shard as ShardId, TimerId(t.timer)));
+            self.timer_due.insert(t.tag, t.due_ns);
+        }
+        self.next_tag = snap.next_tag;
+        self.detections = snap
+            .detections
+            .into_iter()
+            .map(|d| RawDetection {
+                occ: d.occ,
+                detected_at: Nanos(d.detected_at_ns),
+            })
+            .collect();
+        self.drained = snap.drained;
+        self.metrics = snap.metrics;
+        self.last_gc_low = snap.last_gc_low;
+        for (st, &(last_wm, stalled_checks, suspect)) in self.stall.iter_mut().zip(&snap.stall) {
+            st.last_wm = last_wm;
+            st.stalled_checks = stalled_checks;
+            st.suspect = suspect;
+        }
+        Ok(())
+    }
+
+    /// Replay one WAL record through the normal consumption path.
+    fn replay_record(&mut self, rec: WalRecord) -> io::Result<()> {
+        match rec {
+            WalRecord::Delivered { site, at, msg } => {
+                let site = site as usize;
+                if site >= self.streams.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "WAL names an unknown site",
+                    ));
+                }
+                let Some(seq) = Self::seq_of(&msg) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "WAL Delivered carries an unsequenced message",
+                    ));
+                };
+                // The WAL is the in-order consumption stream, so the
+                // reassembly frontier follows it directly.
+                self.streams[site].next = seq + 1;
+                let mut ctx = ReplayCtx { now: Nanos(at) };
+                self.handle_in_order(site, msg, &mut ctx);
+            }
+            WalRecord::TimerFired {
+                tag,
+                at,
+                site,
+                global,
+                local,
+            } => {
+                self.timer_due.remove(&tag);
+                let Some((shard, timer_id)) = self.timer_map.remove(&tag) else {
+                    // A fire for a timer the snapshot no longer tracked —
+                    // tolerated, same as the live idempotence rule.
+                    return Ok(());
+                };
+                let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
+                    SiteId(site),
+                    GlobalTicks(global),
+                    LocalTicks(local),
+                ));
+                self.metrics.timer_fires += 1;
+                let mut ctx = ReplayCtx { now: Nanos(at) };
+                if let Ok(r) = self.detector.fire_timer(shard, timer_id, ts) {
+                    self.absorb(r, &mut ctx);
+                }
+            }
+            WalRecord::Evicted { site, at } => {
+                let mut ctx = ReplayCtx { now: Nanos(at) };
+                self.evict(site as usize, &mut ctx);
+            }
+            WalRecord::Drained { count } => {
+                let n = (count as usize).min(self.detections.len());
+                self.detections.drain(..n);
+                self.drained += count;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild this (freshly constructed) coordinator from the durability
+    /// directory: load the newest usable snapshot, replay the WAL suffix
+    /// through the normal feed path, truncate any torn tail, and resume
+    /// logging. Returns the detector timers that were armed at crash time
+    /// as `(tag, due_true_time_ns)` pairs, sorted by due time — the
+    /// harness must re-schedule them for the replacement node.
+    pub fn recover(&mut self, dir: &Path, snapshot_interval: u64) -> io::Result<Vec<(u64, u64)>> {
+        let t0 = std::time::Instant::now();
+        let store = SnapshotStore::open(dir)?;
+        let scan = read_wal(dir)?;
+        let total = scan.records.len() as u64;
+        let mut skip = 0u64;
+        if let Some(snap) = store.load_best(total)? {
+            skip = snap.wal_records;
+            self.restore_snapshot(snap)?;
+        }
+        self.replaying = true;
+        for rec in scan.records.into_iter().skip(skip as usize) {
+            if let Err(e) = self.replay_record(rec) {
+                self.replaying = false;
+                return Err(e);
+            }
+        }
+        self.replaying = false;
+        // Resume the log where validity ended — a torn or corrupt tail is
+        // truncated away so it can never shadow future appends.
+        let wal = WalWriter::resume(dir, scan.valid_len, total)?;
+        self.metrics.wal_appends = wal.appends();
+        self.metrics.wal_bytes = wal.bytes();
+        self.metrics.recovery_replayed = total - skip;
+        self.metrics.recovery_ns = t0.elapsed().as_nanos() as u64;
+        self.wal = Some(wal);
+        self.snapshots = Some(store);
+        self.snapshot_interval = snapshot_interval;
+        let wm = self.tracker.min_watermark();
+        if wm != u64::MAX {
+            self.last_snapshot_wm = wm;
+        }
+        let mut due: Vec<(u64, u64)> = self.timer_due.iter().map(|(&tag, &at)| (tag, at)).collect();
+        due.sort_by_key(|&(tag, at)| (at, tag));
+        Ok(due)
     }
 }
 
@@ -535,14 +938,30 @@ impl Actor for CoordinatorNode {
             return;
         }
         let Some((shard, timer_id)) = self.timer_map.remove(&tag) else {
-            debug_assert!(false, "unknown coordinator timer tag {tag}");
+            // Not an error: after crash recovery a timer can be queued
+            // twice — the crashed node's arming survives in the simulation
+            // queue *and* the recovery harness re-arms it for the
+            // replacement node. `timer_map.remove` makes the fire
+            // idempotent; the loser lands here and is ignored.
             return;
         };
+        self.timer_due.remove(&tag);
         // Stamp the fire with the coordinator's own clock — periodic
         // occurrences carry genuine (site, global, local) triples.
         let Ok(parts) = ctx.stamp() else {
             return;
         };
+        if self.wal.is_some() && !self.replaying {
+            // The minted stamp is logged part-by-part: replay must rebuild
+            // the identical timestamp without consulting any clock.
+            self.wal_append(WalRecord::TimerFired {
+                tag,
+                at: Ctx::true_now(ctx).get(),
+                site: parts.site.0,
+                global: parts.global.get(),
+                local: parts.local.get(),
+            });
+        }
         let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
             parts.site,
             parts.global,

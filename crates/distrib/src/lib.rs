@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod durability;
 pub mod engine;
 pub mod global;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod site;
 pub mod watermark;
 
 pub use config::{EngineConfig, ReleasePolicy};
+pub use durability::{CoordinatorSnapshot, SnapshotStore, WalRecord, WalTail, WalWriter};
 pub use engine::{Detection, Engine};
 pub use metrics::Metrics;
 pub use protocol::Msg;

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters and simple statistics collected by the coordinator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Event notifications received (after reassembly).
     pub events_received: u64,
@@ -81,6 +81,18 @@ pub struct Metrics {
     pub evict_refused: u64,
     /// Suspect sites escalated to eviction by the stall detector.
     pub auto_evictions: u64,
+    /// Records appended to the write-ahead log (lifetime of the log file,
+    /// surviving recovery).
+    pub wal_appends: u64,
+    /// Bytes written to the write-ahead log, including frame headers.
+    pub wal_bytes: u64,
+    /// Operator-state snapshots persisted.
+    pub snapshots_taken: u64,
+    /// WAL records replayed by the most recent recovery.
+    pub recovery_replayed: u64,
+    /// Wall-clock nanoseconds the most recent recovery took (snapshot load
+    /// plus WAL replay).
+    pub recovery_ns: u64,
 }
 
 impl Metrics {

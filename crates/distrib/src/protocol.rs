@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// The wire protocol. Every site→coordinator message carries a per-site
 /// sequence number so the coordinator can reassemble FIFO order over a
 /// reordering network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     /// Engine control: start heartbeating (delivered at simulation start).
     Start,

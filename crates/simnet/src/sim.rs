@@ -240,6 +240,15 @@ impl<A: Actor> Simulation<A> {
         );
     }
 
+    /// Schedule an [`Actor::on_timer`] fire for `node` at absolute true
+    /// time `at`. Actors arm their own timers through [`Ctx::set_timer`];
+    /// this external entry point exists for recovery harnesses that must
+    /// re-arm the timers a restarted actor had outstanding when it
+    /// crashed (the replacement actor never saw the `set_timer` calls).
+    pub fn schedule_timer(&mut self, at: Nanos, node: NodeIdx, tag: u64) {
+        self.push(at, Pending::Timer { node, tag });
+    }
+
     fn push(&mut self, at: Nanos, pending: Pending<A::Msg>) {
         let seq = self.seq;
         self.seq += 1;

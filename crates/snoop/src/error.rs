@@ -23,6 +23,10 @@ pub enum SnoopError {
     /// The expression references itself (composite event cycles are not
     /// allowed; the detection graph must be a DAG).
     CyclicDefinition(String),
+    /// A saved operator/detector state does not match the shape of the
+    /// detector it is being restored into (different definitions, backend,
+    /// or a corrupted snapshot).
+    SnapshotMismatch(String),
 }
 
 impl fmt::Display for SnoopError {
@@ -37,6 +41,9 @@ impl fmt::Display for SnoopError {
             SnoopError::UnknownTimer(id) => write!(f, "no pending timer with id {id}"),
             SnoopError::CyclicDefinition(n) => {
                 write!(f, "composite event {n} is defined in terms of itself")
+            }
+            SnoopError::SnapshotMismatch(what) => {
+                write!(f, "snapshot does not match this detector: {what}")
             }
         }
     }

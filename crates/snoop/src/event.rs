@@ -22,6 +22,14 @@ fn fresh_uid() -> u64 {
     NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Raise the process-wide occurrence-uid counter to at least `floor`.
+/// Called by snapshot restore so uids minted after recovery cannot collide
+/// with uids buried in restored operator buffers (uid equality backs the
+/// self-pairing guard of `E ∧ E`). Never lowers the counter.
+pub fn ensure_uid_floor(floor: u64) {
+    NEXT_UID.fetch_max(floor, Ordering::Relaxed);
+}
+
 /// Compact identifier of an event type within one catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EventId(pub u32);

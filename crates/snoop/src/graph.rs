@@ -20,6 +20,7 @@ use crate::error::{Result, SnoopError};
 use crate::event::{Catalog, EventId, Occurrence};
 use crate::expr::EventExpr;
 use crate::nodes::{self, OperatorNode, Sink};
+use crate::state::GraphState;
 use crate::time::EventTime;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -455,6 +456,56 @@ impl<T: EventTime> EventGraph<T> {
     /// metric; see [`OperatorNode::buffered_len`]).
     pub fn buffered_occupancy(&self) -> usize {
         self.nodes.iter().map(|entry| entry.op.buffered_len()).sum()
+    }
+
+    /// Serialize the buffered state of every operator node plus the
+    /// pending-timer table (see [`crate::state`]).
+    pub fn save_state(&self) -> GraphState<T> {
+        let mut timers: Vec<(u64, u32, u64)> = self
+            .timers
+            .iter()
+            .map(|(id, &(node, tag))| (id.0, node.0, tag))
+            .collect();
+        timers.sort_unstable();
+        GraphState {
+            nodes: self.nodes.iter().map(|e| e.op.save_state()).collect(),
+            timers,
+            next_timer: self.next_timer,
+        }
+    }
+
+    /// Restore a state produced by [`EventGraph::save_state`] on a graph
+    /// compiled from the same expression. Fails with
+    /// [`SnoopError::SnapshotMismatch`] when the shapes disagree.
+    pub fn restore_state(&mut self, state: GraphState<T>) -> Result<()> {
+        if state.nodes.len() != self.nodes.len() {
+            return Err(SnoopError::SnapshotMismatch(format!(
+                "graph has {} nodes, snapshot has {}",
+                self.nodes.len(),
+                state.nodes.len()
+            )));
+        }
+        for (entry, ns) in self.nodes.iter_mut().zip(state.nodes) {
+            entry.op.restore_state(ns)?;
+        }
+        self.timers.clear();
+        for (id, node, tag) in state.timers {
+            if node as usize >= self.nodes.len() {
+                return Err(SnoopError::SnapshotMismatch(format!(
+                    "timer {id} targets node {node}, graph has {} nodes",
+                    self.nodes.len()
+                )));
+            }
+            if id >= state.next_timer {
+                return Err(SnoopError::SnapshotMismatch(format!(
+                    "timer id {id} not below next_timer {}",
+                    state.next_timer
+                )));
+            }
+            self.timers.insert(TimerId(id), (NodeId(node), tag));
+        }
+        self.next_timer = state.next_timer;
+        Ok(())
     }
 
     fn enqueue_subscribers(

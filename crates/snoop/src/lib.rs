@@ -38,6 +38,7 @@ pub mod plan;
 #[cfg(feature = "parallel")]
 mod pool;
 pub mod shard;
+pub mod state;
 pub mod time;
 
 pub use context::Context;
@@ -49,4 +50,5 @@ pub use graph::{EventGraph, FeedResult, NodeId, TimerId, TimerRequest};
 pub use nodes::mask::Mask;
 pub use plan::{AnyDetector, PlanDetector, PlanStats};
 pub use shard::{ShardFeedResult, ShardId, ShardedDetector};
+pub use state::{DefTimers, DetectorState, GraphState, NodeState, PlanState, Snapshot};
 pub use time::{CentralTime, EventTime};

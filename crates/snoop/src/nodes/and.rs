@@ -71,6 +71,28 @@ impl<T: EventTime> OperatorNode<T> for AndNode<T> {
     fn buffered_len(&self) -> usize {
         self.left.len() + self.right.len()
     }
+
+    /// Encoding: `occs[0]` = left buffer, `occs[1]` = right buffer.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: vec![self.left.clone(), self.right.clone()],
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState {
+            nums,
+            mut occs,
+            times,
+        } = state;
+        if !nums.is_empty() || !times.is_empty() || occs.len() != 2 {
+            return Err(crate::state::shape_err("AND"));
+        }
+        self.right = occs.remove(1);
+        self.left = occs.remove(0);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

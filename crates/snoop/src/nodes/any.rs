@@ -106,6 +106,23 @@ impl<T: EventTime> OperatorNode<T> for AnyNode<T> {
     fn buffered_len(&self) -> usize {
         self.bufs.iter().map(Vec::len).sum()
     }
+
+    /// Encoding: `occs` = one group per alternative slot, in slot order.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: self.bufs.clone(),
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState { nums, occs, times } = state;
+        if !nums.is_empty() || !times.is_empty() || occs.len() != self.bufs.len() {
+            return Err(crate::state::shape_err("ANY"));
+        }
+        self.bufs = occs;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

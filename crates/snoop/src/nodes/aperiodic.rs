@@ -86,6 +86,27 @@ impl<T: EventTime> OperatorNode<T> for ANode<T> {
     fn buffered_len(&self) -> usize {
         self.openers.len()
     }
+
+    /// Encoding: `occs[0]` = open-window openers.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: vec![self.openers.clone()],
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState {
+            nums,
+            mut occs,
+            times,
+        } = state;
+        if !nums.is_empty() || !times.is_empty() || occs.len() != 1 {
+            return Err(crate::state::shape_err("A"));
+        }
+        self.openers = occs.remove(0);
+        Ok(())
+    }
 }
 
 /// One open window of `A*`.
@@ -202,6 +223,41 @@ impl<T: EventTime> OperatorNode<T> for AStarNode<T> {
 
     fn buffered_len(&self) -> usize {
         self.windows.iter().map(|w| 1 + w.mids.len()).sum()
+    }
+
+    /// Encoding: one `occs` group per open window, `[opener, mids...]`
+    /// (every group is non-empty by construction).
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: self
+                .windows
+                .iter()
+                .map(|w| {
+                    std::iter::once(w.opener.clone())
+                        .chain(w.mids.iter().cloned())
+                        .collect()
+                })
+                .collect(),
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState { nums, occs, times } = state;
+        if !nums.is_empty() || !times.is_empty() || occs.iter().any(Vec::is_empty) {
+            return Err(crate::state::shape_err("A*"));
+        }
+        self.windows = occs
+            .into_iter()
+            .map(|mut group| {
+                let mids = group.split_off(1);
+                StarWindow {
+                    opener: group.remove(0),
+                    mids,
+                }
+            })
+            .collect();
+        Ok(())
     }
 }
 

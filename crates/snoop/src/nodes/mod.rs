@@ -19,7 +19,9 @@ pub mod plus;
 pub mod seq;
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::event::{EventId, Occurrence};
+use crate::state::{shape_err, NodeState};
 use crate::time::EventTime;
 use std::fmt::Debug;
 
@@ -64,6 +66,27 @@ pub trait OperatorNode<T: EventTime>: Debug + Send {
     /// enqueue a timer due before `t + min`.
     fn min_timer_delay(&self) -> Option<u64> {
         None
+    }
+
+    /// Serialize this node's buffered state into the shape-agnostic
+    /// [`NodeState`] encoding (see [`crate::state`]). Stateless nodes save
+    /// an empty state; every stateful operator overrides this together
+    /// with [`OperatorNode::restore_state`] and documents its encoding
+    /// there.
+    fn save_state(&self) -> NodeState<T> {
+        NodeState::empty()
+    }
+
+    /// Restore a state produced by [`OperatorNode::save_state`] on a node
+    /// of the same operator compiled from the same expression. Fails with
+    /// [`crate::SnoopError::SnapshotMismatch`] when the shape does not fit
+    /// — restoring must never guess.
+    fn restore_state(&mut self, state: NodeState<T>) -> Result<()> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(shape_err("stateless node"))
+        }
     }
 }
 
@@ -282,6 +305,27 @@ impl<T: EventTime> BandedBuffer<T> {
                 occ: occ.clone(),
             },
         );
+    }
+
+    /// The buffered initiators in arrival order (the snapshot encoding:
+    /// band keys and sequence numbers are derived state, so only the
+    /// occurrences travel).
+    pub(crate) fn save_occs(&self) -> Vec<Occurrence<T>> {
+        let mut entries: Vec<&BandEntry<T>> = self.entries.iter().collect();
+        entries.sort_by_key(|e| e.seq);
+        entries.iter().map(|e| e.occ.clone()).collect()
+    }
+
+    /// Rebuild the buffer from occurrences saved by
+    /// [`BandedBuffer::save_occs`]: re-inserting in arrival order
+    /// recomputes the bands and assigns fresh (relative-order-preserving)
+    /// sequence numbers, which is all the pairing rules depend on.
+    pub(crate) fn restore_occs(&mut self, ctx: Context, occs: Vec<Occurrence<T>>) {
+        self.entries.clear();
+        self.next_seq = 0;
+        for occ in &occs {
+            self.insert(ctx, occ);
+        }
     }
 
     /// Pair `term` with every buffered initiator that strictly

@@ -121,6 +121,29 @@ impl<T: EventTime> OperatorNode<T> for NotNode<T> {
     fn buffered_len(&self) -> usize {
         self.openers.len() + self.guards.len()
     }
+
+    /// Encoding: `occs[0]` = buffered openers, `times[0]` = guard times.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: vec![self.openers.clone()],
+            times: vec![self.guards.clone()],
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState {
+            nums,
+            mut occs,
+            mut times,
+        } = state;
+        if !nums.is_empty() || occs.len() != 1 || times.len() != 1 {
+            return Err(crate::state::shape_err("NOT"));
+        }
+        self.openers = occs.remove(0);
+        self.guards = times.remove(0);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,51 @@ impl<T: EventTime> PeriodicCore<T> {
     fn open_count(&self) -> usize {
         self.windows.iter().filter(|w| !w.closed).count()
     }
+
+    /// Encoding shared by `P`/`P*`: `nums` = `[next_tag, tag_0, closed_0,
+    /// tag_1, closed_1, …]`; `occs[i]` = `[opener_i]`; `times[i]` =
+    /// accumulated fire times of window `i`.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        let mut nums = vec![self.next_tag];
+        for w in &self.windows {
+            nums.push(w.tag);
+            nums.push(u64::from(w.closed));
+        }
+        crate::state::NodeState {
+            nums,
+            occs: self
+                .windows
+                .iter()
+                .map(|w| vec![w.opener.clone()])
+                .collect(),
+            times: self.windows.iter().map(|w| w.fires.clone()).collect(),
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        state: crate::state::NodeState<T>,
+        node: &str,
+    ) -> crate::error::Result<()> {
+        let crate::state::NodeState { nums, occs, times } = state;
+        let n = occs.len();
+        if nums.len() != 1 + 2 * n || times.len() != n || occs.iter().any(|g| g.len() != 1) {
+            return Err(crate::state::shape_err(node));
+        }
+        self.next_tag = nums[0];
+        self.windows = occs
+            .into_iter()
+            .zip(times)
+            .enumerate()
+            .map(|(i, (mut group, fires))| PWindow {
+                tag: nums[1 + 2 * i],
+                opener: group.remove(0),
+                fires,
+                closed: nums[2 + 2 * i] != 0,
+            })
+            .collect();
+        Ok(())
+    }
 }
 
 /// State machine for `P(E1, [t], E3)`.
@@ -136,6 +181,15 @@ impl<T: EventTime> OperatorNode<T> for PNode<T> {
 
     fn min_timer_delay(&self) -> Option<u64> {
         Some(self.core.period)
+    }
+
+    /// See [`PeriodicCore::save_state`] for the encoding.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        self.core.save_state()
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        self.core.restore_state(state, "P")
     }
 }
 
@@ -201,6 +255,15 @@ impl<T: EventTime> OperatorNode<T> for PStarNode<T> {
 
     fn min_timer_delay(&self) -> Option<u64> {
         Some(self.core.period)
+    }
+
+    /// See [`PeriodicCore::save_state`] for the encoding.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        self.core.save_state()
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        self.core.restore_state(state, "P*")
     }
 }
 

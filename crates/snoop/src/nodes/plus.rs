@@ -56,6 +56,32 @@ impl<T: EventTime> OperatorNode<T> for PlusNode<T> {
     fn min_timer_delay(&self) -> Option<u64> {
         Some(self.delta)
     }
+
+    /// Encoding: `nums` = `[next_tag, tag_0, tag_1, …]` (tags sorted);
+    /// `occs[i]` = `[pending[tag_i]]`.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        let mut tags: Vec<u64> = self.pending.keys().copied().collect();
+        tags.sort_unstable();
+        crate::state::NodeState {
+            occs: tags.iter().map(|t| vec![self.pending[t].clone()]).collect(),
+            nums: std::iter::once(self.next_tag).chain(tags).collect(),
+            times: Vec::new(),
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState { nums, occs, times } = state;
+        if !times.is_empty() || nums.len() != 1 + occs.len() || occs.iter().any(|g| g.len() != 1) {
+            return Err(crate::state::shape_err("PLUS"));
+        }
+        self.next_tag = nums[0];
+        self.pending = nums[1..]
+            .iter()
+            .copied()
+            .zip(occs.into_iter().map(|mut g| g.remove(0)))
+            .collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

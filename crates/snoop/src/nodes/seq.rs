@@ -57,6 +57,27 @@ impl<T: EventTime> OperatorNode<T> for SeqNode<T> {
     fn buffered_len(&self) -> usize {
         self.inits.len()
     }
+
+    /// Encoding: `occs[0]` = buffered initiators in arrival order.
+    fn save_state(&self) -> crate::state::NodeState<T> {
+        crate::state::NodeState {
+            occs: vec![self.inits.save_occs()],
+            ..crate::state::NodeState::empty()
+        }
+    }
+
+    fn restore_state(&mut self, state: crate::state::NodeState<T>) -> crate::error::Result<()> {
+        let crate::state::NodeState {
+            nums,
+            mut occs,
+            times,
+        } = state;
+        if !nums.is_empty() || !times.is_empty() || occs.len() != 1 {
+            return Err(crate::state::shape_err("SEQ"));
+        }
+        self.inits.restore_occs(self.ctx, occs.remove(0));
+        Ok(())
+    }
 }
 
 #[cfg(test)]

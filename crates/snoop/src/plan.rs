@@ -1131,6 +1131,100 @@ impl<T: EventTime> PlanDetector<T> {
     }
 }
 
+impl<T: EventTime> crate::state::Snapshot<T> for PlanDetector<T> {
+    fn save_state(&self) -> crate::state::DetectorState<T> {
+        // Public calls end quiescent (`trim_logs`): every shared log is
+        // empty and every cursor's `seen` equals its node's `exec` — so
+        // only the operator state, the exec counters and the
+        // per-definition timer tables need to be serialized. (`base` is
+        // reconstructed as `exec` on restore; replay indices are relative
+        // to it, so any common origin works.)
+        debug_assert!(
+            self.nodes.iter().all(|n| n.log.is_empty()),
+            "snapshot of a non-quiescent plan"
+        );
+        crate::state::DetectorState::Plan(crate::state::PlanState {
+            nodes: self.nodes.iter().map(|n| n.op.save_state()).collect(),
+            execs: self.nodes.iter().map(|n| n.exec).collect(),
+            defs: self
+                .defs
+                .iter()
+                .map(|def| {
+                    let mut timers: Vec<(u64, u32, u64)> = def
+                        .timers
+                        .iter()
+                        .map(|(id, &(p, tag))| (id.0, p, tag))
+                        .collect();
+                    timers.sort_unstable();
+                    crate::state::DefTimers {
+                        timers,
+                        next_timer: def.next_timer,
+                    }
+                })
+                .collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: crate::state::DetectorState<T>) -> Result<()> {
+        let crate::state::DetectorState::Plan(plan) = state else {
+            return Err(SnoopError::SnapshotMismatch(
+                "sharded snapshot offered to a plan detector".into(),
+            ));
+        };
+        if plan.nodes.len() != self.nodes.len() || plan.execs.len() != self.nodes.len() {
+            return Err(SnoopError::SnapshotMismatch(format!(
+                "plan has {} nodes, snapshot has {} (execs {})",
+                self.nodes.len(),
+                plan.nodes.len(),
+                plan.execs.len()
+            )));
+        }
+        if plan.defs.len() != self.defs.len() {
+            return Err(SnoopError::SnapshotMismatch(format!(
+                "plan has {} definitions, snapshot has {}",
+                self.defs.len(),
+                plan.defs.len()
+            )));
+        }
+        let floor = crate::state::max_buffered_uid(&plan.nodes);
+        for ((node, ns), exec) in self.nodes.iter_mut().zip(plan.nodes).zip(plan.execs) {
+            node.op.restore_state(ns)?;
+            node.exec = exec;
+            node.base = exec;
+            node.log.clear();
+        }
+        for (def, dt) in self.defs.iter_mut().zip(plan.defs) {
+            def.timers.clear();
+            for (id, p, tag) in dt.timers {
+                if p as usize >= def.positions.len() {
+                    return Err(SnoopError::SnapshotMismatch(format!(
+                        "timer {id} targets position {p}, definition has {}",
+                        def.positions.len()
+                    )));
+                }
+                if id >= dt.next_timer {
+                    return Err(SnoopError::SnapshotMismatch(format!(
+                        "timer id {id} not below next_timer {}",
+                        dt.next_timer
+                    )));
+                }
+                def.timers.insert(TimerId(id), (p, tag));
+            }
+            def.next_timer = dt.next_timer;
+        }
+        // Re-establish the quiescence invariant: every cursor has consumed
+        // every execution of its node.
+        let nodes = &self.nodes;
+        for def in &mut self.defs {
+            for pos in &mut def.positions {
+                pos.seen = nodes[pos.node].exec;
+            }
+        }
+        crate::event::ensure_uid_floor(floor + 1);
+        Ok(())
+    }
+}
+
 /// Sparse id → node map moved to a pool worker: the subset of plan nodes
 /// one sharing component's definitions can touch.
 #[cfg(feature = "parallel")]
@@ -1524,6 +1618,17 @@ impl<T: EventTime> AnyDetector<T> {
     }
 }
 
+impl<T: EventTime> crate::state::Snapshot<T> for AnyDetector<T> {
+    fn save_state(&self) -> crate::state::DetectorState<T> {
+        delegate!(self, d => crate::state::Snapshot::save_state(d))
+    }
+
+    fn restore_state(&mut self, state: crate::state::DetectorState<T>) -> Result<()> {
+        // Each backend rejects the other's snapshot variant itself.
+        delegate!(self, d => crate::state::Snapshot::restore_state(d, state))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1892,6 +1997,101 @@ mod tests {
             plan.fire_timer(0, TimerId(99), CentralTime(20)),
             Err(SnoopError::UnknownTimer(99))
         ));
+    }
+
+    /// Mid-trace save/restore into a freshly compiled detector resumes
+    /// bit-identically — detections, timer requests, and pending timers —
+    /// on both backends (the distributed recovery path relies on this).
+    #[test]
+    fn snapshot_roundtrip_resumes_equivalently() {
+        use crate::state::Snapshot;
+
+        let prims = ["A", "B", "C"];
+        let defs = vec![
+            ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
+            (
+                "Y",
+                E::and(E::seq(E::prim("A"), E::prim("B")), E::prim("C")),
+                Context::Chronicle,
+            ),
+            ("T", E::plus(E::prim("C"), 5), Context::Unrestricted),
+        ];
+        let trace = base_trace();
+        let cut = 6;
+
+        let build = |sharing: bool| -> AnyDetector<CentralTime> {
+            let mut d: AnyDetector<CentralTime> = if sharing {
+                PlanDetector::new().into()
+            } else {
+                ShardedDetector::new().into()
+            };
+            for p in prims {
+                d.register(p).unwrap();
+            }
+            for (name, e, ctx) in &defs {
+                d.define(name, e, *ctx).unwrap();
+            }
+            d
+        };
+
+        for sharing in [false, true] {
+            // Reference: uninterrupted run over the whole trace.
+            let mut reference = build(sharing);
+            let mut ref_steps = Vec::new();
+            for (name, t) in &trace {
+                let o = occ(reference.catalog(), name, *t);
+                let r = reference.feed(o);
+                ref_steps.push((r.detected, r.timers));
+            }
+
+            // Interrupted run: feed the prefix, snapshot, "crash", restore
+            // into a freshly compiled detector, feed the suffix.
+            let mut first = build(sharing);
+            for (name, t) in &trace[..cut] {
+                let o = occ(first.catalog(), name, *t);
+                first.feed(o);
+            }
+            let state = first.save_state();
+            let mut recovered = build(sharing);
+            // The other backend's snapshot is rejected, not misread.
+            let mut other = build(!sharing);
+            assert!(matches!(
+                other.restore_state(state.clone()),
+                Err(SnoopError::SnapshotMismatch(_))
+            ));
+            recovered.restore_state(state).unwrap();
+            assert_eq!(
+                recovered.pending_timer_count(),
+                first.pending_timer_count(),
+                "pending timers survive restore (sharing={sharing})"
+            );
+            for (i, (name, t)) in trace[cut..].iter().enumerate() {
+                let o = occ(recovered.catalog(), name, *t);
+                let r = recovered.feed(o);
+                let (ref_det, ref_tim) = &ref_steps[cut + i];
+                assert_eq!(&r.detected, ref_det, "{name}@{t} (sharing={sharing})");
+                assert_eq!(&r.timers, ref_tim, "{name}@{t} (sharing={sharing})");
+            }
+
+            // Every timer requested over the whole run fires identically.
+            assert_eq!(
+                recovered.pending_timer_count(),
+                reference.pending_timer_count()
+            );
+            let all_timers: Vec<_> = ref_steps
+                .iter()
+                .flat_map(|(_, tims)| tims.iter().copied())
+                .collect();
+            assert!(!all_timers.is_empty(), "trace must exercise timers");
+            for (i, (sid, req)) in all_timers.into_iter().enumerate() {
+                let at = CentralTime(100 + i as u64);
+                let fr = reference.fire_timer(sid, req.id, at).unwrap();
+                let fc = recovered.fire_timer(sid, req.id, at).unwrap();
+                assert_eq!(fr.detected, fc.detected, "timer {i} (sharing={sharing})");
+                assert_eq!(fr.timers, fc.timers, "timer {i} (sharing={sharing})");
+            }
+            assert_eq!(recovered.pending_timer_count(), 0);
+        }
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! paths reproduce the serial output exactly.
 
 use crate::context::Context;
-use crate::error::Result;
+use crate::error::{Result, SnoopError};
 use crate::event::{Catalog, EventId, Occurrence};
 use crate::expr::EventExpr;
 use crate::graph::{EventGraph, TimerId, TimerRequest};
+use crate::state::{DetectorState, Snapshot};
 use crate::time::EventTime;
 use std::collections::{BTreeSet, HashMap};
 
@@ -488,6 +489,37 @@ impl<T: EventTime> ShardedDetector<T> {
 /// round of detections. Stable, so equal keys keep shard order.
 pub(crate) fn sort_canonical<T: EventTime>(round: &mut [Occurrence<T>]) {
     round.sort_by(|a, b| a.time.canonical_cmp(&b.time).then(a.ty.0.cmp(&b.ty.0)));
+}
+
+impl<T: EventTime> Snapshot<T> for ShardedDetector<T> {
+    fn save_state(&self) -> DetectorState<T> {
+        DetectorState::Sharded(self.shards.iter().map(|s| s.graph.save_state()).collect())
+    }
+
+    fn restore_state(&mut self, state: DetectorState<T>) -> Result<()> {
+        let DetectorState::Sharded(graphs) = state else {
+            return Err(SnoopError::SnapshotMismatch(
+                "plan snapshot offered to a sharded detector".into(),
+            ));
+        };
+        if graphs.len() != self.shards.len() {
+            return Err(SnoopError::SnapshotMismatch(format!(
+                "detector has {} shards, snapshot has {}",
+                self.shards.len(),
+                graphs.len()
+            )));
+        }
+        let floor = graphs
+            .iter()
+            .map(|g| crate::state::max_buffered_uid(&g.nodes))
+            .max()
+            .unwrap_or(0);
+        for (shard, gs) in self.shards.iter_mut().zip(graphs) {
+            shard.graph.restore_state(gs)?;
+        }
+        crate::event::ensure_uid_floor(floor + 1);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
