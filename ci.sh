@@ -35,6 +35,13 @@ cargo run --release -p decs-bench --bin chaos -- --smoke
 # (fails on malformed JSON or a 50%-overlap speedup below 1.5x).
 cargo run --release -p decs-bench --bin sharing -- --smoke
 
+# Ingest smoke: re-runs the columnar-vs-per-event legs (hard-asserting
+# bit-identical detections on every leg) and validates the committed
+# BENCH_ingest.json baseline (fails on malformed JSON, a single-thread
+# columnar throughput under the 0.2 Meps floor, or — on the same machine
+# class — a >20% relative regression against the baseline).
+cargo run --release -p decs-bench --features parallel --bin ingest -- --smoke
+
 # Recovery smoke: kills the coordinator mid-run at every snapshot
 # interval (hard-asserting post-recovery detections match an
 # uninterrupted, durability-off run) and validates the committed

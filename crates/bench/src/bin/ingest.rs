@@ -1,0 +1,342 @@
+//! E18 — columnar batch ingestion (the struct-of-arrays hot path).
+//!
+//! Measures feed throughput of the columnar [`EventBatch`] path
+//! (`CentralDetector::feed_columnar`: types, stamps and parameter handles
+//! staged in parallel vectors, routed rows materialized once per batch)
+//! against the per-event `feed_bare` oracle, on the E16 sharing workload
+//! shape (16 `¬(b)[a, c]` definitions over private primitive triples —
+//! `BENCH_sharing.json`'s `overlap_0` row) with watermark-driven buffer
+//! GC **on** (the steady-state configuration every other engine path
+//! runs; E16 measures the GC-off accumulation regime on purpose). On top
+//! of the single-thread pair it emits a 1/2/4-worker scaling curve for
+//! the columnar path over the lock-free SPSC pool (`enable_worker_pool_
+//! exact`, so the curve is measured even when the host caps lower).
+//!
+//! Detections are hard-asserted identical between the oracle and every
+//! columnar leg — a mismatch is a correctness bug, not a slow run.
+//!
+//! Run: `cargo run --release -p decs-bench --features parallel --bin
+//! ingest` (full, writes `BENCH_ingest.json` in the current directory).
+//! `--smoke` runs a quick pass, validates the committed
+//! `BENCH_ingest.json` (malformed JSON, a single-thread columnar
+//! throughput under the 0.2 Meps acceptance floor, or — on a comparable
+//! machine — a >20% relative regression of the current build against the
+//! committed baseline fails with a nonzero exit) and writes its own
+//! results under `target/`.
+
+use decs_snoop::{CentralDetector, CentralTime, Context, EventBatch, EventExpr as E, EventId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Definitions per configuration (the E16 shape).
+const DEFS: usize = 16;
+
+/// Rows staged per columnar batch. Large enough to amortize the per-call
+/// clock advance and GC sweep, small enough to stay cache-resident.
+const BATCH: usize = 1024;
+
+fn primitives() -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..DEFS {
+        for k in 0..3 {
+            names.push(format!("U{i}_{k}"));
+        }
+    }
+    names
+}
+
+/// 16 private-triple `¬(b)[a, c]` definitions, buffer GC on; `workers >
+/// 0` attaches an exact-sized pool (bypassing the available-parallelism
+/// cap so the scaling curve is measured everywhere).
+fn build(workers: usize) -> CentralDetector {
+    let mut d = CentralDetector::plan();
+    for n in primitives() {
+        d.register(&n).unwrap();
+    }
+    for i in 0..DEFS {
+        let (a, b, c) = (format!("U{i}_0"), format!("U{i}_1"), format!("U{i}_2"));
+        d.define(
+            &format!("D{i}"),
+            &E::not(E::prim(&b), E::prim(&a), E::prim(&c)),
+            Context::Chronicle,
+        )
+        .unwrap();
+    }
+    d.set_buffer_gc(true);
+    if workers > 0 {
+        d.enable_worker_pool_exact(workers);
+    }
+    d
+}
+
+/// The guard-heavy `[a, b, a, c]` drive pattern, round-robin over every
+/// triple, as `(type index, tick)` rows. Type indices point into the
+/// catalog-ordered primitive list.
+fn row(i: u64) -> (usize, u64) {
+    let triple = ((i / 4) as usize) % DEFS;
+    let slot = [0usize, 1, 0, 2][(i % 4) as usize];
+    (triple * 3 + slot, i)
+}
+
+/// Oracle: one `feed_bare` call per event. Returns (elapsed seconds,
+/// detected occurrences in order).
+fn drive_per_event(
+    d: &mut CentralDetector,
+    events: u64,
+) -> (f64, Vec<decs_snoop::Occurrence<CentralTime>>) {
+    let names = primitives();
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for i in 0..events {
+        let (ty, tick) = row(i);
+        out.extend(d.feed_bare(&names[ty], tick).unwrap());
+    }
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Candidate: the same rows staged struct-of-arrays, `BATCH` at a time,
+/// through `feed_columnar`. Timing includes the staging loop — that *is*
+/// the ingest path a `Msg::Batch` decode feeds.
+fn drive_columnar(
+    d: &mut CentralDetector,
+    events: u64,
+) -> (f64, Vec<decs_snoop::Occurrence<CentralTime>>) {
+    let tys: Vec<EventId> = primitives()
+        .iter()
+        .map(|n| d.catalog().lookup(n).unwrap())
+        .collect();
+    let mut batch = EventBatch::with_capacity(BATCH);
+    let mut out = Vec::new();
+    let start = Instant::now();
+    let mut i = 0u64;
+    while i < events {
+        batch.clear();
+        while i < events && batch.len() < BATCH {
+            let (ty, tick) = row(i);
+            batch.push_bare(tys[ty], CentralTime(tick));
+            i += 1;
+        }
+        out.extend(d.feed_columnar(&batch).unwrap());
+    }
+    (start.elapsed().as_secs_f64(), out)
+}
+
+struct Row {
+    name: String,
+    workers: usize,
+    meps: f64,
+    detections: u64,
+    ring_full_spins: u64,
+}
+
+/// Best-of-3 throughput for one leg (fresh detector per repetition —
+/// feeding mutates operator state), hard-asserting detections against
+/// the oracle's when one is supplied.
+fn leg(
+    name: &str,
+    workers: usize,
+    events: u64,
+    columnar: bool,
+    oracle: Option<&[decs_snoop::Occurrence<CentralTime>]>,
+) -> (Row, Vec<decs_snoop::Occurrence<CentralTime>>) {
+    let mut best = 0.0f64;
+    let mut det = Vec::new();
+    let mut spins = 0;
+    for _ in 0..3 {
+        let mut d = build(workers);
+        let (secs, out) = if columnar {
+            drive_columnar(&mut d, events)
+        } else {
+            drive_per_event(&mut d, events)
+        };
+        best = best.max(events as f64 / secs / 1e6);
+        spins = d.ring_full_spins();
+        det = out;
+    }
+    if let Some(oracle) = oracle {
+        assert_eq!(
+            det.as_slice(),
+            oracle,
+            "columnar leg `{name}` diverged from the per-event oracle"
+        );
+    }
+    (
+        Row {
+            name: name.to_string(),
+            workers,
+            meps: best,
+            detections: det.len() as u64,
+            ring_full_spins: spins,
+        },
+        det,
+    )
+}
+
+fn run_all(events: u64) -> Vec<Row> {
+    let (oracle_row, oracle) = leg("per_event", 0, events, false, None);
+    let mut rows = vec![oracle_row];
+    let (serial, _) = leg("columnar", 0, events, true, Some(&oracle));
+    rows.push(serial);
+    for w in [1usize, 2, 4] {
+        let (r, _) = leg(&format!("columnar_w{w}"), w, events, true, Some(&oracle));
+        rows.push(r);
+    }
+    rows
+}
+
+fn render_json(mode: &str, events: u64, rows: &[Row]) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base = rows[0].meps;
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"ingest\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"defs\": {DEFS},");
+    let _ = writeln!(j, "  \"batch\": {BATCH},");
+    let _ = writeln!(j, "  \"events\": {events},");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"workers\": {}, \"meps\": {:.3}, \
+             \"speedup_vs_per_event\": {:.2}, \"detections\": {}, \
+             \"ring_full_spins\": {}}}{comma}",
+            r.name,
+            r.workers,
+            r.meps,
+            r.meps / base,
+            r.detections,
+            r.ring_full_spins
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull `"field": <number>` out of the row object named `name` (same
+/// substring scanner as the other bench smokes — the baseline is our own
+/// emission, so anything it can't find is malformed).
+fn extract(json: &str, name: &str, field: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"name\": \"{name}\""))?..];
+    let obj = &obj[..obj.find('}')?];
+    let at = obj.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn stamped_threads(json: &str) -> Option<usize> {
+    let at = json.find("\"threads\":")? + "\"threads\":".len();
+    let rest = &json[at..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn smoke(baseline_path: &str) -> i32 {
+    // A quick pass still runs every leg — `leg` hard-asserts columnar ==
+    // per-event detections, which is the smoke's real correctness gate.
+    let events = 40_000;
+    let rows = run_all(events);
+    let json = render_json("smoke", events, &rows);
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/BENCH_ingest_smoke.json", &json).ok();
+    print!("{json}");
+
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("smoke: FAIL — missing baseline {baseline_path}");
+        return 1;
+    };
+    let mut failed = false;
+    for name in [
+        "per_event",
+        "columnar",
+        "columnar_w1",
+        "columnar_w2",
+        "columnar_w4",
+    ] {
+        if extract(&baseline, name, "meps").is_none() {
+            eprintln!("smoke: FAIL — baseline is malformed (no {name} row)");
+            failed = true;
+        }
+    }
+    // The committed artifact must carry the acceptance headline: the
+    // single-thread columnar path at ≥0.2 Meps (10x the E16 overlap_0
+    // per-event baseline).
+    match extract(&baseline, "columnar", "meps") {
+        Some(m) if m >= 0.2 => {}
+        Some(m) => {
+            eprintln!("smoke: FAIL — baseline columnar throughput {m:.3} Meps < 0.2 Meps floor");
+            failed = true;
+        }
+        None => {} // already reported as malformed above
+    }
+    // Absolute Meps are only comparable on the same class of machine; the
+    // thread stamp is the proxy, matching the hotpath smoke's policy.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let comparable = stamped_threads(&baseline) == Some(threads);
+    if comparable {
+        if let Some(base) = extract(&baseline, "columnar", "meps") {
+            let now = extract(&json, "columnar", "meps").unwrap_or(0.0);
+            if now < 0.8 * base {
+                eprintln!(
+                    "smoke: FAIL — columnar throughput regressed {base:.3} Meps → \
+                     {now:.3} Meps (>20%)"
+                );
+                failed = true;
+            }
+        }
+    } else {
+        eprintln!(
+            "smoke: note — baseline ran on a different machine class; \
+             skipping the 20% regression comparison"
+        );
+    }
+    // The 4-worker scaling gate arms only when the baseline machine had
+    // real parallelism to scale into.
+    if let Some(bt) = stamped_threads(&baseline) {
+        if bt >= 4 {
+            match extract(&baseline, "columnar_w4", "speedup_vs_per_event") {
+                Some(s) if s >= 2.0 => {}
+                Some(s) => {
+                    eprintln!(
+                        "smoke: FAIL — baseline 4-worker speedup {s:.2} < 2x on a \
+                         {bt}-thread machine"
+                    );
+                    failed = true;
+                }
+                None => {}
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        eprintln!("smoke: OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke("BENCH_ingest.json"));
+    }
+
+    eprintln!("E18 — columnar batch ingestion (full run)");
+    let events = 400_000;
+    let rows = run_all(events);
+    for r in &rows {
+        eprintln!(
+            "{:>12}: {:.3} Mev/s ({} detections, {} ring-full spins)",
+            r.name, r.meps, r.detections, r.ring_full_spins
+        );
+    }
+    let json = render_json("full", events, &rows);
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_ingest.json");
+}

@@ -49,8 +49,12 @@ const SMOKE: Sizing = Sizing {
 };
 
 /// One measured configuration: `workers == 0` is the serial path.
+/// `effective_workers` is what the pool actually ran after the
+/// available-parallelism cap (oversubscription beyond the machine's
+/// cores can no longer push throughput below the serial baseline).
 struct CurvePoint {
     workers: usize,
+    effective_workers: usize,
     events: u64,
     elapsed_ms: f64,
     events_per_sec: f64,
@@ -257,6 +261,7 @@ fn bench_workload(
         }
         curve.push(CurvePoint {
             workers,
+            effective_workers: d.worker_count(),
             events,
             elapsed_ms: elapsed * 1e3,
             events_per_sec: events as f64 / elapsed,
@@ -301,10 +306,11 @@ fn render_json(mode: &str, results: &[WorkloadResult]) -> String {
             let comma = if k + 1 < w.curve.len() { "," } else { "" };
             let _ = writeln!(
                 j,
-                "      {{\"workers\": {}, \"events\": {}, \"elapsed_ms\": {:.2}, \
-                 \"events_per_sec\": {:.0}, \"detections\": {}, \
+                "      {{\"workers\": {}, \"effective_workers\": {}, \"events\": {}, \
+                 \"elapsed_ms\": {:.2}, \"events_per_sec\": {:.0}, \"detections\": {}, \
                  \"parallel_rounds\": {}, \"pool_busy_ms\": {:.2}}}{comma}",
                 p.workers,
+                p.effective_workers,
                 p.events,
                 p.elapsed_ms,
                 p.events_per_sec,

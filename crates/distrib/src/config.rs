@@ -45,8 +45,10 @@ pub struct EngineConfig {
     /// `min(available_parallelism, shard_count)`, attaching a pool only
     /// when that is ≥ 2. `1` forces the serial path (the baseline the
     /// determinism suites compare against); `n ≥ 2` attaches a pool of
-    /// `min(n, shard_count)` threads. Detections are bit-for-bit identical
-    /// for every value. Ignored without the `parallel` feature.
+    /// exactly `min(n, shard_count)` threads — an explicit count bypasses
+    /// the hardware cap (the determinism suites exercise multi-worker
+    /// hand-off even on single-core machines). Detections are bit-for-bit
+    /// identical for every value. Ignored without the `parallel` feature.
     pub worker_count: usize,
     /// Base retransmission timeout for unacked site→coordinator messages.
     /// `Nanos::ZERO` disables the ack/retransmit protocol (fire-and-forget,

@@ -465,7 +465,7 @@ impl Encode for Msg {
                 out.push(4);
                 seq.encode(out);
                 watermark.encode(out);
-                events.encode(out);
+                events.as_ref().encode(out);
             }
             Msg::Ack { cum_seq } => {
                 out.push(5);
@@ -498,7 +498,7 @@ impl Decode for Msg {
             4 => Ok(Msg::Batch {
                 seq: r.u64()?,
                 watermark: r.u64()?,
-                events: Vec::decode(r)?,
+                events: Arc::new(Vec::decode(r)?),
             }),
             5 => Ok(Msg::Ack { cum_seq: r.u64()? }),
             6 => Ok(Msg::Crash),
@@ -641,6 +641,9 @@ impl Encode for Metrics {
         self.snapshots_taken.encode(out);
         self.recovery_replayed.encode(out);
         self.recovery_ns.encode(out);
+        self.batch_ingest_events.encode(out);
+        self.arena_bytes.encode(out);
+        self.ring_full_spins.encode(out);
     }
 }
 impl Decode for Metrics {
@@ -683,6 +686,9 @@ impl Decode for Metrics {
             snapshots_taken: r.u64()?,
             recovery_replayed: r.u64()?,
             recovery_ns: r.u64()?,
+            batch_ingest_events: r.u64()?,
+            arena_bytes: r.u64()?,
+            ring_full_spins: r.u64()?,
         })
     }
 }
@@ -742,7 +748,7 @@ mod tests {
             Msg::Batch {
                 seq: 11,
                 watermark: 9,
-                events: vec![Occurrence::bare(EventId(1), cts(&[(0, 9, 90)]))],
+                events: Arc::new(vec![Occurrence::bare(EventId(1), cts(&[(0, 9, 90)]))]),
             },
             Msg::Ack { cum_seq: 12 },
             Msg::Crash,

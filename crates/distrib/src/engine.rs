@@ -128,20 +128,26 @@ impl Engine {
             let id = detector.define(name, expr, *ctx)?;
             name_ids.insert(name.clone(), id);
         }
-        // `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit),
-        // 1 = forced serial (the determinism-suite baseline), n ≥ 2 = pool
-        // of min(n, shards). See `EngineConfig::worker_count`.
+        // `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit
+        // under the min(available_parallelism, shards) clamp), 1 = forced
+        // serial (the determinism-suite baseline), n ≥ 2 = pool of exactly
+        // min(n, shards) threads. An explicit count bypasses the hardware
+        // cap: the determinism suites depend on real multi-worker hand-off
+        // even on single-core CI. See `EngineConfig::worker_count`.
         #[cfg(feature = "parallel")]
         if detector.shard_count() > 1 {
-            let workers = match config.worker_count {
-                0 => std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
-                n => n,
-            }
-            .min(detector.shard_count());
-            if workers > 1 {
-                detector.enable_pool(workers);
+            match config.worker_count {
+                0 => {
+                    let workers = std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(detector.shard_count());
+                    if workers > 1 {
+                        detector.enable_pool(workers);
+                    }
+                }
+                1 => {}
+                n => detector.enable_pool_exact(n.min(detector.shard_count())),
             }
         }
         // Snapshot id → name for reporting.

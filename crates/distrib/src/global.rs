@@ -22,7 +22,9 @@ use crate::watermark::WatermarkTracker;
 use decs_chronos::{GlobalTicks, LocalTicks, Nanos, SiteId};
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx};
-use decs_snoop::{AnyDetector, EventId, Occurrence, ShardFeedResult, ShardId, Snapshot, TimerId};
+use decs_snoop::{
+    AnyDetector, EventBatch, EventId, Occurrence, ShardFeedResult, ShardId, Snapshot, TimerId,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::path::Path;
@@ -120,6 +122,9 @@ pub struct RawDetection {
 /// The coordinator actor.
 pub struct CoordinatorNode {
     detector: AnyDetector<CompositeTimestamp>,
+    /// Reusable columnar staging batch for release rounds (cleared after
+    /// every feed; steady state allocates nothing).
+    ingest: EventBatch<CompositeTimestamp>,
     tracker: WatermarkTracker,
     streams: Vec<SiteStream>,
     buffer: BTreeMap<ReleaseKey, (Occurrence<CompositeTimestamp>, Nanos)>,
@@ -215,6 +220,7 @@ impl CoordinatorNode {
         };
         CoordinatorNode {
             detector,
+            ingest: EventBatch::new(),
             tracker: WatermarkTracker::new(sites),
             streams: (0..sites).map(|_| SiteStream::default()).collect(),
             buffer: BTreeMap::new(),
@@ -307,9 +313,14 @@ impl CoordinatorNode {
 
     /// Drain the stable prefix of the buffer in one watermark-bounded
     /// batch: collect every released notification first (the buffer walk
-    /// is cheap and canonical), then feed them as a single batch so the
-    /// sharded detector can fan the whole batch out to its shards.
+    /// is cheap and canonical), then feed them as a single **columnar**
+    /// batch — types, stamps and parameter handles staged
+    /// struct-of-arrays in the reusable [`EventBatch`], materialized only
+    /// for routed types at delivery. The parameter lists ride as `Arc`
+    /// bumps; re-minted occurrence uids are fresh either way.
     fn release_stable(&mut self, ctx: &mut impl CoordCtx) {
+        let columnar = self.reportable.is_empty();
+        debug_assert!(self.ingest.is_empty(), "staging batch left dirty");
         let mut batch = Vec::new();
         while let Some((&key, _)) = self.buffer.iter().next() {
             if !self.tracker.is_stable(key.0) {
@@ -319,20 +330,29 @@ impl CoordinatorNode {
             self.metrics.events_released += 1;
             self.metrics.stability_latency_sum_ns +=
                 u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
-            batch.push(occ);
-        }
-        if !batch.is_empty() {
-            self.metrics.release_batches += 1;
-            if self.reportable.is_empty() {
-                let r = self.detector.feed_batch(batch);
-                self.absorb(r, ctx);
+            if columnar {
+                self.ingest.push_list(occ.ty, occ.time, occ.params);
             } else {
-                // Site-local composite arrivals are reported interleaved
-                // with the global graph's own detections, so keep the
-                // per-event feed order observable.
-                for occ in batch {
-                    self.feed_released(occ, ctx);
-                }
+                batch.push(occ);
+            }
+        }
+        if !self.ingest.is_empty() {
+            self.metrics.release_batches += 1;
+            self.metrics.batch_ingest_events += self.ingest.len() as u64;
+            self.metrics.arena_bytes = self
+                .metrics
+                .arena_bytes
+                .max(self.ingest.arena_bytes() as u64);
+            let r = self.detector.feed_batch_columnar(&self.ingest);
+            self.ingest.clear();
+            self.absorb(r, ctx);
+        } else if !batch.is_empty() {
+            self.metrics.release_batches += 1;
+            // Site-local composite arrivals are reported interleaved
+            // with the global graph's own detections, so keep the
+            // per-event feed order observable.
+            for occ in batch {
+                self.feed_released(occ, ctx);
             }
         }
         self.gc_operator_buffers();
@@ -368,6 +388,7 @@ impl CoordinatorNode {
         self.metrics.worker_count = self.detector.worker_count();
         self.metrics.parallel_rounds = self.detector.parallel_rounds();
         self.metrics.pool_busy_ns = self.detector.pool_busy_ns();
+        self.metrics.ring_full_spins = self.detector.ring_full_spins();
     }
 
     /// Feed a released notification: report it if it is itself a
@@ -447,8 +468,20 @@ impl CoordinatorNode {
                 if evicted {
                     self.metrics.evict_refused += events.len() as u64;
                 } else {
-                    for occ in events {
-                        self.accept_notification(site, occ, ctx);
+                    // The WAL (or a retransmit buffer in tests) may still
+                    // hold a reference; consume in place when we own the
+                    // only copy, clone per occurrence otherwise.
+                    match std::sync::Arc::try_unwrap(events) {
+                        Ok(owned) => {
+                            for occ in owned {
+                                self.accept_notification(site, occ, ctx);
+                            }
+                        }
+                        Err(shared) => {
+                            for occ in shared.iter().cloned() {
+                                self.accept_notification(site, occ, ctx);
+                            }
+                        }
                     }
                 }
                 self.tracker.update(site, watermark);
@@ -1092,7 +1125,7 @@ mod tests {
             Msg::Batch {
                 seq: 0,
                 watermark: 6,
-                events: vec![occ(0, 0, 5, 50), occ(1, 0, 6, 60)],
+                events: std::sync::Arc::new(vec![occ(0, 0, 5, 50), occ(1, 0, 6, 60)]),
             },
         );
         sim.run_to_completion();
@@ -1111,7 +1144,7 @@ mod tests {
             Msg::Batch {
                 seq: 1,
                 watermark: 8,
-                events: vec![],
+                events: std::sync::Arc::new(vec![]),
             },
         );
         sim.run_to_completion();

@@ -93,6 +93,15 @@ pub struct Metrics {
     /// Wall-clock nanoseconds the most recent recovery took (snapshot load
     /// plus WAL replay).
     pub recovery_ns: u64,
+    /// Notifications fed through the columnar (struct-of-arrays) release
+    /// path instead of per-event feeds.
+    pub batch_ingest_events: u64,
+    /// High-water mark of bytes staged in the columnar batch's parameter
+    /// arena during a release round.
+    pub arena_bytes: u64,
+    /// Cumulative producer-side spins on full worker rings (lock-free
+    /// hand-off backpressure; 0 on the serial path).
+    pub ring_full_spins: u64,
 }
 
 impl Metrics {

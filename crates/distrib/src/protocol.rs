@@ -3,6 +3,7 @@
 use decs_core::CompositeTimestamp;
 use decs_snoop::{EventId, Occurrence, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The wire protocol. Every site→coordinator message carries a per-site
 /// sequence number so the coordinator can reassemble FIFO order over a
@@ -46,8 +47,11 @@ pub enum Msg {
         /// The site's global tick at flush time; every event the site will
         /// ever send after this batch has global tick ≥ `watermark`.
         watermark: u64,
-        /// The coalesced occurrences, in site send order.
-        events: Vec<Occurrence<CompositeTimestamp>>,
+        /// The coalesced occurrences, in site send order. Shared via
+        /// `Arc` so retransmit-buffer retention, WAL logging and local
+        /// loopback clone the whole payload by reference-count bump
+        /// instead of deep-copying every occurrence.
+        events: Arc<Vec<Occurrence<CompositeTimestamp>>>,
     },
     /// Cumulative acknowledgement, coordinator → site: every message with
     /// sequence number `< cum_seq` has been delivered (in order). The site
@@ -91,8 +95,13 @@ mod tests {
         let b = Msg::Batch {
             seq: 5,
             watermark: 9,
-            events: vec![Occurrence::bare(EventId(1), cts(&[(1, 8, 80)]))],
+            events: Arc::new(vec![Occurrence::bare(EventId(1), cts(&[(1, 8, 80)]))]),
         };
-        assert!(format!("{b:?}").contains("events"));
+        let b2 = b.clone();
+        assert!(format!("{b2:?}").contains("events"));
+        // Cloning a batch bumps the payload refcount instead of copying.
+        if let (Msg::Batch { events: e1, .. }, Msg::Batch { events: e2, .. }) = (&b, &b2) {
+            assert!(Arc::ptr_eq(e1, e2));
+        }
     }
 }

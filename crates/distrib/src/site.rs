@@ -276,7 +276,9 @@ impl SiteNode {
         }
         if let Ok(parts) = ctx.stamp() {
             let seq = self.next_seq();
-            let events = std::mem::take(&mut self.pending);
+            // One Arc wrap at flush: retransmit retention (and any WAL
+            // copy at the coordinator) shares this allocation.
+            let events = std::sync::Arc::new(std::mem::take(&mut self.pending));
             self.send_seq(
                 seq,
                 Msg::Batch {
@@ -387,7 +389,11 @@ mod tests {
     struct Collector {
         events: Vec<(u64, Occurrence<CompositeTimestamp>)>,
         heartbeats: Vec<(u64, u64)>,
-        batches: Vec<(u64, u64, Vec<Occurrence<CompositeTimestamp>>)>,
+        batches: Vec<(
+            u64,
+            u64,
+            std::sync::Arc<Vec<Occurrence<CompositeTimestamp>>>,
+        )>,
     }
 
     impl Actor for Collector {

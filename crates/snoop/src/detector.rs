@@ -6,6 +6,7 @@
 //! itself can service timer requests from a priority queue — feeding an
 //! occurrence at tick `t` first fires every timer due at or before `t`.
 
+use crate::batch::EventBatch;
 use crate::context::Context;
 use crate::error::Result;
 use crate::event::{Catalog, EventId, Occurrence, Value};
@@ -173,11 +174,38 @@ impl CentralDetector {
         }
     }
 
+    /// Like [`Self::enable_worker_pool`] but bypassing the backend's
+    /// available-parallelism cap (see [`ShardedDetector::enable_pool_exact`]).
+    #[cfg(feature = "parallel")]
+    pub fn enable_worker_pool_exact(&mut self, workers: usize) -> bool {
+        match &mut self.core {
+            Core::Sharded(s) => {
+                s.enable_pool_exact(workers);
+                true
+            }
+            Core::Plan(p) => {
+                p.enable_pool_exact(workers);
+                true
+            }
+            Core::Mono(_) => false,
+        }
+    }
+
     /// Worker threads in the pool (0 = serial / monolithic backend).
     pub fn worker_count(&self) -> usize {
         match &self.core {
             Core::Sharded(s) => s.worker_count(),
             Core::Plan(p) => p.worker_count(),
+            Core::Mono(_) => 0,
+        }
+    }
+
+    /// Backoff steps spent waiting on full or empty pool rings so far
+    /// (0 = serial or never contended).
+    pub fn ring_full_spins(&self) -> u64 {
+        match &self.core {
+            Core::Sharded(s) => s.ring_full_spins(),
+            Core::Plan(p) => p.ring_full_spins(),
             Core::Mono(_) => 0,
         }
     }
@@ -407,6 +435,79 @@ impl CentralDetector {
             debug_assert!(timers.is_empty(), "timer-free graph armed a timer");
             self.absorb(det, timers, last, &mut out);
             self.now = self.now.max(last);
+        }
+        if self.gc {
+            self.run_gc();
+        }
+        Ok(out)
+    }
+
+    /// Feed a columnar batch (ticks non-decreasing). Semantically
+    /// identical to materializing every row and calling [`Self::feed`] on
+    /// each in order, but the hot path stays struct-of-arrays: timer-free
+    /// definition sets hand the whole batch to the backend's columnar
+    /// path (which materializes only routed rows), the clock advances
+    /// once per stretch instead of once per row, and watermark GC runs
+    /// once per call instead of once per occurrence.
+    pub fn feed_columnar(
+        &mut self,
+        batch: &EventBatch<CentralTime>,
+    ) -> Result<Vec<Occurrence<CentralTime>>> {
+        let n = batch.len();
+        let batchable = self.min_timer_delay().is_none();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let first = batch.time(i).get();
+            out.extend(self.advance_to(first)?);
+            if !batchable {
+                self.feed_occ(batch.occurrence(i), first, &mut out);
+                i += 1;
+                continue;
+            }
+            // No definition can arm a timer, so the only split points are
+            // the timers already queued (none, for timer-free graphs).
+            let next_due = self
+                .timers
+                .peek()
+                .map_or(u64::MAX, |&Reverse((due, _, _))| due);
+            let mut split = i + 1;
+            while split < n && batch.time(split).get() < next_due {
+                split += 1;
+            }
+            let last = batch.time(split - 1).get();
+            let (det, timers) = match &mut self.core {
+                Core::Mono(d) => {
+                    let mut det = Vec::new();
+                    let mut tmr = Vec::new();
+                    for k in i..split {
+                        let r = d.feed(batch.occurrence(k));
+                        det.extend(r.detected);
+                        tmr.extend(tag_mono(r.timers));
+                    }
+                    (det, tmr)
+                }
+                Core::Sharded(s) => {
+                    let r = if i == 0 && split == n {
+                        s.feed_batch_columnar(batch)
+                    } else {
+                        s.feed_batch(batch.materialize_range(i..split))
+                    };
+                    (r.detected, r.timers)
+                }
+                Core::Plan(p) => {
+                    let r = if i == 0 && split == n {
+                        p.feed_batch_columnar(batch)
+                    } else {
+                        p.feed_batch(batch.materialize_range(i..split))
+                    };
+                    (r.detected, r.timers)
+                }
+            };
+            debug_assert!(timers.is_empty(), "timer-free graph armed a timer");
+            self.absorb(det, timers, last, &mut out);
+            self.now = self.now.max(last);
+            i = split;
         }
         if self.gc {
             self.run_gc();
@@ -708,6 +809,38 @@ mod tests {
         }
     }
 
+    fn run_columnar(mut d: CentralDetector, with_timers: bool) -> Vec<(String, u64)> {
+        populate(&mut d, with_timers);
+        let mut batch = EventBatch::new();
+        for (n, t) in batch_trace() {
+            let ty = d.catalog().lookup(n).unwrap();
+            batch.push_bare(ty, CentralTime(t));
+        }
+        let mut out = d.feed_columnar(&batch).unwrap();
+        out.extend(d.advance_to(100).unwrap());
+        out.iter()
+            .map(|o| (d.name_of(o).to_owned(), o.time.get()))
+            .collect()
+    }
+
+    #[test]
+    fn feed_columnar_equals_serial_feeds_on_all_backends() {
+        for with_timers in [false, true] {
+            let reference = run_serial(CentralDetector::new(), with_timers);
+            for make in [
+                CentralDetector::new,
+                CentralDetector::sharded,
+                CentralDetector::plan,
+            ] {
+                assert_eq!(
+                    run_columnar(make(), with_timers),
+                    reference,
+                    "with_timers={with_timers}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn plan_stats_report_sharing_only_on_plan_backend() {
         // Two definitions over the same Seq(A, B) body: the plan backend
@@ -754,7 +887,7 @@ mod tests {
             for make in [CentralDetector::sharded, CentralDetector::plan] {
                 let mut d = make();
                 populate(&mut d, with_timers);
-                assert!(d.enable_worker_pool(2));
+                assert!(d.enable_worker_pool_exact(2));
                 assert_eq!(d.worker_count(), 2);
                 let batch = batch_trace()
                     .into_iter()

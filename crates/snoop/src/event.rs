@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// Process-wide occurrence id source (identity, not semantics).
 static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_uid() -> u64 {
+pub(crate) fn fresh_uid() -> u64 {
     NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 

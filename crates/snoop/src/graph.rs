@@ -555,17 +555,30 @@ impl<T: EventTime> EventGraph<T> {
             });
         }
         let entry = &self.nodes[node.0 as usize];
-        let parents = entry.parents.clone();
         let named = entry.named;
         for occ in emissions {
-            for &(parent, slot) in &parents {
-                queue.push_back((parent, slot, occ.clone()));
-            }
-            if named {
-                // Named events also feed graph-level subscribers (composite
-                // events used inside other definitions).
-                self.enqueue_subscribers(&occ, queue);
-                result.detected.push(occ);
+            match entry.parents.split_last() {
+                Some((&(last, lslot), rest)) => {
+                    for &(parent, slot) in rest {
+                        queue.push_back((parent, slot, occ.clone()));
+                    }
+                    if named {
+                        queue.push_back((last, lslot, occ.clone()));
+                        // Named events also feed graph-level subscribers
+                        // (composite events used inside other definitions).
+                        self.enqueue_subscribers(&occ, queue);
+                        result.detected.push(occ);
+                    } else {
+                        // Last parent takes the emission by move.
+                        queue.push_back((last, lslot, occ));
+                    }
+                }
+                None => {
+                    if named {
+                        self.enqueue_subscribers(&occ, queue);
+                        result.detected.push(occ);
+                    }
+                }
             }
         }
     }

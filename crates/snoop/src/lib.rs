@@ -24,9 +24,13 @@
 //! `ANY(m; E1,…,En)`, each under the Sentinel parameter contexts
 //! (Unrestricted, Recent, Chronicle, Continuous, Cumulative).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the SPSC ring in
+// `spsc` (a Lamport queue needs an `UnsafeCell` slot array), which opts in
+// locally with documented invariants. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod context;
 pub mod detector;
 pub mod error;
@@ -38,9 +42,12 @@ pub mod plan;
 #[cfg(feature = "parallel")]
 mod pool;
 pub mod shard;
+#[cfg(feature = "parallel")]
+mod spsc;
 pub mod state;
 pub mod time;
 
+pub use batch::{EventBatch, ParamArena, ParamHandle};
 pub use context::Context;
 pub use detector::{CentralDetector, Detector};
 pub use error::{Result, SnoopError};

@@ -43,6 +43,7 @@
 //! layer for callers that *want* to opt into commutative normalization
 //! before defining.
 
+use crate::batch::EventBatch;
 use crate::context::Context;
 use crate::error::{Result, SnoopError};
 use crate::event::{Catalog, EventId, Occurrence};
@@ -239,7 +240,9 @@ fn deliver<T: EventTime>(
 }
 
 /// Route one emission batch from position `p`: register timers, enqueue
-/// parent deliveries, record named detections.
+/// parent deliveries, record named detections. Each emission is cloned
+/// once per subscriber *minus one* — the last parent (or, for a named
+/// position with no parents, the detection list) receives it by move.
 fn postprocess_def<T: EventTime>(
     def: &mut DefView,
     p: u32,
@@ -258,23 +261,36 @@ fn postprocess_def<T: EventTime>(
         });
     }
     let pos = &def.positions[p as usize];
-    let parents = pos.parents.clone();
     let named = pos.named;
     for occ in emissions {
-        for &(parent, slot) in &parents {
-            queue.push_back((parent, slot, occ.clone()));
-        }
-        if named {
-            result.detected.push(occ);
+        match pos.parents.split_last() {
+            Some((&(last, lslot), rest)) => {
+                for &(parent, slot) in rest {
+                    queue.push_back((parent, slot, occ.clone()));
+                }
+                if named {
+                    queue.push_back((last, lslot, occ.clone()));
+                    result.detected.push(occ);
+                } else {
+                    queue.push_back((last, lslot, occ));
+                }
+            }
+            None => {
+                if named {
+                    result.detected.push(occ);
+                }
+            }
         }
     }
 }
 
-/// BFS over one definition's queued deliveries.
+/// BFS over one definition's queued deliveries. `queue` is borrowed so
+/// callers on the hot path can reuse one allocation across triggers; it
+/// is empty again on return.
 fn drain_def<T: EventTime>(
     store: &mut impl NodeStore<T>,
     def: &mut DefView,
-    mut queue: VecDeque<(u32, usize, Occurrence<T>)>,
+    queue: &mut VecDeque<(u32, usize, Occurrence<T>)>,
     result: &mut FeedResult<T>,
 ) {
     while let Some((p, slot, occ)) = queue.pop_front() {
@@ -282,7 +298,7 @@ fn drain_def<T: EventTime>(
             let pos = &mut def.positions[p as usize];
             deliver(store, pos, slot, &occ)
         };
-        postprocess_def(def, p, emissions, timer_reqs, &mut queue, result);
+        postprocess_def(def, p, emissions, timer_reqs, queue, result);
     }
 }
 
@@ -291,6 +307,7 @@ pub(crate) fn feed_def_into<T: EventTime>(
     store: &mut impl NodeStore<T>,
     def: &mut DefView,
     occ: &Occurrence<T>,
+    queue: &mut VecDeque<(u32, usize, Occurrence<T>)>,
 ) -> FeedResult<T> {
     let mut result = FeedResult {
         detected: Vec::new(),
@@ -299,10 +316,36 @@ pub(crate) fn feed_def_into<T: EventTime>(
     let Some(subs) = def.subs.get(&occ.ty) else {
         return result;
     };
-    let mut queue: VecDeque<(u32, usize, Occurrence<T>)> = VecDeque::new();
+    debug_assert!(queue.is_empty(), "scratch queue must start empty");
     for &(p, slot) in subs {
         queue.push_back((p, slot, occ.clone()));
     }
+    drain_def(store, def, queue, &mut result);
+    result
+}
+
+/// Like [`feed_def_into`] but takes the trigger by move: the last
+/// subscribing position receives the original, the rest clones — the
+/// common single-subscriber route never clones at all.
+pub(crate) fn feed_def_into_owned<T: EventTime>(
+    store: &mut impl NodeStore<T>,
+    def: &mut DefView,
+    occ: Occurrence<T>,
+    queue: &mut VecDeque<(u32, usize, Occurrence<T>)>,
+) -> FeedResult<T> {
+    let mut result = FeedResult {
+        detected: Vec::new(),
+        timers: Vec::new(),
+    };
+    let Some(subs) = def.subs.get(&occ.ty) else {
+        return result;
+    };
+    debug_assert!(queue.is_empty(), "scratch queue must start empty");
+    let (&(last, lslot), rest) = subs.split_last().expect("sub lists are non-empty");
+    for &(p, slot) in rest {
+        queue.push_back((p, slot, occ.clone()));
+    }
+    queue.push_back((last, lslot, occ));
     drain_def(store, def, queue, &mut result);
     result
 }
@@ -322,6 +365,30 @@ pub struct PlanStats {
     pub sharing_ratio: f64,
 }
 
+/// Reusable hot-path buffers for the serial cascade. Kept on the
+/// detector so the per-event loop of a batch feed allocates nothing:
+/// the current wave, the next wave, the per-trigger detection round and
+/// the BFS delivery queue all recycle their capacity across triggers.
+/// Every buffer is empty between public calls.
+#[derive(Debug)]
+struct Scratch<T> {
+    wave: Vec<Occurrence<T>>,
+    next: Vec<Occurrence<T>>,
+    round: Vec<Occurrence<T>>,
+    queue: VecDeque<(u32, usize, Occurrence<T>)>,
+}
+
+impl<T> Default for Scratch<T> {
+    fn default() -> Self {
+        Scratch {
+            wave: Vec::new(),
+            next: Vec::new(),
+            round: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
 /// A catalog plus **one shared plan** across all composite definitions,
 /// with per-definition views routing occurrences through it.
 ///
@@ -336,8 +403,12 @@ pub struct PlanDetector<T: EventTime> {
     nodes: Vec<PlanNode<T>>,
     cons: HashMap<ConsKey, usize>,
     defs: Vec<DefView>,
-    /// Event type → definitions subscribed to it, ascending.
-    routes: HashMap<EventId, Vec<ShardId>>,
+    /// Event type → definitions subscribed to it, ascending. Indexed
+    /// densely by `EventId` (an empty slot = unrouted) so the hot path
+    /// routes with one bounds-checked load instead of a hash.
+    routes: Vec<Vec<ShardId>>,
+    /// Reusable hot-path buffers (empty between public calls).
+    scratch: Scratch<T>,
     /// Topological level of each definition in the dependency DAG.
     levels: Vec<usize>,
     /// Union-find over definitions: defs sharing any plan node land in
@@ -355,7 +426,8 @@ impl<T: EventTime> PlanDetector<T> {
             nodes: Vec::new(),
             cons: HashMap::new(),
             defs: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
+            scratch: Scratch::default(),
             levels: Vec::new(),
             uf: Vec::new(),
             #[cfg(feature = "parallel")]
@@ -431,7 +503,11 @@ impl<T: EventTime> PlanDetector<T> {
             .max()
             .unwrap_or(0);
         for &ty in &def.subscribed {
-            self.routes.entry(ty).or_default().push(d);
+            let slot = ty.0 as usize;
+            if slot >= self.routes.len() {
+                self.routes.resize_with(slot + 1, Vec::new);
+            }
+            self.routes[slot].push(d);
         }
         self.levels.push(level);
         self.defs.push(def);
@@ -800,9 +876,12 @@ impl<T: EventTime> PlanDetector<T> {
     /// Whether some definition references another definition's named
     /// event.
     pub fn has_cross_shard_routes(&self) -> bool {
-        self.defs
-            .iter()
-            .any(|dv| self.routes.contains_key(&dv.emits))
+        self.defs.iter().any(|dv| !self.route(dv.emits).is_empty())
+    }
+
+    /// The definitions subscribed to `ty`, ascending (empty = unrouted).
+    fn route(&self, ty: EventId) -> &[ShardId] {
+        self.routes.get(ty.0 as usize).map_or(&[], Vec::as_slice)
     }
 
     /// Smallest timer delay any node can request, or `None` when no
@@ -891,7 +970,7 @@ impl<T: EventTime> PlanDetector<T> {
     /// into the definitions that reference them.
     pub fn feed(&mut self, occ: Occurrence<T>) -> ShardFeedResult<T> {
         let mut out = ShardFeedResult::default();
-        self.pump(vec![occ], &mut out);
+        self.pump_one(occ, &mut out);
         self.trim_logs();
         out
     }
@@ -927,7 +1006,7 @@ impl<T: EventTime> PlanDetector<T> {
             &mut queue,
             &mut result,
         );
-        drain_def(&mut self.nodes, &mut self.defs[d], queue, &mut result);
+        drain_def(&mut self.nodes, &mut self.defs[d], &mut queue, &mut result);
         let mut out = ShardFeedResult::default();
         out.timers.extend(result.timers.into_iter().map(|t| (d, t)));
         let mut round = result.detected;
@@ -960,45 +1039,101 @@ impl<T: EventTime> PlanDetector<T> {
         }
         let mut out = ShardFeedResult::default();
         for occ in occs {
-            self.pump(vec![occ], &mut out);
+            self.pump_one(occ, &mut out);
         }
         self.trim_logs();
         out
     }
 
+    /// Feed a columnar batch: only routed rows are ever materialized into
+    /// occurrences (an unrouted primitive type cannot contribute to any
+    /// detection), then the batch path takes over. Bit-identical to
+    /// materializing every row and calling [`Self::feed_batch`].
+    pub fn feed_batch_columnar(&mut self, batch: &EventBatch<T>) -> ShardFeedResult<T> {
+        let occs = batch.materialize_routed(|ty| !self.route(ty).is_empty());
+        self.feed_batch(occs)
+    }
+
+    /// BFS cascade for a single trigger, on the detector scratch: the
+    /// per-event loop of a serial batch feed allocates nothing.
+    fn pump_one(&mut self, occ: Occurrence<T>, out: &mut ShardFeedResult<T>) {
+        let mut s = std::mem::take(&mut self.scratch);
+        debug_assert!(s.wave.is_empty());
+        s.wave.push(occ);
+        self.run_waves(&mut s, out);
+        self.scratch = s;
+    }
+
     /// BFS cascade: serial waves until no detections remain.
-    fn pump(&mut self, mut wave: Vec<Occurrence<T>>, out: &mut ShardFeedResult<T>) {
-        while !wave.is_empty() {
-            wave = self.serial_wave(wave, out);
+    fn pump(&mut self, wave: Vec<Occurrence<T>>, out: &mut ShardFeedResult<T>) {
+        let mut s = std::mem::take(&mut self.scratch);
+        debug_assert!(s.wave.is_empty());
+        s.wave.extend(wave);
+        self.run_waves(&mut s, out);
+        self.scratch = s;
+    }
+
+    fn run_waves(&mut self, s: &mut Scratch<T>, out: &mut ShardFeedResult<T>) {
+        while !s.wave.is_empty() {
+            self.wave_step(s, out);
+            std::mem::swap(&mut s.wave, &mut s.next);
         }
     }
 
-    /// Run one cascade wave serially and return the next wave: route each
-    /// occurrence to the subscribed definitions (ascending), canonically
-    /// merge the per-trigger detections.
+    /// Run one cascade wave serially: route each occurrence of `s.wave`
+    /// to the subscribed definitions (ascending), canonically merge the
+    /// per-trigger detections into `out` and `s.next`. Each trigger moves
+    /// into the *last* subscribed definition — the common single-route
+    /// case never clones it.
+    fn wave_step(&mut self, s: &mut Scratch<T>, out: &mut ShardFeedResult<T>) {
+        let PlanDetector {
+            routes,
+            nodes,
+            defs,
+            ..
+        } = self;
+        let Scratch {
+            wave,
+            next,
+            round,
+            queue,
+        } = s;
+        for occ in wave.drain(..) {
+            let route: &[ShardId] = routes.get(occ.ty.0 as usize).map_or(&[], Vec::as_slice);
+            let Some((&last, rest)) = route.split_last() else {
+                continue;
+            };
+            debug_assert!(round.is_empty());
+            for &d in rest {
+                let r = feed_def_into(nodes, &mut defs[d], &occ, queue);
+                out.timers.extend(r.timers.into_iter().map(|t| (d, t)));
+                round.extend(r.detected);
+            }
+            let r = feed_def_into_owned(nodes, &mut defs[last], occ, queue);
+            out.timers.extend(r.timers.into_iter().map(|t| (last, t)));
+            round.extend(r.detected);
+            sort_canonical(round);
+            for det in round.drain(..) {
+                next.push(det.clone());
+                out.detected.push(det);
+            }
+        }
+    }
+
+    /// One cascade wave over an owned vector (the staged pooled path's
+    /// single-active-definition case).
+    #[cfg(feature = "parallel")]
     fn serial_wave(
         &mut self,
         wave: Vec<Occurrence<T>>,
         out: &mut ShardFeedResult<T>,
     ) -> Vec<Occurrence<T>> {
-        let mut next = Vec::new();
-        for occ in wave {
-            let Some(route) = self.routes.get(&occ.ty) else {
-                continue;
-            };
-            let route = route.clone();
-            let mut round = Vec::new();
-            for &d in &route {
-                let r = feed_def_into(&mut self.nodes, &mut self.defs[d], &occ);
-                out.timers.extend(r.timers.into_iter().map(|t| (d, t)));
-                round.extend(r.detected);
-            }
-            sort_canonical(&mut round);
-            for det in round {
-                next.push(det.clone());
-                out.detected.push(det);
-            }
-        }
+        let mut s = std::mem::take(&mut self.scratch);
+        debug_assert!(s.wave.is_empty());
+        s.wave = wave;
+        self.wave_step(&mut s, out);
+        let next = std::mem::take(&mut s.next);
+        self.scratch = s;
         next
     }
 
@@ -1030,11 +1165,23 @@ impl<T: EventTime> PlanDetector<T> {
     }
 
     /// Attach a persistent worker pool of `workers` threads (clamped to
-    /// `1..=shard_count`) and route every subsequent [`Self::feed_batch`]
-    /// through it. Sharing components are moved whole to a worker, so a
-    /// shared node always travels with every definition bound to it.
+    /// `1..=shard_count` and to the machine's available parallelism —
+    /// oversubscribing cores only adds hand-off latency) and route every
+    /// subsequent [`Self::feed_batch`] through it. Sharing components are
+    /// moved whole to a worker, so a shared node always travels with
+    /// every definition bound to it.
     #[cfg(feature = "parallel")]
     pub fn enable_pool(&mut self, workers: usize) {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.enable_pool_exact(workers.min(hw));
+    }
+
+    /// Like [`Self::enable_pool`] but without the hardware cap (still
+    /// clamped to `1..=shard_count`). Tests and determinism oracles use
+    /// this to exercise multi-worker hand-off on machines with fewer
+    /// cores than workers.
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool_exact(&mut self, workers: usize) {
         let workers = workers.clamp(1, self.defs.len().max(1));
         self.pool = Some(crate::pool::WorkerPool::new(workers));
     }
@@ -1062,6 +1209,16 @@ impl<T: EventTime> PlanDetector<T> {
         #[cfg(feature = "parallel")]
         if let Some(p) = &self.pool {
             return p.busy_ns();
+        }
+        0
+    }
+
+    /// Backoff steps spent waiting on full or empty pool rings so far
+    /// (0 = serial or never contended).
+    pub fn ring_full_spins(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.ring_full_spins();
         }
         0
     }
@@ -1267,10 +1424,11 @@ impl<T: EventTime> PlanCell<T> {
         let PlanCell { defs, store } = self;
         let mut out: crate::pool::KeyedResults<T> =
             defs.iter().map(|(d, _)| (*d, Vec::new())).collect();
+        let mut queue = VecDeque::new();
         for (k, occ) in triggers.iter().enumerate() {
             for (i, (_, def)) in defs.iter_mut().enumerate() {
                 if def.subs.contains_key(&occ.ty) {
-                    let r = feed_def_into(store, def, occ);
+                    let r = feed_def_into(store, def, occ, &mut queue);
                     out[i].1.push((k, r));
                 }
             }
@@ -1569,6 +1727,11 @@ impl<T: EventTime> AnyDetector<T> {
         delegate!(self, d => d.feed_batch(occs))
     }
 
+    /// Feed a columnar batch (only routed rows are materialized).
+    pub fn feed_batch_columnar(&mut self, batch: &EventBatch<T>) -> ShardFeedResult<T> {
+        delegate!(self, d => d.feed_batch_columnar(batch))
+    }
+
     /// Deliver a previously requested timer.
     pub fn fire_timer(
         &mut self,
@@ -1585,6 +1748,13 @@ impl<T: EventTime> AnyDetector<T> {
         delegate!(self, d => d.enable_pool(workers))
     }
 
+    /// Attach a pool without the hardware cap (see the backends'
+    /// `enable_pool_exact`).
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool_exact(&mut self, workers: usize) {
+        delegate!(self, d => d.enable_pool_exact(workers))
+    }
+
     /// Worker threads in the persistent pool (0 = serial).
     pub fn worker_count(&self) -> usize {
         delegate!(self, d => d.worker_count())
@@ -1598,6 +1768,11 @@ impl<T: EventTime> AnyDetector<T> {
     /// Total busy time across pool workers, in nanoseconds.
     pub fn pool_busy_ns(&self) -> u64 {
         delegate!(self, d => d.pool_busy_ns())
+    }
+
+    /// Backoff steps spent waiting on full or empty pool rings so far.
+    pub fn ring_full_spins(&self) -> u64 {
+        delegate!(self, d => d.ring_full_spins())
     }
 
     /// Sharing counters. The sharded backend reports its total graph
@@ -2346,7 +2521,7 @@ mod parallel_tests {
         for workers in [1, 2, 4, 8] {
             let mut d = build(false);
             assert!(!d.has_cross_shard_routes());
-            d.enable_pool(workers);
+            d.enable_pool_exact(workers);
             let occs = trace(&d);
             let got = d.feed_batch(occs);
             assert_eq!(got.detected, expect.detected, "{workers} workers");
@@ -2369,7 +2544,7 @@ mod parallel_tests {
             let mut d = build(true);
             assert!(d.has_cross_shard_routes());
             assert_eq!(d.stage_count(), 3);
-            d.enable_pool(workers);
+            d.enable_pool_exact(workers);
             let occs = trace(&d);
             let got = d.feed_batch(occs);
             assert_eq!(got.detected, expect.detected, "{workers} workers");
@@ -2402,9 +2577,9 @@ mod parallel_tests {
             };
             sharded.define(&name, &expr, Context::Chronicle).unwrap();
         }
-        sharded.enable_pool(4);
+        sharded.enable_pool_exact(4);
         let mut plan = build(false);
-        plan.enable_pool(4);
+        plan.enable_pool_exact(4);
         let occs = trace(&plan);
         let rs = sharded.feed_batch(occs.clone());
         let rp = plan.feed_batch(occs);
@@ -2415,7 +2590,7 @@ mod parallel_tests {
     #[test]
     fn pool_stats_accumulate() {
         let mut d = build(false);
-        d.enable_pool(4);
+        d.enable_pool_exact(4);
         assert_eq!(d.worker_count(), 4);
         assert_eq!(d.parallel_rounds(), 0);
         let occs = trace(&d);
@@ -2427,7 +2602,30 @@ mod parallel_tests {
     #[test]
     fn enable_pool_clamps_to_def_count() {
         let mut d = build(false); // 8 defs
-        d.enable_pool(64);
+        d.enable_pool_exact(64);
         assert_eq!(d.worker_count(), 8);
+    }
+
+    #[test]
+    fn enable_pool_caps_to_available_parallelism() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut d = build(false); // 8 defs
+        d.enable_pool(64);
+        assert_eq!(d.worker_count(), 64.min(hw).min(8).max(1));
+    }
+
+    #[test]
+    fn columnar_feed_is_bit_identical_to_serial() {
+        let expect = serial_reference(false);
+        let mut d = build(false);
+        let mut batch = EventBatch::new();
+        let prims = ["A", "B", "C", "D"];
+        for t in 0..64u64 {
+            let ty = d.catalog().lookup(prims[(t % 4) as usize]).unwrap();
+            batch.push_bare(ty, CentralTime(t));
+        }
+        let got = d.feed_batch_columnar(&batch);
+        assert_eq!(got.detected, expect.detected);
+        assert_eq!(got.timers, expect.timers);
     }
 }

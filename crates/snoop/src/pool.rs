@@ -3,23 +3,38 @@
 //! PR 1's parallel path spawned one scoped thread per shard per batch,
 //! paying thread-creation cost on every release round. This pool creates
 //! its threads once and keeps them for the detector's lifetime; each round
-//! the detector *moves* the shards a worker is pinned to into a [`Job`]
-//! sent over a channel, the worker feeds its shards and sends them back
-//! with keyed results, and the detector reinstalls them and merges in the
-//! canonical order. Because results are merged by `(trigger index, shard
-//! id)` — never by completion order — the output is bit-for-bit identical
-//! to the serial path no matter how many workers run or how they are
-//! scheduled.
+//! the detector *moves* the shards a worker is pinned to into a [`Job`],
+//! the worker feeds its shards and hands them back with keyed results,
+//! and the detector reinstalls them and merges in the canonical order.
+//! Because results are merged by `(trigger index, shard id)` — never by
+//! completion order — the output is bit-for-bit identical to the serial
+//! path no matter how many workers run or how they are scheduled.
+//!
+//! Hand-off runs on pre-sized lock-free SPSC rings ([`crate::spsc`]), one
+//! job ring and one result ring per worker, instead of the former
+//! `std::sync::mpsc` channels: a round dispatch is a slot write and a
+//! release store per worker, with no allocation, no mutex and no futex
+//! wake on the hot path. The pump collecting a round is the barrier.
+//! Waits escalate spin → yield → nap ([`crate::spsc::Backoff`]), so an
+//! idle pool costs ~nothing and an oversubscribed single-core machine
+//! still makes progress; every backoff step taken on a full or empty
+//! ring is counted in [`WorkerPool::ring_full_spins`].
 
 use crate::event::Occurrence;
 use crate::graph::FeedResult;
 use crate::plan::PlanCell;
 use crate::shard::{Shard, ShardId};
+use crate::spsc::{ring, Backoff, Consumer, Producer};
 use crate::time::EventTime;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Ring capacity per worker. The round protocol keeps at most one job and
+/// one result outstanding per worker; the slack absorbs a round being
+/// dispatched while the previous result is still being collected.
+const RING_CAPACITY: usize = 4;
 
 /// Per-shard feed results, keyed by trigger index (ascending — workers
 /// scan the shared trigger slice in order).
@@ -49,21 +64,23 @@ pub(crate) struct RoundResult<T: EventTime> {
     pub(crate) busy_ns: u64,
 }
 
-/// Long-lived worker threads executing shard rounds. Workers block on
-/// their job channel between rounds; dropping the pool closes the
-/// channels, which terminates and joins every thread.
+/// Long-lived worker threads executing shard rounds over SPSC rings.
+/// Dropping the pool drops the job producers; each worker observes its
+/// job ring closed and exits, and the pool joins every thread.
 pub(crate) struct WorkerPool<T: EventTime> {
-    senders: Vec<Sender<Job<T>>>,
-    result_rx: Receiver<RoundResult<T>>,
+    job_txs: Vec<Producer<Job<T>>>,
+    result_rxs: Vec<Consumer<RoundResult<T>>>,
     handles: Vec<JoinHandle<()>>,
     rounds: u64,
     busy_ns: u64,
+    /// Backoff steps taken on full/empty rings, pump and workers combined.
+    spins: Arc<AtomicU64>,
 }
 
 impl<T: EventTime> std::fmt::Debug for WorkerPool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.senders.len())
+            .field("workers", &self.job_txs.len())
             .field("rounds", &self.rounds)
             .field("busy_ns", &self.busy_ns)
             .finish()
@@ -74,60 +91,33 @@ impl<T: EventTime> WorkerPool<T> {
     /// Spawn `workers` (≥ 1) persistent threads.
     pub(crate) fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (result_tx, result_rx) = channel::<RoundResult<T>>();
-        let mut senders = Vec::with_capacity(workers);
+        let spins = Arc::new(AtomicU64::new(0));
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = channel::<Job<T>>();
-            senders.push(tx);
-            let result_tx = result_tx.clone();
+            let (job_tx, job_rx) = ring::<Job<T>>(RING_CAPACITY);
+            let (result_tx, result_rx) = ring::<RoundResult<T>>(RING_CAPACITY);
+            job_txs.push(job_tx);
+            result_rxs.push(result_rx);
+            let worker_spins = Arc::clone(&spins);
             handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    let started = Instant::now();
-                    let mut shards = Vec::with_capacity(job.shards.len());
-                    let mut results = Vec::with_capacity(job.shards.len());
-                    for (sid, mut shard) in job.shards {
-                        let mut keyed = Vec::new();
-                        for (k, occ) in job.triggers.iter().enumerate() {
-                            if shard.subscribed.contains(&occ.ty) {
-                                keyed.push((k, shard.graph.feed_ref(occ)));
-                            }
-                        }
-                        results.push((sid, keyed));
-                        shards.push((sid, shard));
-                    }
-                    let mut cells = Vec::with_capacity(job.cells.len());
-                    for mut cell in job.cells {
-                        results.extend(cell.run(&job.triggers));
-                        cells.push(cell);
-                    }
-                    let busy_ns = started.elapsed().as_nanos() as u64;
-                    if result_tx
-                        .send(RoundResult {
-                            shards,
-                            cells,
-                            results,
-                            busy_ns,
-                        })
-                        .is_err()
-                    {
-                        break; // pool dropped mid-round
-                    }
-                }
+                worker_loop(job_rx, result_tx, worker_spins)
             }));
         }
         WorkerPool {
-            senders,
-            result_rx,
+            job_txs,
+            result_rxs,
             handles,
             rounds: 0,
             busy_ns: 0,
+            spins,
         }
     }
 
     /// Number of worker threads.
     pub(crate) fn worker_count(&self) -> usize {
-        self.senders.len()
+        self.job_txs.len()
     }
 
     /// Rounds dispatched so far.
@@ -140,21 +130,51 @@ impl<T: EventTime> WorkerPool<T> {
         self.busy_ns
     }
 
+    /// Backoff steps taken on full or empty rings so far (pump dispatch
+    /// and collection plus worker result pushes).
+    pub(crate) fn ring_full_spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
+    }
+
     /// Dispatch one round (`(worker index, job)` pairs, one per engaged
-    /// worker) and collect every result. Results arrive in completion
-    /// order; callers must merge by shard/trigger key, never by position.
+    /// worker) and collect every result — the round barrier. Results are
+    /// returned per engaged worker; callers must merge by shard/trigger
+    /// key, never by position.
     pub(crate) fn run_round(&mut self, jobs: Vec<(usize, Job<T>)>) -> Vec<RoundResult<T>> {
-        let n = jobs.len();
-        if n == 0 {
+        if jobs.is_empty() {
             return Vec::new();
         }
         self.rounds += 1;
+        let mut engaged = Vec::with_capacity(jobs.len());
         for (w, job) in jobs {
-            self.senders[w].send(job).expect("pool worker exited");
+            engaged.push(w);
+            let mut pending = job;
+            let mut backoff = Backoff::new();
+            loop {
+                match self.job_txs[w].push(pending) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        assert!(!self.job_txs[w].closed(), "pool worker exited");
+                        pending = back;
+                        self.spins.fetch_add(1, Ordering::Relaxed);
+                        backoff.wait();
+                    }
+                }
+            }
         }
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let r = self.result_rx.recv().expect("pool worker panicked");
+        let mut out = Vec::with_capacity(engaged.len());
+        for w in engaged {
+            let mut backoff = Backoff::new();
+            let r = loop {
+                match self.result_rxs[w].pop() {
+                    Some(r) => break r,
+                    None => {
+                        assert!(!self.result_rxs[w].closed(), "pool worker panicked");
+                        self.spins.fetch_add(1, Ordering::Relaxed);
+                        backoff.wait();
+                    }
+                }
+            };
             self.busy_ns += r.busy_ns;
             out.push(r);
         }
@@ -162,9 +182,68 @@ impl<T: EventTime> WorkerPool<T> {
     }
 }
 
+/// One worker: pop jobs until the job ring closes, feed the moved shards
+/// and plan cells against the shared triggers, push the keyed results.
+fn worker_loop<T: EventTime>(
+    job_rx: Consumer<Job<T>>,
+    result_tx: Producer<RoundResult<T>>,
+    spins: Arc<AtomicU64>,
+) {
+    let mut backoff = Backoff::new();
+    loop {
+        let Some(job) = job_rx.pop() else {
+            if job_rx.closed() {
+                return; // pool dropped
+            }
+            backoff.wait();
+            continue;
+        };
+        backoff.reset();
+        let started = Instant::now();
+        let mut shards = Vec::with_capacity(job.shards.len());
+        let mut results = Vec::with_capacity(job.shards.len());
+        for (sid, mut shard) in job.shards {
+            let mut keyed = Vec::new();
+            for (k, occ) in job.triggers.iter().enumerate() {
+                if shard.subscribed.contains(&occ.ty) {
+                    keyed.push((k, shard.graph.feed_ref(occ)));
+                }
+            }
+            results.push((sid, keyed));
+            shards.push((sid, shard));
+        }
+        let mut cells = Vec::with_capacity(job.cells.len());
+        for mut cell in job.cells {
+            results.extend(cell.run(&job.triggers));
+            cells.push(cell);
+        }
+        let busy_ns = started.elapsed().as_nanos() as u64;
+        let mut pending = RoundResult {
+            shards,
+            cells,
+            results,
+            busy_ns,
+        };
+        let mut push_backoff = Backoff::new();
+        loop {
+            match result_tx.push(pending) {
+                Ok(()) => break,
+                Err(back) => {
+                    if result_tx.closed() {
+                        return; // pool dropped mid-round
+                    }
+                    pending = back;
+                    spins.fetch_add(1, Ordering::Relaxed);
+                    push_backoff.wait();
+                }
+            }
+        }
+    }
+}
+
 impl<T: EventTime> Drop for WorkerPool<T> {
     fn drop(&mut self) {
-        self.senders.clear(); // closes the job channels
+        self.job_txs.clear(); // closes the job rings
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -222,11 +222,23 @@ impl<T: EventTime> ShardedDetector<T> {
     }
 
     /// Attach a persistent worker pool of `workers` threads (clamped to
-    /// `1..=shard_count`) and route every subsequent [`Self::feed_batch`]
-    /// through it. Shards are pinned to workers round-robin in `define`
-    /// order. Output stays bit-for-bit identical to the serial path.
+    /// `1..=shard_count` and to the machine's available parallelism —
+    /// oversubscribing cores only adds hand-off latency) and route every
+    /// subsequent [`Self::feed_batch`] through it. Shards are pinned to
+    /// workers round-robin in `define` order. Output stays bit-for-bit
+    /// identical to the serial path.
     #[cfg(feature = "parallel")]
     pub fn enable_pool(&mut self, workers: usize) {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.enable_pool_exact(workers.min(hw));
+    }
+
+    /// Like [`Self::enable_pool`] but without the hardware cap (still
+    /// clamped to `1..=shard_count`). Tests and determinism oracles use
+    /// this to exercise multi-worker hand-off on machines with fewer
+    /// cores than workers.
+    #[cfg(feature = "parallel")]
+    pub fn enable_pool_exact(&mut self, workers: usize) {
         let workers = workers.clamp(1, self.shards.len().max(1));
         self.pool = Some(crate::pool::WorkerPool::new(workers));
     }
@@ -254,6 +266,16 @@ impl<T: EventTime> ShardedDetector<T> {
         #[cfg(feature = "parallel")]
         if let Some(p) = &self.pool {
             return p.busy_ns();
+        }
+        0
+    }
+
+    /// Backoff steps spent waiting on full or empty pool rings so far
+    /// (0 = serial or never contended).
+    pub fn ring_full_spins(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        if let Some(p) = &self.pool {
+            return p.ring_full_spins();
         }
         0
     }
@@ -307,6 +329,18 @@ impl<T: EventTime> ShardedDetector<T> {
             self.pump(vec![occ], &mut out);
         }
         out
+    }
+
+    /// Feed a columnar batch: only routed rows are ever materialized into
+    /// occurrences (an unrouted primitive type cannot contribute to any
+    /// detection), then the batch path takes over. Bit-identical to
+    /// materializing every row and calling [`Self::feed_batch`].
+    pub fn feed_batch_columnar(
+        &mut self,
+        batch: &crate::batch::EventBatch<T>,
+    ) -> ShardFeedResult<T> {
+        let occs = batch.materialize_routed(|ty| self.routes.contains_key(&ty));
+        self.feed_batch(occs)
     }
 
     /// BFS cascade: run serial waves until no detections remain. Each wave
@@ -783,7 +817,7 @@ mod parallel_tests {
         for workers in [1, 2, 4, 8] {
             let mut d = build(false);
             assert!(!d.has_cross_shard_routes());
-            d.enable_pool(workers);
+            d.enable_pool_exact(workers);
             let occs = trace(&d);
             let got = d.feed_batch(occs);
             assert_eq!(got.detected, expect.detected, "{workers} workers");
@@ -804,7 +838,7 @@ mod parallel_tests {
             let mut d = build(true);
             assert!(d.has_cross_shard_routes());
             assert_eq!(d.stage_count(), 3);
-            d.enable_pool(workers);
+            d.enable_pool_exact(workers);
             let occs = trace(&d);
             let got = d.feed_batch(occs);
             assert_eq!(got.detected, expect.detected, "{workers} workers");
@@ -816,7 +850,7 @@ mod parallel_tests {
     #[test]
     fn pool_stats_accumulate() {
         let mut d = build(false);
-        d.enable_pool(4);
+        d.enable_pool_exact(4);
         assert_eq!(d.worker_count(), 4);
         assert_eq!(d.parallel_rounds(), 0);
         let occs = trace(&d);
@@ -828,7 +862,15 @@ mod parallel_tests {
     #[test]
     fn enable_pool_clamps_to_shard_count() {
         let mut d = build(false); // 8 shards
-        d.enable_pool(64);
+        d.enable_pool_exact(64);
         assert_eq!(d.worker_count(), 8);
+    }
+
+    #[test]
+    fn enable_pool_caps_to_available_parallelism() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut d = build(false); // 8 shards
+        d.enable_pool(64);
+        assert_eq!(d.worker_count(), 64.min(hw).min(8).max(1));
     }
 }

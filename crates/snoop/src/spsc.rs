@@ -1,0 +1,237 @@
+//! Lock-free single-producer/single-consumer rings (`parallel` feature).
+//!
+//! The worker pool's round protocol is strictly SPSC in both directions:
+//! the pump is the only thread that enqueues a worker's job and the only
+//! thread that dequeues its result, and each worker owns exactly one job
+//! consumer and one result producer. A classic Lamport ring — one
+//! producer-owned tail, one consumer-owned head, a fixed slot array —
+//! therefore needs no locks and no CAS: a push is one relaxed tail read,
+//! one acquire head read, one slot write and one release tail store;
+//! a pop mirrors it.
+//!
+//! Capacities are pre-sized to the round protocol (at most one
+//! outstanding job and one outstanding result per worker per round, plus
+//! slack for a round dispatched while the previous result is still in
+//! flight), so a full ring is a pathological condition the pool only
+//! spins on briefly and counts (`ring_full_spins`).
+
+#![allow(unsafe_code)] // the sanctioned exception to the crate-level deny
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared state of one ring. `head` is only stored by the consumer,
+/// `tail` only by the producer; both are monotonically increasing logical
+/// indices (slot = index % capacity), so `tail - head` is the occupancy.
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+// Slots are only touched by the side that owns them per the head/tail
+// protocol; the atomics publish ownership hand-off (release/acquire).
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Sole owner at drop time: drain whatever was never popped.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = self.slots[i % self.slots.len()].get();
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half. Not `Clone` — single producer by construction.
+pub(crate) struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving half. Not `Clone` — single consumer by construction.
+pub(crate) struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// A fixed-capacity SPSC ring.
+pub(crate) fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Push `value`, or hand it back when the ring is full.
+    pub(crate) fn push(&self, value: T) -> Result<(), T> {
+        let r = &*self.ring;
+        let tail = r.tail.load(Ordering::Relaxed);
+        let head = r.head.load(Ordering::Acquire);
+        if tail - head == r.slots.len() {
+            return Err(value);
+        }
+        let slot = r.slots[tail % r.slots.len()].get();
+        unsafe { (*slot).write(value) };
+        r.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether the matching consumer has been dropped.
+    pub(crate) fn closed(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest value, or `None` when the ring is empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let r = &*self.ring;
+        let head = r.head.load(Ordering::Relaxed);
+        let tail = r.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = r.slots[head % r.slots.len()].get();
+        let value = unsafe { (*slot).assume_init_read() };
+        r.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Whether the matching producer has been dropped (a final `pop`
+    /// sweep may still yield values pushed before the drop).
+    pub(crate) fn closed(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+/// Cooperative backoff for ring waits. Spins briefly (cheap when the
+/// other side is mid-operation on another core), then yields, then — for
+/// long idle stretches, e.g. a worker waiting for the next round on a
+/// loaded single-core machine — sleeps in short naps so an idle pool
+/// costs ~nothing. Returns after one step; callers loop around it.
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPINS: u32 = 64;
+    const YIELDS: u32 = 256;
+
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Wait one step. Escalates spin → yield → 50 µs nap.
+    pub(crate) fn wait(&mut self) {
+        if self.step < Self::SPINS {
+            std::hint::spin_loop();
+        } else if self.step < Self::SPINS + Self::YIELDS {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Back to the spin tier (progress was made).
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99)); // full
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        // Wraps around the slot array.
+        tx.push(7).unwrap();
+        assert_eq!(rx.pop(), Some(7));
+    }
+
+    #[test]
+    fn drops_undelivered_values() {
+        let counted = Arc::new(());
+        let (tx, rx) = ring::<Arc<()>>(2);
+        tx.push(Arc::clone(&counted)).unwrap();
+        tx.push(Arc::clone(&counted)).unwrap();
+        assert_eq!(Arc::strong_count(&counted), 3);
+        drop(tx);
+        drop(rx); // ring dropped with 2 queued values
+        assert_eq!(Arc::strong_count(&counted), 1);
+    }
+
+    #[test]
+    fn closed_reports_peer_drop() {
+        let (tx, rx) = ring::<u8>(1);
+        assert!(!tx.closed());
+        drop(rx);
+        assert!(tx.closed());
+        let (tx2, rx2) = ring::<u8>(1);
+        tx2.push(5).unwrap();
+        drop(tx2);
+        assert!(rx2.closed());
+        assert_eq!(rx2.pop(), Some(5)); // drained after close
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (tx, rx) = ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            let mut backoff = Backoff::new();
+            for i in 0..10_000u64 {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            backoff.wait();
+                        }
+                    }
+                }
+                backoff.reset();
+            }
+        });
+        let mut backoff = Backoff::new();
+        let mut expect = 0u64;
+        while expect < 10_000 {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                    backoff.reset();
+                }
+                None => backoff.wait(),
+            }
+        }
+        producer.join().unwrap();
+    }
+}

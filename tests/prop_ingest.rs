@@ -1,0 +1,202 @@
+//! Equivalence property suite for the columnar ingestion hot path.
+//!
+//! The contract is exact: feeding a workload through the
+//! struct-of-arrays [`EventBatch`] path (`CentralDetector::feed_columnar`,
+//! arbitrarily chunked) must produce the same named detections — same
+//! composite timestamps, same accumulated parameters, same order — as
+//! feeding every occurrence individually through `CentralDetector::feed`,
+//! for arbitrary traces across all five parameter contexts, with buffer
+//! GC on or off, for both the shared-plan and sharded backends, and for
+//! worker pools of 1, 2, or 4 threads (the `parallel` feature; ignored —
+//! and still exact — without it). A deterministic companion test pins the
+//! arena no-resurrection guarantee: handles minted before a generation
+//! reset never resolve afterwards.
+
+use decs::snoop::{
+    CentralDetector, CentralTime, Context, EventBatch, EventExpr as E, Occurrence, ParamArena,
+    Value,
+};
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = ["A", "B", "C"];
+
+const CTXS: [Context; 5] = [
+    Context::Unrestricted,
+    Context::Recent,
+    Context::Chronicle,
+    Context::Continuous,
+    Context::Cumulative,
+];
+
+/// One timer-free definition per context, so the columnar whole-batch
+/// path (not the per-row split fallback) is what runs. Bodies span the
+/// operator set: binary Seq/And/Or, n-ary Any, and NOT (whose middle
+/// negative slot makes parameter consumption order-sensitive — the
+/// sharpest probe for a reordered feed).
+fn build(sharded: bool, gc: bool, workers: usize) -> CentralDetector {
+    let mut d = if sharded {
+        CentralDetector::sharded()
+    } else {
+        CentralDetector::plan()
+    };
+    for name in NAMES {
+        d.register(name).unwrap();
+    }
+    let ab = E::seq(E::prim("A"), E::prim("B"));
+    let bodies = [
+        ab.clone(),
+        E::and(ab.clone(), E::prim("C")),
+        E::or(ab, E::prim("C")),
+        E::any(2, vec![E::prim("A"), E::prim("B"), E::prim("C")]),
+        E::not(E::prim("B"), E::prim("A"), E::prim("C")),
+    ];
+    for (i, (body, ctx)) in bodies.iter().zip(CTXS).enumerate() {
+        d.define(&format!("D{i}"), body, ctx).unwrap();
+    }
+    d.set_buffer_gc(gc);
+    if workers > 1 {
+        // Exact: bypass the available-parallelism cap so multi-worker
+        // SPSC hand-off is exercised even on small CI machines.
+        #[cfg(feature = "parallel")]
+        d.enable_worker_pool_exact(workers);
+    }
+    d
+}
+
+/// Random workload row: (tick delta, event index, parameter payload).
+/// Deltas of 0 keep several rows on one tick (the batch fan-out case);
+/// non-empty payloads force arena-backed parameter staging.
+fn workload() -> impl Strategy<Value = Vec<(u64, usize, Vec<u64>)>> {
+    proptest::collection::vec(
+        (
+            0u64..3,
+            0usize..3,
+            proptest::collection::vec(0u64..50, 0..3),
+        ),
+        0..60,
+    )
+}
+
+type Detections = Vec<(String, Occurrence<CentralTime>)>;
+
+fn named(d: &CentralDetector, r: Vec<Occurrence<CentralTime>>) -> Detections {
+    r.into_iter()
+        .map(|o| (d.name_of(&o).to_string(), o))
+        .collect()
+}
+
+/// Oracle: one `feed` call per row, in order.
+fn run_per_event(
+    sharded: bool,
+    gc: bool,
+    workers: usize,
+    trace: &[(u64, usize, Vec<u64>)],
+) -> Detections {
+    let mut d = build(sharded, gc, workers);
+    let mut out = Vec::new();
+    let mut tick = 1;
+    for (delta, ev, payload) in trace {
+        tick += delta;
+        let values: Vec<Value> = payload.iter().map(|&v| Value::Int(v as i64)).collect();
+        let r = d.feed(NAMES[*ev], tick, values).unwrap();
+        out.extend(named(&d, r));
+    }
+    out
+}
+
+/// Candidate: the same rows staged struct-of-arrays and fed through
+/// `feed_columnar` in `chunk`-sized batches (chunk ≥ trace length ⇒ one
+/// whole-batch call). The staging batch is reused across chunks, so the
+/// arena's generation counter actually advances mid-run.
+fn run_columnar(
+    sharded: bool,
+    gc: bool,
+    workers: usize,
+    chunk: usize,
+    trace: &[(u64, usize, Vec<u64>)],
+) -> Detections {
+    let mut d = build(sharded, gc, workers);
+    let mut batch = EventBatch::new();
+    let mut out = Vec::new();
+    let mut tick = 1;
+    for rows in trace.chunks(chunk.max(1)) {
+        batch.clear();
+        for (delta, ev, payload) in rows {
+            tick += delta;
+            let ty = d.catalog().lookup(NAMES[*ev]).unwrap();
+            if payload.is_empty() {
+                batch.push_bare(ty, CentralTime(tick));
+            } else {
+                let values: Vec<Value> = payload.iter().map(|&v| Value::Int(v as i64)).collect();
+                batch.push(ty, CentralTime(tick), values);
+            }
+        }
+        let r = d.feed_columnar(&batch).unwrap();
+        out.extend(named(&d, r));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole contract: columnar ingestion detects exactly what
+    /// per-event feeding detects, in every sampled configuration.
+    #[test]
+    fn columnar_ingest_is_bit_identical_to_per_event_feeds(
+        trace in workload(),
+        sharded in prop_oneof![Just(false), Just(true)],
+        buffer_gc in prop_oneof![Just(true), Just(false)],
+        workers in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+        chunk in 1usize..64,
+    ) {
+        let oracle = run_per_event(sharded, buffer_gc, workers, &trace);
+        let columnar = run_columnar(sharded, buffer_gc, workers, chunk, &trace);
+        prop_assert_eq!(
+            &columnar, &oracle,
+            "sharded={} gc={} workers={} chunk={}",
+            sharded, buffer_gc, workers, chunk
+        );
+    }
+}
+
+/// The arena's generation discipline, end to end: owned handles minted
+/// before a `reset` never resolve afterwards — not even when the reset
+/// arena re-fills the same slots — while interned bare handles are
+/// immortal by construction.
+#[test]
+fn arena_reset_never_resurrects_owned_handles() {
+    let mut d = CentralDetector::plan();
+    for name in NAMES {
+        d.register(name).unwrap();
+    }
+    let a = d.catalog().lookup("A").unwrap();
+    let b = d.catalog().lookup("B").unwrap();
+
+    let mut arena = ParamArena::new();
+    let bare = arena.intern_bare(a);
+    let old: Vec<_> = (0..8)
+        .map(|i| arena.alloc(b, vec![Value::Int(i)]))
+        .collect();
+    for (i, &h) in old.iter().enumerate() {
+        let params = arena.get(h).expect("live before reset");
+        assert_eq!(params[0].values[0], Value::Int(i as i64));
+    }
+
+    arena.reset();
+    // Refill every slot the old handles pointed at.
+    let fresh: Vec<_> = (0..8)
+        .map(|i| arena.alloc(b, vec![Value::Int(100 + i)]))
+        .collect();
+    for &h in &old {
+        assert_eq!(arena.get(h), None, "stale handle resolved after reset");
+    }
+    for (i, &h) in fresh.iter().enumerate() {
+        let params = arena.get(h).expect("fresh handles live");
+        assert_eq!(params[0].values[0], Value::Int(100 + i as i64));
+    }
+    // Bare handles survive any number of resets.
+    assert!(arena.get(bare).is_some());
+    arena.reset();
+    assert!(arena.get(bare).is_some());
+}

@@ -52,7 +52,7 @@ fn msg() -> impl Strategy<Value = Msg> {
             .prop_map(|(seq, watermark, events)| Msg::Batch {
                 seq,
                 watermark,
-                events
+                events: std::sync::Arc::new(events)
             }),
     ]
 }
