@@ -48,4 +48,11 @@ cargo run --release -p decs-bench --features parallel --bin ingest -- --smoke
 # BENCH_recovery.json baseline.
 cargo run --release -p decs-bench --bin recovery -- --smoke
 
+# Timestamp-width smoke: re-measures the version-vector compare/join
+# kernels at widths 2–128 and validates the committed
+# BENCH_timewidth.json baseline (fails on malformed JSON, a >2x
+# regression of a width-32 kernel, or a baseline width-32 speedup
+# below 5x).
+cargo run --release -p decs-bench --bin timewidth -- --smoke
+
 echo "ci.sh: all tier-1 checks passed"

@@ -190,7 +190,7 @@ fn render_json(mode: &str, events: u64, rows: &[Row]) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"bench\": \"ingest\",");
-    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"schema\": 2,");
     let _ = writeln!(j, "  \"mode\": \"{mode}\",");
     let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(j, "  \"defs\": {DEFS},");
@@ -199,9 +199,13 @@ fn render_json(mode: &str, events: u64, rows: &[Row]) -> String {
     let _ = writeln!(j, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        // Schema 2: every row carries its own threads/schema stamp, so a
+        // consumer holding a single row out of context (or a future
+        // multi-machine merge of rows) can still decide comparability.
         let _ = writeln!(
             j,
-            "    {{\"name\": \"{}\", \"workers\": {}, \"meps\": {:.3}, \
+            "    {{\"name\": \"{}\", \"schema\": 2, \"threads\": {threads}, \
+             \"workers\": {}, \"meps\": {:.3}, \
              \"speedup_vs_per_event\": {:.2}, \"detections\": {}, \
              \"ring_full_spins\": {}}}{comma}",
             r.name,
@@ -276,8 +280,14 @@ fn smoke(baseline_path: &str) -> i32 {
     }
     // Absolute Meps are only comparable on the same class of machine; the
     // thread stamp is the proxy, matching the hotpath smoke's policy.
+    // Schema-2 baselines stamp threads on every row — prefer the row-level
+    // stamp of the row actually compared, falling back to the top-level
+    // stamp for schema-1 artifacts.
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let comparable = stamped_threads(&baseline) == Some(threads);
+    let baseline_threads = extract(&baseline, "columnar", "threads")
+        .map(|t| t as usize)
+        .or_else(|| stamped_threads(&baseline));
+    let comparable = baseline_threads == Some(threads);
     if comparable {
         if let Some(base) = extract(&baseline, "columnar", "meps") {
             let now = extract(&json, "columnar", "meps").unwrap_or(0.0);
@@ -297,7 +307,7 @@ fn smoke(baseline_path: &str) -> i32 {
     }
     // The 4-worker scaling gate arms only when the baseline machine had
     // real parallelism to scale into.
-    if let Some(bt) = stamped_threads(&baseline) {
+    if let Some(bt) = baseline_threads {
         if bt >= 4 {
             match extract(&baseline, "columnar_w4", "speedup_vs_per_event") {
                 Some(s) if s >= 2.0 => {}

@@ -99,6 +99,119 @@ impl MemberVec {
     }
 }
 
+/// All construction-time caches of a [`CompositeTimestamp`], computed in
+/// two linear passes over the canonical member slice (the second pass only
+/// exists to make the "excluding the achieving site" bounds exact when
+/// several sites tie on the band edge).
+struct Caches {
+    min_global: u64,
+    max_global: u64,
+    site_mask: u64,
+    min_site: SiteId,
+    max_site: SiteId,
+    min2_global: u64,
+    max2_global: u64,
+}
+
+impl Caches {
+    fn compute(members: &[PrimitiveTimestamp]) -> Self {
+        debug_assert!(!members.is_empty());
+        let mut min_global = members[0].global().get();
+        let mut max_global = min_global;
+        let mut site_mask = 0u64;
+        let mut min_site = members[0].site();
+        let mut max_site = members[0].site();
+        for t in members {
+            let g = t.global().get();
+            if g < min_global {
+                min_global = g;
+                min_site = t.site();
+            }
+            if g > max_global {
+                max_global = g;
+                max_site = t.site();
+            }
+            site_mask |= 1u64 << (t.site().get() % 64);
+        }
+        let mut min2_global = u64::MAX;
+        let mut max2_global = 0u64;
+        for t in members {
+            let g = t.global().get();
+            if t.site() != min_site {
+                min2_global = min2_global.min(g);
+            }
+            if t.site() != max_site {
+                max2_global = max2_global.max(g);
+            }
+        }
+        Caches {
+            min_global,
+            max_global,
+            site_mask,
+            min_site,
+            max_site,
+            min2_global,
+            max2_global,
+        }
+    }
+}
+
+/// One per-site entry of a composite timestamp's **version-vector
+/// summary**: the contiguous run of members at a single site, collapsed to
+/// the quantities the `2g_g` relation can see.
+///
+/// Theorem 5.1 makes the summary lossless: members of one composite
+/// timestamp are pairwise concurrent, and two same-site primitive stamps
+/// are concurrent iff their *local* ticks are equal — so every member of a
+/// site's run shares one local tick, and the run is characterized by
+/// `(site, local, min_global, max_global)` plus the member globals
+/// themselves (which stay in the member slice). Cross-site comparisons only
+/// ever look at global ticks, same-site comparisons only at local ticks,
+/// so the kernels in [`crate::ordering`]/[`crate::join`] can work entirely
+/// on runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRun {
+    /// The site all members of this run occurred at.
+    pub site: SiteId,
+    /// The shared local tick of the run (Theorem 5.1: same-site members of
+    /// a normalized set are simultaneous, i.e. equal-local).
+    pub local: u64,
+    /// Smallest global tick among the run's members.
+    pub min_global: u64,
+    /// Largest global tick among the run's members.
+    pub max_global: u64,
+}
+
+/// Iterator over the per-site version-vector summary of a composite
+/// timestamp. Members are stored sorted by `(site, global, local)`, so each
+/// site's run is a contiguous slice and the summary is produced by a single
+/// linear walk — no allocation, no side table.
+#[derive(Debug, Clone)]
+pub struct SiteRuns<'a> {
+    rest: &'a [PrimitiveTimestamp],
+}
+
+impl Iterator for SiteRuns<'_> {
+    type Item = SiteRun;
+
+    fn next(&mut self) -> Option<SiteRun> {
+        let first = *self.rest.first()?;
+        let site = first.site();
+        let mut i = 1;
+        while i < self.rest.len() && self.rest[i].site() == site {
+            i += 1;
+        }
+        let last = self.rest[i - 1];
+        self.rest = &self.rest[i..];
+        Some(SiteRun {
+            site,
+            local: first.local().get(),
+            min_global: first.global().get(),
+            max_global: last.global().get(),
+        })
+    }
+}
+
 /// A distributed composite event timestamp: a non-empty set of pairwise
 /// concurrent, maximal primitive timestamps (Definition 5.2).
 ///
@@ -106,16 +219,27 @@ impl MemberVec {
 /// global, then local), so equal timestamp sets compare equal with `==`.
 /// Sets of up to four members are stored inline (no heap allocation).
 ///
-/// Three derived quantities are cached at construction so the hot
-/// comparison kernels ([`crate::ordering`], [`crate::join`]) can decide
-/// most relations in O(1) without touching the member slice:
+/// Derived quantities are cached at construction so the hot comparison
+/// kernels ([`crate::ordering`], [`crate::join`]) can decide most relations
+/// in O(1) — and everything else in O(|sites|) — without the O(n·m) member
+/// scan:
 ///
 /// * [`min_global`](Self::min_global) / [`max_global`](Self::max_global) —
 ///   the global-tick *band* of the member set;
 /// * [`site_mask`](Self::site_mask) — a 64-bit Bloom-style bitmap of member
 ///   sites (bit `site % 64`). Disjoint masks prove the site sets are
 ///   disjoint, i.e. every member pair is cross-site and therefore decided
-///   by global ticks alone.
+///   by global ticks alone;
+/// * the *second-order* band bounds
+///   ([`min_global_excluding`](Self::min_global_excluding) /
+///   [`max_global_excluding`](Self::max_global_excluding)) — the band
+///   recomputed with any one site removed, which is what the `∃` side of
+///   the Definition 5.3 quantifiers needs per opposing site;
+/// * the per-site **version-vector summary** itself is *implicit*: members
+///   are sorted by site, so [`site_runs`](Self::site_runs) yields the
+///   sorted `(site, local, min_global, max_global)` vector by walking the
+///   member slice — it costs nothing at construction, nothing to clone,
+///   and can never drift out of sync with the members.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(try_from = "CompositeTimestampWire", into = "CompositeTimestampWire")]
 pub struct CompositeTimestamp {
@@ -123,6 +247,19 @@ pub struct CompositeTimestamp {
     min_global: u64,
     max_global: u64,
     site_mask: u64,
+    /// Site of (one member achieving) `min_global` / `max_global`, plus the
+    /// band bounds recomputed over all members *not* at that site. Together
+    /// these answer `min/max_global_excluding(s)` for any `s` in O(1):
+    /// if `s` differs from the achieving site the full-band bound stands,
+    /// otherwise the second-order bound is exact by definition.
+    min_site: SiteId,
+    max_site: SiteId,
+    /// `u64::MAX` when every member sits at `min_site` (no outside member).
+    min2_global: u64,
+    /// `0` when every member sits at `max_site`; safe as a sentinel because
+    /// the kernels only compare it as a *dominator* bound (`g + 1 < max2`),
+    /// which no global tick satisfies against 0.
+    max2_global: u64,
 }
 
 impl PartialEq for CompositeTimestamp {
@@ -176,21 +313,51 @@ impl CompositeTimestamp {
     /// Internal constructor: takes a member list already in canonical form
     /// (sorted, deduped, maximal) and computes the cached bounds/bitmap.
     fn from_sorted_members(members: Vec<PrimitiveTimestamp>) -> Self {
-        debug_assert!(!members.is_empty());
-        let mut min_global = u64::MAX;
-        let mut max_global = 0u64;
-        let mut site_mask = 0u64;
-        for t in &members {
-            let g = t.global().get();
-            min_global = min_global.min(g);
-            max_global = max_global.max(g);
-            site_mask |= 1u64 << (t.site().get() % 64);
-        }
+        let caches = Caches::compute(&members);
+        Self::assemble(MemberVec::from_sorted(members), caches)
+    }
+
+    /// Alloc-conscious internal constructor for the join kernels: builds
+    /// from a borrowed canonical slice (sorted, deduped, maximal), copying
+    /// into the inline buffer when it fits — a result of ≤ 4 members costs
+    /// no allocation at all, which is what lets [`crate::join::max_op`]
+    /// stage its merge in a reusable scratch buffer.
+    pub(crate) fn from_canonical_slice(members: &[PrimitiveTimestamp]) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "not canonical");
+        // Pairwise concurrency ⟺ maximality for a sorted deduped set; the
+        // check is alloc-free on purpose (the alloc-count suite measures
+        // this constructor under debug assertions).
+        debug_assert!(
+            members
+                .iter()
+                .enumerate()
+                .all(|(i, a)| members[i + 1..].iter().all(|b| a.concurrent(b))),
+            "not a maximal set"
+        );
+        let caches = Caches::compute(members);
+        let members = if members.len() <= INLINE_MEMBERS {
+            let mut buf = [MemberVec::FILL; INLINE_MEMBERS];
+            buf[..members.len()].copy_from_slice(members);
+            MemberVec::Inline {
+                len: members.len() as u8,
+                buf,
+            }
+        } else {
+            MemberVec::Heap(members.to_vec())
+        };
+        Self::assemble(members, caches)
+    }
+
+    fn assemble(members: MemberVec, caches: Caches) -> Self {
         CompositeTimestamp {
-            members: MemberVec::from_sorted(members),
-            min_global,
-            max_global,
-            site_mask,
+            members,
+            min_global: caches.min_global,
+            max_global: caches.max_global,
+            site_mask: caches.site_mask,
+            min_site: caches.min_site,
+            max_site: caches.max_site,
+            min2_global: caches.min2_global,
+            max2_global: caches.max2_global,
         }
     }
 
@@ -287,6 +454,44 @@ impl CompositeTimestamp {
     /// fall back to the member scan.
     pub fn site_mask(&self) -> u64 {
         self.site_mask
+    }
+
+    /// The per-site **version-vector summary**: one [`SiteRun`] per member
+    /// site, in ascending site order. Derived by a linear walk over the
+    /// sorted member slice (site runs are contiguous), so it costs no
+    /// memory and can never desynchronize from the members. The O(|sites|)
+    /// merge-walk kernels in [`crate::ordering`] and [`crate::join`] are
+    /// built on this view.
+    pub fn site_runs(&self) -> SiteRuns<'_> {
+        SiteRuns {
+            rest: self.members.as_slice(),
+        }
+    }
+
+    /// Smallest global tick among members *not* at `site`; `u64::MAX` when
+    /// no such member exists. O(1) from the cached second-order bounds.
+    ///
+    /// This is the `∃`-side bound the Definition 5.3 kernels need: a member
+    /// of `other` at `site` has a cross-site predecessor in `self` iff
+    /// `self.min_global_excluding(site) + 1` (saturating) is below its
+    /// global tick.
+    pub fn min_global_excluding(&self, site: SiteId) -> u64 {
+        if site == self.min_site {
+            self.min2_global
+        } else {
+            self.min_global
+        }
+    }
+
+    /// Largest global tick among members *not* at `site`; `0` when no such
+    /// member exists (safe: the kernels only use it as a strict dominator
+    /// bound `g + 1 < max`, which never holds against 0). O(1).
+    pub fn max_global_excluding(&self, site: SiteId) -> u64 {
+        if site == self.max_site {
+            self.max2_global
+        } else {
+            self.max_global
+        }
     }
 
     /// `Some(site)` when every member occurred at the same site (members
@@ -555,6 +760,99 @@ mod tests {
             Some(SiteId(3))
         );
         assert_eq!(cts(&[(3, 8, 81), (6, 7, 72)]).single_site(), None);
+    }
+
+    #[test]
+    fn site_runs_summarize_member_runs() {
+        // Three sites; s3 has a two-member run (same local, two globals).
+        let c = cts(&[(1, 8, 80), (3, 8, 81), (3, 9, 81), (6, 8, 72)]);
+        let runs: Vec<_> = c.site_runs().collect();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(
+            (
+                runs[0].site,
+                runs[0].local,
+                runs[0].min_global,
+                runs[0].max_global
+            ),
+            (SiteId(1), 80, 8, 8)
+        );
+        assert_eq!(
+            (
+                runs[1].site,
+                runs[1].local,
+                runs[1].min_global,
+                runs[1].max_global
+            ),
+            (SiteId(3), 81, 8, 9)
+        );
+        assert_eq!(
+            (
+                runs[2].site,
+                runs[2].local,
+                runs[2].min_global,
+                runs[2].max_global
+            ),
+            (SiteId(6), 72, 8, 8)
+        );
+        // The summary is sorted by site and loses nothing the relation can
+        // see: reconstructed per-site bounds match a member scan.
+        for r in &runs {
+            let globals: Vec<u64> = c
+                .iter()
+                .filter(|t| t.site() == r.site)
+                .map(|t| t.global().get())
+                .collect();
+            assert_eq!(r.min_global, *globals.iter().min().unwrap());
+            assert_eq!(r.max_global, *globals.iter().max().unwrap());
+            assert!(c
+                .iter()
+                .filter(|t| t.site() == r.site)
+                .all(|t| t.local().get() == r.local));
+        }
+    }
+
+    #[test]
+    fn excluding_bounds_match_member_scan() {
+        let sets = [
+            cts(&[(1, 8, 80)]),
+            cts(&[(3, 8, 80), (3, 9, 80)]),
+            cts(&[(3, 8, 81), (6, 7, 72)]),
+            cts(&[(1, 8, 80), (2, 8, 81), (3, 9, 90), (4, 8, 82), (5, 9, 91)]),
+            // Two sites tying on the band edge: the excluding bound for the
+            // achieving site must see the other achiever.
+            cts(&[(1, 7, 70), (2, 7, 71), (3, 8, 85)]),
+        ];
+        for c in &sets {
+            for probe in 0..8u32 {
+                let site = SiteId(probe);
+                let outside: Vec<u64> = c
+                    .iter()
+                    .filter(|t| t.site() != site)
+                    .map(|t| t.global().get())
+                    .collect();
+                let scan_min = outside.iter().copied().min().unwrap_or(u64::MAX);
+                let scan_max = outside.iter().copied().max().unwrap_or(0);
+                assert_eq!(c.min_global_excluding(site), scan_min, "{c} \\ s{probe}");
+                assert_eq!(c.max_global_excluding(site), scan_max, "{c} \\ s{probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_canonical_slice_equals_vec_constructor() {
+        let sets = [
+            cts(&[(1, 8, 80)]),
+            cts(&[(3, 8, 81), (6, 7, 72)]),
+            cts(&[(1, 8, 80), (2, 8, 81), (3, 9, 90), (4, 8, 82), (5, 9, 91)]),
+        ];
+        for c in &sets {
+            let rebuilt = CompositeTimestamp::from_canonical_slice(c.members());
+            assert_eq!(&rebuilt, c);
+            assert_eq!(rebuilt.min_global(), c.min_global());
+            assert_eq!(rebuilt.max_global(), c.max_global());
+            assert_eq!(rebuilt.site_mask(), c.site_mask());
+        }
     }
 
     #[test]

@@ -32,7 +32,18 @@
 //! can be measured (see the `ordering_validity` experiment).
 
 use crate::composite::{max_set, CompositeTimestamp};
+use crate::primitive::PrimitiveTimestamp;
 use crate::relation::CompositeRelation;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable staging buffer for [`max_op`]'s survivor merge. The merge
+    /// writes the canonical result members here, then copies them into the
+    /// result's inline buffer (≤ 4 members: zero allocations) or a single
+    /// exact-size heap vec — the per-call `T1 ∪ T2` materialization and the
+    /// `max_set` re-sort of the naive path are gone entirely.
+    static MAX_SCRATCH: RefCell<Vec<PrimitiveTimestamp>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Definition 5.7: joining of **concurrent** timestamps — the duplicate-free
 /// union of the member sets.
@@ -93,7 +104,157 @@ pub fn max_op(t1: &CompositeTimestamp, t2: &CompositeTimestamp) -> CompositeTime
             return t1.clone();
         }
     }
-    max_op_naive(t1, t2)
+    MAX_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        merge_survivors(t1, t2, &mut buf);
+        let out = CompositeTimestamp::from_canonical_slice(&buf);
+        debug_assert!(out.invariant_holds());
+        out
+    })
+}
+
+/// The version-vector merge behind [`max_op`]: writes the canonical member
+/// list of `max(T1 ∪ T2)` into `out` in one O(|T1| + |T2|) walk, with no
+/// O(n·m) domination scan and no re-sort.
+///
+/// Both member slices are sorted by `(site, global, local)`, so the walk
+/// advances site by site in merged order. Within one composite, a site's
+/// run shares a single local tick (Theorem 5.1), which collapses the
+/// Definition 5.1 domination test for a member `t = (s, g, l)` of `T1` to
+///
+/// * *same-site dominator*: `T2` has a run at `s` with `l < L2(s)`, or
+/// * *cross-site dominator*: some `T2` member at a site ≠ `s` has a global
+///   tick beyond the `2g_g` horizon — `g + 1 < max_global_excluding₂(s)`
+///
+/// (symmetrically for members of `T2`), both answered in O(1) from the
+/// run headers and cached second-order bounds. Survivors stream out in
+/// canonical order because each side's runs are already sorted and a
+/// shared site's surviving runs share one local tick, letting a plain
+/// two-pointer global-tick merge (with duplicate drop) interleave them.
+fn merge_survivors(
+    t1: &CompositeTimestamp,
+    t2: &CompositeTimestamp,
+    out: &mut Vec<PrimitiveTimestamp>,
+) {
+    let m1 = t1.members();
+    let m2 = t2.members();
+    let (mut i, mut j) = (0, 0);
+    while i < m1.len() || j < m2.len() {
+        // Decide which side(s) own the next site in merged order.
+        let next_site_1 = m1.get(i).map(|t| t.site());
+        let next_site_2 = m2.get(j).map(|t| t.site());
+        match (next_site_1, next_site_2) {
+            (Some(s1), Some(s2)) if s1 == s2 => {
+                // Shared site: the lower-local run is wholly dominated by
+                // the higher-local run (same-site, Theorem 5.1); equal
+                // locals keep both runs, merged by global tick.
+                let l1 = m1[i].local().get();
+                let l2 = m2[j].local().get();
+                let end1 = run_end(m1, i);
+                let end2 = run_end(m2, j);
+                if l1 < l2 {
+                    push_run(m1, i..end1, None, out); // dominated: emit none
+                    push_run(m2, j..end2, Some((t1, s2)), out);
+                } else if l2 < l1 {
+                    push_run(m2, j..end2, None, out);
+                    push_run(m1, i..end1, Some((t2, s1)), out);
+                } else {
+                    merge_shared_runs(t1, t2, m1, i..end1, m2, j..end2, out);
+                }
+                i = end1;
+                j = end2;
+            }
+            (Some(s1), s2) if s2.is_none_or(|s2| s1 < s2) => {
+                // Site only in T1 (all consumed T2 sites are smaller, all
+                // remaining are larger): no same-site dominator exists.
+                let end1 = run_end(m1, i);
+                push_run(m1, i..end1, Some((t2, s1)), out);
+                i = end1;
+            }
+            _ => {
+                let s2 = next_site_2.expect("side 2 non-exhausted");
+                let end2 = run_end(m2, j);
+                push_run(m2, j..end2, Some((t1, s2)), out);
+                j = end2;
+            }
+        }
+    }
+    debug_assert!(!out.is_empty(), "max(T1 ∪ T2) of non-empty sets");
+}
+
+/// Index one past the end of the site run starting at `start`.
+fn run_end(m: &[PrimitiveTimestamp], start: usize) -> usize {
+    let site = m[start].site();
+    let mut end = start + 1;
+    while end < m.len() && m[end].site() == site {
+        end += 1;
+    }
+    end
+}
+
+/// Emit the members of one run that survive cross-site domination by
+/// `other` (`None` means the whole run is already same-site dominated).
+/// Survivors are the run's tail: the run is sorted by global tick and the
+/// domination bound `g + 1 < horizon` only cuts from the low end.
+fn push_run(
+    m: &[PrimitiveTimestamp],
+    range: std::ops::Range<usize>,
+    other: Option<(&CompositeTimestamp, decs_chronos::SiteId)>,
+    out: &mut Vec<PrimitiveTimestamp>,
+) {
+    let Some((other, site)) = other else { return };
+    let horizon = other.max_global_excluding(site);
+    let survivors = m[range]
+        .iter()
+        .skip_while(|t| t.global().get().saturating_add(1) < horizon);
+    out.extend(survivors);
+}
+
+/// Merge two equal-local runs at one shared site: interleave by global
+/// tick, drop exact duplicates, and apply each side's cross-site
+/// domination bound against the *other* composite.
+#[allow(clippy::too_many_arguments)]
+fn merge_shared_runs(
+    t1: &CompositeTimestamp,
+    t2: &CompositeTimestamp,
+    m1: &[PrimitiveTimestamp],
+    r1: std::ops::Range<usize>,
+    m2: &[PrimitiveTimestamp],
+    r2: std::ops::Range<usize>,
+    out: &mut Vec<PrimitiveTimestamp>,
+) {
+    let site = m1[r1.start].site();
+    let horizon1 = t2.max_global_excluding(site); // dominates T1 members
+    let horizon2 = t1.max_global_excluding(site); // dominates T2 members
+    let (mut i, mut j) = (r1.start, r2.start);
+    while i < r1.end || j < r2.end {
+        let g1 = (i < r1.end).then(|| m1[i].global().get());
+        let g2 = (j < r2.end).then(|| m2[j].global().get());
+        match (g1, g2) {
+            (Some(g1), Some(g2)) if g1 == g2 => {
+                // Shared member: survives (nothing in either side dominates
+                // a member the other side also holds — Theorem 5.1 keeps
+                // each side free of internal domination).
+                out.push(m1[i]);
+                i += 1;
+                j += 1;
+            }
+            (Some(g1), g2) if g2.is_none_or(|g2| g1 < g2) => {
+                if g1.saturating_add(1) >= horizon1 {
+                    out.push(m1[i]);
+                }
+                i += 1;
+            }
+            _ => {
+                let g2 = g2.expect("side 2 non-exhausted");
+                if g2.saturating_add(1) >= horizon2 {
+                    out.push(m2[j]);
+                }
+                j += 1;
+            }
+        }
+    }
 }
 
 /// Reference implementation of the `Max` operator: always materializes
@@ -242,6 +403,42 @@ mod tests {
         let left = max_op(&max_op(&a, &b), &c);
         let right = max_op(&a, &max_op(&b, &c));
         assert_eq!(left, right);
+    }
+
+    /// Deterministic mini-fuzz mirroring `ordering::tests`: the merge-walk
+    /// `max_op` must equal `max(T1 ∪ T2)` (Theorem 5.4) on every pair of a
+    /// dense sample of small composites, including shared members, shared
+    /// sites with unequal locals, and multi-member same-site runs.
+    #[test]
+    fn merge_walk_equals_naive_on_dense_sample() {
+        let mut samples = Vec::new();
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..120 {
+            let n = 1 + (next() % 4) as usize;
+            let mut raw = Vec::new();
+            for _ in 0..n {
+                let site = (next() % 4) as u32 + 1;
+                let g = next() % 6;
+                let l = (g / 2) * 10 + u64::from(site);
+                raw.push(crate::pts(site, g, l));
+            }
+            samples.push(CompositeTimestamp::from_primitives(raw));
+        }
+        for a in &samples {
+            for b in &samples {
+                let fast = max_op(a, b);
+                let slow = max_op_naive(a, b);
+                assert_eq!(fast, slow, "Max({a}, {b})");
+                assert!(fast.invariant_holds());
+                assert!(theorem_5_4_holds(a, b));
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod properties;
 pub mod region;
 pub mod relation;
 
-pub use composite::{max_set, CompositeTimestamp, RawTimestampSet};
+pub use composite::{max_set, CompositeTimestamp, RawTimestampSet, SiteRun, SiteRuns};
 pub use decs_chronos::{GlobalTicks, LocalTicks, SiteId};
 pub use error::{CoreError, Result};
 pub use interval::{ClosedInterval, OpenInterval};

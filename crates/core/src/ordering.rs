@@ -37,32 +37,80 @@ impl CompositeTimestamp {
     ///    band bounds: `<_p ⇔ min_global(self) + 1 < min_global(other)`.
     /// 2. **Band separation** (`max_global(self) + 1 < min_global(other)`)
     ///    — every *cross-site* pair is ordered. If `self` spans ≥ 2 sites,
-    ///    each `t2` has a cross-site predecessor, so `<_p` holds outright;
-    ///    if `self` sits on a single site, only `other`'s members at that
-    ///    same site still need a local-tick witness.
+    ///    each `t2` has a cross-site predecessor, so `<_p` holds outright.
     ///
-    /// Anything else falls back to the pairwise scan
-    /// ([`Self::happens_before_naive`]).
+    /// Anything else runs the O(|sites|) version-vector merge-walk
+    /// ([`Self::happens_before_vv`]) — the literal `∀∃` scan survives only
+    /// as the oracle ([`Self::happens_before_naive`]).
     pub fn happens_before(&self, other: &Self) -> bool {
         if self.site_mask() & other.site_mask() == 0 {
             return self.min_global() + 1 < other.min_global();
         }
-        if self.max_global() + 1 < other.min_global() {
-            return match self.single_site() {
-                None => true,
-                Some(s) => {
-                    let min_local = self
-                        .iter()
-                        .map(|t1| t1.local().get())
-                        .min()
-                        .expect("non-empty");
-                    other
-                        .iter()
-                        .all(|t2| t2.site() != s || min_local < t2.local().get())
-                }
-            };
+        if self.max_global() + 1 < other.min_global() && self.single_site().is_none() {
+            return true;
         }
-        self.happens_before_naive(other)
+        self.happens_before_vv(other)
+    }
+
+    /// The `<_p` kernel on the per-site version-vector summary: a single
+    /// merge-walk over both [`site_runs`](CompositeTimestamp::site_runs)
+    /// sequences, O(|sites(self)| + |sites(other)|). Exact — no fallback.
+    ///
+    /// Per opposing site `s` (a run of `other` with shared local tick
+    /// `L2(s)` and smallest global `minG2(s)`), the `∃t1: t1 < t2` witness
+    /// for *every* member of the run exists iff
+    ///
+    /// * `self` has a run at `s` with `L1(s) < L2(s)` (a same-site
+    ///   predecessor works for the whole run at once — Theorem 5.1 gives
+    ///   each run a single local tick), **or**
+    /// * some cross-site member of `self` precedes even the run's earliest
+    ///   member: `min_global_excluding(s) + 1 < minG2(s)` (the hardest
+    ///   member of the run is the one with the smallest global tick; other
+    ///   members may also use same-site witnesses, but a run that fails
+    ///   both bounds has an unwitnessed member).
+    pub fn happens_before_vv(&self, other: &Self) -> bool {
+        // Hand-rolled index walk (not `site_runs().peekable()`): the runs
+        // are contiguous in the sorted member slices, and the bench sweep
+        // (`BENCH_timewidth.json`) showed the iterator-adaptor form paying
+        // ~3x per site in `Peekable` bookkeeping.
+        let m1 = self.members();
+        let m2 = other.members();
+        // Lockstep lane: when the site sequences are identical and every
+        // position is ordered by local tick, each run of `other` has its
+        // same-site witness and `<_p` holds — the shape every
+        // same-derivation SEQ compare produces, verified by a single zip.
+        // Sound because the per-site condition is a *disjunction*: a local
+        // witness alone settles a site, so only `true` can be concluded
+        // here; any deviation falls through to the general walk.
+        if m1.len() == m2.len()
+            && m1
+                .iter()
+                .zip(m2)
+                .all(|(a, b)| a.site() == b.site() && a.local().get() < b.local().get())
+        {
+            return true;
+        }
+        let mut i = 0;
+        let mut j = 0;
+        while j < m2.len() {
+            let p2 = &m2[j];
+            let site = p2.site();
+            while i < m1.len() && m1[i].site() < site {
+                i += 1;
+            }
+            if !(i < m1.len() && m1[i].site() == site && m1[i].local().get() < p2.local().get()) {
+                // `p2` is the run's smallest global (runs sort by global).
+                let min_excl = self.min_global_excluding(site);
+                if min_excl.saturating_add(1) >= p2.global().get() {
+                    return false;
+                }
+            }
+            j += 1;
+            while j < m2.len() && m2[j].site() == site {
+                j += 1;
+            }
+        }
+        true
     }
 
     /// Reference implementation of `<_p`: the literal Definition 5.3 `∀∃`
@@ -82,7 +130,8 @@ impl CompositeTimestamp {
     /// concurrent iff the bands overlap within one tick in both directions.
     /// With overlapping masks, band separation refutes concurrency as soon
     /// as any cross-site pair exists (both sets single-site on the *same*
-    /// site is the only shape without one).
+    /// site is the only shape without one). Everything else runs the
+    /// O(|sites|) merge-walk ([`Self::concurrent_vv`]).
     pub fn concurrent(&self, other: &Self) -> bool {
         if self.site_mask() & other.site_mask() == 0 {
             return self.max_global() <= other.min_global().saturating_add(1)
@@ -91,11 +140,56 @@ impl CompositeTimestamp {
         if self.max_global() + 1 < other.min_global() || other.max_global() + 1 < self.min_global()
         {
             match (self.single_site(), other.single_site()) {
-                (Some(s1), Some(s2)) if s1 == s2 => {} // all pairs same-site: scan
+                (Some(s1), Some(s2)) if s1 == s2 => {} // all pairs same-site
                 _ => return false,
             }
         }
-        self.concurrent_naive(other)
+        self.concurrent_vv(other)
+    }
+
+    /// The `~` kernel on the version-vector summary, O(|sites|), exact.
+    ///
+    /// All-pairs concurrency decomposes per site `s` of `self`:
+    ///
+    /// * *same-site pairs* (runs shared by both sides) are concurrent iff
+    ///   the runs' local ticks are equal (Theorem 5.1's criterion);
+    /// * *cross-site pairs* `t1@s × t2@s'≠s` are concurrent iff their
+    ///   global ticks differ by at most one — over whole runs:
+    ///   `maxG1(s) ≤ min_global_excluding₂(s) + 1` and
+    ///   `max_global_excluding₂(s) ≤ minG1(s) + 1`.
+    ///
+    /// Iterating the sites of `self` covers every pair: each cross pair has
+    /// its `t1` at some site of `self`, and each shared site is visited.
+    pub fn concurrent_vv(&self, other: &Self) -> bool {
+        // Hand-rolled like `happens_before_vv` — see the note there.
+        let m1 = self.members();
+        let m2 = other.members();
+        let mut i = 0;
+        let mut j = 0;
+        while i < m1.len() {
+            let site = m1[i].site();
+            let min_g1 = m1[i].global().get();
+            let l1 = m1[i].local().get();
+            let mut i2 = i + 1;
+            while i2 < m1.len() && m1[i2].site() == site {
+                i2 += 1;
+            }
+            let max_g1 = m1[i2 - 1].global().get();
+            while j < m2.len() && m2[j].site() < site {
+                j += 1;
+            }
+            if j < m2.len() && m2[j].site() == site && m2[j].local().get() != l1 {
+                return false;
+            }
+            if max_g1 > other.min_global_excluding(site).saturating_add(1) {
+                return false;
+            }
+            if other.max_global_excluding(site) > min_g1.saturating_add(1) {
+                return false;
+            }
+            i = i2;
+        }
+        true
     }
 
     /// Reference implementation of `~`: the literal all-pairs scan.
@@ -111,12 +205,45 @@ impl CompositeTimestamp {
     ///
     /// Fast path (exact): with disjoint site masks, `t1 ⪯ t2 ⇔ ¬(t2 < t1)
     /// ⇔ g1 ≤ g2 + 1`, so the all-pairs condition collapses to
-    /// `max_global(self) ≤ min_global(other) + 1`.
+    /// `max_global(self) ≤ min_global(other) + 1`. Overlapping masks run
+    /// the O(|sites|) merge-walk ([`Self::weak_leq_vv`]).
     pub fn weak_leq(&self, other: &Self) -> bool {
         if self.site_mask() & other.site_mask() == 0 {
             return self.max_global() <= other.min_global().saturating_add(1);
         }
-        self.weak_leq_naive(other)
+        self.weak_leq_vv(other)
+    }
+
+    /// The `⪯̃` kernel on the version-vector summary, O(|sites|), exact.
+    /// Same decomposition as [`Self::concurrent_vv`] with the one-sided
+    /// primitive `⪯` conditions: shared runs need `L1(s) ≤ L2(s)`, cross
+    /// pairs need `maxG1(s) ≤ min_global_excluding₂(s) + 1`.
+    pub fn weak_leq_vv(&self, other: &Self) -> bool {
+        // Hand-rolled like `happens_before_vv` — see the note there.
+        let m1 = self.members();
+        let m2 = other.members();
+        let mut i = 0;
+        let mut j = 0;
+        while i < m1.len() {
+            let site = m1[i].site();
+            let l1 = m1[i].local().get();
+            let mut i2 = i + 1;
+            while i2 < m1.len() && m1[i2].site() == site {
+                i2 += 1;
+            }
+            let max_g1 = m1[i2 - 1].global().get();
+            while j < m2.len() && m2[j].site() < site {
+                j += 1;
+            }
+            if j < m2.len() && m2[j].site() == site && l1 > m2[j].local().get() {
+                return false;
+            }
+            if max_g1 > other.min_global_excluding(site).saturating_add(1) {
+                return false;
+            }
+            i = i2;
+        }
+        true
     }
 
     /// Reference implementation of `⪯̃`: the literal all-pairs scan.
@@ -141,7 +268,9 @@ impl CompositeTimestamp {
     /// classification from the cached global-tick bands alone — no member
     /// scan. The mutual exclusivity argument carries over: `min1 + 1 <
     /// min2` contradicts `max2 ≤ min1 + 1`, so the O(1) branch can never
-    /// disagree with the check order of the scan.
+    /// disagree with the check order of the scan. Overlapping masks
+    /// compose the O(|sites|) `_vv` kernels, so classification is
+    /// O(|sites|) too, never O(n·m).
     pub fn relation(&self, other: &Self) -> CompositeRelation {
         if self.site_mask() & other.site_mask() == 0 {
             let (min1, max1) = (self.min_global(), self.max_global());
@@ -156,11 +285,31 @@ impl CompositeTimestamp {
                 CompositeRelation::Incomparable
             };
         }
-        if self.happens_before(other) {
+        // Masks overlap. Band-separation shortcuts first — they are two
+        // compares against cached bounds and decide the common steady-state
+        // shape (successive detections a full band apart) before any
+        // dispatch overhead.
+        if self.max_global() + 1 < other.min_global() && self.single_site().is_none() {
+            return CompositeRelation::Before;
+        }
+        if other.max_global() + 1 < self.min_global() && other.single_site().is_none() {
+            return CompositeRelation::After;
+        }
+        // Tiny in-band pairs: at ≤4 member pairs the literal scans beat
+        // the three-kernel composition's dispatch overhead
+        // (`BENCH_timewidth.json`, width 2), and they are exact by
+        // definition.
+        if self.len() * other.len() <= 4 {
+            return self.relation_naive(other);
+        }
+        // Otherwise compose the exact `_vv` kernels directly — going
+        // through the `happens_before`/`concurrent` wrappers would re-test
+        // the mask and band tiers up to three times per classification.
+        if self.happens_before_vv(other) {
             CompositeRelation::Before
-        } else if other.happens_before(self) {
+        } else if other.happens_before_vv(self) {
             CompositeRelation::After
-        } else if self.concurrent(other) {
+        } else if self.concurrent_vv(other) {
             CompositeRelation::Concurrent
         } else {
             CompositeRelation::Incomparable
@@ -283,6 +432,57 @@ mod tests {
         for a in &samples {
             for b in &samples {
                 assert_eq!(a.relation(b).flip(), b.relation(a));
+            }
+        }
+    }
+
+    /// Deterministic mini-fuzz: the version-vector kernels must agree with
+    /// the literal Definition 5.3 scans on every pair of a dense sample of
+    /// small composites (shared sites, same-site runs, band overlaps and
+    /// separations all occur). The wide regime lives in
+    /// `tests/prop_timewidth.rs`; this pins the tricky narrow shapes.
+    #[test]
+    fn vv_kernels_equal_naive_on_dense_sample() {
+        let mut samples = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..160 {
+            let n = 1 + (next() % 4) as usize;
+            let mut raw = Vec::new();
+            for _ in 0..n {
+                let site = (next() % 4) as u32 + 1;
+                let g = next() % 6;
+                // Locals shared across adjacent globals so normalization
+                // produces multi-member same-site runs (same local, two
+                // globals — the shape `single_site_detection` pins).
+                let l = (g / 2) * 10 + u64::from(site);
+                raw.push(crate::pts(site, g, l));
+            }
+            samples.push(crate::composite::CompositeTimestamp::from_primitives(raw));
+        }
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.happens_before_vv(b),
+                    a.happens_before_naive(b),
+                    "<_p mismatch for {a} vs {b}"
+                );
+                assert_eq!(
+                    a.concurrent_vv(b),
+                    a.concurrent_naive(b),
+                    "~ mismatch for {a} vs {b}"
+                );
+                assert_eq!(
+                    a.weak_leq_vv(b),
+                    a.weak_leq_naive(b),
+                    "⪯̃ mismatch for {a} vs {b}"
+                );
+                assert_eq!(a.relation(b), a.relation_naive(b), "{a} vs {b}");
             }
         }
     }

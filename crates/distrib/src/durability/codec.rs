@@ -346,6 +346,16 @@ impl Decode for CompositeTimestamp {
         // written by `encode` are already a max-set, so a clean roundtrip
         // is the identity, while corrupt member lists (including empty
         // ones) fail here instead of poisoning the detector.
+        //
+        // The version-vector summary (cached band bounds, site mask, and
+        // the second-order "excluding site s" bounds the O(|sites|)
+        // kernels read) is deliberately NOT on the wire: it is a pure
+        // function of the member set, so decoding **rebuilds** it here
+        // rather than trusting — and having to cross-validate — a
+        // serialized copy. The wire format is unchanged from before the
+        // summary existed; `composite_roundtrip_rebuilds_summary` below
+        // and `tests/prop_wal_codec.rs` pin that rebuilt stamps are
+        // kernel-for-kernel identical to the originals.
         CompositeTimestamp::try_from_primitives(members)
             .map_err(|_| CodecError::Invalid("composite timestamp members"))
     }
@@ -727,6 +737,40 @@ mod tests {
         let back: Occurrence<CompositeTimestamp> = from_bytes(&to_bytes(&occ)).unwrap();
         assert_eq!(back, occ);
         assert_eq!(back.uid, occ.uid);
+    }
+
+    #[test]
+    fn composite_roundtrip_rebuilds_summary() {
+        // Wide stamps across 40 sites (heap members, multi-site runs):
+        // the wire carries members only; decode must rebuild the cached
+        // version-vector summary so the O(|sites|) kernels see the exact
+        // same world after recovery. `PartialEq` compares the cached
+        // bounds/mask first, and the kernel spot-checks compare decoded
+        // stamps against the untouched originals through both fast and
+        // oracle paths.
+        let wide = CompositeTimestamp::from_primitives(
+            (0..40u32).map(|i| decs_core::pts(i, 10 + u64::from(i % 2), 100 + u64::from(i))),
+        );
+        let shifted = CompositeTimestamp::from_primitives(
+            (20..60u32).map(|i| decs_core::pts(i, 11 + u64::from(i % 2), 200 + u64::from(i))),
+        );
+        for t in [&wide, &shifted] {
+            let back: CompositeTimestamp = from_bytes(&to_bytes(t)).unwrap();
+            assert_eq!(&back, t);
+            assert_eq!(back.min_global(), t.min_global());
+            assert_eq!(back.max_global(), t.max_global());
+            assert_eq!(back.site_mask(), t.site_mask());
+        }
+        let back_wide: CompositeTimestamp = from_bytes(&to_bytes(&wide)).unwrap();
+        let back_shifted: CompositeTimestamp = from_bytes(&to_bytes(&shifted)).unwrap();
+        assert_eq!(
+            back_wide.relation(&back_shifted),
+            wide.relation_naive(&shifted)
+        );
+        assert_eq!(
+            decs_core::max_op(&back_wide, &back_shifted),
+            decs_core::max_op_naive(&wide, &shifted)
+        );
     }
 
     #[test]

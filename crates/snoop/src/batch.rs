@@ -26,6 +26,14 @@
 //! bump for the parameters, a stamp clone, and a fresh uid. Events whose
 //! type routes to no definition are skipped without ever materializing.
 //!
+//! The stamp column stores stamps *with their summaries already built*:
+//! `decs_core::CompositeTimestamp` computes its per-site version-vector
+//! caches (site mask, global band, per-site run bounds) at construction,
+//! so cloning a stamp into or out of the column copies the caches too.
+//! Batch-level band prefilters ([`EventTime::global_upper_bound`] over the
+//! dense column) and the downstream operator compares therefore never
+//! re-derive anything from the member list, no matter how wide the stamp.
+//!
 //! The per-event path (`feed`/`feed_bare`) survives untouched as the
 //! differential oracle — `tests/prop_ingest.rs` pins columnar ingestion
 //! bit-identical to it across every context, GC mode and worker count.

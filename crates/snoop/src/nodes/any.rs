@@ -20,6 +20,10 @@ pub struct AnyNode<T: EventTime> {
     ctx: Context,
     m: usize,
     bufs: Vec<Vec<Occurrence<T>>>,
+    /// Reusable staging for the participating slot indices of one
+    /// detection — the m-of-n join site runs allocation-free apart from
+    /// the emitted occurrence itself (`crates/snoop/tests/alloc_count.rs`).
+    slot_scratch: Vec<usize>,
 }
 
 impl<T: EventTime> AnyNode<T> {
@@ -29,6 +33,7 @@ impl<T: EventTime> AnyNode<T> {
             ctx,
             m,
             bufs: (0..n).map(|_| Vec::new()).collect(),
+            slot_scratch: Vec::new(),
         }
     }
 
@@ -46,7 +51,9 @@ impl<T: EventTime> OperatorNode<T> for AnyNode<T> {
         }
         // Select the m participating slots: the arriving slot plus the
         // first (by slot index) other non-empty ones.
-        let mut slots: Vec<usize> = vec![slot];
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.push(slot);
         for (i, b) in self.bufs.iter().enumerate() {
             if slots.len() == self.m {
                 break;
@@ -56,16 +63,19 @@ impl<T: EventTime> OperatorNode<T> for AnyNode<T> {
             }
         }
         slots.sort_unstable();
-        // Most recent occurrence of each participating slot; terminator
-        // (the arriving occurrence) goes last.
-        let parts: Vec<Occurrence<T>> = slots
-            .iter()
-            .filter(|&&s| s != slot)
-            .map(|&s| self.bufs[s].last().expect("non-empty").clone())
-            .chain(std::iter::once(occ.clone()))
-            .collect();
-        let refs: Vec<&Occurrence<T>> = parts.iter().collect();
-        sink.emit_all(&refs);
+        // Most recent occurrence of each participating slot, borrowed in
+        // place (no per-detection clones — `emit_all` copies what the
+        // emitted occurrence needs); the terminator (the arriving
+        // occurrence) goes last.
+        {
+            let refs: Vec<&Occurrence<T>> = slots
+                .iter()
+                .filter(|&&s| s != slot)
+                .map(|&s| self.bufs[s].last().expect("non-empty"))
+                .chain(std::iter::once(occ))
+                .collect();
+            sink.emit_all(&refs);
+        }
         // Consumption.
         match self.ctx {
             Context::Unrestricted | Context::Recent => {}
@@ -77,6 +87,7 @@ impl<T: EventTime> OperatorNode<T> for AnyNode<T> {
                 }
             }
         }
+        self.slot_scratch = slots;
     }
 
     /// `ANY` imposes no temporal constraint, so the watermark itself proves

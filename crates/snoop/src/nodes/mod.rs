@@ -262,6 +262,11 @@ pub(crate) struct BandedBuffer<T: EventTime> {
     /// Sorted by `(band, seq)`; `seq` values are unique.
     entries: Vec<BandEntry<T>>,
     next_seq: u64,
+    /// Reusable index staging for [`BandedBuffer::terminate_before`]: the
+    /// matched entry positions of one termination, re-sorted into arrival
+    /// order. Keeping it on the buffer makes the steady-state join path
+    /// allocation-free (`crates/snoop/tests/alloc_count.rs` pins this).
+    scratch: Vec<usize>,
 }
 
 impl<T: EventTime> Default for BandedBuffer<T> {
@@ -269,6 +274,7 @@ impl<T: EventTime> Default for BandedBuffer<T> {
         BandedBuffer {
             entries: Vec::new(),
             next_seq: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -351,14 +357,15 @@ impl<T: EventTime> BandedBuffer<T> {
         let in_band = |e: &BandEntry<T>| e.occ.uid != term.uid && e.occ.time.before(&term.time);
         match ctx {
             Context::Unrestricted => {
-                let mut matched: Vec<&BandEntry<T>> = self.entries[..prefix]
-                    .iter()
-                    .chain(self.entries[prefix..].iter().filter(|e| in_band(e)))
-                    .collect();
-                matched.sort_by_key(|e| e.seq);
-                for e in matched {
-                    sink.emit_pair(&e.occ, term);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                scratch.extend(0..prefix);
+                scratch.extend((prefix..self.entries.len()).filter(|&i| in_band(&self.entries[i])));
+                scratch.sort_by_key(|&i| self.entries[i].seq);
+                for &i in &scratch {
+                    sink.emit_pair(&self.entries[i].occ, term);
                 }
+                self.scratch = scratch;
             }
             Context::Recent => {
                 // Buffer holds at most one occurrence.
@@ -383,26 +390,32 @@ impl<T: EventTime> BandedBuffer<T> {
                 }
             }
             Context::Continuous | Context::Cumulative => {
-                let mut matched = Vec::new();
-                let mut kept = Vec::new();
-                for (i, e) in self.entries.drain(..).enumerate() {
-                    if i < prefix || in_band(&e) {
-                        matched.push(e);
-                    } else {
-                        kept.push(e);
-                    }
-                }
-                self.entries = kept; // a subsequence: still sorted
-                matched.sort_by_key(|e| e.seq);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                scratch.extend(
+                    (0..self.entries.len()).filter(|&i| i < prefix || in_band(&self.entries[i])),
+                );
+                scratch.sort_by_key(|&i| self.entries[i].seq);
                 if ctx == Context::Continuous {
-                    for e in &matched {
-                        sink.emit_pair(&e.occ, term);
+                    for &i in &scratch {
+                        sink.emit_pair(&self.entries[i].occ, term);
                     }
-                } else if !matched.is_empty() {
-                    let mut parts: Vec<&Occurrence<T>> = matched.iter().map(|e| &e.occ).collect();
+                } else if !scratch.is_empty() {
+                    let mut parts: Vec<&Occurrence<T>> =
+                        scratch.iter().map(|&i| &self.entries[i].occ).collect();
                     parts.push(term);
                     sink.emit_all(&parts);
                 }
+                // Consume the matched entries in place (recomputing the
+                // match predicate positionally); the survivors are a
+                // subsequence, so band order is preserved.
+                let mut idx = 0;
+                self.entries.retain(|e| {
+                    let matched = idx < prefix || in_band(e);
+                    idx += 1;
+                    !matched
+                });
+                self.scratch = scratch;
             }
         }
     }

@@ -6,7 +6,11 @@
 //! In the distributed domain "inside the open interval" uses the strict
 //! partial order: a guard occurrence merely *concurrent* with an endpoint
 //! does **not** cancel the window — exactly the open-interval semantics of
-//! Definition 5.5 (a `1·g_g` guard band at each end).
+//! Definition 5.5 (a `1·g_g` guard band at each end). Each guard check is
+//! two `before` calls, which `decs_core` answers with the per-site
+//! version-vector kernel (`happens_before_vv`): O(|sites|) per retained
+//! guard even for wide composite stamps, instead of the old
+//! O(|members|²) member scan.
 
 use crate::context::Context;
 use crate::event::Occurrence;

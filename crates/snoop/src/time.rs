@@ -12,7 +12,12 @@
 //!
 //! [`EventTime`] captures exactly that. [`CentralTime`] instantiates it with
 //! totally ordered clock ticks (Section 3); `decs_core::CompositeTimestamp`
-//! instantiates it with the Section 5 partial order.
+//! instantiates it with the Section 5 partial order, where both operations
+//! run on the per-site version-vector kernels (`relation` via the merge
+//! walks in `decs_core::ordering`, `max` via the survivor merge in
+//! `decs_core::join`): O(|sites|) per call with no allocation beyond the
+//! joined stamp itself, so wide composites are cheap in the hot operator
+//! paths (banded SEQ compares, NOT guard checks, ANY joins).
 
 use decs_core::{max_op, CompositeRelation, CompositeTimestamp};
 use serde::{Deserialize, Serialize};

@@ -71,6 +71,42 @@ proptest! {
         prop_assert_eq!(max_op(&a, &b), max_op_naive(&a, &b));
         prop_assert_eq!(max_op(&b, &a), max_op_naive(&b, &a));
     }
+
+    /// Same contract at version-vector widths: 32- and 128-site stamps
+    /// with partially overlapping site ranges and a band shift, so the
+    /// merge-walk kernels (not just the narrow shapes above) are held to
+    /// the naive oracles. Site bases up to 80 with width 128 also wrap
+    /// the 64-bit `site_mask`, exercising mask-collision fall-through.
+    #[test]
+    fn fast_kernels_equal_naive_oracles_wide(
+        wa in prop_oneof![Just(32usize), Just(128usize)],
+        wb in prop_oneof![Just(32usize), Just(128usize)],
+        base_a in 0u32..80,
+        base_b in 0u32..80,
+        g0 in 0u64..8,
+        shift in 0u64..8,
+        jitter in 0u64..400,
+    ) {
+        let wide = |base: u32, g0: u64, w: usize, salt: u64| {
+            let m: Vec<(u32, u64, u64)> = (0..w as u32)
+                .map(|i| {
+                    let g = g0 + u64::from(i % 3);
+                    (base + i, g, g * 1000 + salt + u64::from(i))
+                })
+                .collect();
+            cts(&m)
+        };
+        let a = wide(base_a, g0, wa, 0);
+        let b = wide(base_b, g0 + shift, wb, jitter);
+        for (x, y) in [(&a, &b), (&b, &a), (&a, &a)] {
+            prop_assert_eq!(x.relation(y), x.relation_naive(y));
+            prop_assert_eq!(x.happens_before(y), x.happens_before_naive(y));
+            prop_assert_eq!(x.concurrent(y), x.concurrent_naive(y));
+            prop_assert_eq!(x.weak_leq(y), x.weak_leq_naive(y));
+        }
+        prop_assert_eq!(max_op(&a, &b), max_op_naive(&a, &b));
+        prop_assert_eq!(max_op(&b, &a), max_op_naive(&b, &a));
+    }
 }
 
 /// Banded SEQ buffer vs the linear arrival-order scan.

@@ -40,6 +40,29 @@ fn occurrence() -> impl Strategy<Value = Occurrence<decs::core::CompositeTimesta
         })
 }
 
+/// A *wide* composite-timestamped occurrence: `width` sites drawn from a
+/// shifted base so stamps overlap partially. Exercises the summarized
+/// (version-vector) timestamp representation through the WAL wire format,
+/// which carries members only — the decoder rebuilds the per-site summary.
+fn wide_occurrence() -> impl Strategy<Value = Occurrence<decs::core::CompositeTimestamp>> {
+    (
+        0u32..8,
+        prop_oneof![Just(2usize), Just(8), Just(32), Just(128)],
+        0u32..64,
+        0u64..50,
+    )
+        .prop_map(|(ty, width, base, g0)| {
+            let members: Vec<(u32, u64, u64)> = (0..width)
+                .map(|i| {
+                    let site = base + i as u32;
+                    let g = g0 + (i as u64 % 2);
+                    (site, g, g * 10 + u64::from(site))
+                })
+                .collect();
+            Occurrence::primitive(EventId(ty), decs::core::cts(&members), Vec::new())
+        })
+}
+
 fn msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         (0u64..1000, occurrence()).prop_map(|(seq, occ)| Msg::Event { seq, occ }),
@@ -160,6 +183,46 @@ proptest! {
         let (reframed, _) = image(&scan.records);
         prop_assert_eq!(reframed.len() as u64, scan.valid_len);
         prop_assert_eq!(&bytes[..scan.valid_len as usize], &reframed[..]);
+    }
+
+    #[test]
+    fn wide_stamp_roundtrip_rebuilds_summary(
+        occs in proptest::collection::vec(wide_occurrence(), 2..5),
+    ) {
+        // Summarized (wide) timestamps through the WAL: the wire format
+        // carries members only, so the scan must hand back stamps whose
+        // rebuilt summaries drive the vector kernels to the same answers
+        // as the naive member-scan oracles on the originals.
+        let records: Vec<WalRecord> = occs
+            .iter()
+            .enumerate()
+            .map(|(i, occ)| WalRecord::Delivered {
+                site: i as u32,
+                at: i as u64,
+                msg: Msg::Event { seq: i as u64, occ: occ.clone() },
+            })
+            .collect();
+        let (bytes, _) = image(&records);
+        let scan = scan_bytes(&bytes);
+        prop_assert_eq!(scan.tail, WalTail::Clean);
+        prop_assert_eq!(&scan.records[..], &records[..]);
+        let mut back = Vec::new();
+        for r in &scan.records {
+            if let WalRecord::Delivered { msg: Msg::Event { occ, .. }, .. } = r {
+                back.push(occ.time.clone());
+            }
+        }
+        prop_assert_eq!(back.len(), occs.len());
+        for (a, occ_a) in back.iter().zip(&occs) {
+            prop_assert_eq!(a, &occ_a.time);
+            for (b, occ_b) in back.iter().zip(&occs) {
+                prop_assert_eq!(a.relation(b), occ_a.time.relation_naive(&occ_b.time));
+                prop_assert_eq!(
+                    decs::core::max_op(a, b),
+                    decs::core::max_op_naive(&occ_a.time, &occ_b.time)
+                );
+            }
+        }
     }
 
     #[test]
