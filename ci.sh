@@ -1,7 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a change must pass before it lands.
 # Run from the repository root.
+#
+# --miri additionally runs the unsafe lock-free SPSC ring (decs-snoop's
+# spsc module) under Miri, which catches data races and UB that tests on
+# real hardware can miss. Soft-skipped when the toolchain has no miri
+# component (e.g. offline containers) so the gate stays runnable
+# anywhere.
 set -euo pipefail
+
+RUN_MIRI=0
+for arg in "$@"; do
+    case "$arg" in
+        --miri) RUN_MIRI=1 ;;
+        *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release
 cargo test -q
@@ -24,9 +38,11 @@ cargo run --release -p decs-bench --bin hotpath -- --smoke
 # only when the baseline machine had ≥4 threads (stamped in the JSON).
 cargo run --release -p decs-bench --features parallel --bin parallel -- --smoke
 
-# Chaos smoke: re-runs the lossy-network matrix (hard-asserting that
-# detections at every drop rate match the fault-free run) and validates
-# the committed BENCH_chaos.json baseline.
+# Chaos smoke: re-runs the lossy-network matrix and the crash/restart
+# schedules (hard-asserting that detections at every drop rate — and
+# across every site crash/rejoin schedule — match the fault-free run,
+# and that each schedule's sites actually restarted and rejoined) and
+# validates the committed BENCH_chaos.json baseline.
 cargo run --release -p decs-bench --bin chaos -- --smoke
 
 # Plan-sharing smoke: re-runs the overlap matrix (hard-asserting that the
@@ -54,5 +70,20 @@ cargo run --release -p decs-bench --bin recovery -- --smoke
 # regression of a width-32 kernel, or a baseline width-32 speedup
 # below 5x).
 cargo run --release -p decs-bench --bin timewidth -- --smoke
+
+# Miri over the hand-rolled unsafe concurrency (opt-in: --miri). The
+# SPSC ring in decs-snoop is the only unsafe cross-thread code in the
+# tree; Miri validates its acquire/release protocol instruction by
+# instruction.
+if [[ "$RUN_MIRI" == 1 ]]; then
+    # `cargo miri --version` is the authoritative probe: the rustup shim
+    # can be on PATH with the component itself absent.
+    if cargo miri --version >/dev/null 2>&1; then
+        MIRIFLAGS="-Zmiri-strict-provenance" \
+            cargo miri test -p decs-snoop --features parallel spsc
+    else
+        echo "ci.sh: miri not installed — skipping the SPSC Miri pass" >&2
+    fi
+fi
 
 echo "ci.sh: all tier-1 checks passed"

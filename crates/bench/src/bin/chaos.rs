@@ -10,12 +10,21 @@
 //! mean stability latency, and the retransmission overhead (retransmits,
 //! acks, duplicates dropped, link-level drops).
 //!
+//! A second matrix runs **crash/restart schedules**: durable sites are
+//! killed mid-run and restarted (single crash, crash under a lossy
+//! network, two staggered crashes). Each row records bit-identity against
+//! a fault-free oracle on the same workload filtered of the injections
+//! the dead site never saw, plus the lifecycle metrics — restarts,
+//! rejoins, epoch reached, Hello→consumed rejoin latency, and the mean
+//! stability latency of the post-rejoin releases.
+//!
 //! Run: `cargo run --release -p decs-bench --bin chaos` (full, writes
 //! `BENCH_chaos.json` in the current directory).
 //! `--smoke` runs a reduced workload, hard-asserts detection equality at
-//! every drop rate, and validates the committed `BENCH_chaos.json`
-//! (malformed JSON, a non-matching row, or zero retransmissions on the
-//! lossy legs fail with a nonzero exit).
+//! every drop rate *and* every crash schedule, and validates the
+//! committed `BENCH_chaos.json` (malformed JSON, a non-matching row, a
+//! schedule row with no rejoin, or zero retransmissions on the lossy
+//! legs fail with a nonzero exit).
 
 use decs_chronos::{Granularity, Nanos};
 use decs_core::CompositeTimestamp;
@@ -100,6 +109,149 @@ fn run_case(drop_ppm: u32, w: &[(u64, u32, &'static str)], horizon_secs: u64) ->
     (keys, row)
 }
 
+/// One crash/restart schedule: `crashes` holds `(site, crash_ms,
+/// restart_ms)` actions. Both instants land at +500 µs so they never tie
+/// with a whole-millisecond injection in the event queue.
+struct Schedule {
+    name: &'static str,
+    drop_ppm: u32,
+    crashes: &'static [(u32, u64, u64)],
+}
+
+const SCHEDULES: [Schedule; 3] = [
+    Schedule {
+        name: "single_crash",
+        drop_ppm: 0,
+        crashes: &[(1, 1_200, 2_700)],
+    },
+    Schedule {
+        name: "crash_lossy",
+        drop_ppm: 50_000,
+        crashes: &[(2, 1_500, 3_200)],
+    },
+    Schedule {
+        name: "double_crash",
+        drop_ppm: 10_000,
+        crashes: &[(0, 900, 2_000), (3, 1_800, 3_300)],
+    },
+];
+
+struct CrashRow {
+    name: &'static str,
+    drop_ppm: u32,
+    detections: usize,
+    match_clean: bool,
+    site_restarts: u64,
+    rejoins: u64,
+    epoch_max: u64,
+    rejoin_latency_ms: f64,
+    post_rejoin_stability_ms: f64,
+    retransmits: u64,
+    retx_per_msg: f64,
+}
+
+fn crash_engine(config: EngineConfig) -> Engine {
+    let scenario = ScenarioBuilder::new(SITES, 42)
+        .global_granularity(Granularity::per_second(10).unwrap())
+        .max_offset_ns(1_000_000)
+        .build()
+        .unwrap();
+    Engine::new(
+        &scenario,
+        config,
+        &["A", "B"],
+        &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
+    )
+    .unwrap()
+}
+
+/// An injection at whole-ms `ms` reaches a site crashed over
+/// `(crash+500 µs, restart+500 µs)` iff it is outside `(crash, restart]`.
+fn survives(s: &Schedule, ms: u64, site: u32) -> bool {
+    !s.crashes
+        .iter()
+        .any(|&(cs, crash, restart)| site == cs && ms > crash && ms <= restart)
+}
+
+fn run_crash_case(s: &Schedule, w: &[(u64, u32, &'static str)], horizon_secs: u64) -> CrashRow {
+    // Fault-free oracle on the same workload minus the injections the
+    // dead site never saw: those occurrences exist nowhere, so the clean
+    // run must not count them either.
+    let clean: Keys = {
+        let mut e = crash_engine(EngineConfig::default());
+        for &(ms, site, ev) in w.iter().filter(|&&(ms, site, _)| survives(s, ms, site)) {
+            e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+        }
+        e.run_for(Nanos::from_secs(horizon_secs))
+            .into_iter()
+            .map(|d| (d.name, d.occ.time))
+            .collect()
+    };
+
+    let dir = std::env::temp_dir().join(format!("decs-chaos-{}-{}", std::process::id(), s.name));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut e = crash_engine(EngineConfig {
+        site_durability: true,
+        wal_dir: Some(dir.to_string_lossy().into_owned()),
+        retransmit_jitter_seed: Some(0xE15),
+        ..EngineConfig::default()
+    });
+    if s.drop_ppm > 0 {
+        for site in 0..SITES {
+            e.set_link_pair(site, LinkConfig::lan().with_faults(s.drop_ppm, DUP_PPM));
+        }
+    }
+    let mut restart_max = 0u64;
+    for &(site, crash, restart) in s.crashes {
+        e.crash_site(Nanos(crash * 1_000_000 + 500_000), site);
+        e.restart_site(Nanos(restart * 1_000_000 + 500_000), site);
+        restart_max = restart_max.max(restart);
+    }
+    for &(ms, site, ev) in w {
+        e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+    }
+    // Split the run at the last restart so the stability latency of the
+    // post-rejoin releases can be isolated from the pre-crash steady state.
+    let mut det = e.run_until(Nanos::from_millis(restart_max));
+    let at_rejoin = e.metrics();
+    det.extend(e.run_until(Nanos::from_secs(horizon_secs)));
+    let m = e.metrics();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let keys: Keys = det.into_iter().map(|d| (d.name, d.occ.time)).collect();
+    let post_released = m.events_released - at_rejoin.events_released;
+    let post_sum = m.stability_latency_sum_ns - at_rejoin.stability_latency_sum_ns;
+    CrashRow {
+        name: s.name,
+        drop_ppm: s.drop_ppm,
+        detections: keys.len(),
+        match_clean: keys == clean,
+        site_restarts: m.site_restarts,
+        rejoins: m.rejoins,
+        epoch_max: m.epoch_max,
+        rejoin_latency_ms: m.rejoin_latency_ns as f64 / 1e6,
+        post_rejoin_stability_ms: if post_released == 0 {
+            0.0
+        } else {
+            (post_sum / u128::from(post_released)) as f64 / 1e6
+        },
+        retransmits: m.retransmits,
+        retx_per_msg: if m.messages_processed == 0 {
+            0.0
+        } else {
+            m.retransmits as f64 / m.messages_processed as f64
+        },
+    }
+}
+
+fn run_crash_matrix(events: usize, horizon_secs: u64) -> Vec<CrashRow> {
+    let w = workload(events);
+    SCHEDULES
+        .iter()
+        .map(|s| run_crash_case(s, &w, horizon_secs))
+        .collect()
+}
+
 fn run_matrix(events: usize, horizon_secs: u64) -> Vec<Row> {
     let w = workload(events);
     let mut clean_keys: Option<Keys> = None;
@@ -115,12 +267,12 @@ fn run_matrix(events: usize, horizon_secs: u64) -> Vec<Row> {
     rows
 }
 
-fn render_json(mode: &str, rows: &[Row]) -> String {
+fn render_json(mode: &str, rows: &[Row], crash_rows: &[CrashRow]) -> String {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"bench\": \"chaos\",");
-    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"schema\": 2,");
     let _ = writeln!(j, "  \"mode\": \"{mode}\",");
     let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(j, "  \"rows\": [");
@@ -142,6 +294,30 @@ fn render_json(mode: &str, rows: &[Row]) -> String {
             r.retx_per_msg
         );
     }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"crash_rows\": [");
+    for (i, r) in crash_rows.iter().enumerate() {
+        let comma = if i + 1 < crash_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"schedule\": \"{}\", \"drop_ppm\": {}, \"detections\": {}, \
+             \"match_clean\": {}, \"site_restarts\": {}, \"rejoins\": {}, \
+             \"epoch_max\": {}, \"rejoin_latency_ms\": {:.3}, \
+             \"post_rejoin_stability_ms\": {:.2}, \"retransmits\": {}, \
+             \"retx_per_msg\": {:.4}}}{comma}",
+            r.name,
+            r.drop_ppm,
+            r.detections,
+            r.match_clean,
+            r.site_restarts,
+            r.rejoins,
+            r.epoch_max,
+            r.rejoin_latency_ms,
+            r.post_rejoin_stability_ms,
+            r.retransmits,
+            r.retx_per_msg
+        );
+    }
     let _ = writeln!(j, "  ]");
     let _ = writeln!(j, "}}");
     j
@@ -159,9 +335,21 @@ fn extract<'a>(json: &'a str, drop_ppm: u32, field: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
+/// Pull `"field": <value>` out of the crash row with the given schedule
+/// name.
+fn extract_sched<'a>(json: &'a str, name: &str, field: &str) -> Option<&'a str> {
+    let obj = &json[json.find(&format!("\"schedule\": \"{name}\","))?..];
+    let obj = &obj[..obj.find('}')?];
+    let at = obj.find(&format!("\"{field}\":"))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
 fn smoke(baseline_path: &str) -> i32 {
     let rows = run_matrix(40, 20);
-    let json = render_json("smoke", &rows);
+    let crash_rows = run_crash_matrix(40, 20);
+    let json = render_json("smoke", &rows, &crash_rows);
     std::fs::create_dir_all("target").ok();
     std::fs::write("target/BENCH_chaos_smoke.json", &json).ok();
     print!("{json}");
@@ -179,6 +367,24 @@ fn smoke(baseline_path: &str) -> i32 {
             eprintln!(
                 "smoke: FAIL — no retransmissions at {} ppm (protocol inert?)",
                 r.drop_ppm
+            );
+            failed = true;
+        }
+    }
+    for (r, s) in crash_rows.iter().zip(&SCHEDULES) {
+        if !r.match_clean {
+            eprintln!(
+                "smoke: FAIL — schedule {} diverged from its fault-free oracle",
+                r.name
+            );
+            failed = true;
+        }
+        let expected = s.crashes.len() as u64;
+        if r.site_restarts != expected || r.rejoins < expected || r.epoch_max != 1 {
+            eprintln!(
+                "smoke: FAIL — schedule {} lifecycle off: restarts {} (want {}), \
+                 rejoins {}, epoch_max {}",
+                r.name, r.site_restarts, expected, r.rejoins, r.epoch_max
             );
             failed = true;
         }
@@ -208,6 +414,35 @@ fn smoke(baseline_path: &str) -> i32 {
             failed = true;
         }
     }
+    for s in &SCHEDULES {
+        match extract_sched(&baseline, s.name, "match_clean") {
+            Some("true") => {}
+            Some(v) => {
+                eprintln!(
+                    "smoke: FAIL — baseline schedule {} has match_clean = {v}",
+                    s.name
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "smoke: FAIL — baseline is malformed (no crash row for {})",
+                    s.name
+                );
+                failed = true;
+            }
+        }
+        match extract_sched(&baseline, s.name, "rejoins").and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) if n >= s.crashes.len() as u64 => {}
+            _ => {
+                eprintln!(
+                    "smoke: FAIL — baseline schedule {} recorded no rejoin",
+                    s.name
+                );
+                failed = true;
+            }
+        }
+    }
     if failed {
         1
     } else {
@@ -231,7 +466,16 @@ fn main() {
             r.drop_ppm
         );
     }
-    let json = render_json("full", &rows);
+    eprintln!("E15 — detection across crash/restart schedules");
+    let crash_rows = run_crash_matrix(200, 30);
+    for r in &crash_rows {
+        assert!(
+            r.match_clean,
+            "schedule {} diverged — site recovery is broken",
+            r.name
+        );
+    }
+    let json = render_json("full", &rows, &crash_rows);
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
     print!("{json}");
     eprintln!("wrote BENCH_chaos.json");

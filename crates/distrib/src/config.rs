@@ -95,6 +95,17 @@ pub struct EngineConfig {
     /// Directory for the WAL and snapshot files. `None` (the default)
     /// disables durability even if [`EngineConfig::durability`] is set.
     pub wal_dir: Option<String>,
+    /// Persist each site's outbound state (unacked send window, sequence
+    /// counter, staged batch) to a per-site WAL under
+    /// `<wal_dir>/site-<i>`, so a restarted site resumes retransmission
+    /// where the crashed incarnation stopped instead of restarting its
+    /// sequence space. Requires [`EngineConfig::wal_dir`]. Off by default
+    /// — site logging syncs per append (log-before-send).
+    pub site_durability: bool,
+    /// Seed for per-site retransmission-backoff jitter (each site derives
+    /// an independent stream from it). `None` disables jitter: every
+    /// round fires exactly at the nominal backoff, as before.
+    pub retransmit_jitter_seed: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +134,8 @@ impl Default for EngineConfig {
             durability: false,
             snapshot_interval: 8,
             wal_dir: None,
+            site_durability: false,
+            retransmit_jitter_seed: None,
         }
     }
 }

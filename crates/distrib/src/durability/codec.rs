@@ -313,6 +313,20 @@ impl Decode for (u64, u64, bool) {
     }
 }
 
+impl Encode for (u64, u64, bool, u64) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+        self.3.encode(out);
+    }
+}
+impl Decode for (u64, u64, bool, u64) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((r.u64()?, r.u64()?, bool::decode(r)?, r.u64()?))
+    }
+}
+
 // ----------------------------------------------------------- time domain
 
 impl Encode for PrimitiveTimestamp {
@@ -457,35 +471,55 @@ impl Encode for Msg {
                 ty.encode(out);
                 values.encode(out);
             }
-            Msg::Event { seq, occ } => {
+            Msg::Event { seq, epoch, occ } => {
                 out.push(2);
                 seq.encode(out);
+                epoch.encode(out);
                 occ.encode(out);
             }
-            Msg::Heartbeat { seq, watermark } => {
+            Msg::Heartbeat {
+                seq,
+                epoch,
+                watermark,
+            } => {
                 out.push(3);
                 seq.encode(out);
+                epoch.encode(out);
                 watermark.encode(out);
             }
             Msg::Batch {
                 seq,
+                epoch,
                 watermark,
                 events,
             } => {
                 out.push(4);
                 seq.encode(out);
+                epoch.encode(out);
                 watermark.encode(out);
                 events.as_ref().encode(out);
             }
-            Msg::Ack { cum_seq } => {
+            Msg::Ack { cum_seq, epoch } => {
                 out.push(5);
                 cum_seq.encode(out);
+                epoch.encode(out);
             }
             Msg::Crash => out.push(6),
             Msg::Evict { site } => {
                 out.push(7);
                 site.encode(out);
             }
+            Msg::Hello {
+                seq,
+                epoch,
+                watermark,
+            } => {
+                out.push(8);
+                seq.encode(out);
+                epoch.encode(out);
+                watermark.encode(out);
+            }
+            Msg::Restart => out.push(9),
         }
     }
 }
@@ -499,20 +533,32 @@ impl Decode for Msg {
             }),
             2 => Ok(Msg::Event {
                 seq: r.u64()?,
+                epoch: r.u64()?,
                 occ: Occurrence::decode(r)?,
             }),
             3 => Ok(Msg::Heartbeat {
                 seq: r.u64()?,
+                epoch: r.u64()?,
                 watermark: r.u64()?,
             }),
             4 => Ok(Msg::Batch {
                 seq: r.u64()?,
+                epoch: r.u64()?,
                 watermark: r.u64()?,
                 events: Arc::new(Vec::decode(r)?),
             }),
-            5 => Ok(Msg::Ack { cum_seq: r.u64()? }),
+            5 => Ok(Msg::Ack {
+                cum_seq: r.u64()?,
+                epoch: r.u64()?,
+            }),
             6 => Ok(Msg::Crash),
             7 => Ok(Msg::Evict { site: r.u32()? }),
+            8 => Ok(Msg::Hello {
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                watermark: r.u64()?,
+            }),
+            9 => Ok(Msg::Restart),
             _ => Err(CodecError::Invalid("Msg tag")),
         }
     }
@@ -654,6 +700,13 @@ impl Encode for Metrics {
         self.batch_ingest_events.encode(out);
         self.arena_bytes.encode(out);
         self.ring_full_spins.encode(out);
+        self.site_restarts.encode(out);
+        self.rejoins.encode(out);
+        self.epoch_max.encode(out);
+        self.rejoin_latency_ns.encode(out);
+        self.stale_refused.encode(out);
+        self.epoch_filtered.encode(out);
+        self.wal_errors.encode(out);
     }
 }
 impl Decode for Metrics {
@@ -699,6 +752,13 @@ impl Decode for Metrics {
             batch_ingest_events: r.u64()?,
             arena_bytes: r.u64()?,
             ring_full_spins: r.u64()?,
+            site_restarts: r.u64()?,
+            rejoins: r.u64()?,
+            epoch_max: r.u64()?,
+            rejoin_latency_ns: r.u64()?,
+            stale_refused: r.u64()?,
+            epoch_filtered: r.u64()?,
+            wal_errors: r.u64()?,
         })
     }
 }
@@ -783,20 +843,32 @@ mod tests {
             },
             Msg::Event {
                 seq: 9,
+                epoch: 1,
                 occ: Occurrence::bare(EventId(0), cts(&[(2, 7, 70)])),
             },
             Msg::Heartbeat {
                 seq: 10,
+                epoch: 0,
                 watermark: 8,
             },
             Msg::Batch {
                 seq: 11,
+                epoch: 2,
                 watermark: 9,
                 events: Arc::new(vec![Occurrence::bare(EventId(1), cts(&[(0, 9, 90)]))]),
             },
-            Msg::Ack { cum_seq: 12 },
+            Msg::Ack {
+                cum_seq: 12,
+                epoch: 3,
+            },
             Msg::Crash,
             Msg::Evict { site: 2 },
+            Msg::Hello {
+                seq: 13,
+                epoch: 4,
+                watermark: 10,
+            },
+            Msg::Restart,
         ];
         for m in msgs {
             let back: Msg = from_bytes(&to_bytes(&m)).unwrap();
@@ -824,6 +896,7 @@ mod tests {
         // Truncation anywhere is an Eof, not a panic.
         let full = to_bytes(&Msg::Heartbeat {
             seq: 1,
+            epoch: 0,
             watermark: 2,
         });
         for cut in 0..full.len() {

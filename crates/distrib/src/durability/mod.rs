@@ -12,7 +12,11 @@
 //! * [`wal`] — the append-only log of coordinator inputs, with torn-tail
 //!   detection and truncation on resume;
 //! * [`snapshot`] — periodic watermark-aligned checkpoints so replay cost
-//!   is bounded by the WAL suffix, not the run length.
+//!   is bounded by the WAL suffix, not the run length;
+//! * [`site_wal`] — the site-side log of sequence allocations, acks and
+//!   staged batch events, so a crashed **site** recovers its unacked send
+//!   window and resumes retransmission (see `Msg::Hello` for the rejoin
+//!   handshake it feeds).
 //!
 //! Inputs the coordinator receives but has not yet *consumed in order*
 //! (parked out-of-order messages) are outside the durability boundary on
@@ -22,13 +26,18 @@
 //! kill-anywhere replay-equivalence suite built on these pieces.
 
 pub mod codec;
+pub mod site_wal;
 pub mod snapshot;
 pub mod wal;
 
 pub use codec::{crc32, from_bytes, to_bytes, CodecError, Decode, Encode, Reader};
+pub use site_wal::{
+    compaction_records, fold_records, recover_site_state, SiteWalRecord, SiteWalState,
+};
 pub use snapshot::{
     ArmedTimer, BufferedNotification, CoordinatorSnapshot, PendingDetection, SnapshotStore,
 };
 pub use wal::{
-    frame_record, read_wal, scan_bytes, WalRecord, WalScan, WalTail, WalWriter, WAL_FILE,
+    frame_record, read_wal, read_wal_as, scan_bytes, scan_bytes_as, WalRecord, WalScan, WalSink,
+    WalTail, WalWriter, WAL_FILE,
 };

@@ -131,9 +131,10 @@ pub struct CoordinatorSnapshot {
     pub wal_records: u64,
     /// Operator buffer state of the detection backend.
     pub detector: DetectorState<CompositeTimestamp>,
-    /// Per-site stream reassembly state: `(next_seq, arrivals, evicted)`.
-    /// Parked messages are intentionally absent (see module docs).
-    pub streams: Vec<(u64, u64, bool)>,
+    /// Per-site stream reassembly state: `(next_seq, arrivals, evicted,
+    /// epoch)`. Parked messages are intentionally absent (see module
+    /// docs).
+    pub streams: Vec<(u64, u64, bool, u64)>,
     /// Per-site watermarks of the stability tracker.
     pub watermarks: Vec<u64>,
     /// The stability buffer, in canonical release order.
@@ -155,6 +156,9 @@ pub struct CoordinatorSnapshot {
     pub last_gc_low: u64,
     /// Per-site stall detector state: `(last_wm, stalled_checks, suspect)`.
     pub stall: Vec<(u64, u64, bool)>,
+    /// High-water mark of the canonical release order (largest released
+    /// max-global, advanced by GC too) — the stale-refusal horizon.
+    pub release_horizon: u64,
 }
 
 impl Encode for CoordinatorSnapshot {
@@ -171,6 +175,7 @@ impl Encode for CoordinatorSnapshot {
         self.metrics.encode(out);
         self.last_gc_low.encode(out);
         self.stall.encode(out);
+        self.release_horizon.encode(out);
     }
 }
 impl Decode for CoordinatorSnapshot {
@@ -188,6 +193,7 @@ impl Decode for CoordinatorSnapshot {
             metrics: Metrics::decode(r)?,
             last_gc_low: u64::decode(r)?,
             stall: Vec::decode(r)?,
+            release_horizon: u64::decode(r)?,
         })
     }
 }
@@ -295,7 +301,7 @@ mod tests {
                 execs: Vec::new(),
                 defs: Vec::new(),
             }),
-            streams: vec![(3, 5, false), (0, 0, true)],
+            streams: vec![(3, 5, false, 0), (0, 0, true, 2)],
             watermarks: vec![4, u64::MAX],
             buffer: Vec::new(),
             timers: vec![ArmedTimer {
@@ -310,6 +316,7 @@ mod tests {
             metrics: Metrics::default(),
             last_gc_low: 1,
             stall: vec![(4, 0, false), (0, 3, true)],
+            release_horizon: 2,
         }
     }
 

@@ -88,6 +88,23 @@ pub enum WalRecord {
         /// How many detections were taken.
         count: u64,
     },
+    /// First sight of a higher-epoch `Msg::Hello` from `site`: the epoch
+    /// transition (parked-state clear, frontier lowering, un-eviction) is
+    /// applied out-of-band, *before* sequence handling, so it is logged as
+    /// its own record — the `Delivered` record for the Hello follows only
+    /// when the Hello is consumed in order.
+    HelloSeen {
+        /// Stream index of the rejoining site.
+        site: u32,
+        /// True time of the first sight, nanoseconds.
+        at: u64,
+        /// The new incarnation epoch.
+        epoch: u64,
+        /// The Hello's sequence number (base of the new send window).
+        base_seq: u64,
+        /// The site's first post-rejoin watermark promise.
+        watermark: u64,
+    },
 }
 
 impl Encode for WalRecord {
@@ -122,6 +139,20 @@ impl Encode for WalRecord {
                 out.push(3);
                 count.encode(out);
             }
+            WalRecord::HelloSeen {
+                site,
+                at,
+                epoch,
+                base_seq,
+                watermark,
+            } => {
+                out.push(4);
+                site.encode(out);
+                at.encode(out);
+                epoch.encode(out);
+                base_seq.encode(out);
+                watermark.encode(out);
+            }
         }
     }
 }
@@ -148,6 +179,13 @@ impl Decode for WalRecord {
             3 => Ok(WalRecord::Drained {
                 count: u64::decode(r)?,
             }),
+            4 => Ok(WalRecord::HelloSeen {
+                site: u32::decode(r)?,
+                at: u64::decode(r)?,
+                epoch: u64::decode(r)?,
+                base_seq: u64::decode(r)?,
+                watermark: u64::decode(r)?,
+            }),
             _ => Err(CodecError::Invalid("WalRecord tag")),
         }
     }
@@ -173,11 +211,13 @@ pub enum WalTail {
 }
 
 /// The result of scanning a log: the valid record prefix plus how (and
-/// where) validity ended.
+/// where) validity ended. Generic over the record type — the coordinator
+/// logs [`WalRecord`]s, sites log `SiteWalRecord`s — with the same frame
+/// format and tail discipline.
 #[derive(Debug)]
-pub struct WalScan {
+pub struct WalScan<R = WalRecord> {
     /// Every record up to the first invalid frame, in append order.
-    pub records: Vec<WalRecord>,
+    pub records: Vec<R>,
     /// Byte length of the valid prefix — the offset the writer truncates
     /// to before resuming appends.
     pub valid_len: u64,
@@ -185,11 +225,17 @@ pub struct WalScan {
     pub tail: WalTail,
 }
 
+/// Scan a WAL image of coordinator records already in memory. See
+/// [`scan_bytes_as`].
+pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+    scan_bytes_as::<WalRecord>(bytes)
+}
+
 /// Scan a WAL image already in memory. Total: any byte sequence yields a
 /// (possibly empty) valid prefix and a tail classification — never a
-/// panic. Exposed for corruption-injection tests; [`read_wal`] is the
+/// panic. Exposed for corruption-injection tests; [`read_wal_as`] is the
 /// filesystem entry point.
-pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+pub fn scan_bytes_as<R: Decode>(bytes: &[u8]) -> WalScan<R> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -247,7 +293,7 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
                 },
             };
         }
-        match from_bytes::<WalRecord>(payload) {
+        match from_bytes::<R>(payload) {
             Ok(rec) => records.push(rec),
             Err(_) => {
                 // CRC passed but the payload is not a record — version
@@ -265,26 +311,56 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
     }
 }
 
+/// Read and scan the coordinator log in `dir`. See [`read_wal_as`].
+pub fn read_wal(dir: &Path) -> io::Result<WalScan> {
+    read_wal_as::<WalRecord>(dir)
+}
+
 /// Read and scan the log in `dir`. A missing file (or missing directory)
 /// is an empty, clean log — the fresh-start case.
-pub fn read_wal(dir: &Path) -> io::Result<WalScan> {
+pub fn read_wal_as<R: Decode>(dir: &Path) -> io::Result<WalScan<R>> {
     let path = dir.join(WAL_FILE);
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e),
     };
-    Ok(scan_bytes(&bytes))
+    Ok(scan_bytes_as(&bytes))
+}
+
+/// Where a [`WalWriter`] puts its frames. Production code always writes a
+/// [`File`]; tests inject sinks that fail partway through a write or on
+/// sync to prove I/O errors surface cleanly and the torn prefix still
+/// scans.
+pub trait WalSink: Write + Send {
+    /// Flush written frames to stable storage (`fsync`-equivalent).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+impl WalSink for File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
 }
 
 /// Appender half of the log.
-#[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    sink: Box<dyn WalSink>,
     path: PathBuf,
     appends: u64,
     bytes: u64,
     since_sync: u64,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("appends", &self.appends)
+            .field("bytes", &self.bytes)
+            .field("since_sync", &self.since_sync)
+            .finish()
+    }
 }
 
 impl WalWriter {
@@ -298,7 +374,7 @@ impl WalWriter {
             .truncate(true)
             .open(&path)?;
         Ok(WalWriter {
-            file,
+            sink: Box::new(file),
             path,
             appends: 0,
             bytes: 0,
@@ -313,33 +389,45 @@ impl WalWriter {
     pub fn resume(dir: &Path, valid_len: u64, records: u64) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(WAL_FILE);
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
         file.set_len(valid_len)?;
-        let mut w = WalWriter {
-            file,
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            sink: Box::new(file),
             path,
             appends: records,
             bytes: valid_len,
             since_sync: 0,
-        };
-        w.file.seek(SeekFrom::End(0))?;
-        w.file.sync_data()?;
-        Ok(w)
+        })
+    }
+
+    /// Build a writer over an arbitrary sink — the fault-injection entry
+    /// point. `path` is only reported by [`WalWriter::path`]; nothing is
+    /// opened.
+    pub fn with_sink(sink: Box<dyn WalSink>, path: PathBuf) -> Self {
+        WalWriter {
+            sink,
+            path,
+            appends: 0,
+            bytes: 0,
+            since_sync: 0,
+        }
     }
 
     /// Append one record; syncs every [`SYNC_EVERY`] appends.
-    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+    pub fn append<R: Encode>(&mut self, rec: &R) -> io::Result<()> {
         let payload = to_bytes(rec);
         debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        self.sink.write_all(&frame)?;
         self.appends += 1;
         self.bytes += frame.len() as u64;
         self.since_sync += 1;
@@ -352,7 +440,7 @@ impl WalWriter {
     /// Flush buffered appends to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.since_sync > 0 {
-            self.file.sync_data()?;
+            self.sink.sync_data()?;
             self.since_sync = 0;
         }
         Ok(())
@@ -376,7 +464,7 @@ impl WalWriter {
 
 /// Frame a record exactly as [`WalWriter::append`] would — for tests that
 /// build log images in memory.
-pub fn frame_record(rec: &WalRecord) -> Vec<u8> {
+pub fn frame_record<R: Encode>(rec: &R) -> Vec<u8> {
     let payload = to_bytes(rec);
     let mut frame = Vec::with_capacity(payload.len() + 8);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -396,6 +484,7 @@ mod tests {
                 at: 1_000,
                 msg: Msg::Heartbeat {
                     seq: 0,
+                    epoch: 0,
                     watermark: 1,
                 },
             },
@@ -408,6 +497,13 @@ mod tests {
             },
             WalRecord::Evicted { site: 1, at: 3_000 },
             WalRecord::Drained { count: 2 },
+            WalRecord::HelloSeen {
+                site: 2,
+                at: 4_000,
+                epoch: 1,
+                base_seq: 17,
+                watermark: 5,
+            },
         ]
     }
 
@@ -500,5 +596,111 @@ mod tests {
         let scan = read_wal(Path::new("/nonexistent/decs-nowhere")).unwrap();
         assert!(scan.records.is_empty());
         assert_eq!(scan.tail, WalTail::Clean);
+    }
+
+    use std::sync::{Arc, Mutex};
+
+    /// A sink with a byte budget: writes land in a shared buffer until the
+    /// budget runs out, then fail with `WriteZero` — possibly mid-frame,
+    /// exactly like a full disk. `sync_data` can be made to fail too.
+    struct FailingSink {
+        buf: Arc<Mutex<Vec<u8>>>,
+        write_budget: usize,
+        fail_sync: bool,
+    }
+
+    impl Write for FailingSink {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            let mut buf = self.buf.lock().unwrap();
+            let n = data.len().min(self.write_budget);
+            buf.extend_from_slice(&data[..n]);
+            self.write_budget -= n;
+            if n == 0 {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            } else {
+                Ok(n)
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl WalSink for FailingSink {
+        fn sync_data(&mut self) -> io::Result<()> {
+            if self.fail_sync {
+                Err(io::Error::other("sync failed"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn write_error_mid_frame_surfaces_and_prefix_scans() {
+        let recs = sample_records();
+        let whole: usize = recs.iter().map(|r| frame_record(r).len()).sum();
+        let first_two: usize = recs[..2].iter().map(|r| frame_record(r).len()).sum();
+        // Budget covers two frames plus part of the third.
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = FailingSink {
+            buf: Arc::clone(&buf),
+            write_budget: first_two + 5,
+            fail_sync: false,
+        };
+        let mut w = WalWriter::with_sink(Box::new(sink), PathBuf::from("<mem>"));
+        w.append(&recs[0]).unwrap();
+        w.append(&recs[1]).unwrap();
+        let err = w.append(&recs[2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(whole > first_two + 5, "third frame must not fit");
+        // The torn bytes on "disk" are a valid prefix plus a partial frame:
+        // the scanner recovers the two durable records and classifies the
+        // tail as torn — never misreads the fragment as a record.
+        let image = buf.lock().unwrap().clone();
+        let scan = scan_bytes(&image);
+        assert_eq!(scan.records, recs[..2]);
+        assert_eq!(scan.valid_len, first_two as u64);
+        assert_eq!(scan.tail, WalTail::Torn { discarded: 5 });
+    }
+
+    #[test]
+    fn sync_error_surfaces_cleanly() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = FailingSink {
+            buf: Arc::clone(&buf),
+            write_budget: usize::MAX,
+            fail_sync: true,
+        };
+        let mut w = WalWriter::with_sink(Box::new(sink), PathBuf::from("<mem>"));
+        w.append(&WalRecord::Drained { count: 1 }).unwrap();
+        let err = w.sync().unwrap_err();
+        assert_eq!(err.to_string(), "sync failed");
+        // The frame itself was written intact; only durability failed.
+        let image = buf.lock().unwrap().clone();
+        let scan = scan_bytes(&image);
+        assert_eq!(scan.records, vec![WalRecord::Drained { count: 1 }]);
+        assert_eq!(scan.tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn sync_every_boundary_propagates_write_error() {
+        // The SYNC_EVERY'th append triggers an implicit sync; a failing
+        // sync surfaces through append, not silently.
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = FailingSink {
+            buf,
+            write_budget: usize::MAX,
+            fail_sync: true,
+        };
+        let mut w = WalWriter::with_sink(Box::new(sink), PathBuf::from("<mem>"));
+        let mut failed = false;
+        for i in 0..SYNC_EVERY {
+            if w.append(&WalRecord::Drained { count: i }).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "implicit sync at the batch boundary must surface");
     }
 }

@@ -219,9 +219,24 @@ impl Engine {
                     LocalDetection::new(site_det, translate, gg_nanos_sites),
                 )
             };
-            let site_node = site_node
+            let mut site_node = site_node
                 .with_batching(config.batch_interval)
                 .with_reliability(config.retransmit_timeout, config.retransmit_cap);
+            if let Some(seed) = config.retransmit_jitter_seed {
+                // Independent per-site streams: golden-ratio stride keeps
+                // neighboring sites' sequences uncorrelated.
+                site_node = site_node.with_retx_seed(
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i) + 1)),
+                );
+            }
+            if config.site_durability {
+                if let Some(dir) = &config.wal_dir {
+                    let site_dir = std::path::Path::new(dir).join(format!("site-{i}"));
+                    site_node.set_durability(&site_dir).map_err(|e| {
+                        SnoopError::SnapshotMismatch(format!("site durability init failed: {e}"))
+                    })?;
+                }
+            }
             nodes.push((Node::Site(Box::new(site_node)), scenario.time_source(i)));
         }
         // The coordinator is its own site (id n) with a scenario-sampled
@@ -371,6 +386,12 @@ impl Engine {
         self.sim.fault_counters()
     }
 
+    /// The simulation trace (empty unless `EngineConfig::trace_capacity`
+    /// is set): sends, deliveries, drops and timer fires with true times.
+    pub fn trace(&self) -> &decs_simnet::Trace {
+        self.sim.trace()
+    }
+
     /// Number of sent-but-unacked messages a site currently holds for
     /// retransmission (0 for the coordinator index).
     pub fn unacked(&self, site: u32) -> usize {
@@ -391,6 +412,41 @@ impl Engine {
     /// `at` (its promises become +∞), letting the stability buffer drain.
     pub fn evict_site(&mut self, at: Nanos, site: u32) {
         self.sim.inject(at, self.coordinator, Msg::Evict { site });
+    }
+
+    /// Failure injection: restart a crashed `site` at true time `at` — a
+    /// new incarnation comes up (with its WAL-recovered send window when
+    /// [`EngineConfig::site_durability`] is on), announces itself to the
+    /// coordinator with `Msg::Hello`, and resumes streaming. Restarting a
+    /// live site is a no-op.
+    pub fn restart_site(&mut self, at: Nanos, site: u32) {
+        self.sim.inject(at, NodeIdx(site), Msg::Restart);
+    }
+
+    /// A site's current incarnation epoch (0 = never restarted; the
+    /// coordinator index reports 0).
+    pub fn site_epoch(&self, site: u32) -> u64 {
+        match self.sim.node(NodeIdx(site)) {
+            Node::Site(s) => s.epoch(),
+            Node::Coordinator(_) => 0,
+        }
+    }
+
+    /// The coordinator's view of a site's incarnation epoch (lags the
+    /// site's own epoch until its `Msg::Hello` is consumed in order).
+    pub fn coordinator_site_epoch(&self, site: u32) -> u64 {
+        let Node::Coordinator(c) = self.sim.node(self.coordinator) else {
+            unreachable!("coordinator index")
+        };
+        c.site_epoch(site as usize)
+    }
+
+    /// If the coordinator's WAL fail-stopped it, the first I/O error.
+    pub fn coordinator_wal_failed(&self) -> Option<String> {
+        let Node::Coordinator(c) = self.sim.node(self.coordinator) else {
+            unreachable!("coordinator index")
+        };
+        c.wal_failed().map(str::to_string)
     }
 
     /// Inject a primitive event occurrence at `site` at true time `at`.
@@ -453,6 +509,8 @@ impl Engine {
         for i in 0..self.coordinator.0 {
             if let Node::Site(s) = self.sim.node(NodeIdx(i)) {
                 m.retransmits += s.retransmits;
+                m.site_restarts += s.restarts;
+                m.wal_errors += s.wal_errors;
             }
         }
         m
@@ -680,6 +738,30 @@ mod tests {
         assert_eq!(m.events_received, 2);
         assert!(m.heartbeats_received > 100); // 3 sites @ 20 ms over 3 s
         assert!(m.mean_stability_latency_ns() > 0);
+    }
+
+    #[test]
+    fn crashed_site_rejoins_and_detection_resumes() {
+        let mut e = seq_engine(2, 42);
+        // A completed pair before the crash…
+        e.inject(Nanos::from_secs(1), 0, "A", vec![]).unwrap();
+        e.inject(Nanos(1_200_000_000), 1, "B", vec![]).unwrap();
+        e.crash_site(Nanos::from_secs(2), 0);
+        e.restart_site(Nanos::from_secs(3), 0);
+        // …and one after the rejoin, spanning both sites again.
+        e.inject(Nanos::from_secs(4), 0, "A", vec![]).unwrap();
+        e.inject(Nanos::from_secs(5), 1, "B", vec![]).unwrap();
+        let det = e.run_for(Nanos::from_secs(8));
+        assert_eq!(det.len(), 2, "metrics: {:?}", e.metrics());
+        assert!(det.iter().all(|d| d.name == "X"));
+        let m = e.metrics();
+        assert_eq!(m.site_restarts, 1);
+        assert!(m.rejoins >= 1, "coordinator never saw the Hello: {m:?}");
+        assert_eq!(m.epoch_max, 1);
+        // (rejoin_latency_ns may be 0 on a healthy link: the Hello is
+        // consumed in order the instant it is first seen.)
+        assert_eq!(e.site_epoch(0), 1);
+        assert_eq!(e.coordinator_site_epoch(0), 1);
     }
 
     #[test]

@@ -92,10 +92,20 @@ struct SiteStream {
     next: u64,
     parked: BTreeMap<u64, Msg>,
     /// Notifications buffered from this site so far (release-key counter).
+    /// **Not** reset on an epoch bump: release keys must stay unique for
+    /// the stream's lifetime, across incarnations.
     arrivals: u64,
     /// Evicted sites keep their stream bookkeeping (so retransmissions are
     /// acked and die down) but their notifications are refused.
     evicted: bool,
+    /// The site's current incarnation epoch. Messages carrying a lower
+    /// epoch are stale traffic from a dead incarnation and are filtered;
+    /// a higher epoch (first seen on a `Msg::Hello`) triggers the rejoin
+    /// transition.
+    epoch: u64,
+    /// True time the current epoch's `Hello` was first seen, pending its
+    /// in-order consumption — the interval is the rejoin latency.
+    rejoined_at: Option<Nanos>,
 }
 
 /// Per-site stall-detector state.
@@ -174,6 +184,19 @@ pub struct CoordinatorNode {
     /// Detections ever drained by the engine (kept aligned across
     /// crash/recovery by `WalRecord::Drained`).
     drained: u64,
+    /// High-water mark of the canonical release order, *exclusive*: every
+    /// global tick strictly below it has been released (or proven dead by
+    /// operator-buffer GC); 0 means nothing has passed yet. A notification
+    /// stamped below it arrived after its slot in the release order was
+    /// passed — only possible from an evicted-then-rejoined site's
+    /// pre-crash backlog — and is refused as stale rather than released
+    /// out of order.
+    release_horizon: u64,
+    /// Set on the first WAL append/sync failure; from then on the
+    /// coordinator is fail-stop: it drops every input unprocessed (and
+    /// unacked) so the log prefix stays exactly the consumed-input stream
+    /// and recovery from it is still sound.
+    wal_failed: Option<String>,
 }
 
 impl std::fmt::Debug for CoordinatorNode {
@@ -246,6 +269,8 @@ impl CoordinatorNode {
             timer_due: HashMap::new(),
             replaying: false,
             drained: 0,
+            release_horizon: 0,
+            wal_failed: None,
         }
     }
 
@@ -289,6 +314,17 @@ impl CoordinatorNode {
         self.buffer.len()
     }
 
+    /// A site's current incarnation epoch.
+    pub fn site_epoch(&self, site: usize) -> u64 {
+        self.streams.get(site).map(|s| s.epoch).unwrap_or(0)
+    }
+
+    /// Whether durability has fail-stopped on a WAL I/O error, and why.
+    /// A failed coordinator drops every further input unprocessed.
+    pub fn wal_failed(&self) -> Option<&str> {
+        self.wal_failed.as_deref()
+    }
+
     fn absorb(&mut self, r: ShardFeedResult<CompositeTimestamp>, ctx: &mut impl CoordCtx) {
         for (shard, t) in r.timers {
             let tag = self.next_tag;
@@ -327,6 +363,7 @@ impl CoordinatorNode {
                 break;
             }
             let (occ, arrived) = self.buffer.remove(&key).expect("present");
+            self.release_horizon = self.release_horizon.max(key.0 + 1);
             self.metrics.events_released += 1;
             self.metrics.stability_latency_sum_ns +=
                 u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
@@ -377,6 +414,10 @@ impl CoordinatorNode {
             let low = self.tracker.min_watermark().saturating_sub(2);
             if low > self.last_gc_low {
                 self.last_gc_low = low;
+                // Operator buffers below `low` are gone: a late notification
+                // at or below it could no longer combine correctly, so the
+                // stale horizon advances with the GC bound too.
+                self.release_horizon = self.release_horizon.max(low + 1);
                 self.metrics.gc_evicted += self.detector.advance_watermark(low);
             }
         }
@@ -414,9 +455,20 @@ impl CoordinatorNode {
         occ: Occurrence<CompositeTimestamp>,
         ctx: &mut impl CoordCtx,
     ) {
-        self.metrics.events_received += 1;
         match self.policy {
             ReleasePolicy::Stable => {
+                if occ.time.max_global() < self.release_horizon {
+                    // Its slot in the canonical release order has already
+                    // been passed — the pre-crash backlog of an evicted,
+                    // now rejoining site (a healthy site's watermark
+                    // promise makes this provably unreachable). Refuse it
+                    // *without* consuming an arrival counter, so surviving
+                    // notifications keep the same release keys as a run in
+                    // which the stale backlog never arrived.
+                    self.metrics.stale_refused += 1;
+                    return;
+                }
+                self.metrics.events_received += 1;
                 let arrival = self.streams[site].arrivals;
                 self.streams[site].arrivals += 1;
                 let key: ReleaseKey = (occ.time.max_global(), site as u32, arrival);
@@ -424,6 +476,7 @@ impl CoordinatorNode {
                 self.metrics.max_buffered = self.metrics.max_buffered.max(self.buffer.len());
             }
             ReleasePolicy::Immediate => {
+                self.metrics.events_received += 1;
                 self.metrics.events_released += 1;
                 self.feed_released(occ, ctx);
             }
@@ -431,6 +484,10 @@ impl CoordinatorNode {
     }
 
     fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut impl CoordCtx) {
+        if self.wal_failed.is_some() {
+            // Fail-stopped: `wal == None` no longer means durability-off.
+            return;
+        }
         // Log before applying: recovery replays exactly the in-order
         // consumption stream. Parked messages are logged here — when they
         // are consumed — not on arrival; until then the ack protocol keeps
@@ -441,6 +498,11 @@ impl CoordinatorNode {
                 at: ctx.true_now().get(),
                 msg: msg.clone(),
             });
+            if self.wal_failed.is_some() {
+                // The message could not be logged: fail-stop *before*
+                // applying it, so disk state still matches applied state.
+                return;
+            }
         }
         self.metrics.messages_processed += 1;
         // Evicted sites: stream bookkeeping continues (their retransmits
@@ -487,7 +549,23 @@ impl CoordinatorNode {
                 self.tracker.update(site, watermark);
                 self.release_stable(ctx);
             }
-            Msg::Start | Msg::Inject { .. } | Msg::Crash | Msg::Evict { .. } | Msg::Ack { .. } => {
+            Msg::Hello { watermark, .. } => {
+                // The epoch transition already ran at first sight (see
+                // `epoch_transition`); consuming the Hello in order marks
+                // the rejoin complete: the returning site's backlog is
+                // drained and its fresh watermark promise takes effect.
+                self.tracker.update(site, watermark);
+                if let Some(t0) = self.streams[site].rejoined_at.take() {
+                    self.metrics.rejoin_latency_ns += ctx.true_now().get().saturating_sub(t0.get());
+                }
+                self.release_stable(ctx);
+            }
+            Msg::Start
+            | Msg::Inject { .. }
+            | Msg::Crash
+            | Msg::Restart
+            | Msg::Evict { .. }
+            | Msg::Ack { .. } => {
                 debug_assert!(false, "sequence-numbered control message");
             }
         }
@@ -495,17 +573,84 @@ impl CoordinatorNode {
 
     fn seq_of(msg: &Msg) -> Option<u64> {
         match msg {
-            Msg::Event { seq, .. } | Msg::Heartbeat { seq, .. } | Msg::Batch { seq, .. } => {
-                Some(*seq)
-            }
+            Msg::Event { seq, .. }
+            | Msg::Heartbeat { seq, .. }
+            | Msg::Batch { seq, .. }
+            | Msg::Hello { seq, .. } => Some(*seq),
             _ => None,
         }
+    }
+
+    fn epoch_of(msg: &Msg) -> Option<u64> {
+        match msg {
+            Msg::Event { epoch, .. }
+            | Msg::Heartbeat { epoch, .. }
+            | Msg::Batch { epoch, .. }
+            | Msg::Hello { epoch, .. } => Some(*epoch),
+            _ => None,
+        }
+    }
+
+    /// React to the **first sight** of a `Msg::Hello` carrying a higher
+    /// epoch than the stream's (in or out of order — it runs before
+    /// sequence handling, and exactly once per epoch because it raises the
+    /// stream epoch it is gated on):
+    ///
+    /// * parked reassembly state from the dead incarnation is dropped (its
+    ///   sequence numbers may collide with the new incarnation's);
+    /// * the in-order frontier falls to `min(next, base_seq)` — a
+    ///   non-durable restart resets the site's sequence space below the old
+    ///   frontier, a durable one resumes at or above it (so `min` is a
+    ///   no-op there and no delivered prefix is ever re-opened);
+    /// * an evicted site is un-evicted: its watermark pin drops from +∞
+    ///   back to the Hello's fresh promise and its stall state clears.
+    fn epoch_transition(
+        &mut self,
+        site: usize,
+        epoch: u64,
+        base_seq: u64,
+        watermark: u64,
+        ctx: &mut impl CoordCtx,
+    ) {
+        if self.wal_failed.is_some() {
+            return;
+        }
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::HelloSeen {
+                site: site as u32,
+                at: ctx.true_now().get(),
+                epoch,
+                base_seq,
+                watermark,
+            });
+            if self.wal_failed.is_some() {
+                return;
+            }
+        }
+        let dropped = std::mem::take(&mut self.streams[site].parked).len();
+        self.parked_total -= dropped;
+        self.streams[site].epoch = epoch;
+        self.streams[site].next = self.streams[site].next.min(base_seq);
+        self.streams[site].rejoined_at = Some(ctx.true_now());
+        let was_evicted = std::mem::replace(&mut self.streams[site].evicted, false);
+        if was_evicted {
+            self.tracker.reset(site, watermark);
+            let st = &mut self.stall[site];
+            if st.suspect {
+                st.suspect = false;
+                self.metrics.suspect_sites -= 1;
+            }
+            st.stalled_checks = 0;
+            st.last_wm = watermark;
+        }
+        self.metrics.rejoins += 1;
+        self.metrics.epoch_max = self.metrics.epoch_max.max(epoch);
     }
 
     /// Stop waiting for `site`: its watermark promise becomes +∞ and its
     /// future notifications are refused (buffered ones still release).
     fn evict(&mut self, site: usize, ctx: &mut impl CoordCtx) {
-        if site >= self.streams.len() || self.streams[site].evicted {
+        if site >= self.streams.len() || self.streams[site].evicted || self.wal_failed.is_some() {
             return;
         }
         if self.wal.is_some() && !self.replaying {
@@ -513,23 +658,29 @@ impl CoordinatorNode {
                 site: site as u32,
                 at: ctx.true_now().get(),
             });
+            if self.wal_failed.is_some() {
+                return;
+            }
         }
         self.streams[site].evicted = true;
         self.tracker.update(site, u64::MAX);
         self.release_stable(ctx);
     }
 
-    fn send_ack(&mut self, to: NodeIdx, cum_seq: u64, ctx: &mut impl CoordCtx) {
+    /// Send `site`'s cumulative ack, scoped to its current epoch (a site
+    /// ignores acks from an epoch other than its own).
+    fn send_ack(&mut self, to: NodeIdx, site: usize, ctx: &mut impl CoordCtx) {
         self.metrics.acks_sent += 1;
-        ctx.send(to, Msg::Ack { cum_seq });
+        let cum_seq = self.streams[site].next;
+        let epoch = self.streams[site].epoch;
+        ctx.send(to, Msg::Ack { cum_seq, epoch });
     }
 
     /// Periodic round: re-send every site's cumulative ack (repairing acks
     /// lost on the return path), run the stall detector, re-arm.
     fn ack_round(&mut self, ctx: &mut impl CoordCtx) {
         for site in 0..self.streams.len() {
-            let next = self.streams[site].next;
-            self.send_ack(NodeIdx(site as u32), next, ctx);
+            self.send_ack(NodeIdx(site as u32), site, ctx);
         }
         self.stall_check(ctx);
         ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
@@ -595,17 +746,33 @@ impl CoordinatorNode {
 impl CoordinatorNode {
     /// Append one record to the WAL (no-op during replay or with
     /// durability off) and refresh the WAL metrics. Durability I/O errors
-    /// are fatal: a coordinator that silently stops logging would recover
-    /// into a state that *looks* valid and detects wrongly.
+    /// are **fail-stop**: a coordinator that silently stopped logging
+    /// would recover into a state that *looks* valid and detects wrongly,
+    /// so on the first error the node records the failure and thereafter
+    /// drops every input unprocessed (see `wal_failed`).
     fn wal_append(&mut self, rec: WalRecord) {
         if self.replaying {
             return;
         }
         if let Some(w) = self.wal.as_mut() {
-            w.append(&rec).expect("WAL append failed");
-            self.metrics.wal_appends = w.appends();
-            self.metrics.wal_bytes = w.bytes();
+            match w.append(&rec) {
+                Ok(()) => {
+                    self.metrics.wal_appends = w.appends();
+                    self.metrics.wal_bytes = w.bytes();
+                }
+                Err(e) => self.wal_fail(e),
+            }
         }
+    }
+
+    /// Enter the fail-stop state on a durability I/O error.
+    fn wal_fail(&mut self, e: io::Error) {
+        self.metrics.wal_errors += 1;
+        if self.wal_failed.is_none() {
+            self.wal_failed = Some(e.to_string());
+        }
+        self.wal = None;
+        self.snapshots = None;
     }
 
     /// Record that the engine drained `count` finished detections, so a
@@ -660,7 +827,10 @@ impl CoordinatorNode {
         let wal = self.wal.as_mut().expect("durability on");
         // The snapshot claims "wal_records inputs are already applied
         // here", so those records must be on disk before the claim is.
-        wal.sync().expect("WAL sync failed");
+        if let Err(e) = wal.sync() {
+            self.wal_fail(e);
+            return;
+        }
         let wal_records = wal.appends();
         let mut timers: Vec<ArmedTimer> = self
             .timer_map
@@ -679,7 +849,7 @@ impl CoordinatorNode {
             streams: self
                 .streams
                 .iter()
-                .map(|s| (s.next, s.arrivals, s.evicted))
+                .map(|s| (s.next, s.arrivals, s.evicted, s.epoch))
                 .collect(),
             watermarks: (0..self.streams.len())
                 .map(|i| self.tracker.site_watermark(i))
@@ -715,12 +885,12 @@ impl CoordinatorNode {
                 .iter()
                 .map(|s| (s.last_wm, s.stalled_checks, s.suspect))
                 .collect(),
+            release_horizon: self.release_horizon,
         };
-        self.snapshots
-            .as_ref()
-            .expect("durability on")
-            .save(&snap)
-            .expect("snapshot save failed");
+        if let Err(e) = self.snapshots.as_ref().expect("durability on").save(&snap) {
+            self.wal_fail(e);
+            return;
+        }
         self.metrics.snapshots_taken += 1;
     }
 
@@ -738,10 +908,14 @@ impl CoordinatorNode {
         self.detector.restore_state(snap.detector).map_err(|e| {
             io::Error::new(io::ErrorKind::InvalidData, format!("detector restore: {e}"))
         })?;
-        for (stream, &(next, arrivals, evicted)) in self.streams.iter_mut().zip(&snap.streams) {
+        for (stream, &(next, arrivals, evicted, epoch)) in
+            self.streams.iter_mut().zip(&snap.streams)
+        {
             stream.next = next;
             stream.arrivals = arrivals;
             stream.evicted = evicted;
+            stream.epoch = epoch;
+            stream.rejoined_at = None;
             // Parked messages are outside the durability boundary: they
             // were never acked, so their sites retransmit them.
             stream.parked.clear();
@@ -779,6 +953,7 @@ impl CoordinatorNode {
         self.drained = snap.drained;
         self.metrics = snap.metrics;
         self.last_gc_low = snap.last_gc_low;
+        self.release_horizon = snap.release_horizon;
         for (st, &(last_wm, stalled_checks, suspect)) in self.stall.iter_mut().zip(&snap.stall) {
             st.last_wm = last_wm;
             st.stalled_checks = stalled_checks;
@@ -842,6 +1017,23 @@ impl CoordinatorNode {
                 let n = (count as usize).min(self.detections.len());
                 self.detections.drain(..n);
                 self.drained += count;
+            }
+            WalRecord::HelloSeen {
+                site,
+                at,
+                epoch,
+                base_seq,
+                watermark,
+            } => {
+                let site = site as usize;
+                if site >= self.streams.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "WAL names an unknown site",
+                    ));
+                }
+                let mut ctx = ReplayCtx { now: Nanos(at) };
+                self.epoch_transition(site, epoch, base_seq, watermark, &mut ctx);
             }
         }
         Ok(())
@@ -913,6 +1105,42 @@ impl Actor for CoordinatorNode {
             return; // Inject/Ack echoes are not coordinator traffic
         };
         debug_assert!(site < self.streams.len(), "unknown site {site}");
+        if self.wal_failed.is_some() {
+            // Fail-stop after a WAL error: dropping without acking keeps
+            // the durable log prefix exactly the consumed-input stream —
+            // sites retransmit into the replacement coordinator instead.
+            return;
+        }
+        // Incarnation-epoch filter, ahead of sequence handling: the two
+        // incarnations' sequence spaces may overlap.
+        let msg_epoch = Self::epoch_of(&msg).unwrap_or(0);
+        let stream_epoch = self.streams[site].epoch;
+        if msg_epoch < stream_epoch {
+            // In-flight traffic from a dead incarnation.
+            self.metrics.epoch_filtered += 1;
+            return;
+        }
+        if msg_epoch > stream_epoch {
+            match &msg {
+                Msg::Hello {
+                    seq,
+                    epoch,
+                    watermark,
+                } => {
+                    let (s, e, w) = (*seq, *epoch, *watermark);
+                    self.epoch_transition(site, e, s, w, ctx);
+                    // Fall through: the Hello itself is sequence-handled
+                    // against the just-lowered frontier like any message.
+                }
+                _ => {
+                    // New-incarnation data racing ahead of its Hello. Drop
+                    // it unacked; retransmission re-delivers it once the
+                    // Hello has landed and bumped the stream epoch.
+                    self.metrics.epoch_filtered += 1;
+                    return;
+                }
+            }
+        }
         let stream = &mut self.streams[site];
         match seq.cmp(&stream.next) {
             std::cmp::Ordering::Equal => {
@@ -920,6 +1148,9 @@ impl Actor for CoordinatorNode {
                 self.handle_in_order(site, msg, ctx);
                 // Drain any parked successors.
                 loop {
+                    if self.wal_failed.is_some() {
+                        break;
+                    }
                     let stream = &mut self.streams[site];
                     let Some(m) = stream.parked.remove(&stream.next) else {
                         break;
@@ -928,10 +1159,15 @@ impl Actor for CoordinatorNode {
                     stream.next += 1;
                     self.handle_in_order(site, m, ctx);
                 }
+                if self.wal_failed.is_some() {
+                    // The frontier advance was never durably logged — do
+                    // not ack it, or the site would stop retransmitting a
+                    // message no recovery will ever see.
+                    return;
+                }
                 // Cumulative ack on every in-order delivery: the site trims
                 // its retransmit buffer as soon as the frontier moves.
-                let next = self.streams[site].next;
-                self.send_ack(from, next, ctx);
+                self.send_ack(from, site, ctx);
             }
             std::cmp::Ordering::Greater => {
                 if stream.parked.insert(seq, msg).is_some() {
@@ -959,13 +1195,17 @@ impl Actor for CoordinatorNode {
                 // link-duplicated copy. Drop it and re-ack so the sender
                 // learns its delivery even if the original ack was lost.
                 self.metrics.duplicates_dropped += 1;
-                let next = stream.next;
-                self.send_ack(from, next, ctx);
+                self.send_ack(from, site, ctx);
             }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        if self.wal_failed.is_some() {
+            // Fail-stop: a timer fire is a consumed input too, and it can
+            // no longer be logged.
+            return;
+        }
         if tag == ACK_TIMER_TAG {
             self.ack_round(ctx);
             return;
@@ -994,6 +1234,9 @@ impl Actor for CoordinatorNode {
                 global: parts.global.get(),
                 local: parts.local.get(),
             });
+            if self.wal_failed.is_some() {
+                return;
+            }
         }
         let ts = CompositeTimestamp::singleton(PrimitiveTimestamp::new(
             parts.site,
@@ -1053,12 +1296,17 @@ mod tests {
     fn ev(ty: u32, seq: u64, s: u32, g: u64, l: u64) -> Msg {
         Msg::Event {
             seq,
+            epoch: 0,
             occ: Occurrence::bare(EventId(ty), cts(&[(s, g, l)])),
         }
     }
 
     fn hb(seq: u64, w: u64) -> Msg {
-        Msg::Heartbeat { seq, watermark: w }
+        Msg::Heartbeat {
+            seq,
+            epoch: 0,
+            watermark: w,
+        }
     }
 
     fn occ(ty: u32, s: u32, g: u64, l: u64) -> Occurrence<CompositeTimestamp> {
@@ -1124,6 +1372,7 @@ mod tests {
             n,
             Msg::Batch {
                 seq: 0,
+                epoch: 0,
                 watermark: 6,
                 events: std::sync::Arc::new(vec![occ(0, 0, 5, 50), occ(1, 0, 6, 60)]),
             },
@@ -1143,6 +1392,7 @@ mod tests {
             n,
             Msg::Batch {
                 seq: 1,
+                epoch: 0,
                 watermark: 8,
                 events: std::sync::Arc::new(vec![]),
             },
@@ -1160,6 +1410,132 @@ mod tests {
     }
 
     #[test]
+    fn hello_bumps_epoch_clears_parked_and_filters_stale_traffic() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        sim.inject(Nanos(10), n, ev(0, 0, 0, 5, 50));
+        // Park a stale message from what will become the dead incarnation.
+        sim.inject(Nanos(20), n, ev(1, 7, 0, 6, 60));
+        sim.run_to_completion();
+        assert_eq!(sim.node(n).metrics.reassembly_parks, 1);
+        assert_eq!(sim.node(n).site_epoch(0), 0);
+        // Non-durable restart: the new incarnation starts its sequence
+        // space at 0 and announces itself.
+        sim.inject(
+            Nanos(30),
+            n,
+            Msg::Hello {
+                seq: 0,
+                epoch: 1,
+                watermark: 0,
+            },
+        );
+        sim.run_to_completion();
+        {
+            let c = sim.node(n);
+            assert_eq!(c.site_epoch(0), 1);
+            assert_eq!(c.metrics.rejoins, 1);
+            assert_eq!(c.metrics.epoch_max, 1);
+            // The parked epoch-0 message is gone, and the Hello was itself
+            // consumed in order at the lowered frontier (0 → 1).
+            assert_eq!(c.metrics.parked_peak, 1);
+        }
+        // Old-incarnation traffic still in flight is filtered, not parked.
+        sim.inject(Nanos(40), n, ev(1, 8, 0, 6, 60));
+        // New-incarnation traffic flows normally (seq 1 follows the Hello).
+        sim.inject(
+            Nanos(50),
+            n,
+            Msg::Event {
+                seq: 1,
+                epoch: 1,
+                occ: Occurrence::bare(EventId(1), cts(&[(0, 6, 60)])),
+            },
+        );
+        sim.inject(
+            Nanos(60),
+            n,
+            Msg::Heartbeat {
+                seq: 2,
+                epoch: 1,
+                watermark: 9,
+            },
+        );
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.metrics.epoch_filtered, 1);
+        // A@g5 (epoch 0, pre-crash) then B@g6 (epoch 1) still detect SEQ:
+        // the crash did not disturb surviving notifications.
+        assert_eq!(c.detections.len(), 1);
+    }
+
+    #[test]
+    fn data_ahead_of_its_hello_is_dropped_until_hello_lands() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        // Epoch-1 data races ahead of its Hello: dropped unacked.
+        sim.inject(
+            Nanos(10),
+            n,
+            Msg::Event {
+                seq: 1,
+                epoch: 1,
+                occ: Occurrence::bare(EventId(0), cts(&[(0, 5, 50)])),
+            },
+        );
+        sim.run_to_completion();
+        {
+            let c = sim.node(n);
+            assert_eq!(c.metrics.epoch_filtered, 1);
+            assert_eq!(c.metrics.events_received, 0);
+        }
+        // The Hello lands; the retransmitted copy of the same event is now
+        // accepted in order behind it.
+        sim.inject(
+            Nanos(20),
+            n,
+            Msg::Hello {
+                seq: 0,
+                epoch: 1,
+                watermark: 0,
+            },
+        );
+        sim.inject(
+            Nanos(30),
+            n,
+            Msg::Event {
+                seq: 1,
+                epoch: 1,
+                occ: Occurrence::bare(EventId(0), cts(&[(0, 5, 50)])),
+            },
+        );
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.metrics.events_received, 1);
+        assert_eq!(c.site_epoch(0), 1);
+    }
+
+    #[test]
+    fn stale_notification_below_release_horizon_is_refused() {
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        sim.inject(Nanos(10), n, ev(0, 0, 0, 5, 50));
+        sim.inject(Nanos(20), n, hb(1, 8));
+        sim.run_to_completion();
+        // g=5 released: the horizon is now 5.
+        assert_eq!(sim.node(n).metrics.events_released, 1);
+        // A notification at g=4 violates the site's own w=8 promise — only
+        // an evicted-then-rejoined site's pre-crash backlog can do this.
+        // It is refused, not released out of order.
+        sim.inject(Nanos(30), n, ev(1, 2, 0, 4, 40));
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.metrics.stale_refused, 1);
+        assert_eq!(c.buffered(), 0);
+        assert_eq!(c.metrics.events_received, 1);
+    }
+
+    #[test]
     fn lagging_watermark_blocks() {
         let mut sim = coordinator_sim(1);
         let n = decs_simnet::NodeIdx(0);
@@ -1170,5 +1546,60 @@ mod tests {
         sim.inject(Nanos(30), n, hb(2, 7));
         sim.run_to_completion();
         assert_eq!(sim.node(n).buffered(), 0);
+    }
+
+    #[test]
+    fn wal_write_error_fail_stops_consumption_cleanly() {
+        use crate::durability::{WalSink, WalWriter};
+        use std::io::Write;
+
+        // A sink whose device has died: every write errors out. Swapped in
+        // mid-run to model the disk failing underneath a healthy log.
+        struct DeadDisk;
+        impl Write for DeadDisk {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        impl WalSink for DeadDisk {
+            fn sync_data(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("decs-coord-failstop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sim = coordinator_sim(1);
+        let n = decs_simnet::NodeIdx(0);
+        sim.node_mut(n).set_durability(&dir, u64::MAX).unwrap();
+        sim.inject(Nanos(10), n, ev(0, 0, 0, 5, 50));
+        sim.run_to_completion();
+        {
+            let c = sim.node_mut(n);
+            assert_eq!(c.metrics.events_received, 1);
+            assert!(c.wal_failed().is_none());
+            c.wal = Some(WalWriter::with_sink(Box::new(DeadDisk), dir.join("<dead>")));
+        }
+        // The next delivery hits the dead disk: the append fails *before*
+        // the message is applied, so disk state still matches applied
+        // state; from then on every input is dropped unprocessed.
+        sim.inject(Nanos(20), n, ev(1, 1, 0, 6, 60));
+        sim.inject(Nanos(30), n, hb(2, 9));
+        sim.run_to_completion();
+        let c = sim.node(n);
+        assert_eq!(c.metrics.wal_errors, 1, "one failing append, counted once");
+        assert!(c.wal_failed().unwrap().contains("disk gone"));
+        assert_eq!(
+            c.metrics.events_received, 1,
+            "the unloggable event must not be consumed"
+        );
+        assert!(
+            c.detections.is_empty(),
+            "the dropped watermark must not release anything"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -102,6 +102,33 @@ pub struct Metrics {
     /// Cumulative producer-side spins on full worker rings (lock-free
     /// hand-off backpressure; 0 on the serial path).
     pub ring_full_spins: u64,
+    /// Site restarts (aggregated over sites by the engine; 0 in a bare
+    /// coordinator).
+    pub site_restarts: u64,
+    /// Epoch-bump rejoin handshakes the coordinator completed (one per
+    /// first-seen `Msg::Hello` with a higher epoch).
+    pub rejoins: u64,
+    /// Highest incarnation epoch seen across all site streams.
+    pub epoch_max: u64,
+    /// Sum over rejoins of (Hello consumed in order − Hello first seen),
+    /// nanoseconds: how long each returning site took to re-deliver its
+    /// backlog and resume in-order progress.
+    pub rejoin_latency_ns: u64,
+    /// Notifications refused because their stamp sorted at or below the
+    /// coordinator's release/GC horizon — the pre-crash backlog of an
+    /// evicted-then-rejoined site, whose slots in the canonical release
+    /// order were already passed while its watermark was pinned at +∞.
+    /// Provably zero for healthy (never-evicted) sites.
+    pub stale_refused: u64,
+    /// Messages dropped by the incarnation-epoch filter: stale traffic
+    /// from a dead incarnation, or new-incarnation data racing ahead of
+    /// its (retransmitted) `Msg::Hello`.
+    pub epoch_filtered: u64,
+    /// WAL append/sync failures surfaced (site or coordinator). Non-zero
+    /// means durability has been disabled on the failing node and — for
+    /// the coordinator — input consumption has halted to keep the log
+    /// prefix-consistent (see `docs/OPERATIONS.md`).
+    pub wal_errors: u64,
 }
 
 impl Metrics {

@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 /// The wire protocol. Every site→coordinator message carries a per-site
 /// sequence number so the coordinator can reassemble FIFO order over a
-/// reordering network.
+/// reordering network, plus the site's **incarnation epoch** so messages
+/// from a dead incarnation (whose sequence space may conflict with the
+/// current one after a non-durable restart) are filtered instead of
+/// corrupting reassembly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     /// Engine control: start heartbeating (delivered at simulation start).
@@ -24,6 +27,8 @@ pub enum Msg {
     Event {
         /// Per-site sequence number.
         seq: u64,
+        /// The sender's incarnation epoch.
+        epoch: u64,
         /// The stamped occurrence (singleton composite timestamp).
         occ: Occurrence<CompositeTimestamp>,
     },
@@ -32,6 +37,8 @@ pub enum Msg {
     Heartbeat {
         /// Per-site sequence number (shared stream with events).
         seq: u64,
+        /// The sender's incarnation epoch.
+        epoch: u64,
         /// The site's current global tick.
         watermark: u64,
     },
@@ -44,6 +51,8 @@ pub enum Msg {
     Batch {
         /// Per-site sequence number (shared stream).
         seq: u64,
+        /// The sender's incarnation epoch.
+        epoch: u64,
         /// The site's global tick at flush time; every event the site will
         /// ever send after this batch has global tick ≥ `watermark`.
         watermark: u64,
@@ -61,10 +70,35 @@ pub enum Msg {
     Ack {
         /// The next sequence number the coordinator expects.
         cum_seq: u64,
+        /// The incarnation epoch the ack is scoped to. A site ignores acks
+        /// carrying a different epoch: after a restart its sequence space
+        /// is fresh, and an old-epoch ack must not trim the new buffer.
+        epoch: u64,
+    },
+    /// Rejoin announcement, site → coordinator, sent whenever a site
+    /// restarts into a new incarnation (`epoch ≥ 1`). It is itself
+    /// sequence-numbered — it rides the ordinary ack/retransmit machinery,
+    /// so a lost Hello is retransmitted until the coordinator has seen it.
+    /// On first sight of a higher epoch the coordinator bumps the stream
+    /// epoch, clears parked reassembly state, lowers its in-order frontier
+    /// to `min(next, seq)` and — if the site was evicted — un-evicts it,
+    /// resetting its watermark to `watermark`.
+    Hello {
+        /// Per-site sequence number (shared stream): the base of the new
+        /// incarnation's send window.
+        seq: u64,
+        /// The new incarnation epoch (strictly greater than any previous).
+        epoch: u64,
+        /// The site's current global tick — its first post-rejoin promise.
+        watermark: u64,
     },
     /// Failure injection: the receiving site crashes — it stops
     /// heartbeating and drops future injections.
     Crash,
+    /// Failure injection: a crashed site restarts — it bumps its epoch,
+    /// recovers durable state when configured, announces `Hello`, and
+    /// resumes heartbeating. Delivered to a live site it is a no-op.
+    Restart,
     /// Operator action at the coordinator: stop waiting for `site`'s
     /// watermark (its promises are treated as +∞ from now on). Buffered
     /// events from the evicted site still release; new ones are refused.
@@ -83,17 +117,26 @@ mod tests {
     fn messages_are_cloneable_and_debuggable() {
         let m = Msg::Event {
             seq: 3,
+            epoch: 0,
             occ: Occurrence::bare(EventId(1), cts(&[(1, 8, 80)])),
         };
         let m2 = m.clone();
         assert!(format!("{m2:?}").contains("seq: 3"));
         let h = Msg::Heartbeat {
             seq: 4,
+            epoch: 0,
             watermark: 9,
         };
         assert!(format!("{h:?}").contains("watermark"));
+        let hello = Msg::Hello {
+            seq: 6,
+            epoch: 2,
+            watermark: 11,
+        };
+        assert!(format!("{hello:?}").contains("epoch: 2"));
         let b = Msg::Batch {
             seq: 5,
+            epoch: 0,
             watermark: 9,
             events: Arc::new(vec![Occurrence::bare(EventId(1), cts(&[(1, 8, 80)]))]),
         };

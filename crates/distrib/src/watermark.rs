@@ -35,6 +35,17 @@ impl WatermarkTracker {
         }
     }
 
+    /// Force-set a site's watermark, **non**-monotonically. The only
+    /// caller is un-eviction: an evicted site's mark is pinned at
+    /// `u64::MAX`, and a rejoin must drop it back to the site's fresh
+    /// promise or the pin would outlive the eviction forever. Ordinary
+    /// watermark traffic must go through [`WatermarkTracker::update`].
+    pub fn reset(&mut self, site: usize, watermark: u64) {
+        if let Some(m) = self.marks.get_mut(site) {
+            *m = watermark;
+        }
+    }
+
     /// The ensemble watermark: the minimum promise across sites.
     pub fn min_watermark(&self) -> u64 {
         self.marks.iter().copied().min().unwrap_or(0)
@@ -83,6 +94,20 @@ mod tests {
         w.update(0, 10);
         w.update(0, 5); // regression ignored
         assert_eq!(w.min_watermark(), 10);
+    }
+
+    #[test]
+    fn reset_unpins_an_evicted_mark() {
+        let mut w = WatermarkTracker::new(2);
+        w.update(0, 10);
+        w.update(1, u64::MAX); // eviction pin
+        assert!(w.is_stable(8));
+        w.reset(1, 3); // un-eviction: non-monotone force-set
+        assert_eq!(w.site_watermark(1), 3);
+        assert_eq!(w.min_watermark(), 3);
+        assert!(!w.is_stable(8));
+        w.reset(9, 1); // out-of-range ignored, like update
+        assert_eq!(w.min_watermark(), 3);
     }
 
     #[test]

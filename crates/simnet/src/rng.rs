@@ -59,6 +59,16 @@ impl SplitMix64 {
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// `base` perturbed by a uniform jitter of total width `spread`,
+    /// centered on `base`: a value in `[base − spread/2, base + spread/2]`
+    /// (saturating at 0). Desynchronizes periodic behaviors — sites whose
+    /// retransmission timers would otherwise all fire on the same tick
+    /// after a shared outage spread across the window instead.
+    pub fn jitter(&mut self, base: u64, spread: u64) -> u64 {
+        base.saturating_sub(spread / 2)
+            .saturating_add(self.next_below(spread + 1))
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +130,24 @@ mod tests {
         let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
         let ys: Vec<u64> = (0..10).map(|_| f.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn jitter_stays_in_window_and_spreads() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = r.jitter(1_000, 200);
+            assert!((900..=1_100).contains(&v), "{v}");
+            seen.insert(v);
+        }
+        // The window is actually used, not collapsed to one value.
+        assert!(seen.len() > 50, "only {} distinct values", seen.len());
+        // Zero spread is the identity; saturation never underflows.
+        assert_eq!(r.jitter(1_000, 0), 1_000);
+        // A spread wider than the base saturates the low edge at 0 and
+        // never panics.
+        assert!(r.jitter(3, 1_000) <= 1_000);
     }
 
     #[test]

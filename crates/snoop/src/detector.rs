@@ -82,6 +82,20 @@ impl<T: EventTime> Detector<T> {
     pub fn buffered_occupancy(&self) -> usize {
         self.graph.buffered_occupancy()
     }
+
+    /// Capture the graph's buffered operator state (see
+    /// [`EventGraph::save_state`]). A state saved from a freshly compiled
+    /// detector doubles as a "pristine" image to reset to after a site
+    /// restart.
+    pub fn save_state(&self) -> crate::state::GraphState<T> {
+        self.graph.save_state()
+    }
+
+    /// Restore previously saved operator state into this detector's graph
+    /// (see [`EventGraph::restore_state`]).
+    pub fn restore_state(&mut self, state: crate::state::GraphState<T>) -> Result<()> {
+        self.graph.restore_state(state)
+    }
 }
 
 /// Backend of a [`CentralDetector`]: one monolithic graph (the default),

@@ -202,3 +202,98 @@ fn stress_many_events_deterministic() {
     assert_eq!(released1, received1);
     assert!(received1 >= trace.len() as u64 - 5);
 }
+
+/// Satellite of the rejoin PR: retransmission jitter. Sites that lost
+/// messages in the same outage arm their retransmission timers from the
+/// same instants with the same backoff schedule, so without jitter every
+/// retry round fires in lockstep across all of them — a thundering herd
+/// aimed at the link the moment it heals. `retransmit_jitter_seed` gives
+/// each site an independent seeded perturbation of every delay; this
+/// test traces both runs and asserts the herd actually spreads while
+/// detections stay bit-identical.
+#[test]
+fn retransmit_jitter_spreads_the_thundering_herd() {
+    use decs::simnet::TraceEntry;
+
+    // (per-site sorted retransmit instants during the outage, detections)
+    fn run(jitter: Option<u64>) -> (Vec<Vec<u64>>, Vec<(String, u64)>) {
+        let config = EngineConfig {
+            trace_capacity: 100_000,
+            // Push heartbeats past the horizon: the only site sends in
+            // the observation window are then the retransmit rounds.
+            heartbeat_interval: Nanos::from_secs(60),
+            retransmit_jitter_seed: jitter,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(
+            &scenario(3, 99),
+            config,
+            &["A", "B"],
+            &[("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle)],
+        )
+        .unwrap();
+        for site in 0..3 {
+            e.partition_site(site, Nanos::from_millis(350), Nanos::from_secs(10));
+        }
+        for site in 0..3 {
+            // The same injection instant everywhere: identical unacked
+            // windows, identical timer arm times — maximal lockstep.
+            e.inject(Nanos::from_millis(400), site, "A", vec![])
+                .unwrap();
+        }
+        e.inject(Nanos::from_secs(12), 0, "B", vec![]).unwrap();
+        // Watermarks only travel on heartbeats, and the first one is at
+        // 60 s — run past it so the composite actually releases.
+        let det: Vec<(String, u64)> = e
+            .run_until(Nanos::from_secs(70))
+            .into_iter()
+            .map(|d| (d.name, d.occ.time.max_global()))
+            .collect();
+        let mut times = vec![Vec::new(); 3];
+        for entry in e.trace().entries() {
+            if let TraceEntry::Drop { at, from, .. } = entry {
+                // Sends after the initial (identical) 400 ms injection
+                // and before the heal are exactly the retry rounds.
+                if (from.0 as usize) < 3 && at.get() > 450_000_000 {
+                    times[from.0 as usize].push(at.get());
+                }
+            }
+        }
+        (times, det)
+    }
+
+    let (lockstep, det_plain) = run(None);
+    let (spread, det_jitter) = run(Some(0xD1CE));
+    // Both runs retried several rounds per site through the outage.
+    for site in 0..3 {
+        assert!(lockstep[site].len() >= 4, "too few rounds to compare");
+        assert_eq!(
+            lockstep[site].len(),
+            spread[site].len(),
+            "jitter must not change the number of retry rounds here"
+        );
+    }
+    // Without jitter the herd is real: every site's rounds coincide.
+    assert_eq!(lockstep[0], lockstep[1]);
+    assert_eq!(lockstep[1], lockstep[2]);
+    // With jitter the same rounds spread: no two sites share a schedule,
+    // and most rounds have all three sites at pairwise distinct instants.
+    assert_ne!(spread[0], spread[1]);
+    assert_ne!(spread[1], spread[2]);
+    assert_ne!(spread[0], spread[2]);
+    let rounds = spread[0].len();
+    let distinct_rounds = (0..rounds)
+        .filter(|&i| {
+            spread[0][i] != spread[1][i]
+                && spread[1][i] != spread[2][i]
+                && spread[0][i] != spread[2][i]
+        })
+        .count();
+    assert!(
+        distinct_rounds * 2 >= rounds,
+        "jitter left {distinct_rounds}/{rounds} rounds fully spread"
+    );
+    // And the jitter is latency-only: detections are bit-identical.
+    assert_eq!(det_plain, det_jitter);
+    assert!(!det_plain.is_empty());
+}

@@ -65,18 +65,33 @@ fn wide_occurrence() -> impl Strategy<Value = Occurrence<decs::core::CompositeTi
 
 fn msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
-        (0u64..1000, occurrence()).prop_map(|(seq, occ)| Msg::Event { seq, occ }),
-        (0u64..1000, 0u64..100).prop_map(|(seq, watermark)| Msg::Heartbeat { seq, watermark }),
+        (0u64..1000, 0u64..4, occurrence()).prop_map(|(seq, epoch, occ)| Msg::Event {
+            seq,
+            epoch,
+            occ
+        }),
+        (0u64..1000, 0u64..4, 0u64..100).prop_map(|(seq, epoch, watermark)| Msg::Heartbeat {
+            seq,
+            epoch,
+            watermark
+        }),
         (
             0u64..1000,
+            0u64..4,
             0u64..100,
             proptest::collection::vec(occurrence(), 0..3)
         )
-            .prop_map(|(seq, watermark, events)| Msg::Batch {
+            .prop_map(|(seq, epoch, watermark, events)| Msg::Batch {
                 seq,
+                epoch,
                 watermark,
                 events: std::sync::Arc::new(events)
             }),
+        (0u64..1000, 1u64..4, 0u64..100).prop_map(|(seq, epoch, watermark)| Msg::Hello {
+            seq,
+            epoch,
+            watermark
+        }),
     ]
 }
 
@@ -199,7 +214,7 @@ proptest! {
             .map(|(i, occ)| WalRecord::Delivered {
                 site: i as u32,
                 at: i as u64,
-                msg: Msg::Event { seq: i as u64, occ: occ.clone() },
+                msg: Msg::Event { seq: i as u64, epoch: 0, occ: occ.clone() },
             })
             .collect();
         let (bytes, _) = image(&records);

@@ -43,6 +43,18 @@ fn engine(seed: u64, wal_dir: Option<&Path>, snapshot_interval: u64) -> Engine {
     Engine::new(&scenario(seed), config, &["A", "B", "C"], &d).unwrap()
 }
 
+/// Engine with *site* durability only: each site logs its outbound window
+/// to `<dir>/site-<i>` (log-before-send), the coordinator keeps no WAL.
+fn site_durable_engine(seed: u64, wal_dir: &Path) -> Engine {
+    let config = EngineConfig {
+        site_durability: true,
+        wal_dir: Some(wal_dir.to_string_lossy().into_owned()),
+        ..EngineConfig::default()
+    };
+    let d = defs();
+    Engine::new(&scenario(seed), config, &["A", "B", "C"], &d).unwrap()
+}
+
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("decs-recfail-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -189,6 +201,91 @@ fn missing_durability_dir_recovers_to_a_fresh_engine() {
 fn recovery_without_durability_is_an_error() {
     let mut e = engine(11, None, 0);
     assert!(e.crash_and_recover_coordinator().is_err());
+}
+
+#[test]
+fn site_crash_after_log_before_send_delivers_exactly_once() {
+    // Crash-during-flush, site side. Log-before-send means the A injected
+    // at 1.0 s is appended to site 0's WAL *before* the send — and the
+    // partition eats the send, so observationally the site dies "after
+    // the append, before the bytes reached anyone". The restarted
+    // incarnation recovers the window from the WAL and must deliver that
+    // A exactly once: a loss would starve the second X, a double release
+    // would shift the chronicle pairing. Equality with the fault-free run
+    // rules out both.
+    let w: Vec<(u64, u32, &'static str)> = vec![
+        (200, 0, "A"),
+        (500, 1, "B"),
+        (800, 2, "C"),
+        (1_000, 0, "A"), // stranded: logged, never delivered pre-crash
+        (3_500, 1, "B"), // completes the second X with the recovered A
+        (4_000, 2, "C"),
+    ];
+    let expect = {
+        let mut clean = engine(31, None, 0);
+        inject_all(&mut clean, &w);
+        keys(clean.run_until(HORIZON))
+    };
+    assert!(expect.len() >= 2, "workload must produce detections");
+
+    let dir = tmp_dir("flushcrash");
+    let mut e = site_durable_engine(31, &dir);
+    e.partition_site(0, Nanos::from_millis(950), Nanos::from_millis(2_500));
+    e.crash_site(Nanos(1_200_500_000), 0);
+    e.restart_site(Nanos(3_000_500_000), 0);
+    inject_all(&mut e, &w);
+    let det = keys(e.run_until(HORIZON));
+    assert_eq!(det, expect, "recovered window must deliver exactly once");
+    let m = e.metrics();
+    assert_eq!(m.site_restarts, 1);
+    assert!(m.rejoins >= 1, "coordinator must see the Hello");
+    assert_eq!(m.epoch_max, 1);
+    assert_eq!(m.wal_errors, 0);
+    assert_eq!(e.site_epoch(0), 1);
+    assert_eq!(e.coordinator_site_epoch(0), 1);
+    assert_eq!(e.unacked(0), 0, "recovered backlog must end fully acked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restarted_site_retransmits_delivered_prefix_which_is_deduped() {
+    // Lossy acks leave a durable site holding messages the coordinator
+    // already consumed. The restarted incarnation recovers that whole
+    // unacked window and retransmits it (it cannot know which copies
+    // landed); the coordinator's sequence frontier must drop the
+    // delivered prefix as duplicates — under the new epoch — rather than
+    // re-consume it.
+    let expect = {
+        let mut clean = engine(37, None, 0);
+        inject_all(&mut clean, &workload());
+        keys(clean.run_until(Nanos::from_secs(25)))
+    };
+    assert!(!expect.is_empty());
+
+    let dir = tmp_dir("sitededup");
+    let mut e = site_durable_engine(37, &dir);
+    for site in 0..SITES {
+        e.set_link_pair(site, LinkConfig::lan().with_faults(150_000, 0));
+    }
+    // The crash window holds no site-0 injections, so the fault-free
+    // oracle needs no filtering.
+    e.crash_site(Nanos(1_600_500_000), 0);
+    e.restart_site(Nanos(2_200_500_000), 0);
+    inject_all(&mut e, &workload());
+    let mut det = keys(e.run_until(Nanos::from_millis(2_200)));
+    let dups_before_rejoin = e.metrics().duplicates_dropped;
+    det.extend(keys(e.run_until(Nanos::from_secs(25))));
+    assert_eq!(det, expect, "lossy + site crash must match the clean run");
+    let m = e.metrics();
+    assert!(
+        m.duplicates_dropped > dups_before_rejoin,
+        "the recovered window's delivered-but-unacked prefix must be \
+         deduped, not re-consumed"
+    );
+    assert_eq!(m.site_restarts, 1);
+    assert_eq!(m.epoch_max, 1);
+    assert_eq!(m.wal_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
