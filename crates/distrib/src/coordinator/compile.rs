@@ -1,0 +1,96 @@
+//! Compiling the coordinator's detector from definition lists.
+//!
+//! Shared by engine construction and crash recovery, so a recovered
+//! coordinator runs a bit-identical plan. Lives with the coordinator (not
+//! the engine) because every coordinator replica must be able to build its
+//! own plan from the same inputs.
+
+use crate::config::EngineConfig;
+use decs_core::CompositeTimestamp;
+use decs_snoop::{AnyDetector, Context, EventExpr, EventId, PlanDetector, Result, ShardedDetector};
+use std::collections::HashMap;
+
+/// A freshly compiled coordinator detector plus the name→id table and
+/// the full coordinator-visible event-name list it was compiled with.
+pub(crate) type CompiledDetector = (
+    AnyDetector<CompositeTimestamp>,
+    HashMap<String, EventId>,
+    Vec<String>,
+);
+
+/// Compile the coordinator's detector from the (owned) definition lists.
+pub(crate) fn build_detector(
+    config: &EngineConfig,
+    primitives: &[String],
+    local_definitions: &[(String, EventExpr, Context)],
+    global_definitions: &[(String, EventExpr, Context)],
+) -> Result<CompiledDetector> {
+    // The shared-plan backend is the default; `plan_sharing: false`
+    // keeps the independent-compilation path as a differential oracle.
+    let mut detector: AnyDetector<CompositeTimestamp> = if config.plan_sharing {
+        PlanDetector::new().into()
+    } else {
+        ShardedDetector::new().into()
+    };
+    let mut name_ids = HashMap::new();
+    for p in primitives {
+        let id = detector.register(p)?;
+        name_ids.insert(p.clone(), id);
+    }
+    // Local composite events are plain event types at the coordinator
+    // (detected at the sites, not re-detected here).
+    for (name, _, _) in local_definitions {
+        let id = detector.register(name)?;
+        name_ids.insert(name.clone(), id);
+    }
+    for (name, expr, ctx) in global_definitions {
+        let id = detector.define(name, expr, *ctx)?;
+        name_ids.insert(name.clone(), id);
+    }
+    apply_worker_config(&mut detector, config);
+    // Snapshot id → name for reporting.
+    let names = catalog_names(&detector);
+    Ok((detector, name_ids, names))
+}
+
+/// Apply the `worker_count` policy to a compiled detector.
+///
+/// `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit under the
+/// min(available_parallelism, shards) clamp), 1 = forced serial (the
+/// determinism-suite baseline), n ≥ 2 = pool of exactly min(n, shards)
+/// threads. An explicit count bypasses the hardware cap: the determinism
+/// suites depend on real multi-worker hand-off even on single-core CI.
+/// See [`EngineConfig::worker_count`].
+pub(crate) fn apply_worker_config(
+    detector: &mut AnyDetector<CompositeTimestamp>,
+    config: &EngineConfig,
+) {
+    #[cfg(feature = "parallel")]
+    if detector.shard_count() > 1 {
+        match config.worker_count {
+            0 => {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(detector.shard_count());
+                if workers > 1 {
+                    detector.enable_pool(workers);
+                }
+            }
+            1 => {}
+            n => detector.enable_pool_exact(n.min(detector.shard_count())),
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (detector, config);
+    }
+}
+
+/// The detector's full catalog as an id-indexed name list.
+pub(crate) fn catalog_names(detector: &AnyDetector<CompositeTimestamp>) -> Vec<String> {
+    let cat = detector.catalog();
+    (0..cat.len())
+        .map(|i| cat.name(EventId(i as u32)).to_string())
+        .collect()
+}

@@ -1,0 +1,388 @@
+//! Per-site stream delivery: FIFO reassembly over sequence numbers,
+//! incarnation-epoch filtering and the `Hello` rejoin transition,
+//! cumulative acks, stall detection and eviction.
+
+use super::{CoordCtx, CoordinatorNode, ACK_TIMER_TAG};
+use crate::durability::WalRecord;
+use crate::protocol::Msg;
+use decs_simnet::NodeIdx;
+
+impl CoordinatorNode {
+    /// Consume one in-order message from `site`'s reassembled stream:
+    /// log it to the WAL first (recovery replays exactly this stream),
+    /// then apply it.
+    pub(super) fn handle_in_order(&mut self, site: usize, msg: Msg, ctx: &mut impl CoordCtx) {
+        if self.wal_failed.is_some() {
+            // Fail-stopped: `wal == None` no longer means durability-off.
+            return;
+        }
+        // Log before applying: recovery replays exactly the in-order
+        // consumption stream. Parked messages are logged here — when they
+        // are consumed — not on arrival; until then the ack protocol keeps
+        // them the sender's responsibility.
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::Delivered {
+                site: site as u32,
+                at: ctx.true_now().get(),
+                msg: msg.clone(),
+            });
+            if self.wal_failed.is_some() {
+                // The message could not be logged: fail-stop *before*
+                // applying it, so disk state still matches applied state.
+                return;
+            }
+        }
+        self.metrics.messages_processed += 1;
+        // Evicted sites: stream bookkeeping continues (their retransmits
+        // must be acked into silence) but new notifications are refused and
+        // their watermark promises stay pinned at +∞.
+        let evicted = self.streams[site].evicted;
+        match msg {
+            Msg::Event { occ, .. } => {
+                if evicted {
+                    self.metrics.evict_refused += 1;
+                } else {
+                    self.accept_notification(site, occ, ctx);
+                }
+            }
+            Msg::Heartbeat { watermark, .. } => {
+                self.metrics.heartbeats_received += 1;
+                self.tracker.update(site, watermark);
+                self.release_stable(ctx);
+            }
+            Msg::Batch {
+                watermark, events, ..
+            } => {
+                self.metrics.batches_received += 1;
+                self.metrics.batch_size_max = self.metrics.batch_size_max.max(events.len());
+                if evicted {
+                    self.metrics.evict_refused += events.len() as u64;
+                } else {
+                    // The WAL (or a retransmit buffer in tests) may still
+                    // hold a reference; consume in place when we own the
+                    // only copy, clone per occurrence otherwise.
+                    match std::sync::Arc::try_unwrap(events) {
+                        Ok(owned) => {
+                            for occ in owned {
+                                self.accept_notification(site, occ, ctx);
+                            }
+                        }
+                        Err(shared) => {
+                            for occ in shared.iter().cloned() {
+                                self.accept_notification(site, occ, ctx);
+                            }
+                        }
+                    }
+                }
+                self.tracker.update(site, watermark);
+                self.release_stable(ctx);
+            }
+            Msg::Hello { watermark, .. } => {
+                // The epoch transition already ran at first sight (see
+                // `epoch_transition`); consuming the Hello in order marks
+                // the rejoin complete: the returning site's backlog is
+                // drained and its fresh watermark promise takes effect.
+                self.tracker.update(site, watermark);
+                if let Some(t0) = self.streams[site].rejoined_at.take() {
+                    self.metrics.rejoin_latency_ns += ctx.true_now().get().saturating_sub(t0.get());
+                }
+                self.release_stable(ctx);
+            }
+            Msg::Start
+            | Msg::Inject { .. }
+            | Msg::Crash
+            | Msg::Restart
+            | Msg::Evict { .. }
+            | Msg::Ack { .. } => {
+                debug_assert!(false, "sequence-numbered control message");
+            }
+        }
+    }
+
+    pub(super) fn seq_of(msg: &Msg) -> Option<u64> {
+        match msg {
+            Msg::Event { seq, .. }
+            | Msg::Heartbeat { seq, .. }
+            | Msg::Batch { seq, .. }
+            | Msg::Hello { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    pub(super) fn epoch_of(msg: &Msg) -> Option<u64> {
+        match msg {
+            Msg::Event { epoch, .. }
+            | Msg::Heartbeat { epoch, .. }
+            | Msg::Batch { epoch, .. }
+            | Msg::Hello { epoch, .. } => Some(*epoch),
+            _ => None,
+        }
+    }
+
+    /// React to the **first sight** of a `Msg::Hello` carrying a higher
+    /// epoch than the stream's (in or out of order — it runs before
+    /// sequence handling, and exactly once per epoch because it raises the
+    /// stream epoch it is gated on):
+    ///
+    /// * parked reassembly state from the dead incarnation is dropped (its
+    ///   sequence numbers may collide with the new incarnation's);
+    /// * the in-order frontier falls to `min(next, base_seq)` — a
+    ///   non-durable restart resets the site's sequence space below the old
+    ///   frontier, a durable one resumes at or above it (so `min` is a
+    ///   no-op there and no delivered prefix is ever re-opened);
+    /// * an evicted site is un-evicted: its watermark pin drops from +∞
+    ///   back to the Hello's fresh promise and its stall state clears.
+    pub(super) fn epoch_transition(
+        &mut self,
+        site: usize,
+        epoch: u64,
+        base_seq: u64,
+        watermark: u64,
+        ctx: &mut impl CoordCtx,
+    ) {
+        if self.wal_failed.is_some() {
+            return;
+        }
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::HelloSeen {
+                site: site as u32,
+                at: ctx.true_now().get(),
+                epoch,
+                base_seq,
+                watermark,
+            });
+            if self.wal_failed.is_some() {
+                return;
+            }
+        }
+        let dropped = std::mem::take(&mut self.streams[site].parked).len();
+        self.parked_total -= dropped;
+        self.streams[site].epoch = epoch;
+        self.streams[site].next = self.streams[site].next.min(base_seq);
+        self.streams[site].rejoined_at = Some(ctx.true_now());
+        let was_evicted = std::mem::replace(&mut self.streams[site].evicted, false);
+        if was_evicted {
+            self.tracker.reset(site, watermark);
+            let st = &mut self.stall[site];
+            if st.suspect {
+                st.suspect = false;
+                self.metrics.suspect_sites -= 1;
+            }
+            st.stalled_checks = 0;
+            st.last_wm = watermark;
+        }
+        self.metrics.rejoins += 1;
+        self.metrics.epoch_max = self.metrics.epoch_max.max(epoch);
+    }
+
+    /// Stop waiting for `site`: its watermark promise becomes +∞ and its
+    /// future notifications are refused (buffered ones still release).
+    pub(super) fn evict(&mut self, site: usize, ctx: &mut impl CoordCtx) {
+        if site >= self.streams.len() || self.streams[site].evicted || self.wal_failed.is_some() {
+            return;
+        }
+        if self.wal.is_some() && !self.replaying {
+            self.wal_append(WalRecord::Evicted {
+                site: site as u32,
+                at: ctx.true_now().get(),
+            });
+            if self.wal_failed.is_some() {
+                return;
+            }
+        }
+        self.streams[site].evicted = true;
+        self.tracker.update(site, u64::MAX);
+        self.release_stable(ctx);
+    }
+
+    /// Send `site`'s cumulative ack, scoped to its current epoch (a site
+    /// ignores acks from an epoch other than its own).
+    pub(super) fn send_ack(&mut self, to: NodeIdx, site: usize, ctx: &mut impl CoordCtx) {
+        self.metrics.acks_sent += 1;
+        let cum_seq = self.streams[site].next;
+        let epoch = self.streams[site].epoch;
+        ctx.send(to, Msg::Ack { cum_seq, epoch });
+    }
+
+    /// Periodic round: re-send every site's cumulative ack (repairing acks
+    /// lost on the return path), run the stall detector, re-arm.
+    pub(super) fn ack_round(&mut self, ctx: &mut impl CoordCtx) {
+        for site in 0..self.streams.len() {
+            self.send_ack(NodeIdx(site as u32), site, ctx);
+        }
+        self.stall_check(ctx);
+        ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
+    }
+
+    /// Mark a site *suspect* when its watermark has not advanced for
+    /// `stall_intervals` consecutive rounds in which some other site's
+    /// did (a globally idle system suspects nobody). Suspicion clears as
+    /// soon as the watermark moves again; with `auto_evict` it escalates
+    /// to eviction instead.
+    pub(super) fn stall_check(&mut self, ctx: &mut impl CoordCtx) {
+        if self.stall_intervals == 0 {
+            return;
+        }
+        let n = self.stall.len();
+        let mut advanced = vec![false; n];
+        let mut any_advanced = false;
+        for (i, adv) in advanced.iter_mut().enumerate() {
+            if self.streams[i].evicted {
+                continue;
+            }
+            let wm = self.tracker.site_watermark(i);
+            if wm > self.stall[i].last_wm {
+                self.stall[i].last_wm = wm;
+                *adv = true;
+                any_advanced = true;
+            }
+        }
+        let mut to_evict = Vec::new();
+        for (i, &adv) in advanced.iter().enumerate() {
+            if self.streams[i].evicted {
+                continue;
+            }
+            let st = &mut self.stall[i];
+            if adv {
+                st.stalled_checks = 0;
+                if st.suspect {
+                    st.suspect = false;
+                    self.metrics.suspect_sites -= 1;
+                }
+            } else if any_advanced {
+                st.stalled_checks += 1;
+                if st.suspect {
+                    self.metrics.stall_ns += u128::from(self.ack_interval.get());
+                } else if st.stalled_checks >= self.stall_intervals {
+                    st.suspect = true;
+                    self.metrics.suspect_sites += 1;
+                    if self.auto_evict {
+                        self.metrics.auto_evictions += 1;
+                        to_evict.push(i);
+                    }
+                }
+            }
+        }
+        for site in to_evict {
+            self.evict(site, ctx);
+        }
+    }
+
+    /// The full message-delivery state machine (the body of
+    /// [`decs_simnet::Actor::on_message`]): control messages, the
+    /// incarnation-epoch filter, and sequence-number reassembly with
+    /// park/drain/dup handling.
+    pub(super) fn deliver(&mut self, from: NodeIdx, msg: Msg, ctx: &mut impl CoordCtx) {
+        if let Msg::Evict { site } = msg {
+            // Operator action: treat the site's watermark as +∞ so the
+            // remaining buffer can stabilize without it.
+            self.evict(site as usize, ctx);
+            return;
+        }
+        if matches!(msg, Msg::Start) {
+            // Engine control: arm the periodic ack/stall-check round.
+            if self.ack_interval.get() > 0 {
+                ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
+            }
+            return;
+        }
+        let site = from.0 as usize;
+        let Some(seq) = Self::seq_of(&msg) else {
+            return; // Inject/Ack echoes are not coordinator traffic
+        };
+        debug_assert!(site < self.streams.len(), "unknown site {site}");
+        if self.wal_failed.is_some() {
+            // Fail-stop after a WAL error: dropping without acking keeps
+            // the durable log prefix exactly the consumed-input stream —
+            // sites retransmit into the replacement coordinator instead.
+            return;
+        }
+        // Incarnation-epoch filter, ahead of sequence handling: the two
+        // incarnations' sequence spaces may overlap.
+        let msg_epoch = Self::epoch_of(&msg).unwrap_or(0);
+        let stream_epoch = self.streams[site].epoch;
+        if msg_epoch < stream_epoch {
+            // In-flight traffic from a dead incarnation.
+            self.metrics.epoch_filtered += 1;
+            return;
+        }
+        if msg_epoch > stream_epoch {
+            match &msg {
+                Msg::Hello {
+                    seq,
+                    epoch,
+                    watermark,
+                } => {
+                    let (s, e, w) = (*seq, *epoch, *watermark);
+                    self.epoch_transition(site, e, s, w, ctx);
+                    // Fall through: the Hello itself is sequence-handled
+                    // against the just-lowered frontier like any message.
+                }
+                _ => {
+                    // New-incarnation data racing ahead of its Hello. Drop
+                    // it unacked; retransmission re-delivers it once the
+                    // Hello has landed and bumped the stream epoch.
+                    self.metrics.epoch_filtered += 1;
+                    return;
+                }
+            }
+        }
+        let stream = &mut self.streams[site];
+        match seq.cmp(&stream.next) {
+            std::cmp::Ordering::Equal => {
+                stream.next += 1;
+                self.handle_in_order(site, msg, ctx);
+                // Drain any parked successors.
+                loop {
+                    if self.wal_failed.is_some() {
+                        break;
+                    }
+                    let stream = &mut self.streams[site];
+                    let Some(m) = stream.parked.remove(&stream.next) else {
+                        break;
+                    };
+                    self.parked_total -= 1;
+                    stream.next += 1;
+                    self.handle_in_order(site, m, ctx);
+                }
+                if self.wal_failed.is_some() {
+                    // The frontier advance was never durably logged — do
+                    // not ack it, or the site would stop retransmitting a
+                    // message no recovery will ever see.
+                    return;
+                }
+                // Cumulative ack on every in-order delivery: the site trims
+                // its retransmit buffer as soon as the frontier moves.
+                self.send_ack(from, site, ctx);
+            }
+            std::cmp::Ordering::Greater => {
+                if stream.parked.insert(seq, msg).is_some() {
+                    // A second copy of an already-parked message
+                    // (retransmitted or link-duplicated): the overwrite is
+                    // idempotent.
+                    self.metrics.duplicates_dropped += 1;
+                    return;
+                }
+                self.metrics.reassembly_parks += 1;
+                self.parked_total += 1;
+                if self.parked_cap > 0 && stream.parked.len() > self.parked_cap {
+                    // Backpressure: discard the parked message farthest
+                    // from the in-order frontier. Cumulative acks never
+                    // cover it, so the sender retransmits it later.
+                    let (&victim, _) = stream.parked.iter().next_back().expect("non-empty");
+                    stream.parked.remove(&victim);
+                    self.parked_total -= 1;
+                    self.metrics.parked_dropped += 1;
+                }
+                self.metrics.parked_peak = self.metrics.parked_peak.max(self.parked_total);
+            }
+            std::cmp::Ordering::Less => {
+                // An already-delivered sequence number: a retransmitted or
+                // link-duplicated copy. Drop it and re-ack so the sender
+                // learns its delivery even if the original ack was lost.
+                self.metrics.duplicates_dropped += 1;
+                self.send_ack(from, site, ctx);
+            }
+        }
+    }
+}

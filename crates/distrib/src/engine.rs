@@ -8,17 +8,15 @@
 //! the named composite detections with their composite timestamps.
 
 use crate::config::EngineConfig;
-use crate::global::{CoordinatorNode, RawDetection};
+use crate::coordinator::compile;
+use crate::coordinator::{CoordinatorNode, RawDetection};
 use crate::metrics::Metrics;
 use crate::protocol::Msg;
 use crate::site::{LocalDetection, SiteNode};
 use decs_chronos::Nanos;
 use decs_core::CompositeTimestamp;
 use decs_simnet::{Actor, Ctx, LinkConfig, NodeIdx, Scenario, Simulation};
-use decs_snoop::{
-    AnyDetector, Context, Detector, EventExpr, Occurrence, PlanDetector, Result, ShardedDetector,
-    SnoopError, Value,
-};
+use decs_snoop::{Context, Detector, EventExpr, Occurrence, Result, SnoopError, Value};
 
 /// Either role in the star topology.
 #[derive(Debug)]
@@ -58,14 +56,6 @@ pub struct Detection {
     pub detected_at: Nanos,
 }
 
-/// A freshly compiled coordinator detector plus the name→id table and
-/// the full coordinator-visible event-name list it was compiled with.
-type CompiledDetector = (
-    AnyDetector<CompositeTimestamp>,
-    std::collections::HashMap<String, decs_snoop::EventId>,
-    Vec<String>,
-);
-
 /// The distributed detection engine.
 pub struct Engine {
     sim: Simulation<Node>,
@@ -97,70 +87,6 @@ impl Engine {
         Self::with_local(scenario, config, primitives, &[], definitions)
     }
 
-    /// Compile the coordinator's detector from the (owned) definition
-    /// lists. Shared by construction and crash recovery, so a recovered
-    /// coordinator runs a bit-identical plan.
-    fn build_detector(
-        config: &EngineConfig,
-        primitives: &[String],
-        local_definitions: &[(String, EventExpr, Context)],
-        global_definitions: &[(String, EventExpr, Context)],
-    ) -> Result<CompiledDetector> {
-        // The shared-plan backend is the default; `plan_sharing: false`
-        // keeps the independent-compilation path as a differential oracle.
-        let mut detector: AnyDetector<CompositeTimestamp> = if config.plan_sharing {
-            PlanDetector::new().into()
-        } else {
-            ShardedDetector::new().into()
-        };
-        let mut name_ids = std::collections::HashMap::new();
-        for p in primitives {
-            let id = detector.register(p)?;
-            name_ids.insert(p.clone(), id);
-        }
-        // Local composite events are plain event types at the coordinator
-        // (detected at the sites, not re-detected here).
-        for (name, _, _) in local_definitions {
-            let id = detector.register(name)?;
-            name_ids.insert(name.clone(), id);
-        }
-        for (name, expr, ctx) in global_definitions {
-            let id = detector.define(name, expr, *ctx)?;
-            name_ids.insert(name.clone(), id);
-        }
-        // `worker_count` semantics: 0 = auto (pool iff ≥ 2 workers fit
-        // under the min(available_parallelism, shards) clamp), 1 = forced
-        // serial (the determinism-suite baseline), n ≥ 2 = pool of exactly
-        // min(n, shards) threads. An explicit count bypasses the hardware
-        // cap: the determinism suites depend on real multi-worker hand-off
-        // even on single-core CI. See `EngineConfig::worker_count`.
-        #[cfg(feature = "parallel")]
-        if detector.shard_count() > 1 {
-            match config.worker_count {
-                0 => {
-                    let workers = std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                        .min(detector.shard_count());
-                    if workers > 1 {
-                        detector.enable_pool(workers);
-                    }
-                }
-                1 => {}
-                n => detector.enable_pool_exact(n.min(detector.shard_count())),
-            }
-        }
-        // Snapshot id → name for reporting.
-        let mut names = Vec::new();
-        {
-            let cat = detector.catalog();
-            for i in 0..cat.len() {
-                names.push(cat.name(decs_snoop::EventId(i as u32)).to_string());
-            }
-        }
-        Ok((detector, name_ids, names))
-    }
-
     /// Build an engine with **site-local composite events**: every site
     /// compiles `local_definitions` into its own detection graph; local
     /// detections are forwarded to the coordinator as first-class events
@@ -185,7 +111,7 @@ impl Engine {
             .map(|(n, e, c)| ((*n).to_string(), e.clone(), *c))
             .collect();
         let (detector, name_ids, names) =
-            Self::build_detector(&config, &primitives_owned, &local_defs, &global_defs)?;
+            compile::build_detector(&config, &primitives_owned, &local_defs, &global_defs)?;
 
         let n = scenario.sites();
         let coordinator = NodeIdx(n);
@@ -323,7 +249,7 @@ impl Engine {
                 ))
             }
         };
-        let (detector, _, _) = Self::build_detector(
+        let (detector, _, _) = compile::build_detector(
             &self.config,
             &self.primitives,
             &self.local_defs,

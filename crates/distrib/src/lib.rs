@@ -38,9 +38,9 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod coordinator;
 pub mod durability;
 pub mod engine;
-pub mod global;
 pub mod metrics;
 pub mod protocol;
 pub mod site;
