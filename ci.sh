@@ -64,6 +64,12 @@ cargo run --release -p decs-bench --features parallel --bin ingest -- --smoke
 # BENCH_recovery.json baseline.
 cargo run --release -p decs-bench --bin recovery -- --smoke
 
+# Partition smoke: re-runs the replica-count matrix (hard-asserting that
+# the N = 2 and N = 4 partitioned planes detect bit-identically to the
+# single coordinator, and that cross-partition forwarding actually
+# happened) and validates the committed BENCH_partition.json baseline.
+cargo run --release -p decs-bench --bin partition -- --smoke
+
 # Timestamp-width smoke: re-measures the version-vector compare/join
 # kernels at widths 2–128 and validates the committed
 # BENCH_timewidth.json baseline (fails on malformed JSON, a >2x

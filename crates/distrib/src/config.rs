@@ -106,6 +106,16 @@ pub struct EngineConfig {
     /// an independent stream from it). `None` disables jitter: every
     /// round fires exactly at the nominal backoff, as before.
     pub retransmit_jitter_seed: Option<u64>,
+    /// Coordinator replicas in the detection plane. `1` (the default) is
+    /// the classic single-coordinator deployment. With `n ≥ 2` the global
+    /// definitions are partitioned across `n` replicas by rendezvous
+    /// hashing, sites route each announcement only to the replicas whose
+    /// definitions subscribe to its type, and cross-partition composite
+    /// events are forwarded replica → replica as first-class primitive
+    /// events. Detections are bit-for-bit identical to `1` (see
+    /// `tests/prop_partition.rs`); incompatible with
+    /// [`EngineConfig::site_durability`].
+    pub coordinator_replicas: usize,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +146,7 @@ impl Default for EngineConfig {
             wal_dir: None,
             site_durability: false,
             retransmit_jitter_seed: None,
+            coordinator_replicas: 1,
         }
     }
 }

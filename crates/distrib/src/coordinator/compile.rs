@@ -94,3 +94,67 @@ pub(crate) fn catalog_names(detector: &AnyDetector<CompositeTimestamp>) -> Vec<S
         .map(|i| cat.name(EventId(i as u32)).to_string())
         .collect()
 }
+
+/// One replica's compiled detector plus its catalog translation tables.
+pub(crate) struct ReplicaPlan {
+    /// The replica's detector, with the cross-definition cascade severed
+    /// (the partition plane re-creates it explicitly).
+    pub(crate) detector: AnyDetector<CompositeTimestamp>,
+    /// Replica-local event id → full-catalog id.
+    pub(crate) to_global: Vec<u32>,
+    /// Full-catalog id → replica-local id.
+    pub(crate) to_local: HashMap<u32, u32>,
+}
+
+/// Compile one replica's detector: register the replica's input types
+/// (ascending full-catalog id — composites its definitions reference but
+/// does not own arrive as first-class primitives), then define its owned
+/// global definitions in global definition order. The replica plan is
+/// deterministic: a recovered replica rebuilds the identical plan.
+pub(crate) fn build_replica_detector(
+    config: &EngineConfig,
+    full_names: &[String],
+    inputs: &std::collections::BTreeSet<u32>,
+    owned_defs: &[(String, EventExpr, Context)],
+) -> Result<ReplicaPlan> {
+    let mut detector: AnyDetector<CompositeTimestamp> = if config.plan_sharing {
+        PlanDetector::new().into()
+    } else {
+        ShardedDetector::new().into()
+    };
+    let mut to_global = Vec::new();
+    let mut to_local = HashMap::new();
+    // The plan backend interns synthetic hash-cons nodes into the catalog
+    // during `define`, so returned ids are not contiguous. `to_global` is
+    // therefore gap-tolerant: synthetic slots hold a sentinel that is never
+    // read (detections and routed inputs only ever carry named ids).
+    let set = |to_global: &mut Vec<u32>, local: EventId, full: u32| {
+        if to_global.len() <= local.0 as usize {
+            to_global.resize(local.0 as usize + 1, u32::MAX);
+        }
+        to_global[local.0 as usize] = full;
+    };
+    for &full in inputs {
+        let local = detector.register(&full_names[full as usize])?;
+        to_local.insert(full, local.0);
+        set(&mut to_global, local, full);
+    }
+    for (name, expr, ctx) in owned_defs {
+        let local = detector.define(name, expr, *ctx)?;
+        // A defined composite also needs a full-catalog id: its name is in
+        // the full catalog by construction.
+        let full = full_names
+            .iter()
+            .position(|n| n == name)
+            .expect("owned definition in full catalog") as u32;
+        to_local.insert(full, local.0);
+        set(&mut to_global, local, full);
+    }
+    detector.set_cascade(false);
+    apply_worker_config(&mut detector, config);
+    Ok(ReplicaPlan {
+        detector,
+        to_global,
+        to_local,
+    })
+}

@@ -2,7 +2,7 @@
 //! incarnation-epoch filtering and the `Hello` rejoin transition,
 //! cumulative acks, stall detection and eviction.
 
-use super::{CoordCtx, CoordinatorNode, ACK_TIMER_TAG};
+use super::{CoordCtx, CoordinatorNode, ACK_TIMER_TAG, RELAY_RETX_TAG};
 use crate::durability::WalRecord;
 use crate::protocol::Msg;
 use decs_simnet::NodeIdx;
@@ -48,7 +48,7 @@ impl CoordinatorNode {
             Msg::Heartbeat { watermark, .. } => {
                 self.metrics.heartbeats_received += 1;
                 self.tracker.update(site, watermark);
-                self.release_stable(ctx);
+                self.release_round(ctx);
             }
             Msg::Batch {
                 watermark, events, ..
@@ -75,7 +75,7 @@ impl CoordinatorNode {
                     }
                 }
                 self.tracker.update(site, watermark);
-                self.release_stable(ctx);
+                self.release_round(ctx);
             }
             Msg::Hello { watermark, .. } => {
                 // The epoch transition already ran at first sight (see
@@ -86,7 +86,41 @@ impl CoordinatorNode {
                 if let Some(t0) = self.streams[site].rejoined_at.take() {
                     self.metrics.rejoin_latency_ns += ctx.true_now().get().saturating_sub(t0.get());
                 }
-                self.release_stable(ctx);
+                self.release_round(ctx);
+            }
+            Msg::Routed {
+                watermark, events, ..
+            } => {
+                // Subscription-routed site traffic (partitioned plane): the
+                // subset of the site's stream this replica subscribes to,
+                // plus the site's watermark (carried on every uplink).
+                self.metrics.routed_received += 1;
+                if evicted {
+                    self.metrics.evict_refused += events.len() as u64;
+                } else {
+                    match std::sync::Arc::try_unwrap(events) {
+                        Ok(owned) => {
+                            for ev in owned {
+                                self.accept_routed(site, ev, ctx);
+                            }
+                        }
+                        Err(shared) => {
+                            for ev in shared.iter().cloned() {
+                                self.accept_routed(site, ev, ctx);
+                            }
+                        }
+                    }
+                }
+                self.tracker.update(site, watermark);
+                self.release_round(ctx);
+            }
+            Msg::Relay {
+                promise, events, ..
+            } => {
+                // Peer-replica traffic: forwarded cascade events plus the
+                // peer's promise. No tracker update — peers are ordered by
+                // promises, not site watermarks.
+                self.handle_relay(site, &promise, events, ctx);
             }
             Msg::Start
             | Msg::Inject { .. }
@@ -99,12 +133,25 @@ impl CoordinatorNode {
         }
     }
 
+    /// Run the release machinery appropriate to this deployment: the
+    /// partitioned round when this coordinator is a replica, the classic
+    /// stability-buffer walk otherwise.
+    pub(super) fn release_round(&mut self, ctx: &mut impl CoordCtx) {
+        if self.part.is_some() {
+            self.release_partitioned(ctx);
+        } else {
+            self.release_stable(ctx);
+        }
+    }
+
     pub(super) fn seq_of(msg: &Msg) -> Option<u64> {
         match msg {
             Msg::Event { seq, .. }
             | Msg::Heartbeat { seq, .. }
             | Msg::Batch { seq, .. }
-            | Msg::Hello { seq, .. } => Some(*seq),
+            | Msg::Hello { seq, .. }
+            | Msg::Routed { seq, .. }
+            | Msg::Relay { seq, .. } => Some(*seq),
             _ => None,
         }
     }
@@ -114,7 +161,11 @@ impl CoordinatorNode {
             Msg::Event { epoch, .. }
             | Msg::Heartbeat { epoch, .. }
             | Msg::Batch { epoch, .. }
-            | Msg::Hello { epoch, .. } => Some(*epoch),
+            | Msg::Hello { epoch, .. }
+            | Msg::Routed { epoch, .. } => Some(*epoch),
+            // Replica → replica streams have no incarnation epochs (a
+            // recovered replica resumes its durable sequence space).
+            Msg::Relay { .. } => Some(0),
             _ => None,
         }
     }
@@ -192,7 +243,7 @@ impl CoordinatorNode {
         }
         self.streams[site].evicted = true;
         self.tracker.update(site, u64::MAX);
-        self.release_stable(ctx);
+        self.release_round(ctx);
     }
 
     /// Send `site`'s cumulative ack, scoped to its current epoch (a site
@@ -204,10 +255,19 @@ impl CoordinatorNode {
         ctx.send(to, Msg::Ack { cum_seq, epoch });
     }
 
-    /// Periodic round: re-send every site's cumulative ack (repairing acks
-    /// lost on the return path), run the stall detector, re-arm.
+    /// Periodic round: re-send every stream's cumulative ack (repairing
+    /// acks lost on the return path — peer relay streams included, their
+    /// stream index is their node index), run the stall detector, re-arm.
     pub(super) fn ack_round(&mut self, ctx: &mut impl CoordCtx) {
+        let own_slot = self
+            .part
+            .as_ref()
+            .map(|p| p.n_sites + p.replica)
+            .unwrap_or(usize::MAX);
         for site in 0..self.streams.len() {
+            if site == own_slot {
+                continue;
+            }
             self.send_ack(NodeIdx(site as u32), site, ctx);
         }
         self.stall_check(ctx);
@@ -280,13 +340,28 @@ impl CoordinatorNode {
             return;
         }
         if matches!(msg, Msg::Start) {
-            // Engine control: arm the periodic ack/stall-check round.
+            // Engine control: arm the periodic ack/stall-check round and —
+            // on a replica — the relay retransmission round.
             if self.ack_interval.get() > 0 {
                 ctx.set_timer(self.ack_interval, ACK_TIMER_TAG);
+            }
+            if let Some(part) = &self.part {
+                if part.relay_retx.get() > 0 {
+                    ctx.set_timer(part.relay_retx, RELAY_RETX_TAG);
+                }
             }
             return;
         }
         let site = from.0 as usize;
+        if let Msg::Ack { cum_seq, .. } = msg {
+            // A peer replica acking our relay stream (sites never ack the
+            // coordinator). Classic deployments fall through to the
+            // seq gate below, which drops the echo.
+            if self.part.is_some() && site >= self.part.as_ref().expect("partitioned").n_sites {
+                self.on_peer_ack(site, cum_seq);
+                return;
+            }
+        }
         let Some(seq) = Self::seq_of(&msg) else {
             return; // Inject/Ack echoes are not coordinator traffic
         };

@@ -19,10 +19,13 @@
 //!   stall detection and eviction;
 //! * [`release`] — the stability buffer, canonical release order, operator
 //!   GC and detector feeding (including timer fires);
-//! * [`recovery`] — WAL appends, snapshots, and crash recovery.
+//! * [`recovery`] — WAL appends, snapshots, and crash recovery;
+//! * [`partition`] — the multi-replica detection plane: partition keys,
+//!   the promise protocol, and replica → replica relays.
 
 pub(crate) mod compile;
 mod delivery;
+pub(crate) mod partition;
 mod recovery;
 mod release;
 
@@ -94,6 +97,10 @@ pub(crate) type ReleaseKey = (u64, u32, u64);
 /// Timer tag reserved for the periodic ack/stall-check round. Detector
 /// timer tags count up from 0, so the two can never collide.
 pub(crate) const ACK_TIMER_TAG: u64 = u64::MAX;
+
+/// Timer tag reserved for the periodic replica → replica relay
+/// retransmission round (partitioned deployments only).
+pub(crate) const RELAY_RETX_TAG: u64 = u64::MAX - 1;
 
 #[derive(Debug, Default)]
 pub(crate) struct SiteStream {
@@ -205,6 +212,8 @@ pub struct CoordinatorNode {
     /// unacked) so the log prefix stays exactly the consumed-input stream
     /// and recovery from it is still sound.
     pub(crate) wal_failed: Option<String>,
+    /// Partitioned-plane state (`None` = classic single coordinator).
+    pub(crate) part: Option<partition::PartitionState>,
 }
 
 impl std::fmt::Debug for CoordinatorNode {
@@ -279,7 +288,23 @@ impl CoordinatorNode {
             drained: 0,
             release_horizon: 0,
             wal_failed: None,
+            part: None,
         }
+    }
+
+    /// Turn this coordinator into one replica of a partitioned detection
+    /// plane: attach the partition state and extend the stream table with
+    /// one reassembly stream per replica (peer relays ride the same
+    /// seq/ack machinery as site streams; stream index = node index, so
+    /// sites occupy `0..n_sites` and replicas `n_sites..n_sites + n`).
+    /// The watermark tracker and stall detector stay site-sized — peers
+    /// are ordered by promises, not watermarks.
+    pub(crate) fn enable_partition(&mut self, state: partition::PartitionState) {
+        for _ in 0..state.n_replicas {
+            self.streams.push(SiteStream::default());
+        }
+        self.metrics.replica_count = state.n_replicas;
+        self.part = Some(state);
     }
 
     /// Configure the fault-tolerance machinery: the periodic ack/stall
@@ -319,7 +344,10 @@ impl CoordinatorNode {
 
     /// Number of notifications awaiting stability.
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        match &self.part {
+            Some(p) => p.pbuffer.len(),
+            None => self.buffer.len(),
+        }
     }
 
     /// A site's current incarnation epoch.

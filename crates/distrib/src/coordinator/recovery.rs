@@ -79,6 +79,14 @@ impl CoordinatorNode {
         if self.replaying || self.snapshots.is_none() || self.wal.is_none() {
             return;
         }
+        if self.part.is_some() {
+            // Replica durability is WAL-only: the snapshot format does not
+            // cover the partition state (pbuffer, promises, relay windows),
+            // so recovery always replays the full log. The relay windows
+            // are rebuilt by that replay; the post-recovery retransmission
+            // round resends them and peers dedup.
+            return;
+        }
         let wm = self.tracker.min_watermark();
         // `u64::MAX` means every site is evicted — the watermark is the
         // empty-min sentinel, not progress.
@@ -272,11 +280,8 @@ impl CoordinatorNode {
                     GlobalTicks(global),
                     LocalTicks(local),
                 ));
-                self.metrics.timer_fires += 1;
                 let mut ctx = ReplayCtx { now: Nanos(at) };
-                if let Ok(r) = self.detector.fire_timer(shard, timer_id, ts) {
-                    self.absorb(r, &mut ctx);
-                }
+                self.fire_detector_timer(shard, timer_id, ts, &mut ctx);
             }
             WalRecord::Evicted { site, at } => {
                 let mut ctx = ReplayCtx { now: Nanos(at) };
@@ -285,6 +290,10 @@ impl CoordinatorNode {
             WalRecord::Drained { count } => {
                 let n = (count as usize).min(self.detections.len());
                 self.detections.drain(..n);
+                if let Some(part) = &mut self.part {
+                    // Partition keys are index-aligned with detections.
+                    part.keys.drain(..n.min(part.keys.len()));
+                }
                 self.drained += count;
             }
             WalRecord::HelloSeen {

@@ -2,7 +2,7 @@
 //! the watermark rule, draining the stable prefix in canonical order,
 //! operator-buffer GC, and servicing detector timer fires.
 
-use super::{CoordCtx, CoordinatorNode, RawDetection, ReleaseKey, ACK_TIMER_TAG};
+use super::{CoordCtx, CoordinatorNode, RawDetection, ReleaseKey, ACK_TIMER_TAG, RELAY_RETX_TAG};
 use crate::config::ReleasePolicy;
 use crate::durability::WalRecord;
 use crate::protocol::Msg;
@@ -192,6 +192,10 @@ impl CoordinatorNode {
             self.ack_round(ctx);
             return;
         }
+        if tag == RELAY_RETX_TAG {
+            self.relay_retx_round(ctx);
+            return;
+        }
         let Some((shard, timer_id)) = self.timer_map.remove(&tag) else {
             // Not an error: after crash recovery a timer can be queued
             // twice — the crashed node's arming survives in the simulation
@@ -225,10 +229,6 @@ impl CoordinatorNode {
             parts.global,
             parts.local,
         ));
-        self.metrics.timer_fires += 1;
-        match self.detector.fire_timer(shard, timer_id, ts) {
-            Ok(r) => self.absorb(r, ctx),
-            Err(_) => debug_assert!(false, "detector rejected timer"),
-        }
+        self.fire_detector_timer(shard, timer_id, ts, ctx);
     }
 }

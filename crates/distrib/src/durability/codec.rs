@@ -14,7 +14,7 @@
 //! (a CRC collision) or a version drift; both are reported, not trusted.
 
 use crate::metrics::Metrics;
-use crate::protocol::Msg;
+use crate::protocol::{Msg, PathStep, PlanePos, RelayedEvent, RoutedEvent};
 use decs_chronos::{GlobalTicks, LocalTicks, SiteId};
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_snoop::{
@@ -462,6 +462,78 @@ impl Decode for Occurrence<CompositeTimestamp> {
     }
 }
 
+impl Encode for RoutedEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ordinal.encode(out);
+        self.occ.encode(out);
+    }
+}
+impl Decode for RoutedEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RoutedEvent {
+            ordinal: r.u64()?,
+            occ: Occurrence::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PathStep {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.time.encode(out);
+        self.ty.encode(out);
+        self.dup.encode(out);
+    }
+}
+impl Decode for PathStep {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PathStep {
+            time: CompositeTimestamp::decode(r)?,
+            ty: r.u32()?,
+            dup: r.u32()?,
+        })
+    }
+}
+
+impl Encode for PlanePos {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.g.encode(out);
+        self.site.encode(out);
+        self.ordinal.encode(out);
+        self.depth.encode(out);
+    }
+}
+impl Decode for PlanePos {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PlanePos {
+            g: r.u64()?,
+            site: r.u32()?,
+            ordinal: r.u64()?,
+            depth: r.u32()?,
+        })
+    }
+}
+
+impl Encode for RelayedEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.root.encode(out);
+        self.depth.encode(out);
+        self.path.encode(out);
+        self.immediate.encode(out);
+        self.occ.encode(out);
+    }
+}
+impl Decode for RelayedEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RelayedEvent {
+            root: <(u64, u32, u64)>::decode(r)?,
+            depth: r.u32()?,
+            path: Vec::decode(r)?,
+            immediate: bool::decode(r)?,
+            occ: Occurrence::decode(r)?,
+        })
+    }
+}
+
 impl Encode for Msg {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -520,6 +592,28 @@ impl Encode for Msg {
                 watermark.encode(out);
             }
             Msg::Restart => out.push(9),
+            Msg::Routed {
+                seq,
+                epoch,
+                watermark,
+                events,
+            } => {
+                out.push(10);
+                seq.encode(out);
+                epoch.encode(out);
+                watermark.encode(out);
+                events.as_ref().encode(out);
+            }
+            Msg::Relay {
+                seq,
+                promise,
+                events,
+            } => {
+                out.push(11);
+                seq.encode(out);
+                promise.encode(out);
+                events.as_ref().encode(out);
+            }
         }
     }
 }
@@ -559,6 +653,17 @@ impl Decode for Msg {
                 watermark: r.u64()?,
             }),
             9 => Ok(Msg::Restart),
+            10 => Ok(Msg::Routed {
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                watermark: r.u64()?,
+                events: Arc::new(Vec::decode(r)?),
+            }),
+            11 => Ok(Msg::Relay {
+                seq: r.u64()?,
+                promise: Vec::decode(r)?,
+                events: Arc::new(Vec::decode(r)?),
+            }),
             _ => Err(CodecError::Invalid("Msg tag")),
         }
     }
@@ -707,6 +812,12 @@ impl Encode for Metrics {
         self.stale_refused.encode(out);
         self.epoch_filtered.encode(out);
         self.wal_errors.encode(out);
+        self.replica_count.encode(out);
+        self.relays_sent.encode(out);
+        self.relay_events.encode(out);
+        self.relay_retransmits.encode(out);
+        self.relays_received.encode(out);
+        self.routed_received.encode(out);
     }
 }
 impl Decode for Metrics {
@@ -759,6 +870,12 @@ impl Decode for Metrics {
             stale_refused: r.u64()?,
             epoch_filtered: r.u64()?,
             wal_errors: r.u64()?,
+            replica_count: usize::decode(r)?,
+            relays_sent: r.u64()?,
+            relay_events: r.u64()?,
+            relay_retransmits: r.u64()?,
+            relays_received: r.u64()?,
+            routed_received: r.u64()?,
         })
     }
 }
@@ -869,6 +986,43 @@ mod tests {
                 watermark: 10,
             },
             Msg::Restart,
+            Msg::Routed {
+                seq: 14,
+                epoch: 5,
+                watermark: 11,
+                events: Arc::new(vec![RoutedEvent {
+                    ordinal: 42,
+                    occ: Occurrence::bare(EventId(2), cts(&[(1, 3, 30)])),
+                }]),
+            },
+            Msg::Relay {
+                seq: 15,
+                promise: vec![
+                    PlanePos {
+                        g: 7,
+                        site: 1,
+                        ordinal: 3,
+                        depth: 2,
+                    },
+                    PlanePos {
+                        g: 7,
+                        site: 0,
+                        ordinal: 1,
+                        depth: 1,
+                    },
+                ],
+                events: Arc::new(vec![RelayedEvent {
+                    root: (6, 0, 4),
+                    depth: 1,
+                    path: vec![PathStep {
+                        time: cts(&[(0, 6, 60)]),
+                        ty: 5,
+                        dup: 0,
+                    }],
+                    immediate: false,
+                    occ: Occurrence::bare(EventId(5), cts(&[(0, 6, 60)])),
+                }]),
+            },
         ];
         for m in msgs {
             let back: Msg = from_bytes(&to_bytes(&m)).unwrap();

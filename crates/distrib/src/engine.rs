@@ -9,14 +9,16 @@
 
 use crate::config::EngineConfig;
 use crate::coordinator::compile;
+use crate::coordinator::partition::{coarse, PartKey, PartitionState};
 use crate::coordinator::{CoordinatorNode, RawDetection};
 use crate::metrics::Metrics;
-use crate::protocol::Msg;
+use crate::protocol::{Msg, PlanePos};
 use crate::site::{LocalDetection, SiteNode};
 use decs_chronos::Nanos;
 use decs_core::CompositeTimestamp;
 use decs_simnet::{Actor, Ctx, LinkConfig, NodeIdx, Scenario, Simulation};
 use decs_snoop::{Context, Detector, EventExpr, Occurrence, Result, SnoopError, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Either role in the star topology.
 #[derive(Debug)]
@@ -60,6 +62,13 @@ pub struct Detection {
 pub struct Engine {
     sim: Simulation<Node>,
     coordinator: NodeIdx,
+    /// Every coordinator node, in replica order (`[coordinator]` in the
+    /// classic single-coordinator deployment).
+    coordinators: Vec<NodeIdx>,
+    /// Partitioned deployments: detections gathered from the replicas,
+    /// keyed by partition key, awaiting the promise cut that proves their
+    /// prefix of the canonical order complete.
+    pending: BTreeMap<PartKey, Detection>,
     names: Vec<String>,
     name_ids: std::collections::HashMap<String, decs_snoop::EventId>,
     /// Everything needed to rebuild the coordinator after a crash: the
@@ -72,6 +81,114 @@ pub struct Engine {
     primitives: Vec<String>,
     local_defs: Vec<(String, EventExpr, Context)>,
     global_defs: Vec<(String, EventExpr, Context)>,
+}
+
+/// The derived partition layout of a multi-replica deployment — a pure
+/// function of the definitions and the replica count, so construction and
+/// replica crash recovery derive the identical layout.
+struct PartitionLayout {
+    /// Per global definition, its owning replica (rendezvous-hashed).
+    owner: Vec<usize>,
+    /// Per replica, the full-catalog ids it must register as inputs
+    /// (subscribed types it does not define itself), ascending.
+    inputs: Vec<BTreeSet<u32>>,
+    /// Primitive full-catalog type → subscribing replicas, ascending
+    /// (the site routing table; uplink index = replica index).
+    routes: HashMap<u32, Vec<usize>>,
+    /// Per replica, full-catalog composite type it produces → consuming
+    /// replicas (including itself for intra-replica references).
+    fwd: Vec<HashMap<u32, Vec<usize>>>,
+    /// Cascade-depth bound: the full plan's dependency-DAG stage count.
+    max_depth: u32,
+}
+
+/// Rendezvous (highest-random-weight) owner of `name` among `replicas`
+/// replicas, FNV-1a hashed over the name and the replica index — stable
+/// under definition reordering and balanced without coordination.
+fn rendezvous_owner(name: &str, replicas: usize) -> usize {
+    let mut best = (0u64, 0usize);
+    for r in 0..replicas {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for b in (r as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if r == 0 || h > best.0 {
+            best = (h, r);
+        }
+    }
+    best.1
+}
+
+/// Derive the partition layout from the full compiled detector: ownership
+/// by rendezvous hashing on the definition name, subscription sets from
+/// the plan IR (`shard_subscriptions`), routing and forwarding tables
+/// from who-produces / who-subscribes.
+fn plan_partition(
+    detector: &decs_snoop::AnyDetector<CompositeTimestamp>,
+    name_ids: &std::collections::HashMap<String, decs_snoop::EventId>,
+    global_defs: &[(String, EventExpr, Context)],
+    replicas: usize,
+) -> PartitionLayout {
+    let owner: Vec<usize> = global_defs
+        .iter()
+        .map(|(name, _, _)| rendezvous_owner(name, replicas))
+        .collect();
+    // Full-catalog id → global definition index (is this id a global
+    // composite?).
+    let def_of: HashMap<u32, usize> = global_defs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| (name_ids[name].0, i))
+        .collect();
+    let mut inputs: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); replicas];
+    let mut routes: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut fwd: Vec<HashMap<u32, Vec<usize>>> = vec![HashMap::new(); replicas];
+    for (i, _) in global_defs.iter().enumerate() {
+        let o = owner[i];
+        for id in detector.shard_subscriptions(i) {
+            let full = id.0;
+            if let Some(&j) = def_of.get(&full) {
+                // A composite reference: the producer replica forwards it
+                // to `o` (a self-reference re-feeds through the producer's
+                // own buffer, no wire hop).
+                let producer = owner[j];
+                let consumers = fwd[producer].entry(full).or_default();
+                if !consumers.contains(&o) {
+                    consumers.push(o);
+                }
+                if producer != o {
+                    inputs[o].insert(full);
+                }
+            } else {
+                // A primitive: sites route it to every subscriber.
+                let subs = routes.entry(full).or_default();
+                if !subs.contains(&o) {
+                    subs.push(o);
+                }
+                inputs[o].insert(full);
+            }
+        }
+    }
+    for m in &mut fwd {
+        for v in m.values_mut() {
+            v.sort_unstable();
+        }
+    }
+    for v in routes.values_mut() {
+        v.sort_unstable();
+    }
+    PartitionLayout {
+        owner,
+        inputs,
+        routes,
+        fwd,
+        max_depth: detector.stage_count() as u32,
+    }
 }
 
 impl Engine {
@@ -113,10 +230,43 @@ impl Engine {
         let (detector, name_ids, names) =
             compile::build_detector(&config, &primitives_owned, &local_defs, &global_defs)?;
 
+        let replicas = config.coordinator_replicas.max(1);
+        if replicas > 1 {
+            // The partitioned plane's scope cuts, enforced up front (each
+            // would otherwise fail subtly at runtime).
+            if config.site_durability {
+                return Err(SnoopError::SnapshotMismatch(
+                    "coordinator_replicas > 1 is incompatible with site_durability".to_string(),
+                ));
+            }
+            if !local_defs.is_empty() {
+                return Err(SnoopError::SnapshotMismatch(
+                    "coordinator_replicas > 1 is incompatible with site-local definitions"
+                        .to_string(),
+                ));
+            }
+            if config.release_policy == crate::config::ReleasePolicy::Immediate {
+                return Err(SnoopError::SnapshotMismatch(
+                    "coordinator_replicas > 1 requires ReleasePolicy::Stable".to_string(),
+                ));
+            }
+            if replicas > 13 {
+                return Err(SnoopError::SnapshotMismatch(
+                    "coordinator_replicas is limited to 13 (site timer-tag space)".to_string(),
+                ));
+            }
+        }
+        let layout = if replicas > 1 {
+            Some(plan_partition(&detector, &name_ids, &global_defs, replicas))
+        } else {
+            None
+        };
+
         let n = scenario.sites();
         let coordinator = NodeIdx(n);
+        let coordinators: Vec<NodeIdx> = (0..replicas).map(|r| NodeIdx(n + r as u32)).collect();
         let gg_nanos_sites = scenario.base.gg().nanos_per_tick();
-        let mut nodes = Vec::with_capacity(n as usize + 1);
+        let mut nodes = Vec::with_capacity(n as usize + replicas);
         for i in 0..n {
             let site_node = if local_definitions.is_empty() {
                 SiteNode::new(coordinator, config.heartbeat_interval)
@@ -148,6 +298,12 @@ impl Engine {
             let mut site_node = site_node
                 .with_batching(config.batch_interval)
                 .with_reliability(config.retransmit_timeout, config.retransmit_cap);
+            if let Some(layout) = &layout {
+                // Partitioned plane: independent sequence-numbered uplinks
+                // to every replica, each carrying only the types that
+                // replica's definitions subscribe to.
+                site_node = site_node.with_uplinks(coordinators.clone(), layout.routes.clone());
+            }
             if let Some(seed) = config.retransmit_jitter_seed {
                 // Independent per-site streams: golden-ratio stride keeps
                 // neighboring sites' sequences uncorrelated.
@@ -165,49 +321,90 @@ impl Engine {
             }
             nodes.push((Node::Site(Box::new(site_node)), scenario.time_source(i)));
         }
-        // The coordinator is its own site (id n) with a scenario-sampled
-        // clock; build a time source for it deterministically by reusing
-        // site 0's global base with a perfect clock at the same granularity.
-        let coord_source = decs_simnet::SiteTimeSource::new(
-            decs_chronos::SiteId(n),
-            decs_chronos::LocalClock::perfect(scenario.local_granularity),
-            scenario.base,
-        );
+        // Each coordinator is its own site (ids n, n+1, …) with a
+        // deterministic perfect clock on the scenario's global base.
         let gg_nanos = scenario.base.gg().nanos_per_tick();
-        let mut coordinator_node =
-            CoordinatorNode::with_policy(n as usize, detector, gg_nanos, config.release_policy);
-        coordinator_node.set_buffer_gc(config.buffer_gc);
-        coordinator_node
-            .set_reportable(local_definitions.iter().map(|(name, _, _)| name_ids[*name]));
-        coordinator_node.set_fault_tolerance(
-            config.ack_interval,
-            config.stall_intervals,
-            config.auto_evict,
-            config.parked_cap,
-        );
-        if config.durability {
-            if let Some(dir) = &config.wal_dir {
+        match &layout {
+            None => {
+                let coord_source = decs_simnet::SiteTimeSource::new(
+                    decs_chronos::SiteId(n),
+                    decs_chronos::LocalClock::perfect(scenario.local_granularity),
+                    scenario.base,
+                );
+                let mut coordinator_node = CoordinatorNode::with_policy(
+                    n as usize,
+                    detector,
+                    gg_nanos,
+                    config.release_policy,
+                );
+                coordinator_node.set_buffer_gc(config.buffer_gc);
                 coordinator_node
-                    .set_durability(std::path::Path::new(dir), config.snapshot_interval)
-                    .map_err(|e| {
-                        SnoopError::SnapshotMismatch(format!("durability init failed: {e}"))
-                    })?;
+                    .set_reportable(local_definitions.iter().map(|(name, _, _)| name_ids[*name]));
+                coordinator_node.set_fault_tolerance(
+                    config.ack_interval,
+                    config.stall_intervals,
+                    config.auto_evict,
+                    config.parked_cap,
+                );
+                if config.durability {
+                    if let Some(dir) = &config.wal_dir {
+                        coordinator_node
+                            .set_durability(std::path::Path::new(dir), config.snapshot_interval)
+                            .map_err(|e| {
+                                SnoopError::SnapshotMismatch(format!("durability init failed: {e}"))
+                            })?;
+                    }
+                }
+                nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));
+            }
+            Some(layout) => {
+                for r in 0..replicas {
+                    let source = decs_simnet::SiteTimeSource::new(
+                        decs_chronos::SiteId(n + r as u32),
+                        decs_chronos::LocalClock::perfect(scenario.local_granularity),
+                        scenario.base,
+                    );
+                    let mut replica_node = Self::build_replica(
+                        &config,
+                        &names,
+                        layout,
+                        &global_defs,
+                        r,
+                        n as usize,
+                        replicas,
+                        gg_nanos,
+                    )?;
+                    if config.durability {
+                        if let Some(dir) = &config.wal_dir {
+                            let rdir = std::path::Path::new(dir).join(format!("replica-{r}"));
+                            replica_node
+                                .set_durability(&rdir, config.snapshot_interval)
+                                .map_err(|e| {
+                                    SnoopError::SnapshotMismatch(format!(
+                                        "replica durability init failed: {e}"
+                                    ))
+                                })?;
+                        }
+                    }
+                    nodes.push((Node::Coordinator(Box::new(replica_node)), source));
+                }
             }
         }
-        nodes.push((Node::Coordinator(Box::new(coordinator_node)), coord_source));
 
         let mut sim = Simulation::new(nodes, scenario.link, scenario.seed ^ 0x5EED);
         if config.trace_capacity > 0 {
             sim.enable_trace(config.trace_capacity);
         }
-        // Start heartbeats everywhere; the coordinator's Start arms its
-        // periodic ack/stall-check round.
-        for i in 0..=n {
+        // Start heartbeats everywhere; each coordinator's Start arms its
+        // periodic ack/stall-check (and, partitioned, relay-retx) round.
+        for i in 0..n + replicas as u32 {
             sim.inject(Nanos::ZERO, NodeIdx(i), Msg::Start);
         }
         Ok(Engine {
             sim,
             coordinator,
+            coordinators,
+            pending: BTreeMap::new(),
             names,
             name_ids,
             release_policy: config.release_policy,
@@ -217,6 +414,107 @@ impl Engine {
             local_defs,
             global_defs,
         })
+    }
+
+    /// Build one coordinator replica: compile its severed detector over
+    /// its owned definitions and input types, and attach the partition
+    /// state. Shared by construction and replica crash recovery, so a
+    /// recovered replica runs a bit-identical plan.
+    #[allow(clippy::too_many_arguments)]
+    fn build_replica(
+        config: &EngineConfig,
+        names: &[String],
+        layout: &PartitionLayout,
+        global_defs: &[(String, EventExpr, Context)],
+        r: usize,
+        n_sites: usize,
+        replicas: usize,
+        gg_nanos: u64,
+    ) -> Result<CoordinatorNode> {
+        let owned: Vec<(String, EventExpr, Context)> = global_defs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| layout.owner[*i] == r)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let plan = compile::build_replica_detector(config, names, &layout.inputs[r], &owned)?;
+        let mut node = CoordinatorNode::with_policy(
+            n_sites,
+            plan.detector,
+            gg_nanos,
+            crate::config::ReleasePolicy::Stable,
+        );
+        node.set_buffer_gc(config.buffer_gc);
+        node.set_fault_tolerance(
+            config.ack_interval,
+            config.stall_intervals,
+            config.auto_evict,
+            config.parked_cap,
+        );
+        node.enable_partition(PartitionState::new(
+            r,
+            n_sites,
+            replicas,
+            plan.to_global,
+            plan.to_local,
+            layout.fwd[r].clone(),
+            layout.max_depth,
+            config.retransmit_timeout,
+        ));
+        Ok(node)
+    }
+
+    /// Crash coordinator replica `r` of a partitioned deployment and
+    /// bring up a WAL-recovered replacement in place, mirroring
+    /// [`Self::crash_and_recover_coordinator`]'s crash model. Replica
+    /// durability is WAL-only (no snapshots): recovery replays the full
+    /// log, which also rebuilds the outbound relay windows; the periodic
+    /// relay-retransmission round then resends anything the peers might
+    /// not have seen, and they dedup by sequence number.
+    pub fn crash_and_recover_replica(&mut self, r: usize) -> Result<()> {
+        if self.coordinators.len() < 2 {
+            return Err(SnoopError::SnapshotMismatch(
+                "not a partitioned deployment".to_string(),
+            ));
+        }
+        let dir = match (self.config.durability, &self.config.wal_dir) {
+            (true, Some(dir)) => std::path::Path::new(dir).join(format!("replica-{r}")),
+            _ => {
+                return Err(SnoopError::SnapshotMismatch(
+                    "durability is not enabled on this engine".to_string(),
+                ))
+            }
+        };
+        let replicas = self.coordinators.len();
+        let n_sites = self.coordinator.0 as usize;
+        let (detector, name_ids, _) = compile::build_detector(
+            &self.config,
+            &self.primitives,
+            &self.local_defs,
+            &self.global_defs,
+        )?;
+        let layout = plan_partition(&detector, &name_ids, &self.global_defs, replicas);
+        let mut node = Self::build_replica(
+            &self.config,
+            &self.names,
+            &layout,
+            &self.global_defs,
+            r,
+            n_sites,
+            replicas,
+            self.gg_nanos,
+        )?;
+        let timers = node
+            .recover(&dir, self.config.snapshot_interval)
+            .map_err(|e| SnoopError::SnapshotMismatch(format!("replica recovery failed: {e}")))?;
+        let node_idx = self.coordinators[r];
+        *self.sim.node_mut(node_idx) = Node::Coordinator(Box::new(node));
+        let now = self.sim.now().get();
+        for (tag, due_ns) in timers {
+            self.sim
+                .schedule_timer(Nanos(due_ns.max(now)), node_idx, tag);
+        }
+        Ok(())
     }
 
     /// Crash the coordinator and bring up a replacement recovered from the
@@ -286,25 +584,30 @@ impl Engine {
         Ok(())
     }
 
-    /// Override a site→coordinator link.
+    /// Override a site→coordinator link (every replica's, when the
+    /// detection plane is partitioned).
     pub fn set_link(&mut self, site: u32, cfg: LinkConfig) {
-        self.sim.set_link(NodeIdx(site), self.coordinator, cfg);
+        for &c in &self.coordinators {
+            self.sim.set_link(NodeIdx(site), c, cfg);
+        }
     }
 
     /// Override both directions of a site's link with the coordinator
     /// (faulty links lose acks on the return path too).
     pub fn set_link_pair(&mut self, site: u32, cfg: LinkConfig) {
-        self.sim.set_link(NodeIdx(site), self.coordinator, cfg);
-        self.sim.set_link(self.coordinator, NodeIdx(site), cfg);
+        for &c in &self.coordinators {
+            self.sim.set_link(NodeIdx(site), c, cfg);
+            self.sim.set_link(c, NodeIdx(site), cfg);
+        }
     }
 
     /// Schedule a bidirectional partition between `site` and the
-    /// coordinator over the true-time window `[from, until)`.
+    /// coordinator(s) over the true-time window `[from, until)`.
     pub fn partition_site(&mut self, site: u32, from: Nanos, until: Nanos) {
-        self.sim
-            .add_partition(NodeIdx(site), self.coordinator, from, until);
-        self.sim
-            .add_partition(self.coordinator, NodeIdx(site), from, until);
+        for &c in &self.coordinators {
+            self.sim.add_partition(NodeIdx(site), c, from, until);
+            self.sim.add_partition(c, NodeIdx(site), from, until);
+        }
     }
 
     /// Aggregate link fault counters across every link in the simulation.
@@ -336,8 +639,11 @@ impl Engine {
 
     /// Operator action: stop waiting for `site`'s watermark at true time
     /// `at` (its promises become +∞), letting the stability buffer drain.
+    /// Partitioned deployments evict the site at every replica.
     pub fn evict_site(&mut self, at: Nanos, site: u32) {
-        self.sim.inject(at, self.coordinator, Msg::Evict { site });
+        for &c in &self.coordinators {
+            self.sim.inject(at, c, Msg::Evict { site });
+        }
     }
 
     /// Failure injection: restart a crashed `site` at true time `at` — a
@@ -405,6 +711,9 @@ impl Engine {
     }
 
     fn drain(&mut self) -> Vec<Detection> {
+        if self.coordinators.len() > 1 {
+            return self.drain_partitioned();
+        }
         let names = &self.names;
         let Node::Coordinator(c) = self.sim.node_mut(self.coordinator) else {
             unreachable!("coordinator index")
@@ -425,13 +734,109 @@ impl Engine {
             .collect()
     }
 
+    /// Merge the replicas' per-partition detection streams into the
+    /// canonical global order: gather every replica's detections keyed by
+    /// partition key, then emit the prefix at or below the minimum of the
+    /// replicas' promises — below that cut no replica can produce
+    /// anything new, so the prefix's order is final. The remainder stays
+    /// pending for the next drain.
+    fn drain_partitioned(&mut self) -> Vec<Detection> {
+        let mut cut = PlanePos::MAX;
+        for &node in &self.coordinators.clone() {
+            let Node::Coordinator(c) = self.sim.node_mut(node) else {
+                unreachable!("coordinator index")
+            };
+            let raw: Vec<RawDetection> = c.detections.drain(..).collect();
+            let keys: Vec<PartKey> = {
+                let part = c.part.as_mut().expect("partitioned");
+                part.keys.drain(..).collect()
+            };
+            debug_assert_eq!(raw.len(), keys.len(), "keys misaligned with detections");
+            c.note_drained(raw.len() as u64);
+            cut = cut.min(c.promise_floor());
+            for (key, d) in keys.into_iter().zip(raw) {
+                let det = Detection {
+                    name: self
+                        .names
+                        .get(d.occ.ty.0 as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("e{}", d.occ.ty.0)),
+                    occ: d.occ,
+                    detected_at: d.detected_at,
+                };
+                self.pending.insert(key, det);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some((key, _)) = self.pending.iter().next() {
+            if coarse(key) > cut {
+                break;
+            }
+            let key = key.clone();
+            let (_, det) = self.pending.remove_entry(&key).expect("present");
+            out.push(det);
+        }
+        out
+    }
+
     /// Coordinator metrics snapshot, with site-held counters (retransmits)
-    /// aggregated in.
+    /// aggregated in. Partitioned deployments sum the replicas' counters
+    /// (and take the maximum of high-water marks).
     pub fn metrics(&self) -> Metrics {
         let Node::Coordinator(c) = self.sim.node(self.coordinator) else {
             unreachable!("coordinator index")
         };
         let mut m = c.metrics.clone();
+        for &node in self.coordinators.iter().skip(1) {
+            let Node::Coordinator(c) = self.sim.node(node) else {
+                unreachable!("coordinator index")
+            };
+            let r = &c.metrics;
+            m.events_received += r.events_received;
+            m.heartbeats_received += r.heartbeats_received;
+            m.events_released += r.events_released;
+            m.detections += r.detections;
+            m.reassembly_parks += r.reassembly_parks;
+            m.max_buffered = m.max_buffered.max(r.max_buffered);
+            m.stability_latency_sum_ns += r.stability_latency_sum_ns;
+            m.timer_fires += r.timer_fires;
+            m.messages_processed += r.messages_processed;
+            m.batches_received += r.batches_received;
+            m.batch_size_max = m.batch_size_max.max(r.batch_size_max);
+            m.release_batches += r.release_batches;
+            m.shard_count += r.shard_count;
+            m.plan_nodes += r.plan_nodes;
+            m.shared_nodes += r.shared_nodes;
+            m.gc_evicted += r.gc_evicted;
+            m.node_buffered += r.node_buffered;
+            m.node_buffer_peak += r.node_buffer_peak;
+            m.acks_sent += r.acks_sent;
+            m.duplicates_dropped += r.duplicates_dropped;
+            m.parked_peak = m.parked_peak.max(r.parked_peak);
+            m.parked_dropped += r.parked_dropped;
+            m.suspect_sites = m.suspect_sites.max(r.suspect_sites);
+            m.stall_ns += r.stall_ns;
+            m.evict_refused += r.evict_refused;
+            m.auto_evictions += r.auto_evictions;
+            m.wal_appends += r.wal_appends;
+            m.wal_bytes += r.wal_bytes;
+            m.snapshots_taken += r.snapshots_taken;
+            m.recovery_replayed += r.recovery_replayed;
+            m.recovery_ns += r.recovery_ns;
+            m.batch_ingest_events += r.batch_ingest_events;
+            m.arena_bytes = m.arena_bytes.max(r.arena_bytes);
+            m.rejoins += r.rejoins;
+            m.epoch_max = m.epoch_max.max(r.epoch_max);
+            m.rejoin_latency_ns += r.rejoin_latency_ns;
+            m.stale_refused += r.stale_refused;
+            m.epoch_filtered += r.epoch_filtered;
+            m.wal_errors += r.wal_errors;
+            m.relays_sent += r.relays_sent;
+            m.relay_events += r.relay_events;
+            m.relay_retransmits += r.relay_retransmits;
+            m.relays_received += r.relays_received;
+            m.routed_received += r.routed_received;
+        }
         for i in 0..self.coordinator.0 {
             if let Node::Site(s) = self.sim.node(NodeIdx(i)) {
                 m.retransmits += s.retransmits;
@@ -442,12 +847,18 @@ impl Engine {
         m
     }
 
-    /// Number of notifications still awaiting stability.
+    /// Number of notifications still awaiting stability (summed over
+    /// replicas when the detection plane is partitioned).
     pub fn buffered(&self) -> usize {
-        let Node::Coordinator(c) = self.sim.node(self.coordinator) else {
-            unreachable!("coordinator index")
-        };
-        c.buffered()
+        self.coordinators
+            .iter()
+            .map(|&node| {
+                let Node::Coordinator(c) = self.sim.node(node) else {
+                    unreachable!("coordinator index")
+                };
+                c.buffered()
+            })
+            .sum()
     }
 
     /// Total simulation steps processed (diagnostics).
@@ -694,5 +1105,62 @@ mod tests {
     fn unknown_event_rejected() {
         let mut e = seq_engine(2, 1);
         assert!(e.inject(Nanos::ZERO, 0, "NOPE", vec![]).is_err());
+    }
+
+    #[test]
+    fn partitioned_plane_matches_single_coordinator() {
+        // Two definitions, the second consuming the first across a
+        // replica boundary; detections must be bit-identical to N = 1.
+        let run = |replicas: usize| {
+            let mut e = Engine::new(
+                &scenario(3, 42),
+                EngineConfig {
+                    coordinator_replicas: replicas,
+                    ..EngineConfig::default()
+                },
+                &["A", "B", "C"],
+                &[
+                    (
+                        "X",
+                        EventExpr::seq(EventExpr::prim("A"), EventExpr::prim("B")),
+                        Context::Chronicle,
+                    ),
+                    (
+                        "Y",
+                        EventExpr::and(EventExpr::prim("X"), EventExpr::prim("C")),
+                        Context::Chronicle,
+                    ),
+                ],
+            )
+            .unwrap();
+            for &(ms, site, ev) in &[
+                (1_000u64, 0u32, "A"),
+                (1_500, 1, "C"),
+                (2_000, 1, "B"),
+                (3_000, 2, "A"),
+                (4_000, 0, "B"),
+                (5_000, 2, "C"),
+                (5_500, 1, "A"),
+                (6_000, 0, "B"),
+            ] {
+                e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+            }
+            let det = e.run_for(Nanos::from_secs(12));
+            (
+                det.into_iter()
+                    .map(|d| (d.name, d.occ.time))
+                    .collect::<Vec<_>>(),
+                e.metrics(),
+            )
+        };
+        let (single, _) = run(1);
+        let (dual, m2) = run(2);
+        let (quad, m4) = run(4);
+        assert!(!single.is_empty());
+        assert_eq!(single, dual, "2 replicas must match 1");
+        assert_eq!(single, quad, "4 replicas must match 1");
+        assert_eq!(m2.replica_count, 2);
+        assert_eq!(m4.replica_count, 4);
+        assert!(m2.routed_received > 0, "sites must route announcements");
     }
 }

@@ -129,6 +129,21 @@ pub struct Metrics {
     /// the coordinator — input consumption has halted to keep the log
     /// prefix-consistent (see `docs/OPERATIONS.md`).
     pub wal_errors: u64,
+    /// Coordinator replicas in the detection plane (1 = the classic
+    /// single-coordinator deployment; engine-aggregated metrics only).
+    pub replica_count: usize,
+    /// `Msg::Relay` messages this replica sent to peers (forwarded
+    /// detections and pure promise advances).
+    pub relays_sent: u64,
+    /// Cross-partition composite events forwarded replica → replica.
+    pub relay_events: u64,
+    /// Relay messages resent by the replica retransmission timer.
+    pub relay_retransmits: u64,
+    /// Relayed composite events received from peer replicas and fed as
+    /// first-class primitive events.
+    pub relays_received: u64,
+    /// Subscription-routed messages (`Msg::Routed`) received from sites.
+    pub routed_received: u64,
 }
 
 impl Metrics {

@@ -1,9 +1,117 @@
-//! Messages exchanged between sites and the coordinator.
+//! Messages exchanged between sites and the coordinator (and, in a
+//! partitioned deployment, between coordinator replicas).
 
 use decs_core::CompositeTimestamp;
-use decs_snoop::{EventId, Occurrence, Value};
+use decs_snoop::{EventId, EventTime, Occurrence, Value};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::sync::Arc;
+
+/// One stamped occurrence on a subscription-routed uplink, tagged with the
+/// site's own **stamp ordinal** — the position of this occurrence in the
+/// site's total stamping order across *all* uplinks. Replicas use it to
+/// rebuild the canonical release order: two replicas receiving disjoint
+/// subsets of one site's stream still agree on the global interleaving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedEvent {
+    /// Position in the site's stamping order (all uplinks, one counter).
+    pub ordinal: u64,
+    /// The stamped occurrence (singleton composite timestamp).
+    pub occ: Occurrence<CompositeTimestamp>,
+}
+
+/// One cascade step in a detection's derivation path: the canonical-order
+/// identity of the named composite detected at that step. Ordered by
+/// `(canonical timestamp, full-catalog type id, duplicate index)` — exactly
+/// the within-round order of the detectors' canonical merge, so path
+/// vectors compare the way the single-coordinator cascade enumerates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The detection's composite timestamp.
+    pub time: CompositeTimestamp,
+    /// The detection's event type, in the **full** (unpartitioned) catalog.
+    pub ty: u32,
+    /// Index among equal `(time, ty)` detections of the same round.
+    pub dup: u32,
+}
+
+impl Eq for PathStep {}
+
+impl PartialOrd for PathStep {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PathStep {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `canonical_cmp` is a total order consistent with `PartialEq`
+        // (normalized member lists compare lexicographically).
+        self.time
+            .canonical_cmp(&other.time)
+            .then(self.ty.cmp(&other.ty))
+            .then(self.dup.cmp(&other.dup))
+    }
+}
+
+/// A coordinate in the partitioned detection plane's global release order:
+/// `(root global tick, root origin site, root ordinal, cascade depth)`,
+/// compared lexicographically. A replica's **promise** is a vector of
+/// `PlanePos` bounds, one per cascade depth, such that every depth-`d`
+/// relay it will ever send is strictly after the depth-`d` bound — the
+/// replica-plane analogue of a site watermark (see
+/// `coordinator::partition` for the stratification argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlanePos {
+    /// Root release key: maximum global tick.
+    pub g: u64,
+    /// Root release key: origin stream (site id, or `n_sites + replica`
+    /// for coordinator-clock timer roots).
+    pub site: u32,
+    /// Root release key: the origin's stamp ordinal.
+    pub ordinal: u64,
+    /// Cascade depth below the root.
+    pub depth: u32,
+}
+
+impl PlanePos {
+    /// The largest possible position (an empty promise bound).
+    pub const MAX: PlanePos = PlanePos {
+        g: u64::MAX,
+        site: u32::MAX,
+        ordinal: u64::MAX,
+        depth: u32::MAX,
+    };
+
+    /// The smallest possible position.
+    pub const MIN: PlanePos = PlanePos {
+        g: 0,
+        site: 0,
+        ordinal: 0,
+        depth: 0,
+    };
+}
+
+/// A cross-partition composite event, replica → replica: a named composite
+/// detected on the sending replica, forwarded as a first-class event (full
+/// composite timestamp riding along, so Definition 5.x semantics hold at
+/// the receiver) together with its position in the canonical cascade order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayedEvent {
+    /// Release key of the cascade root this detection derives from.
+    pub root: (u64, u32, u64),
+    /// Cascade depth below the root (≥ 1; equals `path.len()`).
+    pub depth: u32,
+    /// The canonical identities of every cascade step from the root's
+    /// first derived detection down to this one.
+    pub path: Vec<PathStep>,
+    /// True for detections derived from a coordinator-clock timer fire:
+    /// their stamps sit *ahead* of the site watermarks, so the receiver
+    /// feeds them immediately instead of buffering for stability.
+    pub immediate: bool,
+    /// The detection itself, typed in the **full** catalog.
+    pub occ: Occurrence<CompositeTimestamp>,
+}
 
 /// The wire protocol. Every site→coordinator message carries a per-site
 /// sequence number so the coordinator can reassemble FIFO order over a
@@ -105,6 +213,42 @@ pub enum Msg {
     Evict {
         /// The site to evict.
         site: u32,
+    },
+    /// Subscription-routed batch, site → coordinator replica: the
+    /// occurrences this uplink's replica subscribes to (each with the
+    /// site's stamp ordinal) plus the watermark at flush time. The
+    /// partitioned-plane analogue of [`Msg::Batch`]: an empty `events`
+    /// vector is exactly a heartbeat, and every replica receives the
+    /// site's full watermark stream even when it subscribes to none of
+    /// its event types.
+    Routed {
+        /// Per-uplink sequence number (one independent stream per
+        /// site-replica pair).
+        seq: u64,
+        /// The sender's incarnation epoch.
+        epoch: u64,
+        /// The site's global tick at flush time.
+        watermark: u64,
+        /// The subscribed occurrences, in site stamping order.
+        events: Arc<Vec<RoutedEvent>>,
+    },
+    /// Cross-partition forwarding, coordinator replica → replica: named
+    /// composite detections the receiver subscribes to, plus the sender's
+    /// release-plane promise vector ("every relay I will ever send at
+    /// cascade depth `d` is strictly after `promise[d - 1]`").
+    /// Sequence-numbered on the sender's per-peer
+    /// stream and acked/retransmitted like site traffic; an empty `events`
+    /// vector is a pure promise advance.
+    Relay {
+        /// Per-peer sequence number.
+        seq: u64,
+        /// The sender's release-plane promise, stratified by cascade
+        /// depth: `promise[d - 1]` lower-bounds every future depth-`d`
+        /// relay. The vector is nonincreasing, so its last element bounds
+        /// *all* future relays.
+        promise: Vec<PlanePos>,
+        /// The forwarded detections, in canonical cascade order.
+        events: Arc<Vec<RelayedEvent>>,
     },
 }
 

@@ -9,7 +9,7 @@ use crate::durability::site_wal::{
     compaction_records, recover_site_state, SiteWalRecord, SiteWalState,
 };
 use crate::durability::WalWriter;
-use crate::protocol::Msg;
+use crate::protocol::{Msg, RoutedEvent};
 use decs_chronos::Nanos;
 use decs_core::{CompositeTimestamp, PrimitiveTimestamp};
 use decs_simnet::{Actor, Ctx, NodeIdx, SplitMix64};
@@ -21,6 +21,10 @@ use std::path::{Path, PathBuf};
 const HEARTBEAT_TAG: u64 = 0;
 const BATCH_TAG: u64 = 1;
 const RETX_TAG: u64 = 2;
+/// Per-uplink retransmission timer tags in partitioned mode:
+/// `PART_RETX_BASE + uplink_index` (uplink counts are bounded by
+/// [`LOCAL_TIMER_BASE`]`− PART_RETX_BASE`).
+const PART_RETX_BASE: u64 = 3;
 /// Timer tags below this are reserved for site infrastructure; local
 /// detector timers are offset by it.
 const LOCAL_TIMER_BASE: u64 = 16;
@@ -71,6 +75,27 @@ impl std::fmt::Debug for LocalDetection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalDetection").finish_non_exhaustive()
     }
+}
+
+/// One subscription-routed uplink to a coordinator replica: an
+/// independent sequence-numbered stream with its own staged batch,
+/// retransmit window and backoff, so each site–replica pair reassembles
+/// FIFO order exactly like the classic single-coordinator stream.
+#[derive(Debug)]
+struct Uplink {
+    /// The replica this uplink streams to.
+    node: NodeIdx,
+    /// Next sequence number on this stream.
+    seq: u64,
+    /// Subscribed occurrences staged since the last flush, in site
+    /// stamping order.
+    staged: Vec<RoutedEvent>,
+    /// Sent-but-unacked messages by sequence number.
+    retx: BTreeMap<u64, Msg>,
+    /// Current retransmission backoff for this stream.
+    backoff: Nanos,
+    /// Whether this stream's retransmission timer is outstanding.
+    armed: bool,
 }
 
 /// A site: event source + optional local detector + heartbeat beacon.
@@ -137,6 +162,19 @@ pub struct SiteNode {
     /// restored on restart: partial matches are volatile and die with the
     /// incarnation that accumulated them.
     local_pristine: Option<GraphState<CompositeTimestamp>>,
+    /// Subscription-routed uplinks, one per coordinator replica. Empty in
+    /// the classic single-coordinator deployment.
+    uplinks: Vec<Uplink>,
+    /// Full-catalog event type → subscribing uplink indices, ascending.
+    /// Types no replica subscribes to are dropped at the site.
+    routes: HashMap<u32, Vec<usize>>,
+    /// The site's stamp ordinal: position of each stamped occurrence in
+    /// the site's total send order, shared across all uplinks so replicas
+    /// receiving disjoint subsets agree on the interleaving. Like `epoch`,
+    /// it survives simulated crashes (standing in for a monotone
+    /// site-local counter), so post-restart keys never collide with the
+    /// dead incarnation's.
+    ordinal: u64,
 }
 
 impl SiteNode {
@@ -167,7 +205,43 @@ impl SiteNode {
             wal_errors: 0,
             wal_failed: None,
             local_pristine: None,
+            uplinks: Vec::new(),
+            routes: HashMap::new(),
+            ordinal: 0,
         }
+    }
+
+    /// Switch the site to the partitioned detection plane: stream to
+    /// `replicas` coordinator replicas over independent sequence-numbered
+    /// uplinks, routing each stamped occurrence only to the uplinks in
+    /// `routes[ty]`. Every replica still receives the site's full
+    /// watermark stream (an empty `Msg::Routed` is exactly a heartbeat).
+    pub fn with_uplinks(
+        mut self,
+        replicas: Vec<NodeIdx>,
+        routes: HashMap<u32, Vec<usize>>,
+    ) -> Self {
+        assert!(
+            replicas.len() <= (LOCAL_TIMER_BASE - PART_RETX_BASE) as usize,
+            "too many coordinator replicas for the site timer-tag space"
+        );
+        self.uplinks = replicas
+            .into_iter()
+            .map(|node| Uplink {
+                node,
+                seq: 0,
+                staged: Vec::new(),
+                retx: BTreeMap::new(),
+                backoff: self.retx_base,
+                armed: false,
+            })
+            .collect();
+        self.routes = routes;
+        self
+    }
+
+    fn partitioned(&self) -> bool {
+        !self.uplinks.is_empty()
     }
 
     /// Seed deterministic jitter for the retransmission backoff: each
@@ -234,6 +308,9 @@ impl SiteNode {
         self.retx_base = base;
         self.retx_cap = Nanos(cap.get().max(base.get()));
         self.retx_backoff = base;
+        for up in &mut self.uplinks {
+            up.backoff = base;
+        }
         self
     }
 
@@ -277,7 +354,9 @@ impl SiteNode {
                 None => return, // synthetic internal node: never forwarded
             }
         }
-        if self.batching() {
+        if self.partitioned() {
+            self.forward_routed(occ, ctx);
+        } else if self.batching() {
             self.wal_log(&SiteWalRecord::Staged { occ: occ.clone() });
             self.pending.push(occ);
         } else {
@@ -285,6 +364,145 @@ impl SiteNode {
             let epoch = self.epoch;
             self.send_seq(seq, Msg::Event { seq, epoch, occ }, ctx);
         }
+    }
+
+    /// Stage a stamped occurrence on every subscribing uplink (consuming
+    /// one stamp ordinal either way — unsubscribed types leave a gap, and
+    /// only the relative order matters to replicas). Without batching the
+    /// subscribed uplinks flush immediately.
+    fn forward_routed(&mut self, occ: Occurrence<CompositeTimestamp>, ctx: &mut Ctx<'_, Msg>) {
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        let subs = match self.routes.get(&occ.ty.0) {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        for &u in &subs {
+            self.uplinks[u].staged.push(RoutedEvent {
+                ordinal,
+                occ: occ.clone(),
+            });
+        }
+        if !self.batching() {
+            if let Ok(parts) = ctx.stamp() {
+                for &u in &subs {
+                    self.flush_uplink(u, parts.global.get(), ctx);
+                }
+            }
+        }
+    }
+
+    /// Send a sequence-numbered message on uplink `u`, retaining it for
+    /// retransmission until cumulatively acked (when reliability is on).
+    fn send_uplink(&mut self, u: usize, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let retx_on = self.retx_base.get() > 0;
+        let tag = self.gen_tag(PART_RETX_BASE + u as u64);
+        let up = &mut self.uplinks[u];
+        let seq = up.seq;
+        up.seq += 1;
+        if retx_on {
+            up.retx.insert(seq, msg.clone());
+            if !up.armed {
+                up.armed = true;
+                let delay = up.backoff;
+                ctx.set_timer(delay, tag);
+            }
+        }
+        ctx.send(up.node, msg);
+    }
+
+    /// Flush uplink `u`: one `Msg::Routed` carrying everything staged for
+    /// it since the last flush plus the watermark (an empty flush is
+    /// exactly a heartbeat).
+    fn flush_uplink(&mut self, u: usize, watermark: u64, ctx: &mut Ctx<'_, Msg>) {
+        let epoch = self.epoch;
+        let up = &mut self.uplinks[u];
+        let seq = up.seq;
+        let events = std::sync::Arc::new(std::mem::take(&mut up.staged));
+        self.send_uplink(
+            u,
+            Msg::Routed {
+                seq,
+                epoch,
+                watermark,
+                events,
+            },
+            ctx,
+        );
+    }
+
+    /// The partitioned-mode beacon: flush every uplink (staged events in
+    /// batching mode, pure watermark heartbeats otherwise) and re-arm.
+    fn routed_beacon(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.crashed {
+            return; // no beacon, no re-arm: the site is silent.
+        }
+        if let Ok(parts) = ctx.stamp() {
+            for u in 0..self.uplinks.len() {
+                self.flush_uplink(u, parts.global.get(), ctx);
+            }
+        }
+        let (interval, tag) = if self.batching() {
+            (self.batch_interval, BATCH_TAG)
+        } else {
+            (self.heartbeat_interval, HEARTBEAT_TAG)
+        };
+        ctx.set_timer(interval, self.gen_tag(tag));
+    }
+
+    /// Cumulative ack from replica `from`: trim that uplink's window.
+    fn on_ack_uplink(&mut self, from: NodeIdx, cum_seq: u64, epoch: u64) {
+        if epoch != self.epoch || self.retx_base.get() == 0 {
+            return;
+        }
+        let Some(u) = self.uplinks.iter().position(|up| up.node == from) else {
+            return;
+        };
+        let base = self.retx_base;
+        let up = &mut self.uplinks[u];
+        let before = up.retx.len();
+        up.retx = up.retx.split_off(&cum_seq);
+        if up.retx.len() < before {
+            up.backoff = base;
+        }
+    }
+
+    /// Retransmission round for uplink `u` (see
+    /// [`Self::retransmit_round`] — same burst/backoff discipline, scoped
+    /// to one replica stream).
+    fn retransmit_uplink(&mut self, u: usize, ctx: &mut Ctx<'_, Msg>) {
+        let base = self.retx_base;
+        let cap = self.retx_cap;
+        let tag = self.gen_tag(PART_RETX_BASE + u as u64);
+        let crashed = self.crashed;
+        let up = &mut self.uplinks[u];
+        up.armed = false;
+        if crashed {
+            return;
+        }
+        if up.retx.is_empty() {
+            up.backoff = base;
+            return;
+        }
+        let mut resent = 0u64;
+        let node = up.node;
+        let burst: Vec<Msg> = up.retx.values().take(RETX_BURST).cloned().collect();
+        for msg in burst {
+            resent += 1;
+            ctx.send(node, msg);
+        }
+        self.retransmits += resent;
+        let up = &mut self.uplinks[u];
+        up.backoff = Nanos((2 * up.backoff.get()).min(cap.get()));
+        up.armed = true;
+        let delay = match self.jitter_rng.as_mut() {
+            Some(rng) => Nanos(rng.jitter(
+                self.uplinks[u].backoff.get(),
+                self.uplinks[u].backoff.get() / 4,
+            )),
+            None => self.uplinks[u].backoff,
+        };
+        ctx.set_timer(delay, tag);
     }
 
     /// Send a sequence-numbered message, retaining a copy for
@@ -520,6 +738,41 @@ impl SiteNode {
                 Err(e) => self.wal_io_error(e),
             }
         }
+        if self.partitioned() {
+            // Partitioned restarts are always non-durable (site durability
+            // and replica uplinks are mutually exclusive): each uplink's
+            // stream restarts at sequence 0 in the new epoch, announced by
+            // its own Hello. The stamp ordinal is NOT reset — it survives
+            // like the epoch, so new root keys sort after the dead
+            // incarnation's.
+            for up in &mut self.uplinks {
+                up.seq = 0;
+                up.staged.clear();
+                up.retx.clear();
+                up.armed = false;
+                up.backoff = self.retx_base;
+            }
+            let watermark = ctx.stamp().map(|p| p.global.get()).unwrap_or(0);
+            let epoch = self.epoch;
+            for u in 0..self.uplinks.len() {
+                self.send_uplink(
+                    u,
+                    Msg::Hello {
+                        seq: 0,
+                        epoch,
+                        watermark,
+                    },
+                    ctx,
+                );
+            }
+            let (interval, tag) = if self.batching() {
+                (self.batch_interval, BATCH_TAG)
+            } else {
+                (self.heartbeat_interval, HEARTBEAT_TAG)
+            };
+            ctx.set_timer(interval, self.gen_tag(tag));
+            return;
+        }
         // Announce the incarnation. The watermark falls back to 0 (always
         // a valid promise) if the site clock has not started yet. The
         // backlog burst is snapshotted first so it excludes the Hello
@@ -565,7 +818,9 @@ impl Actor for SiteNode {
         match msg {
             Msg::Start => {
                 debug_assert_eq!(from, ctx.me());
-                if self.batching() {
+                if self.partitioned() {
+                    self.routed_beacon(ctx);
+                } else if self.batching() {
                     self.flush_batch(ctx);
                 } else {
                     self.heartbeat(ctx);
@@ -601,14 +856,20 @@ impl Actor for SiteNode {
                 }
             }
             Msg::Ack { cum_seq, epoch } => {
-                self.on_ack(cum_seq, epoch);
+                if self.partitioned() {
+                    self.on_ack_uplink(from, cum_seq, epoch);
+                } else {
+                    self.on_ack(cum_seq, epoch);
+                }
             }
             // Sites do not receive protocol traffic in the star topology.
             Msg::Event { .. }
             | Msg::Heartbeat { .. }
             | Msg::Batch { .. }
             | Msg::Hello { .. }
-            | Msg::Evict { .. } => {
+            | Msg::Evict { .. }
+            | Msg::Routed { .. }
+            | Msg::Relay { .. } => {
                 debug_assert!(false, "site received coordinator traffic");
             }
         }
@@ -622,16 +883,25 @@ impl Actor for SiteNode {
             return;
         }
         let tag = tag & TAG_MASK;
-        if tag == HEARTBEAT_TAG {
-            self.heartbeat(ctx);
-            return;
-        }
-        if tag == BATCH_TAG {
-            self.flush_batch(ctx);
+        if tag == HEARTBEAT_TAG || tag == BATCH_TAG {
+            if self.partitioned() {
+                self.routed_beacon(ctx);
+            } else if tag == HEARTBEAT_TAG {
+                self.heartbeat(ctx);
+            } else {
+                self.flush_batch(ctx);
+            }
             return;
         }
         if tag == RETX_TAG {
             self.retransmit_round(ctx);
+            return;
+        }
+        if (PART_RETX_BASE..LOCAL_TIMER_BASE).contains(&tag) {
+            let u = (tag - PART_RETX_BASE) as usize;
+            if u < self.uplinks.len() {
+                self.retransmit_uplink(u, ctx);
+            }
             return;
         }
         // A local temporal operator fired: stamp with the site clock.

@@ -414,6 +414,9 @@ pub struct PlanDetector<T: EventTime> {
     /// Union-find over definitions: defs sharing any plan node land in
     /// one component (the parallel scheduler's placement unit).
     uf: Vec<usize>,
+    /// Cascade severing (see [`Self::set_cascade`]): when true, named
+    /// detections are reported but never re-enter the wave as triggers.
+    severed: bool,
     #[cfg(feature = "parallel")]
     pool: Option<crate::pool::WorkerPool<T>>,
 }
@@ -430,9 +433,20 @@ impl<T: EventTime> PlanDetector<T> {
             scratch: Scratch::default(),
             levels: Vec::new(),
             uf: Vec::new(),
+            severed: false,
             #[cfg(feature = "parallel")]
             pool: None,
         }
+    }
+
+    /// Enable or sever the detection cascade. With the cascade severed
+    /// (`enabled == false`), a named composite detection is still reported
+    /// in the feed result but is **not** re-fed to the definitions that
+    /// subscribe to it — the caller owns cross-definition routing (a
+    /// partitioned deployment where the subscribing definition may live on
+    /// another detector replica). Default is enabled.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        self.severed = !enabled;
     }
 
     /// Register a primitive event type.
@@ -1011,12 +1025,16 @@ impl<T: EventTime> PlanDetector<T> {
         out.timers.extend(result.timers.into_iter().map(|t| (d, t)));
         let mut round = result.detected;
         sort_canonical(&mut round);
-        let mut wave = Vec::with_capacity(round.len());
-        for det in round {
-            wave.push(det.clone());
-            out.detected.push(det);
+        if self.severed {
+            out.detected.extend(round);
+        } else {
+            let mut wave = Vec::with_capacity(round.len());
+            for det in round {
+                wave.push(det.clone());
+                out.detected.push(det);
+            }
+            self.pump(wave, &mut out);
         }
-        self.pump(wave, &mut out);
         self.trim_logs();
         Ok(out)
     }
@@ -1086,6 +1104,7 @@ impl<T: EventTime> PlanDetector<T> {
     /// into the *last* subscribed definition — the common single-route
     /// case never clones it.
     fn wave_step(&mut self, s: &mut Scratch<T>, out: &mut ShardFeedResult<T>) {
+        let severed = self.severed;
         let PlanDetector {
             routes,
             nodes,
@@ -1114,7 +1133,9 @@ impl<T: EventTime> PlanDetector<T> {
             round.extend(r.detected);
             sort_canonical(round);
             for det in round.drain(..) {
-                next.push(det.clone());
+                if !severed {
+                    next.push(det.clone());
+                }
                 out.detected.push(det);
             }
         }
@@ -1622,7 +1643,9 @@ impl<T: EventTime> PlanDetector<T> {
                     }
                     sort_canonical(&mut round);
                     for d in round {
-                        next_wave.push(d.clone());
+                        if !self.severed {
+                            next_wave.push(d.clone());
+                        }
                         out.detected.push(d);
                     }
                 }
@@ -1689,6 +1712,22 @@ impl<T: EventTime> AnyDetector<T> {
     /// Number of topological stages in the definition dependency DAG.
     pub fn stage_count(&self) -> usize {
         delegate!(self, d => d.stage_count())
+    }
+
+    /// Topological level of definition `d` in the dependency DAG.
+    pub fn shard_level(&self, d: ShardId) -> usize {
+        delegate!(self, det => det.shard_level(d))
+    }
+
+    /// Event types definition `d` subscribes to, ascending.
+    pub fn shard_subscriptions(&self, d: ShardId) -> Vec<EventId> {
+        delegate!(self, det => det.shard_subscriptions(d).collect())
+    }
+
+    /// Enable or sever the detection cascade (see the backends'
+    /// `set_cascade`). Default is enabled.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        delegate!(self, d => d.set_cascade(enabled))
     }
 
     /// Smallest timer delay any definition can request.

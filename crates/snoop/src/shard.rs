@@ -88,6 +88,9 @@ pub struct ShardedDetector<T: EventTime> {
     /// Topological level of each shard in the definition dependency DAG
     /// (0 = references no other definition).
     levels: Vec<usize>,
+    /// Cascade severing (see [`Self::set_cascade`]): when true, named
+    /// detections are reported but never re-enter the wave as triggers.
+    severed: bool,
     #[cfg(feature = "parallel")]
     pool: Option<crate::pool::WorkerPool<T>>,
 }
@@ -100,9 +103,20 @@ impl<T: EventTime> ShardedDetector<T> {
             shards: Vec::new(),
             routes: HashMap::new(),
             levels: Vec::new(),
+            severed: false,
             #[cfg(feature = "parallel")]
             pool: None,
         }
+    }
+
+    /// Enable or sever the detection cascade. With the cascade severed
+    /// (`enabled == false`), a named composite detection is still reported
+    /// in the feed result but is **not** re-fed to the shards that
+    /// subscribe to it — the caller owns cross-definition routing (a
+    /// partitioned deployment where the subscribing definition may live on
+    /// another detector replica). Default is enabled.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        self.severed = !enabled;
     }
 
     /// Register a primitive event type.
@@ -300,12 +314,16 @@ impl<T: EventTime> ShardedDetector<T> {
         out.timers.extend(r.timers.into_iter().map(|t| (shard, t)));
         let mut round = r.detected;
         sort_canonical(&mut round);
-        let mut wave = Vec::with_capacity(round.len());
-        for d in round {
-            wave.push(d.clone());
-            out.detected.push(d);
+        if self.severed {
+            out.detected.extend(round);
+        } else {
+            let mut wave = Vec::with_capacity(round.len());
+            for d in round {
+                wave.push(d.clone());
+                out.detected.push(d);
+            }
+            self.pump(wave, &mut out);
         }
-        self.pump(wave, &mut out);
         Ok(out)
     }
 
@@ -380,7 +398,9 @@ impl<T: EventTime> ShardedDetector<T> {
             round.extend(r.detected);
             sort_canonical(&mut round);
             for d in round {
-                next.push(d.clone());
+                if !self.severed {
+                    next.push(d.clone());
+                }
                 out.detected.push(d);
             }
         }
@@ -508,7 +528,9 @@ impl<T: EventTime> ShardedDetector<T> {
                     }
                     sort_canonical(&mut round);
                     for d in round {
-                        next_wave.push(d.clone());
+                        if !self.severed {
+                            next_wave.push(d.clone());
+                        }
                         out.detected.push(d);
                     }
                 }
