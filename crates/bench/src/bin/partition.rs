@@ -1,4 +1,4 @@
-//! E18 — the partitioned detection plane: throughput and cross-partition
+//! E20 — the partitioned detection plane: throughput and cross-partition
 //! forwarding cost as a function of the coordinator replica count.
 //!
 //! One fixed seeded workload runs through the engine at N = 1 (the
@@ -11,6 +11,17 @@
 //! wall-clock drive time, the per-replica announcement fan-in, and the
 //! cross-partition forward ratio (relayed cascade events per routed
 //! announcement received).
+//!
+//! Two throughput columns, two deployment models. `keps` is this
+//! process's single-threaded drive rate: the simulation steps replicas
+//! sequentially, so it *falls* as N grows and message volume rises.
+//! `agg_keps` is the aggregate ingest throughput of the deployment the
+//! partitioning exists for — one process per replica, all running
+//! concurrently — computed as events / max per-replica handler time
+//! (`Engine::replica_busy_ns`). Because announcements are
+//! subscription-routed rather than broadcast, the busiest replica's
+//! share of the work shrinks with N and `agg_keps` rises; the smoke gate
+//! hard-asserts that scaling on the committed baseline.
 //!
 //! Run: `cargo run --release -p decs-bench --bin partition` (full,
 //! writes `BENCH_partition.json` in the current directory).
@@ -38,6 +49,13 @@ struct Row {
     events: usize,
     wall_ms: f64,
     keps: f64,
+    /// Handler time of the busiest replica, ms — the critical path a
+    /// parallel one-process-per-replica deployment pays for this traffic.
+    max_busy_ms: f64,
+    /// Aggregate routed-path ingest throughput: events / max_busy — what
+    /// the plane sustains when replicas run concurrently and each only
+    /// processes its subscribed share of the announcements.
+    agg_keps: f64,
     routed_received: u64,
     relay_events: u64,
     relays_sent: u64,
@@ -54,34 +72,88 @@ fn scenario() -> Scenario {
         .unwrap()
 }
 
-/// Definitions that chain across partitions: Y consumes X, Z consumes Y,
-/// so rendezvous placement forces replica → replica forwarding.
-fn defs() -> Vec<(&'static str, E, Context)> {
-    vec![
-        ("X", E::seq(E::prim("A"), E::prim("B")), Context::Chronicle),
-        ("Y", E::and(E::prim("X"), E::prim("C")), Context::Recent),
+/// Independent per-stream definitions riding alongside the chained core:
+/// each consumes its own two-primitive alphabet, so subscription routing
+/// delivers its announcements to exactly one replica. This is the
+/// partitioning story — many mostly-independent definitions — and what
+/// makes the busiest replica's share of the work shrink as N grows.
+const USERS: usize = 24;
+
+/// Definitions that chain across partitions — Y consumes X, Z consumes Y,
+/// so rendezvous placement forces replica → replica forwarding — plus
+/// `USERS` independent per-stream sequences over a disjoint alphabet.
+fn defs() -> Vec<(String, E, Context)> {
+    let mut d = vec![
         (
-            "Z",
+            "X".to_owned(),
+            E::seq(E::prim("A"), E::prim("B")),
+            Context::Chronicle,
+        ),
+        (
+            "Y".to_owned(),
+            E::and(E::prim("X"), E::prim("C")),
+            Context::Recent,
+        ),
+        (
+            "Z".to_owned(),
             E::or(E::prim("Y"), E::seq(E::prim("C"), E::prim("D"))),
             Context::Chronicle,
         ),
-        ("W", E::and(E::prim("X"), E::prim("D")), Context::Chronicle),
-    ]
+        (
+            "W".to_owned(),
+            E::and(E::prim("X"), E::prim("D")),
+            Context::Chronicle,
+        ),
+    ];
+    for u in 0..USERS {
+        let ctx = if u % 2 == 0 {
+            Context::Chronicle
+        } else {
+            Context::Recent
+        };
+        d.push((
+            format!("U{u}"),
+            E::seq(E::prim(&user_prim(u, 0)), E::prim(&user_prim(u, 1))),
+            ctx,
+        ));
+    }
+    d
+}
+
+fn user_prim(user: usize, half: usize) -> String {
+    format!("P{user}_{half}")
+}
+
+fn primitives() -> Vec<String> {
+    let mut p: Vec<String> = ["A", "B", "C", "D"].map(str::to_owned).to_vec();
+    for u in 0..USERS {
+        p.push(user_prim(u, 0));
+        p.push(user_prim(u, 1));
+    }
+    p
 }
 
 /// Deterministic workload shared by every replica count: `events`
 /// injections over the first `span_ms` milliseconds on random sites.
-fn workload(events: usize, span_ms: u64) -> Vec<(u64, u32, &'static str)> {
+/// Roughly a quarter of the traffic hits the chained A–D core (feeding
+/// the cross-partition forward path); the rest is spread across the
+/// per-stream alphabets (feeding the routed scaling path).
+fn workload(events: usize, span_ms: u64) -> Vec<(u64, u32, String)> {
     let mut rng = SplitMix64::new(0xE18_4EC0);
     (0..events)
         .map(|_| {
             let ms = rng.next_range(10, span_ms);
             let site = rng.next_below(u64::from(SITES)) as u32;
-            let ev = match rng.next_below(4) {
-                0 => "A",
-                1 => "B",
-                2 => "C",
-                _ => "D",
+            let ev = if rng.next_below(4) == 0 {
+                match rng.next_below(4) {
+                    0 => "A".to_owned(),
+                    1 => "B".to_owned(),
+                    2 => "C".to_owned(),
+                    _ => "D".to_owned(),
+                }
+            } else {
+                let u = rng.next_below(USERS as u64) as usize;
+                user_prim(u, rng.next_below(2) as usize)
             };
             (ms, site, ev)
         })
@@ -94,7 +166,7 @@ fn keys(det: Vec<decs_distrib::Detection>) -> Keys {
 
 fn run_case(
     replicas: usize,
-    w: &[(u64, u32, &'static str)],
+    w: &[(u64, u32, String)],
     horizon_secs: u64,
     single: Option<&Keys>,
 ) -> (Row, Keys) {
@@ -103,14 +175,18 @@ fn run_case(
         ..EngineConfig::default()
     };
     let d = defs();
-    let mut e = Engine::new(&scenario(), config, &["A", "B", "C", "D"], &d).unwrap();
-    for &(ms, site, ev) in w {
-        e.inject(Nanos::from_millis(ms), site, ev, vec![]).unwrap();
+    let d: Vec<(&str, E, Context)> = d.iter().map(|(n, e, c)| (n.as_str(), e.clone(), *c)).collect();
+    let prims = primitives();
+    let prims: Vec<&str> = prims.iter().map(String::as_str).collect();
+    let mut e = Engine::new(&scenario(), config, &prims, &d).unwrap();
+    for (ms, site, ev) in w {
+        e.inject(Nanos::from_millis(*ms), *site, ev, vec![]).unwrap();
     }
     let start = Instant::now();
     let det = keys(e.run_until(Nanos::from_secs(horizon_secs)));
     let wall = start.elapsed();
     let m = e.metrics();
+    let max_busy_ns = e.replica_busy_ns().into_iter().max().unwrap_or(0).max(1);
     let row = Row {
         replicas,
         detections: det.len(),
@@ -118,6 +194,8 @@ fn run_case(
         events: w.len(),
         wall_ms: wall.as_secs_f64() * 1e3,
         keps: w.len() as f64 / wall.as_secs_f64() / 1e3,
+        max_busy_ms: max_busy_ns as f64 / 1e6,
+        agg_keps: w.len() as f64 / (max_busy_ns as f64 / 1e9) / 1e3,
         routed_received: m.routed_received,
         relay_events: m.relay_events,
         relays_sent: m.relays_sent,
@@ -151,7 +229,7 @@ fn render_json(mode: &str, rows: &[Row]) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"bench\": \"partition\",");
-    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"schema\": 2,");
     let _ = writeln!(j, "  \"mode\": \"{mode}\",");
     let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(j, "  \"rows\": [");
@@ -161,6 +239,7 @@ fn render_json(mode: &str, rows: &[Row]) -> String {
             j,
             "    {{\"replicas\": {}, \"detections\": {}, \"match_single\": {}, \
              \"events\": {}, \"wall_ms\": {:.1}, \"keps\": {:.1}, \
+             \"max_busy_ms\": {:.2}, \"agg_keps\": {:.1}, \
              \"routed_received\": {}, \"relay_events\": {}, \"relays_sent\": {}, \
              \"forward_ratio\": {:.4}}}{comma}",
             r.replicas,
@@ -169,6 +248,8 @@ fn render_json(mode: &str, rows: &[Row]) -> String {
             r.events,
             r.wall_ms,
             r.keps,
+            r.max_busy_ms,
+            r.agg_keps,
             r.routed_received,
             r.relay_events,
             r.relays_sent,
@@ -219,7 +300,7 @@ fn check_rows(rows: &[Row]) -> bool {
 }
 
 fn smoke(baseline_path: &str) -> i32 {
-    let rows = run_matrix(120, 3_000, 16);
+    let rows = run_matrix(400, 3_000, 16);
     let json = render_json("smoke", &rows);
     std::fs::create_dir_all("target").ok();
     std::fs::write("target/BENCH_partition_smoke.json", &json).ok();
@@ -251,6 +332,25 @@ fn smoke(baseline_path: &str) -> i32 {
             failed = true;
         }
     }
+    // The scaling headline: on the routed (non-broadcast) path the busiest
+    // replica processes a shrinking share of the announcements, so the
+    // aggregate ingest throughput of a parallel deployment must *rise*
+    // with the replica count in the committed full-run baseline.
+    let agg = |r| extract(&baseline, r, "agg_keps").and_then(|v| v.parse::<f64>().ok());
+    match (agg(1), agg(4)) {
+        (Some(a1), Some(a4)) if a4 > a1 => {}
+        (Some(a1), Some(a4)) => {
+            eprintln!(
+                "smoke: FAIL — baseline aggregate throughput does not scale \
+                 with replicas (N = 1: {a1:.1} keps, N = 4: {a4:.1} keps)"
+            );
+            failed = true;
+        }
+        _ => {
+            eprintln!("smoke: FAIL — baseline is malformed (missing agg_keps)");
+            failed = true;
+        }
+    }
     if failed {
         1
     } else {
@@ -265,8 +365,8 @@ fn main() {
         std::process::exit(smoke("BENCH_partition.json"));
     }
 
-    eprintln!("E18 — partitioned plane throughput vs replica count (full run)");
-    let rows = run_matrix(2_000, 20_000, 60);
+    eprintln!("E20 — partitioned plane throughput vs replica count (full run)");
+    let rows = run_matrix(24_000, 20_000, 30);
     assert!(!check_rows(&rows), "full run failed its invariants");
     let json = render_json("full", &rows);
     std::fs::write("BENCH_partition.json", &json).expect("write BENCH_partition.json");

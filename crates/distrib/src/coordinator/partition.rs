@@ -75,7 +75,15 @@
 //!
 //! Promises are monotone (clamped componentwise by `max` against the
 //! last sent vector) and a pure promise advance with nothing staged is
-//! sent as an empty `Msg::Relay`.
+//! sent as an empty `Msg::Relay`. Gossip is deliberately **eager** (one
+//! relay per peer per advancing release round, not per released item):
+//! the stratified frontier advances one stratum per exchange, and a
+//! replica's own floor is capped by the peers' *echo* of its earlier
+//! strata — so any gossip deferral turns the drain pipeline into a
+//! ping-pong crawl of `2 × strata` deferral periods per buffered item.
+//! The volume stays scalable because rounds batch: sends per replica are
+//! bounded by its consumed messages × peers, while its detection work
+//! shrinks with the partition count.
 //!
 //! Timer-derived detections are the one exception: their stamps sit ahead
 //! of the site watermarks, so they bypass the buffer entirely — relays
@@ -136,23 +144,49 @@ pub(crate) struct PartitionState {
     /// Full-catalog event id → replica-local id (input and owned types
     /// only).
     pub(crate) to_local: HashMap<u32, u32>,
-    /// Full-catalog composite type → replicas whose definitions subscribe
-    /// to it (may include this replica: a local cross-definition
-    /// reference re-feeds through the buffer instead of the wire).
-    pub(crate) fwd: HashMap<u32, Vec<usize>>,
+    /// Full-catalog composite type → bitmask of replicas whose
+    /// definitions subscribe to it (may include this replica: a local
+    /// cross-definition reference re-feeds through the buffer instead of
+    /// the wire). A mask rather than a list so the per-detection consumer
+    /// walk allocates nothing.
+    pub(crate) fwd: HashMap<u32, u64>,
+    /// Full-catalog type → bitmask of *peer* replicas the type's cascade
+    /// closure inside this replica can forward to (absent = reaches no
+    /// peer). Compile-time-derived; drives subscription-filtered
+    /// promises.
+    pub(crate) reach: HashMap<u32, u64>,
+    /// Union of `reach`: every peer this replica can ever relay anything
+    /// to. Promises are only gossiped along these edges — a peer outside
+    /// the mask never waits on this replica.
+    pub(crate) reach_peers: u64,
+    /// The converse: bitmask of peers that can ever relay to *this*
+    /// replica. Only their bounds gate releases, floor GC, and the
+    /// stratified promise folds; with no gaters the replica releases on
+    /// watermark stability alone, fully decoupled from the plane.
+    pub(crate) gaters: u64,
     /// The partitioned stability buffer (replaces the classic
     /// `ReleaseKey` buffer): roots *and* relayed cascade items, ordered
     /// by partition key.
     pub(crate) pbuffer: BTreeMap<PartKey, (Occurrence<CompositeTimestamp>, Nanos)>,
+    /// Per peer `q`, the refcounted coarse positions of buffered items
+    /// whose type can reach `q` (own slot unused). The first key is the
+    /// only buffered position that must clamp the promise sent to `q`:
+    /// items that cannot forward to `q` never produce a `q`-bound relay,
+    /// so they are invisible to `q`'s release gate.
+    pub(crate) pending: Vec<BTreeMap<PlanePos, u32>>,
     /// Per-peer depth-stratified promise bounds: `peer_bound[q][d - 1]`
     /// lower-bounds peer `q`'s future depth-`d` relays (this replica's
     /// own slot stays all-[`PlanePos::MAX`] so it never gates a release).
     pub(crate) peer_bound: Vec<Vec<PlanePos>>,
     /// Per-peer outbound relay streams (own slot unused).
     pub(crate) out: Vec<OutRelay>,
-    /// The largest promise vector ever sent (promises are monotone
-    /// componentwise).
+    /// The largest engine-facing promise vector ever computed (the merge
+    /// cut's monotone clamp; unfiltered — every buffered item yields
+    /// detections, so the engine floor clamps at the full buffer head).
     pub(crate) last_promise: Vec<PlanePos>,
+    /// Per peer, the largest promise vector ever sent to it (promises
+    /// are monotone componentwise per destination; own slot unused).
+    pub(crate) last_sent: Vec<Vec<PlanePos>>,
     /// Partition key of every entry in `detections`, index-aligned —
     /// the engine merges replica streams by key. Truncated in lockstep
     /// with `detections` by `WalRecord::Drained` replay.
@@ -160,6 +194,18 @@ pub(crate) struct PartitionState {
     /// Counter minting unique root ordinals for coordinator-clock timer
     /// fires (their roots are keyed `(g, n_sites + replica, ordinal)`).
     pub(crate) fire_ordinal: u64,
+    /// Set when anything promise-relevant changed: a peer bound fold, a
+    /// pending-set mutation, or a staged relay. Together with a watermark
+    /// check this lets `advance_promise` skip recomputation on the bulk
+    /// of consumed messages — heartbeats between watermark ticks and
+    /// purely intra-partition traffic.
+    pub(crate) promise_stale: bool,
+    /// Set whenever an item was fed through the severed detector since
+    /// the last operator-occupancy sample; lets the release round skip
+    /// the full buffer walk when nothing could have changed.
+    pub(crate) fed_since_sample: bool,
+    /// The watermark `advance_promise` last ran against.
+    pub(crate) last_w: u64,
     /// Period of the relay retransmission round (`ZERO` disables it).
     pub(crate) relay_retx: Nanos,
 }
@@ -172,7 +218,10 @@ impl PartitionState {
         n_replicas: usize,
         to_global: Vec<u32>,
         to_local: HashMap<u32, u32>,
-        fwd: HashMap<u32, Vec<usize>>,
+        fwd: HashMap<u32, u64>,
+        reach: HashMap<u32, u64>,
+        reach_peers: u64,
+        gaters: u64,
         max_depth: u32,
         relay_retx: Nanos,
     ) -> Self {
@@ -186,12 +235,20 @@ impl PartitionState {
             to_global,
             to_local,
             fwd,
+            reach,
+            reach_peers,
+            gaters,
             pbuffer: BTreeMap::new(),
+            pending: vec![BTreeMap::new(); n_replicas],
             peer_bound,
             out: (0..n_replicas).map(|_| OutRelay::default()).collect(),
             last_promise: vec![PlanePos::MIN; strata],
+            last_sent: vec![vec![PlanePos::MIN; strata]; n_replicas],
             keys: Vec::new(),
             fire_ordinal: 0,
+            promise_stale: true,
+            fed_since_sample: false,
+            last_w: 0,
             relay_retx,
         }
     }
@@ -201,6 +258,41 @@ impl PartitionState {
     /// vectors are nonincreasing in depth.
     fn peer_floor(&self, q: usize) -> PlanePos {
         *self.peer_bound[q].last().expect("nonempty promise")
+    }
+
+    /// Record a newly buffered item in the per-peer pending sets of every
+    /// peer its type can reach.
+    fn note_pending(&mut self, ty: u32, pos: PlanePos) {
+        let mask = self.reach.get(&ty).copied().unwrap_or(0);
+        if mask == 0 {
+            return;
+        }
+        self.promise_stale = true;
+        for q in 0..self.n_replicas {
+            if q != self.replica && mask & (1 << q) != 0 {
+                *self.pending[q].entry(pos).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Drop a released item from the per-peer pending sets.
+    fn drop_pending(&mut self, ty: u32, pos: PlanePos) {
+        let mask = self.reach.get(&ty).copied().unwrap_or(0);
+        if mask == 0 {
+            return;
+        }
+        self.promise_stale = true;
+        for q in 0..self.n_replicas {
+            if q != self.replica && mask & (1 << q) != 0 {
+                match self.pending[q].get_mut(&pos) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        self.pending[q].remove(&pos);
+                    }
+                    None => debug_assert!(false, "pending underflow"),
+                }
+            }
+        }
     }
 }
 
@@ -222,6 +314,7 @@ impl CoordinatorNode {
         let key: PartKey = ((g, site as u32, ev.ordinal), 0, Vec::new());
         let len = {
             let part = self.part.as_mut().expect("partitioned");
+            part.note_pending(ev.occ.ty.0, coarse(&key));
             part.pbuffer.insert(key, (ev.occ, now));
             part.pbuffer.len()
         };
@@ -246,15 +339,27 @@ impl CoordinatorNode {
             let q = stream - part.n_sites;
             debug_assert!(q < part.n_replicas && q != part.replica, "bad relay peer");
             debug_assert_eq!(promise.len(), part.peer_bound[q].len(), "promise strata");
+            let mut folded = false;
             for (b, &p) in part.peer_bound[q].iter_mut().zip(promise) {
-                *b = (*b).max(p);
+                if p > *b {
+                    *b = p;
+                    folded = true;
+                }
             }
+            // A duplicate (retransmitted) relay that advances nothing and
+            // carries nothing leaves the release gate, the promise, and
+            // the buffer untouched — skip the round entirely.
+            if !folded && events.is_empty() {
+                return;
+            }
+            part.promise_stale = true;
             let mut immediates = Vec::new();
             for ev in events.iter() {
                 let key: PartKey = (ev.root, ev.depth, ev.path.clone());
                 if ev.immediate {
                     immediates.push((key, ev.occ.clone()));
                 } else {
+                    part.note_pending(ev.occ.ty.0, coarse(&key));
                     part.pbuffer.insert(key, (ev.occ.clone(), now));
                 }
             }
@@ -287,37 +392,44 @@ impl CoordinatorNode {
     /// explicitly. Then collect operator garbage, advance this replica's
     /// promise, and flush staged relays.
     pub(super) fn release_partitioned(&mut self, ctx: &mut impl CoordCtx) {
-        while let Some((key, pos)) = {
-            let part = self.part.as_ref().expect("partitioned");
-            part.pbuffer
-                .iter()
-                .next()
-                .map(|(k, _)| (k.clone(), coarse(k)))
-        } {
-            if !self.tracker.is_stable(key.0 .0) {
+        loop {
+            let Some(pos) = ({
+                let part = self.part.as_ref().expect("partitioned");
+                part.pbuffer.first_key_value().map(|(k, _)| coarse(k))
+            }) else {
+                break;
+            };
+            if !self.tracker.is_stable(pos.g) {
                 break;
             }
             let released = {
                 let part = self.part.as_ref().expect("partitioned");
-                (0..part.n_replicas).all(|q| q == part.replica || pos <= part.peer_floor(q))
+                (0..part.n_replicas).all(|q| {
+                    q == part.replica
+                        || part.gaters & (1 << q) == 0
+                        || pos <= part.peer_floor(q)
+                })
             };
             if !released {
                 break;
             }
-            let (occ, arrived) = self
-                .part
-                .as_mut()
-                .expect("partitioned")
-                .pbuffer
-                .remove(&key)
-                .expect("present");
-            self.release_horizon = self.release_horizon.max(key.0 .0 + 1);
+            let (key, occ, arrived) = {
+                let part = self.part.as_mut().expect("partitioned");
+                let (key, (occ, arrived)) = part.pbuffer.pop_first().expect("present");
+                part.drop_pending(occ.ty.0, pos);
+                (key, occ, arrived)
+            };
+            self.release_horizon = self.release_horizon.max(pos.g + 1);
             self.metrics.events_released += 1;
             self.metrics.stability_latency_sum_ns +=
                 u128::from(ctx.true_now().get().saturating_sub(arrived.get()));
             self.feed_partitioned(key, occ, false, ctx);
         }
         self.gc_partitioned();
+        if self.part.as_ref().expect("partitioned").fed_since_sample {
+            self.part.as_mut().expect("partitioned").fed_since_sample = false;
+            self.sample_occupancy();
+        }
         self.advance_promise(ctx);
     }
 
@@ -349,6 +461,7 @@ impl CoordinatorNode {
             params: occ.params,
             uid: occ.uid,
         });
+        self.part.as_mut().expect("partitioned").fed_since_sample = true;
         self.absorb_partitioned(r, &key, immediate, ctx);
     }
 
@@ -380,7 +493,7 @@ impl CoordinatorNode {
             let (global_ty, consumers) = {
                 let part = self.part.as_ref().expect("partitioned");
                 let ty = part.to_global[det.ty.0 as usize];
-                (ty, part.fwd.get(&ty).cloned().unwrap_or_default())
+                (ty, part.fwd.get(&ty).copied().unwrap_or(0))
             };
             // Index among equal (time, type) detections of the same
             // round: the tie-breaker that keeps the path order total.
@@ -411,16 +524,21 @@ impl CoordinatorNode {
                 .expect("partitioned")
                 .keys
                 .push(child.clone());
-            for c in consumers {
+            let mut cmask = consumers;
+            while cmask != 0 {
+                let c = cmask.trailing_zeros() as usize;
+                cmask &= cmask - 1;
                 let part = self.part.as_mut().expect("partitioned");
                 if c == part.replica {
                     if immediate {
                         deferred.push((child.clone(), occ.clone()));
                     } else {
+                        part.note_pending(global_ty, coarse(&child));
                         part.pbuffer.insert(child.clone(), (occ.clone(), now));
                     }
                 } else {
                     self.metrics.relay_events += 1;
+                    part.promise_stale = true;
                     part.out[c].staged.push(RelayedEvent {
                         root: child.0,
                         depth: child.1,
@@ -436,12 +554,13 @@ impl CoordinatorNode {
         }
     }
 
-    /// This replica's current promise vector: `P[1]` is the own-input
-    /// term alone (noncircular — it always advances with the watermark);
-    /// `P[d]` additionally folds in every peer's advertised `P[d − 1]`
-    /// (see the module docs for the stratification argument). Clamped
-    /// monotone componentwise against the last sent vector.
-    pub(crate) fn current_promise(&self) -> Vec<PlanePos> {
+    /// The shared promise shape, computed into `out` (allocation-free on
+    /// the hot path): `P[1]` is the own-input term alone (noncircular —
+    /// it always advances with the watermark); `P[d]` additionally folds
+    /// in every peer's advertised `P[d − 1]` (see the module docs for
+    /// the stratification argument). Clamped monotone componentwise
+    /// against `last`.
+    fn promise_into(&self, head: Option<PlanePos>, last: &[PlanePos], out: &mut Vec<PlanePos>) {
         let part = self.part.as_ref().expect("partitioned");
         // Roots not yet received can sit at `min_watermark − 1` (the
         // stability rule releases only `g ≤ w − 2`, so a site at
@@ -454,21 +573,31 @@ impl CoordinatorNode {
             ordinal: 0,
             depth: 0,
         };
-        if let Some((k, _)) = part.pbuffer.iter().next() {
-            own = own.min(coarse(k));
+        if let Some(h) = head {
+            own = own.min(h);
         }
-        let strata = part.last_promise.len();
-        let mut p = vec![own; strata];
-        for (d, slot) in p.iter_mut().enumerate().skip(1) {
+        out.clear();
+        out.resize(last.len(), own);
+        for d in 1..out.len() {
             for q in 0..part.n_replicas {
-                if q != part.replica {
-                    *slot = (*slot).min(part.peer_bound[q][d - 1]);
+                if q != part.replica && part.gaters & (1 << q) != 0 {
+                    out[d] = out[d].min(part.peer_bound[q][d - 1]);
                 }
             }
         }
-        for (slot, &prev) in p.iter_mut().zip(&part.last_promise) {
+        for (slot, &prev) in out.iter_mut().zip(last) {
             *slot = (*slot).max(prev);
         }
+    }
+
+    /// The engine-facing promise vector: the own term clamps at the full
+    /// buffer head, because *every* buffered item yields detections the
+    /// engine's merge must wait for.
+    pub(crate) fn current_promise(&self) -> Vec<PlanePos> {
+        let part = self.part.as_ref().expect("partitioned");
+        let head = part.pbuffer.first_key_value().map(|(k, _)| coarse(k));
+        let mut p = Vec::new();
+        self.promise_into(head, &part.last_promise, &mut p);
         p
     }
 
@@ -478,26 +607,64 @@ impl CoordinatorNode {
         *self.current_promise().last().expect("nonempty promise")
     }
 
-    /// Recompute the promise; flush every peer stream that has staged
-    /// relays, plus — on a promise advance — an empty relay to every
-    /// remaining peer (a pure promise advance is itself load-bearing:
-    /// the peers' release gates wait on it).
+    /// Recompute the engine-facing promise and each peer's
+    /// **subscription-filtered** promise; flush every peer stream that
+    /// has staged relays (the latest promise rides along) or whose
+    /// promise advanced. The per-peer own term clamps only at the
+    /// earliest buffered item whose type's cascade closure can forward
+    /// to that peer — items that cannot reach it never produce a relay
+    /// it must wait for, so with sparse cross-partition coupling whole
+    /// watermark ticks of independent items release in one exchange
+    /// instead of one item per gossip round trip. The stratified fold
+    /// stays unfiltered: relay-sourced cascades are bounded through the
+    /// peers' own advertised strata, whatever their types.
+    ///
+    /// A *pure* promise advance with nothing staged is still sent
+    /// eagerly — the peers' release gates wait on it, and a replica's
+    /// own floor is capped by the peers' *echo* of its earlier strata,
+    /// so deferring gossip to a timer would stretch every
+    /// cross-partition item's release into `2 × strata` deferral
+    /// periods. The whole round is skipped when nothing
+    /// promise-relevant changed since the last run (the common case for
+    /// heartbeats between watermark ticks and for purely
+    /// intra-partition traffic).
     fn advance_promise(&mut self, ctx: &mut impl CoordCtx) {
-        let p = self.current_promise();
-        let (advanced, peers, me) = {
+        let w = self.tracker.min_watermark();
+        let (peers, me, strata) = {
             let part = self.part.as_mut().expect("partitioned");
-            let advanced = p != part.last_promise;
-            part.last_promise = p;
-            (advanced, part.n_replicas, part.replica)
+            if !part.promise_stale && part.last_w == w {
+                return;
+            }
+            part.promise_stale = false;
+            part.last_w = w;
+            (part.n_replicas, part.replica, part.last_promise.len())
         };
+        let p = self.current_promise();
+        self.part.as_mut().expect("partitioned").last_promise = p;
+        let mut scratch: Vec<PlanePos> = Vec::with_capacity(strata);
         for q in 0..peers {
             if q == me {
                 continue;
             }
-            let staged = !self.part.as_ref().expect("partitioned").out[q]
-                .staged
-                .is_empty();
-            if staged || advanced {
+            // A peer this replica can never relay to never waits on its
+            // promise — nothing to gossip (and nothing can be staged).
+            let unreachable = {
+                let part = self.part.as_ref().expect("partitioned");
+                let unreachable = part.reach_peers & (1 << q) == 0;
+                debug_assert!(!unreachable || part.out[q].staged.is_empty());
+                unreachable
+            };
+            if unreachable {
+                continue;
+            }
+            let send = {
+                let part = self.part.as_ref().expect("partitioned");
+                let head = part.pending[q].keys().next().copied();
+                self.promise_into(head, &part.last_sent[q], &mut scratch);
+                !part.out[q].staged.is_empty() || scratch[..] != part.last_sent[q][..]
+            };
+            if send {
+                self.part.as_mut().expect("partitioned").last_sent[q].copy_from_slice(&scratch);
                 self.send_relay(q, ctx);
             }
         }
@@ -509,7 +676,7 @@ impl CoordinatorNode {
     fn send_relay(&mut self, q: usize, ctx: &mut impl CoordCtx) {
         let (node, msg) = {
             let part = self.part.as_mut().expect("partitioned");
-            let promise = part.last_promise.clone();
+            let promise = part.last_sent[q].clone();
             let node = NodeIdx((part.n_sites + q) as u32);
             let out = &mut part.out[q];
             let seq = out.next_seq;
@@ -564,11 +731,11 @@ impl CoordinatorNode {
             {
                 let part = self.part.as_ref().expect("partitioned");
                 for q in 0..part.n_replicas {
-                    if q != part.replica {
+                    if q != part.replica && part.gaters & (1 << q) != 0 {
                         low = low.min(part.peer_floor(q).g);
                     }
                 }
-                if let Some((k, _)) = part.pbuffer.iter().next() {
+                if let Some((k, _)) = part.pbuffer.first_key_value() {
                     low = low.min(k.0 .0);
                 }
             }
@@ -579,6 +746,13 @@ impl CoordinatorNode {
                 self.metrics.gc_evicted += self.detector.advance_watermark(low);
             }
         }
+    }
+
+    /// Sample operator-buffer occupancy into the metrics. Walks every
+    /// operator node, so the partitioned release round only calls it
+    /// after feeding something — occupancy cannot change on a round that
+    /// released nothing.
+    fn sample_occupancy(&mut self) {
         self.metrics.node_buffered = self.detector.buffered_occupancy();
         self.metrics.node_buffer_peak = self
             .metrics

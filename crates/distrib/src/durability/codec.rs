@@ -876,6 +876,9 @@ impl Decode for Metrics {
             relay_retransmits: r.u64()?,
             relays_received: r.u64()?,
             routed_received: r.u64()?,
+            // Deliberately not persisted: engine-side wall-clock timing of
+            // the *current* process, meaningless to a recovered successor.
+            busy_ns: 0,
         })
     }
 }

@@ -35,14 +35,22 @@ impl Actor for Node {
     fn on_message(&mut self, from: NodeIdx, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match self {
             Node::Site(s) => s.on_message(from, msg, ctx),
-            Node::Coordinator(c) => c.on_message(from, msg, ctx),
+            Node::Coordinator(c) => {
+                let started = std::time::Instant::now();
+                c.on_message(from, msg, ctx);
+                c.metrics.busy_ns += started.elapsed().as_nanos() as u64;
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
         match self {
             Node::Site(s) => s.on_timer(tag, ctx),
-            Node::Coordinator(c) => c.on_timer(tag, ctx),
+            Node::Coordinator(c) => {
+                let started = std::time::Instant::now();
+                c.on_timer(tag, ctx);
+                c.metrics.busy_ns += started.elapsed().as_nanos() as u64;
+            }
         }
     }
 }
@@ -98,6 +106,17 @@ struct PartitionLayout {
     /// Per replica, full-catalog composite type it produces → consuming
     /// replicas (including itself for intra-replica references).
     fwd: Vec<HashMap<u32, Vec<usize>>>,
+    /// Per replica, full-catalog input/owned type → bitmask of *peer*
+    /// replicas its cascade closure inside this replica can forward to.
+    /// Drives subscription-filtered promises: a buffered item only
+    /// clamps the promise sent to peers its type can actually reach.
+    reach: Vec<HashMap<u32, u64>>,
+    /// Per replica, the union of its `reach` masks: every peer it can
+    /// ever relay *anything* to. Promises are only gossiped along these
+    /// edges, and a replica's release gate only consults the peers whose
+    /// mask includes it — replicas with no cross-partition definitions
+    /// decouple entirely.
+    can_reach: Vec<u64>,
     /// Cascade-depth bound: the full plan's dependency-DAG stage count.
     max_depth: u32,
 }
@@ -182,11 +201,51 @@ fn plan_partition(
     for v in routes.values_mut() {
         v.sort_unstable();
     }
+    // Per replica, propagate "which peers can a type's cascade reach"
+    // backward through that replica's definition DAG to a fixpoint: a
+    // def's input types inherit the def's own forward mask plus whatever
+    // its output type already reaches (an output re-fed locally can feed
+    // a deeper def that does forward).
+    debug_assert!(replicas <= 64, "reach masks are u64 bitmasks");
+    let mut reach: Vec<HashMap<u32, u64>> = vec![HashMap::new(); replicas];
+    for r in 0..replicas {
+        loop {
+            let mut changed = false;
+            for (i, (name, _, _)) in global_defs.iter().enumerate() {
+                if owner[i] != r {
+                    continue;
+                }
+                let out_ty = name_ids[name].0;
+                let mut mask = reach[r].get(&out_ty).copied().unwrap_or(0);
+                for &c in fwd[r].get(&out_ty).map_or(&[][..], Vec::as_slice) {
+                    if c != r {
+                        mask |= 1 << c;
+                    }
+                }
+                for id in detector.shard_subscriptions(i) {
+                    let slot = reach[r].entry(id.0).or_insert(0);
+                    if *slot | mask != *slot {
+                        *slot |= mask;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    let can_reach: Vec<u64> = reach
+        .iter()
+        .map(|m| m.values().fold(0, |acc, &mask| acc | mask))
+        .collect();
     PartitionLayout {
         owner,
         inputs,
         routes,
         fwd,
+        reach,
+        can_reach,
         max_depth: detector.stage_count() as u32,
     }
 }
@@ -451,13 +510,23 @@ impl Engine {
             config.auto_evict,
             config.parked_cap,
         );
+        let gaters = (0..replicas)
+            .filter(|&q| q != r && layout.can_reach[q] & (1 << r) != 0)
+            .fold(0u64, |acc, q| acc | (1 << q));
+        let fwd_masks: HashMap<u32, u64> = layout.fwd[r]
+            .iter()
+            .map(|(&t, v)| (t, v.iter().fold(0u64, |acc, &c| acc | (1 << c))))
+            .collect();
         node.enable_partition(PartitionState::new(
             r,
             n_sites,
             replicas,
             plan.to_global,
             plan.to_local,
-            layout.fwd[r].clone(),
+            fwd_masks,
+            layout.reach[r].clone(),
+            layout.can_reach[r],
+            gaters,
             layout.max_depth,
             config.retransmit_timeout,
         ));
@@ -836,6 +905,7 @@ impl Engine {
             m.relay_retransmits += r.relay_retransmits;
             m.relays_received += r.relays_received;
             m.routed_received += r.routed_received;
+            m.busy_ns += r.busy_ns;
         }
         for i in 0..self.coordinator.0 {
             if let Node::Site(s) = self.sim.node(NodeIdx(i)) {
@@ -859,6 +929,23 @@ impl Engine {
                 c.buffered()
             })
             .sum()
+    }
+
+    /// Per-replica wall-clock handler time, in replica order. The
+    /// simulation steps replicas sequentially, so the *sum* is what this
+    /// process paid, while the *maximum* is the critical path an actual
+    /// parallel deployment (one process per replica) would pay for the
+    /// same routed traffic.
+    pub fn replica_busy_ns(&self) -> Vec<u64> {
+        self.coordinators
+            .iter()
+            .map(|&node| {
+                let Node::Coordinator(c) = self.sim.node(node) else {
+                    unreachable!("coordinator index")
+                };
+                c.metrics.busy_ns
+            })
+            .collect()
     }
 
     /// Total simulation steps processed (diagnostics).

@@ -144,6 +144,12 @@ pub struct Metrics {
     pub relays_received: u64,
     /// Subscription-routed messages (`Msg::Routed`) received from sites.
     pub routed_received: u64,
+    /// Wall-clock nanoseconds spent inside this coordinator's message and
+    /// timer handlers (engine-timed at the actor dispatch boundary). In a
+    /// partitioned plane each replica accumulates only its own handler
+    /// time, so the *maximum* across replicas is the critical path a
+    /// parallel deployment would pay — see `Engine::replica_busy_ns`.
+    pub busy_ns: u64,
 }
 
 impl Metrics {
